@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces the paper's Section 5 overhead discussion with
+ * google-benchmark: the run-time cost of CompDiff per generated
+ * input as a function of the number of compiler implementations
+ * (1 = plain fuzzing, 2 = the recommended budget subset, 10 = the
+ * full set). The paper reports roughly 10x for the full set and 2x
+ * for a two-implementation subset.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compdiff/engine.hh"
+#include "compiler/compiler.hh"
+#include "minic/parser.hh"
+#include "targets/targets.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+using namespace compdiff;
+
+const minic::Program &
+targetProgram()
+{
+    static const auto program = [] {
+        const auto *target = targets::findTarget("pktdump");
+        return minic::parseAndCheck(target->source);
+    }();
+    return *program;
+}
+
+const support::Bytes &
+workloadInput()
+{
+    static const support::Bytes input = {80, 1, 17, 34, 3, 2, 60,
+                                         4,  2, 48, 5,  7, 2, 3};
+    return input;
+}
+
+vm::VmLimits
+benchLimits()
+{
+    vm::VmLimits limits;
+    limits.stackSize = 1 << 14;
+    limits.heapSize = 1 << 15;
+    return limits;
+}
+
+/** Baseline: one plain execution per input (fuzzer without CompDiff). */
+void
+BM_PlainExecution(benchmark::State &state)
+{
+    compiler::Compiler comp(targetProgram());
+    const compiler::CompilerConfig config{compiler::Vendor::Clang,
+                                          compiler::OptLevel::O2,
+                                          compiler::Sanitizer::None};
+    auto module = comp.compile(config);
+    vm::Vm machine(module, config, benchLimits());
+    for (auto _ : state) {
+        auto result = machine.run(workloadInput());
+        benchmark::DoNotOptimize(result.output.size());
+    }
+}
+BENCHMARK(BM_PlainExecution);
+
+/** CompDiff with a k-implementation set. */
+void
+BM_CompDiff(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto configs = compiler::standardImplementations();
+    std::vector<compiler::CompilerConfig> subset;
+    if (k == 2) {
+        // The paper's budget recommendation: different vendors with
+        // unoptimizing / aggressively optimizing levels.
+        subset = {configs[0], configs[8]}; // gcc-O0, clang-O3
+    } else {
+        subset.assign(configs.begin(),
+                      configs.begin() + static_cast<long>(k));
+    }
+    core::DiffOptions options;
+    options.limits = benchLimits();
+    core::DiffEngine engine(targetProgram(), subset, options);
+    for (auto _ : state) {
+        auto result = engine.runInput(workloadInput());
+        benchmark::DoNotOptimize(result.divergent);
+    }
+}
+BENCHMARK(BM_CompDiff)->Arg(2)->Arg(5)->Arg(10);
+
+/** Compilation cost per implementation (one-time, forkserver-like). */
+void
+BM_CompileOneConfig(benchmark::State &state)
+{
+    compiler::Compiler comp(targetProgram());
+    const compiler::CompilerConfig config{compiler::Vendor::Gcc,
+                                          compiler::OptLevel::O2,
+                                          compiler::Sanitizer::None};
+    for (auto _ : state) {
+        auto module = comp.compile(config);
+        benchmark::DoNotOptimize(module.codeSize());
+    }
+}
+BENCHMARK(BM_CompileOneConfig);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Table 4: the fuzzing targets.
+ *
+ * The paper lists 23 open-source projects; this repository ships 13
+ * representative MiniC targets covering the same input-format
+ * families (see DESIGN.md for the substitution rationale). The table
+ * prints each target's input type, version, size, planted-bug count,
+ * and seed count.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "support/table.hh"
+#include "targets/targets.hh"
+
+int
+main()
+{
+    using namespace compdiff;
+
+    support::TextTable table;
+    table.setHeader({"Target", "Input type", "Version", "Size (LoC)",
+                     "Planted bugs", "Seeds"});
+    table.setAlign({support::Align::Left, support::Align::Left,
+                    support::Align::Left, support::Align::Right,
+                    support::Align::Right, support::Align::Right});
+
+    std::size_t total_loc = 0;
+    std::size_t total_bugs = 0;
+    for (const auto &target : targets::allTargets()) {
+        table.addRow({
+            target.name,
+            target.inputType,
+            target.version,
+            std::to_string(target.linesOfCode()),
+            std::to_string(target.bugs.size()),
+            std::to_string(target.seeds.size()),
+        });
+        total_loc += target.linesOfCode();
+        total_bugs += target.bugs.size();
+    }
+    table.addSeparator();
+    table.addRow({"Total", "", "", std::to_string(total_loc),
+                  std::to_string(total_bugs), ""});
+
+    std::printf("Table 4: selected target programs "
+                "(13 MiniC stand-ins for the paper's 23 projects)\n\n"
+                "%s\n",
+                table.str().c_str());
+    return 0;
+}

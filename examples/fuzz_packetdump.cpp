@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CompDiff-AFL++ on a real-world-style target: fuzz the pktdump
+ * packet analyzer (tcpdump stand-in), then triage the saved
+ * divergences back to their root causes and show a minimized
+ * reproducer for each, like the bug reports the paper filed.
+ *
+ * Build & run:  ./build/examples/fuzz_packetdump [execs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/bytes.hh"
+#include "targets/campaign.hh"
+#include "targets/targets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace compdiff;
+
+    const targets::TargetProgram *target =
+        targets::findTarget("pktdump");
+    if (!target) {
+        std::fprintf(stderr, "pktdump target missing\n");
+        return 1;
+    }
+
+    targets::CampaignOptions options;
+    options.maxExecs = argc > 1
+                           ? static_cast<std::uint64_t>(
+                                 std::atoll(argv[1]))
+                           : 12'000;
+    options.checkSanitizers = true;
+
+    std::printf("fuzzing %s (%s, v%s, %zu LoC) for %llu execs...\n\n",
+                target->name.c_str(), target->inputType.c_str(),
+                target->version.c_str(), target->linesOfCode(),
+                static_cast<unsigned long long>(options.maxExecs));
+
+    auto result = targets::runCampaign(*target, options);
+
+    std::printf("executions      : %llu\n",
+                static_cast<unsigned long long>(result.stats.execs));
+    std::printf("corpus seeds    : %zu\n", result.stats.seeds);
+    std::printf("coverage edges  : %zu\n", result.stats.edges);
+    std::printf("unique diffs    : %zu\n", result.stats.diffs);
+    std::printf("bugs recovered  : %zu of %zu planted\n\n",
+                result.found.size(), target->bugs.size());
+
+    for (const auto &finding : result.found) {
+        std::printf("--- bug %d [%s] %s\n", finding.probeId,
+                    targets::categoryColumn(finding.bug->category),
+                    finding.bug->description.c_str());
+        std::printf("    sanitizers: ASan=%d UBSan=%d MSan=%d\n",
+                    finding.asanFires, finding.ubsanFires,
+                    finding.msanFires);
+        std::printf("    minimized reproducer (%zu bytes):\n%s",
+                    finding.witness.size(),
+                    support::hexDump(finding.witness, 4).c_str());
+    }
+    return result.found.empty() ? 1 : 0;
+}

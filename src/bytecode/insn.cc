@@ -1,0 +1,145 @@
+#include "bytecode/insn.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace compdiff::bytecode
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Block: return "block";
+      case Op::PushI: return "push.i";
+      case Op::PushF: return "push.f";
+      case Op::PushUndef: return "push.undef";
+      case Op::Dup: return "dup";
+      case Op::Drop: return "drop";
+      case Op::Swap: return "swap";
+      case Op::Rot3: return "rot3";
+      case Op::FrameAddr: return "frame.addr";
+      case Op::GlobalAddr: return "global.addr";
+      case Op::RodataAddr: return "rodata.addr";
+      case Op::Ld8S: return "ld8.s";
+      case Op::Ld8U: return "ld8.u";
+      case Op::Ld32S: return "ld32.s";
+      case Op::Ld32U: return "ld32.u";
+      case Op::Ld64: return "ld64";
+      case Op::LdF: return "ld.f";
+      case Op::St8: return "st8";
+      case Op::St32: return "st32";
+      case Op::St64: return "st64";
+      case Op::StF: return "st.f";
+      case Op::AddI: return "add.i";
+      case Op::SubI: return "sub.i";
+      case Op::MulI: return "mul.i";
+      case Op::DivS: return "div.s";
+      case Op::RemS: return "rem.s";
+      case Op::DivU: return "div.u";
+      case Op::RemU: return "rem.u";
+      case Op::Shl: return "shl";
+      case Op::ShrS: return "shr.s";
+      case Op::ShrU: return "shr.u";
+      case Op::AndI: return "and";
+      case Op::OrI: return "or";
+      case Op::XorI: return "xor";
+      case Op::NegI: return "neg.i";
+      case Op::NotI: return "not.i";
+      case Op::Trunc32S: return "trunc32.s";
+      case Op::Trunc32U: return "trunc32.u";
+      case Op::Trunc8S: return "trunc8.s";
+      case Op::Trunc8U: return "trunc8.u";
+      case Op::CmpLtS: return "cmplt.s";
+      case Op::CmpLeS: return "cmple.s";
+      case Op::CmpGtS: return "cmpgt.s";
+      case Op::CmpGeS: return "cmpge.s";
+      case Op::CmpLtU: return "cmplt.u";
+      case Op::CmpLeU: return "cmple.u";
+      case Op::CmpGtU: return "cmpgt.u";
+      case Op::CmpGeU: return "cmpge.u";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpNe: return "cmpne";
+      case Op::CmpEqZ: return "cmpeqz";
+      case Op::BoolVal: return "boolval";
+      case Op::AddF: return "add.f";
+      case Op::SubF: return "sub.f";
+      case Op::MulF: return "mul.f";
+      case Op::DivF: return "div.f";
+      case Op::NegF: return "neg.f";
+      case Op::CmpLtF: return "cmplt.f";
+      case Op::CmpLeF: return "cmple.f";
+      case Op::CmpGtF: return "cmpgt.f";
+      case Op::CmpGeF: return "cmpge.f";
+      case Op::CmpEqF: return "cmpeq.f";
+      case Op::CmpNeF: return "cmpne.f";
+      case Op::I2FS: return "i2f.s";
+      case Op::I2FU: return "i2f.u";
+      case Op::F2I: return "f2i";
+      case Op::ShiftNorm32: return "shiftnorm32";
+      case Op::ShiftNorm64: return "shiftnorm64";
+      case Op::Jmp: return "jmp";
+      case Op::JmpZ: return "jmpz";
+      case Op::JmpNZ: return "jmpnz";
+      case Op::Call: return "call";
+      case Op::CallB: return "call.b";
+      case Op::Ret: return "ret";
+      case Op::Halt: return "halt";
+      case Op::ChkOv32: return "chk.ov32";
+      case Op::ChkDivS: return "chk.div";
+      case Op::ChkShift32: return "chk.shift32";
+      case Op::ChkShift64: return "chk.shift64";
+      case Op::ChkNull: return "chk.null";
+    }
+    return "?";
+}
+
+std::string
+Insn::str() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    switch (op) {
+      case Op::PushI:
+      case Op::PushF:
+        os << " " << imm;
+        break;
+      case Op::FrameAddr:
+      case Op::GlobalAddr:
+      case Op::RodataAddr:
+      case Op::Jmp:
+      case Op::JmpZ:
+      case Op::JmpNZ:
+      case Op::Block:
+      case Op::Ret:
+        os << " " << a;
+        break;
+      case Op::Call:
+      case Op::CallB:
+        os << " " << a << " argc=" << b
+           << (imm ? " rtl" : " ltr");
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+std::int64_t
+doubleToBits(double value)
+{
+    std::int64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(std::int64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace compdiff::bytecode

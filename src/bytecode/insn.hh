@@ -1,0 +1,141 @@
+#pragma once
+
+/**
+ * @file
+ * The CompDiff bytecode instruction set.
+ *
+ * MiniC functions are lowered to a compact stack bytecode. The
+ * instruction stream already reflects every *codegen-level* choice of
+ * the simulated compiler implementation that produced it (argument
+ * evaluation order, frame layout offsets, UB-exploiting rewrites,
+ * widened arithmetic, sanitizer checks), while *runtime-level* traits
+ * (memory fill patterns, segment bases, heap policy) are applied by
+ * the VM from the same CompilerConfig. A (module, config) pair is
+ * therefore the analog of a concrete binary.
+ *
+ * Value model: a 64-bit evaluation stack. Narrow integer results are
+ * normalized with explicit truncation instructions, which is exactly
+ * the knob the UB-exploiting optimizations turn (removing a Trunc32S
+ * after a multiply is the "compute in 64 bits" transform clang applies
+ * to `long = int * int`).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace compdiff::bytecode
+{
+
+/** Opcodes. */
+enum class Op : std::uint8_t
+{
+    Nop,
+
+    /**
+     * Basic-block entry marker; `a` carries the AFL-style 16-bit
+     * hashed block id used by coverage-instrumented executions.
+     */
+    Block,
+
+    PushI,     ///< push imm (64-bit integer)
+    PushF,     ///< push bit_cast<double> imm
+    PushUndef, ///< push the configuration's "indeterminate" word
+
+    Dup,  ///< (x) -> (x x)
+    Drop, ///< (x) -> ()
+    Swap, ///< (x y) -> (y x)
+    Rot3, ///< (x y z) -> (z x y)
+
+    FrameAddr,  ///< push fp + a
+    GlobalAddr, ///< push address of global #a
+    RodataAddr, ///< push rodataBase + a
+
+    Ld8S,  ///< pop addr, push sign-extended byte
+    Ld8U,  ///< pop addr, push zero-extended byte
+    Ld32S, ///< pop addr, push sign-extended 32-bit word
+    Ld32U, ///< pop addr, push zero-extended 32-bit word
+    Ld64,  ///< pop addr, push 64-bit word
+    LdF,   ///< pop addr, push 64-bit float bits
+
+    St8,  ///< pop value, pop addr, store low byte
+    St32, ///< pop value, pop addr, store low 32 bits
+    St64, ///< pop value, pop addr, store 64 bits
+    StF,  ///< pop value, pop addr, store float bits
+
+    AddI, SubI, MulI,
+    DivS, RemS, ///< signed divide/remainder; traps on zero divisor
+    DivU, RemU,
+    Shl,   ///< shift left; semantics of oversized counts are per-config
+    ShrS, ShrU,
+    AndI, OrI, XorI,
+    NegI, NotI,
+
+    Trunc32S, ///< sign-extend the low 32 bits
+    Trunc32U, ///< zero-extend the low 32 bits
+    Trunc8S,  ///< sign-extend the low 8 bits
+    Trunc8U,  ///< zero-extend the low 8 bits
+
+    CmpLtS, CmpLeS, CmpGtS, CmpGeS,
+    CmpLtU, CmpLeU, CmpGtU, CmpGeU,
+    CmpEq, CmpNe,
+    CmpEqZ,   ///< logical not: push (x == 0)
+    BoolVal,  ///< push (x != 0)
+
+    AddF, SubF, MulF, DivF, NegF,
+    CmpLtF, CmpLeF, CmpGtF, CmpGeF, CmpEqF, CmpNeF,
+
+    I2FS, ///< signed int -> double
+    I2FU, ///< unsigned int -> double
+    F2I,  ///< double -> int64 (C truncation)
+
+    /**
+     * 32-bit shift-count check / normalization; `a` selects the
+     * configuration family behavior: 0 = x86-style masking (count &
+     * 31), 1 = fold oversized shifts to a zero result.
+     */
+    ShiftNorm32,
+    ShiftNorm64, ///< same for 64-bit shifts (mask 63 / zero)
+
+    Jmp,  ///< jump to pc = a
+    JmpZ, ///< pop cond; jump to pc = a when cond == 0
+    JmpNZ,
+
+    /**
+     * Call user function #a with b arguments. imm != 0 means the
+     * arguments were *evaluated and pushed* right-to-left.
+     */
+    Call,
+    /** Call builtin #a with b arguments; imm as in Call. */
+    CallB,
+
+    Ret,  ///< return; a != 0 means a return value is on the stack
+    Halt, ///< normal end of main
+
+    // --- Sanitizer checks (emitted only for sanitizer builds) ---
+    ChkOv32,   ///< UBSan: top of stack not representable in int32
+    ChkDivS,   ///< UBSan: (x y) divisor zero or INT_MIN/-1; a=width
+    ChkShift32,///< UBSan: (x count) count out of [0,31]
+    ChkShift64,///< UBSan: (x count) count out of [0,63]
+    ChkNull,   ///< UBSan: top of stack is a null-page pointer
+};
+
+/** Human-readable opcode mnemonic. */
+const char *opName(Op op);
+
+/** One decoded instruction. */
+struct Insn
+{
+    Op op = Op::Nop;
+    std::int32_t a = 0;      ///< offset / id / target / flag
+    std::int32_t b = 0;      ///< argc and other secondary operands
+    std::int64_t imm = 0;    ///< constant or double bits
+    std::uint32_t line = 0;  ///< source line, for sanitizer reports
+
+    std::string str() const;
+};
+
+/** Bit-cast helpers for PushF immediates. */
+std::int64_t doubleToBits(double value);
+double bitsToDouble(std::int64_t bits);
+
+} // namespace compdiff::bytecode

@@ -1,0 +1,47 @@
+#include "bytecode/module.hh"
+
+#include <sstream>
+
+namespace compdiff::bytecode
+{
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+std::size_t
+Module::codeSize() const
+{
+    std::size_t total = 0;
+    for (const auto &f : functions)
+        total += f.code.size();
+    return total;
+}
+
+std::string
+Module::disassemble() const
+{
+    std::ostringstream os;
+    for (const auto &f : functions) {
+        os << "func " << f.name << " (index " << f.index
+           << ", params " << f.numParams << ", frame " << f.frameSize
+           << ")\n";
+        for (std::size_t pc = 0; pc < f.code.size(); pc++)
+            os << "  " << pc << ": " << f.code[pc].str() << "\n";
+    }
+    if (!globals.empty()) {
+        os << "globals (segment size " << globalsSegmentSize << ")\n";
+        for (const auto &g : globals) {
+            os << "  " << g.name << " @" << g.segmentOffset
+               << " size " << g.size << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace compdiff::bytecode

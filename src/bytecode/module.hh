@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * Compiled-module containers: functions, global layout, rodata.
+ *
+ * A Module together with the CompilerConfig that produced it plays the
+ * role of one concrete binary in the paper's workflow.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/insn.hh"
+
+namespace compdiff::bytecode
+{
+
+/** Frame-slot descriptor (one local variable or parameter). */
+struct FrameSlot
+{
+    std::int32_t offset = 0;  ///< byte offset within the frame
+    std::uint32_t size = 0;   ///< object size in bytes
+    int localId = -1;         ///< frontend local id
+    bool isParam = false;
+    std::string name;
+};
+
+/** One compiled function. */
+struct Function
+{
+    std::string name;
+    int index = -1;
+    std::uint32_t numParams = 0;
+    std::uint32_t frameSize = 0; ///< bytes, 16-byte aligned
+    bool returnsValue = false;
+
+    /** Slots, indexed by frontend localId. */
+    std::vector<FrameSlot> slots;
+
+    /**
+     * Byte offsets of the parameter slots in parameter order
+     * (subset of `slots`, kept separately for the call sequence).
+     */
+    std::vector<std::int32_t> paramOffsets;
+
+    /** Parameter value width in bytes (1, 4, or 8) per parameter. */
+    std::vector<std::uint8_t> paramSizes;
+
+    std::vector<Insn> code;
+};
+
+/** Placement and initialization record for one global variable. */
+struct GlobalLayout
+{
+    std::string name;
+    int globalId = -1;
+    std::uint64_t size = 0;
+    std::uint64_t align = 8;
+
+    /**
+     * Byte offset of this global inside the globals segment. Assigned
+     * by the backend: the *ordering* of globals is a configuration
+     * trait, which is what makes out-of-bounds effects and
+     * cross-object pointer comparisons diverge across binaries.
+     */
+    std::uint64_t segmentOffset = 0;
+
+    /** Initializer classification. */
+    enum class Init
+    {
+        Zero,    ///< zero-filled
+        Word,    ///< integer/double constant in initWord
+        Rodata,  ///< pointer to rodata at offset initWord
+    };
+    Init init = Init::Zero;
+    std::int64_t initWord = 0;
+    std::uint8_t valueSize = 8; ///< width of the Word initializer
+};
+
+/**
+ * A compiled program image, independent of run-time state.
+ */
+struct Module
+{
+    std::vector<Function> functions;
+    std::vector<GlobalLayout> globals;
+    /** Concatenated string literals (each NUL-terminated). */
+    std::vector<std::uint8_t> rodata;
+    std::uint64_t globalsSegmentSize = 0;
+    int mainIndex = -1;
+
+    /** Find a function by name; nullptr when absent. */
+    const Function *findFunction(const std::string &name) const;
+
+    /** Total instruction count across all functions. */
+    std::size_t codeSize() const;
+
+    /** Disassemble the whole module (for tests and debugging). */
+    std::string disassemble() const;
+};
+
+} // namespace compdiff::bytecode

@@ -1,0 +1,167 @@
+#include "compdiff/engine.hh"
+
+#include <sstream>
+
+#include "support/hash.hh"
+
+namespace compdiff::core
+{
+
+using support::Bytes;
+
+std::vector<std::uint64_t>
+DiffResult::hashVector() const
+{
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(observations.size());
+    for (const auto &obs : observations)
+        hashes.push_back(obs.hash);
+    return hashes;
+}
+
+bool
+DiffResult::divergesWithin(const std::vector<std::size_t> &subset) const
+{
+    if (subset.size() < 2)
+        return false;
+    const std::uint64_t first = observations[subset[0]].hash;
+    for (std::size_t i = 1; i < subset.size(); i++)
+        if (observations[subset[i]].hash != first)
+            return true;
+    return false;
+}
+
+std::string
+DiffResult::summary(std::size_t max_output_bytes) const
+{
+    std::ostringstream os;
+    os << (divergent ? "DIVERGENT" : "consistent") << " across "
+       << observations.size() << " implementations ("
+       << classCount << " behavior class"
+       << (classCount == 1 ? "" : "es") << ")\n";
+    for (std::size_t cls = 0; cls < classCount; cls++) {
+        os << "  class " << cls << ":";
+        const Observation *sample = nullptr;
+        for (std::size_t i = 0; i < observations.size(); i++) {
+            if (classOf[i] == cls) {
+                os << " " << observations[i].config.name();
+                sample = &observations[i];
+            }
+        }
+        if (sample) {
+            std::string text = sample->normalizedOutput;
+            if (text.size() > max_output_bytes) {
+                text.resize(max_output_bytes);
+                text += "...";
+            }
+            for (auto &c : text)
+                if (c == '\n')
+                    c = ' ';
+            os << "\n    [" << sample->exitClass << "] \"" << text
+               << "\"\n";
+        }
+    }
+    return os.str();
+}
+
+DiffEngine::DiffEngine(const minic::Program &program,
+                       std::vector<compiler::CompilerConfig> configs,
+                       DiffOptions options)
+    : configs_(std::move(configs)), options_(std::move(options))
+{
+    compiler::Compiler comp(program);
+    modules_.reserve(configs_.size());
+    for (const auto &config : configs_) {
+        if (options_.traitsTweak) {
+            compiler::Traits traits = compiler::traitsFor(config);
+            options_.traitsTweak(traits);
+            modules_.push_back(
+                comp.compileWithTraits(config, traits));
+        } else {
+            modules_.push_back(comp.compile(config));
+        }
+    }
+}
+
+DiffResult
+DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
+{
+    DiffResult result;
+    result.observations.resize(configs_.size());
+
+    std::uint64_t budget = options_.limits.maxInstructions;
+    int attempts_left = options_.retryTimeouts
+                            ? options_.timeoutRetries + 1
+                            : 1;
+
+    while (attempts_left-- > 0) {
+        bool any_timeout = false;
+        bool all_timeout = true;
+        for (std::size_t i = 0; i < configs_.size(); i++) {
+            vm::VmLimits limits = options_.limits;
+            limits.maxInstructions = budget;
+            vm::Vm machine(modules_[i], configs_[i], limits);
+            auto run = machine.run(
+                input, nullptr,
+                nonce_base * configs_.size() + i + 1);
+
+            Observation &obs = result.observations[i];
+            obs.config = configs_[i];
+            obs.timedOut = run.timedOut();
+            obs.normalizedOutput =
+                options_.normalizer.normalize(run.output);
+            obs.exitClass = run.exitClass();
+            support::HashCombiner combiner;
+            combiner.addString(obs.normalizedOutput);
+            combiner.addString(obs.exitClass);
+            obs.hash = combiner.digest();
+
+            any_timeout |= obs.timedOut;
+            all_timeout &= obs.timedOut;
+        }
+
+        if (!any_timeout || all_timeout) {
+            result.unresolvedTimeout = false;
+            break;
+        }
+        // Partial timeout: the truncated outputs are not comparable.
+        // Raise the budget and try again (RQ6).
+        result.unresolvedTimeout = true;
+        budget *= options_.timeoutBudgetFactor;
+    }
+
+    // Assign behavior classes.
+    result.classOf.assign(configs_.size(), 0);
+    std::vector<std::uint64_t> class_hash;
+    for (std::size_t i = 0; i < result.observations.size(); i++) {
+        const std::uint64_t h = result.observations[i].hash;
+        std::size_t cls = class_hash.size();
+        for (std::size_t c = 0; c < class_hash.size(); c++) {
+            if (class_hash[c] == h) {
+                cls = c;
+                break;
+            }
+        }
+        if (cls == class_hash.size())
+            class_hash.push_back(h);
+        result.classOf[i] = cls;
+    }
+    result.classCount = class_hash.size();
+    result.divergent = !result.unresolvedTimeout &&
+                       result.classCount > 1;
+    return result;
+}
+
+std::optional<DiffResult>
+DiffEngine::findDivergence(const std::vector<Bytes> &inputs) const
+{
+    std::uint64_t nonce = 0;
+    for (const auto &input : inputs) {
+        auto result = runInput(input, nonce++);
+        if (result.divergent)
+            return result;
+    }
+    return std::nullopt;
+}
+
+} // namespace compdiff::core

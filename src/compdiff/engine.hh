@@ -1,0 +1,142 @@
+#pragma once
+
+/**
+ * @file
+ * The CompDiff differential engine (paper Section 3.1).
+ *
+ * Workflow, exactly as the paper states it:
+ *   1) fix a set of compiler implementations C_i,
+ *   2) compile the program with each C_i into binaries B_i,
+ *   3) run every B_i on the same input,
+ *   4) compare the (normalized) output checksums; any mismatch makes
+ *      the input bug-triggering.
+ *
+ * The engine also implements the RQ6 timeout discipline: when only
+ * *some* binaries exceed the execution budget, the budget is raised
+ * and the run repeated, so that truncated outputs are never reported
+ * as divergence.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bytecode/module.hh"
+#include "compdiff/normalizer.hh"
+#include "compiler/compiler.hh"
+#include "compiler/config.hh"
+#include "support/bytes.hh"
+#include "vm/vm.hh"
+
+namespace compdiff::core
+{
+
+/** Engine knobs. */
+struct DiffOptions
+{
+    vm::VmLimits limits;
+    OutputNormalizer normalizer = OutputNormalizer::withDefaultFilters();
+    /** RQ6: re-run partial timeouts with a larger budget. */
+    bool retryTimeouts = true;
+    int timeoutRetries = 3;
+    std::uint64_t timeoutBudgetFactor = 4;
+    /**
+     * Ablation hook: mutate each configuration's derived traits
+     * before compilation (e.g. disable one UB-exploiting pass across
+     * the whole implementation set). Compile-time knobs only; the VM
+     * derives runtime traits from the configuration itself.
+     */
+    std::function<void(compiler::Traits &)> traitsTweak;
+};
+
+/** One implementation's observation for an input. */
+struct Observation
+{
+    compiler::CompilerConfig config;
+    std::string normalizedOutput;
+    std::string exitClass;
+    std::uint64_t hash = 0;
+    bool timedOut = false;
+};
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    bool divergent = false;
+    /**
+     * Set when the run still contained partial timeouts after all
+     * retries; such inputs are never reported as divergent (they are
+     * the only would-be false-positive source, RQ6).
+     */
+    bool unresolvedTimeout = false;
+    std::vector<Observation> observations;
+    /** Distinct behavior classes; classOf[i] indexes them. */
+    std::vector<std::size_t> classOf;
+    std::size_t classCount = 0;
+
+    /** Per-implementation output hashes, in configuration order. */
+    std::vector<std::uint64_t> hashVector() const;
+
+    /** Would the subset (indices into observations) still diverge? */
+    bool divergesWithin(const std::vector<std::size_t> &subset) const;
+
+    /** Human-readable report: classes, members, and their outputs. */
+    std::string summary(std::size_t max_output_bytes = 160) const;
+};
+
+/**
+ * Compiles a program under a set of implementations and runs the
+ * output-comparison oracle on inputs.
+ *
+ * Compilation happens once, in the constructor; runInput() then only
+ * executes (the forkserver-style reuse from Section 3.2).
+ */
+class DiffEngine
+{
+  public:
+    /**
+     * @param program  Analyzed program (must outlive the engine).
+     * @param configs  Implementations to enumerate; defaults to the
+     *                 paper's ten.
+     * @param options  Engine knobs.
+     */
+    explicit DiffEngine(
+        const minic::Program &program,
+        std::vector<compiler::CompilerConfig> configs =
+            compiler::standardImplementations(),
+        DiffOptions options = {});
+
+    /**
+     * Run every binary on one input and compare normalized outputs.
+     *
+     * @param input      The test input.
+     * @param nonce_base Seed for per-execution nonces (timestamps);
+     *                   every binary execution gets a distinct nonce,
+     *                   as wall-clock time would.
+     */
+    DiffResult runInput(const support::Bytes &input,
+                        std::uint64_t nonce_base = 0) const;
+
+    /** First divergence-triggering input among `inputs`, if any. */
+    std::optional<DiffResult>
+    findDivergence(const std::vector<support::Bytes> &inputs) const;
+
+    const std::vector<compiler::CompilerConfig> &configs() const
+    {
+        return configs_;
+    }
+
+    /** Number of implementations (k in the paper). */
+    std::size_t size() const { return configs_.size(); }
+
+    const DiffOptions &options() const { return options_; }
+
+  private:
+    std::vector<compiler::CompilerConfig> configs_;
+    DiffOptions options_;
+    std::vector<bytecode::Module> modules_;
+};
+
+} // namespace compdiff::core

@@ -1,0 +1,89 @@
+#include "compdiff/localize.hh"
+
+#include <sstream>
+
+#include "compiler/compiler.hh"
+
+namespace compdiff::core
+{
+
+std::string
+Localization::str() const
+{
+    std::ostringstream os;
+    if (!divergent) {
+        os << "no divergence on this input";
+        return os.str();
+    }
+    if (controlDivergence) {
+        os << "control divergence after " << commonPrefix
+           << " common blocks: executions part ways after "
+           << lastCommonFunction << ":" << lastCommonLine
+           << " (one continues at line " << lineA
+           << ", the other at line " << lineB << ")";
+    } else if (dataDivergence) {
+        os << "data divergence: both executions follow the same "
+           << commonPrefix
+           << "-block path but produce different output "
+              "(value-only instability, e.g. an uninitialized or "
+              "layout-dependent read)";
+    } else {
+        os << "outputs agree but exit classes differ";
+    }
+    return os.str();
+}
+
+Localization
+localizeDivergence(const minic::Program &program,
+                   const compiler::CompilerConfig &a,
+                   const compiler::CompilerConfig &b,
+                   const support::Bytes &input, vm::VmLimits limits)
+{
+    compiler::Compiler comp(program);
+    auto module_a = comp.compile(a);
+    auto module_b = comp.compile(b);
+
+    std::vector<vm::TraceEntry> trace_a;
+    std::vector<vm::TraceEntry> trace_b;
+    vm::Vm vm_a(module_a, a, limits);
+    vm::Vm vm_b(module_b, b, limits);
+    auto result_a = vm_a.run(input, nullptr, 1, &trace_a);
+    auto result_b = vm_b.run(input, nullptr, 2, &trace_b);
+
+    Localization loc;
+    loc.divergent = result_a.output != result_b.output ||
+                    result_a.exitClass() != result_b.exitClass();
+
+    std::size_t prefix = 0;
+    while (prefix < trace_a.size() && prefix < trace_b.size() &&
+           trace_a[prefix] == trace_b[prefix]) {
+        prefix++;
+    }
+    loc.commonPrefix = prefix;
+    if (prefix > 0) {
+        const auto &last = trace_a[prefix - 1];
+        loc.lastCommonLine = last.line;
+        if (last.func >= 0 &&
+            static_cast<std::size_t>(last.func) <
+                program.functions.size()) {
+            loc.lastCommonFunction =
+                program.functions[static_cast<std::size_t>(
+                                      last.func)]
+                    ->name;
+        }
+    }
+    loc.controlDivergence =
+        prefix < trace_a.size() || prefix < trace_b.size();
+    if (prefix < trace_a.size())
+        loc.lineA = trace_a[prefix].line;
+    if (prefix < trace_b.size())
+        loc.lineB = trace_b[prefix].line;
+
+    if (!loc.controlDivergence && loc.divergent)
+        loc.dataDivergence = true;
+    if (!loc.divergent)
+        loc.controlDivergence = false;
+    return loc;
+}
+
+} // namespace compdiff::core

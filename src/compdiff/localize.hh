@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-based fault localization (the paper's Section 5 outlook).
+ *
+ * CompDiff's reports say *that* two binaries disagree, not *where*.
+ * The paper sketches the remedy: since all binaries come from the
+ * same source, their execution traces can be aligned and compared.
+ * This module implements that sketch — both binaries run with a
+ * (function, source line) control-flow trace, the longest common
+ * prefix is computed, and the first disagreement is reported as the
+ * root-cause candidate:
+ *
+ *  - a *control divergence* names the line where the two binaries
+ *    first take different paths (e.g. the folded overflow guard of
+ *    Listing 1);
+ *  - a *data divergence* (identical paths, different output) points
+ *    at value-only instability such as an uninitialized read whose
+ *    value is printed.
+ */
+
+#include <string>
+
+#include "compiler/config.hh"
+#include "minic/ast.hh"
+#include "support/bytes.hh"
+#include "vm/vm.hh"
+
+namespace compdiff::core
+{
+
+/** Localization verdict for one (input, pair-of-binaries). */
+struct Localization
+{
+    /** The two binaries disagreed on this input at all. */
+    bool divergent = false;
+    /** Their control-flow traces disagree. */
+    bool controlDivergence = false;
+    /** Outputs disagree while the traces match (value instability). */
+    bool dataDivergence = false;
+
+    /** Blocks shared before the first disagreement. */
+    std::size_t commonPrefix = 0;
+    /** Last source line both executions agree on. */
+    std::uint32_t lastCommonLine = 0;
+    std::string lastCommonFunction;
+    /** First differing block per binary (0 = trace ended). */
+    std::uint32_t lineA = 0;
+    std::uint32_t lineB = 0;
+
+    /** Human-readable one-paragraph report. */
+    std::string str() const;
+};
+
+/**
+ * Run one input under two implementations with tracing and localize
+ * their first disagreement.
+ *
+ * @param program Analyzed program.
+ * @param a,b     The two implementations to align.
+ * @param input   The (typically divergence-triggering) input.
+ * @param limits  Execution limits.
+ */
+Localization
+localizeDivergence(const minic::Program &program,
+                   const compiler::CompilerConfig &a,
+                   const compiler::CompilerConfig &b,
+                   const support::Bytes &input,
+                   vm::VmLimits limits = {});
+
+} // namespace compdiff::core

@@ -1,0 +1,31 @@
+#include "compdiff/normalizer.hh"
+
+namespace compdiff::core
+{
+
+OutputNormalizer
+OutputNormalizer::withDefaultFilters()
+{
+    OutputNormalizer normalizer;
+    normalizer.addPattern(R"(\[ts:[0-9]+\])");
+    return normalizer;
+}
+
+void
+OutputNormalizer::addPattern(const std::string &regex,
+                             const std::string &replacement)
+{
+    patterns_.push_back({std::regex(regex), replacement});
+}
+
+std::string
+OutputNormalizer::normalize(std::string output) const
+{
+    for (const auto &filter : patterns_) {
+        output = std::regex_replace(output, filter.regex,
+                                    filter.replacement);
+    }
+    return output;
+}
+
+} // namespace compdiff::core

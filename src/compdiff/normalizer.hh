@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Output normalization (paper RQ5).
+ *
+ * Some targets legitimately embed per-run values (timestamps, PIDs)
+ * in their output; comparing raw outputs across binaries would flag
+ * every such program. CompDiff-AFL++ strips these with regular
+ * expressions before checksumming — e.g. the wireshark
+ * "10:44:23.405830 [Epan WARNING]" case in the paper. This class is
+ * that filter stage.
+ */
+
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace compdiff::core
+{
+
+/**
+ * A list of regex filters applied to program output before hashing.
+ */
+class OutputNormalizer
+{
+  public:
+    /** No filters: raw output comparison. */
+    OutputNormalizer() = default;
+
+    /**
+     * The default filter set used by CompDiff-AFL++ in this repo:
+     * strips `[ts:<digits>]` timestamps (the time_stamp() builtin's
+     * conventional rendering).
+     */
+    static OutputNormalizer withDefaultFilters();
+
+    /** Add a filter; every match is replaced with `replacement`. */
+    void addPattern(const std::string &regex,
+                    const std::string &replacement = "");
+
+    /** Apply all filters in order. */
+    std::string normalize(std::string output) const;
+
+    /** Number of installed filters. */
+    std::size_t patternCount() const { return patterns_.size(); }
+
+  private:
+    struct Filter
+    {
+        std::regex regex;
+        std::string replacement;
+    };
+    std::vector<Filter> patterns_;
+};
+
+} // namespace compdiff::core

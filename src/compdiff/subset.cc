@@ -1,0 +1,116 @@
+#include "compdiff/subset.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace compdiff::core
+{
+
+std::string
+SubsetResult::name(
+    const std::vector<compiler::CompilerConfig> &configs) const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < members.size(); i++) {
+        if (i)
+            out += ", ";
+        out += configs[members[i]].name();
+    }
+    return out + "}";
+}
+
+SubsetAnalysis::SubsetAnalysis(std::size_t num_impls)
+    : numImpls_(num_impls)
+{
+    if (num_impls < 2 || num_impls > 16)
+        support::fatal("SubsetAnalysis supports 2..16 implementations");
+}
+
+void
+SubsetAnalysis::addCase(const std::vector<std::uint64_t> &hashes)
+{
+    if (hashes.size() != numImpls_)
+        support::fatal("hash vector size mismatch in SubsetAnalysis");
+    std::map<std::uint64_t, std::uint32_t> classes;
+    for (std::size_t i = 0; i < hashes.size(); i++)
+        classes[hashes[i]] |= 1u << i;
+    std::vector<std::uint32_t> masks;
+    masks.reserve(classes.size());
+    for (const auto &[hash, mask] : classes)
+        masks.push_back(mask);
+    cases_.push_back(std::move(masks));
+}
+
+std::vector<SubsetResult>
+SubsetAnalysis::enumerateSize(std::size_t size) const
+{
+    std::vector<SubsetResult> results;
+    const std::uint32_t limit = 1u << numImpls_;
+    for (std::uint32_t subset = 0; subset < limit; subset++) {
+        if (static_cast<std::size_t>(__builtin_popcount(subset)) !=
+            size) {
+            continue;
+        }
+        SubsetResult result;
+        for (std::size_t i = 0; i < numImpls_; i++)
+            if (subset & (1u << i))
+                result.members.push_back(i);
+
+        for (const auto &masks : cases_) {
+            // Detected iff the subset spans >= 2 behavior classes,
+            // i.e. it is not contained in any single class mask.
+            bool contained = false;
+            for (const std::uint32_t mask : masks) {
+                if ((subset & ~mask) == 0) {
+                    contained = true;
+                    break;
+                }
+            }
+            if (!contained)
+                result.detected++;
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::vector<std::vector<SubsetResult>>
+SubsetAnalysis::enumerateAll() const
+{
+    std::vector<std::vector<SubsetResult>> all;
+    for (std::size_t size = 2; size <= numImpls_; size++)
+        all.push_back(enumerateSize(size));
+    return all;
+}
+
+const SubsetResult &
+SubsetAnalysis::best(const std::vector<SubsetResult> &results)
+{
+    return *std::max_element(results.begin(), results.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.detected < b.detected;
+                             });
+}
+
+const SubsetResult &
+SubsetAnalysis::worst(const std::vector<SubsetResult> &results)
+{
+    return *std::min_element(results.begin(), results.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.detected < b.detected;
+                             });
+}
+
+support::BoxStats
+SubsetAnalysis::stats(const std::vector<SubsetResult> &results)
+{
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const auto &r : results)
+        values.push_back(static_cast<double>(r.detected));
+    return support::boxStats(values);
+}
+
+} // namespace compdiff::core

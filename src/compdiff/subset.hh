@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Subset-of-implementations analysis (paper Section 4.2 / RQ4,
+ * Figures 1 and 2).
+ *
+ * Given the per-implementation output-hash vectors of a corpus of
+ * known bugs, this module answers: for every subset S of the
+ * implementations (|S| in [2, k]), how many bugs would CompDiff
+ * restricted to S still detect? A bug is detected by S iff at least
+ * two members of S observed different outputs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/config.hh"
+#include "support/table.hh"
+
+namespace compdiff::core
+{
+
+/** Detection count of one subset. */
+struct SubsetResult
+{
+    std::vector<std::size_t> members; ///< implementation indices
+    std::size_t detected = 0;
+
+    /** "{gcc-O0, clang-O3}" given the configuration list. */
+    std::string
+    name(const std::vector<compiler::CompilerConfig> &configs) const;
+};
+
+/**
+ * Accumulates hash vectors and enumerates subset detection counts.
+ */
+class SubsetAnalysis
+{
+  public:
+    /** @param num_impls Number of implementations k (2..16). */
+    explicit SubsetAnalysis(std::size_t num_impls);
+
+    /**
+     * Record one known bug's per-implementation hash vector (from
+     * DiffResult::hashVector()); it must have k entries.
+     */
+    void addCase(const std::vector<std::uint64_t> &hashes);
+
+    std::size_t caseCount() const { return cases_.size(); }
+
+    /**
+     * Enumerate every subset of size `size` and return its detection
+     * count, in subset-bitmask order.
+     */
+    std::vector<SubsetResult> enumerateSize(std::size_t size) const;
+
+    /** All sizes 2..k (the paper's Figure 1/2 X axis). */
+    std::vector<std::vector<SubsetResult>> enumerateAll() const;
+
+    /** Best- and worst-performing subsets of one size. */
+    static const SubsetResult &
+    best(const std::vector<SubsetResult> &results);
+    static const SubsetResult &
+    worst(const std::vector<SubsetResult> &results);
+
+    /** Five-number summary of detection counts of one size. */
+    static support::BoxStats
+    stats(const std::vector<SubsetResult> &results);
+
+  private:
+    /**
+     * For one case, the partition of implementations into equal-
+     * output classes, encoded as bitmasks. A subset detects the case
+     * iff it is NOT fully contained in any single class.
+     */
+    std::vector<std::vector<std::uint32_t>> cases_;
+    std::size_t numImpls_;
+};
+
+} // namespace compdiff::core

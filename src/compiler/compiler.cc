@@ -1,0 +1,48 @@
+#include "compiler/compiler.hh"
+
+#include "compiler/lowering.hh"
+#include "compiler/passes.hh"
+#include "minic/parser.hh"
+
+namespace compdiff::compiler
+{
+
+bytecode::Module
+Compiler::compile(const CompilerConfig &config) const
+{
+    return compileWithTraits(config, traitsFor(config));
+}
+
+bytecode::Module
+Compiler::compileWithTraits(const CompilerConfig &config,
+                            const Traits &traits) const
+{
+    // Clone the analyzed AST so UB-exploiting transforms never leak
+    // between configurations, then run this configuration's pipeline.
+    std::vector<std::unique_ptr<minic::FunctionDecl>> clones;
+    clones.reserve(program_.functions.size());
+    for (const auto &func : program_.functions) {
+        auto clone = func->clone();
+        normalizeBodies(*clone);
+        for (const auto &pass : standardPasses()) {
+            if (pass->enabledFor(traits))
+                pass->run(*clone, traits);
+        }
+        clones.push_back(std::move(clone));
+    }
+
+    Lowering lowering(program_, config, traits);
+    return lowering.lower(clones);
+}
+
+bytecode::Module
+compileSource(std::string_view source, const CompilerConfig &config)
+{
+    const auto program = minic::parseAndCheck(source);
+    // NOTE: convenience path for short-lived modules only; the Module
+    // does not reference the Program after lowering.
+    Compiler compiler(*program);
+    return compiler.compile(config);
+}
+
+} // namespace compdiff::compiler

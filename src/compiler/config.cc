@@ -1,0 +1,218 @@
+#include "compiler/config.hh"
+
+#include "support/logging.hh"
+
+namespace compdiff::compiler
+{
+
+const char *
+vendorName(Vendor vendor)
+{
+    return vendor == Vendor::Gcc ? "gcc" : "clang";
+}
+
+const char *
+optLevelName(OptLevel opt)
+{
+    switch (opt) {
+      case OptLevel::O0: return "O0";
+      case OptLevel::O1: return "O1";
+      case OptLevel::O2: return "O2";
+      case OptLevel::O3: return "O3";
+      case OptLevel::Os: return "Os";
+    }
+    return "?";
+}
+
+std::string
+CompilerConfig::name() const
+{
+    std::string base = std::string(vendorName(vendor)) + "-" +
+                       optLevelName(opt);
+    switch (sanitizer) {
+      case Sanitizer::None: break;
+      case Sanitizer::ASan: base += "+asan"; break;
+      case Sanitizer::UBSan: base += "+ubsan"; break;
+      case Sanitizer::MSan: base += "+msan"; break;
+    }
+    return base;
+}
+
+std::vector<CompilerConfig>
+standardImplementations()
+{
+    std::vector<CompilerConfig> out;
+    for (Vendor vendor : {Vendor::Gcc, Vendor::Clang}) {
+        for (OptLevel opt : {OptLevel::O0, OptLevel::O1, OptLevel::O2,
+                             OptLevel::O3, OptLevel::Os}) {
+            out.push_back({vendor, opt, Sanitizer::None});
+        }
+    }
+    return out;
+}
+
+CompilerConfig
+configFromName(const std::string &name)
+{
+    CompilerConfig config;
+    std::string rest = name;
+
+    auto strip_suffix = [&](const char *suffix, Sanitizer san) {
+        const std::string s = suffix;
+        if (rest.size() > s.size() &&
+            rest.compare(rest.size() - s.size(), s.size(), s) == 0) {
+            config.sanitizer = san;
+            rest.resize(rest.size() - s.size());
+            return true;
+        }
+        return false;
+    };
+    strip_suffix("+asan", Sanitizer::ASan) ||
+        strip_suffix("+ubsan", Sanitizer::UBSan) ||
+        strip_suffix("+msan", Sanitizer::MSan);
+
+    const auto dash = rest.find('-');
+    if (dash == std::string::npos)
+        support::fatal("bad compiler configuration name: " + name);
+    const std::string vendor = rest.substr(0, dash);
+    const std::string level = rest.substr(dash + 1);
+
+    if (vendor == "gcc")
+        config.vendor = Vendor::Gcc;
+    else if (vendor == "clang")
+        config.vendor = Vendor::Clang;
+    else
+        support::fatal("unknown vendor in: " + name);
+
+    if (level == "O0")
+        config.opt = OptLevel::O0;
+    else if (level == "O1")
+        config.opt = OptLevel::O1;
+    else if (level == "O2")
+        config.opt = OptLevel::O2;
+    else if (level == "O3")
+        config.opt = OptLevel::O3;
+    else if (level == "Os")
+        config.opt = OptLevel::Os;
+    else
+        support::fatal("unknown optimization level in: " + name);
+
+    return config;
+}
+
+namespace
+{
+
+/** Repeat a fill byte across a 64-bit word. */
+std::uint64_t
+wordOf(std::uint8_t byte)
+{
+    std::uint64_t w = byte;
+    w |= w << 8;
+    w |= w << 16;
+    w |= w << 32;
+    return w;
+}
+
+} // namespace
+
+Traits
+traitsFor(const CompilerConfig &config)
+{
+    Traits t;
+    const bool gcc = config.vendor == Vendor::Gcc;
+    const int level = static_cast<int>(config.opt); // O0..O3=0..3, Os=4
+    const bool optimizing = config.opt != OptLevel::O0;
+    const bool o2plus =
+        config.opt == OptLevel::O2 || config.opt == OptLevel::O3;
+
+    // --- Codegen choices -------------------------------------------
+    // Real compilers are free to pick any evaluation order for call
+    // arguments; historically gcc evaluates right-to-left and clang
+    // left-to-right, which is exactly the divergence behind the
+    // tcpdump EvalOrder bugs (paper Section 2, Example 2).
+    t.argsRightToLeft = gcc;
+
+    static const LayoutOrder gcc_local[5] = {
+        LayoutOrder::Declaration, LayoutOrder::Declaration,
+        LayoutOrder::SizeDescending, LayoutOrder::SizeDescending,
+        LayoutOrder::SizeAscending,
+    };
+    static const LayoutOrder clang_local[5] = {
+        LayoutOrder::Declaration, LayoutOrder::SizeAscending,
+        LayoutOrder::SizeAscending, LayoutOrder::SizeDescending,
+        LayoutOrder::ReverseDeclaration,
+    };
+    t.localOrder = gcc ? gcc_local[level] : clang_local[level];
+    t.globalOrder = t.localOrder;
+
+    // O0 frames keep debug-friendly padding between locals; optimized
+    // frames pack objects tightly, so small overflows land on
+    // different victims across levels.
+    t.localPad = optimizing ? 0 : 8;
+
+    t.shift32 = (!gcc && optimizing) ? ShiftPolicy::ZeroResult
+                                     : ShiftPolicy::MaskCount;
+    t.shift64 = t.shift32;
+    t.lineIsStatementStart = gcc;
+
+    // --- Optimizations ---------------------------------------------
+    t.constFold = optimizing;
+    t.foldUbGuards = gcc ? o2plus : optimizing;
+    t.alwaysTrueIncCmp = o2plus;
+    t.widenMulToLong = !gcc && optimizing;
+    t.deadStoreElim = o2plus || config.opt == OptLevel::Os;
+    t.nullDerefExploit = gcc ? (config.opt == OptLevel::O3) : o2plus;
+
+    // Seeded, documented miscompilation defects (see DESIGN.md §2.1):
+    t.bugRemPow2 = !gcc && o2plus;
+    t.bugDiv32Shift = gcc && config.opt == OptLevel::Os;
+    t.bugEmptyRange = gcc && config.opt == OptLevel::O3;
+
+    // Sanitizer builds model the common fuzzing setup: checks are
+    // inserted before the middle-end runs, so the UB-exploiting
+    // rewrites that would otherwise erase the checked operation are
+    // not applied.
+    if (config.sanitizer != Sanitizer::None) {
+        t.foldUbGuards = false;
+        t.alwaysTrueIncCmp = false;
+        t.widenMulToLong = false;
+        t.deadStoreElim = false;
+        t.nullDerefExploit = false;
+        t.bugRemPow2 = false;
+        t.bugDiv32Shift = false;
+        t.bugEmptyRange = false;
+    }
+
+    // --- Runtime / library policy ----------------------------------
+    t.stackFill = config.opt == OptLevel::O0 ? 0x00
+                                             : (gcc ? 0xBE : 0xAA);
+    t.heapFill = gcc ? 0xC5 : 0xCD;
+    t.undefWord = wordOf(t.stackFill);
+    t.freePoison = !gcc;
+    t.freePoisonByte = 0xEF;
+    t.freelistLifo = gcc;
+    t.detectDoubleFreeTop = gcc;
+    t.detectInvalidFree = gcc;
+    t.powViaExp2 = !gcc && o2plus;
+    // memcpy on overlapping ranges is UB (CWE-475); the copy
+    // direction decides what the overlap produces.
+    t.memcpyBackward = !gcc;
+
+    // --- Address-space layout --------------------------------------
+    if (gcc) {
+        t.rodataBase = 0x00800000;
+        t.globalsBase = 0x01000000;
+        t.heapBase = 0x02000000;
+        t.stackBase = 0x07ff0000;
+    } else {
+        t.rodataBase = 0x00c00000;
+        t.globalsBase = 0x01800000;
+        t.heapBase = 0x03000000;
+        t.stackBase = 0x07fe0000;
+    }
+
+    return t;
+}
+
+} // namespace compdiff::compiler

@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * Compiler configurations and their behavioral traits.
+ *
+ * The paper uses ten compiler implementations: {gcc, clang} × {-O0,
+ * -O1, -O2, -O3, -Os}. This module defines the simulated counterparts.
+ * A CompilerConfig names one implementation; traitsFor() expands it to
+ * the full set of behaviors in which legal implementations may differ:
+ *
+ *  - codegen choices (argument evaluation order, frame and globals
+ *    layout, shift-count semantics, __LINE__-style interpretation),
+ *  - enabled UB-exploiting optimizations (guard folding, arithmetic
+ *    widening, dead-store elimination, null-deref exploitation),
+ *  - runtime/library policy (uninitialized-memory fill patterns, heap
+ *    free-list order, double-/invalid-free detection, pow() lowering),
+ *  - address-space layout (segment bases), and
+ *  - documented seeded miscompilation defects (used to reproduce the
+ *    paper's compiler-bug findings, RQ2).
+ *
+ * Every trait is deterministic, so a (program, config, input) triple
+ * always produces the same output — the property CompDiff relies on.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compdiff::compiler
+{
+
+/** Simulated compiler vendor. */
+enum class Vendor
+{
+    Gcc,
+    Clang,
+};
+
+/** Optimization level. */
+enum class OptLevel
+{
+    O0,
+    O1,
+    O2,
+    O3,
+    Os,
+};
+
+/** Sanitizer instrumentation baked into a binary. */
+enum class Sanitizer
+{
+    None,
+    ASan,
+    UBSan,
+    MSan,
+};
+
+/** Ordering policies for stack locals / globals. */
+enum class LayoutOrder
+{
+    Declaration,
+    SizeDescending,
+    SizeAscending,
+    ReverseDeclaration,
+};
+
+/** Oversized-shift-count handling. */
+enum class ShiftPolicy
+{
+    MaskCount, ///< x86-style: count & (width-1)
+    ZeroResult,///< poison-style: oversized shift yields 0
+};
+
+/** One compiler implementation (the unit CompDiff enumerates). */
+struct CompilerConfig
+{
+    Vendor vendor = Vendor::Gcc;
+    OptLevel opt = OptLevel::O0;
+    Sanitizer sanitizer = Sanitizer::None;
+
+    /** "gcc-O2", "clang-Os", "clang-O1+asan", ... */
+    std::string name() const;
+
+    bool operator==(const CompilerConfig &) const = default;
+};
+
+/** Vendor display name ("gcc" / "clang"). */
+const char *vendorName(Vendor vendor);
+
+/** Optimization level display name ("O0" ... "Os"). */
+const char *optLevelName(OptLevel opt);
+
+/**
+ * The paper's default set: {gcc, clang} × {O0, O1, O2, O3, Os},
+ * no sanitizers, in that order (gcc first).
+ */
+std::vector<CompilerConfig> standardImplementations();
+
+/** Parse "gcc-O2" style names (inverse of CompilerConfig::name). */
+CompilerConfig configFromName(const std::string &name);
+
+/**
+ * Full behavioral expansion of a CompilerConfig (see file comment).
+ */
+struct Traits
+{
+    // --- Codegen choices -------------------------------------------
+    bool argsRightToLeft = false;
+    LayoutOrder localOrder = LayoutOrder::Declaration;
+    LayoutOrder globalOrder = LayoutOrder::Declaration;
+    std::uint32_t localPad = 0; ///< bytes of padding between locals
+    ShiftPolicy shift32 = ShiftPolicy::MaskCount;
+    ShiftPolicy shift64 = ShiftPolicy::MaskCount;
+    bool lineIsStatementStart = false; ///< cur_line() interpretation
+
+    // --- Enabled optimizations -------------------------------------
+    bool constFold = false;
+    bool foldUbGuards = false;     ///< (a+b)<a  ->  b<0
+    bool alwaysTrueIncCmp = false; ///< x+1>x  ->  1
+    bool widenMulToLong = false;   ///< 64-bit int arithmetic widening
+    bool deadStoreElim = false;    ///< also deletes dead divisions
+    bool nullDerefExploit = false; ///< unreachable-through-null pruning
+
+    // --- Seeded miscompilation defects (documented, RQ2) -----------
+    bool bugRemPow2 = false;    ///< x%8 -> x&7 without negative fixup
+    bool bugDiv32Shift = false; ///< x/32 -> x>>5 without fixup
+    bool bugEmptyRange = false; ///< (x<C && x>C-2) folded to 0
+
+    // --- Runtime / library policy ----------------------------------
+    std::uint8_t stackFill = 0x00; ///< content of fresh stack memory
+    std::uint8_t heapFill = 0x00;  ///< content of fresh heap memory
+    std::uint64_t undefWord = 0;   ///< value of PushUndef
+    bool freePoison = false;       ///< scrub chunks on free()
+    std::uint8_t freePoisonByte = 0xEF;
+    bool freelistLifo = true;      ///< reuse order of freed chunks
+    bool detectDoubleFreeTop = false; ///< glibc-tcache-style check
+    bool detectInvalidFree = false;   ///< abort on free of non-heap ptr
+    bool powViaExp2 = false;       ///< pow(a,b) = exp2(b*log2(a))
+    bool memcpyBackward = false;   ///< memcpy copies high-to-low
+
+    // --- Address-space layout --------------------------------------
+    std::uint64_t rodataBase = 0;
+    std::uint64_t globalsBase = 0;
+    std::uint64_t heapBase = 0;
+    std::uint64_t stackBase = 0; ///< top of stack; frames grow down
+};
+
+/** Expand a configuration into its concrete traits. */
+Traits traitsFor(const CompilerConfig &config);
+
+} // namespace compdiff::compiler

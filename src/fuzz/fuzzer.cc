@@ -1,0 +1,160 @@
+#include "fuzz/fuzzer.hh"
+
+#include <algorithm>
+
+#include "compiler/compiler.hh"
+#include "support/hash.hh"
+
+namespace compdiff::fuzz
+{
+
+using support::Bytes;
+
+Fuzzer::Fuzzer(const minic::Program &program,
+               std::vector<Bytes> initial_seeds, FuzzOptions options)
+    : program_(program), options_(std::move(options)),
+      rng_(options_.rngSeed),
+      mutator_(rng_.split(), options_.maxInputSize),
+      fuzzModule_(
+          compiler::Compiler(program).compile(options_.fuzzConfig))
+{
+    if (options_.enableCompDiff) {
+        core::DiffOptions diff_options = options_.diffOptions;
+        diff_options.limits = options_.limits;
+        diffEngine_ = std::make_unique<core::DiffEngine>(
+            program_, options_.diffConfigs, diff_options);
+    }
+    if (initial_seeds.empty())
+        initial_seeds.push_back({});
+    for (auto &seed : initial_seeds) {
+        if (seed.size() > options_.maxInputSize)
+            seed.resize(options_.maxInputSize);
+        corpus_.push_back({std::move(seed), 0, 0, 0});
+    }
+}
+
+std::size_t
+Fuzzer::selectSeed()
+{
+    // Favor recent discoveries: exponential bias toward the corpus
+    // tail (AFL's queue cycling spirit without its bookkeeping).
+    if (corpus_.size() == 1 || rng_.chance(1, 3))
+        return rng_.index(corpus_.size());
+    const std::size_t half = corpus_.size() / 2;
+    return half + rng_.index(corpus_.size() - half);
+}
+
+void
+Fuzzer::executeOne(Bytes input, std::size_t depth)
+{
+    // --- the plain AFL++ part: run B_fuzz with coverage ---
+    coverage_.reset();
+    vm::Vm machine(fuzzModule_, options_.fuzzConfig, options_.limits);
+    auto result = machine.run(input, &coverage_, ++nonceCounter_);
+    stats_.execs++;
+
+    const bool is_crash = result.crashed() || result.sanitizerFired();
+    if (is_crash) {
+        std::string signature = result.exitClass();
+        for (const auto &report : result.sanReports)
+            signature += "|" + report.str();
+        if (!crashSignatures_.count(signature)) {
+            crashSignatures_[signature] = crashes_.size();
+            crashes_.push_back({input, result.exitClass(),
+                                result.sanReports, result.probes});
+        }
+    }
+    if (virgin_.mergeAndCheckNew(coverage_)) {
+        corpus_.push_back({input, coverage_.countBits(),
+                           stats_.execs,
+                           static_cast<int>(depth) + 1});
+    }
+
+    // --- the CompDiff part (Algorithm 1, lines 9-12) ---
+    if (diffEngine_) {
+        auto diff = diffEngine_->runInput(input, nonceCounter_);
+        stats_.compdiffExecs += diffEngine_->size();
+
+        // Optional NEZHA-style feedback: a new behavior-class
+        // partition is as interesting as new coverage.
+        if (options_.divergenceFeedback) {
+            support::HashCombiner partition;
+            for (std::size_t cls : diff.classOf)
+                partition.add(cls);
+            if (partitionsSeen_.insert(partition.digest()).second &&
+                partitionsSeen_.size() > 1) {
+                corpus_.push_back({input, coverage_.countBits(),
+                                   stats_.execs,
+                                   static_cast<int>(depth) + 1});
+            }
+        }
+
+        if (diff.divergent) {
+            // Unique by the set of ground-truth probes the input
+            // fired (the automatic stand-in for the paper's manual
+            // triage); inputs with no probes fall back to the
+            // behavior-class partition.
+            support::HashCombiner combiner;
+            std::vector<int> probes = result.probes;
+            std::sort(probes.begin(), probes.end());
+            probes.erase(std::unique(probes.begin(), probes.end()),
+                         probes.end());
+            if (probes.empty()) {
+                for (std::size_t i = 0; i < diff.classOf.size(); i++)
+                    combiner.add(diff.classOf[i]);
+                for (const auto &obs : diff.observations)
+                    combiner.addString(obs.exitClass);
+            } else {
+                for (int probe : probes)
+                    combiner.add(static_cast<std::uint64_t>(probe));
+            }
+            const std::uint64_t signature = combiner.digest();
+            if (!diffSignatures_.count(signature)) {
+                diffSignatures_[signature] = diffs_.size();
+                diffs_.push_back({input, std::move(diff),
+                                  stats_.execs, result.probes});
+            }
+        }
+    }
+}
+
+FuzzStats
+Fuzzer::run()
+{
+    // Dry-run the initial seeds first (AFL++ does the same).
+    const std::size_t initial = corpus_.size();
+    for (std::size_t i = 0;
+         i < initial && stats_.execs < options_.maxExecs; i++) {
+        executeOne(corpus_[i].data, 0);
+    }
+
+    while (stats_.execs < options_.maxExecs) {
+        const std::size_t seed_index = selectSeed();
+        // Snapshot: corpus_ may grow while we mutate.
+        const Bytes parent = corpus_[seed_index].data;
+        const int depth = corpus_[seed_index].depth;
+
+        std::vector<Bytes> splice_pool;
+        if (corpus_.size() > 1) {
+            for (int i = 0; i < 4; i++)
+                splice_pool.push_back(
+                    corpus_[rng_.index(corpus_.size())].data);
+        }
+
+        for (std::uint32_t i = 0;
+             i < options_.energyBase &&
+             stats_.execs < options_.maxExecs;
+             i++) {
+            const Bytes child = mutator_.mutate(parent, splice_pool);
+            executeOne(child, static_cast<std::size_t>(depth));
+        }
+    }
+
+    stats_.seeds = corpus_.size();
+    stats_.crashes = crashes_.size();
+    stats_.diffs = diffs_.size();
+    stats_.edges = virgin_.edgesSeen();
+    return stats_;
+}
+
+} // namespace compdiff::fuzz

@@ -1,0 +1,168 @@
+#pragma once
+
+/**
+ * @file
+ * CompDiff-AFL++ (paper Section 3.2, Algorithm 1).
+ *
+ * The fuzzer keeps AFL++'s core loop intact: select a seed, mutate
+ * it, execute the coverage-instrumented binary B_fuzz, save crashes,
+ * keep coverage-increasing inputs as seeds. The CompDiff integration
+ * is exactly the highlighted lines of Algorithm 1: every generated
+ * input is additionally executed on the k differential binaries B_i
+ * and saved into the `diffs` list when their (normalized) outputs
+ * disagree.
+ *
+ * The oracle is plug-and-play: disable it (FuzzOptions::enableCompDiff
+ * = false) and this is a plain greybox crash fuzzer; enable a
+ * sanitizer on B_fuzz and it is a sanitizer fuzzing campaign —
+ * the two comparison arms of the paper's evaluation.
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "compdiff/engine.hh"
+#include "compiler/config.hh"
+#include "fuzz/mutator.hh"
+#include "support/bytes.hh"
+#include "vm/coverage.hh"
+#include "vm/vm.hh"
+
+namespace compdiff::fuzz
+{
+
+/** One corpus entry. */
+struct Seed
+{
+    support::Bytes data;
+    std::size_t coverageBits = 0; ///< path size when first seen
+    std::uint64_t foundAtExec = 0;
+    int depth = 0; ///< mutation generations from an initial seed
+};
+
+/** A saved divergence ("diffs/" directory analog). */
+struct FoundDiff
+{
+    support::Bytes input;
+    core::DiffResult result;
+    std::uint64_t execIndex = 0;
+    /** Ground-truth probes fired by the B_fuzz run (for triage). */
+    std::vector<int> probes;
+};
+
+/** A saved crash (or sanitizer report) from B_fuzz. */
+struct FoundCrash
+{
+    support::Bytes input;
+    std::string exitClass;
+    std::vector<vm::SanReport> sanReports;
+    std::vector<int> probes;
+};
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    /** Total executions of B_fuzz (the fuzzing budget). */
+    std::uint64_t maxExecs = 20'000;
+    std::uint64_t rngSeed = 0xFA2200D1;
+    std::size_t maxInputSize = 256;
+
+    /** Configuration of the coverage/sanitizer binary B_fuzz. */
+    compiler::CompilerConfig fuzzConfig{
+        compiler::Vendor::Clang, compiler::OptLevel::O2,
+        compiler::Sanitizer::None};
+
+    /** The CompDiff oracle (Algorithm 1 lines 9-12). */
+    bool enableCompDiff = true;
+    std::vector<compiler::CompilerConfig> diffConfigs =
+        compiler::standardImplementations();
+    core::DiffOptions diffOptions;
+
+    /**
+     * NEZHA-style divergence feedback (the paper's Section 5
+     * outlook): treat a never-seen behavior-class *partition* of the
+     * differential binaries as novelty and keep the input as a seed,
+     * in addition to the coverage signal. Off by default — plain
+     * CompDiff-AFL++ leaves the fuzzer's feedback untouched.
+     */
+    bool divergenceFeedback = false;
+
+    vm::VmLimits limits;
+    /** Mutations attempted per selected seed. */
+    std::uint32_t energyBase = 16;
+};
+
+/** Campaign statistics. */
+struct FuzzStats
+{
+    std::uint64_t execs = 0;
+    std::uint64_t compdiffExecs = 0; ///< runs of differential binaries
+    std::size_t seeds = 0;
+    std::size_t crashes = 0;        ///< unique crash signatures
+    std::size_t diffs = 0;          ///< unique divergence signatures
+    std::size_t edges = 0;          ///< distinct coverage map cells
+};
+
+/**
+ * The CompDiff-AFL++ campaign driver.
+ */
+class Fuzzer
+{
+  public:
+    /**
+     * @param program       Analyzed target program; must outlive the
+     *                      fuzzer.
+     * @param initial_seeds Initial corpus (the "official test suite"
+     *                      seeds of Section 4.3); an empty vector is
+     *                      replaced by a single empty input.
+     * @param options       Campaign knobs.
+     */
+    Fuzzer(const minic::Program &program,
+           std::vector<support::Bytes> initial_seeds,
+           FuzzOptions options = {});
+
+    /** Run the whole campaign and return final statistics. */
+    FuzzStats run();
+
+    /** Saved divergences, one per unique behavior signature. */
+    const std::vector<FoundDiff> &diffs() const { return diffs_; }
+
+    /** Saved crashes, one per unique exit/report signature. */
+    const std::vector<FoundCrash> &crashes() const
+    {
+        return crashes_;
+    }
+
+    const std::vector<Seed> &corpus() const { return corpus_; }
+    const FuzzStats &stats() const { return stats_; }
+
+  private:
+    std::size_t selectSeed();
+    /** Takes the input by value: executing it may grow corpus_ and
+     *  would invalidate any reference into it. */
+    void executeOne(support::Bytes input, std::size_t depth);
+
+    const minic::Program &program_;
+    FuzzOptions options_;
+    support::Rng rng_;
+    Mutator mutator_;
+
+    bytecode::Module fuzzModule_;
+    std::unique_ptr<core::DiffEngine> diffEngine_;
+
+    vm::CoverageMap coverage_;
+    vm::VirginMap virgin_;
+
+    std::vector<Seed> corpus_;
+    std::vector<FoundDiff> diffs_;
+    std::vector<FoundCrash> crashes_;
+    std::map<std::uint64_t, std::size_t> diffSignatures_;
+    std::map<std::string, std::size_t> crashSignatures_;
+    std::set<std::uint64_t> partitionsSeen_;
+    FuzzStats stats_;
+    std::uint64_t nonceCounter_ = 0;
+};
+
+} // namespace compdiff::fuzz

@@ -1,0 +1,142 @@
+#include "fuzz/mutator.hh"
+
+#include <algorithm>
+
+namespace compdiff::fuzz
+{
+
+using support::Bytes;
+
+namespace
+{
+
+/** AFL's interesting byte values. */
+constexpr std::uint8_t kInteresting8[] = {
+    0, 1, 16, 32, 64, 100, 127, 128, 255,
+};
+
+} // namespace
+
+Mutator::Mutator(support::Rng rng, std::size_t max_input_size)
+    : rng_(rng), maxInputSize_(max_input_size)
+{}
+
+void
+Mutator::flipBit(Bytes &data)
+{
+    if (data.empty())
+        return;
+    const std::size_t bit = rng_.index(data.size() * 8);
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void
+Mutator::setInteresting(Bytes &data)
+{
+    if (data.empty())
+        return;
+    data[rng_.index(data.size())] =
+        kInteresting8[rng_.index(std::size(kInteresting8))];
+}
+
+void
+Mutator::addSubtract(Bytes &data)
+{
+    if (data.empty())
+        return;
+    const std::size_t i = rng_.index(data.size());
+    const auto delta = static_cast<std::uint8_t>(rng_.range(1, 35));
+    data[i] = rng_.chance(1, 2)
+                  ? static_cast<std::uint8_t>(data[i] + delta)
+                  : static_cast<std::uint8_t>(data[i] - delta);
+}
+
+void
+Mutator::randomByte(Bytes &data)
+{
+    if (data.empty())
+        return;
+    data[rng_.index(data.size())] =
+        static_cast<std::uint8_t>(rng_.next());
+}
+
+void
+Mutator::insertByte(Bytes &data)
+{
+    if (data.size() >= maxInputSize_)
+        return;
+    const std::size_t pos = rng_.index(data.size() + 1);
+    data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                static_cast<std::uint8_t>(rng_.next()));
+}
+
+void
+Mutator::deleteByte(Bytes &data)
+{
+    if (data.empty())
+        return;
+    data.erase(data.begin() +
+               static_cast<std::ptrdiff_t>(rng_.index(data.size())));
+}
+
+void
+Mutator::duplicateBlock(Bytes &data)
+{
+    if (data.empty() || data.size() >= maxInputSize_)
+        return;
+    const std::size_t len =
+        std::min<std::size_t>(rng_.index(data.size()) + 1,
+                              maxInputSize_ - data.size());
+    const std::size_t src = rng_.index(data.size() - len + 1);
+    const std::size_t dst = rng_.index(data.size() + 1);
+    Bytes block(data.begin() + static_cast<std::ptrdiff_t>(src),
+                data.begin() + static_cast<std::ptrdiff_t>(src + len));
+    data.insert(data.begin() + static_cast<std::ptrdiff_t>(dst),
+                block.begin(), block.end());
+}
+
+void
+Mutator::spliceWith(Bytes &data, const Bytes &other)
+{
+    if (other.empty())
+        return;
+    const std::size_t keep =
+        data.empty() ? 0 : rng_.index(data.size() + 1);
+    const std::size_t from = rng_.index(other.size());
+    data.resize(keep);
+    data.insert(data.end(),
+                other.begin() + static_cast<std::ptrdiff_t>(from),
+                other.end());
+    if (data.size() > maxInputSize_)
+        data.resize(maxInputSize_);
+}
+
+Bytes
+Mutator::mutate(const Bytes &seed,
+                const std::vector<Bytes> &corpus)
+{
+    Bytes child = seed;
+    const int stack = static_cast<int>(rng_.range(1, 8));
+    for (int i = 0; i < stack; i++) {
+        switch (rng_.below(8)) {
+          case 0: flipBit(child); break;
+          case 1: setInteresting(child); break;
+          case 2: addSubtract(child); break;
+          case 3: randomByte(child); break;
+          case 4: insertByte(child); break;
+          case 5: deleteByte(child); break;
+          case 6: duplicateBlock(child); break;
+          case 7:
+            if (!corpus.empty())
+                spliceWith(child, corpus[rng_.index(corpus.size())]);
+            else
+                randomByte(child);
+            break;
+        }
+    }
+    if (child.empty() && rng_.chance(3, 4))
+        child.push_back(static_cast<std::uint8_t>(rng_.next()));
+    return child;
+}
+
+} // namespace compdiff::fuzz

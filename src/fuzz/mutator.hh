@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * AFL++-style mutation operators.
+ *
+ * The havoc stage stacks a random number of elementary operators:
+ * bit flips, interesting-value substitution, bounded arithmetic,
+ * block insertion/deletion/duplication, and splicing with another
+ * seed — the standard repertoire CompDiff-AFL++ inherits unchanged
+ * from AFL++ (the paper adds no mutation machinery).
+ */
+
+#include <vector>
+
+#include "support/bytes.hh"
+#include "support/rng.hh"
+
+namespace compdiff::fuzz
+{
+
+/**
+ * Deterministic mutation engine.
+ */
+class Mutator
+{
+  public:
+    /**
+     * @param rng            Seeded generator (owned).
+     * @param max_input_size Inputs never grow beyond this.
+     */
+    explicit Mutator(support::Rng rng,
+                     std::size_t max_input_size = 256);
+
+    /**
+     * Produce one mutated child via a havoc stack.
+     *
+     * @param seed   Parent input.
+     * @param corpus Other seeds (for splicing); may be empty.
+     */
+    support::Bytes
+    mutate(const support::Bytes &seed,
+           const std::vector<support::Bytes> &corpus);
+
+    // Elementary operators (public for unit tests).
+    void flipBit(support::Bytes &data);
+    void setInteresting(support::Bytes &data);
+    void addSubtract(support::Bytes &data);
+    void randomByte(support::Bytes &data);
+    void insertByte(support::Bytes &data);
+    void deleteByte(support::Bytes &data);
+    void duplicateBlock(support::Bytes &data);
+    void spliceWith(support::Bytes &data,
+                    const support::Bytes &other);
+
+  private:
+    support::Rng rng_;
+    std::size_t maxInputSize_;
+};
+
+} // namespace compdiff::fuzz

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Internal case-construction helpers shared by the per-CWE builders.
+ * Public API lives in suite.hh.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "juliet/suite.hh"
+#include "support/rng.hh"
+
+namespace compdiff::juliet::detail
+{
+
+/**
+ * Juliet-style control-flow wrapping: how a flaw-triggering integer
+ * value reaches the flaw site.
+ */
+struct Flow
+{
+    std::string topDecls; ///< helper functions (fv2)
+    std::string prologue; ///< statements establishing `name`
+    support::Bytes input; ///< input required to trigger
+};
+
+/**
+ * Build the flow for variant fv in [0,4] delivering `value` into an
+ * int variable `name`. When `triggered` is false (good variants or
+ * untaken paths), `safe_value` is delivered instead.
+ */
+Flow valueFlow(int fv, const std::string &name, long value,
+               long safe_value, bool triggered, int uniq);
+
+/**
+ * Statement-level flow wrapping: returns the full main body where
+ * `flaw_stmts` execute under variant fv (good variants pass the
+ * fixed statements instead). `shared_stmts` are emitted before.
+ */
+struct StmtFlow
+{
+    std::string topDecls;
+    std::string body; ///< complete body of main (without braces)
+    support::Bytes input;
+};
+StmtFlow stmtFlow(int fv, const std::string &stmts, int uniq);
+
+/** Per-CWE case builders (index selects flow/data variants). */
+JulietCase makeCase(int cwe, int index, std::uint64_t seed);
+
+/** Weighted data-variant pick: stable per (cwe, index). */
+int pickVariant(int cwe, int index, const int *weights, int count);
+
+} // namespace compdiff::juliet::detail

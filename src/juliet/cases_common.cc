@@ -1,0 +1,125 @@
+#include "juliet/cases.hh"
+
+#include "support/hash.hh"
+#include "support/strings.hh"
+
+namespace compdiff::juliet::detail
+{
+
+using support::format;
+
+Flow
+valueFlow(int fv, const std::string &name, long value,
+          long safe_value, bool triggered, int uniq)
+{
+    Flow flow;
+    const long v = triggered ? value : safe_value;
+    switch (fv) {
+      case 0:
+        flow.prologue = format("int %s = %ld;\n", name.c_str(), v);
+        return flow;
+      case 1:
+        flow.prologue = format(
+            "int flag_%d = 1;\n"
+            "int %s = %ld;\n"
+            "if (flag_%d == 1) { %s = %ld; }\n",
+            uniq, name.c_str(), safe_value, uniq, name.c_str(), v);
+        return flow;
+      case 2:
+        flow.topDecls = format("int source_%d() { return %ld; }\n",
+                               uniq, v);
+        flow.prologue = format("int %s = source_%d();\n",
+                               name.c_str(), uniq);
+        return flow;
+      case 3: {
+        // Deliver the value through a loop induction variable.
+        const long magnitude = v < 0 ? -v : v;
+        flow.prologue = format(
+            "int %s = 0;\n"
+            "for (int fi_%d = 0; fi_%d <= %ld; fi_%d += 1) {\n"
+            "    %s = fi_%d;\n"
+            "}\n",
+            name.c_str(), uniq, uniq, magnitude, uniq, name.c_str(),
+            uniq);
+        if (v < 0) {
+            flow.prologue += format("%s = 0 - %s;\n", name.c_str(),
+                                    name.c_str());
+        }
+        return flow;
+      }
+      default:
+        if (triggered) {
+            flow.prologue = format(
+                "int %s = %ld;\n"
+                "if (input_byte(0) == 66) { %s = %ld; }\n",
+                name.c_str(), safe_value, name.c_str(), v);
+        } else {
+            // Good variant: a properly clamped input-derived value —
+            // the classic shape that imprecise static tools still
+            // flag (the Table 3 false-positive signature).
+            flow.prologue = format(
+                "int %s = input_byte(1);\n"
+                "if (%s < 0 || %s > %ld) { %s = %ld; }\n",
+                name.c_str(), name.c_str(), name.c_str(),
+                safe_value, name.c_str(), safe_value);
+        }
+        flow.input = {66};
+        return flow;
+    }
+}
+
+StmtFlow
+stmtFlow(int fv, const std::string &stmts, int uniq)
+{
+    StmtFlow flow;
+    switch (fv) {
+      case 0:
+        flow.body = stmts;
+        return flow;
+      case 1:
+        flow.body = format("int flag_%d = 1;\n"
+                           "if (flag_%d == 1) {\n%s}\n",
+                           uniq, uniq, stmts.c_str());
+        return flow;
+      case 2:
+        flow.topDecls = format("void action_%d() {\n%s}\n", uniq,
+                               stmts.c_str());
+        flow.body = format("action_%d();\n", uniq);
+        return flow;
+      case 3:
+        flow.body = format(
+            "for (int fi_%d = 0; fi_%d < 3; fi_%d += 1) {\n"
+            "    if (fi_%d == 2) {\n%s    }\n"
+            "}\n",
+            uniq, uniq, uniq, uniq, stmts.c_str());
+        return flow;
+      default:
+        flow.body = format("if (input_byte(0) == 66) {\n%s}\n"
+                           "else { print_str(\"idle\"); }\n",
+                           stmts.c_str());
+        flow.input = {66};
+        return flow;
+    }
+}
+
+int
+pickVariant(int cwe, int index, const int *weights, int count)
+{
+    int total = 0;
+    for (int i = 0; i < count; i++)
+        total += weights[i];
+    const auto roll = static_cast<int>(
+        support::murmurMix64(
+            (static_cast<std::uint64_t>(cwe) << 32) |
+            static_cast<std::uint32_t>(index * 2654435761u)) %
+        static_cast<std::uint64_t>(total));
+    int acc = 0;
+    for (int i = 0; i < count; i++) {
+        acc += weights[i];
+        if (roll < acc)
+            return i;
+    }
+    return count - 1;
+}
+
+} // namespace compdiff::juliet::detail

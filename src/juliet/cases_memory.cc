@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Case builders for the memory-corruption CWEs: 121, 122, 124, 126,
+ * 127, 415, 416, 590, and 680.
+ *
+ * Data-variant design (drives the Table 3 shapes):
+ *  - "near"     variants trespass just past the object: sanitizer
+ *               redzones catch them; layout padding differences make
+ *               many of them diverge too.
+ *  - "neighbor" variants land inside another *valid* object: ASan is
+ *               structurally blind there, while the per-configuration
+ *               layout decides the victim — CompDiff-unique bugs.
+ *  - "silent"   variants corrupt memory that never influences the
+ *               output: ASan catches them, CompDiff cannot.
+ */
+
+#include "juliet/cases.hh"
+
+#include "support/strings.hh"
+
+namespace compdiff::juliet::detail
+{
+
+using support::format;
+
+namespace
+{
+
+std::string
+program(const std::string &top, const std::string &body)
+{
+    return top + "int main() {\n" + body + "return 0;\n}\n";
+}
+
+/** CWE-121 stack-based buffer overflow (write). */
+JulietCase
+cwe121(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {55, 15, 30}; // near / neighbor / silent
+    const int d = pickVariant(121, index, variants, 3);
+    const long size = 8 + 4 * static_cast<long>(rng.below(4));
+
+    auto build = [&](bool bad) {
+        const long idx = bad ? (d == 1 ? size + 16 +
+                                             static_cast<long>(
+                                                 rng.below(3))
+                                       : size +
+                                             static_cast<long>(
+                                                 rng.below(2)))
+                             : size - 1;
+        Flow flow = valueFlow(fv, "idx", idx, size - 1, bad,
+                              index * 10 + 1);
+        std::string body;
+        if (d == 1) {
+            body = format(
+                "char first_%d[%ld];\n"
+                "char second_%d[%ld];\n"
+                "for (int i = 0; i < %ld; i += 1) {\n"
+                "    first_%d[i] = 'a';\n"
+                "    second_%d[i] = 'b';\n"
+                "    second_%d[i + %ld] = 'b';\n"
+                "}\n"
+                "%s"
+                "first_%d[idx] = 'Z';\n"
+                "for (int j = 0; j < %ld; j += 1) {\n"
+                "    print_char(second_%d[j]);\n"
+                "}\n"
+                "newline();\n",
+                index, size, index, size * 2, size, index, index,
+                index, size, flow.prologue.c_str(), index, size * 2,
+                index);
+        } else {
+            body = format(
+                "int sentinel_%d = 7777;\n"
+                "char buf_%d[%ld];\n"
+                "for (int i = 0; i < %ld; i += 1) {\n"
+                "    buf_%d[i] = 'a';\n"
+                "}\n"
+                "%s"
+                "buf_%d[idx] = 'Z';\n",
+                index, index, size, size, index,
+                flow.prologue.c_str(), index);
+            if (d == 0) {
+                body += format("print_int(sentinel_%d);\n"
+                               "print_char(buf_%d[0]);\n"
+                               "newline();\n",
+                               index, index);
+            } else {
+                body += "print_str(\"done\");\nnewline();\n";
+            }
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = d == 1 ? "stack overflow into neighbor"
+                             : d == 0 ? "stack overflow near bound"
+                                      : "silent stack overflow";
+    return out;
+}
+
+/** CWE-122 heap-based buffer overflow. */
+JulietCase
+cwe122(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {45, 25, 30}; // readback / far-read / silent
+    const int d = pickVariant(122, index, variants, 3);
+    const long size = 16 + 16 * static_cast<long>(rng.below(2));
+
+    auto build = [&](bool bad) {
+        const long idx = bad ? (d == 1 ? size + 32 +
+                                             static_cast<long>(
+                                                 rng.below(4))
+                                       : size +
+                                             static_cast<long>(
+                                                 rng.below(4)))
+                             : size - 1;
+        Flow flow = valueFlow(fv, "idx", idx, size - 1, bad,
+                              index * 10 + 2);
+        std::string body;
+        if (d == 1) {
+            // Far read landing in the next chunk's uninitialized
+            // tail: valid memory (ASan-blind), content is the
+            // configuration's heap fill pattern.
+            body = format(
+                "char *p_%d = malloc(%ldL);\n"
+                "char *q_%d = malloc(%ldL);\n"
+                "if (p_%d == 0 || q_%d == 0) { return 1; }\n"
+                "for (int i = 0; i < 4; i += 1) { q_%d[i] = 'q'; }\n"
+                "for (int i = 0; i < %ld; i += 1) { p_%d[i] = 'p'; }\n"
+                "%s"
+                "print_int(p_%d[idx]);\n"
+                "newline();\n",
+                index, size, index, size * 4, index, index, index,
+                size, index, flow.prologue.c_str(), index);
+        } else if (d == 0) {
+            // Write just past the chunk, then read further: the
+            // write trespasses (redzone under ASan); reading one
+            // byte beyond surfaces the heap fill pattern. The good
+            // variant stays strictly inside the chunk.
+            body = format(
+                "char *p_%d = malloc(%ldL);\n"
+                "if (p_%d == 0) { return 1; }\n"
+                "for (int i = 0; i < %ld; i += 1) { p_%d[i] = 'p'; }\n"
+                "%s"
+                "p_%d[idx] = 'W';\n"
+                "print_int(p_%d[idx %s 1]);\n"
+                "newline();\n",
+                index, size, index, size, index,
+                flow.prologue.c_str(), index, index,
+                bad ? "+" : "-");
+        } else {
+            body = format(
+                "char *p_%d = malloc(%ldL);\n"
+                "if (p_%d == 0) { return 1; }\n"
+                "%s"
+                "p_%d[idx] = 'W';\n"
+                "print_str(\"ok\");\nnewline();\n",
+                index, size, index, flow.prologue.c_str(), index);
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "heap buffer overflow";
+    return out;
+}
+
+/** CWE-124 buffer underwrite. */
+JulietCase
+cwe124(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {55, 45}; // stack-victim / heap-silent
+    const int d = pickVariant(124, index, variants, 2);
+    const long size = 8 + 8 * static_cast<long>(rng.below(2));
+
+    auto build = [&](bool bad) {
+        const long idx = bad ? -2 - static_cast<long>(rng.below(6))
+                             : 0;
+        Flow flow = valueFlow(fv, "idx", idx, 0, bad,
+                              index * 10 + 3);
+        std::string body;
+        if (d == 0) {
+            body = format(
+                "long marker_%d = 123456789L;\n"
+                "char buf_%d[%ld];\n"
+                "for (int i = 0; i < %ld; i += 1) {\n"
+                "    buf_%d[i] = 'x';\n"
+                "}\n"
+                "%s"
+                "buf_%d[idx] = 'U';\n"
+                "print_long(marker_%d);\n"
+                "newline();\n",
+                index, index, size, size, index,
+                flow.prologue.c_str(), index, index);
+        } else {
+            body = format(
+                "char *p_%d = malloc(%ldL);\n"
+                "if (p_%d == 0) { return 1; }\n"
+                "%s"
+                "p_%d[idx] = 'U';\n"
+                "print_str(\"ok\");\nnewline();\n",
+                index, size, index, flow.prologue.c_str(), index);
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "buffer underwrite";
+    return out;
+}
+
+/** CWE-126 buffer overread / CWE-127 buffer underread. */
+JulietCase
+cweOverUnderRead(int cwe, int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {40, 30, 30}; // stack / heap / discarded
+    const int d = pickVariant(cwe, index, variants, 3);
+    const long size = 8 + 4 * static_cast<long>(rng.below(4));
+    const bool over = cwe == 126;
+
+    auto build = [&](bool bad) {
+        long idx;
+        if (!bad)
+            idx = over ? size - 1 : 0;
+        else if (over)
+            idx = size + static_cast<long>(rng.below(8));
+        else
+            idx = -1 - static_cast<long>(rng.below(8));
+        Flow flow = valueFlow(fv, "idx", idx, over ? size - 1 : 0,
+                              bad, index * 10 + 4);
+        std::string body;
+        if (d == 1) {
+            body = format(
+                "char *p_%d = malloc(%ldL);\n"
+                "if (p_%d == 0) { return 1; }\n"
+                "for (int i = 0; i < %ld; i += 1) { p_%d[i] = 'h'; }\n"
+                "%s"
+                "int value_%d = p_%d[idx];\n"
+                "print_int(value_%d);\n"
+                "newline();\n",
+                index, size, index, size, index,
+                flow.prologue.c_str(), index, index, index);
+        } else {
+            body = format(
+                "char data_%d[%ld];\n"
+                "for (int i = 0; i < %ld; i += 1) {\n"
+                "    data_%d[i] = (char)(65 + i);\n"
+                "}\n"
+                "%s"
+                "int value_%d = data_%d[idx];\n",
+                index, size, size, index, flow.prologue.c_str(),
+                index, index);
+            if (d == 2) {
+                // Value discarded: no propagation to the output.
+                body += format("if (value_%d == 1234567) {\n"
+                               "    print_str(\"never\");\n"
+                               "}\n"
+                               "print_str(\"steady\");\nnewline();\n",
+                               index);
+            } else {
+                body += format("print_int(value_%d);\nnewline();\n",
+                               index);
+            }
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = over ? "buffer overread" : "buffer underread";
+    return out;
+}
+
+/** CWE-415 double free. */
+JulietCase
+cwe415(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {55, 45}; // immediate / non-top
+    const int d = pickVariant(415, index, variants, 2);
+    const long size = 16 + 16 * static_cast<long>(rng.below(3));
+
+    auto build = [&](bool bad) {
+        std::string flaw;
+        if (d == 0) {
+            flaw = format("char *p = malloc(%ldL);\n"
+                          "if (p == 0) { return; }\n"
+                          "free(p);\n"
+                          "%s"
+                          "print_str(\"freed\");\nnewline();\n",
+                          size, bad ? "free(p);\n" : "");
+        } else {
+            // The repeated chunk is no longer the free-list top:
+            // the glibc-style detector misses it too.
+            flaw = format("char *p = malloc(%ldL);\n"
+                          "char *q = malloc(%ldL);\n"
+                          "if (p == 0 || q == 0) { return; }\n"
+                          "free(p);\n"
+                          "free(q);\n"
+                          "%s"
+                          "print_str(\"freed\");\nnewline();\n",
+                          size, size, bad ? "free(p);\n" : "");
+        }
+        // Wrap in a helper taking no value (statement flow).
+        StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 5);
+        // stmtFlow bodies use `return;` only inside helpers; patch
+        // for inline variants.
+        std::string body = sf.body;
+        if (fv != 2) {
+            body = support::replaceAll(body, "return;", "return 1;");
+        }
+        out.input = sf.input;
+        return program(sf.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "double free";
+    return out;
+}
+
+/** CWE-416 use after free. */
+JulietCase
+cwe416(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {45, 25, 30}; // read / silent-write / reuse
+    const int d = pickVariant(416, index, variants, 3);
+    const long size = 16 + 16 * static_cast<long>(rng.below(3));
+
+    auto build = [&](bool bad) {
+        std::string flaw;
+        if (d == 0) {
+            flaw = format(
+                "int *p = (int *)malloc(%ldL);\n"
+                "if (p == 0) { return; }\n"
+                "p[0] = 424242;\n"
+                "%s"
+                "print_int(p[0]);\nnewline();\n",
+                size, bad ? "free((char *)p);\n" : "");
+        } else if (d == 1) {
+            flaw = format(
+                "int *p = (int *)malloc(%ldL);\n"
+                "if (p == 0) { return; }\n"
+                "p[0] = 1;\n"
+                "%s"
+                "p[1] = 99;\n"
+                "print_str(\"written\");\nnewline();\n",
+                size, bad ? "free((char *)p);\n" : "");
+        } else {
+            // Stale pointer observes whichever later allocation the
+            // configuration's reuse order hands out.
+            flaw = format(
+                "char *a = malloc(%ldL);\n"
+                "char *b = malloc(%ldL);\n"
+                "if (a == 0 || b == 0) { return; }\n"
+                "a[0] = 'A';\n"
+                "b[0] = 'B';\n"
+                "%s"
+                "char *c = malloc(%ldL);\n"
+                "if (c == 0) { return; }\n"
+                "c[0] = 'C';\n"
+                "print_char(a[0]);\nnewline();\n",
+                size, size,
+                bad ? "free(a);\nfree(b);\n" : "free(b);\n", size);
+        }
+        StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 6);
+        std::string body = sf.body;
+        if (fv != 2)
+            body = support::replaceAll(body, "return;", "return 1;");
+        out.input = sf.input;
+        return program(sf.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "use after free";
+    return out;
+}
+
+/** CWE-590 free of memory not on the heap. */
+JulietCase
+cwe590(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {40, 30, 30}; // stack / global / interior
+    const int d = pickVariant(590, index, variants, 2 + (index % 2));
+    const long size = 8 + 8 * static_cast<long>(rng.below(3));
+
+    auto build = [&](bool bad) {
+        std::string top;
+        std::string flaw;
+        if (d == 1) {
+            top = format("char pool_%d[%ld];\n", index, size);
+            flaw = format("char *p = &pool_%d[0];\n"
+                          "%s"
+                          "print_str(\"released\");\nnewline();\n",
+                          index, bad ? "free(p);\n" : "");
+        } else if (d == 2) {
+            flaw = format("char *p = malloc(%ldL);\n"
+                          "if (p == 0) { return; }\n"
+                          "char *q = p + 4;\n"
+                          "free(%s);\n"
+                          "print_str(\"released\");\nnewline();\n",
+                          size, bad ? "q" : "p");
+        } else {
+            flaw = format("char local_%d[%ld];\n"
+                          "local_%d[0] = 'l';\n"
+                          "char *p = &local_%d[0];\n"
+                          "%s"
+                          "print_str(\"released\");\nnewline();\n",
+                          index, size, index, index,
+                          bad ? "free(p);\n" : "");
+        }
+        StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 7);
+        std::string body = sf.body;
+        if (fv != 2)
+            body = support::replaceAll(body, "return;", "return 1;");
+        out.input = sf.input;
+        return program(top + sf.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "free of non-heap memory";
+    return out;
+}
+
+/** CWE-680 integer overflow leading to buffer overflow. */
+JulietCase
+cwe680(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {60, 40}; // readback / silent
+    const int d = pickVariant(680, index, variants, 2);
+    (void)rng;
+
+    auto build = [&](bool bad) {
+        // count*count*16 wraps to 0 for count == 65536: the
+        // allocation ends up tiny and the fill loop trespasses.
+        Flow flow = valueFlow(fv, "count", bad ? 65536 : 10, 10,
+                              bad, index * 10 + 8);
+        std::string body = flow.prologue;
+        body += format(
+            "int bytes_%d = count * count * 16;\n"
+            "char *p_%d = malloc((long)bytes_%d);\n"
+            "if (p_%d == 0) { print_str(\"oom\"); return 0; }\n"
+            "for (int i = 0; i < 40; i += 1) { p_%d[i] = 'f'; }\n",
+            index, index, index, index, index);
+        if (d == 0) {
+            body += format("print_int(p_%d[39]);\n"
+                           "newline();\n",
+                           index);
+        } else {
+            body += "print_str(\"filled\");\nnewline();\n";
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "integer overflow to buffer overflow";
+    return out;
+}
+
+} // namespace
+
+JulietCase
+makeMemoryCase(int cwe, int index, std::uint64_t seed)
+{
+    support::Rng rng(seed ^ (static_cast<std::uint64_t>(cwe) << 32) ^
+                     static_cast<std::uint64_t>(index));
+    const int fv = index % 5;
+    JulietCase out;
+    switch (cwe) {
+      case 121: out = cwe121(index, fv, rng); break;
+      case 122: out = cwe122(index, fv, rng); break;
+      case 124: out = cwe124(index, fv, rng); break;
+      case 126:
+      case 127: out = cweOverUnderRead(cwe, index, fv, rng); break;
+      case 415: out = cwe415(index, fv, rng); break;
+      case 416: out = cwe416(index, fv, rng); break;
+      case 590: out = cwe590(index, fv, rng); break;
+      case 680: out = cwe680(index, fv, rng); break;
+      default: break;
+    }
+    out.cwe = cwe;
+    return out;
+}
+
+} // namespace compdiff::juliet::detail

@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Case builders for the non-memory CWEs: 475 (API misuse), 588 (bad
+ * struct pointer), 685 (wrong argument count), 758 (miscellaneous
+ * UB), 190/191 (integer overflow/underflow), 369 (divide by zero),
+ * 476 (null dereference), 457/665 (uninitialized memory), and 469
+ * (pointer subtraction).
+ */
+
+#include "juliet/cases.hh"
+
+#include "support/strings.hh"
+
+namespace compdiff::juliet::detail
+{
+
+using support::format;
+
+namespace
+{
+
+std::string
+program(const std::string &top, const std::string &body)
+{
+    return top + "int main() {\n" + body + "return 0;\n}\n";
+}
+
+/** CWE-475 undefined behavior for input to API (memcpy overlap). */
+JulietCase
+cwe475(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const long size = 16 + 8 * static_cast<long>(rng.below(2));
+    const long shift = 2 + static_cast<long>(rng.below(3));
+
+    auto build = [&](bool bad) {
+        // Overlapping copy when `delta` < n; the good variant copies
+        // into a disjoint region.
+        Flow flow = valueFlow(fv, "delta", shift, size / 2 + 4, bad,
+                              index * 10 + 1);
+        std::string body = format(
+            "char buf_%d[%ld];\n"
+            "for (int i = 0; i < %ld; i += 1) {\n"
+            "    buf_%d[i] = (char)(97 + i);\n"
+            "}\n"
+            "%s"
+            "memcpy(buf_%d + delta, buf_%d, %ldL);\n"
+            "for (int j = 0; j < %ld; j += 1) {\n"
+            "    print_char(buf_%d[j]);\n"
+            "}\n"
+            "newline();\n",
+            index, size * 2, size, index, flow.prologue.c_str(),
+            index, index, size / 2 + 2, size, index);
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "overlapping memcpy";
+    return out;
+}
+
+/** CWE-588 access of child of a non-structure pointer. */
+JulietCase
+cwe588(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {50, 50}; // pad-zone / neighbor
+    const int d = pickVariant(588, index, variants, 2);
+    (void)rng;
+    (void)fv;
+
+    auto build = [&](bool bad) {
+        std::string top = format(
+            "struct wide_%d {\n"
+            "    long head;\n"
+            "    long mid;\n"
+            "    long tail;\n"
+            "    long deep;\n"
+            "    long deeper;\n"
+            "    long deepest;\n"
+            "};\n",
+            index);
+        // A 16-byte raw buffer reinterpreted as a 32-byte struct:
+        // tail/deep live beyond the real object.
+        std::string body;
+        if (d == 0) {
+            body = format(
+                "char raw_%d[16];\n"
+                "for (int i = 0; i < 16; i += 1) { raw_%d[i] = 1; }\n"
+                "struct wide_%d *w = (struct wide_%d *)&raw_%d[0];\n"
+                "print_long(%s);\n"
+                "newline();\n",
+                index, index, index, index, index,
+                bad ? "w->tail" : "w->head");
+        } else {
+            body = format(
+                "char raw_%d[16];\n"
+                "char after_%d[32];\n"
+                "for (int i = 0; i < 16; i += 1) {\n"
+                "    raw_%d[i] = 2;\n"
+                "    after_%d[i] = 3;\n"
+                "    after_%d[i + 16] = 4;\n"
+                "}\n"
+                "struct wide_%d *w = (struct wide_%d *)&raw_%d[0];\n"
+                "print_long(%s);\n"
+                "newline();\n",
+                index, index, index, index, index, index, index,
+                index, bad ? "w->deeper" : "w->mid");
+        }
+        return program(top, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "non-struct pointer field access";
+    return out;
+}
+
+/** CWE-685 function call with incorrect number of arguments. */
+JulietCase
+cwe685(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    (void)rng;
+
+    auto build = [&](bool bad) {
+        std::string top = format(
+            "int combine_%d(int base, int extra) {\n"
+            "    return base * 100 + extra;\n"
+            "}\n",
+            index);
+        const std::string call =
+            bad ? format("int got = combine_%d(7);\n", index)
+                : format("int got = combine_%d(7, 5);\n", index);
+        StmtFlow sf = stmtFlow(
+            fv, call + "print_int(got);\nnewline();\n",
+            index * 10 + 2);
+        out.input = sf.input;
+        // fv2 wraps in a void helper; `got` stays local to it.
+        return program(top + sf.topDecls, sf.body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "call with missing argument";
+    return out;
+}
+
+/** CWE-758 miscellaneous undefined behavior. */
+JulietCase
+cwe758(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {40, 40, 20}; // shift / eval-order / neg
+    const int d = pickVariant(758, index, variants, 3);
+    const long width_excess =
+        33 + static_cast<long>(rng.below(20));
+
+    auto build = [&](bool bad) {
+        if (d == 1) {
+            // Unsequenced conflicting side effects: two calls using
+            // one static buffer, both arguments of the same call.
+            std::string top = format(
+                "char shared_%d[16];\n"
+                "char *render_%d(int v) {\n"
+                "    shared_%d[0] = (char)(48 + v);\n"
+                "    shared_%d[1] = 0;\n"
+                "    return shared_%d;\n"
+                "}\n"
+                "void pair_%d(char *a, char *b) {\n"
+                "    print_str(a);\n"
+                "    print_str(\"/\");\n"
+                "    print_str(b);\n"
+                "}\n",
+                index, index, index, index, index, index);
+            std::string flaw;
+            if (bad) {
+                flaw = format("pair_%d(render_%d(1), render_%d(2));\n"
+                              "newline();\n",
+                              index, index, index);
+            } else {
+                flaw = format("char first_%d[4];\n"
+                              "strcpy(first_%d, render_%d(1));\n"
+                              "pair_%d(first_%d, render_%d(2));\n"
+                              "newline();\n",
+                              index, index, index, index, index,
+                              index);
+            }
+            StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 3);
+            out.input = sf.input;
+            return program(top + sf.topDecls, sf.body);
+        }
+
+        // Oversized / negative shift counts.
+        const long count = d == 2 ? -3 : width_excess;
+        Flow flow = valueFlow(fv, "shift", count, 3, bad,
+                              index * 10 + 3);
+        std::string body = flow.prologue;
+        body += format("int value_%d = 1 << shift;\n"
+                       "print_int(value_%d);\n"
+                       "newline();\n",
+                       index, index);
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = d == 1 ? "unsequenced side effects"
+                             : "invalid shift count";
+    return out;
+}
+
+/** CWE-190/191 integer overflow / underflow. */
+JulietCase
+cweIntegerError(int cwe, int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    // plain-int / dead-int / plain-long / guard-int / guard-long /
+    // widened-multiply
+    const int variants[] = {20, 10, 40, 8, 7, 15};
+    const int d = pickVariant(cwe, index, variants, 6);
+    const bool under = cwe == 191;
+    const long step = 1 + static_cast<long>(rng.below(9));
+
+    auto build = [&](bool bad) {
+        // The guard variants wrap INT_MIN by *adding* a negative
+        // delta (the fold target is the `a + b cmp a` shape).
+        const bool guard = d == 3 || d == 4;
+        const long bad_delta = guard && under ? -step : step;
+        Flow flow = valueFlow(fv, "delta", bad ? bad_delta : 0,
+                              0, bad, index * 10 + 4);
+        std::string body = flow.prologue;
+        const char *op = under ? "-" : "+";
+        switch (d) {
+          case 0: // plain int overflow, result printed
+            body += format(
+                "int edge_%d = %s;\n"
+                "int result_%d = edge_%d %s delta;\n"
+                "print_int(result_%d);\nnewline();\n",
+                index, under ? "-2147483647 - 1" : "2147483647",
+                index, index, op, index);
+            break;
+          case 1: // overflow computed but never used
+            body += format(
+                "int edge_%d = %s;\n"
+                "int result_%d = edge_%d %s delta;\n"
+                "print_str(\"quiet\");\nnewline();\n",
+                index, under ? "-2147483647 - 1" : "2147483647",
+                index, index, op);
+            break;
+          case 2: // 64-bit overflow (outside UBSan-sim's checks)
+            body += format(
+                "long edge_%d = %s;\n"
+                "long result_%d = edge_%d %s (long)delta;\n"
+                "print_long(result_%d);\nnewline();\n",
+                index,
+                under ? "-9223372036854775807L - 1L"
+                      : "9223372036854775807L",
+                index, index, op, index);
+            break;
+          case 3: // int wrap guard (inline; folded by optimizers)
+            body += format(
+                "int edge_%d = %s;\n"
+                "if (edge_%d + delta %s edge_%d) {\n"
+                "    print_str(\"wrapped\");\n"
+                "} else { print_str(\"fits\"); }\n"
+                "newline();\n",
+                index, under ? "-2147483647 - 1" : "2147483647",
+                index, under ? ">" : "<", index);
+            break;
+          case 4: // long wrap guard
+            body += format(
+                "long edge_%d = %s;\n"
+                "if (edge_%d + (long)delta %s edge_%d) {\n"
+                "    print_str(\"wrapped\");\n"
+                "} else { print_str(\"fits\"); }\n"
+                "newline();\n",
+                index,
+                under ? "-9223372036854775807L - 1L"
+                      : "9223372036854775807L",
+                index, under ? ">" : "<", index);
+            break;
+          default: // widened multiply feeding a long
+            body += format(
+                "int a_%d = 100000 %s delta;\n"
+                "int b_%d = 100000;\n"
+                "long total_%d = 1L + a_%d * b_%d;\n"
+                "print_long(total_%d);\nnewline();\n",
+                index, under ? "-" : "+", index, index, index,
+                index, index);
+            break;
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+
+    // For variant 5 the good case must avoid the overflow entirely.
+    if (d == 5) {
+        auto build5 = [&](bool bad) {
+            Flow flow = valueFlow(fv, "scale",
+                                  bad ? 100000 : 10, 10, bad,
+                                  index * 10 + 4);
+            std::string body = flow.prologue;
+            body += format("int b_%d = 100000;\n"
+                           "long total_%d = 1L + scale * b_%d;\n"
+                           "print_long(total_%d);\nnewline();\n",
+                           index, index, index, index);
+            out.input = flow.input;
+            return program(flow.topDecls, body);
+        };
+        out.badSource = build5(true);
+        out.goodSource = build5(false);
+    } else {
+        out.badSource = build(true);
+        out.goodSource = build(false);
+    }
+    out.description = under ? "integer underflow" : "integer overflow";
+    return out;
+}
+
+/** CWE-369 divide by zero. */
+JulietCase
+cwe369(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {30, 25, 45}; // live / dead / float
+    const int d = pickVariant(369, index, variants, 3);
+    const long numerator = 10 + static_cast<long>(rng.below(90));
+
+    auto build = [&](bool bad) {
+        Flow flow = valueFlow(fv, "divisor", 0, 4, bad,
+                              index * 10 + 5);
+        std::string body = flow.prologue;
+        switch (d) {
+          case 0:
+            body += format("print_int(%ld / divisor);\nnewline();\n",
+                           numerator);
+            break;
+          case 1: // quotient never used: optimizers delete the trap
+            body += format(
+                "int q_%d = %ld %s divisor;\n"
+                "print_str(\"survived\");\nnewline();\n",
+                index, numerator, index % 2 ? "%" : "/");
+            break;
+          default: // IEEE float division: defined, but still flawed
+            body += format(
+                "double q_%d = %ld.0 / (double)divisor;\n"
+                "if (q_%d > 1000000.0) { print_str(\"huge\"); }\n"
+                "else { print_f(q_%d); }\n"
+                "newline();\n",
+                index, numerator, index, index);
+            break;
+        }
+        out.input = flow.input;
+        return program(flow.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "division by zero";
+    return out;
+}
+
+/** CWE-476 null pointer dereference. */
+JulietCase
+cwe476(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {40, 35, 10, 15};
+    // store-null / load-null / wild-vendor-pointer / helper-null
+    const int d = pickVariant(476, index, variants, 4);
+    (void)rng;
+
+    auto build = [&](bool bad) {
+        std::string top;
+        std::string flaw;
+        switch (d) {
+          case 0:
+            flaw = format("int box_%d = 5;\n"
+                          "int *p = %s;\n"
+                          "*p = 42;\n"
+                          "print_str(\"stored\");\nnewline();\n",
+                          index, bad ? "0" : format("&box_%d", index)
+                                                 .c_str());
+            break;
+          case 1:
+            flaw = format("int box_%d = 9;\n"
+                          "int *p = %s;\n"
+                          "int v = *p;\n"
+                          "print_int(v);\nnewline();\n",
+                          index, bad ? "0" : format("&box_%d", index)
+                                                 .c_str());
+            break;
+          case 2:
+            // A wild pointer into a vendor-dependent address: mapped
+            // under one address-space layout, unmapped under the
+            // other. Outside the sanitizers' null page.
+            flaw = format("int box_%d = 3;\n"
+                          "long raw_%d = %s;\n"
+                          "int *p = (int *)raw_%d;\n"
+                          "%s"
+                          "print_int(*p);\nnewline();\n",
+                          index, index,
+                          bad ? "0x01000008L" : "0L", index,
+                          bad ? ""
+                              : format("p = &box_%d;\n", index)
+                                    .c_str());
+            break;
+          default:
+            top = format("int fetch_%d(int *q) { return *q; }\n",
+                         index);
+            flaw = format("int box_%d = 4;\n"
+                          "int *p = %s;\n"
+                          "print_int(fetch_%d(p));\nnewline();\n",
+                          index,
+                          bad ? "0" : format("&box_%d", index)
+                                          .c_str(),
+                          index);
+            break;
+        }
+        StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 6);
+        out.input = sf.input;
+        return program(top + sf.topDecls, sf.body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "null pointer dereference";
+    return out;
+}
+
+/** CWE-457 use of uninitialized variable / CWE-665 improper init. */
+JulietCase
+cweUninit(int cwe, int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    // print-local / eq-branch / heap-print / nz-branch
+    const int variants[] = {50, 5, 35, 10};
+    const int d = pickVariant(cwe, index, variants, 4);
+    const long size = 8 + 8 * static_cast<long>(rng.below(2));
+    const bool partial = cwe == 665;
+
+    auto build = [&](bool bad) {
+        std::string flaw;
+        switch (d) {
+          case 0: {
+            if (partial) {
+                // Improper initialization: only half the buffer is
+                // set before the whole is consumed.
+                flaw = format(
+                    "char mem_%d[%ld];\n"
+                    "for (int i = 0; i < %ld; i += 1) {\n"
+                    "    mem_%d[i] = 'v';\n"
+                    "}\n"
+                    "int acc_%d = 0;\n"
+                    "for (int j = 0; j < %ld; j += 1) {\n"
+                    "    acc_%d += mem_%d[j];\n"
+                    "}\n"
+                    "print_int(acc_%d);\nnewline();\n",
+                    index, size, bad ? size / 2 : size, index, index,
+                    size, index, index, index);
+            } else {
+                flaw = format("int fresh_%d%s;\n"
+                              "print_int(fresh_%d);\nnewline();\n",
+                              index, bad ? "" : " = 11", index);
+            }
+            break;
+          }
+          case 1:
+            flaw = format("int fresh_%d%s;\n"
+                          "if (fresh_%d == 19770325) {\n"
+                          "    print_str(\"jackpot\");\n"
+                          "}\n"
+                          "print_str(\"end\");\nnewline();\n",
+                          index, bad ? "" : " = 1", index);
+            break;
+          case 2:
+            flaw = format(
+                "int *cells_%d = (int *)malloc(%ldL);\n"
+                "if (cells_%d == 0) { return; }\n"
+                "cells_%d[0] = 10;\n"
+                "%s"
+                "print_int(cells_%d[1]);\nnewline();\n",
+                index, size * 4, index, index,
+                bad ? "" : format("cells_%d[1] = 20;\n", index)
+                               .c_str(),
+                index);
+            break;
+          default:
+            flaw = format("int fresh_%d%s;\n"
+                          "if (fresh_%d != 0) {\n"
+                          "    print_str(\"set\");\n"
+                          "} else {\n"
+                          "    print_str(\"zero\");\n"
+                          "}\n"
+                          "newline();\n",
+                          index, bad ? "" : " = 5", index);
+            break;
+        }
+        StmtFlow sf = stmtFlow(fv, flaw, index * 10 + 7);
+        std::string body = sf.body;
+        if (fv != 2)
+            body = support::replaceAll(body, "return;", "return 1;");
+        out.input = sf.input;
+        return program(sf.topDecls, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = partial ? "improper initialization"
+                              : "use of uninitialized variable";
+    return out;
+}
+
+/** CWE-469 pointer subtraction to determine size. */
+JulietCase
+cwe469(int index, int fv, support::Rng &rng)
+{
+    JulietCase out;
+    const int variants[] = {50, 50}; // globals / locals
+    const int d = pickVariant(469, index, variants, 2);
+    const long size = 16 + 16 * static_cast<long>(rng.below(2));
+    (void)fv;
+
+    auto build = [&](bool bad) {
+        std::string top;
+        std::string body;
+        if (d == 0) {
+            top = format("char pool_a_%d[%ld];\n"
+                         "char pool_b_%d[%ld];\n",
+                         index, size, index, size * 2);
+            body = format(
+                "char *start = &pool_a_%d[0];\n"
+                "char *end = %s;\n"
+                "long gap = end - start;\n"
+                "print_long(gap);\nnewline();\n",
+                index,
+                bad ? format("&pool_b_%d[0]", index).c_str()
+                    : format("&pool_a_%d[%ld]", index, size)
+                          .c_str());
+        } else {
+            body = format(
+                "char near_%d[%ld];\n"
+                "long far_%d[%ld];\n"
+                "near_%d[0] = 'n';\n"
+                "far_%d[0] = 1L;\n"
+                "char *start = &near_%d[0];\n"
+                "char *end = %s;\n"
+                "long gap = end - start;\n"
+                "print_long(gap);\nnewline();\n",
+                index, size, index, size / 4, index, index, index,
+                bad ? format("(char *)&far_%d[0]", index).c_str()
+                    : format("&near_%d[%ld]", index, size).c_str());
+        }
+        return program(top, body);
+    };
+    out.badSource = build(true);
+    out.goodSource = build(false);
+    out.description = "cross-object pointer subtraction";
+    return out;
+}
+
+} // namespace
+
+JulietCase
+makeOtherCase(int cwe, int index, std::uint64_t seed)
+{
+    support::Rng rng(seed ^ (static_cast<std::uint64_t>(cwe) << 32) ^
+                     static_cast<std::uint64_t>(index) ^ 0x5151);
+    const int fv = index % 5;
+    JulietCase out;
+    switch (cwe) {
+      case 475: out = cwe475(index, fv, rng); break;
+      case 588: out = cwe588(index, fv, rng); break;
+      case 685: out = cwe685(index, fv, rng); break;
+      case 758: out = cwe758(index, fv, rng); break;
+      case 190:
+      case 191: out = cweIntegerError(cwe, index, fv, rng); break;
+      case 369: out = cwe369(index, fv, rng); break;
+      case 476: out = cwe476(index, fv, rng); break;
+      case 457:
+      case 665: out = cweUninit(cwe, index, fv, rng); break;
+      case 469: out = cwe469(index, fv, rng); break;
+      default: break;
+    }
+    out.cwe = cwe;
+    return out;
+}
+
+} // namespace compdiff::juliet::detail

@@ -1,0 +1,194 @@
+#include "juliet/evaluate.hh"
+
+#include "analysis/static_analyzer.hh"
+#include "compdiff/engine.hh"
+#include "minic/parser.hh"
+#include "sanitizers/sanitizers.hh"
+#include "support/logging.hh"
+
+namespace compdiff::juliet
+{
+
+using analysis::Finding;
+using analysis::FindingKind;
+using compiler::Sanitizer;
+
+std::vector<int>
+expectedFindingKinds(int cwe)
+{
+    auto kind = [](FindingKind k) { return static_cast<int>(k); };
+    switch (cwe) {
+      case 121: case 122: case 124: case 126: case 127: case 588:
+        return {kind(FindingKind::BufferOverflow)};
+      case 680:
+        return {kind(FindingKind::BufferOverflow),
+                kind(FindingKind::IntOverflow)};
+      case 415:
+        return {kind(FindingKind::DoubleFree)};
+      case 416:
+        return {kind(FindingKind::UseAfterFree)};
+      case 590:
+        return {kind(FindingKind::InvalidFree)};
+      case 475:
+        return {kind(FindingKind::ApiMisuse),
+                kind(FindingKind::BufferOverflow)};
+      case 685:
+        return {kind(FindingKind::ArgMismatch)};
+      case 758:
+        return {kind(FindingKind::BadShift)};
+      case 190: case 191:
+        return {kind(FindingKind::IntOverflow)};
+      case 369:
+        return {kind(FindingKind::DivByZero)};
+      case 476:
+        return {kind(FindingKind::NullDeref)};
+      case 457: case 665:
+        return {kind(FindingKind::UninitRead)};
+      case 469:
+        return {}; // no static tool models this (Table 3)
+      default:
+        return {};
+    }
+}
+
+const GroupResult *
+EvaluationResult::findGroup(const std::string &name) const
+{
+    for (const auto &group : groups)
+        if (group.group == name)
+            return &group;
+    return nullptr;
+}
+
+std::size_t
+EvaluationResult::totalDetected(const std::string &tool) const
+{
+    std::size_t total = 0;
+    for (const auto &group : groups) {
+        auto it = group.tools.find(tool);
+        if (it != group.tools.end())
+            total += it->second.detected;
+    }
+    return total;
+}
+
+namespace
+{
+
+bool
+matchesExpected(const std::vector<Finding> &findings,
+                const std::vector<int> &kinds)
+{
+    for (const auto &finding : findings)
+        for (int k : kinds)
+            if (static_cast<int>(finding.kind) == k)
+                return true;
+    return false;
+}
+
+} // namespace
+
+EvaluationResult
+evaluateSuite(const std::vector<JulietCase> &cases,
+              const EvaluationOptions &options)
+{
+    EvaluationResult result;
+    result.totalCases = cases.size();
+
+    std::map<std::string, GroupResult> groups;
+    for (const auto &name : tableGroups()) {
+        groups[name].group = name;
+    }
+
+    const auto analyzers = analysis::allStaticAnalyzers();
+
+    for (const auto &test : cases) {
+        GroupResult &group = groups[test.group];
+        const auto kinds = expectedFindingKinds(test.cwe);
+
+        std::unique_ptr<minic::Program> bad;
+        std::unique_ptr<minic::Program> good;
+        try {
+            bad = minic::parseAndCheck(test.badSource);
+            good = minic::parseAndCheck(test.goodSource);
+        } catch (const support::CompileError &error) {
+            support::fatal("case " + test.id +
+                           " failed to compile: " + error.what());
+        }
+
+        // --- static analyzers ---
+        if (options.runStatic) {
+            for (const auto &tool : analyzers) {
+                ToolOutcome &outcome = group.tools[tool->name()];
+                outcome.badTotal++;
+                outcome.goodTotal++;
+                if (matchesExpected(tool->analyze(*bad), kinds))
+                    outcome.detected++;
+                if (matchesExpected(tool->analyze(*good), kinds))
+                    outcome.falsePositives++;
+            }
+        }
+
+        // --- sanitizers ---
+        bool any_sanitizer = false;
+        if (options.runSanitizers) {
+            sanitizers::SanitizerRunner bad_runner(*bad,
+                                                   options.limits);
+            sanitizers::SanitizerRunner good_runner(*good,
+                                                    options.limits);
+            const struct
+            {
+                Sanitizer which;
+                const char *name;
+            } tools[] = {
+                {Sanitizer::ASan, "asan"},
+                {Sanitizer::UBSan, "ubsan"},
+                {Sanitizer::MSan, "msan"},
+            };
+            for (const auto &tool : tools) {
+                ToolOutcome &outcome = group.tools[tool.name];
+                outcome.badTotal++;
+                outcome.goodTotal++;
+                if (bad_runner.check(tool.which, test.input).fired) {
+                    outcome.detected++;
+                    any_sanitizer = true;
+                }
+                if (good_runner.check(tool.which, test.input).fired)
+                    outcome.falsePositives++;
+            }
+            ToolOutcome &combined = group.tools["sanitizers-any"];
+            combined.badTotal++;
+            combined.goodTotal++;
+            if (any_sanitizer)
+                combined.detected++;
+        }
+
+        // --- CompDiff ---
+        if (options.runCompDiff) {
+            core::DiffOptions diff_options;
+            diff_options.limits = options.limits;
+            core::DiffEngine bad_engine(*bad, options.configs,
+                                        diff_options);
+            core::DiffEngine good_engine(*good, options.configs,
+                                         diff_options);
+            ToolOutcome &outcome = group.tools["compdiff"];
+            outcome.badTotal++;
+            outcome.goodTotal++;
+            auto bad_diff = bad_engine.runInput(test.input);
+            if (bad_diff.divergent) {
+                outcome.detected++;
+                if (options.runSanitizers && !any_sanitizer)
+                    group.compdiffUnique++;
+            }
+            if (good_engine.runInput(test.input).divergent)
+                outcome.falsePositives++;
+            result.badHashVectors.push_back(bad_diff.hashVector());
+        }
+    }
+
+    for (const auto &name : tableGroups())
+        result.groups.push_back(std::move(groups[name]));
+    return result;
+}
+
+} // namespace compdiff::juliet

@@ -1,0 +1,105 @@
+#pragma once
+
+/**
+ * @file
+ * The Juliet evaluation harness (paper Section 4.1, Table 3).
+ *
+ * For every test case it runs:
+ *  - the three static analyzers on the bad and good variants
+ *    (detection = a finding of the CWE's expected kind; false
+ *    positive = the same on the good variant),
+ *  - the three sanitizers on the bad and good variants (detection =
+ *    a sanitizer report on the case input),
+ *  - CompDiff with the standard ten implementations (detection =
+ *    output divergence on the case input).
+ *
+ * It aggregates rates per Table 3 row group, counts the bugs only
+ * CompDiff finds (the #Unique column), and records every bad case's
+ * per-implementation output-hash vector for the Figure 1 subset
+ * analysis.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/config.hh"
+#include "juliet/suite.hh"
+#include "vm/vm.hh"
+
+namespace compdiff::juliet
+{
+
+/** Per-tool tally within one row group. */
+struct ToolOutcome
+{
+    std::size_t detected = 0;
+    std::size_t falsePositives = 0;
+    std::size_t badTotal = 0;
+    std::size_t goodTotal = 0;
+
+    double
+    detectionRate() const
+    {
+        return badTotal ? 100.0 * static_cast<double>(detected) /
+                              static_cast<double>(badTotal)
+                        : 0.0;
+    }
+
+    double
+    falsePositiveRate() const
+    {
+        const std::size_t reports = detected + falsePositives;
+        return reports ? 100.0 *
+                             static_cast<double>(falsePositives) /
+                             static_cast<double>(reports)
+                       : 0.0;
+    }
+};
+
+/** One Table 3 row. */
+struct GroupResult
+{
+    std::string group;
+    /** Keys: deepscan, lintcheck, inferlite, asan, ubsan, msan,
+     *  sanitizers-any, compdiff. */
+    std::map<std::string, ToolOutcome> tools;
+    /** Bugs detected by CompDiff but by no sanitizer. */
+    std::size_t compdiffUnique = 0;
+};
+
+/** Full evaluation output. */
+struct EvaluationResult
+{
+    std::vector<GroupResult> groups;
+    /** Per bad case: output hash under each implementation
+     *  (configuration order), for subset analysis. */
+    std::vector<std::vector<std::uint64_t>> badHashVectors;
+    std::size_t totalCases = 0;
+
+    const GroupResult *findGroup(const std::string &name) const;
+
+    /** Sum of a tool's detections across all groups. */
+    std::size_t totalDetected(const std::string &tool) const;
+};
+
+/** Harness knobs. */
+struct EvaluationOptions
+{
+    vm::VmLimits limits;
+    bool runStatic = true;
+    bool runSanitizers = true;
+    bool runCompDiff = true;
+    std::vector<compiler::CompilerConfig> configs =
+        compiler::standardImplementations();
+};
+
+/** Evaluate all tools over a set of cases. */
+EvaluationResult evaluateSuite(const std::vector<JulietCase> &cases,
+                               const EvaluationOptions &options = {});
+
+/** Static finding kinds that count as detecting a given CWE. */
+std::vector<int> expectedFindingKinds(int cwe);
+
+} // namespace compdiff::juliet

@@ -1,0 +1,129 @@
+#include "juliet/suite.hh"
+
+#include <algorithm>
+
+#include "juliet/cases.hh"
+#include "support/strings.hh"
+
+namespace compdiff::juliet
+{
+
+namespace detail
+{
+// Defined in cases_memory.cc / cases_other.cc.
+JulietCase makeMemoryCase(int cwe, int index, std::uint64_t seed);
+JulietCase makeOtherCase(int cwe, int index, std::uint64_t seed);
+
+JulietCase
+makeCase(int cwe, int index, std::uint64_t seed)
+{
+    switch (cwe) {
+      case 121: case 122: case 124: case 126: case 127:
+      case 415: case 416: case 590: case 680:
+        return makeMemoryCase(cwe, index, seed);
+      default:
+        return makeOtherCase(cwe, index, seed);
+    }
+}
+} // namespace detail
+
+const std::vector<CweInfo> &
+cweCatalog()
+{
+    // Table 2 of the paper, verbatim counts.
+    static const std::vector<CweInfo> catalog = {
+        {121, "Stack Based Buffer Overflow", 2951, "Memory error"},
+        {122, "Heap Based Buffer Overflow", 3575, "Memory error"},
+        {124, "Buffer Underwrite", 1024, "Memory error"},
+        {126, "Buffer Overread", 721, "Memory error"},
+        {127, "Buffer Underread", 1022, "Memory error"},
+        {415, "Double Free", 820, "Memory error"},
+        {416, "Use After Free", 394, "Memory error"},
+        {475, "Undefined Behavior for Input to API", 18,
+         "UB for input to API"},
+        {588, "Access Child of Non Struct. Pointer", 80,
+         "Bad struct. pointer"},
+        {590, "Free Memory Not on Heap", 2280, "Memory error"},
+        {685, "Function Call With Incorrect #Args.", 18,
+         "Bad function call"},
+        {758, "Undefined Behavior", 523, "UB"},
+        {190, "Integer Overflow", 1564, "Integer error"},
+        {191, "Integer Underflow", 1169, "Integer error"},
+        {369, "Divide by Zero", 437, "Divide by zero"},
+        {476, "NULL Pointer Dereference", 306, "Null pointer deref."},
+        {680, "Integer Overflow to Buffer Overflow", 196,
+         "Integer error"},
+        {457, "Use of Uninitialized Variable", 928,
+         "Uninitialized memory"},
+        {665, "Improper Initialization", 98, "Uninitialized memory"},
+        {469, "Use of Pointer Sub. to Determine Size", 18,
+         "UB of pointer sub."},
+    };
+    return catalog;
+}
+
+std::vector<std::string>
+tableGroups()
+{
+    return {
+        "Memory error",        "UB for input to API",
+        "Bad struct. pointer", "Bad function call",
+        "UB",                  "Integer error",
+        "Divide by zero",      "Null pointer deref.",
+        "Uninitialized memory", "UB of pointer sub.",
+    };
+}
+
+SuiteBuilder::SuiteBuilder(double scale, std::uint64_t seed)
+    : scale_(scale), seed_(seed)
+{}
+
+std::size_t
+SuiteBuilder::countFor(int cwe) const
+{
+    for (const auto &info : cweCatalog()) {
+        if (info.cwe == cwe) {
+            const auto scaled = static_cast<std::size_t>(
+                static_cast<double>(info.paperCount) * scale_);
+            return std::max<std::size_t>(scaled, 5);
+        }
+    }
+    return 0;
+}
+
+std::vector<JulietCase>
+SuiteBuilder::buildCwe(int cwe) const
+{
+    const CweInfo *info = nullptr;
+    for (const auto &entry : cweCatalog())
+        if (entry.cwe == cwe)
+            info = &entry;
+    if (!info)
+        return {};
+
+    std::vector<JulietCase> cases;
+    const std::size_t count = countFor(cwe);
+    for (std::size_t i = 0; i < count; i++) {
+        JulietCase test =
+            detail::makeCase(cwe, static_cast<int>(i), seed_);
+        test.id = support::format("CWE%d_fv%zu_n%03zu", cwe, i % 5,
+                                  i);
+        test.group = info->group;
+        cases.push_back(std::move(test));
+    }
+    return cases;
+}
+
+std::vector<JulietCase>
+SuiteBuilder::buildAll() const
+{
+    std::vector<JulietCase> all;
+    for (const auto &info : cweCatalog()) {
+        auto cases = buildCwe(info.cwe);
+        std::move(cases.begin(), cases.end(),
+                  std::back_inserter(all));
+    }
+    return all;
+}
+
+} // namespace compdiff::juliet

@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * The synthesized Juliet-style benchmark suite (paper Section 4.1).
+ *
+ * NIST's Juliet C/C++ suite is not redistributable inside this
+ * repository, so we synthesize an equivalent corpus: the same twenty
+ * CWEs the paper selects (Table 2), each test a self-contained
+ * program in a *bad* (flawed) and a *good* (fixed) variant, with
+ * Juliet-style control-flow variants wrapped around the flaw:
+ *
+ *   fv0  straight-line code with constant data
+ *   fv1  flaw guarded by an always-true flag variable
+ *   fv2  flawed value routed through a helper function
+ *   fv3  flaw reached through a loop induction variable
+ *   fv4  flaw gated on a specific input byte (input provided)
+ *
+ * Within each CWE, data variants further control which tools *can*
+ * see the flaw (e.g. whether an out-of-bounds read propagates to the
+ * program output, whether an overflow lands in a redzone or in a
+ * neighboring object) — this is where the Table 3 detection-rate
+ * differences between sanitizers and CompDiff come from.
+ *
+ * Case counts follow Table 2 proportions, scaled by a configurable
+ * factor (default 1/16).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hh"
+#include "support/rng.hh"
+
+namespace compdiff::juliet
+{
+
+/** One synthesized test case (bad + good variant pair). */
+struct JulietCase
+{
+    std::string id;        ///< e.g. "CWE121_fv2_n07"
+    int cwe = 0;
+    std::string group;     ///< Table 3 row key
+    std::string description;
+    std::string badSource;
+    std::string goodSource;
+    support::Bytes input;  ///< the input both variants run on
+};
+
+/** Catalog entry mirroring one row of the paper's Table 2. */
+struct CweInfo
+{
+    int cwe;
+    const char *description;
+    int paperCount; ///< #Tests column of Table 2
+    const char *group;
+};
+
+/** The twenty selected CWEs, in Table 2 order. */
+const std::vector<CweInfo> &cweCatalog();
+
+/** The Table 3 row groups, in presentation order. */
+std::vector<std::string> tableGroups();
+
+/**
+ * Builds the suite.
+ */
+class SuiteBuilder
+{
+  public:
+    /**
+     * @param scale Case count per CWE = max(5, paperCount * scale).
+     * @param seed  Data-variant randomization seed.
+     */
+    explicit SuiteBuilder(double scale = 1.0 / 16,
+                          std::uint64_t seed = 20230325);
+
+    /** All cases of one CWE. */
+    std::vector<JulietCase> buildCwe(int cwe) const;
+
+    /** The whole suite, in catalog order. */
+    std::vector<JulietCase> buildAll() const;
+
+    /** Number of cases that buildCwe() will produce for a CWE. */
+    std::size_t countFor(int cwe) const;
+
+  private:
+    double scale_;
+    std::uint64_t seed_;
+};
+
+} // namespace compdiff::juliet

@@ -1,0 +1,369 @@
+#include "minic/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace compdiff::minic
+{
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine &diags)
+    : source_(source), diags_(diags)
+{}
+
+char
+Lexer::peek(std::size_t ahead) const
+{
+    const std::size_t i = pos_ + ahead;
+    return i < source_.size() ? source_[i] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    const char c = peek();
+    if (c == '\0')
+        return c;
+    pos_++;
+    if (c == '\n') {
+        line_++;
+        column_ = 1;
+    } else {
+        column_++;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+support::SourceLoc
+Lexer::here() const
+{
+    return {line_, column_};
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    static const std::unordered_map<std::string_view, TokKind> keywords =
+    {
+        {"void", TokKind::KwVoid},     {"char", TokKind::KwChar},
+        {"int", TokKind::KwInt},       {"uint", TokKind::KwUInt},
+        {"long", TokKind::KwLong},     {"ulong", TokKind::KwULong},
+        {"double", TokKind::KwDouble}, {"struct", TokKind::KwStruct},
+        {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+        {"while", TokKind::KwWhile},   {"for", TokKind::KwFor},
+        {"return", TokKind::KwReturn}, {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue},
+        {"sizeof", TokKind::KwSizeof},
+    };
+
+    std::vector<Token> out;
+    for (;;) {
+        // Skip whitespace and comments.
+        for (;;) {
+            const char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() != '\n' && peek() != '\0')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                const auto start = here();
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (peek() == '\0') {
+                        diags_.error(start, "unterminated comment");
+                        break;
+                    }
+                    advance();
+                }
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+
+        const auto loc = here();
+        const char c = peek();
+        if (c == '\0') {
+            Token eof;
+            eof.kind = TokKind::EndOfFile;
+            eof.loc = loc;
+            out.push_back(eof);
+            return out;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            lexNumber(out);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            lexIdentifier(out);
+            auto &tok = out.back();
+            auto it = keywords.find(tok.text);
+            if (it != keywords.end())
+                tok.kind = it->second;
+            continue;
+        }
+        if (c == '"') {
+            lexString(out);
+            continue;
+        }
+        if (c == '\'') {
+            lexChar(out);
+            continue;
+        }
+
+        // Punctuators.
+        advance();
+        Token tok;
+        tok.loc = loc;
+        switch (c) {
+          case '(': tok.kind = TokKind::LParen; break;
+          case ')': tok.kind = TokKind::RParen; break;
+          case '{': tok.kind = TokKind::LBrace; break;
+          case '}': tok.kind = TokKind::RBrace; break;
+          case '[': tok.kind = TokKind::LBracket; break;
+          case ']': tok.kind = TokKind::RBracket; break;
+          case ';': tok.kind = TokKind::Semicolon; break;
+          case ',': tok.kind = TokKind::Comma; break;
+          case '.': tok.kind = TokKind::Dot; break;
+          case '~': tok.kind = TokKind::Tilde; break;
+          case '?': tok.kind = TokKind::Question; break;
+          case ':': tok.kind = TokKind::Colon; break;
+          case '+':
+            tok.kind = match('=') ? TokKind::PlusAssign : TokKind::Plus;
+            break;
+          case '-':
+            if (match('>'))
+                tok.kind = TokKind::Arrow;
+            else if (match('='))
+                tok.kind = TokKind::MinusAssign;
+            else
+                tok.kind = TokKind::Minus;
+            break;
+          case '*':
+            tok.kind = match('=') ? TokKind::StarAssign : TokKind::Star;
+            break;
+          case '/':
+            tok.kind =
+                match('=') ? TokKind::SlashAssign : TokKind::Slash;
+            break;
+          case '%':
+            tok.kind =
+                match('=') ? TokKind::PercentAssign : TokKind::Percent;
+            break;
+          case '&':
+            if (match('&'))
+                tok.kind = TokKind::AmpAmp;
+            else if (match('='))
+                tok.kind = TokKind::AmpAssign;
+            else
+                tok.kind = TokKind::Amp;
+            break;
+          case '|':
+            if (match('|'))
+                tok.kind = TokKind::PipePipe;
+            else if (match('='))
+                tok.kind = TokKind::PipeAssign;
+            else
+                tok.kind = TokKind::Pipe;
+            break;
+          case '^':
+            tok.kind = match('=') ? TokKind::CaretAssign : TokKind::Caret;
+            break;
+          case '!':
+            tok.kind = match('=') ? TokKind::BangEq : TokKind::Bang;
+            break;
+          case '=':
+            tok.kind = match('=') ? TokKind::EqEq : TokKind::Assign;
+            break;
+          case '<':
+            if (match('<'))
+                tok.kind =
+                    match('=') ? TokKind::ShlAssign : TokKind::Shl;
+            else if (match('='))
+                tok.kind = TokKind::LessEq;
+            else
+                tok.kind = TokKind::Less;
+            break;
+          case '>':
+            if (match('>'))
+                tok.kind =
+                    match('=') ? TokKind::ShrAssign : TokKind::Shr;
+            else if (match('='))
+                tok.kind = TokKind::GreaterEq;
+            else
+                tok.kind = TokKind::Greater;
+            break;
+          default:
+            diags_.error(loc, std::string("unexpected character '") +
+                                  c + "'");
+            continue;
+        }
+        out.push_back(std::move(tok));
+    }
+}
+
+void
+Lexer::lexNumber(std::vector<Token> &out)
+{
+    Token tok;
+    tok.loc = here();
+    std::string digits;
+
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        is_hex = true;
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+            digits += advance();
+        if (digits.empty())
+            diags_.error(tok.loc, "empty hex literal");
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            digits += advance();
+    }
+
+    bool is_float = false;
+    if (!is_hex && peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        digits += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            digits += advance();
+        if (peek() == 'e' || peek() == 'E') {
+            digits += advance();
+            if (peek() == '+' || peek() == '-')
+                digits += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                digits += advance();
+        }
+    }
+
+    if (is_float) {
+        tok.kind = TokKind::FloatLiteral;
+        tok.floatValue = std::strtod(digits.c_str(), nullptr);
+    } else {
+        tok.kind = TokKind::IntLiteral;
+        tok.intValue = static_cast<std::int64_t>(
+            std::strtoull(digits.c_str(), nullptr, is_hex ? 16 : 10));
+        for (;;) {
+            if (peek() == 'L' || peek() == 'l') {
+                advance();
+                tok.isLong = true;
+            } else if (peek() == 'U' || peek() == 'u') {
+                advance();
+                tok.isUnsigned = true;
+            } else {
+                break;
+            }
+        }
+    }
+    out.push_back(std::move(tok));
+}
+
+void
+Lexer::lexIdentifier(std::vector<Token> &out)
+{
+    Token tok;
+    tok.loc = here();
+    tok.kind = TokKind::Identifier;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_') {
+        tok.text += advance();
+    }
+    out.push_back(std::move(tok));
+}
+
+int
+Lexer::decodeEscape()
+{
+    // Caller consumed the backslash.
+    const char c = advance();
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      case 'x': {
+        int value = 0;
+        for (int i = 0; i < 2 &&
+                        std::isxdigit(static_cast<unsigned char>(peek()));
+             i++) {
+            const char h = advance();
+            value = value * 16 +
+                    (std::isdigit(static_cast<unsigned char>(h))
+                         ? h - '0'
+                         : std::tolower(h) - 'a' + 10);
+        }
+        return value;
+      }
+      default:
+        diags_.error(here(), std::string("bad escape '\\") + c + "'");
+        return c;
+    }
+}
+
+void
+Lexer::lexString(std::vector<Token> &out)
+{
+    Token tok;
+    tok.loc = here();
+    tok.kind = TokKind::StringLiteral;
+    advance(); // opening quote
+    for (;;) {
+        const char c = peek();
+        if (c == '\0' || c == '\n') {
+            diags_.error(tok.loc, "unterminated string literal");
+            break;
+        }
+        if (c == '"') {
+            advance();
+            break;
+        }
+        if (c == '\\') {
+            advance();
+            tok.text += static_cast<char>(decodeEscape());
+        } else {
+            tok.text += advance();
+        }
+    }
+    out.push_back(std::move(tok));
+}
+
+void
+Lexer::lexChar(std::vector<Token> &out)
+{
+    Token tok;
+    tok.loc = here();
+    tok.kind = TokKind::CharLiteral;
+    advance(); // opening quote
+    if (peek() == '\\') {
+        advance();
+        tok.intValue = decodeEscape();
+    } else if (peek() == '\0' || peek() == '\n') {
+        diags_.error(tok.loc, "unterminated char literal");
+    } else {
+        tok.intValue = static_cast<unsigned char>(advance());
+    }
+    if (!match('\''))
+        diags_.error(tok.loc, "unterminated char literal");
+    out.push_back(std::move(tok));
+}
+
+} // namespace compdiff::minic

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * The MiniC lexer.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/token.hh"
+#include "support/diagnostics.hh"
+
+namespace compdiff::minic
+{
+
+/**
+ * Converts MiniC source text into a token stream.
+ *
+ * Supports // and block comments, decimal/hex integer literals with
+ * optional U/L suffixes, double literals, character and string
+ * literals with the common escapes.
+ */
+class Lexer
+{
+  public:
+    /**
+     * @param source Source text; must outlive the lexer.
+     * @param diags  Sink for lexical errors.
+     */
+    Lexer(std::string_view source, support::DiagnosticEngine &diags);
+
+    /**
+     * Lex the entire buffer.
+     *
+     * @return All tokens, ending with an EndOfFile token. On a lexical
+     *         error, the error is recorded and the offending byte is
+     *         skipped.
+     */
+    std::vector<Token> lexAll();
+
+  private:
+    char peek(std::size_t ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    support::SourceLoc here() const;
+
+    void lexNumber(std::vector<Token> &out);
+    void lexIdentifier(std::vector<Token> &out);
+    void lexString(std::vector<Token> &out);
+    void lexChar(std::vector<Token> &out);
+    int decodeEscape();
+
+    std::string_view source_;
+    support::DiagnosticEngine &diags_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+};
+
+} // namespace compdiff::minic

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.hh"
+#include "minic/token.hh"
+#include "support/diagnostics.hh"
+
+namespace compdiff::minic
+{
+
+/**
+ * Parses a MiniC source buffer into a Program.
+ *
+ * The parser stops at the first syntax error: it records the error in
+ * the diagnostic engine and throws support::CompileError. All sources
+ * in this repository are machine-generated, so recovery quality is
+ * traded for simplicity.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view source, support::DiagnosticEngine &diags);
+
+    /**
+     * Parse the whole buffer.
+     *
+     * @return The parsed program (types populated, not yet
+     *         semantically analyzed).
+     * @throws support::CompileError on any syntax error.
+     */
+    std::unique_ptr<Program> parseProgram();
+
+  private:
+    const Token &peek(std::size_t ahead = 0) const;
+    const Token &advance();
+    bool check(TokKind kind) const { return peek().is(kind); }
+    bool accept(TokKind kind);
+    const Token &expect(TokKind kind, const char *context);
+    [[noreturn]] void errorHere(const std::string &message);
+
+    /** True if the upcoming tokens start a type. */
+    bool atTypeStart() const;
+
+    /** Parse a type: base type plus pointer stars. */
+    const Type *parseType();
+
+    void parseStructDecl();
+    void parseTopLevel();
+    std::unique_ptr<FunctionDecl>
+    parseFunctionRest(const Type *ret, Token name_tok);
+    void parseGlobalRest(const Type *type, Token name_tok);
+
+    StmtPtr parseStatement();
+    std::unique_ptr<BlockStmt> parseBlock();
+    StmtPtr parseVarDecl();
+
+    ExprPtr parseExpr();
+    ExprPtr parseAssignment();
+    ExprPtr parseTernary();
+    ExprPtr parseBinary(int min_prec);
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    std::unique_ptr<Program> program_;
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    support::DiagnosticEngine &diags_;
+};
+
+/**
+ * Convenience helper: lex + parse + semantic analysis in one call.
+ *
+ * @param source MiniC source text.
+ * @return Fully analyzed program.
+ * @throws support::CompileError on any frontend error, with the
+ *         diagnostics rendered into the exception message.
+ */
+std::unique_ptr<Program> parseAndCheck(std::string_view source);
+
+} // namespace compdiff::minic

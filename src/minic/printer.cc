@@ -1,0 +1,276 @@
+#include "minic/printer.hh"
+
+#include <sstream>
+
+namespace compdiff::minic
+{
+
+namespace
+{
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent) * 4, ' ');
+}
+
+std::string
+escape(const std::string &raw)
+{
+    std::string out;
+    for (char c : raw) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\0': out += "\\0"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &expr)
+{
+    std::ostringstream os;
+    switch (expr.kind()) {
+      case ExprKind::IntLit: {
+        const auto &lit = static_cast<const IntLitExpr &>(expr);
+        os << lit.value;
+        if (lit.isLong ||
+            (expr.type && expr.type->kind() == TypeKind::Long))
+            os << "L";
+        if (lit.isUnsigned ||
+            (expr.type && expr.type->kind() == TypeKind::UInt))
+            os << "U";
+        return os.str();
+      }
+      case ExprKind::FloatLit:
+        os << static_cast<const FloatLitExpr &>(expr).value;
+        return os.str();
+      case ExprKind::StrLit:
+        return "\"" +
+               escape(static_cast<const StrLitExpr &>(expr).bytes) +
+               "\"";
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr &>(expr).name;
+      case ExprKind::Unary: {
+        const auto &un = static_cast<const UnaryExpr &>(expr);
+        const char *spelling = "";
+        switch (un.op) {
+          case UnaryOp::Neg: spelling = "-"; break;
+          case UnaryOp::BitNot: spelling = "~"; break;
+          case UnaryOp::LogNot: spelling = "!"; break;
+          case UnaryOp::Deref: spelling = "*"; break;
+          case UnaryOp::AddrOf: spelling = "&"; break;
+        }
+        return std::string(spelling) + printExpr(*un.operand);
+      }
+      case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        os << "(" << printExpr(*bin.lhs) << " "
+           << binaryOpSpelling(bin.op) << " " << printExpr(*bin.rhs)
+           << ")";
+        if (bin.widenTo64)
+            os << "/*widened*/";
+        return os.str();
+      }
+      case ExprKind::Assign: {
+        const auto &assign = static_cast<const AssignExpr &>(expr);
+        os << printExpr(*assign.target) << " ";
+        if (assign.compoundOp)
+            os << binaryOpSpelling(*assign.compoundOp);
+        os << "= " << printExpr(*assign.value);
+        return os.str();
+      }
+      case ExprKind::Cond: {
+        const auto &cond = static_cast<const CondExpr &>(expr);
+        os << "(" << printExpr(*cond.cond) << " ? "
+           << printExpr(*cond.thenExpr) << " : "
+           << printExpr(*cond.elseExpr) << ")";
+        return os.str();
+      }
+      case ExprKind::Call: {
+        const auto &call = static_cast<const CallExpr &>(expr);
+        os << call.callee << "(";
+        for (std::size_t i = 0; i < call.args.size(); i++) {
+            if (i)
+                os << ", ";
+            os << printExpr(*call.args[i]);
+        }
+        os << ")";
+        return os.str();
+      }
+      case ExprKind::Index: {
+        const auto &index = static_cast<const IndexExpr &>(expr);
+        os << printExpr(*index.base) << "["
+           << printExpr(*index.index) << "]";
+        return os.str();
+      }
+      case ExprKind::Member: {
+        const auto &member = static_cast<const MemberExpr &>(expr);
+        os << printExpr(*member.base)
+           << (member.isArrow ? "->" : ".") << member.field;
+        return os.str();
+      }
+      case ExprKind::Cast: {
+        const auto &cast = static_cast<const CastExpr &>(expr);
+        os << "(" << cast.target->str() << ")"
+           << printExpr(*cast.operand);
+        return os.str();
+      }
+      case ExprKind::SizeOf:
+        os << "sizeof("
+           << static_cast<const SizeOfExpr &>(expr).queried->str()
+           << ")";
+        return os.str();
+    }
+    return "?";
+}
+
+std::string
+printStmt(const Stmt &stmt, int indent)
+{
+    std::ostringstream os;
+    switch (stmt.kind()) {
+      case StmtKind::Block: {
+        os << pad(indent) << "{\n";
+        for (const auto &child :
+             static_cast<const BlockStmt &>(stmt).body)
+            os << printStmt(*child, indent + 1);
+        os << pad(indent) << "}\n";
+        return os.str();
+      }
+      case StmtKind::VarDecl: {
+        const auto &decl = static_cast<const VarDeclStmt &>(stmt);
+        os << pad(indent);
+        if (decl.declType->isArray()) {
+            os << decl.declType->element()->str() << " " << decl.name
+               << "[" << decl.declType->arrayLength() << "]";
+        } else {
+            os << decl.declType->str() << " " << decl.name;
+        }
+        if (decl.init)
+            os << " = " << printExpr(*decl.init);
+        os << ";\n";
+        return os.str();
+      }
+      case StmtKind::If: {
+        const auto &if_stmt = static_cast<const IfStmt &>(stmt);
+        os << pad(indent) << "if (" << printExpr(*if_stmt.cond)
+           << ")\n"
+           << printStmt(*if_stmt.thenStmt, indent);
+        if (if_stmt.elseStmt) {
+            os << pad(indent) << "else\n"
+               << printStmt(*if_stmt.elseStmt, indent);
+        }
+        return os.str();
+      }
+      case StmtKind::While: {
+        const auto &while_stmt =
+            static_cast<const WhileStmt &>(stmt);
+        os << pad(indent) << "while (" << printExpr(*while_stmt.cond)
+           << ")\n"
+           << printStmt(*while_stmt.body, indent);
+        return os.str();
+      }
+      case StmtKind::For: {
+        const auto &for_stmt = static_cast<const ForStmt &>(stmt);
+        os << pad(indent) << "for (";
+        if (for_stmt.init) {
+            std::string init = printStmt(*for_stmt.init, 0);
+            while (!init.empty() &&
+                   (init.back() == '\n' || init.back() == ' '))
+                init.pop_back();
+            os << init;
+        } else {
+            os << ";";
+        }
+        os << " ";
+        if (for_stmt.cond)
+            os << printExpr(*for_stmt.cond);
+        os << "; ";
+        if (for_stmt.step)
+            os << printExpr(*for_stmt.step);
+        os << ")\n" << printStmt(*for_stmt.body, indent);
+        return os.str();
+      }
+      case StmtKind::Return: {
+        const auto &ret = static_cast<const ReturnStmt &>(stmt);
+        os << pad(indent) << "return";
+        if (ret.value)
+            os << " " << printExpr(*ret.value);
+        os << ";\n";
+        return os.str();
+      }
+      case StmtKind::Break:
+        return pad(indent) + "break;\n";
+      case StmtKind::Continue:
+        return pad(indent) + "continue;\n";
+      case StmtKind::ExprStmt:
+        return pad(indent) +
+               printExpr(*static_cast<const ExprStmt &>(stmt).expr) +
+               ";\n";
+    }
+    return pad(indent) + "?;\n";
+}
+
+std::string
+printFunction(const FunctionDecl &func)
+{
+    std::ostringstream os;
+    os << func.returnType->str() << " " << func.name << "(";
+    for (std::size_t i = 0; i < func.params.size(); i++) {
+        if (i)
+            os << ", ";
+        os << func.params[i].type->str() << " "
+           << func.params[i].name;
+    }
+    os << ")\n";
+    if (func.body)
+        os << printStmt(*func.body, 0);
+    return os.str();
+}
+
+std::string
+printProgram(const Program &program)
+{
+    std::ostringstream os;
+    for (const StructInfo *info : program.types->allStructs()) {
+        os << "struct " << info->name << " {\n";
+        for (const auto &field : info->fields) {
+            if (field.type->isArray()) {
+                os << "    " << field.type->element()->str() << " "
+                   << field.name << "["
+                   << field.type->arrayLength() << "];\n";
+            } else {
+                os << "    " << field.type->str() << " "
+                   << field.name << ";\n";
+            }
+        }
+        os << "};\n";
+    }
+    for (const auto &global : program.globals) {
+        if (global->type->isArray()) {
+            os << global->type->element()->str() << " "
+               << global->name << "["
+               << global->type->arrayLength() << "]";
+        } else {
+            os << global->type->str() << " " << global->name;
+        }
+        if (global->init)
+            os << " = " << printExpr(*global->init);
+        os << ";\n";
+    }
+    if (!program.globals.empty())
+        os << "\n";
+    for (const auto &func : program.functions)
+        os << printFunction(*func) << "\n";
+    return os.str();
+}
+
+} // namespace compdiff::minic

@@ -1,0 +1,30 @@
+#pragma once
+
+/**
+ * @file
+ * AST pretty-printer: renders an (analyzed or transformed) AST back
+ * to readable MiniC-like source. Its main consumer is debugging the
+ * optimization passes — print a function before and after a pass to
+ * see exactly what the UB-exploiting rewrite did.
+ */
+
+#include <string>
+
+#include "minic/ast.hh"
+
+namespace compdiff::minic
+{
+
+/** Render one expression. */
+std::string printExpr(const Expr &expr);
+
+/** Render one statement subtree with indentation. */
+std::string printStmt(const Stmt &stmt, int indent = 0);
+
+/** Render one function definition. */
+std::string printFunction(const FunctionDecl &func);
+
+/** Render the whole program (globals + functions). */
+std::string printProgram(const Program &program);
+
+} // namespace compdiff::minic

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Semantic analysis for MiniC.
+ *
+ * Sema resolves names, assigns local/global ids, computes expression
+ * types using C-like conversion rules, resolves struct member offsets,
+ * and validates calls. Like C, MiniC deliberately *permits* several
+ * dangerous constructs that the paper's benchmark suites rely on
+ * (calls with mismatched argument counts, falling off the end of a
+ * non-void function, cross-object pointer relations); these produce
+ * warnings, not errors, and their run-time meaning is defined by each
+ * simulated compiler implementation.
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/ast.hh"
+#include "support/diagnostics.hh"
+
+namespace compdiff::minic
+{
+
+/**
+ * Performs semantic analysis on a parsed Program, annotating the AST
+ * in place.
+ */
+class Sema
+{
+  public:
+    explicit Sema(support::DiagnosticEngine &diags) : diags_(diags) {}
+
+    /**
+     * Analyze a whole program.
+     *
+     * @return true when no errors were recorded (warnings allowed).
+     */
+    bool analyze(Program &program);
+
+  private:
+    struct Symbol
+    {
+        bool isGlobal = false;
+        int id = -1;
+        const Type *type = nullptr;
+    };
+
+    void analyzeFunction(FunctionDecl &func);
+    void analyzeStmt(Stmt &stmt);
+    /** Type an expression; returns its (possibly decayed) type. */
+    const Type *analyzeExpr(Expr &expr);
+    const Type *analyzeCall(CallExpr &call);
+    const Type *analyzeBinary(BinaryExpr &bin);
+    const Type *analyzeAssign(AssignExpr &assign);
+
+    /** Array-to-pointer decay. */
+    const Type *decay(const Type *type);
+    /** Usual arithmetic conversions; nullptr when incompatible. */
+    const Type *usualArithmetic(const Type *a, const Type *b);
+    /** Can a value of type src implicitly initialize dst? */
+    bool implicitlyConvertible(const Type *src, const Type *dst,
+                               const Expr *src_expr) const;
+    bool isLValue(const Expr &expr) const;
+
+    void pushScope();
+    void popScope();
+    void declareLocal(VarDeclStmt &decl);
+    const Symbol *lookup(const std::string &name) const;
+
+    support::DiagnosticEngine &diags_;
+    Program *program_ = nullptr;
+    FunctionDecl *currentFunc_ = nullptr;
+    std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+    int loopDepth_ = 0;
+};
+
+} // namespace compdiff::minic

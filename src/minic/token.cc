@@ -1,0 +1,79 @@
+#include "minic/token.hh"
+
+namespace compdiff::minic
+{
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::EndOfFile: return "end of file";
+      case TokKind::Identifier: return "identifier";
+      case TokKind::IntLiteral: return "integer literal";
+      case TokKind::FloatLiteral: return "float literal";
+      case TokKind::StringLiteral: return "string literal";
+      case TokKind::CharLiteral: return "char literal";
+      case TokKind::KwVoid: return "'void'";
+      case TokKind::KwChar: return "'char'";
+      case TokKind::KwInt: return "'int'";
+      case TokKind::KwUInt: return "'uint'";
+      case TokKind::KwLong: return "'long'";
+      case TokKind::KwULong: return "'ulong'";
+      case TokKind::KwDouble: return "'double'";
+      case TokKind::KwStruct: return "'struct'";
+      case TokKind::KwIf: return "'if'";
+      case TokKind::KwElse: return "'else'";
+      case TokKind::KwWhile: return "'while'";
+      case TokKind::KwFor: return "'for'";
+      case TokKind::KwReturn: return "'return'";
+      case TokKind::KwBreak: return "'break'";
+      case TokKind::KwContinue: return "'continue'";
+      case TokKind::KwSizeof: return "'sizeof'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Semicolon: return "';'";
+      case TokKind::Comma: return "','";
+      case TokKind::Dot: return "'.'";
+      case TokKind::Arrow: return "'->'";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::Less: return "'<'";
+      case TokKind::LessEq: return "'<='";
+      case TokKind::Greater: return "'>'";
+      case TokKind::GreaterEq: return "'>='";
+      case TokKind::EqEq: return "'=='";
+      case TokKind::BangEq: return "'!='";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+      case TokKind::Assign: return "'='";
+      case TokKind::PlusAssign: return "'+='";
+      case TokKind::MinusAssign: return "'-='";
+      case TokKind::StarAssign: return "'*='";
+      case TokKind::SlashAssign: return "'/='";
+      case TokKind::PercentAssign: return "'%='";
+      case TokKind::AmpAssign: return "'&='";
+      case TokKind::PipeAssign: return "'|='";
+      case TokKind::CaretAssign: return "'^='";
+      case TokKind::ShlAssign: return "'<<='";
+      case TokKind::ShrAssign: return "'>>='";
+      case TokKind::Question: return "'?'";
+      case TokKind::Colon: return "':'";
+    }
+    return "unknown token";
+}
+
+} // namespace compdiff::minic

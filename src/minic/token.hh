@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Tokens produced by the MiniC lexer.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.hh"
+
+namespace compdiff::minic
+{
+
+/** Token categories. Punctuators carry their spelling in the kind. */
+enum class TokKind
+{
+    EndOfFile,
+    Identifier,
+    IntLiteral,    ///< value in Token::intValue; suffix in isLong
+    FloatLiteral,  ///< value in Token::floatValue
+    StringLiteral, ///< decoded bytes in Token::text
+    CharLiteral,   ///< value in Token::intValue
+
+    // Keywords.
+    KwVoid, KwChar, KwInt, KwUInt, KwLong, KwULong, KwDouble,
+    KwStruct, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak,
+    KwContinue, KwSizeof,
+
+    // Punctuators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma, Dot, Arrow,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Less, LessEq, Greater, GreaterEq, EqEq, BangEq,
+    AmpAmp, PipePipe,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign, AmpAssign, PipeAssign, CaretAssign,
+    ShlAssign, ShrAssign,
+    Question, Colon,
+};
+
+/** Human-readable token-kind name ("identifier", "'+='", ...). */
+const char *tokKindName(TokKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::EndOfFile;
+    support::SourceLoc loc;
+    std::string text;          ///< identifier spelling / string bytes
+    std::int64_t intValue = 0; ///< integer / char literal value
+    double floatValue = 0;     ///< double literal value
+    bool isLong = false;       ///< integer literal had an L suffix
+    bool isUnsigned = false;   ///< integer literal had a U suffix
+
+    bool is(TokKind k) const { return kind == k; }
+};
+
+} // namespace compdiff::minic

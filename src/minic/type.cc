@@ -1,0 +1,247 @@
+#include "minic/type.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace compdiff::minic
+{
+
+using support::panic;
+
+std::uint64_t
+Type::size() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Char: return 1;
+      case TypeKind::Int: return 4;
+      case TypeKind::UInt: return 4;
+      case TypeKind::Long: return 8;
+      case TypeKind::ULong: return 8;
+      case TypeKind::Double: return 8;
+      case TypeKind::Pointer: return 8;
+      case TypeKind::Array: return pointee_->size() * arrayLength_;
+      case TypeKind::Struct: return structInfo_->size;
+    }
+    panic("unhandled type kind in size()");
+}
+
+std::uint64_t
+Type::align() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return 1;
+      case TypeKind::Char: return 1;
+      case TypeKind::Int: return 4;
+      case TypeKind::UInt: return 4;
+      case TypeKind::Long: return 8;
+      case TypeKind::ULong: return 8;
+      case TypeKind::Double: return 8;
+      case TypeKind::Pointer: return 8;
+      case TypeKind::Array: return pointee_->align();
+      case TypeKind::Struct: return structInfo_->align;
+    }
+    panic("unhandled type kind in align()");
+}
+
+bool
+Type::isInteger() const
+{
+    switch (kind_) {
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::UInt:
+      case TypeKind::Long:
+      case TypeKind::ULong:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Type::isSigned() const
+{
+    switch (kind_) {
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::Long:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Type::is32OrNarrower() const
+{
+    switch (kind_) {
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::UInt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Char: return "char";
+      case TypeKind::Int: return "int";
+      case TypeKind::UInt: return "uint";
+      case TypeKind::Long: return "long";
+      case TypeKind::ULong: return "ulong";
+      case TypeKind::Double: return "double";
+      case TypeKind::Pointer: return pointee_->str() + " *";
+      case TypeKind::Array: {
+        std::ostringstream os;
+        os << pointee_->str() << " [" << arrayLength_ << "]";
+        return os.str();
+      }
+      case TypeKind::Struct: return "struct " + structInfo_->name;
+    }
+    panic("unhandled type kind in str()");
+}
+
+const StructField *
+StructInfo::field(const std::string &field_name) const
+{
+    for (const auto &f : fields)
+        if (f.name == field_name)
+            return &f;
+    return nullptr;
+}
+
+TypeContext::TypeContext()
+{
+    const TypeKind kinds[] = {
+        TypeKind::Void, TypeKind::Char, TypeKind::Int, TypeKind::UInt,
+        TypeKind::Long, TypeKind::ULong, TypeKind::Double,
+    };
+    for (std::size_t i = 0; i < 7; i++) {
+        auto t = std::make_unique<Type>();
+        t->kind_ = kinds[i];
+        basic_[i] = t.get();
+        owned_.push_back(std::move(t));
+    }
+}
+
+TypeContext::~TypeContext() = default;
+
+const Type *
+TypeContext::basic(TypeKind kind) const
+{
+    switch (kind) {
+      case TypeKind::Void: return basic_[0];
+      case TypeKind::Char: return basic_[1];
+      case TypeKind::Int: return basic_[2];
+      case TypeKind::UInt: return basic_[3];
+      case TypeKind::Long: return basic_[4];
+      case TypeKind::ULong: return basic_[5];
+      case TypeKind::Double: return basic_[6];
+      default:
+        panic("basic() called with derived type kind");
+    }
+}
+
+const Type *
+TypeContext::intern(Type proto)
+{
+    for (const auto &t : owned_) {
+        if (t->kind_ == proto.kind_ && t->pointee_ == proto.pointee_ &&
+            t->arrayLength_ == proto.arrayLength_ &&
+            t->structInfo_ == proto.structInfo_) {
+            return t.get();
+        }
+    }
+    auto t = std::make_unique<Type>(proto);
+    const Type *raw = t.get();
+    owned_.push_back(std::move(t));
+    return raw;
+}
+
+const Type *
+TypeContext::pointerTo(const Type *pointee)
+{
+    Type proto;
+    proto.kind_ = TypeKind::Pointer;
+    proto.pointee_ = pointee;
+    return intern(proto);
+}
+
+const Type *
+TypeContext::arrayOf(const Type *element, std::uint64_t length)
+{
+    Type proto;
+    proto.kind_ = TypeKind::Array;
+    proto.pointee_ = element;
+    proto.arrayLength_ = length;
+    return intern(proto);
+}
+
+const Type *
+TypeContext::declareStruct(const std::string &name)
+{
+    if (findStruct(name))
+        panic("struct redeclared: " + name);
+    auto info = std::make_unique<StructInfo>();
+    info->name = name;
+    Type proto;
+    proto.kind_ = TypeKind::Struct;
+    proto.structInfo_ = info.get();
+    structs_.push_back(std::move(info));
+    return intern(proto);
+}
+
+const Type *
+TypeContext::findStruct(const std::string &name) const
+{
+    for (const auto &t : owned_)
+        if (t->kind_ == TypeKind::Struct && t->structInfo_->name == name)
+            return t.get();
+    return nullptr;
+}
+
+StructInfo *
+TypeContext::structInfo(const std::string &name)
+{
+    for (const auto &s : structs_)
+        if (s->name == name)
+            return s.get();
+    return nullptr;
+}
+
+std::vector<const StructInfo *>
+TypeContext::allStructs() const
+{
+    std::vector<const StructInfo *> out;
+    out.reserve(structs_.size());
+    for (const auto &s : structs_)
+        out.push_back(s.get());
+    return out;
+}
+
+void
+TypeContext::layoutStruct(StructInfo &info)
+{
+    std::uint64_t offset = 0;
+    std::uint64_t align = 1;
+    for (auto &f : info.fields) {
+        const std::uint64_t fa = f.type->align();
+        offset = (offset + fa - 1) / fa * fa;
+        f.offset = offset;
+        offset += f.type->size();
+        align = std::max(align, fa);
+    }
+    info.align = align;
+    info.size = (offset + align - 1) / align * align;
+    if (info.size == 0)
+        info.size = align;
+}
+
+} // namespace compdiff::minic

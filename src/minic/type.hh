@@ -1,0 +1,177 @@
+#pragma once
+
+/**
+ * @file
+ * The MiniC type system.
+ *
+ * MiniC is the C-like language all benchmark and target programs in
+ * this repository are written in. Its type system is a compact subset
+ * of C's: void, char (signed 8-bit), int/uint (32-bit), long/ulong
+ * (64-bit), double, pointers, fixed-size arrays, and structs. Types
+ * are interned in a TypeContext and referenced by const pointer, so
+ * type equality is pointer equality.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compdiff::minic
+{
+
+class TypeContext;
+
+/** Categories of MiniC types. */
+enum class TypeKind
+{
+    Void,
+    Char,   ///< signed 8-bit
+    Int,    ///< signed 32-bit
+    UInt,   ///< unsigned 32-bit
+    Long,   ///< signed 64-bit
+    ULong,  ///< unsigned 64-bit
+    Double, ///< IEEE-754 binary64
+    Pointer,
+    Array,
+    Struct,
+};
+
+struct StructInfo;
+
+/**
+ * An interned MiniC type. Instances are owned by a TypeContext and
+ * compared by address.
+ */
+class Type
+{
+  public:
+    TypeKind kind() const { return kind_; }
+
+    /** Pointee type; valid only for pointers. */
+    const Type *pointee() const { return pointee_; }
+
+    /** Element type; valid only for arrays. */
+    const Type *element() const { return pointee_; }
+
+    /** Array length; valid only for arrays. */
+    std::uint64_t arrayLength() const { return arrayLength_; }
+
+    /** Struct layout record; valid only for structs. */
+    const StructInfo *structInfo() const { return structInfo_; }
+
+    /** Size of an object of this type in bytes. */
+    std::uint64_t size() const;
+
+    /** Natural alignment of this type in bytes. */
+    std::uint64_t align() const;
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isPointer() const { return kind_ == TypeKind::Pointer; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+    bool isDouble() const { return kind_ == TypeKind::Double; }
+
+    /** Any char/int/uint/long/ulong type. */
+    bool isInteger() const;
+
+    /** Integer or double. */
+    bool isArithmetic() const { return isInteger() || isDouble(); }
+
+    /** Integer, double, or pointer — usable in conditions. */
+    bool isScalar() const { return isArithmetic() || isPointer(); }
+
+    /** True for char/int/long (signed integer types). */
+    bool isSigned() const;
+
+    /** True if values fit in 32 bits (char/int/uint). */
+    bool is32OrNarrower() const;
+
+    /** C-like rendering, e.g. "int *", "char [16]". */
+    std::string str() const;
+
+  private:
+    friend class TypeContext;
+
+    TypeKind kind_ = TypeKind::Void;
+    const Type *pointee_ = nullptr;
+    std::uint64_t arrayLength_ = 0;
+    const StructInfo *structInfo_ = nullptr;
+};
+
+/** One field inside a struct layout. */
+struct StructField
+{
+    std::string name;
+    const Type *type = nullptr;
+    std::uint64_t offset = 0;
+};
+
+/** Layout record for a struct type (C layout rules, natural align). */
+struct StructInfo
+{
+    std::string name;
+    std::vector<StructField> fields;
+    std::uint64_t size = 0;
+    std::uint64_t align = 1;
+
+    /** Find a field by name; nullptr if absent. */
+    const StructField *field(const std::string &field_name) const;
+};
+
+/**
+ * Owns and interns all types of one parsed program.
+ */
+class TypeContext
+{
+  public:
+    TypeContext();
+    ~TypeContext();
+
+    TypeContext(const TypeContext &) = delete;
+    TypeContext &operator=(const TypeContext &) = delete;
+
+    const Type *voidType() const { return basic_[0]; }
+    const Type *charType() const { return basic_[1]; }
+    const Type *intType() const { return basic_[2]; }
+    const Type *uintType() const { return basic_[3]; }
+    const Type *longType() const { return basic_[4]; }
+    const Type *ulongType() const { return basic_[5]; }
+    const Type *doubleType() const { return basic_[6]; }
+
+    /** Basic type for a kind (not Pointer/Array/Struct). */
+    const Type *basic(TypeKind kind) const;
+
+    /** Interned pointer-to-pointee type. */
+    const Type *pointerTo(const Type *pointee);
+
+    /** Interned array type. */
+    const Type *arrayOf(const Type *element, std::uint64_t length);
+
+    /**
+     * Declare a new struct and return its (initially empty) info
+     * record for the caller to populate, plus the struct type.
+     */
+    const Type *declareStruct(const std::string &name);
+
+    /** Look up a declared struct type by name; nullptr if unknown. */
+    const Type *findStruct(const std::string &name) const;
+
+    /** Mutable layout record of a declared struct. */
+    StructInfo *structInfo(const std::string &name);
+
+    /** All declared structs, in declaration order. */
+    std::vector<const StructInfo *> allStructs() const;
+
+    /** Finalize a struct's layout from its field list. */
+    static void layoutStruct(StructInfo &info);
+
+  private:
+    const Type *intern(Type proto);
+
+    const Type *basic_[7];
+    std::vector<std::unique_ptr<Type>> owned_;
+    std::vector<std::unique_ptr<StructInfo>> structs_;
+};
+
+} // namespace compdiff::minic

@@ -1,0 +1,77 @@
+#include "sanitizers/sanitizers.hh"
+
+#include "support/logging.hh"
+
+namespace compdiff::sanitizers
+{
+
+using compiler::CompilerConfig;
+using compiler::OptLevel;
+using compiler::Sanitizer;
+using compiler::Vendor;
+
+CompilerConfig
+sanitizerConfig(Sanitizer which)
+{
+    return {Vendor::Clang, OptLevel::O1, which};
+}
+
+SanitizerRunner::SanitizerRunner(const minic::Program &program,
+                                 vm::VmLimits limits)
+    : limits_(limits)
+{
+    compiler::Compiler comp(program);
+    for (Sanitizer which :
+         {Sanitizer::ASan, Sanitizer::UBSan, Sanitizer::MSan}) {
+        const CompilerConfig config = sanitizerConfig(which);
+        binaries_.push_back({config, comp.compile(config)});
+    }
+}
+
+const SanitizerRunner::Binary &
+SanitizerRunner::binaryFor(Sanitizer which) const
+{
+    for (const auto &binary : binaries_)
+        if (binary.config.sanitizer == which)
+            return binary;
+    support::panic("unknown sanitizer requested");
+}
+
+SanitizerVerdict
+SanitizerRunner::check(Sanitizer which,
+                       const support::Bytes &input) const
+{
+    const Binary &binary = binaryFor(which);
+    vm::Vm machine(binary.module, binary.config, limits_);
+    SanitizerVerdict verdict;
+    verdict.result = machine.run(input);
+    verdict.fired = verdict.result.sanitizerFired();
+    return verdict;
+}
+
+bool
+SanitizerRunner::anyFires(const support::Bytes &input) const
+{
+    for (Sanitizer which :
+         {Sanitizer::ASan, Sanitizer::UBSan, Sanitizer::MSan}) {
+        if (check(which, input).fired)
+            return true;
+    }
+    return false;
+}
+
+std::vector<vm::SanReport>
+SanitizerRunner::allReports(const support::Bytes &input) const
+{
+    std::vector<vm::SanReport> reports;
+    for (Sanitizer which :
+         {Sanitizer::ASan, Sanitizer::UBSan, Sanitizer::MSan}) {
+        auto verdict = check(which, input);
+        reports.insert(reports.end(),
+                       verdict.result.sanReports.begin(),
+                       verdict.result.sanReports.end());
+    }
+    return reports;
+}
+
+} // namespace compdiff::sanitizers

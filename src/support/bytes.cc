@@ -1,0 +1,90 @@
+#include "support/bytes.hh"
+
+#include <cstdio>
+
+namespace compdiff::support
+{
+
+Bytes
+toBytes(std::string_view text)
+{
+    return Bytes(text.begin(), text.end());
+}
+
+std::string
+toString(const Bytes &bytes)
+{
+    return std::string(bytes.begin(), bytes.end());
+}
+
+std::string
+hexDump(const Bytes &bytes, std::size_t max_rows)
+{
+    std::string out;
+    char buf[24];
+    const std::size_t rows = (bytes.size() + 15) / 16;
+    for (std::size_t row = 0; row < rows && row < max_rows; row++) {
+        std::snprintf(buf, sizeof(buf), "%04zx  ", row * 16);
+        out += buf;
+        for (std::size_t col = 0; col < 16; col++) {
+            const std::size_t i = row * 16 + col;
+            if (i < bytes.size()) {
+                std::snprintf(buf, sizeof(buf), "%02x ", bytes[i]);
+                out += buf;
+            } else {
+                out += "   ";
+            }
+        }
+        out += " |";
+        for (std::size_t col = 0; col < 16; col++) {
+            const std::size_t i = row * 16 + col;
+            if (i >= bytes.size())
+                break;
+            const char c = static_cast<char>(bytes[i]);
+            out += (c >= 0x20 && c < 0x7f) ? c : '.';
+        }
+        out += "|\n";
+    }
+    if (rows > max_rows)
+        out += "...\n";
+    return out;
+}
+
+std::uint32_t
+readLE32(const Bytes &bytes, std::size_t offset, std::uint32_t fallback)
+{
+    if (offset + 4 > bytes.size())
+        return fallback;
+    return std::uint32_t(bytes[offset]) |
+           (std::uint32_t(bytes[offset + 1]) << 8) |
+           (std::uint32_t(bytes[offset + 2]) << 16) |
+           (std::uint32_t(bytes[offset + 3]) << 24);
+}
+
+std::uint16_t
+readLE16(const Bytes &bytes, std::size_t offset, std::uint16_t fallback)
+{
+    if (offset + 2 > bytes.size())
+        return fallback;
+    return static_cast<std::uint16_t>(
+        std::uint16_t(bytes[offset]) |
+        (std::uint16_t(bytes[offset + 1]) << 8));
+}
+
+void
+appendLE32(Bytes &bytes, std::uint32_t value)
+{
+    bytes.push_back(static_cast<std::uint8_t>(value));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+void
+appendLE16(Bytes &bytes, std::uint16_t value)
+{
+    bytes.push_back(static_cast<std::uint8_t>(value));
+    bytes.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+} // namespace compdiff::support

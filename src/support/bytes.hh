@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Byte-buffer helpers for fuzz inputs and program outputs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compdiff::support
+{
+
+/** Convenience alias: a fuzz input / captured output is a byte vector. */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Build a byte vector from a string's raw characters. */
+Bytes toBytes(std::string_view text);
+
+/** Interpret a byte vector as text (may contain NULs). */
+std::string toString(const Bytes &bytes);
+
+/** Classic side-by-side hexdump, 16 bytes per row. */
+std::string hexDump(const Bytes &bytes, std::size_t max_rows = 16);
+
+/** Read a little-endian u32 at offset; returns fallback if OOB. */
+std::uint32_t readLE32(const Bytes &bytes, std::size_t offset,
+                       std::uint32_t fallback = 0);
+
+/** Read a little-endian u16 at offset; returns fallback if OOB. */
+std::uint16_t readLE16(const Bytes &bytes, std::size_t offset,
+                       std::uint16_t fallback = 0);
+
+/** Append a little-endian u32. */
+void appendLE32(Bytes &bytes, std::uint32_t value);
+
+/** Append a little-endian u16. */
+void appendLE16(Bytes &bytes, std::uint16_t value);
+
+} // namespace compdiff::support

@@ -1,0 +1,135 @@
+#include "support/hash.hh"
+
+#include <cstring>
+
+namespace compdiff::support
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t
+getBlock64(const std::uint8_t *p, std::size_t i)
+{
+    std::uint64_t block;
+    std::memcpy(&block, p + i * 8, sizeof(block));
+    return block;
+}
+
+} // namespace
+
+std::uint64_t
+murmurMix64(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 33;
+    return key;
+}
+
+std::uint64_t
+murmurHash64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    // MurmurHash3_x64_128, reporting h1 only. Reference: Austin Appleby,
+    // https://github.com/aappleby/smhasher (public domain).
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    const std::size_t nblocks = len / 16;
+
+    std::uint64_t h1 = seed;
+    std::uint64_t h2 = seed;
+
+    const std::uint64_t c1 = 0x87c37b91114253d5ULL;
+    const std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+    for (std::size_t i = 0; i < nblocks; i++) {
+        std::uint64_t k1 = getBlock64(bytes, i * 2 + 0);
+        std::uint64_t k2 = getBlock64(bytes, i * 2 + 1);
+
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+        h1 = rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52dce729;
+
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+        h2 = rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495ab5;
+    }
+
+    const std::uint8_t *tail = bytes + nblocks * 16;
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+
+    switch (len & 15) {
+      case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+      case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+      case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+      case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+      case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+      case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+      case 9:
+        k2 ^= std::uint64_t(tail[8]) << 0;
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+        [[fallthrough]];
+      case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+      case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+      case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+      case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+      case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+      case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+      case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+      case 1:
+        k1 ^= std::uint64_t(tail[0]) << 0;
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+        break;
+      default:
+        break;
+    }
+
+    h1 ^= std::uint64_t(len);
+    h2 ^= std::uint64_t(len);
+    h1 += h2;
+    h2 += h1;
+    h1 = murmurMix64(h1);
+    h2 = murmurMix64(h2);
+    h1 += h2;
+
+    return h1;
+}
+
+std::uint64_t
+murmurHash64(std::string_view text, std::uint64_t seed)
+{
+    return murmurHash64(text.data(), text.size(), seed);
+}
+
+std::uint64_t
+murmurHash64(const std::vector<std::uint8_t> &bytes, std::uint64_t seed)
+{
+    return murmurHash64(bytes.data(), bytes.size(), seed);
+}
+
+HashCombiner &
+HashCombiner::add(std::uint64_t value)
+{
+    state_ = murmurMix64(state_ ^ murmurMix64(value));
+    return *this;
+}
+
+HashCombiner &
+HashCombiner::addBytes(const void *data, std::size_t len)
+{
+    return add(murmurHash64(data, len, state_));
+}
+
+HashCombiner &
+HashCombiner::addString(std::string_view text)
+{
+    return addBytes(text.data(), text.size());
+}
+
+} // namespace compdiff::support

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Hash functions used across CompDiff.
+ *
+ * The paper (Section 3.2, "Output examination") compares per-binary
+ * output files by checksumming them with MurmurHash3, the hash function
+ * AFL++ ships. We provide the same family here: the 64-bit finalizer,
+ * the x64 128-bit variant (of which we expose the low 64 bits), and a
+ * small incremental combiner for composing structured hashes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compdiff::support
+{
+
+/** MurmurHash3 64-bit finalizer (fmix64). Useful for integer mixing. */
+std::uint64_t murmurMix64(std::uint64_t key);
+
+/**
+ * MurmurHash3 x64 128-bit over a byte range, truncated to 64 bits.
+ *
+ * This mirrors the checksum AFL++ (and thus CompDiff-AFL++) computes
+ * over captured program output.
+ *
+ * @param data Pointer to the first byte.
+ * @param len  Number of bytes.
+ * @param seed Hash seed; distinct seeds give independent hash families.
+ * @return Low 64 bits of the 128-bit MurmurHash3 digest.
+ */
+std::uint64_t murmurHash64(const void *data, std::size_t len,
+                           std::uint64_t seed = 0);
+
+/** Convenience overload hashing a string view. */
+std::uint64_t murmurHash64(std::string_view text, std::uint64_t seed = 0);
+
+/** Convenience overload hashing a byte vector. */
+std::uint64_t murmurHash64(const std::vector<std::uint8_t> &bytes,
+                           std::uint64_t seed = 0);
+
+/**
+ * Incremental hash combiner for structured data.
+ *
+ * Not a streaming MurmurHash (chunk boundaries are significant); used
+ * where we need order-sensitive composition of already-hashed parts,
+ * e.g. hashing (stdout, stderr, exit status) triples.
+ */
+class HashCombiner
+{
+  public:
+    /** Create a combiner with an optional seed. */
+    explicit HashCombiner(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Mix a 64-bit word into the running state. */
+    HashCombiner &add(std::uint64_t value);
+
+    /** Mix a byte range into the running state. */
+    HashCombiner &addBytes(const void *data, std::size_t len);
+
+    /** Mix a string into the running state. */
+    HashCombiner &addString(std::string_view text);
+
+    /** Final digest. */
+    std::uint64_t digest() const { return murmurMix64(state_); }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace compdiff::support

@@ -1,0 +1,46 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace compdiff::support
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+panic(const std::string &message)
+{
+    throw PanicError("panic: " + message);
+}
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError("fatal: " + message);
+}
+
+void
+warn(const std::string &message)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << message << "\n";
+}
+
+void
+inform(const std::string &message)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "info: " << message << "\n";
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace compdiff::support

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable
+ * user-level errors (bad configuration, invalid arguments), warn() and
+ * inform() are non-fatal notices.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace compdiff::support
+{
+
+/** Exception thrown by panic(): an internal library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Exception thrown by fatal(): an unrecoverable user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Report an internal invariant violation; never returns. */
+[[noreturn]] void panic(const std::string &message);
+
+/** Report an unrecoverable user error; never returns. */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Emit a warning to stderr (does not stop execution). */
+void warn(const std::string &message);
+
+/** Emit an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Globally silence warn()/inform() (used by quiet benchmark runs). */
+void setQuiet(bool quiet);
+
+} // namespace compdiff::support

@@ -1,0 +1,101 @@
+#include "support/rng.hh"
+
+namespace compdiff::support
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool
+Rng::chance(std::uint64_t num, std::uint64_t den)
+{
+    return below(den) < num;
+}
+
+double
+Rng::unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::size_t
+Rng::index(std::size_t size)
+{
+    return static_cast<std::size_t>(below(size));
+}
+
+void
+Rng::fill(std::vector<std::uint8_t> &bytes)
+{
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(next());
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL);
+}
+
+} // namespace compdiff::support

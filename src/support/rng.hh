@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in this repository (the fuzzer's mutation
+ * engine, workload generators, layout jitter in vendor traits) draws
+ * from these generators so that whole experiments are reproducible from
+ * a single seed. We use SplitMix64 for seeding and Xoshiro256** as the
+ * workhorse generator.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace compdiff::support
+{
+
+/** SplitMix64 stepping function; also usable as a one-shot seeder. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * Xoshiro256** deterministic PRNG.
+ *
+ * Small, fast, and sufficient for fuzzing and synthetic workloads.
+ * Not cryptographically secure (and does not need to be).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded through SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform value in the inclusive range [lo, hi]. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial that succeeds with probability num/den. */
+    bool chance(std::uint64_t num, std::uint64_t den);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Pick a uniformly random element index for a container size. */
+    std::size_t index(std::size_t size);
+
+    /** Fill a byte vector with random content. */
+    void fill(std::vector<std::uint8_t> &bytes);
+
+    /** Fork an independent child generator (stream split). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace compdiff::support

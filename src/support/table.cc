@@ -1,0 +1,145 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace compdiff::support
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::setAlign(std::vector<Align> align)
+{
+    align_ = std::move(align);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic("TextTable row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({});
+}
+
+std::string
+TextTable::str() const
+{
+    const std::size_t cols =
+        header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                        : header_.size();
+    std::vector<std::size_t> width(cols, 0);
+
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &row : rows_)
+        if (!row.empty())
+            measure(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < cols; c++) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            const Align a =
+                c < align_.size() ? align_[c] : Align::Left;
+            const std::size_t pad = width[c] - cell.size();
+            if (c)
+                line += "  ";
+            if (a == Align::Right)
+                line += std::string(pad, ' ') + cell;
+            else
+                line += cell + std::string(pad, ' ');
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; c++)
+        total += width[c] + (c ? 2 : 0);
+
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += std::string(total, '-') + "\n";
+        else
+            out += renderRow(row);
+    }
+    return out;
+}
+
+BoxStats
+boxStats(std::vector<double> values)
+{
+    BoxStats s;
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    auto quantile = [&](double q) {
+        const double pos = q * (static_cast<double>(values.size()) - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(pos));
+        const auto hi = static_cast<std::size_t>(std::ceil(pos));
+        const double frac = pos - std::floor(pos);
+        return values[lo] * (1 - frac) + values[hi] * frac;
+    };
+    s.min = values.front();
+    s.q1 = quantile(0.25);
+    s.median = quantile(0.5);
+    s.q3 = quantile(0.75);
+    s.max = values.back();
+    return s;
+}
+
+std::string
+asciiBox(const BoxStats &stats, double lo, double hi, std::size_t width)
+{
+    if (width < 4 || hi <= lo)
+        return std::string(width, ' ');
+    auto pos = [&](double v) {
+        double t = (v - lo) / (hi - lo);
+        t = std::clamp(t, 0.0, 1.0);
+        return static_cast<std::size_t>(
+            std::lround(t * static_cast<double>(width - 1)));
+    };
+    std::string strip(width, ' ');
+    const std::size_t pmin = pos(stats.min);
+    const std::size_t pq1 = pos(stats.q1);
+    const std::size_t pmed = pos(stats.median);
+    const std::size_t pq3 = pos(stats.q3);
+    const std::size_t pmax = pos(stats.max);
+
+    for (std::size_t i = pmin; i <= pq1; i++)
+        strip[i] = '-';
+    for (std::size_t i = pq1; i <= pq3; i++)
+        strip[i] = '=';
+    for (std::size_t i = pq3; i <= pmax; i++)
+        strip[i] = '-';
+    strip[pmin] = '|';
+    strip[pmax] = '|';
+    strip[pmed] = '#';
+    return strip;
+}
+
+} // namespace compdiff::support

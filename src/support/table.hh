@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures;
+ * this helper keeps their textual output aligned and consistent.
+ */
+
+#include <string>
+#include <vector>
+
+namespace compdiff::support
+{
+
+/** Column alignment choice. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * Accumulates rows of strings and renders an aligned ASCII table.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (also defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Set per-column alignment; default is Left for every column. */
+    void setAlign(std::vector<Align> align);
+
+    /** Append a body row; must match the header column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the whole table, trailing newline included. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> align_;
+    /** A row; empty vector encodes a separator. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Five-number summary of a sample (used by the figure benches). */
+struct BoxStats
+{
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+};
+
+/** Compute a five-number summary; input need not be sorted. */
+BoxStats boxStats(std::vector<double> values);
+
+/**
+ * Render a horizontal ASCII box-and-whisker strip for a value range.
+ *
+ * @param stats Five-number summary to draw.
+ * @param lo    Left edge of the plotting scale.
+ * @param hi    Right edge of the plotting scale.
+ * @param width Character width of the strip.
+ */
+std::string asciiBox(const BoxStats &stats, double lo, double hi,
+                     std::size_t width = 48);
+
+} // namespace compdiff::support

@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file
+ * Internal factory declarations for the individual target programs.
+ */
+
+#include "targets/targets.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram makePktdump();
+TargetProgram makeNetshark();
+TargetProgram makeElfread();
+TargetProgram makeObjview();
+TargetProgram makeArczip();
+TargetProgram makeSndconv();
+TargetProgram makeImgmeta();
+TargetProgram makePixmagick();
+TargetProgram makeScriptvm();
+TargetProgram makeFloatpack();
+TargetProgram makeJsonq();
+TargetProgram makePhplite();
+TargetProgram makeVidmux();
+
+} // namespace compdiff::targets::detail

@@ -1,0 +1,194 @@
+#include "targets/campaign.hh"
+
+#include <algorithm>
+
+#include "compiler/compiler.hh"
+#include "minic/parser.hh"
+#include "sanitizers/sanitizers.hh"
+#include "support/logging.hh"
+
+namespace compdiff::targets
+{
+
+namespace
+{
+
+/**
+ * AFL-tmin-style witness reduction: shrink the input while it still
+ * fires the bug's probe and still diverges. This is the automatic
+ * counterpart of the paper's manual triage — without it, a witness
+ * carrying several records would attribute *other* records' sanitizer
+ * reports to this bug (Table 6 would be contaminated).
+ */
+support::Bytes
+minimizeWitness(const core::DiffEngine &engine, vm::Vm &probe_vm,
+                const support::Bytes &input, int probe)
+{
+    auto still_good = [&](const support::Bytes &candidate) {
+        auto run = probe_vm.run(candidate);
+        if (std::find(run.probes.begin(), run.probes.end(), probe) ==
+            run.probes.end()) {
+            return false;
+        }
+        return engine.runInput(candidate).divergent;
+    };
+
+    support::Bytes current = input;
+    bool changed = true;
+    for (int round = 0; round < 4 && changed; round++) {
+        changed = false;
+        for (std::size_t chunk = std::max<std::size_t>(
+                 current.size() / 2, 1);
+             chunk >= 1; chunk /= 2) {
+            for (std::size_t pos = 0;
+                 pos + chunk <= current.size();) {
+                support::Bytes candidate = current;
+                candidate.erase(
+                    candidate.begin() +
+                        static_cast<std::ptrdiff_t>(pos),
+                    candidate.begin() +
+                        static_cast<std::ptrdiff_t>(pos + chunk));
+                if (still_good(candidate)) {
+                    current = std::move(candidate);
+                    changed = true;
+                } else {
+                    pos += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    return current;
+}
+
+} // namespace
+
+bool
+CampaignResult::foundProbe(int probe_id) const
+{
+    for (const auto &finding : found)
+        if (finding.probeId == probe_id)
+            return true;
+    return false;
+}
+
+CampaignResult
+runCampaign(const TargetProgram &target,
+            const CampaignOptions &options)
+{
+    CampaignResult result;
+    result.target = target.name;
+
+    auto program = minic::parseAndCheck(target.source);
+
+    fuzz::FuzzOptions fuzz_options;
+    fuzz_options.maxExecs = options.maxExecs;
+    fuzz_options.rngSeed = options.rngSeed;
+    fuzz_options.limits = options.limits;
+    // Record-oriented targets saturate well below AFL's default
+    // input ceiling; a small cap keeps executions short.
+    fuzz_options.maxInputSize = 64;
+    // Output normalization (RQ5): strip the [ts:...] stamps that
+    // targets like netshark embed per run.
+    fuzz_options.diffOptions.normalizer =
+        core::OutputNormalizer::withDefaultFilters();
+
+    fuzz::Fuzzer fuzzer(*program, target.seeds, fuzz_options);
+    result.stats = fuzzer.run();
+
+    // Triage: map each unique divergence back to planted bugs via
+    // the probes its witness fired.
+    std::map<int, const fuzz::FoundDiff *> witness_for;
+    for (const auto &diff : fuzzer.diffs()) {
+        if (diff.probes.empty()) {
+            result.untriagedDiffs++;
+            continue;
+        }
+        for (int probe : diff.probes) {
+            if (!witness_for.count(probe))
+                witness_for[probe] = &diff;
+        }
+    }
+
+    // Per-bug analysis on *minimized* witnesses.
+    core::DiffOptions diff_options = fuzz_options.diffOptions;
+    diff_options.limits = options.limits;
+    core::DiffEngine engine(*program,
+                            compiler::standardImplementations(),
+                            diff_options);
+    compiler::Compiler comp(*program);
+    const compiler::CompilerConfig probe_config =
+        fuzz_options.fuzzConfig;
+    auto probe_module = comp.compile(probe_config);
+    vm::Vm probe_vm(probe_module, probe_config, options.limits);
+
+    sanitizers::SanitizerRunner runner(*program, options.limits);
+    for (const auto &[probe, diff] : witness_for) {
+        const PlantedBug *bug = target.findBug(probe);
+        if (!bug) {
+            result.untriagedDiffs++;
+            continue;
+        }
+        BugFinding finding;
+        finding.probeId = probe;
+        finding.bug = bug;
+        finding.witness =
+            minimizeWitness(engine, probe_vm, diff->input, probe);
+        finding.hashVector =
+            engine.runInput(finding.witness).hashVector();
+        if (options.checkSanitizers) {
+            finding.asanFires =
+                runner.check(compiler::Sanitizer::ASan,
+                             finding.witness)
+                    .fired;
+            finding.ubsanFires =
+                runner.check(compiler::Sanitizer::UBSan,
+                             finding.witness)
+                    .fired;
+            finding.msanFires =
+                runner.check(compiler::Sanitizer::MSan,
+                             finding.witness)
+                    .fired;
+        }
+        result.found.push_back(std::move(finding));
+    }
+    return result;
+}
+
+std::vector<CampaignResult>
+runAllCampaigns(const CampaignOptions &options)
+{
+    std::vector<CampaignResult> results;
+    for (const auto &target : allTargets())
+        results.push_back(runCampaign(target, options));
+    return results;
+}
+
+std::map<std::string, ColumnCounts>
+aggregateByColumn(const std::vector<CampaignResult> &results)
+{
+    std::map<std::string, ColumnCounts> columns;
+    for (const auto &target : allTargets()) {
+        for (const auto &bug : target.bugs)
+            columns[categoryColumn(bug.category)].planted++;
+    }
+    for (const auto &result : results) {
+        for (const auto &finding : result.found) {
+            ColumnCounts &c =
+                columns[categoryColumn(finding.bug->category)];
+            c.found++;
+            if (finding.bug->confirmed)
+                c.confirmed++;
+            if (finding.bug->fixed)
+                c.fixed++;
+            if (finding.asanFires || finding.ubsanFires ||
+                finding.msanFires) {
+                c.sanitizerAlso++;
+            }
+        }
+    }
+    return columns;
+}
+
+} // namespace compdiff::targets

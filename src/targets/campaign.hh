@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Fuzzing-campaign harness over the target programs (paper Section
+ * 4.3): runs CompDiff-AFL++ on a target, triages found divergences
+ * back to the planted bugs via their ground-truth probes, and checks
+ * each found bug against the three sanitizers (Table 6).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+#include "targets/targets.hh"
+
+namespace compdiff::targets
+{
+
+/** One planted bug recovered by a campaign. */
+struct BugFinding
+{
+    int probeId = 0;
+    const PlantedBug *bug = nullptr;
+    support::Bytes witness; ///< first divergence-triggering input
+    /** Per-implementation output hashes on the witness (Figure 2). */
+    std::vector<std::uint64_t> hashVector;
+    bool asanFires = false;
+    bool ubsanFires = false;
+    bool msanFires = false;
+};
+
+/** Outcome of one campaign on one target. */
+struct CampaignResult
+{
+    std::string target;
+    fuzz::FuzzStats stats;
+    std::vector<BugFinding> found;
+    /** Divergences that fired no probe (must stay empty: they would
+     *  be unplanted bugs in the target itself). */
+    std::size_t untriagedDiffs = 0;
+
+    bool foundProbe(int probe_id) const;
+};
+
+/** Campaign knobs. */
+struct CampaignOptions
+{
+    std::uint64_t maxExecs = 60'000;
+    std::uint64_t rngSeed = 0xA11CE;
+    /** Also run the sanitizer checks on each witness (Table 6). */
+    bool checkSanitizers = true;
+    /**
+     * Per-execution limits. The targets are small record parsers;
+     * modest segments keep the per-run setup cost (the forkserver-
+     * analog overhead) low.
+     */
+    vm::VmLimits limits{
+        .maxInstructions = 200'000,
+        .stackSize = 1 << 14,
+        .heapSize = 1 << 15,
+        .maxOutput = 1 << 16,
+        .maxCallDepth = 64,
+    };
+};
+
+/** Run CompDiff-AFL++ on one target. */
+CampaignResult runCampaign(const TargetProgram &target,
+                           const CampaignOptions &options = {});
+
+/** Run campaigns on every target. */
+std::vector<CampaignResult>
+runAllCampaigns(const CampaignOptions &options = {});
+
+/** Aggregate per-column counts over campaign results (Table 5). */
+struct ColumnCounts
+{
+    std::size_t planted = 0;
+    std::size_t found = 0;
+    std::size_t confirmed = 0;
+    std::size_t fixed = 0;
+    std::size_t sanitizerAlso = 0; ///< found AND sanitizer fires
+};
+std::map<std::string, ColumnCounts>
+aggregateByColumn(const std::vector<CampaignResult> &results);
+
+} // namespace compdiff::targets

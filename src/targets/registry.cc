@@ -1,0 +1,142 @@
+#include "targets/targets.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hh"
+#include "targets/build.hh"
+
+namespace compdiff::targets
+{
+
+const char *
+categoryColumn(BugCategory category)
+{
+    switch (category) {
+      case BugCategory::EvalOrder: return "EvalOrder";
+      case BugCategory::UninitMem: return "UninitMem";
+      case BugCategory::IntError: return "IntError";
+      case BugCategory::MemError: return "MemError";
+      case BugCategory::PointerCmp: return "PointerCmp";
+      case BugCategory::Line: return "LINE";
+      case BugCategory::CompilerBug:
+      case BugCategory::FloatImprecision:
+      case BugCategory::MiscOther:
+        return "Misc.";
+    }
+    return "?";
+}
+
+std::size_t
+TargetProgram::linesOfCode() const
+{
+    std::size_t lines = 0;
+    for (char c : source)
+        lines += c == '\n';
+    return lines;
+}
+
+const PlantedBug *
+TargetProgram::findBug(int probe_id) const
+{
+    for (const auto &bug : bugs)
+        if (bug.probeId == probe_id)
+            return &bug;
+    return nullptr;
+}
+
+namespace
+{
+
+/**
+ * Normalize the per-bug confirmed/fixed flags so that the simulated
+ * developer responses aggregate to the paper's Table 5 exactly:
+ *   column       reported confirmed fixed
+ *   EvalOrder       2        2        2
+ *   UninitMem      27       19       15
+ *   IntError        8        8        6
+ *   MemError       13       13       12
+ *   PointerCmp      1        1        1
+ *   LINE            6        5        5
+ *   Misc.          21       17       11
+ */
+void
+normalizeDeveloperResponse(std::vector<TargetProgram> &targets)
+{
+    struct Quota
+    {
+        std::size_t confirmed;
+        std::size_t fixed;
+    };
+    std::map<std::string, Quota> quota = {
+        {"EvalOrder", {2, 2}},   {"UninitMem", {19, 15}},
+        {"IntError", {8, 6}},    {"MemError", {13, 12}},
+        {"PointerCmp", {1, 1}},  {"LINE", {5, 5}},
+        {"Misc.", {17, 11}},
+    };
+
+    // Deterministic order: by probe id within each column.
+    std::vector<PlantedBug *> all;
+    for (auto &target : targets)
+        for (auto &bug : target.bugs)
+            all.push_back(&bug);
+    std::sort(all.begin(), all.end(),
+              [](const PlantedBug *a, const PlantedBug *b) {
+                  return a->probeId < b->probeId;
+              });
+
+    std::map<std::string, std::size_t> seen;
+    for (PlantedBug *bug : all) {
+        const std::string column = categoryColumn(bug->category);
+        const Quota q = quota[column];
+        const std::size_t rank = seen[column]++;
+        bug->confirmed = rank < q.confirmed;
+        bug->fixed = rank < q.fixed;
+    }
+}
+
+} // namespace
+
+const std::vector<TargetProgram> &
+allTargets()
+{
+    static const std::vector<TargetProgram> targets = [] {
+        std::vector<TargetProgram> list;
+        list.push_back(detail::makePktdump());
+        list.push_back(detail::makeNetshark());
+        list.push_back(detail::makeElfread());
+        list.push_back(detail::makeObjview());
+        list.push_back(detail::makeArczip());
+        list.push_back(detail::makeSndconv());
+        list.push_back(detail::makeImgmeta());
+        list.push_back(detail::makePixmagick());
+        list.push_back(detail::makeScriptvm());
+        list.push_back(detail::makeFloatpack());
+        list.push_back(detail::makeJsonq());
+        list.push_back(detail::makePhplite());
+        list.push_back(detail::makeVidmux());
+        normalizeDeveloperResponse(list);
+        return list;
+    }();
+    return targets;
+}
+
+const TargetProgram *
+findTarget(const std::string &name)
+{
+    for (const auto &target : allTargets())
+        if (target.name == name)
+            return &target;
+    return nullptr;
+}
+
+std::size_t
+totalPlantedBugs()
+{
+    std::size_t total = 0;
+    for (const auto &target : allTargets())
+        total += target.bugs.size();
+    return total;
+}
+
+} // namespace compdiff::targets

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Binary-file targets: elfread (readelf-like) and objview
+ * (objdump-like).
+ */
+
+#include "targets/build.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram
+makeElfread()
+{
+    TargetProgram t;
+    t.name = "elfread";
+    t.inputType = "Binary file";
+    t.version = "2.36.1";
+    t.source = R"SRC(
+// elfread - toy object-file information dumper.
+char sections[32];
+char symbols[48];
+
+void scan_record() {
+    int which = read_byte();
+    if (which < 0) { return; }
+    char *saved_start = &sections[0];
+    char *look_for = &sections[0];
+    if (which > 100) { look_for = &symbols[0]; }
+    // BUG(300) PointerCmp: when the cursor moves to the symbol
+    // table, the relational comparison spans two distinct objects
+    // (paper Listing 2) and its result is layout-dependent.
+    if (which > 100) { probe(300); }
+    if (look_for <= saved_start) {
+        print_str("scan backward");
+    } else {
+        print_str("scan forward");
+    }
+    newline();
+}
+
+void diag_record() {
+    int code = read_byte();
+    if (code < 0) { return; }
+    // BUG(301) LINE: multi-line diagnostic statement.
+    int mark = code +
+               0 +
+               cur_line();
+    probe(301);
+    print_str("readelf: warning ");
+    print_int(mark);
+    newline();
+}
+
+void class_record() {
+    int klass = read_byte();
+    long entry;
+    if (klass == 1) { entry = 65536L; }
+    if (klass == 2) { entry = 4294967296L; }
+    // BUG(302) UninitMem: unknown ELF class leaves the entry-point
+    // base unset.
+    if (klass != 1 && klass != 2) { probe(302); }
+    if (entry < 0L) { print_str("odd "); }
+    print_str("entry base ");
+    print_long(entry);
+    newline();
+}
+
+void version_record() {
+    int len = read_byte();
+    int major;
+    int minor = 0;
+    if (len >= 1) {
+        major = read_byte();
+        if (major < 0) { return; }
+    }
+    if (len >= 2) {
+        minor = read_byte();
+        if (minor < 0) { return; }
+    }
+    // BUG(303) UninitMem: a zero-length version blob leaves major
+    // unset.
+    if (len == 0) { probe(303); }
+    if (len < 0) { return; }
+    if (major < 0) { print_str("odd "); }
+    print_str("version ");
+    print_int(major);
+    print_str(".");
+    print_int(minor);
+    newline();
+}
+
+void strtab_record() {
+    char strtab[16];
+    for (int i = 0; i < 16; i += 1) {
+        strtab[i] = (char)(97 + (i & 7));
+    }
+    int off = read_byte();
+    if (off < 0) { return; }
+    // BUG(304) MemError: the offset is narrowed to a signed char, so
+    // bytes above 127 index *before* the table.
+    char noff = (char)off;
+    if (noff > 15) {
+        print_str("name offset out of range");
+        newline();
+        return;
+    }
+    if (off > 127) { probe(304); }
+    print_str("name byte ");
+    print_int(strtab[noff]);
+    newline();
+}
+
+int main() {
+    if (read_byte() != 69) {
+        print_str("elfread: not an object file");
+        newline();
+        return 1;
+    }
+    int records = 0;
+    while (records < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        records += 1;
+        if (tag == 1) { scan_record(); }
+        else if (tag == 2) { diag_record(); }
+        else if (tag == 3) { class_record(); }
+        else if (tag == 4) { version_record(); }
+        else if (tag == 5) { strtab_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("records ");
+    print_int(records);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {69, 1, 50, 2, 9, 3, 1, 4, 2, 7, 7, 5, 12},
+        {69, 3, 2, 5, 120, 1, 99},
+        {69, 4, 0, 2, 1},
+    };
+    t.bugs = {
+        {300, BugCategory::PointerCmp,
+         "relational comparison between section and symbol tables",
+         true, true, false},
+        {301, BugCategory::Line,
+         "diagnostic line spans multiple source lines", true, true,
+         false},
+        {302, BugCategory::UninitMem,
+         "unknown ELF class leaves entry base uninitialized", true,
+         true, false},
+        {303, BugCategory::UninitMem,
+         "zero-length version blob leaves major uninitialized", true,
+         true, false},
+        {304, BugCategory::MemError,
+         "string-table offset narrowed to signed char", true, true,
+         true},
+    };
+    return t;
+}
+
+TargetProgram
+makeObjview()
+{
+    TargetProgram t;
+    t.name = "objview";
+    t.inputType = "Binary file";
+    t.version = "2.36.1";
+    t.source = R"SRC(
+// objview - toy disassembler front-end.
+char symtab[24];
+
+void debug_record() {
+    int level = read_byte();
+    if (level < 0) { return; }
+    char scratch[16];
+    scratch[0] = (char)level;
+    // BUG(400) Misc: debug output prints the buffer *address*
+    // instead of its contents (the objdump %p mixup).
+    if (level > 4) {
+        probe(400);
+        print_str("buf at ");
+        print_ptr(scratch);
+        newline();
+    } else {
+        print_str("buf[0]=");
+        print_int(scratch[0]);
+        newline();
+    }
+}
+
+void symaddr_record() {
+    int idx = read_byte();
+    if (idx < 0) { return; }
+    symtab[idx & 15] = 'S';
+    // BUG(401) Misc: the "symbol value" column leaks the in-memory
+    // table address.
+    probe(401);
+    print_str("sym value ");
+    print_ptr(symtab);
+    newline();
+}
+
+void copy_record() {
+    char insn[16];
+    int sentinel = 31337;
+    int n = read_byte();
+    if (n < 0) { return; }
+    // BUG(402) MemError: the bound admits n == 17 (<= instead of <).
+    if (n > 17) { n = 17; }
+    for (int i = 0; i < n; i += 1) {
+        int b = read_byte();
+        if (b < 0) { break; }
+        if (i == 16) { probe(402); }
+        insn[i] = (char)b;
+    }
+    print_str("opcode ");
+    print_int(insn[0]);
+    print_str(" guard ");
+    print_int(sentinel);
+    newline();
+}
+
+void section_record() {
+    char *sec = malloc(32L);
+    if (sec == 0) { return; }
+    sec[0] = 'T';
+    int flags = read_byte();
+    if (flags < 0) { free(sec); return; }
+    if (flags > 240) {
+        // Error path releases the buffer...
+        free(sec);
+        probe(403);
+    }
+    print_str("section ");
+    print_int(sec[0]);
+    newline();
+    // BUG(403) MemError: ...and the common cleanup frees it again.
+    free(sec);
+}
+
+int main() {
+    if (read_byte() != 79) {
+        print_str("objview: unrecognized format");
+        newline();
+        return 1;
+    }
+    int entries = 0;
+    while (entries < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        entries += 1;
+        if (tag == 1) { debug_record(); }
+        else if (tag == 2) { symaddr_record(); }
+        else if (tag == 3) { copy_record(); }
+        else if (tag == 4) { section_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("entries ");
+    print_int(entries);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {79, 1, 2, 3, 4, 10, 20, 30, 40, 4, 9},
+        {79, 1, 9, 4, 100, 3, 2, 5, 6},
+        {79, 2, 7, 4, 99},
+    };
+    t.bugs = {
+        {400, BugCategory::MiscOther,
+         "verbose mode prints buffer address instead of contents",
+         true, true, false},
+        {401, BugCategory::MiscOther,
+         "symbol column leaks the table address", true, false,
+         false},
+        {402, BugCategory::MemError,
+         "instruction copy bound admits 17 bytes into insn[16]",
+         true, true, true},
+        {403, BugCategory::MemError,
+         "error path double-frees the section buffer", true, true,
+         true},
+    };
+    return t;
+}
+
+} // namespace compdiff::targets::detail

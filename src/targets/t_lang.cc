@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Language-implementation targets: scriptvm (MuJS-like bytecode
+ * interpreter — the home of the three seeded compiler bugs, RQ2) and
+ * phplite (php-like script processor).
+ */
+
+#include "targets/build.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram
+makeScriptvm()
+{
+    TargetProgram t;
+    t.name = "scriptvm";
+    t.inputType = "JavaScript";
+    t.version = "1.1.3";
+    t.source = R"SRC(
+// scriptvm - toy script bytecode interpreter.
+int stack[16];
+int sp = 0;
+
+void push_val(int v) {
+    if (sp < 16) {
+        stack[sp] = v;
+        sp += 1;
+    }
+}
+
+int pop_val() {
+    if (sp > 0) {
+        sp -= 1;
+        return stack[sp];
+    }
+    return 0;
+}
+
+void op_hash() {
+    int top = pop_val();
+    // BUG(900) CompilerBug: `top % 8` is strength-reduced to
+    // `top & 7` by one of the simulated compilers, losing the
+    // negative fixup (the first MuJS miscompilation).
+    if (top < 0) { probe(900); }
+    int slot = top % 8;
+    print_str("hash ");
+    print_int(slot);
+    newline();
+    push_val(slot);
+}
+
+void op_bucket() {
+    int top = pop_val();
+    // BUG(901) CompilerBug: `top / 32` becomes an arithmetic shift
+    // without round-toward-zero in another implementation.
+    if (top < 0) { probe(901); }
+    int bucket = top / 32;
+    print_str("bucket ");
+    print_int(bucket);
+    newline();
+    push_val(bucket);
+}
+
+void op_rangecheck() {
+    int x = pop_val();
+    // BUG(902) CompilerBug: `x < 5 && x > 3` is "empty-range"
+    // folded to false although x == 4 satisfies it.
+    if (x == 4) { probe(902); }
+    if (x < 5 && x > 3) {
+        print_str("in-range");
+    } else {
+        print_str("out-of-range");
+    }
+    newline();
+    push_val(x);
+}
+
+void op_guardadd() {
+    int len = pop_val();
+    int small = pop_val() & 127;
+    int base = 2147483647 - small;
+    // BUG(903) IntError: wrap guard folded away by optimizers.
+    if (len > small && len >= 0) { probe(903); }
+    if (base + len < base) {
+        print_str("guard trip");
+    } else {
+        print_str("guard pass");
+    }
+    newline();
+}
+
+void op_bigmul() {
+    int a = pop_val() * 1000;
+    int b = pop_val() * 1000;
+    // BUG(904) IntError: 32-bit product feeding a 64-bit total.
+    if ((long)a * (long)b > 2147483647L) { probe(904); }
+    long total = 1L + a * b;
+    print_str("total ");
+    print_long(total);
+    newline();
+}
+
+void op_gc() {
+    int gen = pop_val();
+    if (gen > 64) {
+        // BUG(905) Misc: the "GC cycle id" seeds from undefined
+        // memory.
+        probe(905);
+        print_str("gc cycle ");
+        print_int(bad_rand() & 4095);
+        newline();
+    } else {
+        print_str("gc skipped");
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 74) {
+        print_str("scriptvm: bad bytecode");
+        newline();
+        return 1;
+    }
+    sp = 0;
+    int steps = 0;
+    while (steps < 96) {
+        int op = read_byte();
+        if (op < 0) { break; }
+        steps += 1;
+        if (op == 1) {
+            int v = read_byte();
+            if (v < 0) { break; }
+            push_val(v);
+        }
+        else if (op == 2) { push_val(pop_val() + (pop_val() & 8191)); }
+        else if (op == 3) {
+            int b = pop_val();
+            int a = pop_val();
+            push_val(a - b);
+        }
+        else if (op == 4) { op_hash(); }
+        else if (op == 5) { op_bucket(); }
+        else if (op == 6) { op_rangecheck(); }
+        else if (op == 7) { op_guardadd(); }
+        else if (op == 8) { op_bigmul(); }
+        else if (op == 9) { op_gc(); }
+        else if (op == 10) {
+            print_str("top ");
+            print_int(pop_val());
+            newline();
+        }
+        else { print_str("?"); newline(); }
+    }
+    print_str("steps ");
+    print_int(steps);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        // push/arith sequences ending in the interesting opcodes
+        {74, 1, 3, 1, 9, 3, 4, 10},
+        {74, 1, 10, 1, 3, 3, 5, 1, 4, 6, 10},
+        {74, 1, 120, 1, 60, 7, 1, 50, 1, 60, 8, 1, 90, 9},
+    };
+    t.bugs = {
+        {900, BugCategory::CompilerBug,
+         "negative modulo miscompiled to a mask (clang-sim O2/O3)",
+         true, true, false},
+        {901, BugCategory::CompilerBug,
+         "negative division miscompiled to a shift (gcc-sim Os)",
+         true, true, false},
+        {902, BugCategory::CompilerBug,
+         "satisfiable range check folded to false (gcc-sim O3)",
+         true, true, false},
+        {903, BugCategory::IntError,
+         "interpreter bounds guard folded away", true, true, true},
+        {904, BugCategory::IntError,
+         "arithmetic opcode product widened inconsistently", true,
+         true, true},
+        {905, BugCategory::MiscOther,
+         "GC cycle id read from undefined memory", true, false,
+         false},
+    };
+    return t;
+}
+
+TargetProgram
+makePhplite()
+{
+    TargetProgram t;
+    t.name = "phplite";
+    t.inputType = "PHP";
+    t.version = "7.4.26";
+    t.source = R"SRC(
+// phplite - toy script-engine front end.
+int call_depth = 0;
+
+int helper_no_return(int x) {
+    // BUG(1206) UninitMem: falling off the end of a value-returning
+    // function yields an indeterminate value.
+    if (x > 100) {
+        return x - 100;
+    }
+    // no return on this path
+}
+
+void stmt_error() {
+    int code = read_byte();
+    if (code < 0) { return; }
+    // BUG(1200) LINE: the engine labels this error with a line from
+    // a statement spanning several lines (the var_dump case).
+    int line_no = 0 +
+                  code +
+                  cur_line();
+    probe(1200);
+    print_str("Fatal error at line ");
+    print_int(line_no);
+    newline();
+}
+
+void stmt_warning() {
+    int code = read_byte();
+    if (code < 0) { return; }
+    // BUG(1201) LINE: second diagnostic site.
+    int line_no = code +
+                  0 +
+                  0 +
+                  cur_line();
+    probe(1201);
+    print_str("Warning at line ");
+    print_int(line_no);
+    newline();
+}
+
+void stmt_undefvar() {
+    int defined = read_byte();
+    int zval;
+    if (defined == 1) { zval = read_byte() & 255; }
+    // BUG(1202) UninitMem: reading an undefined variable.
+    if (defined != 1) { probe(1202); }
+    if (zval < 0) { print_str("odd "); }
+    print_str("$a = ");
+    print_int(zval);
+    newline();
+}
+
+void stmt_arraykey() {
+    int key = read_byte();
+    if (key < 0) { return; }
+    int table[4];
+    table[0] = 10;
+    table[1] = 20;
+    int looked;
+    if (key < 2) { looked = table[key]; }
+    // BUG(1203) UninitMem: missing keys return an unset zval.
+    if (key >= 2) { probe(1203); }
+    print_str("$arr[k] = ");
+    print_int(looked);
+    newline();
+}
+
+void stmt_static() {
+    int first = read_byte();
+    int cache;
+    if (first == 1) { cache = 7; }
+    // BUG(1204) UninitMem: the "static" cache is consumed before
+    // its first initialization.
+    if (first != 1) { probe(1204); }
+    print_str("static ");
+    print_int(cache);
+    newline();
+}
+
+void stmt_strparse() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int num;
+    int seen = 0;
+    for (int i = 0; i < len && i < 5; i += 1) {
+        int c = read_byte();
+        if (c < 0) { break; }
+        if (c >= 48 && c <= 57) {
+            if (seen == 0) { num = 0; }
+            num = num * 10 + (c - 48);
+            seen = 1;
+        }
+    }
+    // BUG(1205) UninitMem: "(int)$s" on a digit-free string.
+    if (seen == 0) { probe(1205); }
+    print_str("(int)$s = ");
+    print_int(num);
+    newline();
+}
+
+void stmt_callret() {
+    int x = read_byte();
+    if (x < 0) { return; }
+    if (x <= 100) { probe(1206); }
+    print_str("ret ");
+    print_int(helper_no_return(x));
+    newline();
+}
+
+void stmt_intdiv() {
+    int small = read_byte();
+    int len = read_byte();
+    if (small < 0 || len < 0) { return; }
+    int lhs = 2147483647 - (small & 63);
+    // BUG(1207) IntError: wrap guard in intdiv() bounds check.
+    if (len > (small & 63)) { probe(1207); }
+    if (lhs + len < lhs) {
+        print_str("intdiv overflow");
+    } else {
+        print_str("intdiv ok");
+    }
+    newline();
+}
+
+void stmt_strtoint() {
+    int c1 = read_byte();
+    int c2 = read_byte();
+    if (c1 < 0 || c2 < 0) { return; }
+    int a = c1 * 2000;
+    int b = c2 * 2000;
+    // BUG(1208) IntError: the engine totals string offsets in 64
+    // bits on some builds only.
+    if ((long)a * (long)b > 2147483647L) { probe(1208); }
+    long bytes = 1L + a * b;
+    print_str("offset ");
+    print_long(bytes);
+    newline();
+}
+
+void stmt_resource() {
+    int id = read_byte();
+    if (id < 0) { return; }
+    char handle[8];
+    handle[0] = (char)id;
+    if (id > 12) {
+        // BUG(1209) Misc: var_dump prints the resource address.
+        probe(1209);
+        print_str("resource(");
+        print_ptr(handle);
+        print_str(")");
+        newline();
+    } else {
+        print_str("resource#");
+        print_int(id);
+        newline();
+    }
+}
+
+void stmt_zvaldebug() {
+    int on = read_byte();
+    if (on < 0) { return; }
+    if (on > 7) {
+        // BUG(1210) Misc: debug_zval_dump leaks the engine pointer.
+        probe(1210);
+        print_str("zval at ");
+        print_ptr("zv");
+        newline();
+    } else {
+        print_str("zval ok");
+        newline();
+    }
+}
+
+void stmt_rand() {
+    int req = read_byte();
+    if (req < 0) { return; }
+    if (req > 30) {
+        // BUG(1211) Misc: rand() consumed before seeding.
+        probe(1211);
+        print_str("rand ");
+        print_int(bad_rand() & 32767);
+        newline();
+    } else {
+        print_str("rand 4");
+        newline();
+    }
+}
+
+void stmt_shuffle() {
+    int n = read_byte();
+    if (n < 0) { return; }
+    if (n > 77) {
+        // BUG(1212) Misc: shuffle() entropy from undefined memory.
+        probe(1212);
+        print_str("pick ");
+        print_int((bad_rand() + n) & 511);
+        newline();
+    } else {
+        print_str("pick 0");
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 60) {
+        print_str("phplite: missing <?php");
+        newline();
+        return 1;
+    }
+    int stmts = 0;
+    while (stmts < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        stmts += 1;
+        if (tag == 1) { stmt_error(); }
+        else if (tag == 2) { stmt_warning(); }
+        else if (tag == 3) { stmt_undefvar(); }
+        else if (tag == 4) { stmt_arraykey(); }
+        else if (tag == 5) { stmt_static(); }
+        else if (tag == 6) { stmt_strparse(); }
+        else if (tag == 7) { stmt_callret(); }
+        else if (tag == 8) { stmt_intdiv(); }
+        else if (tag == 9) { stmt_strtoint(); }
+        else if (tag == 10) { stmt_resource(); }
+        else if (tag == 11) { stmt_zvaldebug(); }
+        else if (tag == 12) { stmt_rand(); }
+        else if (tag == 13) { stmt_shuffle(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("stmts ");
+    print_int(stmts);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {60, 1, 4, 3, 1, 9, 4, 1, 5, 1, 6, 2, 49, 50},
+        {60, 7, 150, 8, 20, 5, 9, 3, 3, 10, 5, 11, 2},
+        {60, 12, 10, 13, 50, 2, 6, 4, 0, 3, 0},
+    };
+    t.bugs = {
+        {1200, BugCategory::Line,
+         "fatal-error line attribution is implementation-defined",
+         true, true, true},
+        {1201, BugCategory::Line,
+         "warning line attribution is implementation-defined", true,
+         true, true},
+        {1202, BugCategory::UninitMem,
+         "undefined variable read returns indeterminate zval", true,
+         true, true},
+        {1203, BugCategory::UninitMem,
+         "missing array key returns unset zval", true, true, false},
+        {1204, BugCategory::UninitMem,
+         "static cache consumed before first initialization", true,
+         false, false},
+        {1205, BugCategory::UninitMem,
+         "(int) cast of digit-free string", true, false, false},
+        {1206, BugCategory::UninitMem,
+         "value-returning helper falls off the end", true, true,
+         true},
+        {1207, BugCategory::IntError,
+         "intdiv wrap guard folded away", true, true, false},
+        {1208, BugCategory::IntError,
+         "string offset product widened inconsistently", true, true,
+         false},
+        {1209, BugCategory::MiscOther,
+         "var_dump prints the resource address", true, true, false},
+        {1210, BugCategory::MiscOther,
+         "debug_zval_dump leaks an engine pointer", true, true,
+         false},
+        {1211, BugCategory::MiscOther,
+         "rand() consumed before seeding", true, false, false},
+        {1212, BugCategory::MiscOther,
+         "shuffle() entropy from undefined memory", true, false,
+         false},
+    };
+    return t;
+}
+
+} // namespace compdiff::targets::detail

@@ -1,0 +1,641 @@
+/**
+ * @file
+ * Multimedia targets: sndconv (audio), imgmeta (exiv2-like metadata
+ * reader), pixmagick (image transformer), vidmux (video muxer).
+ */
+
+#include "targets/build.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram
+makeSndconv()
+{
+    TargetProgram t;
+    t.name = "sndconv";
+    t.inputType = "Audio";
+    t.version = "1.0.31";
+    t.source = R"SRC(
+// sndconv - toy audio metadata converter.
+void rate_chunk() {
+    int present = read_byte();
+    int rate;
+    if (present == 1) {
+        rate = read_byte() * 256;
+        if (rate < 0) { return; }
+    }
+    // BUG(600) UninitMem: optional rate field left unset.
+    if (present != 1) { probe(600); }
+    if (rate < 0) { print_str("odd "); }
+    print_str("rate ");
+    print_int(rate);
+    newline();
+}
+
+void chanmap_chunk() {
+    int chans = read_byte();
+    if (chans < 0) { return; }
+    char map[8];
+    int n = chans & 7;
+    for (int i = 0; i < n; i += 1) {
+        map[i] = (char)(48 + i);
+    }
+    // BUG(601) UninitMem: the map is consumed for all 8 slots even
+    // when fewer channels were initialized.
+    if (n < 8) { probe(601); }
+    int acc = 0;
+    for (int j = 0; j < 8; j += 1) {
+        acc += map[j];
+    }
+    if (acc < 0) { print_str("odd "); }
+    print_str("chansum ");
+    print_int(acc);
+    newline();
+}
+
+void gain_chunk() {
+    int marker = read_byte();
+    int gain;
+    if (marker == 71) { gain = read_byte(); }
+    // BUG(602) UninitMem: missing gain marker.
+    if (marker != 71) { probe(602); }
+    if (gain < 0) { print_str("odd "); }
+    print_str("gain ");
+    print_int(gain);
+    newline();
+}
+
+void cue_chunk() {
+    int count = read_byte();
+    long cue;
+    if (count > 0) { cue = (long)read_byte() * 1000L; }
+    // BUG(603) UninitMem: empty cue list.
+    if (count <= 0) { probe(603); }
+    if (cue < 0L) { print_str("odd "); }
+    print_str("cue ");
+    print_long(cue);
+    newline();
+}
+
+void sample_chunk() {
+    char frame[16];
+    for (int i = 0; i < 16; i += 1) {
+        frame[i] = (char)(i * 3);
+    }
+    int n = read_byte();
+    if (n < 0) { return; }
+    // BUG(604) MemError: the smoothing window reads frame[n+1]
+    // with n allowed to reach 15.
+    if (n > 15) { n = 15; }
+    if (n == 15) { probe(604); }
+    print_str("smooth ");
+    print_int(frame[n] + frame[n + 1]);
+    newline();
+}
+
+void resample_chunk() {
+    char *buf = malloc(32L);
+    if (buf == 0) { return; }
+    for (int i = 0; i < 32; i += 1) { buf[i] = (char)i; }
+    int stride = read_byte();
+    if (stride < 1) { free(buf); return; }
+    // BUG(605) MemError: the last tap of the filter reads one
+    // stride past the buffer for stride > 16.
+    if (stride > 16) { probe(605); }
+    if (stride <= 31) {
+        print_str("tap ");
+        print_int(buf[stride * 2 - 1]);
+        newline();
+    } else {
+        print_str("stride too big");
+        newline();
+    }
+    free(buf);
+}
+
+int main() {
+    if (read_byte() != 83) {
+        print_str("sndconv: bad header");
+        newline();
+        return 1;
+    }
+    int chunks = 0;
+    while (chunks < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        chunks += 1;
+        if (tag == 1) { rate_chunk(); }
+        else if (tag == 2) { chanmap_chunk(); }
+        else if (tag == 3) { gain_chunk(); }
+        else if (tag == 4) { cue_chunk(); }
+        else if (tag == 5) { sample_chunk(); }
+        else if (tag == 6) { resample_chunk(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("chunks ");
+    print_int(chunks);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {83, 1, 1, 100, 2, 3, 3, 71, 9, 4, 2, 8, 5, 4, 6, 8},
+        {83, 1, 0, 3, 0, 4, 0, 2, 8},
+        {83, 5, 15, 6, 20},
+    };
+    t.bugs = {
+        {600, BugCategory::UninitMem,
+         "optional sample-rate field left unset", true, true, true},
+        {601, BugCategory::UninitMem,
+         "channel map consumed beyond initialized slots", true, true,
+         false},
+        {602, BugCategory::UninitMem,
+         "missing gain marker leaves gain unset", true, true, false},
+        {603, BugCategory::UninitMem,
+         "empty cue list leaves cue offset unset", true, false,
+         false},
+        {604, BugCategory::MemError,
+         "smoothing window reads frame[16]", true, true, true},
+        {605, BugCategory::MemError,
+         "resample tap reads past the buffer for large strides",
+         true, true, true},
+    };
+    return t;
+}
+
+TargetProgram
+makeImgmeta()
+{
+    TargetProgram t;
+    t.name = "imgmeta";
+    t.inputType = "Exiv2 image";
+    t.version = "0.27.5";
+    t.source = R"SRC(
+// imgmeta - toy EXIF-style metadata printer. Six numeric fields
+// share the Listing 4 flaw: an empty ASCII field never overwrites
+// the uninitialized accumulator.
+int parse_digits(int len, int *got) {
+    int value;
+    int digits = 0;
+    for (int i = 0; i < len && i < 6; i += 1) {
+        int c = read_byte();
+        if (c < 0) { break; }
+        if (c >= 48 && c <= 57) {
+            if (digits == 0) { value = 0; }
+            value = value * 10 + (c - 48);
+            digits += 1;
+        }
+    }
+    *got = digits;
+    return value;
+}
+
+void exposure_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(700) UninitMem.
+    if (got == 0) { probe(700); }
+    if (v < 0) { print_str("raw "); }
+    print_str("exposure ");
+    print_int((v / 77) & 65535);
+    newline();
+}
+
+void iso_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(701) UninitMem.
+    if (got == 0) { probe(701); }
+    if (v < 0) { print_str("raw "); }
+    print_str("iso ");
+    print_int(v & 16383);
+    newline();
+}
+
+void fnumber_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(702) UninitMem.
+    if (got == 0) { probe(702); }
+    if (v < 0) { print_str("raw "); }
+    print_str("f/");
+    print_int(v % 97);
+    newline();
+}
+
+void date_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(703) UninitMem.
+    if (got == 0) { probe(703); }
+    if (v < 0) { print_str("raw "); }
+    print_str("year ");
+    print_int(1900 + (v & 255));
+    newline();
+}
+
+void gps_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(704) UninitMem.
+    if (got == 0) { probe(704); }
+    if (v < 0) { print_str("raw "); }
+    print_str("lat ");
+    print_int(v % 181);
+    newline();
+}
+
+void maker_field() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int got = 0;
+    int v = parse_digits(len, &got);
+    // BUG(705) UninitMem: the maker note is printed in hex halves,
+    // like CanonMakerNote::print0x000c (paper Listing 4).
+    if (got == 0) { probe(705); }
+    if (v < 0) { print_str("raw "); }
+    print_str("serial ");
+    print_hex((ulong)((uint)v / 65536U));
+    newline();
+}
+
+void thumb_field() {
+    char thumb[16];
+    for (int i = 0; i < 16; i += 1) { thumb[i] = (char)(i + 1); }
+    int off = read_byte();
+    if (off < 0) { return; }
+    // BUG(706) MemError: offset check allows 16.
+    if (off > 16) { off = 16; }
+    if (off == 16) { probe(706); }
+    print_str("thumb ");
+    print_int(thumb[off]);
+    newline();
+}
+
+void strip_field() {
+    char *strip = malloc(20L);
+    if (strip == 0) { return; }
+    for (int i = 0; i < 20; i += 1) { strip[i] = (char)(64 + i); }
+    int n = read_byte();
+    if (n < 0) { free(strip); return; }
+    // BUG(707) MemError: the strip checksum walks n+2 entries.
+    if (n > 20) { n = 20; }
+    if (n > 17) { probe(707); }
+    int acc = 0;
+    for (int j = 0; j < n + 2; j += 1) {
+        acc += strip[j];
+    }
+    print_str("stripsum ");
+    print_int(acc);
+    newline();
+    free(strip);
+}
+
+int main() {
+    if (read_byte() != 73) {
+        print_str("imgmeta: no exif");
+        newline();
+        return 1;
+    }
+    int fields = 0;
+    while (fields < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        fields += 1;
+        if (tag == 1) { exposure_field(); }
+        else if (tag == 2) { iso_field(); }
+        else if (tag == 3) { fnumber_field(); }
+        else if (tag == 4) { date_field(); }
+        else if (tag == 5) { gps_field(); }
+        else if (tag == 6) { maker_field(); }
+        else if (tag == 7) { thumb_field(); }
+        else if (tag == 8) { strip_field(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("fields ");
+    print_int(fields);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {73, 1, 2, 49, 50, 2, 3, 49, 48, 48, 3, 1, 56, 4, 4, 50, 48,
+         50, 50},
+        {73, 5, 2, 52, 53, 6, 3, 49, 50, 51, 7, 5, 8, 10},
+        {73, 1, 0, 2, 0, 6, 1, 65, 8, 21},
+    };
+    t.bugs = {
+        {700, BugCategory::UninitMem,
+         "empty exposure field leaves value unset", true, true,
+         true},
+        {701, BugCategory::UninitMem,
+         "empty ISO field leaves value unset", true, true, true},
+        {702, BugCategory::UninitMem,
+         "empty f-number field leaves value unset", true, true,
+         false},
+        {703, BugCategory::UninitMem,
+         "empty date field leaves value unset", true, false, false},
+        {704, BugCategory::UninitMem,
+         "empty GPS field leaves value unset", true, false, false},
+        {705, BugCategory::UninitMem,
+         "empty maker note printed in hex (Listing 4)", true, true,
+         true},
+        {706, BugCategory::MemError,
+         "thumbnail offset check allows one-past-the-end", true,
+         true, true},
+        {707, BugCategory::MemError,
+         "strip checksum walks two entries past the data", true,
+         true, true},
+    };
+    return t;
+}
+
+TargetProgram
+makePixmagick()
+{
+    TargetProgram t;
+    t.name = "pixmagick";
+    t.inputType = "Image";
+    t.version = "7.1.0-23";
+    t.source = R"SRC(
+// pixmagick - toy image transformer.
+void resize_op() {
+    int w = read_byte();
+    if (w < 0) { return; }
+    // BUG(800) LINE: the assertion message takes its line from a
+    // statement spanning several lines.
+    int mark = w +
+               0 +
+               cur_line();
+    probe(800);
+    print_str("resize assert ");
+    print_int(mark);
+    newline();
+}
+
+void annotate_op() {
+    int code = read_byte();
+    if (code < 0) { return; }
+    // BUG(801) LINE: second multi-line diagnostic site.
+    int where = 0 +
+                code +
+                0 +
+                cur_line();
+    probe(801);
+    print_str("annotate at ");
+    print_int(where);
+    newline();
+}
+
+void palette_op() {
+    int entries = read_byte();
+    if (entries < 0) { return; }
+    int background;
+    if (entries > 0) { background = read_byte() & 255; }
+    // BUG(802) UninitMem: empty palettes leave the background unset.
+    if (entries == 0) { probe(802); }
+    if (background < 0) { print_str("odd "); }
+    print_str("bg ");
+    print_int(background);
+    newline();
+}
+
+void gamma_op() {
+    int marker = read_byte();
+    int gamma;
+    if (marker == 42) { gamma = read_byte(); }
+    // BUG(803) UninitMem: missing gamma marker.
+    if (marker != 42) { probe(803); }
+    if (gamma < 0) { print_str("odd "); }
+    print_str("gamma ");
+    print_int(gamma);
+    newline();
+}
+
+void comment_op() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    char text[8];
+    int filled = 0;
+    for (int i = 0; i < len && i < 8; i += 1) {
+        int c = read_byte();
+        if (c < 0) { break; }
+        text[i] = (char)c;
+        filled += 1;
+    }
+    // BUG(804) UninitMem: the comment trailer prints text[7] even
+    // for short comments.
+    if (filled < 8) { probe(804); }
+    print_str("comment end ");
+    print_int(text[7]);
+    newline();
+}
+
+void crop_op() {
+    char row[16];
+    for (int i = 0; i < 16; i += 1) { row[i] = (char)(i * 5); }
+    int x = read_byte();
+    if (x < 0) { return; }
+    // BUG(805) MemError: crop origin check allows x == 16.
+    if (x > 16) { x = 16; }
+    if (x == 16) { probe(805); }
+    print_str("crop ");
+    print_int(row[x]);
+    newline();
+}
+
+int main() {
+    if (read_byte() != 77) {
+        print_str("pixmagick: bad image");
+        newline();
+        return 1;
+    }
+    int ops = 0;
+    while (ops < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        ops += 1;
+        if (tag == 1) { resize_op(); }
+        else if (tag == 2) { annotate_op(); }
+        else if (tag == 3) { palette_op(); }
+        else if (tag == 4) { gamma_op(); }
+        else if (tag == 5) { comment_op(); }
+        else if (tag == 6) { crop_op(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("ops ");
+    print_int(ops);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {77, 3, 2, 9, 4, 42, 8, 5, 3, 97, 98, 99, 6, 4},
+        {77, 1, 5, 2, 7, 3, 0},
+        {77, 4, 1, 5, 9, 120, 6, 15},
+    };
+    t.bugs = {
+        {800, BugCategory::Line,
+         "resize assertion line is implementation-defined", true,
+         true, false},
+        {801, BugCategory::Line,
+         "annotate diagnostic line is implementation-defined", true,
+         true, false},
+        {802, BugCategory::UninitMem,
+         "empty palette leaves background unset", true, true, true},
+        {803, BugCategory::UninitMem,
+         "missing gamma marker leaves gamma unset", true, false,
+         false},
+        {804, BugCategory::UninitMem,
+         "short comment prints uninitialized trailer", true, true,
+         false},
+        {805, BugCategory::MemError,
+         "crop origin bound admits one-past-the-end", true, true,
+         true},
+    };
+    return t;
+}
+
+TargetProgram
+makeVidmux()
+{
+    TargetProgram t;
+    t.name = "vidmux";
+    t.inputType = "Video";
+    t.version = "2.0.0";
+    t.source = R"SRC(
+// vidmux - toy container muxer.
+void fps_box() {
+    int num = read_byte();
+    if (num < 0) { return; }
+    // BUG(1300) FloatImprecision: frame pacing uses pow().
+    probe(1300);
+    double pace = pow_f(1.001, (double)(num + 2));
+    print_str("pace ");
+    print_f(pace);
+    newline();
+}
+
+void bitrate_box() {
+    int q = read_byte();
+    if (q < 0) { return; }
+    // BUG(1301) FloatImprecision: the rounded kbps decision flips
+    // with the libm strategy.
+    probe(1301);
+    double kbps = pow_f(3.7, 1.0 + (double)q / 11.0);
+    print_str("kbps ");
+    print_long((long)(kbps * 100000.0) % 100L);
+    newline();
+}
+
+void index_box() {
+    int n = read_byte();
+    if (n < 0) { return; }
+    char table[24];
+    table[0] = (char)n;
+    if (n > 7) {
+        // BUG(1302) Misc: verbose index prints the table address.
+        probe(1302);
+        print_str("index at ");
+        print_ptr(table);
+        newline();
+    } else {
+        print_str("index ");
+        print_int(table[0]);
+        newline();
+    }
+}
+
+void track_box() {
+    int id = read_byte();
+    if (id < 0) { return; }
+    if (id > 9) {
+        // BUG(1303) Misc: the track handle column is an address.
+        probe(1303);
+        print_str("track handle ");
+        print_ptr("trk");
+        newline();
+    } else {
+        print_str("track ");
+        print_int(id);
+        newline();
+    }
+}
+
+void jitter_box() {
+    int mode = read_byte();
+    if (mode < 0) { return; }
+    if (mode > 50) {
+        // BUG(1304) Misc: jitter compensation seeds from undefined
+        // memory.
+        probe(1304);
+        print_str("jitter ");
+        print_int(bad_rand() & 255);
+        newline();
+    } else {
+        print_str("jitter 0");
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 86) {
+        print_str("vidmux: bad container");
+        newline();
+        return 1;
+    }
+    int boxes = 0;
+    while (boxes < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        boxes += 1;
+        if (tag == 1) { fps_box(); }
+        else if (tag == 2) { bitrate_box(); }
+        else if (tag == 3) { index_box(); }
+        else if (tag == 4) { track_box(); }
+        else if (tag == 5) { jitter_box(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("boxes ");
+    print_int(boxes);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {86, 1, 24, 2, 5, 3, 2, 4, 3, 5, 10},
+        {86, 3, 20, 4, 30, 5, 90},
+        {86, 2, 40, 1, 200},
+    };
+    t.bugs = {
+        {1300, BugCategory::FloatImprecision,
+         "frame pacing printed at full float precision", true, true,
+         false},
+        {1301, BugCategory::FloatImprecision,
+         "bitrate decision flips with libm strategy", true, false,
+         false},
+        {1302, BugCategory::MiscOther,
+         "verbose index prints the table address", true, false,
+         false},
+        {1303, BugCategory::MiscOther,
+         "track handle column prints an address", true, false,
+         false},
+        {1304, BugCategory::MiscOther,
+         "jitter compensation seeds from undefined memory", true,
+         true, false},
+    };
+    return t;
+}
+
+} // namespace compdiff::targets::detail

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Network-packet targets: pktdump (tcpdump-like) and netshark
+ * (wireshark-like, with per-run timestamps in its output).
+ */
+
+#include "targets/build.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram
+makePktdump()
+{
+    TargetProgram t;
+    t.name = "pktdump";
+    t.inputType = "Network packet";
+    t.version = "4.99.1";
+    t.source = R"SRC(
+// pktdump - toy packet dumper in the spirit of tcpdump.
+// Formatters share static buffers, exactly like tcpdump's
+// GET_LINKADDR_STRING (paper Listing 3).
+char linkbuf[16];
+char namebuf[16];
+
+char *link_str(int addr) {
+    linkbuf[0] = (char)(65 + (addr & 15));
+    linkbuf[1] = (char)(97 + ((addr / 16) & 15));
+    linkbuf[2] = 0;
+    return linkbuf;
+}
+
+char *name_str(int id) {
+    namebuf[0] = (char)(48 + (id & 7));
+    namebuf[1] = (char)(48 + ((id / 8) & 7));
+    namebuf[2] = 0;
+    return namebuf;
+}
+
+void show_pair(char *who, char *tell) {
+    print_str("who-is ");
+    print_str(who);
+    print_str(" tell ");
+    print_str(tell);
+    newline();
+}
+
+void show_route(char *from, char *dest) {
+    print_str("route ");
+    print_str(from);
+    print_str(" -> ");
+    print_str(dest);
+    newline();
+}
+
+void arp_record() {
+    int a = read_byte();
+    int b = read_byte();
+    if (a < 0 || b < 0) { return; }
+    // BUG(100) EvalOrder: both arguments run through the shared
+    // static buffer; the argument evaluation order decides which
+    // address both columns show.
+    probe(100);
+    show_pair(link_str(a), link_str(b));
+}
+
+void route_record() {
+    int a = read_byte();
+    int b = read_byte();
+    if (a < 0 || b < 0) { return; }
+    // BUG(101) EvalOrder: second instance of the same pattern,
+    // via the name formatter.
+    probe(101);
+    show_route(name_str(a), name_str(b));
+}
+
+void option_record() {
+    int count = read_byte();
+    int ttl;
+    if (count > 0) {
+        ttl = read_byte() & 255;
+        for (int i = 1; i < count && i < 8; i += 1) {
+            int skip = read_byte();
+            if (skip < 0) { break; }
+        }
+    }
+    // BUG(102) UninitMem: an empty option list leaves ttl unset.
+    if (count <= 0) { probe(102); }
+    if (ttl < 0) { print_str("bad "); }
+    print_str("ttl=");
+    print_int(ttl);
+    newline();
+}
+
+void addr_record() {
+    int hi = read_byte();
+    int lo = read_byte();
+    int port;
+    if (lo >= 0) { port = hi * 256 + lo; }
+    // BUG(103) UninitMem: a truncated record leaves port unset.
+    if (lo < 0) { probe(103); }
+    if (port < 0) { print_str("bad "); }
+    print_str("port ");
+    print_int(port);
+    newline();
+}
+
+void label_record() {
+    char label[8];
+    for (int i = 0; i < 8; i += 1) {
+        label[i] = (char)(65 + i);
+    }
+    int idx = read_byte();
+    if (idx < 0) { return; }
+    // BUG(104) MemError: off-by-one bound admits idx == 8.
+    if (idx <= 8) {
+        if (idx == 8) { probe(104); }
+        print_str("label ");
+        print_int(label[idx]);
+        newline();
+    } else {
+        print_str("label out of range");
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 80) {
+        print_str("pktdump: not a capture");
+        newline();
+        return 1;
+    }
+    int packets = 0;
+    while (packets < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        packets += 1;
+        if (tag == 1) { arp_record(); }
+        else if (tag == 2) { route_record(); }
+        else if (tag == 3) { option_record(); }
+        else if (tag == 4) { addr_record(); }
+        else if (tag == 5) { label_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("packets ");
+    print_int(packets);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {80, 1, 17, 34, 2, 3, 4, 3, 2, 60, 9, 4, 1, 200, 5, 3},
+        {80, 3, 1, 64, 4, 2, 48, 5, 7, 1, 5, 5},
+        {80, 5, 2, 3, 0, 4, 1},
+    };
+    t.bugs = {
+        {100, BugCategory::EvalOrder,
+         "ARP who-is/tell columns share a static formatter buffer",
+         true, true, false},
+        {101, BugCategory::EvalOrder,
+         "route columns share a static formatter buffer", true, true,
+         false},
+        {102, BugCategory::UninitMem,
+         "empty option list leaves ttl uninitialized", true, true,
+         false},
+        {103, BugCategory::UninitMem,
+         "truncated address record leaves port uninitialized", true,
+         true, false},
+        {104, BugCategory::MemError,
+         "label index bound check is off by one", true, true, true},
+    };
+    return t;
+}
+
+TargetProgram
+makeNetshark()
+{
+    TargetProgram t;
+    t.name = "netshark";
+    t.inputType = "Network packet";
+    t.version = "3.4.5";
+    t.nonDeterministicOutput = true;
+    t.source = R"SRC(
+// netshark - dissector that stamps warnings with a wall-clock
+// value, like wireshark's Epan log lines (paper RQ5).
+struct frame_hdr {
+    char kind;
+    int seq;
+};
+
+void frame_record() {
+    int seq = read_byte();
+    if (seq < 0) { return; }
+    print_str("[ts:");
+    print_long(time_stamp());
+    print_str("] frame ");
+    print_int(seq);
+    newline();
+}
+
+void proto_record() {
+    int proto = read_byte();
+    char pname[8];
+    if (proto == 6) { strcpy(pname, "tcp"); }
+    if (proto == 17) { strcpy(pname, "udp"); }
+    // BUG(200) UninitMem: unknown protocol numbers never fill the
+    // name buffer, and its first byte is printed anyway.
+    if (proto != 6 && proto != 17) { probe(200); }
+    if (pname[0] < 0) { print_str("odd "); }
+    print_str("proto ");
+    print_int(pname[0]);
+    newline();
+}
+
+void checksum_record() {
+    int len = read_byte();
+    int check;
+    if (len >= 2) {
+        int c1 = read_byte();
+        int c2 = read_byte();
+        if (c1 < 0 || c2 < 0) { return; }
+        check = c1 * 256 + c2;
+    }
+    // BUG(201) UninitMem: short payloads skip the checksum read.
+    if (len >= 0 && len < 2) { probe(201); }
+    if (len < 0) { return; }
+    if (check < 0) { print_str("bad "); }
+    print_str("crc=");
+    print_int(check);
+    newline();
+}
+
+void rawdump_record() {
+    struct frame_hdr h;
+    int kind = read_byte();
+    int seq = read_byte();
+    if (kind < 0 || seq < 0) { return; }
+    h.kind = (char)kind;
+    h.seq = seq;
+    // BUG(202) Misc: the raw dump walks sizeof(struct) bytes and
+    // sums the padding between the fields, which holds whatever the
+    // frame held before ("unknown reason" divergence).
+    probe(202);
+    char *raw = (char *)&h;
+    int acc = 0;
+    for (int i = 0; i < 8; i += 1) {
+        acc += raw[i];
+    }
+    print_str("dumpsum=");
+    print_int(acc);
+    newline();
+}
+
+void warn_record() {
+    int code = read_byte();
+    if (code < 0) { return; }
+    // BUG(203) LINE: the diagnostic line number is taken from a
+    // statement that spans several lines; implementations disagree
+    // on which line __LINE__ means here.
+    int where = 0 +
+                0 +
+                cur_line();
+    probe(203);
+    print_str("[Epan WARNING] code ");
+    print_int(code);
+    print_str(" at ");
+    print_int(where);
+    newline();
+}
+
+int main() {
+    if (read_byte() != 87) {
+        print_str("netshark: bad capture");
+        newline();
+        return 1;
+    }
+    int frames = 0;
+    while (frames < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        frames += 1;
+        if (tag == 1) { frame_record(); }
+        else if (tag == 2) { proto_record(); }
+        else if (tag == 3) { checksum_record(); }
+        else if (tag == 4) { rawdump_record(); }
+        else if (tag == 5) { warn_record(); }
+        else { print_str("."); }
+    }
+    newline();
+    print_str("frames ");
+    print_int(frames);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {87, 1, 9, 2, 6, 3, 4, 7, 7, 5, 3},
+        {87, 2, 17, 3, 0, 4, 1, 2},
+        {87, 5, 100, 1, 3},
+    };
+    t.bugs = {
+        {200, BugCategory::UninitMem,
+         "unknown protocol leaves name buffer uninitialized", true,
+         true, false},
+        {201, BugCategory::UninitMem,
+         "short payload skips the checksum initialization", true,
+         false, false},
+        {202, BugCategory::MiscOther,
+         "raw dump includes struct padding bytes", true, false,
+         false},
+        {203, BugCategory::Line,
+         "warning line number differs across implementations", true,
+         true, false},
+    };
+    return t;
+}
+
+} // namespace compdiff::targets::detail

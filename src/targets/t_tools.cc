@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tool-style targets: arczip (archive tool), jsonq (JSON query
+ * filter), floatpack (float-state compressor, brotli-like).
+ */
+
+#include "targets/build.hh"
+
+namespace compdiff::targets::detail
+{
+
+TargetProgram
+makeArczip()
+{
+    TargetProgram t;
+    t.name = "arczip";
+    t.inputType = "Compress tool";
+    t.version = "1.8.0";
+    t.source = R"SRC(
+// arczip - toy archive extractor.
+void entry_record() {
+    int small = read_byte();
+    int len = read_byte();
+    if (small < 0 || len < 0) { return; }
+    int offset = 2147483647 - small;
+    // BUG(500) IntError: the wrap guard `offset + len < offset` is
+    // the paper's Listing 1; optimizers fold it away.
+    if (len > small) { probe(500); }
+    if (offset + len < offset) {
+        print_str("entry rejected");
+    } else {
+        print_str("entry spans ");
+        print_int(len - small);
+    }
+    newline();
+}
+
+void index_record() {
+    int c1 = read_byte();
+    int c2 = read_byte();
+    if (c1 < 0 || c2 < 0) { return; }
+    int count = c1 * 1000;
+    int blocksize = c2 * 1000;
+    // BUG(501) IntError: 32-bit product feeding a 64-bit total;
+    // widening implementations keep the full value.
+    if ((long)count * (long)blocksize > 2147483647L) { probe(501); }
+    long total = 1L + count * blocksize;
+    print_str("index bytes ");
+    print_long(total);
+    newline();
+}
+
+void chunk_record() {
+    int bits = read_byte();
+    if (bits < 0) { return; }
+    // BUG(502) IntError: shift count taken straight from the file.
+    if (bits > 31) { probe(502); }
+    int chunk = 1 << bits;
+    print_str("chunk ");
+    print_int(chunk);
+    newline();
+}
+
+void backref_record() {
+    char *win = malloc(64L);
+    if (win == 0) { return; }
+    for (int i = 0; i < 64; i += 1) {
+        win[i] = (char)(32 + (i & 63));
+    }
+    int dist = read_byte();
+    if (dist < 0) { free(win); return; }
+    // BUG(503) MemError: distance 0 reads one past the window.
+    if (dist <= 64) {
+        if (dist == 0) { probe(503); }
+        print_str("backref ");
+        print_int(win[64 - dist]);
+        newline();
+    } else {
+        print_str("backref too far");
+        newline();
+    }
+    free(win);
+}
+
+void dict_record() {
+    char *dict = malloc(48L);
+    if (dict == 0) { return; }
+    dict[0] = 'D';
+    int reset = read_byte();
+    if (reset < 0) { free(dict); return; }
+    if (reset > 200) {
+        // BUG(504) MemError: the reset path releases the dictionary
+        // but keeps decoding with it.
+        free(dict);
+        probe(504);
+        print_str("dict byte ");
+        print_int(dict[0]);
+        newline();
+        return;
+    }
+    print_str("dict ok ");
+    print_int(dict[0]);
+    newline();
+    free(dict);
+}
+
+int main() {
+    if (read_byte() != 90) {
+        print_str("arczip: bad archive");
+        newline();
+        return 1;
+    }
+    int members = 0;
+    while (members < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        members += 1;
+        if (tag == 1) { entry_record(); }
+        else if (tag == 2) { index_record(); }
+        else if (tag == 3) { chunk_record(); }
+        else if (tag == 4) { backref_record(); }
+        else if (tag == 5) { dict_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("members ");
+    print_int(members);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {90, 1, 20, 5, 2, 10, 10, 3, 8, 4, 4, 5, 9},
+        {90, 1, 3, 200, 3, 40, 4, 0},
+        {90, 2, 60, 60, 5, 250},
+    };
+    t.bugs = {
+        {500, BugCategory::IntError,
+         "archive-entry wrap guard folded away (Listing 1)", true,
+         true, true},
+        {501, BugCategory::IntError,
+         "index size product widened inconsistently", true, true,
+         true},
+        {502, BugCategory::IntError,
+         "chunk shift count taken from the file unchecked", true,
+         true, false},
+        {503, BugCategory::MemError,
+         "zero back-reference distance reads past the window", true,
+         true, true},
+        {504, BugCategory::MemError,
+         "dictionary reset path keeps using freed memory", true,
+         true, true},
+    };
+    return t;
+}
+
+TargetProgram
+makeJsonq()
+{
+    TargetProgram t;
+    t.name = "jsonq";
+    t.inputType = "json";
+    t.version = "1.6";
+    t.source = R"SRC(
+// jsonq - toy JSON-ish field filter.
+void number_record() {
+    int len = read_byte();
+    if (len < 0) { return; }
+    int value;
+    int digits = 0;
+    for (int i = 0; i < len && i < 8; i += 1) {
+        int c = read_byte();
+        if (c < 0) { break; }
+        if (c >= 48 && c <= 57) {
+            if (digits == 0) { value = 0; }
+            value = value * 10 + (c - 48);
+            digits += 1;
+        }
+    }
+    // BUG(1100) UninitMem: a field with no digits never initializes
+    // value (the exiv2 `is >> l` shape, paper Listing 4).
+    if (digits == 0) { probe(1100); }
+    if (value < 0) { print_str("odd "); }
+    print_str("num ");
+    print_int(value);
+    newline();
+}
+
+void bool_record() {
+    int c = read_byte();
+    int truth;
+    if (c == 't') { truth = 1; }
+    if (c == 'f') { truth = 0; }
+    // BUG(1101) UninitMem: anything else leaves truth unset.
+    if (c != 't' && c != 'f') { probe(1101); }
+    if (truth < 0) { print_str("odd "); }
+    print_str("bool ");
+    print_int(truth);
+    newline();
+}
+
+void pair_record() {
+    int klen = read_byte();
+    if (klen < 0) { return; }
+    char key[8];
+    int filled = 0;
+    for (int i = 0; i < klen && i < 8; i += 1) {
+        int c = read_byte();
+        if (c < 0) { break; }
+        key[i] = (char)c;
+        filled += 1;
+    }
+    // BUG(1102) UninitMem: the separator byte after a short key is
+    // read from uninitialized buffer tail.
+    if (filled < 8) { probe(1102); }
+    print_str("key tail ");
+    print_int(key[7]);
+    newline();
+}
+
+void slice_record() {
+    char text[12];
+    for (int i = 0; i < 12; i += 1) {
+        text[i] = (char)(97 + i);
+    }
+    int from = read_byte();
+    if (from < 0) { return; }
+    // BUG(1103) MemError: the slice start admits index 12.
+    if (from > 12) { from = 12; }
+    if (from == 12) { probe(1103); }
+    print_str("slice ");
+    print_int(text[from]);
+    newline();
+}
+
+void intern_record() {
+    char *s = malloc(24L);
+    if (s == 0) { return; }
+    s[0] = 'k';
+    int mode = read_byte();
+    if (mode < 0) { free(s); return; }
+    if (mode > 220) {
+        // BUG(1104) MemError: interning frees through an interior
+        // pointer.
+        probe(1104);
+        free(s + 8);
+        print_str("interned");
+        newline();
+        return;
+    }
+    print_str("plain ");
+    print_int(s[0]);
+    newline();
+    free(s);
+}
+
+void hash_record() {
+    int which = read_byte();
+    if (which < 0) { return; }
+    if (which > 128) {
+        // BUG(1105) Misc: "randomized" hash seed comes from an
+        // uninitialized-allocation read (libtiff-style bad random).
+        probe(1105);
+        print_str("seed ");
+        print_int(bad_rand());
+        newline();
+    } else {
+        print_str("seed 0");
+        newline();
+    }
+}
+
+void shuffle_record() {
+    int n = read_byte();
+    if (n < 0) { return; }
+    // BUG(1106) Misc: the shuffle "entropy" mixes bad_rand() into
+    // the printed order.
+    if (n > 100) {
+        probe(1106);
+        print_str("order ");
+        print_int((bad_rand() + n) & 1023);
+        newline();
+    } else {
+        print_str("order stable");
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 74) {
+        print_str("jsonq: parse error");
+        newline();
+        return 1;
+    }
+    int fields = 0;
+    while (fields < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        fields += 1;
+        if (tag == 1) { number_record(); }
+        else if (tag == 2) { bool_record(); }
+        else if (tag == 3) { pair_record(); }
+        else if (tag == 4) { slice_record(); }
+        else if (tag == 5) { intern_record(); }
+        else if (tag == 6) { hash_record(); }
+        else if (tag == 7) { shuffle_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("fields ");
+    print_int(fields);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {74, 1, 2, 49, 50, 2, 't', 3, 3, 'a', 'b', 'c', 4, 5},
+        {74, 6, 30, 7, 20, 5, 10, 1, 0},
+        {74, 2, 'x', 4, 20, 6, 200, 7, 150},
+    };
+    t.bugs = {
+        {1100, BugCategory::UninitMem,
+         "digit-free number field leaves value uninitialized "
+         "(Listing 4)",
+         true, true, false},
+        {1101, BugCategory::UninitMem,
+         "non-boolean byte leaves truth uninitialized", true, true,
+         false},
+        {1102, BugCategory::UninitMem,
+         "short key prints uninitialized buffer tail", true, false,
+         false},
+        {1103, BugCategory::MemError,
+         "slice start bound admits one-past-the-end", true, true,
+         true},
+        {1104, BugCategory::MemError,
+         "interning frees an interior pointer", true, true, true},
+        {1105, BugCategory::MiscOther,
+         "hash seed read from uninitialized allocation", true, true,
+         false},
+        {1106, BugCategory::MiscOther,
+         "shuffle order mixes undefined entropy", true, false,
+         false},
+    };
+    return t;
+}
+
+TargetProgram
+makeFloatpack()
+{
+    TargetProgram t;
+    t.name = "floatpack";
+    t.inputType = "Compress tool";
+    t.version = "1.0.9";
+    t.source = R"SRC(
+// floatpack - toy compressor whose rate model uses libm, like
+// brotli's float-driven internal state (paper RQ2).
+void rate_record() {
+    int q = read_byte();
+    if (q < 0) { return; }
+    // BUG(1000) FloatImprecision: pow() lowering differs in the
+    // last ulps, and the full-precision rate is printed.
+    probe(1000);
+    double rate = pow_f(1.0 + (double)q / 7.0, 11.5);
+    print_str("rate ");
+    print_f(rate);
+    newline();
+}
+
+void budget_record() {
+    int q = read_byte();
+    if (q < 0) { return; }
+    // BUG(1001) FloatImprecision: the float state feeds an integer
+    // decision, so imprecision changes the emitted plan.
+    probe(1001);
+    double cost = pow_f(2.1 + (double)q, 3.3);
+    long plan = (long)(cost * 1000000.0);
+    print_str("plan ");
+    print_long(plan % 1000L);
+    newline();
+}
+
+void blocksize_record() {
+    int small = read_byte();
+    int extra = read_byte();
+    if (small < 0 || extra < 0) { return; }
+    int base = 2147483647 - small;
+    // BUG(1002) IntError: wrap guard on the block budget.
+    if (extra > small) { probe(1002); }
+    if (base + extra < base) {
+        print_str("block clamped");
+    } else {
+        print_str("block ok");
+    }
+    newline();
+}
+
+void trace_record() {
+    int level = read_byte();
+    if (level < 0) { return; }
+    char window[32];
+    window[0] = (char)level;
+    if (level > 6) {
+        // BUG(1003) Misc: trace mode prints the window address.
+        probe(1003);
+        print_str("window at ");
+        print_ptr(window);
+        newline();
+    } else {
+        print_str("trace ");
+        print_int(window[0]);
+        newline();
+    }
+}
+
+int main() {
+    if (read_byte() != 70) {
+        print_str("floatpack: bad stream");
+        newline();
+        return 1;
+    }
+    int blocks = 0;
+    while (blocks < 64) {
+        int tag = read_byte();
+        if (tag < 0) { break; }
+        blocks += 1;
+        if (tag == 1) { rate_record(); }
+        else if (tag == 2) { budget_record(); }
+        else if (tag == 3) { blocksize_record(); }
+        else if (tag == 4) { trace_record(); }
+        else { print_str("?"); newline(); }
+    }
+    print_str("blocks ");
+    print_int(blocks);
+    newline();
+    return 0;
+}
+)SRC";
+    t.seeds = {
+        {70, 1, 9, 2, 4, 3, 30, 5, 4, 2},
+        {70, 3, 2, 100, 4, 9},
+        {70, 2, 33, 1, 50},
+    };
+    t.bugs = {
+        {1000, BugCategory::FloatImprecision,
+         "printed rate differs in the last ulps across libm "
+         "strategies",
+         true, true, false},
+        {1001, BugCategory::FloatImprecision,
+         "float imprecision flips the integer plan decision", true,
+         true, true},
+        {1002, BugCategory::IntError,
+         "block budget wrap guard folded away", true, true, false},
+        {1003, BugCategory::MiscOther,
+         "trace mode prints the window address", true, false, false},
+    };
+    return t;
+}
+
+} // namespace compdiff::targets::detail

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Real-world-style target programs (paper Section 4.3, Table 4).
+ *
+ * The paper fuzzes 23 open-source projects; this repository ships a
+ * representative set of thirteen MiniC targets covering the same
+ * input-format families (network packets, binary files, multimedia,
+ * language implementations, compression, JSON/XML-style data). Each
+ * target is a record-oriented parser/processor with *planted bugs*
+ * whose categories and counts reproduce Table 5 exactly:
+ *
+ *   EvalOrder 2, UninitMem 27, IntError 8, MemError 13,
+ *   PointerCmp 1, LINE 6, Misc 21 (3 compiler bugs, 4 floating-
+ *   point imprecision, 14 other) — 78 bugs in total.
+ *
+ * Every bug site fires a `probe(id)` ground-truth marker exactly on
+ * the path where the flaw manifests, which is what the campaign
+ * harness uses to triage fuzzer-found divergences back to planted
+ * bugs (replacing the paper's manual triage + developer feedback).
+ * The confirmed/fixed flags model the developer responses reported
+ * in Table 5.
+ */
+
+#include <string>
+#include <vector>
+
+#include "support/bytes.hh"
+
+namespace compdiff::targets
+{
+
+/** Root-cause category (Table 5 columns). */
+enum class BugCategory
+{
+    EvalOrder,
+    UninitMem,
+    IntError,
+    MemError,
+    PointerCmp,
+    Line,
+    CompilerBug,      ///< part of the Misc column (RQ2)
+    FloatImprecision, ///< part of the Misc column (RQ2)
+    MiscOther,        ///< part of the Misc column
+};
+
+/** Table 5 column for a category ("EvalOrder", ..., "Misc."). */
+const char *categoryColumn(BugCategory category);
+
+/** One planted bug. */
+struct PlantedBug
+{
+    int probeId = 0;
+    BugCategory category = BugCategory::UninitMem;
+    std::string description;
+    bool confirmed = false; ///< simulated developer response
+    bool fixed = false;
+    /** Expected to also be caught by a sanitizer (Table 6 prior). */
+    bool sanitizerExpected = false;
+};
+
+/** One fuzz target. */
+struct TargetProgram
+{
+    std::string name;
+    std::string inputType; ///< Table 4 "Input type"
+    std::string version;   ///< Table 4 "Version"
+    std::string source;    ///< MiniC source
+    std::vector<support::Bytes> seeds;
+    std::vector<PlantedBug> bugs;
+    /** Output embeds per-run values needing normalization (RQ5). */
+    bool nonDeterministicOutput = false;
+
+    /** Lines of MiniC code (Table 4 "Size"). */
+    std::size_t linesOfCode() const;
+
+    const PlantedBug *findBug(int probe_id) const;
+};
+
+/** All targets, in presentation order. */
+const std::vector<TargetProgram> &allTargets();
+
+/** Find a target by name; nullptr when absent. */
+const TargetProgram *findTarget(const std::string &name);
+
+/** Sum of planted bugs per Table 5 column across all targets. */
+std::size_t totalPlantedBugs();
+
+} // namespace compdiff::targets

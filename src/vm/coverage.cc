@@ -1,0 +1,78 @@
+#include "vm/coverage.hh"
+
+#include <cstring>
+
+#include "support/hash.hh"
+
+namespace compdiff::vm
+{
+
+void
+CoverageMap::reset()
+{
+    map_.fill(0);
+    prevLoc_ = 0;
+}
+
+std::size_t
+CoverageMap::countBits() const
+{
+    std::size_t count = 0;
+    for (const auto cell : map_)
+        count += cell != 0;
+    return count;
+}
+
+std::uint8_t
+coverageBucket(std::uint8_t hits)
+{
+    if (hits == 0)
+        return 0;
+    if (hits == 1)
+        return 1;
+    if (hits == 2)
+        return 2;
+    if (hits == 3)
+        return 4;
+    if (hits <= 7)
+        return 8;
+    if (hits <= 15)
+        return 16;
+    if (hits <= 31)
+        return 32;
+    if (hits <= 127)
+        return 64;
+    return 128;
+}
+
+std::uint64_t
+CoverageMap::pathHash() const
+{
+    std::array<std::uint8_t, kCoverageMapSize> buckets;
+    for (std::size_t i = 0; i < kCoverageMapSize; i++)
+        buckets[i] = coverageBucket(map_[i]);
+    return support::murmurHash64(buckets.data(), buckets.size());
+}
+
+VirginMap::VirginMap()
+{
+    virgin_.fill(0);
+}
+
+bool
+VirginMap::mergeAndCheckNew(const CoverageMap &map)
+{
+    bool is_new = false;
+    for (std::size_t i = 0; i < kCoverageMapSize; i++) {
+        const std::uint8_t bucket = coverageBucket(map.map_[i]);
+        if (bucket & ~virgin_[i]) {
+            if (virgin_[i] == 0)
+                edges_++;
+            virgin_[i] |= bucket;
+            is_new = true;
+        }
+    }
+    return is_new;
+}
+
+} // namespace compdiff::vm

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * AFL-style edge-coverage map.
+ *
+ * The fuzzer-facing binary B_fuzz is instrumented exactly like AFL++
+ * instruments its targets: every basic block carries a 16-bit id, and
+ * each executed edge (prev-block XOR current-block) increments one
+ * byte of a 64 KiB map. Seed novelty is judged with AFL's bucketized
+ * comparison against a persistent "virgin" map.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hh"
+
+namespace compdiff::vm
+{
+
+/** Size of the coverage bitmap (AFL's default). */
+constexpr std::size_t kCoverageMapSize = 1 << 16;
+
+/**
+ * One execution's raw hit-count map.
+ */
+class CoverageMap
+{
+  public:
+    /** Zero the map (call before each execution). */
+    void reset();
+
+    /** Record an edge between the previous and current block ids. */
+    void
+    hitBlock(std::uint16_t block_id)
+    {
+        map_[(block_id ^ prevLoc_) & (kCoverageMapSize - 1)]++;
+        prevLoc_ = static_cast<std::uint16_t>(block_id >> 1);
+    }
+
+    /** Number of nonzero map cells (an execution "path size"). */
+    std::size_t countBits() const;
+
+    /** 64-bit hash of the bucketized map (path identity). */
+    std::uint64_t pathHash() const;
+
+    const std::uint8_t *data() const { return map_.data(); }
+
+  private:
+    friend class VirginMap;
+    std::array<std::uint8_t, kCoverageMapSize> map_{};
+    std::uint16_t prevLoc_ = 0;
+};
+
+/**
+ * Accumulated coverage across a whole fuzzing campaign, with AFL's
+ * bucket classification (1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+).
+ */
+class VirginMap
+{
+  public:
+    VirginMap();
+
+    /**
+     * Merge one execution's map.
+     *
+     * @return true when the execution exercised a new edge or a new
+     *         hit-count bucket (AFL's "interesting input" signal).
+     */
+    bool mergeAndCheckNew(const CoverageMap &map);
+
+    /** Total number of edges ever seen. */
+    std::size_t edgesSeen() const { return edges_; }
+
+  private:
+    std::array<std::uint8_t, kCoverageMapSize> virgin_;
+    std::size_t edges_ = 0;
+};
+
+/** AFL bucket classification of a raw hit count. */
+std::uint8_t coverageBucket(std::uint8_t hits);
+
+} // namespace compdiff::vm

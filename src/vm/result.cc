@@ -1,0 +1,52 @@
+#include "vm/result.hh"
+
+#include <sstream>
+
+#include "support/hash.hh"
+
+namespace compdiff::vm
+{
+
+std::string
+SanReport::str() const
+{
+    std::ostringstream os;
+    switch (tool) {
+      case Tool::ASan: os << "AddressSanitizer"; break;
+      case Tool::UBSan: os << "UndefinedBehaviorSanitizer"; break;
+      case Tool::MSan: os << "MemorySanitizer"; break;
+    }
+    os << ": " << kind << " at line " << line;
+    return os.str();
+}
+
+std::string
+ExecutionResult::exitClass() const
+{
+    switch (termination) {
+      case Termination::Exit:
+        return "exit:" + std::to_string(exitCode);
+      case Termination::Trap:
+        return trap == TrapKind::Fpe ? "crash:fpe" : "crash:segv";
+      case Termination::RuntimeAbort:
+        return "crash:abort";
+      case Termination::SanitizerAbort:
+        return "san";
+      case Termination::BudgetExhausted:
+        return "timeout";
+      case Termination::StackOverflow:
+        return "crash:stack";
+    }
+    return "?";
+}
+
+std::uint64_t
+ExecutionResult::outputHash() const
+{
+    support::HashCombiner combiner;
+    combiner.addString(output);
+    combiner.addString(exitClass());
+    return combiner.digest();
+}
+
+} // namespace compdiff::vm

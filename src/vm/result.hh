@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Execution outcomes.
+ *
+ * An ExecutionResult captures everything the CompDiff oracle (and the
+ * fuzzer) observes about one run of one binary on one input: the
+ * combined stdout/stderr stream, the exit classification, sanitizer
+ * reports (out-of-band, as a sanitizer's stderr would be), fired
+ * ground-truth probes, and the instruction count (our time axis).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compdiff::vm
+{
+
+/** How an execution ended. */
+enum class Termination
+{
+    Exit,            ///< main returned or exit() was called
+    Trap,            ///< hardware-style fault (SIGSEGV/SIGFPE analog)
+    RuntimeAbort,    ///< abort() or allocator abort ("free(): ...")
+    SanitizerAbort,  ///< a sanitizer reported and stopped the program
+    BudgetExhausted, ///< instruction budget exceeded (timeout analog)
+    StackOverflow,   ///< call stack exhausted
+};
+
+/** Fault kind for Termination::Trap. */
+enum class TrapKind
+{
+    None,
+    Segv, ///< unmapped or read-only memory access
+    Fpe,  ///< integer division fault
+};
+
+/** One sanitizer report (analogous to a sanitizer stderr record). */
+struct SanReport
+{
+    enum class Tool
+    {
+        ASan,
+        UBSan,
+        MSan,
+    };
+
+    Tool tool = Tool::ASan;
+    std::string kind; ///< e.g. "heap-buffer-overflow"
+    std::uint32_t line = 0;
+
+    std::string str() const;
+};
+
+/** Result of one VM execution. */
+struct ExecutionResult
+{
+    std::string output;  ///< combined stdout + stderr
+    int exitCode = 0;
+    Termination termination = Termination::Exit;
+    TrapKind trap = TrapKind::None;
+    std::vector<SanReport> sanReports;
+    std::vector<int> probes; ///< fired ground-truth probe ids
+    std::uint64_t instructions = 0;
+
+    bool crashed() const
+    {
+        return termination == Termination::Trap ||
+               termination == Termination::RuntimeAbort ||
+               termination == Termination::StackOverflow;
+    }
+
+    bool timedOut() const
+    {
+        return termination == Termination::BudgetExhausted;
+    }
+
+    bool sanitizerFired() const { return !sanReports.empty(); }
+
+    /**
+     * Coarse exit classification used in output comparison:
+     * "exit:<code>", "crash:segv", "crash:fpe", "crash:abort",
+     * "crash:stack", "san", or "timeout".
+     */
+    std::string exitClass() const;
+
+    /**
+     * MurmurHash3 checksum over (output, exitClass) — the per-binary
+     * quantity CompDiff compares across implementations (paper §3.2,
+     * "Output examination").
+     */
+    std::uint64_t outputHash() const;
+};
+
+} // namespace compdiff::vm

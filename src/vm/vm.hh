@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * The bytecode interpreter.
+ *
+ * A Vm instance binds a compiled Module to the runtime half of its
+ * CompilerConfig's traits (memory layout, fill patterns, heap policy,
+ * libm strategy) — together they are "the binary". Vm::run() executes
+ * one input and is designed for reuse: the module stays resident
+ * while per-run state is rebuilt, which is the same cost profile the
+ * paper gets from forkserver instrumentation (Section 3.2).
+ */
+
+#include <cstdint>
+
+#include "bytecode/module.hh"
+#include "compiler/config.hh"
+#include "support/bytes.hh"
+#include "vm/coverage.hh"
+#include "vm/memory.hh"
+#include "vm/result.hh"
+
+namespace compdiff::vm
+{
+
+/** One control-flow trace entry: a basic block the execution entered,
+ *  identified by function index and source line. */
+struct TraceEntry
+{
+    int func = 0;
+    std::uint32_t line = 0;
+
+    bool operator==(const TraceEntry &) const = default;
+};
+
+/** Per-execution resource limits. */
+struct VmLimits
+{
+    /** Instruction budget; exceeding it is the "timeout" analog. */
+    std::uint64_t maxInstructions = 2'000'000;
+    std::uint64_t stackSize = 1 << 16;
+    std::uint64_t heapSize = 1 << 18;
+    std::size_t maxOutput = 1 << 20;
+    std::uint32_t maxCallDepth = 200;
+};
+
+/**
+ * Executes a compiled module under its configuration's runtime
+ * traits.
+ */
+class Vm
+{
+  public:
+    /**
+     * @param module Compiled program (must outlive the Vm).
+     * @param config The configuration the module was compiled with.
+     * @param limits Per-execution resource limits.
+     */
+    Vm(const bytecode::Module &module,
+       const compiler::CompilerConfig &config, VmLimits limits = {});
+
+    /**
+     * Run `main` on one input.
+     *
+     * @param input    The fuzz input visible through the input_*
+     *                 builtins.
+     * @param coverage Optional coverage map to instrument into (the
+     *                 B_fuzz role); pass nullptr for plain runs.
+     * @param nonce    Per-execution value returned by time_stamp();
+     *                 callers model wall-clock nondeterminism with it.
+     * @param trace    Optional control-flow trace sink (used by the
+     *                 fault-localization support, paper Section 5);
+     *                 capped at 65536 entries.
+     */
+    ExecutionResult run(const support::Bytes &input,
+                        CoverageMap *coverage = nullptr,
+                        std::uint64_t nonce = 0,
+                        std::vector<TraceEntry> *trace = nullptr);
+
+    const compiler::CompilerConfig &config() const { return config_; }
+    const VmLimits &limits() const { return limits_; }
+
+    /** Raise the instruction budget (RQ6 timeout re-examination). */
+    void setMaxInstructions(std::uint64_t budget)
+    {
+        limits_.maxInstructions = budget;
+    }
+
+  private:
+    const bytecode::Module &module_;
+    compiler::CompilerConfig config_;
+    compiler::Traits traits_;
+    VmLimits limits_;
+
+    /** globalId -> absolute address. */
+    std::vector<std::uint64_t> globalAddr_;
+    /** Pristine globals image, copied at the start of each run. */
+    std::vector<std::uint8_t> globalsImage_;
+};
+
+} // namespace compdiff::vm

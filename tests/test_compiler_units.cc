@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests for the compiler internals: configuration handling,
+ * trait derivation, individual optimization passes (inspected at
+ * the AST level), and lowering/frame-layout decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/insn.hh"
+#include "compiler/compiler.hh"
+#include "compiler/lowering.hh"
+#include "compiler/passes.hh"
+#include "support/logging.hh"
+#include "minic/parser.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using namespace compdiff::compiler;
+using minic::BinaryExpr;
+using minic::ExprKind;
+using minic::IntLitExpr;
+using minic::StmtKind;
+
+// ---------------- configuration ----------------
+
+TEST(Config, NamesRoundTrip)
+{
+    for (const auto &config : standardImplementations()) {
+        EXPECT_EQ(configFromName(config.name()), config);
+    }
+    CompilerConfig san{Vendor::Clang, OptLevel::O1, Sanitizer::MSan};
+    EXPECT_EQ(san.name(), "clang-O1+msan");
+    EXPECT_EQ(configFromName("clang-O1+msan"), san);
+    EXPECT_THROW(configFromName("tcc-O2"), support::FatalError);
+    EXPECT_THROW(configFromName("gcc-O9"), support::FatalError);
+}
+
+TEST(Config, StandardSetIsThePaper)
+{
+    const auto configs = standardImplementations();
+    ASSERT_EQ(configs.size(), 10u);
+    EXPECT_EQ(configs.front().name(), "gcc-O0");
+    EXPECT_EQ(configs.back().name(), "clang-Os");
+}
+
+TEST(Config, TraitsVaryOnTheRightAxes)
+{
+    const Traits gcc_o0 = traitsFor({Vendor::Gcc, OptLevel::O0});
+    const Traits gcc_o2 = traitsFor({Vendor::Gcc, OptLevel::O2});
+    const Traits clang_o0 = traitsFor({Vendor::Clang, OptLevel::O0});
+    const Traits clang_o2 = traitsFor({Vendor::Clang, OptLevel::O2});
+
+    // Evaluation order is a vendor trait.
+    EXPECT_TRUE(gcc_o0.argsRightToLeft);
+    EXPECT_FALSE(clang_o0.argsRightToLeft);
+
+    // UB-guard folding requires optimization.
+    EXPECT_FALSE(gcc_o0.foldUbGuards);
+    EXPECT_TRUE(gcc_o2.foldUbGuards);
+
+    // Widening is the clang behavior from the paper's RQ1.
+    EXPECT_FALSE(gcc_o2.widenMulToLong);
+    EXPECT_TRUE(clang_o2.widenMulToLong);
+
+    // Segment bases differ per vendor.
+    EXPECT_NE(gcc_o0.stackBase, clang_o0.stackBase);
+    EXPECT_NE(gcc_o0.heapBase, clang_o0.heapBase);
+
+    // O0 stack fill is zero; optimized fills differ per vendor.
+    EXPECT_EQ(gcc_o0.stackFill, 0x00);
+    EXPECT_EQ(clang_o0.stackFill, 0x00);
+    EXPECT_NE(gcc_o2.stackFill, clang_o2.stackFill);
+}
+
+TEST(Config, SanitizersDisableUbExploits)
+{
+    const Traits plain = traitsFor({Vendor::Clang, OptLevel::O2});
+    const Traits san =
+        traitsFor({Vendor::Clang, OptLevel::O2, Sanitizer::UBSan});
+    EXPECT_TRUE(plain.foldUbGuards);
+    EXPECT_FALSE(san.foldUbGuards);
+    EXPECT_TRUE(plain.bugRemPow2);
+    EXPECT_FALSE(san.bugRemPow2);
+}
+
+// ---------------- pass-level inspection ----------------
+
+/** Compile-and-transform one function, returning its clone. */
+std::unique_ptr<minic::FunctionDecl>
+transform(const minic::Program &program, const char *pass_name,
+          const Traits &traits)
+{
+    auto clone = program.functions[0]->clone();
+    normalizeBodies(*clone);
+    for (const auto &pass : standardPasses()) {
+        if (std::string(pass->name()) == pass_name)
+            pass->run(*clone, traits);
+    }
+    return clone;
+}
+
+TEST(Passes, ConstFoldFoldsLiteralArithmetic)
+{
+    auto program = minic::parseAndCheck(
+        "int main() { return (2 + 3) * 4; }");
+    Traits traits;
+    auto func = transform(*program, "constfold", traits);
+    const auto &ret = static_cast<const minic::ReturnStmt &>(
+        *func->body->body[0]);
+    ASSERT_EQ(ret.value->kind(), ExprKind::IntLit);
+    EXPECT_EQ(static_cast<const IntLitExpr &>(*ret.value).value, 20);
+}
+
+TEST(Passes, ConstFoldNeverFoldsTraps)
+{
+    auto program = minic::parseAndCheck(
+        "int main() { int z = 0; return 7 / 0; }");
+    Traits traits;
+    auto func = transform(*program, "constfold", traits);
+    const auto &ret = static_cast<const minic::ReturnStmt &>(
+        *func->body->body[1]);
+    EXPECT_EQ(ret.value->kind(), ExprKind::Binary); // untouched
+}
+
+TEST(Passes, UbGuardFoldRewritesListing1)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int offset = input_byte(0);
+            int len = input_byte(1);
+            if (offset + len < offset) { return -1; }
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "ubguardfold", traits);
+    const auto &if_stmt = static_cast<const minic::IfStmt &>(
+        *func->body->body[2]);
+    // (offset + len) < offset  =>  len < 0
+    ASSERT_EQ(if_stmt.cond->kind(), ExprKind::Binary);
+    const auto &cond =
+        static_cast<const BinaryExpr &>(*if_stmt.cond);
+    EXPECT_EQ(cond.op, minic::BinaryOp::Lt);
+    EXPECT_EQ(cond.lhs->kind(), ExprKind::VarRef);
+    ASSERT_EQ(cond.rhs->kind(), ExprKind::IntLit);
+    EXPECT_EQ(static_cast<const IntLitExpr &>(*cond.rhs).value, 0);
+}
+
+TEST(Passes, UbGuardFoldSkipsUnsigned)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            uint offset = (uint)input_byte(0);
+            uint len = (uint)input_byte(1);
+            if (offset + len < offset) { return -1; }
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "ubguardfold", traits);
+    const auto &if_stmt = static_cast<const minic::IfStmt &>(
+        *func->body->body[2]);
+    // Unsigned wrap is defined: the guard must survive.
+    const auto &cond =
+        static_cast<const BinaryExpr &>(*if_stmt.cond);
+    EXPECT_EQ(cond.lhs->kind(), ExprKind::Binary);
+}
+
+TEST(Passes, WidenMarksMulFeedingLong)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int a = input_byte(0);
+            int b = input_byte(1);
+            long x = 1L + a * b;
+            print_long(x);
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "widenmul", traits);
+    const auto &decl = static_cast<const minic::VarDeclStmt &>(
+        *func->body->body[2]);
+    const auto &add = static_cast<const BinaryExpr &>(*decl.init);
+    const auto &mul = static_cast<const BinaryExpr &>(*add.rhs);
+    EXPECT_TRUE(mul.widenTo64);
+}
+
+TEST(Passes, DeadStoreElimRemovesUnusedDivision)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int z = input_size();
+            int unused = 7 / z;
+            print_str("alive");
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "deadstore", traits);
+    // `int unused = 7 / z;` loses its initializer.
+    const auto &decl = static_cast<const minic::VarDeclStmt &>(
+        *func->body->body[1]);
+    EXPECT_EQ(decl.init, nullptr);
+}
+
+TEST(Passes, DeadStoreElimKeepsObservedStores)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int used = 7 / input_size();
+            print_int(used);
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "deadstore", traits);
+    const auto &decl = static_cast<const minic::VarDeclStmt &>(
+        *func->body->body[0]);
+    EXPECT_NE(decl.init, nullptr);
+}
+
+TEST(Passes, NullExploitDeletesStoreThroughNull)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int *p = 0;
+            *p = 42;
+            print_str("alive");
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "nullexploit", traits);
+    // The store statement disappears; decl + print + return remain.
+    EXPECT_EQ(func->body->body.size(), 3u);
+}
+
+TEST(Passes, NullExploitRespectsReassignment)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int value = 5;
+            int *p = 0;
+            p = &value;
+            *p = 42;
+            print_int(value);
+            return 0;
+        }
+    )");
+    Traits traits;
+    auto func = transform(*program, "nullexploit", traits);
+    // p is no longer null at the store: everything survives.
+    EXPECT_EQ(func->body->body.size(), 6u);
+}
+
+// ---------------- lowering / layout ----------------
+
+TEST(Lowering, FrameLayoutFollowsTraits)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            char small[4];
+            long big[4];
+            small[0] = 1;
+            big[0] = 2L;
+            return 0;
+        }
+    )");
+    Compiler comp(*program);
+
+    auto offset_of = [&](const CompilerConfig &config,
+                         const char *name) {
+        auto module = comp.compile(config);
+        for (const auto &slot : module.functions[0].slots)
+            if (slot.name == name)
+                return slot.offset;
+        return std::int32_t(-1);
+    };
+
+    // gcc-O0: declaration order -> small before big.
+    EXPECT_LT(offset_of({Vendor::Gcc, OptLevel::O0}, "small"),
+              offset_of({Vendor::Gcc, OptLevel::O0}, "big"));
+    // gcc-O2: size-descending -> big before small.
+    EXPECT_GT(offset_of({Vendor::Gcc, OptLevel::O2}, "small"),
+              offset_of({Vendor::Gcc, OptLevel::O2}, "big"));
+}
+
+TEST(Lowering, AsanAddsRedzones)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            char a[8];
+            char b[8];
+            a[0] = 1;
+            b[0] = 2;
+            return 0;
+        }
+    )");
+    Compiler comp(*program);
+    auto plain = comp.compile({Vendor::Clang, OptLevel::O1});
+    auto asan = comp.compile(
+        {Vendor::Clang, OptLevel::O1, Sanitizer::ASan});
+    EXPECT_GT(asan.functions[0].frameSize,
+              plain.functions[0].frameSize + 16);
+}
+
+TEST(Lowering, ArgPushOrderFollowsVendor)
+{
+    auto program = minic::parseAndCheck(R"(
+        int two(int a, int b) { return a - b; }
+        int main() { return two(input_byte(0), input_byte(1)); }
+    )");
+    Compiler comp(*program);
+    auto find_call = [](const bytecode::Module &module) {
+        for (const auto &insn : module.functions[1].code)
+            if (insn.op == bytecode::Op::Call)
+                return insn.imm;
+        return std::int64_t(-1);
+    };
+    EXPECT_EQ(find_call(comp.compile({Vendor::Gcc, OptLevel::O0})),
+              1); // right-to-left
+    EXPECT_EQ(find_call(comp.compile({Vendor::Clang, OptLevel::O0})),
+              0); // left-to-right
+}
+
+TEST(Lowering, UbsanInsertsChecks)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int a = input_byte(0);
+            return a + 1;
+        }
+    )");
+    Compiler comp(*program);
+    auto plain = comp.compile({Vendor::Clang, OptLevel::O1});
+    auto ubsan = comp.compile(
+        {Vendor::Clang, OptLevel::O1, Sanitizer::UBSan});
+    auto count_checks = [](const bytecode::Module &module) {
+        std::size_t checks = 0;
+        for (const auto &func : module.functions)
+            for (const auto &insn : func.code)
+                checks += insn.op == bytecode::Op::ChkOv32;
+        return checks;
+    };
+    EXPECT_EQ(count_checks(plain), 0u);
+    EXPECT_GE(count_checks(ubsan), 1u);
+}
+
+TEST(Lowering, DisassemblyIsReadable)
+{
+    auto program = minic::parseAndCheck(
+        "int main() { print_int(42); return 0; }");
+    Compiler comp(*program);
+    auto module = comp.compile({Vendor::Gcc, OptLevel::O0});
+    const std::string text = module.disassemble();
+    EXPECT_NE(text.find("func main"), std::string::npos);
+    EXPECT_NE(text.find("push.i 42"), std::string::npos);
+    EXPECT_NE(text.find("call.b"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Lowering, CurLineIsCompileTimeConstant)
+{
+    auto program = minic::parseAndCheck(R"(int main() {
+    int where = 0 +
+        cur_line();
+    return where;
+})");
+    Compiler comp(*program);
+    // No CallB for cur_line: the value is baked in at compile time,
+    // with vendor-specific interpretation.
+    for (const auto &config :
+         {CompilerConfig{Vendor::Gcc, OptLevel::O0},
+          CompilerConfig{Vendor::Clang, OptLevel::O0}}) {
+        auto module = comp.compile(config);
+        for (const auto &insn : module.functions[0].code) {
+            if (insn.op == bytecode::Op::CallB) {
+                EXPECT_NE(
+                    insn.a,
+                    static_cast<std::int32_t>(
+                        minic::Builtin::CurLine));
+            }
+        }
+    }
+}
+
+} // namespace

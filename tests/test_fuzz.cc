@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the greybox fuzzer and its CompDiff integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutator.hh"
+#include "minic/parser.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using fuzz::Fuzzer;
+using fuzz::FuzzOptions;
+using fuzz::Mutator;
+using support::Bytes;
+
+TEST(Mutator, OperatorsPreserveSizeBounds)
+{
+    Mutator mutator(support::Rng(1), 32);
+    Bytes data = {1, 2, 3, 4};
+    for (int i = 0; i < 500; i++) {
+        data = mutator.mutate(data, {});
+        ASSERT_LE(data.size(), 32u);
+    }
+}
+
+TEST(Mutator, DeterministicPerSeed)
+{
+    Mutator a(support::Rng(7), 64);
+    Mutator b(support::Rng(7), 64);
+    Bytes seed = {10, 20, 30};
+    for (int i = 0; i < 50; i++)
+        EXPECT_EQ(a.mutate(seed, {}), b.mutate(seed, {}));
+}
+
+TEST(Mutator, SpliceUsesOtherSeed)
+{
+    Mutator mutator(support::Rng(3), 64);
+    Bytes data = {1, 1, 1};
+    Bytes other = {9, 9, 9, 9, 9, 9};
+    bool saw_nine = false;
+    for (int i = 0; i < 100 && !saw_nine; i++) {
+        Bytes child = data;
+        mutator.spliceWith(child, other);
+        for (auto b : child)
+            saw_nine |= b == 9;
+    }
+    EXPECT_TRUE(saw_nine);
+}
+
+TEST(Fuzzer, CoverageGrowsCorpus)
+{
+    // A byte-switch target: each case is a new path.
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int b = input_byte(0);
+            if (b == 'A') { print_str("a"); }
+            else if (b == 'B') { print_str("b"); }
+            else if (b == 'C') { print_str("c"); }
+            else { print_str("?"); }
+            if (input_byte(1) == 'X') { print_str("x"); }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 3000;
+    options.enableCompDiff = false;
+    Fuzzer fuzzer(*program, {{'0', '0'}}, options);
+    auto stats = fuzzer.run();
+    EXPECT_EQ(stats.execs, 3000u);
+    EXPECT_GT(stats.seeds, 1u);
+    EXPECT_GT(stats.edges, 2u);
+    EXPECT_EQ(stats.diffs, 0u);
+}
+
+TEST(Fuzzer, FindsGuardedCrash)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            if (input_byte(0) == 'Z') {
+                int z = input_size() - input_size();
+                return 1 / z;
+            }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 8000;
+    options.enableCompDiff = false;
+    Fuzzer fuzzer(*program, {{'A'}}, options);
+    auto stats = fuzzer.run();
+    EXPECT_GE(stats.crashes, 1u);
+    ASSERT_FALSE(fuzzer.crashes().empty());
+    EXPECT_EQ(fuzzer.crashes()[0].exitClass, "crash:fpe");
+}
+
+TEST(Fuzzer, CompDiffOracleFindsUnstableCode)
+{
+    // The bug (uninitialized read) never crashes: only the CompDiff
+    // oracle can see it.
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            if (input_byte(0) == 'U') {
+                int l;
+                print_int(l);
+                probe(42);
+            } else {
+                print_str("fine");
+            }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 6000;
+    Fuzzer fuzzer(*program, {{'A'}}, options);
+    auto stats = fuzzer.run();
+    EXPECT_EQ(stats.crashes, 0u);
+    ASSERT_GE(stats.diffs, 1u);
+    const auto &diff = fuzzer.diffs()[0];
+    EXPECT_TRUE(diff.result.divergent);
+    ASSERT_FALSE(diff.probes.empty());
+    EXPECT_EQ(diff.probes[0], 42);
+    EXPECT_GT(stats.compdiffExecs, stats.execs);
+}
+
+TEST(Fuzzer, DiffsDedupedBySignature)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            if (input_byte(0) > 100) {
+                int l;
+                print_int(l);
+                probe(1);
+            }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 4000;
+    Fuzzer fuzzer(*program, {{200}}, options);
+    fuzzer.run();
+    // Many inputs trigger the same divergence; one record.
+    EXPECT_EQ(fuzzer.diffs().size(), 1u);
+}
+
+TEST(Fuzzer, StableTargetProducesNoDiffs)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < input_size(); i += 1) {
+                acc += input_byte(i);
+            }
+            print_int(acc);
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 2000;
+    Fuzzer fuzzer(*program, {{1, 2, 3}}, options);
+    auto stats = fuzzer.run();
+    EXPECT_EQ(stats.diffs, 0u); // zero false positives
+    EXPECT_EQ(stats.crashes, 0u);
+}
+
+TEST(Fuzzer, SanitizerOnFuzzBinary)
+{
+    // Sanitizers stay compatible with the loop: B_fuzz is built with
+    // ASan and its reports count as crashes.
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            char buf[4];
+            int i = input_byte(0);
+            if (i > 3 && i < 10) { buf[i] = 1; }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 6000;
+    options.enableCompDiff = false;
+    options.fuzzConfig = {compiler::Vendor::Clang,
+                          compiler::OptLevel::O1,
+                          compiler::Sanitizer::ASan};
+    Fuzzer fuzzer(*program, {{0}}, options);
+    auto stats = fuzzer.run();
+    ASSERT_GE(stats.crashes, 1u);
+    EXPECT_FALSE(fuzzer.crashes()[0].sanReports.empty());
+}
+
+TEST(Fuzzer, DeterministicCampaigns)
+{
+    const char *source = R"(
+        int main() {
+            if (input_byte(0) == 'Q') { print_int(1 / (input_size() - 1)); }
+            return 0;
+        }
+    )";
+    auto p1 = minic::parseAndCheck(source);
+    auto p2 = minic::parseAndCheck(source);
+    FuzzOptions options;
+    options.maxExecs = 2000;
+    options.enableCompDiff = false;
+    Fuzzer f1(*p1, {{'A'}}, options);
+    Fuzzer f2(*p2, {{'A'}}, options);
+    auto s1 = f1.run();
+    auto s2 = f2.run();
+    EXPECT_EQ(s1.seeds, s2.seeds);
+    EXPECT_EQ(s1.crashes, s2.crashes);
+    EXPECT_EQ(s1.edges, s2.edges);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the Juliet-style suite: every generated case must
+ * compile; good variants must be clean for the dynamic tools (the
+ * zero-false-positive property); representative bad variants must be
+ * detected by the intended tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compdiff/engine.hh"
+#include "juliet/evaluate.hh"
+#include "juliet/suite.hh"
+#include "minic/parser.hh"
+#include "sanitizers/sanitizers.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using juliet::JulietCase;
+using juliet::SuiteBuilder;
+
+// A tiny scale keeps the exhaustive tests fast while still touching
+// all five flow variants of every CWE.
+SuiteBuilder
+smallBuilder()
+{
+    return SuiteBuilder(0.0, 42); // max(5, 0) = 5 cases per CWE
+}
+
+TEST(JulietSuite, CatalogMatchesTable2)
+{
+    const auto &catalog = juliet::cweCatalog();
+    ASSERT_EQ(catalog.size(), 20u);
+    int total = 0;
+    for (const auto &info : catalog)
+        total += info.paperCount;
+    EXPECT_EQ(total, 18142); // Table 2 bottom line
+}
+
+TEST(JulietSuite, AllCasesCompile)
+{
+    for (const auto &test : smallBuilder().buildAll()) {
+        EXPECT_NO_THROW({
+            auto bad = minic::parseAndCheck(test.badSource);
+            auto good = minic::parseAndCheck(test.goodSource);
+        }) << test.id << "\n"
+           << test.badSource;
+    }
+}
+
+TEST(JulietSuite, CountsScaleWithFactor)
+{
+    SuiteBuilder big(1.0 / 16, 1);
+    EXPECT_EQ(big.countFor(122), 3575u / 16);
+    EXPECT_EQ(big.countFor(475), 5u); // floor is 5
+    SuiteBuilder small(0.0, 1);
+    EXPECT_EQ(small.countFor(121), 5u);
+}
+
+TEST(JulietSuite, DeterministicGeneration)
+{
+    auto a = SuiteBuilder(0.0, 7).buildCwe(457);
+    auto b = SuiteBuilder(0.0, 7).buildCwe(457);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].badSource, b[i].badSource);
+        EXPECT_EQ(a[i].goodSource, b[i].goodSource);
+    }
+}
+
+// The zero-false-positive property (paper Finding 5): on good
+// variants, CompDiff must never report and sanitizers must stay
+// silent.
+TEST(JulietSuite, GoodVariantsAreCleanForDynamicTools)
+{
+    for (const auto &test : smallBuilder().buildAll()) {
+        auto good = minic::parseAndCheck(test.goodSource);
+
+        core::DiffEngine engine(*good);
+        auto diff = engine.runInput(test.input);
+        EXPECT_FALSE(diff.divergent)
+            << test.id << "\n"
+            << diff.summary() << test.goodSource;
+
+        sanitizers::SanitizerRunner runner(*good);
+        EXPECT_FALSE(runner.anyFires(test.input))
+            << test.id << "\n"
+            << test.goodSource;
+    }
+}
+
+// Every bad variant must misbehave for at least one tool in at least
+// one family — otherwise the case is inert filler.
+TEST(JulietSuite, BadVariantsAreDetectedSomewhere)
+{
+    std::size_t inert = 0;
+    std::size_t total = 0;
+    for (const auto &test : smallBuilder().buildAll()) {
+        total++;
+        auto bad = minic::parseAndCheck(test.badSource);
+        core::DiffEngine engine(*bad);
+        if (engine.runInput(test.input).divergent)
+            continue;
+        sanitizers::SanitizerRunner runner(*bad);
+        if (runner.anyFires(test.input))
+            continue;
+        // Deliberately undetectable variants exist (e.g. consistent
+        // traps); they must stay a small minority.
+        inert++;
+    }
+    EXPECT_LT(inert, total / 3)
+        << inert << " of " << total << " cases inert";
+}
+
+TEST(JulietEvaluate, SmallSuiteShapes)
+{
+    juliet::EvaluationOptions options;
+    auto cases = SuiteBuilder(0.0, 11).buildAll();
+    auto result = juliet::evaluateSuite(cases, options);
+
+    ASSERT_EQ(result.groups.size(), 10u);
+    EXPECT_EQ(result.totalCases, cases.size());
+    EXPECT_EQ(result.badHashVectors.size(), cases.size());
+
+    // CWE-469: CompDiff must own the row (paper: 100% vs all-zero).
+    const auto *ptr_sub = result.findGroup("UB of pointer sub.");
+    ASSERT_NE(ptr_sub, nullptr);
+    EXPECT_EQ(ptr_sub->tools.at("compdiff").detected,
+              ptr_sub->tools.at("compdiff").badTotal);
+    EXPECT_EQ(ptr_sub->tools.at("asan").detected, 0u);
+    EXPECT_EQ(ptr_sub->tools.at("ubsan").detected, 0u);
+    EXPECT_EQ(ptr_sub->tools.at("msan").detected, 0u);
+    EXPECT_EQ(ptr_sub->tools.at("deepscan").detected, 0u);
+    EXPECT_EQ(ptr_sub->compdiffUnique,
+              ptr_sub->tools.at("compdiff").detected);
+
+    // Memory errors: sanitizers strong; CompDiff non-zero.
+    const auto *memory = result.findGroup("Memory error");
+    ASSERT_NE(memory, nullptr);
+    EXPECT_GT(memory->tools.at("asan").detected,
+              memory->tools.at("asan").badTotal / 2);
+    EXPECT_GT(memory->tools.at("compdiff").detected, 0u);
+
+    // Integer errors: UBSan ahead of CompDiff.
+    const auto *integer = result.findGroup("Integer error");
+    ASSERT_NE(integer, nullptr);
+    EXPECT_GT(integer->tools.at("ubsan").detected,
+              integer->tools.at("compdiff").detected);
+
+    // Uninitialized memory: CompDiff far ahead of MSan.
+    const auto *uninit = result.findGroup("Uninitialized memory");
+    ASSERT_NE(uninit, nullptr);
+    EXPECT_GT(uninit->tools.at("compdiff").detected,
+              uninit->tools.at("msan").detected);
+
+    // Dynamic tools: zero false positives everywhere.
+    for (const auto &group : result.groups) {
+        for (const char *tool :
+             {"asan", "ubsan", "msan", "compdiff"}) {
+            auto it = group.tools.find(tool);
+            if (it != group.tools.end()) {
+                EXPECT_EQ(it->second.falsePositives, 0u)
+                    << group.group << " / " << tool;
+            }
+        }
+    }
+}
+
+TEST(JulietEvaluate, StaticToolsHaveFalsePositives)
+{
+    // Across a slightly larger slice, the aggressive static tools
+    // must show their Table 3 signature: non-zero false positives.
+    juliet::EvaluationOptions options;
+    options.runSanitizers = false;
+    options.runCompDiff = false;
+    auto cases = SuiteBuilder(0.002, 3).buildAll();
+    auto result = juliet::evaluateSuite(cases, options);
+
+    std::size_t inferlite_fp = 0;
+    std::size_t lintcheck_detected = 0;
+    for (const auto &group : result.groups) {
+        auto infer = group.tools.find("inferlite");
+        if (infer != group.tools.end())
+            inferlite_fp += infer->second.falsePositives;
+        auto lint = group.tools.find("lintcheck");
+        if (lint != group.tools.end())
+            lintcheck_detected += lint->second.detected;
+    }
+    EXPECT_GT(inferlite_fp, 0u);
+    EXPECT_GT(lintcheck_detected, 0u);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the AST pretty-printer, including the reparse property:
+ * printing an analyzed program and parsing the result again must
+ * produce a program with identical observable behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compdiff/engine.hh"
+#include "compiler/compiler.hh"
+#include "compiler/passes.hh"
+#include "minic/parser.hh"
+#include "minic/printer.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using minic::parseAndCheck;
+using minic::printProgram;
+
+TEST(Printer, RendersConstructs)
+{
+    auto program = parseAndCheck(R"(
+        struct pair { int a; int b; };
+        int g = 3;
+        int sum(int *arr, int n) {
+            int total = 0;
+            for (int i = 0; i < n; i += 1) {
+                total += arr[i];
+            }
+            return total;
+        }
+        int main() {
+            struct pair p;
+            p.a = 1;
+            p.b = g > 2 ? 10 : 20;
+            int data[4];
+            while (p.a < 4) { p.a += 1; }
+            if (!(p.a == 4)) { return 1; }
+            char *s = "hi\n";
+            print_str(s);
+            return sum(data, 0) + p.b + (int)sizeof(long);
+        }
+    )");
+    const std::string text = printProgram(*program);
+    EXPECT_NE(text.find("int g = 3;"), std::string::npos);
+    EXPECT_NE(text.find("int sum(int * arr, int n)"),
+              std::string::npos);
+    EXPECT_NE(text.find("for (int i = 0; (i < n); i += 1)"),
+              std::string::npos);
+    EXPECT_NE(text.find("p.a"), std::string::npos);
+    EXPECT_NE(text.find("\"hi\\n\""), std::string::npos);
+    EXPECT_NE(text.find("sizeof(long)"), std::string::npos);
+}
+
+/** Print -> reparse -> behavior must be identical. */
+TEST(Printer, ReparseRoundTripPreservesBehavior)
+{
+    const char *source = R"(
+        struct cell { int key; long val; char tag[4]; };
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        long stash(struct cell *c, int k) {
+            c->key = k;
+            c->val = (long)k * 7L;
+            c->tag[0] = 'c';
+            return c->val;
+        }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 12; i += 1) {
+                acc = (acc + fib(i)) % 1000;
+            }
+            print_int(acc);
+            newline();
+            char buf[8];
+            strcpy(buf, "ok");
+            print_str(buf);
+            struct cell c;
+            print_long(stash(&c, 6));
+            return 0;
+        }
+    )";
+    auto original = parseAndCheck(source);
+    auto reparsed = parseAndCheck(printProgram(*original));
+
+    const compiler::CompilerConfig config{compiler::Vendor::Gcc,
+                                          compiler::OptLevel::O2};
+    compiler::Compiler c1(*original);
+    compiler::Compiler c2(*reparsed);
+    auto m1 = c1.compile(config);
+    auto m2 = c2.compile(config);
+    vm::Vm v1(m1, config);
+    vm::Vm v2(m2, config);
+    auto r1 = v1.run({});
+    auto r2 = v2.run({});
+    EXPECT_EQ(r1.output, r2.output);
+    EXPECT_EQ(r1.exitClass(), r2.exitClass());
+}
+
+/** The printer is the debugging lens for passes: the widened-mul
+ *  marker must be visible after WidenMulPass. */
+TEST(Printer, ShowsPassAnnotations)
+{
+    auto program = parseAndCheck(R"(
+        int main() {
+            int a = input_byte(0);
+            long x = 1L + a * a;
+            print_long(x);
+            return 0;
+        }
+    )");
+    auto clone = program->functions[0]->clone();
+    compiler::normalizeBodies(*clone);
+    const compiler::Traits traits =
+        compiler::traitsFor({compiler::Vendor::Clang,
+                             compiler::OptLevel::O2});
+    for (const auto &pass : compiler::standardPasses())
+        if (std::string(pass->name()) == "widenmul")
+            pass->run(*clone, traits);
+    const std::string text = minic::printFunction(*clone);
+    EXPECT_NE(text.find("/*widened*/"), std::string::npos);
+}
+
+} // namespace

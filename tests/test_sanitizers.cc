@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the sanitizer implementations: each tool must catch its
+ * specialty classes, keep its documented blind spots, and stay silent
+ * on well-defined programs (no false positives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "minic/parser.hh"
+#include "sanitizers/sanitizers.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using compiler::Sanitizer;
+using sanitizers::SanitizerRunner;
+
+bool
+fires(Sanitizer which, std::string_view source,
+      const support::Bytes &input = {})
+{
+    auto program = minic::parseAndCheck(source);
+    SanitizerRunner runner(*program);
+    return runner.check(which, input).fired;
+}
+
+std::string
+reportKind(Sanitizer which, std::string_view source,
+           const support::Bytes &input = {})
+{
+    auto program = minic::parseAndCheck(source);
+    SanitizerRunner runner(*program);
+    auto verdict = runner.check(which, input);
+    return verdict.fired ? verdict.result.sanReports[0].kind : "";
+}
+
+// ---------------- ASan ----------------
+
+TEST(ASan, HeapBufferOverflowWrite)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        int main() {
+            char *p = malloc(8L);
+            p[8] = 'x';
+            return 0;
+        }
+    )"),
+              "heap-buffer-overflow");
+}
+
+TEST(ASan, HeapBufferOverflowRead)
+{
+    EXPECT_TRUE(fires(Sanitizer::ASan, R"(
+        int main() {
+            int *p = (int *)malloc(8L);
+            return p[3];
+        }
+    )"));
+}
+
+TEST(ASan, StackBufferOverflow)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        int main() {
+            char buf[8];
+            buf[9] = 1;
+            return 0;
+        }
+    )"),
+              "stack-buffer-overflow");
+}
+
+TEST(ASan, StackBufferUnderread)
+{
+    EXPECT_TRUE(fires(Sanitizer::ASan, R"(
+        int main() {
+            char buf[8];
+            return buf[-2];
+        }
+    )"));
+}
+
+TEST(ASan, GlobalBufferOverflow)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        char g[8];
+        int main() { return g[10]; }
+    )"),
+              "global-buffer-overflow");
+}
+
+TEST(ASan, UseAfterFree)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        int main() {
+            int *p = (int *)malloc(16L);
+            free((char *)p);
+            return p[0];
+        }
+    )"),
+              "heap-use-after-free");
+}
+
+TEST(ASan, DoubleFree)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        int main() {
+            char *p = malloc(16L);
+            free(p);
+            free(p);
+            return 0;
+        }
+    )"),
+              "double-free");
+}
+
+TEST(ASan, InvalidFree)
+{
+    EXPECT_EQ(reportKind(Sanitizer::ASan, R"(
+        int main() {
+            char buf[8];
+            free(buf);
+            return 0;
+        }
+    )"),
+              "invalid-free");
+}
+
+TEST(ASan, CleanProgramSilent)
+{
+    EXPECT_FALSE(fires(Sanitizer::ASan, R"(
+        int main() {
+            char *p = malloc(8L);
+            for (int i = 0; i < 8; i += 1) { p[i] = (char)i; }
+            int acc = 0;
+            for (int i = 0; i < 8; i += 1) { acc += p[i]; }
+            free(p);
+            char buf[4];
+            buf[0] = 1; buf[3] = 2;
+            return acc + buf[0] + buf[3];
+        }
+    )"));
+}
+
+// Blind spot: a far-OOB access that lands in another live object.
+TEST(ASan, FarOutOfBoundsCanBeMissed)
+{
+    EXPECT_FALSE(fires(Sanitizer::ASan, R"(
+        char a[16];
+        char b[16];
+        int main() {
+            // Far past `a`, deep into the neighbor region.
+            return a[32 + input_size()];
+        }
+    )"));
+}
+
+// ---------------- UBSan ----------------
+
+TEST(UBSan, SignedOverflowAdd)
+{
+    EXPECT_EQ(reportKind(Sanitizer::UBSan, R"(
+        int main() {
+            int big = 2147483647 - input_size();
+            return big + 1;
+        }
+    )"),
+              "signed-integer-overflow");
+}
+
+TEST(UBSan, SignedOverflowMul)
+{
+    EXPECT_TRUE(fires(Sanitizer::UBSan, R"(
+        int main() {
+            int a = 100000 + input_size();
+            return a * a;
+        }
+    )"));
+}
+
+TEST(UBSan, DivisionByZero)
+{
+    EXPECT_EQ(reportKind(Sanitizer::UBSan, R"(
+        int main() { return 5 / input_size(); }
+    )"),
+              "division-by-zero");
+}
+
+TEST(UBSan, IntMinDivMinusOne)
+{
+    EXPECT_EQ(reportKind(Sanitizer::UBSan, R"(
+        int main() {
+            int m = -2147483647 - 1;
+            int d = -1 - input_size();
+            return m / d;
+        }
+    )"),
+              "signed-integer-overflow");
+}
+
+TEST(UBSan, ShiftOutOfBounds)
+{
+    EXPECT_EQ(reportKind(Sanitizer::UBSan, R"(
+        int main() {
+            int n = 40 + input_size();
+            return 1 << n;
+        }
+    )"),
+              "shift-out-of-bounds");
+}
+
+TEST(UBSan, NullDereference)
+{
+    EXPECT_EQ(reportKind(Sanitizer::UBSan, R"(
+        int main() {
+            int *p = 0;
+            return *p;
+        }
+    )"),
+              "null-pointer-dereference");
+}
+
+TEST(UBSan, UnsignedWrapIsDefinedAndSilent)
+{
+    EXPECT_FALSE(fires(Sanitizer::UBSan, R"(
+        int main() {
+            uint u = 4294967295U;
+            u = u + 2U;
+            return (int)u;
+        }
+    )"));
+}
+
+// Blind spot: cross-object pointer comparison is not checked.
+TEST(UBSan, PointerComparisonNotChecked)
+{
+    EXPECT_FALSE(fires(Sanitizer::UBSan, R"(
+        char a[8];
+        char b[8];
+        int main() { return &a[0] < &b[0]; }
+    )"));
+}
+
+TEST(UBSan, CleanProgramSilent)
+{
+    EXPECT_FALSE(fires(Sanitizer::UBSan, R"(
+        int main() {
+            int a = 1000000;
+            long b = (long)a * (long)a;
+            return (int)(b % 97L);
+        }
+    )"));
+}
+
+// ---------------- MSan ----------------
+
+TEST(MSan, BranchOnUninitialized)
+{
+    EXPECT_EQ(reportKind(Sanitizer::MSan, R"(
+        int main() {
+            int l;
+            if (l > 0) { print_str("pos"); }
+            return 0;
+        }
+    )"),
+              "use-of-uninitialized-value");
+}
+
+TEST(MSan, UninitializedHeapBranch)
+{
+    EXPECT_TRUE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int *p = (int *)malloc(16L);
+            if (p[1] == 7) { print_str("seven"); }
+            return 0;
+        }
+    )"));
+}
+
+TEST(MSan, PropagatesThroughArithmetic)
+{
+    EXPECT_TRUE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int l;
+            int derived = l * 3 + 1;
+            if (derived > 10) { print_str("big"); }
+            return 0;
+        }
+    )"));
+}
+
+// The paper's Listing 4 blind spot: printing an uninitialized value
+// is deliberately NOT reported.
+TEST(MSan, PrintingUninitializedIsMissed)
+{
+    EXPECT_FALSE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int l;
+            print_int(l);
+            return 0;
+        }
+    )"));
+}
+
+TEST(MSan, InitializedViaMemsetSilent)
+{
+    EXPECT_FALSE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int arr[4];
+            memset((char *)arr, 0, 16L);
+            if (arr[2] == 0) { print_str("zero"); }
+            return 0;
+        }
+    )"));
+}
+
+TEST(MSan, CopiedPoisonIsTracked)
+{
+    EXPECT_TRUE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int src[2];
+            int dst[2];
+            memcpy((char *)dst, (char *)src, 8L);
+            if (dst[0]) { print_str("x"); }
+            return 0;
+        }
+    )"));
+}
+
+TEST(MSan, CleanProgramSilent)
+{
+    EXPECT_FALSE(fires(Sanitizer::MSan, R"(
+        int main() {
+            int a = 3;
+            int b = a * 2;
+            if (b == 6) { print_str("ok"); }
+            return 0;
+        }
+    )"));
+}
+
+// ---------------- harness ----------------
+
+TEST(SanitizerRunner, AnyFiresAggregates)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            char *p = malloc(4L);
+            p[4 + input_size()] = 1;
+            return 0;
+        }
+    )");
+    SanitizerRunner runner(*program);
+    EXPECT_TRUE(runner.anyFires({}));
+    EXPECT_FALSE(runner.allReports({}).empty());
+}
+
+TEST(SanitizerRunner, SanitizerBuildsDisableUbExploits)
+{
+    // The overflow guard must still be *checked* (not folded away)
+    // in a UBSan build: the sanitizer sees the overflow.
+    EXPECT_TRUE(fires(Sanitizer::UBSan, R"(
+        int check(int offset, int len) {
+            if (offset + len < offset) { return -1; }
+            return 0;
+        }
+        int main() { return check(2147483547, 101); }
+    )"));
+}
+
+} // namespace

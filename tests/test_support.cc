@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the support library (hashing, RNG, strings, tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bytes.hh"
+#include "support/hash.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace compdiff::support;
+
+TEST(Hash, MurmurIsDeterministic)
+{
+    EXPECT_EQ(murmurHash64("hello"), murmurHash64("hello"));
+    EXPECT_NE(murmurHash64("hello"), murmurHash64("hellp"));
+    EXPECT_NE(murmurHash64("hello", 1), murmurHash64("hello", 2));
+}
+
+TEST(Hash, EmptyAndShortInputs)
+{
+    // Different lengths of identical prefixes must hash differently.
+    EXPECT_NE(murmurHash64(""), murmurHash64(std::string_view("\0", 1)));
+    EXPECT_NE(murmurHash64("a"), murmurHash64("aa"));
+    // 15/16/17-byte boundary around the block size.
+    const std::string base(17, 'x');
+    EXPECT_NE(murmurHash64(base.substr(0, 15)),
+              murmurHash64(base.substr(0, 16)));
+    EXPECT_NE(murmurHash64(base.substr(0, 16)),
+              murmurHash64(base.substr(0, 17)));
+}
+
+TEST(Hash, CombinerOrderSensitive)
+{
+    HashCombiner a;
+    a.add(1).add(2);
+    HashCombiner b;
+    b.add(2).add(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Strings, SplitJoinTrim)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+    EXPECT_EQ(trim("  x \n"), "x");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_TRUE(contains("foobar", "oba"));
+    EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Bytes, LittleEndianHelpers)
+{
+    Bytes buffer;
+    appendLE32(buffer, 0x01020304);
+    appendLE16(buffer, 0xbeef);
+    EXPECT_EQ(readLE32(buffer, 0), 0x01020304u);
+    EXPECT_EQ(readLE16(buffer, 4), 0xbeef);
+    EXPECT_EQ(readLE32(buffer, 3, 7), 7u); // out of range
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "2"});
+    const auto text = table.str();
+    EXPECT_NE(text.find("long-name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, BoxStatsQuartiles)
+{
+    const auto stats = boxStats({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(stats.min, 1);
+    EXPECT_DOUBLE_EQ(stats.median, 3);
+    EXPECT_DOUBLE_EQ(stats.max, 5);
+    EXPECT_DOUBLE_EQ(stats.q1, 2);
+    EXPECT_DOUBLE_EQ(stats.q3, 4);
+}
+
+} // namespace

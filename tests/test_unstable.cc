@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests that each modeled UB class actually yields *unstable code*:
+ * divergent observable behavior across compiler implementations.
+ * These are the mechanisms the paper's detection rests on (its
+ * Listings 1-4 and the RQ1 bug taxonomy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/compiler.hh"
+#include "minic/parser.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using compiler::CompilerConfig;
+using compiler::OptLevel;
+using compiler::Sanitizer;
+using compiler::Vendor;
+using vm::Vm;
+
+/** Run a program under all ten implementations; return the set of
+ *  distinct (output, exitClass) observations. */
+std::set<std::string>
+observe(std::string_view source, const support::Bytes &input = {})
+{
+    auto program = minic::parseAndCheck(source);
+    compiler::Compiler comp(*program);
+    std::set<std::string> observations;
+    for (const auto &config : compiler::standardImplementations()) {
+        auto module = comp.compile(config);
+        Vm machine(module, config);
+        auto result = machine.run(input);
+        observations.insert(result.output + "|" +
+                            result.exitClass());
+    }
+    return observations;
+}
+
+std::string
+runOne(std::string_view source, Vendor vendor, OptLevel opt,
+       const support::Bytes &input = {})
+{
+    auto program = minic::parseAndCheck(source);
+    compiler::Compiler comp(*program);
+    const CompilerConfig config{vendor, opt, Sanitizer::None};
+    auto module = comp.compile(config);
+    Vm machine(module, config);
+    auto result = machine.run(input);
+    return result.output + "|" + result.exitClass();
+}
+
+// Listing 1 analog: the overflow guard `offset + len < offset` is
+// folded away by optimizing configurations, so on an overflowing
+// input the optimized binary "dumps" while -O0 rejects.
+constexpr const char *kListing1 = R"(
+    int dump_data(int offset, int len) {
+        int size = 100;
+        if (offset < 0 || len < 0) { return -1; }
+        if (offset + len < offset) { return -1; }
+        print_str("dump "); print_int(offset); newline();
+        return 0;
+    }
+    int main() {
+        // offset = INT_MAX - 100, len = 101: offset+len overflows.
+        print_int(dump_data(2147483547, 101));
+        return 0;
+    }
+)";
+
+TEST(Unstable, Listing1OverflowGuardDiverges)
+{
+    EXPECT_EQ(runOne(kListing1, Vendor::Gcc, OptLevel::O0),
+              "-1|exit:0");
+    EXPECT_NE(runOne(kListing1, Vendor::Clang, OptLevel::O2),
+              runOne(kListing1, Vendor::Gcc, OptLevel::O0));
+    EXPECT_GE(observe(kListing1).size(), 2u);
+}
+
+// Listing 2 analog: relational comparison between pointers to
+// different objects (a global and a heap block).
+TEST(Unstable, PointerComparisonDiverges)
+{
+    const auto obs = observe(R"(
+        char saved_start[8];
+        char look_for_buf[64];
+        int main() {
+            char *saved = &saved_start[0];
+            char *look_for = &look_for_buf[0];
+            if (look_for <= saved) { print_str("below"); }
+            else { print_str("above"); }
+            return 0;
+        }
+    )");
+    // Declaration order vs size-sorted global layout flips the
+    // relation between the two objects.
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// Listing 3 analog: two calls returning the same static buffer used
+// as arguments of one call; evaluation order decides which value
+// both arguments see.
+TEST(Unstable, EvalOrderDiverges)
+{
+    const char *source = R"(
+        char buffer[32];
+        char *get_str(int v) {
+            buffer[0] = (char)(48 + v);
+            buffer[1] = 0;
+            return buffer;
+        }
+        void show(char *a, char *b) {
+            print_str(a); print_str(" "); print_str(b);
+        }
+        int main() {
+            show(get_str(1), get_str(2));
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O0),
+              "2 2|exit:0"); // left-to-right: second call wins
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "1 1|exit:0"); // right-to-left: first call wins
+}
+
+// Listing 4 analog: an uninitialized local whose "random" initial
+// value is printed when the overwrite path is skipped.
+TEST(Unstable, UninitializedLocalDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int l;
+            if (input_size() > 0) { l = input_byte(0); }
+            print_int(l);
+            return 0;
+        }
+    )";
+    // Empty input leaves `l` holding frame garbage.
+    const auto obs = observe(source, {});
+    EXPECT_GE(obs.size(), 2u);
+    // Initialized path is stable.
+    const auto obs_ok = observe(source, {42});
+    EXPECT_EQ(obs_ok.size(), 1u);
+}
+
+TEST(Unstable, UninitializedHeapDiverges)
+{
+    const auto obs = observe(R"(
+        int main() {
+            int *p = (int *)malloc(16L);
+            print_int(p[2]);
+            return 0;
+        }
+    )");
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// RQ1 IntError example: `long x = y + a * b` evaluated in 64 bits by
+// the widening implementations.
+TEST(Unstable, WidenedMultiplyDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int a = 100000;
+            int b = 100000;
+            long y = 1L;
+            long x = y + a * b;
+            print_long(x);
+            return 0;
+        }
+    )";
+    // gcc computes the 32-bit wrapped product, clang-O1+ widens.
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O2),
+              runOne(source, Vendor::Gcc, OptLevel::O0));
+    EXPECT_NE(runOne(source, Vendor::Clang, OptLevel::O1),
+              runOne(source, Vendor::Gcc, OptLevel::O0));
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O1),
+              "10000000001|exit:0");
+}
+
+// Dead-store elimination deletes an unused trapping division.
+TEST(Unstable, DeadDivisionDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int zero = input_size();
+            int t = 7 / zero;
+            print_str("ok");
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "|crash:fpe");
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O2),
+              "ok|exit:0");
+}
+
+// Null-pointer stores are elided by the exploiting configurations.
+TEST(Unstable, NullStoreDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int *p = 0;
+            *p = 42;
+            print_str("alive");
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "|crash:segv");
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O2),
+              "alive|exit:0");
+}
+
+// Oversized shift counts: mask vs zero policies.
+TEST(Unstable, OversizedShiftDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int x = 1;
+            int n = 33 + input_size();
+            print_int(x << n);
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O2),
+              "2|exit:0"); // masked to 1
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O2),
+              "0|exit:0"); // poison-folded to zero
+}
+
+// memcpy with overlapping ranges (CWE-475 family).
+TEST(Unstable, OverlappingMemcpyDiverges)
+{
+    const auto obs = observe(R"(
+        int main() {
+            char buf[16];
+            strcpy(buf, "abcdefgh");
+            memcpy(buf + 2, buf, 6L);
+            buf[8] = 0;
+            print_str(buf);
+            return 0;
+        }
+    )");
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// cur_line() in a statement spanning several lines (LINE family).
+TEST(Unstable, CurLineDiverges)
+{
+    const char *source = R"(
+        int main() {
+            int where = 0 +
+                        0 +
+                        cur_line();
+            print_int(where);
+            return 0;
+        }
+    )";
+    EXPECT_NE(runOne(source, Vendor::Gcc, OptLevel::O0),
+              runOne(source, Vendor::Clang, OptLevel::O0));
+}
+
+// pow() lowering imprecision (Misc / float family).
+TEST(Unstable, PowPrecisionDiverges)
+{
+    const char *source = R"(
+        int main() {
+            double v = pow_f(1.7, 31.3);
+            print_f(v);
+            return 0;
+        }
+    )";
+    EXPECT_NE(runOne(source, Vendor::Clang, OptLevel::O3),
+              runOne(source, Vendor::Gcc, OptLevel::O3));
+}
+
+// Double free: glibc-style detection vs silent corruption.
+TEST(Unstable, DoubleFreeDiverges)
+{
+    const char *source = R"(
+        int main() {
+            char *p = malloc(16L);
+            free(p);
+            free(p);
+            print_str("survived");
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "free(): double free detected\n|crash:abort");
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O0),
+              "survived|exit:0");
+}
+
+// Free of a stack pointer: detection vs silent ignore.
+TEST(Unstable, InvalidFreeDiverges)
+{
+    const char *source = R"(
+        int main() {
+            char buf[8];
+            free(buf);
+            print_str("survived");
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O1),
+              "free(): invalid pointer\n|crash:abort");
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O1),
+              "survived|exit:0");
+}
+
+// Use after free: poisoning and reuse order differ.
+TEST(Unstable, UseAfterFreeDiverges)
+{
+    const auto obs = observe(R"(
+        int main() {
+            int *p = (int *)malloc(16L);
+            p[0] = 1234;
+            free((char *)p);
+            char *q = malloc(16L);
+            q[0] = 'X';
+            print_int(p[0]);
+            return 0;
+        }
+    )");
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// Stack OOB read: layout (order + padding) decides the victim.
+TEST(Unstable, StackOverreadDiverges)
+{
+    const auto obs = observe(R"(
+        int main() {
+            int canary = 777;
+            char small[4];
+            long big = 123456789L;
+            small[0] = 'a';
+            int idx = 6 + input_size();
+            print_int(small[idx]);
+            return 0;
+        }
+    )");
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// Pointer subtraction across objects (CWE-469).
+TEST(Unstable, CrossObjectPointerSubtractionDiverges)
+{
+    const auto obs = observe(R"(
+        char first[64];
+        char second[16];
+        int main() {
+            long apparent_size = &second[0] - &first[0];
+            print_long(apparent_size);
+            return 0;
+        }
+    )");
+    EXPECT_GE(obs.size(), 2u);
+}
+
+// The seeded miscompilations (RQ2 compiler bugs).
+TEST(Unstable, SeededRemPow2Miscompile)
+{
+    const char *source = R"(
+        int main() {
+            int v = -1 - input_size();
+            print_int(v % 8);
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O2),
+              "-1|exit:0");
+    EXPECT_EQ(runOne(source, Vendor::Clang, OptLevel::O2),
+              "7|exit:0"); // the bug: x&7 has no negative fixup
+}
+
+TEST(Unstable, SeededDiv32Miscompile)
+{
+    const char *source = R"(
+        int main() {
+            int v = -33 - input_size();
+            print_int(v / 32);
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "-1|exit:0");
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::Os),
+              "-2|exit:0"); // arithmetic shift rounds toward -inf
+}
+
+TEST(Unstable, SeededEmptyRangeMiscompile)
+{
+    const char *source = R"(
+        int main() {
+            int x = 4 + input_size();
+            if (x < 5 && x > 3) { print_str("in-range"); }
+            else { print_str("out"); }
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O0),
+              "in-range|exit:0");
+    EXPECT_EQ(runOne(source, Vendor::Gcc, OptLevel::O3),
+              "out|exit:0"); // folded to false although x==4 fits
+}
+
+// time_stamp() varies per execution, not per configuration — it is
+// the RQ5 normalization workload.
+TEST(Unstable, TimestampVariesPerRun)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            print_str("[ts:"); print_long(time_stamp());
+            print_str("] hello");
+            return 0;
+        }
+    )");
+    compiler::Compiler comp(*program);
+    const CompilerConfig config{Vendor::Gcc, OptLevel::O0,
+                                Sanitizer::None};
+    auto module = comp.compile(config);
+    Vm machine(module, config);
+    auto r1 = machine.run({}, nullptr, 1);
+    auto r2 = machine.run({}, nullptr, 2);
+    EXPECT_NE(r1.output, r2.output);
+}
+
+// Well-defined programs must NOT diverge: the zero-false-positive
+// property (paper Finding 5).
+TEST(Unstable, WellDefinedProgramIsStable)
+{
+    const auto obs = observe(R"(
+        int work(int n) {
+            int acc = 0;
+            for (int i = 1; i <= n; i += 1) {
+                acc += i * i;
+                if (acc > 1000) { acc %= 997; }
+            }
+            return acc;
+        }
+        int main() {
+            char buf[32];
+            strcpy(buf, "stable");
+            print_str(buf); newline();
+            print_int(work(50)); newline();
+            int guarded = input_size();
+            if (guarded > 0 && guarded < 10) { print_int(guarded); }
+            return 0;
+        }
+    )",
+                             {5});
+    EXPECT_EQ(obs.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the VM memory subsystem: address space mapping,
+ * checked accesses, shadow bookkeeping, heap allocator policies,
+ * and the coverage map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/config.hh"
+#include "vm/coverage.hh"
+#include "vm/memory.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using compiler::CompilerConfig;
+using compiler::OptLevel;
+using compiler::Traits;
+using compiler::traitsFor;
+using compiler::Vendor;
+using vm::Access;
+using vm::AddressSpace;
+using vm::FreeOutcome;
+using vm::Heap;
+
+Traits
+gccTraits()
+{
+    return traitsFor({Vendor::Gcc, OptLevel::O2});
+}
+
+Traits
+clangTraits()
+{
+    return traitsFor({Vendor::Clang, OptLevel::O2});
+}
+
+TEST(AddressSpaceTest, SegmentsMappedAtTraitBases)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, false, 1 << 14, 1 << 14);
+    space.setRodata({1, 2, 3});
+    space.setGlobalsSize(64);
+
+    EXPECT_NE(space.find(traits.rodataBase, 1), nullptr);
+    EXPECT_NE(space.find(traits.globalsBase, 1), nullptr);
+    EXPECT_NE(space.find(traits.heapBase, 1), nullptr);
+    EXPECT_NE(space.find(traits.stackBase - 8, 8), nullptr);
+    EXPECT_EQ(space.find(0, 1), nullptr);         // null page
+    EXPECT_EQ(space.find(0x500, 4), nullptr);     // still unmapped
+    EXPECT_EQ(space.find(0x7fffffffull, 1), nullptr);
+}
+
+TEST(AddressSpaceTest, ReadWriteRoundTrip)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, false, 1 << 14, 1 << 14);
+    space.setGlobalsSize(64);
+
+    const std::uint64_t addr = traits.globalsBase + 8;
+    EXPECT_EQ(space.write(addr, 8, 0x1122334455667788ull, false),
+              Access::Ok);
+    std::uint64_t value = 0;
+    bool poisoned = true;
+    EXPECT_EQ(space.read(addr, 8, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, 0x1122334455667788ull);
+    EXPECT_FALSE(poisoned);
+
+    // Partial-width reads are little-endian.
+    EXPECT_EQ(space.read(addr, 1, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, 0x88u);
+    EXPECT_EQ(space.read(addr, 4, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, 0x55667788u);
+}
+
+TEST(AddressSpaceTest, RodataIsReadOnly)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, false, 1 << 12, 1 << 12);
+    space.setRodata({'h', 'i', 0});
+    std::uint64_t value;
+    bool poisoned;
+    EXPECT_EQ(space.read(traits.rodataBase, 1, value, poisoned),
+              Access::Ok);
+    EXPECT_EQ(value, 'h');
+    EXPECT_EQ(space.write(traits.rodataBase, 1, 'X', false),
+              Access::ReadOnlyWrite);
+}
+
+TEST(AddressSpaceTest, StackFillPatternApplied)
+{
+    const Traits gcc = gccTraits();
+    AddressSpace space(gcc, false, false, 1 << 12, 1 << 12);
+    std::uint64_t value;
+    bool poisoned;
+    ASSERT_EQ(space.read(gcc.stackBase - 16, 1, value, poisoned),
+              Access::Ok);
+    EXPECT_EQ(value, gcc.stackFill);
+
+    const Traits clang = clangTraits();
+    AddressSpace other(clang, false, false, 1 << 12, 1 << 12);
+    ASSERT_EQ(other.read(clang.stackBase - 16, 1, value, poisoned),
+              Access::Ok);
+    EXPECT_EQ(value, clang.stackFill);
+    EXPECT_NE(gcc.stackFill, clang.stackFill);
+}
+
+TEST(AddressSpaceTest, AsanShadowGatesAccess)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, true, false, 1 << 12, 1 << 12);
+    const std::uint64_t addr = traits.stackBase - 64;
+    // Stack starts fully invalid under ASan.
+    EXPECT_EQ(space.write(addr, 4, 1, false), Access::AsanInvalid);
+    space.setValid(addr, 4, true);
+    EXPECT_EQ(space.write(addr, 4, 1, false), Access::Ok);
+    space.setValid(addr, 4, false);
+    std::uint64_t value;
+    bool poisoned;
+    EXPECT_EQ(space.read(addr, 4, value, poisoned),
+              Access::AsanInvalid);
+}
+
+TEST(AddressSpaceTest, MsanPoisonTracksWrites)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, true, 1 << 12, 1 << 12);
+    const std::uint64_t addr = traits.stackBase - 32;
+    space.setPoison(addr, 8, true);
+    std::uint64_t value;
+    bool poisoned = false;
+    ASSERT_EQ(space.read(addr, 8, value, poisoned), Access::Ok);
+    EXPECT_TRUE(poisoned);
+    // A clean write unpoisons; a poisoned write re-poisons.
+    ASSERT_EQ(space.write(addr, 8, 5, false), Access::Ok);
+    ASSERT_EQ(space.read(addr, 8, value, poisoned), Access::Ok);
+    EXPECT_FALSE(poisoned);
+    ASSERT_EQ(space.write(addr, 8, 5, true), Access::Ok);
+    ASSERT_EQ(space.read(addr, 8, value, poisoned), Access::Ok);
+    EXPECT_TRUE(poisoned);
+}
+
+// ---------------- heap ----------------
+
+TEST(HeapTest, AllocationsAreAlignedAndFilled)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, false, 1 << 12, 1 << 14);
+    Heap heap(space, traits, false);
+    const std::uint64_t a = heap.allocate(10);
+    const std::uint64_t b = heap.allocate(20);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 16);
+
+    std::uint64_t value;
+    bool poisoned;
+    ASSERT_EQ(space.read(a, 1, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, traits.heapFill);
+}
+
+TEST(HeapTest, OomReturnsNull)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, false, false, 1 << 12, 256);
+    Heap heap(space, traits, false);
+    EXPECT_NE(heap.allocate(128), 0u);
+    EXPECT_EQ(heap.allocate(512), 0u); // larger than the segment
+}
+
+TEST(HeapTest, ReuseOrderFollowsPolicy)
+{
+    // gcc-sim: LIFO free list; clang-sim: FIFO.
+    const Traits gcc = gccTraits();
+    AddressSpace s1(gcc, false, false, 1 << 12, 1 << 14);
+    Heap lifo(s1, gcc, false);
+    const auto a1 = lifo.allocate(16);
+    const auto b1 = lifo.allocate(16);
+    lifo.release(a1);
+    lifo.release(b1);
+    EXPECT_EQ(lifo.allocate(16), b1); // last freed first
+
+    const Traits clang = clangTraits();
+    AddressSpace s2(clang, false, false, 1 << 12, 1 << 14);
+    Heap fifo(s2, clang, false);
+    const auto a2 = fifo.allocate(16);
+    const auto b2 = fifo.allocate(16);
+    fifo.release(a2);
+    fifo.release(b2);
+    EXPECT_EQ(fifo.allocate(16), a2); // first freed first
+}
+
+TEST(HeapTest, DoubleFreeDetectionIsPolicyDependent)
+{
+    const Traits gcc = gccTraits(); // tcache-style top check
+    AddressSpace s1(gcc, false, false, 1 << 12, 1 << 14);
+    Heap detecting(s1, gcc, false);
+    const auto p = detecting.allocate(16);
+    EXPECT_EQ(detecting.release(p), FreeOutcome::Ok);
+    EXPECT_EQ(detecting.release(p), FreeOutcome::DoubleFreeAbort);
+
+    // Not at the top of the free list: the check misses.
+    const auto q = detecting.allocate(16); // reuses p
+    const auto r = detecting.allocate(16);
+    EXPECT_EQ(detecting.release(q), FreeOutcome::Ok);
+    EXPECT_EQ(detecting.release(r), FreeOutcome::Ok);
+    EXPECT_EQ(detecting.release(q), FreeOutcome::DoubleFreeSilent);
+
+    const Traits clang = clangTraits(); // no detection at all
+    AddressSpace s2(clang, false, false, 1 << 12, 1 << 14);
+    Heap silent(s2, clang, false);
+    const auto p2 = silent.allocate(16);
+    EXPECT_EQ(silent.release(p2), FreeOutcome::Ok);
+    EXPECT_EQ(silent.release(p2), FreeOutcome::DoubleFreeSilent);
+}
+
+TEST(HeapTest, InvalidFreePolicies)
+{
+    const Traits gcc = gccTraits();
+    AddressSpace s1(gcc, false, false, 1 << 12, 1 << 14);
+    Heap detecting(s1, gcc, false);
+    EXPECT_EQ(detecting.release(gcc.stackBase - 64),
+              FreeOutcome::InvalidFreeAbort);
+    EXPECT_EQ(detecting.release(0), FreeOutcome::NullNoop);
+
+    const Traits clang = clangTraits();
+    AddressSpace s2(clang, false, false, 1 << 12, 1 << 14);
+    Heap ignoring(s2, clang, false);
+    EXPECT_EQ(ignoring.release(clang.stackBase - 64),
+              FreeOutcome::InvalidFreeIgnored);
+}
+
+TEST(HeapTest, FreePoisonScrubsOnClangOnly)
+{
+    const Traits clang = clangTraits();
+    AddressSpace s1(clang, false, false, 1 << 12, 1 << 14);
+    Heap poisoning(s1, clang, false);
+    const auto p = poisoning.allocate(16);
+    s1.write(p, 1, 'X', false);
+    poisoning.release(p);
+    std::uint64_t value;
+    bool poisoned;
+    ASSERT_EQ(s1.read(p, 1, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, clang.freePoisonByte);
+
+    const Traits gcc = gccTraits();
+    AddressSpace s2(gcc, false, false, 1 << 12, 1 << 14);
+    Heap keeping(s2, gcc, false);
+    const auto q = keeping.allocate(16);
+    s2.write(q, 1, 'X', false);
+    keeping.release(q);
+    ASSERT_EQ(s2.read(q, 1, value, poisoned), Access::Ok);
+    EXPECT_EQ(value, 'X'); // stale data survives
+}
+
+TEST(HeapTest, AsanQuarantineDelaysReuse)
+{
+    const Traits traits = gccTraits();
+    AddressSpace space(traits, true, false, 1 << 12, 1 << 16);
+    Heap heap(space, traits, true);
+    const auto p = heap.allocate(16);
+    heap.release(p);
+    // A fresh allocation must NOT reuse the quarantined chunk.
+    const auto q = heap.allocate(16);
+    EXPECT_NE(q, p);
+    // And the freed chunk stays inaccessible.
+    std::uint64_t value;
+    bool poisoned;
+    EXPECT_EQ(space.read(p, 1, value, poisoned),
+              Access::AsanInvalid);
+}
+
+// ---------------- coverage ----------------
+
+TEST(CoverageTest, EdgesNotJustBlocks)
+{
+    vm::CoverageMap map;
+    map.reset();
+    map.hitBlock(10);
+    map.hitBlock(20);
+    const auto ab = map.countBits();
+
+    vm::CoverageMap reversed;
+    reversed.reset();
+    reversed.hitBlock(20);
+    reversed.hitBlock(10);
+    EXPECT_EQ(ab, reversed.countBits());
+    EXPECT_NE(map.pathHash(), reversed.pathHash()); // different edges
+}
+
+TEST(CoverageTest, VirginMapDetectsNovelty)
+{
+    vm::VirginMap virgin;
+    vm::CoverageMap map;
+    map.reset();
+    map.hitBlock(1);
+    map.hitBlock(2);
+    EXPECT_TRUE(virgin.mergeAndCheckNew(map));
+    EXPECT_FALSE(virgin.mergeAndCheckNew(map)); // same path
+    // Same edges but a higher hit-count bucket is new again.
+    for (int i = 0; i < 10; i++) {
+        map.hitBlock(1);
+        map.hitBlock(2);
+    }
+    EXPECT_TRUE(virgin.mergeAndCheckNew(map));
+    EXPECT_GE(virgin.edgesSeen(), 2u);
+}
+
+TEST(CoverageTest, BucketBoundaries)
+{
+    using vm::coverageBucket;
+    EXPECT_EQ(coverageBucket(0), 0);
+    EXPECT_EQ(coverageBucket(1), 1);
+    EXPECT_EQ(coverageBucket(2), 2);
+    EXPECT_EQ(coverageBucket(3), 4);
+    EXPECT_EQ(coverageBucket(7), 8);
+    EXPECT_EQ(coverageBucket(8), 16);
+    EXPECT_EQ(coverageBucket(127), 64);
+    EXPECT_EQ(coverageBucket(128), 128);
+    EXPECT_EQ(coverageBucket(255), 128);
+}
+
+} // namespace
