@@ -24,6 +24,7 @@
 #include "compdiff/engine.hh"
 #include "juliet/suite.hh"
 #include "minic/parser.hh"
+#include "obs/stats.hh"
 #include "support/table.hh"
 #include "targets/targets.hh"
 
@@ -54,6 +55,7 @@ int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("ablation_design");
 
     double scale = 1.0 / 96;
     if (argc > 1)

@@ -14,6 +14,7 @@
 #include "compdiff/subset.hh"
 #include "juliet/evaluate.hh"
 #include "juliet/suite.hh"
+#include "obs/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 
@@ -21,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("fig1_subset_juliet");
     using support::format;
 
     double scale = 1.0 / 24;

@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "compdiff/subset.hh"
+#include "obs/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "targets/campaign.hh"
@@ -19,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("fig2_subset_realworld");
     using support::format;
 
     targets::CampaignOptions options;

@@ -12,12 +12,14 @@
 #include <string>
 
 #include "juliet/suite.hh"
+#include "obs/stats.hh"
 #include "support/table.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("table2_cwe_overview");
 
     double scale = 1.0 / 16;
     if (argc > 1)

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/stats.hh"
 #include "support/table.hh"
 #include "targets/targets.hh"
 
@@ -19,6 +20,7 @@ int
 main()
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("table4_targets");
 
     support::TextTable table;
     table.setHeader({"Target", "Input type", "Version", "Size (LoC)",

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/stats.hh"
 #include "support/table.hh"
 #include "targets/campaign.hh"
 
@@ -17,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("table5_fuzz_bugs");
 
     targets::CampaignOptions options;
     options.maxExecs = 10'000;

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "obs/stats.hh"
 #include "support/table.hh"
 #include "targets/campaign.hh"
 
@@ -18,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     using namespace compdiff;
+    obs::BenchTelemetry telemetry("table6_sanitizer_overlap");
     using targets::BugCategory;
 
     targets::CampaignOptions options;

@@ -3,10 +3,21 @@
  * A small command-line front end: run CompDiff on your own MiniC
  * program, and when a divergence is found, localize it.
  *
- *   ./build/examples/compdiff_cli prog.mc [input-file]
+ *   ./build/examples/compdiff_cli [options] [prog.mc [input-file]]
  *
- * With no arguments it writes a demo program to /tmp and analyzes
- * that, so it is safe to run from the bench/example sweep.
+ * Options (observability, see DESIGN.md "Observability"):
+ *   --fuzz[=N]          run a CompDiff-AFL++ campaign (default
+ *                       20000 execs) instead of a single input
+ *   --stats-out=FILE    write an AFL++-style fuzzer_stats snapshot
+ *   --plot-out=FILE     write an AFL++-style plot_data time series
+ *   --trace-out=FILE    write Chrome-trace JSON (chrome://tracing)
+ *   --metrics-out=FILE  write the metrics registry as JSONL
+ *   --flame             print the span flame summary to stdout
+ *   --quiet             silence warn()/inform() notices
+ *   --validate-json=F   check that F parses as JSON and exit
+ *
+ * With no program argument it writes a demo program to /tmp and
+ * analyzes that, so it is safe to run from the bench/example sweep.
  *
  * The report mirrors the paper's bug reports (Section 5): the
  * triggering input, two configurations that reproduce the issue, the
@@ -14,14 +25,22 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "compdiff/engine.hh"
 #include "compdiff/localize.hh"
+#include "fuzz/fuzzer.hh"
 #include "minic/parser.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "support/bytes.hh"
+#include "support/logging.hh"
 
 namespace
 {
@@ -54,6 +73,130 @@ int main() {
 }
 )";
 
+/** Parsed command line. */
+struct CliOptions
+{
+    bool fuzz = false;
+    std::uint64_t fuzzExecs = 20'000;
+    std::string statsOut;
+    std::string plotOut;
+    std::string traceOut;
+    std::string metricsOut;
+    bool flame = false;
+    bool quiet = false;
+    std::string validateJson;
+    std::vector<std::string> positional;
+
+    bool wantsTelemetry() const
+    {
+        return !statsOut.empty() || !plotOut.empty() ||
+               !traceOut.empty() || !metricsOut.empty() || flame;
+    }
+};
+
+bool
+matchFlag(const std::string &arg, const char *name,
+          std::string *value)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) == 0) {
+        *value = arg.substr(prefix.size());
+        return true;
+    }
+    return false;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--fuzz") {
+            options.fuzz = true;
+        } else if (matchFlag(arg, "--fuzz", &value)) {
+            options.fuzz = true;
+            options.fuzzExecs = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--stats-out", &value)) {
+            options.statsOut = value;
+        } else if (matchFlag(arg, "--plot-out", &value)) {
+            options.plotOut = value;
+        } else if (matchFlag(arg, "--trace-out", &value)) {
+            options.traceOut = value;
+        } else if (matchFlag(arg, "--metrics-out", &value)) {
+            options.metricsOut = value;
+        } else if (arg == "--flame") {
+            options.flame = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (matchFlag(arg, "--validate-json", &value)) {
+            options.validateJson = value;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            std::exit(2);
+        } else {
+            options.positional.push_back(arg);
+        }
+    }
+    return options;
+}
+
+/** Flush requested telemetry files at exit (any mode). */
+void
+exportTelemetry(const CliOptions &options)
+{
+    using namespace compdiff;
+    if (!options.traceOut.empty()) {
+        obs::writeTextFile(
+            options.traceOut,
+            obs::TraceRecorder::global().chromeTraceJson());
+    }
+    if (!options.metricsOut.empty()) {
+        obs::writeTextFile(
+            options.metricsOut,
+            obs::Registry::global().snapshot().toJsonl());
+    }
+    if (options.flame) {
+        std::printf("\nspan flame summary:\n%s",
+                    obs::TraceRecorder::global()
+                        .flameSummary()
+                        .c_str());
+    }
+}
+
+int
+runFuzzMode(const compdiff::minic::Program &program,
+            const compdiff::support::Bytes &input,
+            const CliOptions &options)
+{
+    using namespace compdiff;
+
+    fuzz::FuzzOptions fuzz_options;
+    fuzz_options.maxExecs = options.fuzzExecs;
+    fuzz_options.statsOutPath = options.statsOut;
+    fuzz_options.plotOutPath = options.plotOut;
+    std::vector<support::Bytes> seeds;
+    if (!input.empty())
+        seeds.push_back(input);
+
+    fuzz::Fuzzer fuzzer(program, seeds, fuzz_options);
+    auto stats = fuzzer.run();
+
+    std::printf("%s", obs::renderFuzzerStats(fuzzer.statsSnapshot())
+                          .c_str());
+    for (const auto &diff : fuzzer.diffs()) {
+        std::printf("\ndivergence at exec %llu "
+                    "(%zu-byte input):\n%s",
+                    static_cast<unsigned long long>(diff.execIndex),
+                    diff.input.size(),
+                    diff.result.summary().c_str());
+    }
+    exportTelemetry(options);
+    return stats.diffs > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -61,12 +204,38 @@ main(int argc, char **argv)
 {
     using namespace compdiff;
 
+    const CliOptions options = parseArgs(argc, argv);
+
+    if (!options.validateJson.empty()) {
+        const std::string text = readFile(options.validateJson);
+        if (text.empty()) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         options.validateJson.c_str());
+            return 2;
+        }
+        std::string error;
+        if (!obs::jsonWellFormed(text, &error)) {
+            std::fprintf(stderr, "%s: invalid JSON (%s)\n",
+                         options.validateJson.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        std::printf("%s: well-formed JSON (%zu bytes)\n",
+                    options.validateJson.c_str(), text.size());
+        return 0;
+    }
+
+    support::QuietGuard quiet(options.quiet);
+    if (options.wantsTelemetry())
+        obs::setEnabled(true);
+
     std::string source;
     support::Bytes input;
-    if (argc > 1) {
-        source = readFile(argv[1]);
+    if (!options.positional.empty()) {
+        source = readFile(options.positional[0]);
         if (source.empty()) {
-            std::fprintf(stderr, "cannot read %s\n", argv[1]);
+            std::fprintf(stderr, "cannot read %s\n",
+                         options.positional[0].c_str());
             return 2;
         }
     } else {
@@ -75,8 +244,8 @@ main(int argc, char **argv)
         source = kDemoProgram;
         input = {10, 50}; // offset INT_MAX-10, len 50: overflows
     }
-    if (argc > 2) {
-        const std::string raw = readFile(argv[2]);
+    if (options.positional.size() > 1) {
+        const std::string raw = readFile(options.positional[1]);
         input.assign(raw.begin(), raw.end());
     }
 
@@ -88,6 +257,9 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (options.fuzz)
+        return runFuzzMode(*program, input, options);
+
     core::DiffEngine engine(*program);
     auto diff = engine.runInput(input);
     std::printf("%s", diff.summary().c_str());
@@ -95,6 +267,7 @@ main(int argc, char **argv)
         std::printf("\nThis input shows no instability. Try other "
                     "inputs, or plug the program into the fuzzer "
                     "(see examples/fuzz_packetdump.cpp).\n");
+        exportTelemetry(options);
         return 0;
     }
 
@@ -115,5 +288,6 @@ main(int argc, char **argv)
                 diff.observations[a].config.name().c_str(),
                 diff.observations[b].config.name().c_str(),
                 loc.str().c_str());
+    exportTelemetry(options);
     return 1;
 }

@@ -6,11 +6,20 @@
  * reproducer for each, like the bug reports the paper filed.
  *
  * Build & run:  ./build/examples/fuzz_packetdump [execs]
+ *                   [--stats-dir=DIR] [--trace-out=FILE]
+ *
+ * --stats-dir writes AFL++-style fuzzer_stats/plot_data under
+ * DIR/pktdump/; --trace-out writes Chrome-trace JSON of the whole
+ * campaign (both enable the observability layer).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "support/bytes.hh"
 #include "targets/campaign.hh"
 #include "targets/targets.hh"
@@ -28,11 +37,22 @@ main(int argc, char **argv)
     }
 
     targets::CampaignOptions options;
-    options.maxExecs = argc > 1
-                           ? static_cast<std::uint64_t>(
-                                 std::atoll(argv[1]))
-                           : 12'000;
     options.checkSanitizers = true;
+    options.maxExecs = 12'000;
+    std::string trace_out;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--stats-dir=", 0) == 0) {
+            options.statsDir = arg.substr(std::strlen("--stats-dir="));
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(std::strlen("--trace-out="));
+        } else {
+            options.maxExecs = static_cast<std::uint64_t>(
+                std::atoll(arg.c_str()));
+        }
+    }
+    if (!options.statsDir.empty() || !trace_out.empty())
+        obs::setEnabled(true);
 
     std::printf("fuzzing %s (%s, v%s, %zu LoC) for %llu execs...\n\n",
                 target->name.c_str(), target->inputType.c_str(),
@@ -59,6 +79,12 @@ main(int argc, char **argv)
         std::printf("    minimized reproducer (%zu bytes):\n%s",
                     finding.witness.size(),
                     support::hexDump(finding.witness, 4).c_str());
+    }
+    if (!trace_out.empty()) {
+        obs::writeTextFile(
+            trace_out,
+            obs::TraceRecorder::global().chromeTraceJson());
+        std::printf("\ntrace written to %s\n", trace_out.c_str());
     }
     return result.found.empty() ? 1 : 0;
 }

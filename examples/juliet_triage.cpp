@@ -17,6 +17,7 @@
 #include "juliet/evaluate.hh"
 #include "juliet/suite.hh"
 #include "minic/parser.hh"
+#include "obs/metrics.hh"
 #include "sanitizers/sanitizers.hh"
 #include "support/table.hh"
 
@@ -46,6 +47,11 @@ main(int argc, char **argv)
     auto mark = [](bool detected) {
         return std::string(detected ? "hit" : "-");
     };
+
+    // With metrics on, DiffResult::summary() carries per-
+    // implementation instruction counts; show one full report below.
+    obs::EnabledGuard metrics(true);
+    std::string sample_report;
 
     for (const auto &test : cases) {
         auto bad = minic::parseAndCheck(test.badSource);
@@ -80,7 +86,12 @@ main(int argc, char **argv)
                 .fired));
 
         core::DiffEngine engine(*bad);
-        row.push_back(mark(engine.runInput(test.input).divergent));
+        auto diff = engine.runInput(test.input);
+        row.push_back(mark(diff.divergent));
+        if (diff.divergent && sample_report.empty()) {
+            sample_report = "telemetry for " + test.id + ":\n" +
+                            diff.summary();
+        }
 
         core::DiffEngine good_engine(*good);
         if (good_engine.runInput(test.input).divergent)
@@ -89,6 +100,8 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     std::printf("%s\n", table.str().c_str());
+    if (!sample_report.empty())
+        std::printf("%s\n", sample_report.c_str());
 
     std::printf("Try other rows: ./juliet_triage 369 (div-by-zero), "
                 "476 (null deref), 469 (pointer subtraction)...\n");

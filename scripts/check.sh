@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification plus an observability smoke test.
+#
+#   scripts/check.sh                 configure + build + ctest + smoke
+#   scripts/check.sh --smoke <cli>   smoke only, against an already
+#                                    built compdiff_cli binary (this
+#                                    is what the `obs_smoke` CTest
+#                                    test runs, so plain `ctest`
+#                                    exercises the telemetry paths
+#                                    without recursing into itself)
+#
+# The smoke test runs compdiff_cli with --trace-out/--metrics-out/
+# --stats-out and validates every emitted file with the built-in JSON
+# checker (`compdiff_cli --validate-json`).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+smoke() {
+    local cli="$1"
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+
+    echo "== obs smoke: single-input diff with trace + metrics"
+    # The built-in demo diverges, so the CLI exits 1 by design.
+    "$cli" --quiet \
+        --trace-out="$tmp/trace.json" \
+        --metrics-out="$tmp/metrics.jsonl" \
+        > "$tmp/diff.out" || test $? -eq 1
+    "$cli" --validate-json="$tmp/trace.json"
+    grep -q '"traceEvents"' "$tmp/trace.json"
+    grep -q 'exec\.' "$tmp/trace.json"
+    grep -q 'normalize' "$tmp/trace.json"
+    grep -q 'compdiff.compare' "$tmp/trace.json"
+    grep -q 'compile\.' "$tmp/trace.json"
+    # Each JSONL line must itself be valid JSON.
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        printf '%s' "$line" > "$tmp/line.json"
+        "$cli" --validate-json="$tmp/line.json" > /dev/null
+    done < "$tmp/metrics.jsonl"
+
+    echo "== obs smoke: fuzz campaign with fuzzer_stats + plot_data"
+    "$cli" --quiet --fuzz=400 \
+        --stats-out="$tmp/fuzzer_stats" \
+        --plot-out="$tmp/plot_data" \
+        --trace-out="$tmp/fuzz_trace.json" \
+        > "$tmp/fuzz.out" || test $? -eq 1
+    "$cli" --validate-json="$tmp/fuzz_trace.json"
+    grep -q '^execs_done' "$tmp/fuzzer_stats"
+    grep -q '^compdiff_execs' "$tmp/fuzzer_stats"
+    grep -q '^execs_impl_' "$tmp/fuzzer_stats"
+    grep -q '^# execs' "$tmp/plot_data"
+    echo "== obs smoke: OK"
+}
+
+if [ "${1:-}" = "--smoke" ]; then
+    smoke "$2"
+    exit 0
+fi
+
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+echo "== configure"
+cmake -B "$build_dir" -S "$repo_root"
+echo "== build"
+cmake --build "$build_dir" -j "$(nproc)"
+echo "== ctest"
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+echo "== smoke"
+smoke "$build_dir/examples/compdiff_cli"
+echo "== all checks passed"

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/hash.hh"
 
 namespace compdiff::core
@@ -61,6 +63,19 @@ DiffResult::summary(std::size_t max_output_bytes) const
                << "\"\n";
         }
     }
+    if (obs::metricsEnabled()) {
+        // Per-observation telemetry: the instruction count is the
+        // deterministic stand-in for per-binary timing.
+        os << "  telemetry (instructions per implementation):\n";
+        for (const auto &obs_entry : observations) {
+            os << "    " << obs_entry.config.name() << ": "
+               << obs_entry.instructions
+               << (obs_entry.timedOut ? " (timed out)" : "") << "\n";
+        }
+        os << "  budget rounds: " << (attempts > 0 ? attempts : 1)
+           << (unresolvedTimeout ? " (timeout unresolved)" : "")
+           << "\n";
+    }
     return os.str();
 }
 
@@ -69,6 +84,7 @@ DiffEngine::DiffEngine(const minic::Program &program,
                        DiffOptions options)
     : configs_(std::move(configs)), options_(std::move(options))
 {
+    obs::Span span("compdiff.compileAll");
     compiler::Compiler comp(program);
     modules_.reserve(configs_.size());
     for (const auto &config : configs_) {
@@ -86,6 +102,7 @@ DiffEngine::DiffEngine(const minic::Program &program,
 DiffResult
 DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
 {
+    obs::Span run_span("compdiff.runInput");
     DiffResult result;
     result.observations.resize(configs_.size());
 
@@ -95,9 +112,13 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
                             : 1;
 
     while (attempts_left-- > 0) {
+        result.attempts++;
         bool any_timeout = false;
         bool all_timeout = true;
         for (std::size_t i = 0; i < configs_.size(); i++) {
+            obs::Span exec_span(obs::tracingEnabled()
+                                    ? "exec." + configs_[i].name()
+                                    : std::string());
             vm::VmLimits limits = options_.limits;
             limits.maxInstructions = budget;
             vm::Vm machine(modules_[i], configs_[i], limits);
@@ -108,6 +129,7 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
             Observation &obs = result.observations[i];
             obs.config = configs_[i];
             obs.timedOut = run.timedOut();
+            obs.instructions = run.instructions;
             obs.normalizedOutput =
                 options_.normalizer.normalize(run.output);
             obs.exitClass = run.exitClass();
@@ -128,9 +150,11 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
         // Raise the budget and try again (RQ6).
         result.unresolvedTimeout = true;
         budget *= options_.timeoutBudgetFactor;
+        obs::counter("compdiff.timeout_retries").add();
     }
 
     // Assign behavior classes.
+    obs::Span compare_span("compdiff.compare");
     result.classOf.assign(configs_.size(), 0);
     std::vector<std::uint64_t> class_hash;
     for (std::size_t i = 0; i < result.observations.size(); i++) {
@@ -149,6 +173,19 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
     result.classCount = class_hash.size();
     result.divergent = !result.unresolvedTimeout &&
                        result.classCount > 1;
+
+    if (obs::metricsEnabled()) {
+        obs::counter("compdiff.runs").add();
+        obs::counter("compdiff.impl_execs")
+            .add(static_cast<std::uint64_t>(result.attempts) *
+                 configs_.size());
+        if (result.divergent)
+            obs::counter("compdiff.divergent").add();
+        if (result.unresolvedTimeout)
+            obs::counter("compdiff.unresolved_timeouts").add();
+        obs::histogram("compdiff.classes_per_run")
+            .observe(result.classCount);
+    }
     return result;
 }
 

@@ -59,6 +59,9 @@ struct Observation
     std::string exitClass;
     std::uint64_t hash = 0;
     bool timedOut = false;
+    /** Instructions executed in the final (kept) attempt — the
+     *  deterministic per-implementation "timing" axis. */
+    std::uint64_t instructions = 0;
 };
 
 /** Outcome of one differential run. */
@@ -71,6 +74,9 @@ struct DiffResult
      * the only would-be false-positive source, RQ6).
      */
     bool unresolvedTimeout = false;
+    /** Budget rounds executed (1 = no timeout retry was needed);
+     *  every implementation ran this many times (RQ6 accounting). */
+    int attempts = 0;
     std::vector<Observation> observations;
     /** Distinct behavior classes; classOf[i] indexes them. */
     std::vector<std::size_t> classOf;
@@ -82,7 +88,12 @@ struct DiffResult
     /** Would the subset (indices into observations) still diverge? */
     bool divergesWithin(const std::vector<std::size_t> &subset) const;
 
-    /** Human-readable report: classes, members, and their outputs. */
+    /**
+     * Human-readable report: classes, members, and their outputs.
+     * When metrics are enabled (obs::metricsEnabled()), each class
+     * line additionally carries per-observation instruction-count
+     * telemetry and the report ends with the retry accounting.
+     */
     std::string summary(std::size_t max_output_bytes = 160) const;
 };
 

@@ -1,5 +1,8 @@
 #include "compdiff/normalizer.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace compdiff::core
 {
 
@@ -21,10 +24,14 @@ OutputNormalizer::addPattern(const std::string &regex,
 std::string
 OutputNormalizer::normalize(std::string output) const
 {
+    obs::Span span("normalize");
+    obs::counter("normalizer.calls").add();
+    obs::counter("normalizer.bytes_in").add(output.size());
     for (const auto &filter : patterns_) {
         output = std::regex_replace(output, filter.regex,
                                     filter.replacement);
     }
+    obs::counter("normalizer.bytes_out").add(output.size());
     return output;
 }
 

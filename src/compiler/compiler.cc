@@ -3,6 +3,8 @@
 #include "compiler/lowering.hh"
 #include "compiler/passes.hh"
 #include "minic/parser.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace compdiff::compiler
 {
@@ -17,6 +19,8 @@ bytecode::Module
 Compiler::compileWithTraits(const CompilerConfig &config,
                             const Traits &traits) const
 {
+    obs::Span span("compile." + config.name());
+    obs::counter("compiler.compiles").add();
     // Clone the analyzed AST so UB-exploiting transforms never leak
     // between configurations, then run this configuration's pipeline.
     std::vector<std::unique_ptr<minic::FunctionDecl>> clones;

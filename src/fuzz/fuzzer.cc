@@ -1,8 +1,11 @@
 #include "fuzz/fuzzer.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "compiler/compiler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/hash.hh"
 
 namespace compdiff::fuzz
@@ -23,6 +26,7 @@ Fuzzer::Fuzzer(const minic::Program &program,
         diff_options.limits = options_.limits;
         diffEngine_ = std::make_unique<core::DiffEngine>(
             program_, options_.diffConfigs, diff_options);
+        perConfigExecs_.assign(diffEngine_->size(), 0);
     }
     if (initial_seeds.empty())
         initial_seeds.push_back({});
@@ -50,9 +54,14 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
     // --- the plain AFL++ part: run B_fuzz with coverage ---
     coverage_.reset();
     vm::Vm machine(fuzzModule_, options_.fuzzConfig, options_.limits);
-    auto result = machine.run(input, &coverage_, ++nonceCounter_);
+    vm::ExecutionResult result;
+    {
+        obs::Span span("fuzz.execute");
+        result = machine.run(input, &coverage_, ++nonceCounter_);
+    }
     stats_.execs++;
 
+    obs::Span triage_span("fuzz.triage");
     const bool is_crash = result.crashed() || result.sanitizerFired();
     if (is_crash) {
         std::string signature = result.exitClass();
@@ -62,18 +71,30 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
             crashSignatures_[signature] = crashes_.size();
             crashes_.push_back({input, result.exitClass(),
                                 result.sanReports, result.probes});
+            stats_.lastFindExec = stats_.execs;
+            obs::counter("fuzz.unique_crashes").add();
         }
     }
     if (virgin_.mergeAndCheckNew(coverage_)) {
         corpus_.push_back({input, coverage_.countBits(),
                            stats_.execs,
                            static_cast<int>(depth) + 1});
+        stats_.lastFindExec = stats_.execs;
+        obs::counter("fuzz.corpus_adds").add();
     }
 
     // --- the CompDiff part (Algorithm 1, lines 9-12) ---
     if (diffEngine_) {
         auto diff = diffEngine_->runInput(input, nonceCounter_);
-        stats_.compdiffExecs += diffEngine_->size();
+        // Retries re-ran every implementation; count actual
+        // executions so per-config totals stay consistent (RQ6).
+        const std::uint64_t rounds =
+            diff.attempts > 0
+                ? static_cast<std::uint64_t>(diff.attempts)
+                : 1;
+        stats_.compdiffExecs += rounds * diffEngine_->size();
+        for (auto &execs : perConfigExecs_)
+            execs += rounds;
 
         // Optional NEZHA-style feedback: a new behavior-class
         // partition is as interesting as new coverage.
@@ -113,6 +134,9 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
                 diffSignatures_[signature] = diffs_.size();
                 diffs_.push_back({input, std::move(diff),
                                   stats_.execs, result.probes});
+                stats_.lastFindExec = stats_.execs;
+                stats_.lastDiffExec = stats_.execs;
+                obs::counter("fuzz.unique_diffs").add();
             }
         }
     }
@@ -121,6 +145,20 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
 FuzzStats
 Fuzzer::run()
 {
+    obs::Span campaign_span("fuzz.campaign");
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t plot_every =
+        options_.plotEvery
+            ? options_.plotEvery
+            : std::max<std::uint64_t>(options_.maxExecs / 50, 1);
+    std::uint64_t next_plot = plot_every;
+
+    const auto sample_plot = [&] {
+        plot_.addRow({stats_.execs, corpus_.size(), crashes_.size(),
+                      diffs_.size(), virgin_.edgesSeen(),
+                      stats_.compdiffExecs});
+    };
+
     // Dry-run the initial seeds first (AFL++ does the same).
     const std::size_t initial = corpus_.size();
     for (std::size_t i = 0;
@@ -145,8 +183,16 @@ Fuzzer::run()
              i < options_.energyBase &&
              stats_.execs < options_.maxExecs;
              i++) {
-            const Bytes child = mutator_.mutate(parent, splice_pool);
+            Bytes child;
+            {
+                obs::Span span("fuzz.mutate");
+                child = mutator_.mutate(parent, splice_pool);
+            }
             executeOne(child, static_cast<std::size_t>(depth));
+            if (stats_.execs >= next_plot) {
+                sample_plot();
+                next_plot += plot_every;
+            }
         }
     }
 
@@ -154,7 +200,48 @@ Fuzzer::run()
     stats_.crashes = crashes_.size();
     stats_.diffs = diffs_.size();
     stats_.edges = virgin_.edgesSeen();
+    sample_plot();
+
+    if (!options_.statsOutPath.empty() ||
+        !options_.plotOutPath.empty()) {
+        auto snapshot = statsSnapshot();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        if (secs > 0)
+            snapshot.execsPerSec =
+                static_cast<double>(stats_.execs) / secs;
+        if (!options_.statsOutPath.empty()) {
+            obs::writeTextFile(options_.statsOutPath,
+                               obs::renderFuzzerStats(snapshot));
+        }
+        if (!options_.plotOutPath.empty())
+            obs::writeTextFile(options_.plotOutPath, plot_.str());
+    }
     return stats_;
+}
+
+obs::FuzzerStatsSnapshot
+Fuzzer::statsSnapshot() const
+{
+    obs::FuzzerStatsSnapshot snapshot;
+    snapshot.execsDone = stats_.execs;
+    snapshot.compdiffExecs = stats_.compdiffExecs;
+    if (diffEngine_) {
+        const auto &configs = diffEngine_->configs();
+        for (std::size_t i = 0; i < perConfigExecs_.size(); i++) {
+            snapshot.perConfigExecs.emplace_back(
+                configs[i].name(), perConfigExecs_[i]);
+        }
+    }
+    snapshot.corpusSize = corpus_.size();
+    snapshot.crashes = crashes_.size();
+    snapshot.diffs = diffs_.size();
+    snapshot.edges = virgin_.edgesSeen();
+    snapshot.lastFindExec = stats_.lastFindExec;
+    snapshot.lastDiffExec = stats_.lastDiffExec;
+    return snapshot;
 }
 
 } // namespace compdiff::fuzz

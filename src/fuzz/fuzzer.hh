@@ -26,6 +26,7 @@
 #include "compdiff/engine.hh"
 #include "compiler/config.hh"
 #include "fuzz/mutator.hh"
+#include "obs/stats.hh"
 #include "support/bytes.hh"
 #include "vm/coverage.hh"
 #include "vm/vm.hh"
@@ -92,6 +93,18 @@ struct FuzzOptions
     vm::VmLimits limits;
     /** Mutations attempted per selected seed. */
     std::uint32_t energyBase = 16;
+
+    // --- telemetry export (AFL++'s fuzzer_stats / plot_data) ---
+    /** Where to write the final `fuzzer_stats` snapshot ("" = off). */
+    std::string statsOutPath;
+    /** Where to write the `plot_data` time series ("" = off). */
+    std::string plotOutPath;
+    /**
+     * Plot sampling interval in executions; 0 picks maxExecs/50.
+     * The series is collected either way (it is ~50 small rows) and
+     * is available through Fuzzer::plotData() without file I/O.
+     */
+    std::uint64_t plotEvery = 0;
 };
 
 /** Campaign statistics. */
@@ -103,6 +116,11 @@ struct FuzzStats
     std::size_t crashes = 0;        ///< unique crash signatures
     std::size_t diffs = 0;          ///< unique divergence signatures
     std::size_t edges = 0;          ///< distinct coverage map cells
+    /** Exec index of the last discovery (seed, crash, or diff);
+     *  execution counts are the deterministic time axis. */
+    std::uint64_t lastFindExec = 0;
+    /** Exec index of the last new divergence (0 = none). */
+    std::uint64_t lastDiffExec = 0;
 };
 
 /**
@@ -138,6 +156,16 @@ class Fuzzer
     const std::vector<Seed> &corpus() const { return corpus_; }
     const FuzzStats &stats() const { return stats_; }
 
+    /**
+     * AFL++-style `fuzzer_stats` snapshot of the campaign so far.
+     * Invariant: snapshot.compdiffExecs equals the sum of its
+     * per-configuration execution counts (retries included).
+     */
+    obs::FuzzerStatsSnapshot statsSnapshot() const;
+
+    /** The `plot_data` time series collected during run(). */
+    const obs::PlotWriter &plotData() const { return plot_; }
+
   private:
     std::size_t selectSeed();
     /** Takes the input by value: executing it may grow corpus_ and
@@ -163,6 +191,10 @@ class Fuzzer
     std::set<std::uint64_t> partitionsSeen_;
     FuzzStats stats_;
     std::uint64_t nonceCounter_ = 0;
+
+    /** Executions of each differential binary, config order. */
+    std::vector<std::uint64_t> perConfigExecs_;
+    obs::PlotWriter plot_;
 };
 
 } // namespace compdiff::fuzz

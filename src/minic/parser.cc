@@ -2,6 +2,8 @@
 
 #include "minic/lexer.hh"
 #include "minic/sema.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace compdiff::minic
@@ -615,8 +617,15 @@ std::unique_ptr<Program>
 parseAndCheck(std::string_view source)
 {
     support::DiagnosticEngine diags;
-    Parser parser(source, diags);
-    auto program = parser.parseProgram();
+    std::unique_ptr<Program> program;
+    {
+        obs::Span span("minic.parse");
+        Parser parser(source, diags);
+        program = parser.parseProgram();
+        obs::counter("minic.parses").add();
+        obs::counter("minic.source_bytes").add(source.size());
+    }
+    obs::Span span("minic.sema");
     Sema sema(diags);
     if (!sema.analyze(*program))
         throw CompileError("semantic error:\n" + diags.str());

@@ -1,0 +1,277 @@
+#include "obs/json.hh"
+
+#include <cctype>
+
+namespace compdiff::obs
+{
+
+namespace
+{
+
+/** Recursive-descent syntax checker over a string_view. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool check(std::string *error)
+    {
+        skipWs();
+        if (!value()) {
+            fill(error);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail_ = "trailing content";
+            fill(error);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void fill(std::string *error) const
+    {
+        if (error) {
+            *error = "offset " + std::to_string(pos_) + ": " +
+                     (fail_.empty() ? "invalid JSON" : fail_);
+        }
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+
+    void skipWs()
+    {
+        while (!atEnd() && (text_[pos_] == ' ' ||
+                            text_[pos_] == '\t' ||
+                            text_[pos_] == '\n' ||
+                            text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            fail_ = "bad literal";
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool value()
+    {
+        if (depth_ > 256) {
+            fail_ = "nesting too deep";
+            return false;
+        }
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        pos_++; // '{'
+        depth_++;
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            depth_--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"') {
+                fail_ = "expected object key";
+                return false;
+            }
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':') {
+                fail_ = "expected ':'";
+                return false;
+            }
+            pos_++;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == '}') {
+                pos_++;
+                depth_--;
+                return true;
+            }
+            fail_ = "expected ',' or '}'";
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        pos_++; // '['
+        depth_++;
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            depth_--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == ']') {
+                pos_++;
+                depth_--;
+                return true;
+            }
+            fail_ = "expected ',' or ']'";
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        pos_++; // '"'
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                pos_++;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail_ = "control character in string";
+                return false;
+            }
+            if (c == '\\') {
+                pos_++;
+                if (atEnd())
+                    break;
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; i++) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i]))) {
+                            fail_ = "bad \\u escape";
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                } else if (esc != '"' && esc != '\\' &&
+                           esc != '/' && esc != 'b' && esc != 'f' &&
+                           esc != 'n' && esc != 'r' && esc != 't') {
+                    fail_ = "bad escape";
+                    return false;
+                }
+            }
+            pos_++;
+        }
+        fail_ = "unterminated string";
+        return false;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail_ = "expected value";
+            pos_ = start;
+            return false;
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            pos_++;
+        if (peek() == '.') {
+            pos_++;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail_ = "bad fraction";
+                return false;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                pos_++;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            pos_++;
+            if (peek() == '+' || peek() == '-')
+                pos_++;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail_ = "bad exponent";
+                return false;
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                pos_++;
+        }
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string fail_;
+};
+
+} // namespace
+
+bool
+jsonWellFormed(std::string_view text, std::string *error)
+{
+    return JsonChecker(text).check(error);
+}
+
+bool
+jsonlWellFormed(std::string_view text, std::string *error)
+{
+    std::size_t line_start = 0;
+    std::size_t line_no = 1;
+    while (line_start <= text.size()) {
+        std::size_t line_end = text.find('\n', line_start);
+        if (line_end == std::string_view::npos)
+            line_end = text.size();
+        const std::string_view line =
+            text.substr(line_start, line_end - line_start);
+        if (!line.empty()) {
+            std::string inner;
+            if (!jsonWellFormed(line, &inner)) {
+                if (error) {
+                    *error = "line " + std::to_string(line_no) +
+                             ": " + inner;
+                }
+                return false;
+            }
+        }
+        line_start = line_end + 1;
+        line_no++;
+    }
+    return true;
+}
+
+} // namespace compdiff::obs

@@ -1,0 +1,32 @@
+#pragma once
+
+/**
+ * @file
+ * A tiny JSON well-formedness checker.
+ *
+ * Used by the tests and by `compdiff_cli --validate-json` (the
+ * scripts/check.sh smoke step) to confirm that exported Chrome-trace
+ * and JSONL telemetry files parse. It validates syntax only — no DOM
+ * is built, so arbitrarily large trace files check in one pass.
+ */
+
+#include <string>
+#include <string_view>
+
+namespace compdiff::obs
+{
+
+/**
+ * @param text  The candidate JSON document (one value).
+ * @param error Optional; receives "offset N: reason" on failure.
+ */
+bool jsonWellFormed(std::string_view text, std::string *error = nullptr);
+
+/**
+ * Validate JSON-lines: every non-empty line must be a JSON value.
+ * An empty document is well-formed.
+ */
+bool jsonlWellFormed(std::string_view text,
+                     std::string *error = nullptr);
+
+} // namespace compdiff::obs

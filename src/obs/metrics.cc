@@ -1,0 +1,327 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace compdiff::obs
+{
+
+namespace
+{
+
+std::atomic<bool> metricsFlag{false};
+std::atomic<bool> tracingFlag{false};
+
+/** Power-of-4 scale covering one VM run's instruction counts. */
+std::vector<std::uint64_t>
+defaultBounds()
+{
+    std::vector<std::uint64_t> bounds;
+    for (std::uint64_t b = 64; b <= (1ull << 24); b *= 4)
+        bounds.push_back(b);
+    return bounds;
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return metricsFlag.load(std::memory_order_relaxed);
+}
+
+bool
+tracingEnabled()
+{
+    return tracingFlag.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool enabled)
+{
+    setMetricsEnabled(enabled);
+    setTracingEnabled(enabled);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    metricsFlag.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool enabled)
+{
+    tracingFlag.store(enabled, std::memory_order_relaxed);
+}
+
+EnabledGuard::EnabledGuard(bool enabled)
+    : prevMetrics_(metricsEnabled()), prevTracing_(tracingEnabled())
+{
+    setEnabled(enabled);
+}
+
+EnabledGuard::~EnabledGuard()
+{
+    setMetricsEnabled(prevMetrics_);
+    setTracingEnabled(prevTracing_);
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < bounds_.size(); i++) {
+        if (bounds_[i] <= bounds_[i - 1])
+            support::panic("histogram bounds must increase");
+    }
+}
+
+void
+Histogram::observe(std::uint64_t v)
+{
+    if (!metricsEnabled())
+        return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        i++;
+    buckets_[i]++;
+    count_++;
+    sum_ += v;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.assign(bounds_.size() + 1, 0);
+    count_ = 0;
+    sum_ = 0;
+}
+
+const MetricsSnapshot::Entry *
+MetricsSnapshot::find(std::string_view name) const
+{
+    for (const auto &entry : entries)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+std::string
+MetricsSnapshot::toJsonl() const
+{
+    std::ostringstream os;
+    for (const auto &entry : entries) {
+        os << "{\"name\":\"" << jsonEscape(entry.name)
+           << "\",\"kind\":\"" << entry.kind << "\"";
+        if (entry.kind == "histogram") {
+            os << ",\"count\":" << entry.count
+               << ",\"sum\":" << entry.value << ",\"bounds\":[";
+            for (std::size_t i = 0; i < entry.bounds.size(); i++)
+                os << (i ? "," : "") << entry.bounds[i];
+            os << "],\"buckets\":[";
+            for (std::size_t i = 0; i < entry.buckets.size(); i++)
+                os << (i ? "," : "") << entry.buckets[i];
+            os << "]";
+        } else {
+            os << ",\"value\":" << entry.value;
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+std::string
+MetricsSnapshot::toTable() const
+{
+    support::TextTable table;
+    table.setHeader({"metric", "kind", "value", "count"});
+    table.setAlign({support::Align::Left, support::Align::Left,
+                    support::Align::Right, support::Align::Right});
+    for (const auto &entry : entries) {
+        table.addRow({entry.name, entry.kind,
+                      std::to_string(entry.value),
+                      entry.kind == "histogram"
+                          ? std::to_string(entry.count)
+                          : std::string("-")});
+    }
+    return table.str();
+}
+
+/**
+ * Node-stable storage: std::map never moves its mapped values, so
+ * the Counter&/Gauge&/Histogram& handles we give out stay valid for
+ * the registry's lifetime, and iteration is name-sorted for free.
+ */
+struct Registry::Impl
+{
+    std::map<std::string, Counter, std::less<>> counters;
+    std::map<std::string, Gauge, std::less<>> gauges;
+    std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry::Impl *
+Registry::impl()
+{
+    if (!impl_)
+        impl_ = new Impl();
+    return impl_;
+}
+
+const Registry::Impl *
+Registry::impl() const
+{
+    return const_cast<Registry *>(this)->impl();
+}
+
+Registry::~Registry()
+{
+    delete impl_;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    auto &counters = impl()->counters;
+    auto it = counters.find(name);
+    if (it == counters.end())
+        it = counters.emplace(std::string(name), Counter()).first;
+    return it->second;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    auto &gauges = impl()->gauges;
+    auto it = gauges.find(name);
+    if (it == gauges.end())
+        it = gauges.emplace(std::string(name), Gauge()).first;
+    return it->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name,
+                    std::vector<std::uint64_t> bounds)
+{
+    auto &histograms = impl()->histograms;
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        if (bounds.empty())
+            bounds = defaultBounds();
+        it = histograms
+                 .emplace(std::string(name),
+                          Histogram(std::move(bounds)))
+                 .first;
+    }
+    return it->second;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot snap;
+    const Impl *state = impl();
+    for (const auto &[name, counter] : state->counters) {
+        snap.entries.push_back(
+            {name, "counter", counter.value(), 0, {}, {}});
+    }
+    for (const auto &[name, gauge] : state->gauges) {
+        snap.entries.push_back(
+            {name, "gauge", gauge.value(), 0, {}, {}});
+    }
+    for (const auto &[name, hist] : state->histograms) {
+        snap.entries.push_back({name, "histogram", hist.sum(),
+                                hist.count(), hist.bounds(),
+                                hist.buckets()});
+    }
+    std::sort(snap.entries.begin(), snap.entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    Impl *state = impl();
+    for (auto &[name, counter] : state->counters)
+        counter.reset();
+    for (auto &[name, gauge] : state->gauges)
+        gauge.reset();
+    for (auto &[name, hist] : state->histograms)
+        hist.reset();
+}
+
+std::size_t
+Registry::size() const
+{
+    const Impl *state = impl();
+    return state->counters.size() + state->gauges.size() +
+           state->histograms.size();
+}
+
+Counter &
+counter(std::string_view name)
+{
+    return Registry::global().counter(name);
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    return Registry::global().gauge(name);
+}
+
+Histogram &
+histogram(std::string_view name)
+{
+    return Registry::global().histogram(name);
+}
+
+} // namespace compdiff::obs

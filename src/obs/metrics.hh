@@ -1,0 +1,202 @@
+#pragma once
+
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms for the fuzz/diff pipeline.
+ *
+ * Design constraints (in order):
+ *   1. Hot-path bumps must be cheap: a handle bump is one relaxed
+ *      atomic load (the global enabled switch) plus a plain uint64_t
+ *      add. With metrics disabled the bump is a no-op, so
+ *      `overhead_microbench` measures the same inner loop the seed
+ *      build did.
+ *   2. Zero dependencies beyond src/support.
+ *   3. Deterministic: nothing here reads the wall clock; instruction
+ *      counts are the pipeline's time axis.
+ *
+ * Handles returned by Registry::{counter,gauge,histogram} are stable
+ * for the registry's lifetime and may be cached across calls. The
+ * registry is not thread-safe for concurrent *registration*; bumping
+ * distinct handles from different threads is benign (the campaign
+ * driver is single-threaded today, matching the paper's setup).
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compdiff::obs
+{
+
+/** Is metric recording globally enabled? (default: off) */
+bool metricsEnabled();
+
+/** Is span recording globally enabled? (default: off) */
+bool tracingEnabled();
+
+/** Flip both the metrics and tracing switches at once. */
+void setEnabled(bool enabled);
+
+/** Flip only the metrics switch. */
+void setMetricsEnabled(bool enabled);
+
+/** Flip only the tracing switch. */
+void setTracingEnabled(bool enabled);
+
+/** Scoped enable/disable of the whole observability layer. */
+class EnabledGuard
+{
+  public:
+    explicit EnabledGuard(bool enabled);
+    ~EnabledGuard();
+
+    EnabledGuard(const EnabledGuard &) = delete;
+    EnabledGuard &operator=(const EnabledGuard &) = delete;
+
+  private:
+    bool prevMetrics_;
+    bool prevTracing_;
+};
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        if (metricsEnabled())
+            value_ += n;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A point-in-time value (corpus size, budget in force, ...). */
+class Gauge
+{
+  public:
+    void set(std::uint64_t v)
+    {
+        if (metricsEnabled())
+            value_ = v;
+    }
+
+    /** Keep the largest value seen (high-water mark). */
+    void max(std::uint64_t v)
+    {
+        if (metricsEnabled() && v > value_)
+            value_ = v;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram. Bucket i counts observations with
+ * value <= bounds[i]; one implicit overflow bucket counts the rest.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    void observe(std::uint64_t v);
+
+    const std::vector<std::uint64_t> &bounds() const
+    {
+        return bounds_;
+    }
+    /** bounds().size() + 1 cells; last is the overflow bucket. */
+    const std::vector<std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** A copy of every registered metric's state at one point in time. */
+struct MetricsSnapshot
+{
+    struct Entry
+    {
+        std::string name;
+        std::string kind; ///< "counter", "gauge", or "histogram"
+        std::uint64_t value = 0; ///< counter/gauge value; hist sum
+        std::uint64_t count = 0; ///< histogram observation count
+        std::vector<std::uint64_t> bounds;
+        std::vector<std::uint64_t> buckets;
+    };
+
+    std::vector<Entry> entries; ///< sorted by name
+
+    /** One JSON object per line; "" when there are no entries. */
+    std::string toJsonl() const;
+
+    /** Aligned ASCII rendering via support::TextTable. */
+    std::string toTable() const;
+
+    const Entry *find(std::string_view name) const;
+};
+
+/**
+ * The process-wide metric registry. Metrics are registered on first
+ * use and persist (values included) until reset().
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    /**
+     * @param bounds Upper bucket bounds, strictly increasing; an
+     *               empty vector selects the default power-of-4
+     *               instruction-count scale.
+     */
+    Histogram &histogram(std::string_view name,
+                         std::vector<std::uint64_t> bounds = {});
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value; registrations (and handles) survive. */
+    void reset();
+
+    std::size_t size() const;
+
+    ~Registry();
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl *impl();
+    const Impl *impl() const;
+    mutable Impl *impl_ = nullptr;
+};
+
+/** Shorthand for Registry::global().counter(name). */
+Counter &counter(std::string_view name);
+/** Shorthand for Registry::global().gauge(name). */
+Gauge &gauge(std::string_view name);
+/** Shorthand for Registry::global().histogram(name). */
+Histogram &histogram(std::string_view name);
+
+} // namespace compdiff::obs

@@ -1,0 +1,190 @@
+#include "obs/stats.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+
+namespace compdiff::obs
+{
+
+namespace
+{
+
+void
+line(std::ostringstream &os, const std::string &key,
+     const std::string &value)
+{
+    os << key;
+    for (std::size_t i = key.size(); i < 22; i++)
+        os << ' ';
+    os << ": " << value << "\n";
+}
+
+void
+line(std::ostringstream &os, const std::string &key,
+     std::uint64_t value)
+{
+    line(os, key, std::to_string(value));
+}
+
+/** AFL++-sanitizes config names into stats keys (dots, dashes). */
+std::string
+keyify(std::string name)
+{
+    for (auto &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+std::uint64_t
+toU64(const std::map<std::string, std::string> &kv,
+      const std::string &key)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string
+renderFuzzerStats(const FuzzerStatsSnapshot &snapshot)
+{
+    std::ostringstream os;
+    line(os, "banner", snapshot.banner);
+    line(os, "execs_done", snapshot.execsDone);
+    line(os, "compdiff_execs", snapshot.compdiffExecs);
+    line(os, "corpus_count", snapshot.corpusSize);
+    line(os, "saved_crashes", snapshot.crashes);
+    line(os, "saved_diffs", snapshot.diffs);
+    line(os, "edges_found", snapshot.edges);
+    line(os, "last_find_execs", snapshot.lastFindExec);
+    line(os, "last_diff_execs", snapshot.lastDiffExec);
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      snapshot.execsPerSec);
+        line(os, "execs_per_sec", std::string(buf));
+    }
+    for (const auto &[name, execs] : snapshot.perConfigExecs)
+        line(os, "execs_impl_" + keyify(name), execs);
+    return os.str();
+}
+
+std::map<std::string, std::string>
+parseFuzzerStats(const std::string &text)
+{
+    std::map<std::string, std::string> kv;
+    std::istringstream is(text);
+    std::string row;
+    while (std::getline(is, row)) {
+        const std::size_t colon = row.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string key = row.substr(0, colon);
+        std::string value = row.substr(colon + 1);
+        while (!key.empty() && key.back() == ' ')
+            key.pop_back();
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+        kv[key] = value;
+    }
+    return kv;
+}
+
+FuzzerStatsSnapshot
+snapshotFromFuzzerStats(const std::string &text)
+{
+    const auto kv = parseFuzzerStats(text);
+    FuzzerStatsSnapshot snapshot;
+    if (auto it = kv.find("banner"); it != kv.end())
+        snapshot.banner = it->second;
+    snapshot.execsDone = toU64(kv, "execs_done");
+    snapshot.compdiffExecs = toU64(kv, "compdiff_execs");
+    snapshot.corpusSize = toU64(kv, "corpus_count");
+    snapshot.crashes = toU64(kv, "saved_crashes");
+    snapshot.diffs = toU64(kv, "saved_diffs");
+    snapshot.edges = toU64(kv, "edges_found");
+    snapshot.lastFindExec = toU64(kv, "last_find_execs");
+    snapshot.lastDiffExec = toU64(kv, "last_diff_execs");
+    if (auto it = kv.find("execs_per_sec"); it != kv.end())
+        snapshot.execsPerSec = std::strtod(it->second.c_str(),
+                                           nullptr);
+    for (const auto &[key, value] : kv) {
+        if (key.rfind("execs_impl_", 0) == 0) {
+            snapshot.perConfigExecs.emplace_back(
+                key.substr(11),
+                std::strtoull(value.c_str(), nullptr, 10));
+        }
+    }
+    return snapshot;
+}
+
+void
+PlotWriter::addRow(const Row &row)
+{
+    rows_.push_back(row);
+}
+
+std::string
+PlotWriter::str() const
+{
+    std::ostringstream os;
+    os << "# execs, corpus_count, saved_crashes, saved_diffs, "
+          "edges_found, compdiff_execs\n";
+    for (const auto &row : rows_) {
+        os << row.execs << ", " << row.corpusSize << ", "
+           << row.crashes << ", " << row.diffs << ", " << row.edges
+           << ", " << row.compdiffExecs << "\n";
+    }
+    return os.str();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(),
+                                            ec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        support::warn("cannot write " + path);
+        return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+        support::warn("short write to " + path);
+        return false;
+    }
+    return true;
+}
+
+BenchTelemetry::BenchTelemetry(std::string name, bool enable)
+    : name_(std::move(name)), prevMetrics_(metricsEnabled())
+{
+    if (enable)
+        setMetricsEnabled(true);
+}
+
+BenchTelemetry::~BenchTelemetry()
+{
+    const std::string path = name_ + ".telemetry.jsonl";
+    const auto snapshot = Registry::global().snapshot();
+    if (writeTextFile(path, snapshot.toJsonl()))
+        support::inform("telemetry written to " + path);
+    setMetricsEnabled(prevMetrics_);
+}
+
+} // namespace compdiff::obs

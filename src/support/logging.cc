@@ -43,4 +43,20 @@ setQuiet(bool quiet)
     quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
+bool
+isQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+QuietGuard::QuietGuard(bool quiet) : prev_(isQuiet())
+{
+    setQuiet(quiet);
+}
+
+QuietGuard::~QuietGuard()
+{
+    setQuiet(prev_);
+}
+
 } // namespace compdiff::support

@@ -45,4 +45,27 @@ void inform(const std::string &message);
 /** Globally silence warn()/inform() (used by quiet benchmark runs). */
 void setQuiet(bool quiet);
 
+/** Is warn()/inform() output currently silenced? */
+bool isQuiet();
+
+/**
+ * Scoped setQuiet(): silences (or un-silences) notices for the
+ * guard's lifetime and restores the previous state on destruction,
+ * so nested quiet regions compose. All stderr notices in the library
+ * go through warn()/inform(), which makes this guard sufficient to
+ * keep a benchmark run silent.
+ */
+class QuietGuard
+{
+  public:
+    explicit QuietGuard(bool quiet = true);
+    ~QuietGuard();
+
+    QuietGuard(const QuietGuard &) = delete;
+    QuietGuard &operator=(const QuietGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
 } // namespace compdiff::support

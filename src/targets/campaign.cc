@@ -4,6 +4,8 @@
 
 #include "compiler/compiler.hh"
 #include "minic/parser.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sanitizers/sanitizers.hh"
 #include "support/logging.hh"
 
@@ -77,6 +79,9 @@ CampaignResult
 runCampaign(const TargetProgram &target,
             const CampaignOptions &options)
 {
+    obs::Span span("campaign." + target.name);
+    obs::counter("campaign.targets").add();
+
     CampaignResult result;
     result.target = target.name;
 
@@ -86,6 +91,12 @@ runCampaign(const TargetProgram &target,
     fuzz_options.maxExecs = options.maxExecs;
     fuzz_options.rngSeed = options.rngSeed;
     fuzz_options.limits = options.limits;
+    if (!options.statsDir.empty()) {
+        const std::string dir =
+            options.statsDir + "/" + target.name;
+        fuzz_options.statsOutPath = dir + "/fuzzer_stats";
+        fuzz_options.plotOutPath = dir + "/plot_data";
+    }
     // Record-oriented targets saturate well below AFL's default
     // input ceiling; a small cap keeps executions short.
     fuzz_options.maxInputSize = 64;
@@ -99,6 +110,7 @@ runCampaign(const TargetProgram &target,
 
     // Triage: map each unique divergence back to planted bugs via
     // the probes its witness fired.
+    obs::Span triage_span("campaign.triage");
     std::map<int, const fuzz::FoundDiff *> witness_for;
     for (const auto &diff : fuzzer.diffs()) {
         if (diff.probes.empty()) {
@@ -153,6 +165,9 @@ runCampaign(const TargetProgram &target,
         }
         result.found.push_back(std::move(finding));
     }
+    obs::counter("campaign.bugs_found").add(result.found.size());
+    obs::counter("campaign.untriaged_diffs")
+        .add(result.untriagedDiffs);
     return result;
 }
 

@@ -64,6 +64,13 @@ struct CampaignOptions
         .maxOutput = 1 << 16,
         .maxCallDepth = 64,
     };
+
+    /**
+     * AFL++-style telemetry: when non-empty, each campaign writes
+     * `<statsDir>/<target>/fuzzer_stats` and `.../plot_data`
+     * (directories are created as needed).
+     */
+    std::string statsDir;
 };
 
 /** Run CompDiff-AFL++ on one target. */

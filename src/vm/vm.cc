@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "minic/ast.hh"
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -100,6 +101,30 @@ Vm::run(const Bytes &input, CoverageMap *coverage,
         std::uint64_t nonce, std::vector<TraceEntry> *trace)
 {
     ExecutionResult res;
+
+    // Account every exit path (including traps and budget stops);
+    // fires once when run() unwinds. With metrics disabled this is a
+    // single relaxed load per execution.
+    struct MetricsScope
+    {
+        const ExecutionResult &res;
+        const CompilerConfig &config;
+
+        ~MetricsScope()
+        {
+            if (!obs::metricsEnabled())
+                return;
+            obs::counter("vm.execs").add();
+            obs::counter("vm.instructions").add(res.instructions);
+            obs::counter("vm.instructions." + config.name())
+                .add(res.instructions);
+            obs::histogram("vm.instructions_per_run")
+                .observe(res.instructions);
+            obs::counter("vm.output_bytes").add(res.output.size());
+            if (res.timedOut())
+                obs::counter("vm.timeouts").add();
+        }
+    } metricsScope{res, config_};
 
     const bool asan = config_.sanitizer == Sanitizer::ASan;
     const bool msan = config_.sanitizer == Sanitizer::MSan;

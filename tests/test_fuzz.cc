@@ -8,6 +8,7 @@
 #include "fuzz/fuzzer.hh"
 #include "fuzz/mutator.hh"
 #include "minic/parser.hh"
+#include "obs/stats.hh"
 
 namespace
 {
@@ -189,6 +190,60 @@ TEST(Fuzzer, SanitizerOnFuzzBinary)
     auto stats = fuzzer.run();
     ASSERT_GE(stats.crashes, 1u);
     EXPECT_FALSE(fuzzer.crashes()[0].sanReports.empty());
+}
+
+TEST(Fuzzer, StatsSnapshotTotalsAreConsistent)
+{
+    // A short CompDiff campaign must export a parseable
+    // fuzzer_stats snapshot whose per-config execution counts add
+    // up: compdiff_execs == sum(execs_impl_*), and every
+    // implementation ran at least once per B_fuzz execution.
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            if (input_byte(0) == 'U') {
+                int l;
+                print_int(l);
+            }
+            return 0;
+        }
+    )");
+    FuzzOptions options;
+    options.maxExecs = 1500;
+    Fuzzer fuzzer(*program, {{'A'}}, options);
+    auto stats = fuzzer.run();
+
+    const auto snapshot = fuzzer.statsSnapshot();
+    const std::string text = obs::renderFuzzerStats(snapshot);
+    const auto kv = obs::parseFuzzerStats(text);
+    EXPECT_EQ(kv.at("execs_done"),
+              std::to_string(stats.execs));
+    EXPECT_EQ(kv.at("saved_diffs"),
+              std::to_string(stats.diffs));
+    EXPECT_EQ(kv.at("corpus_count"),
+              std::to_string(stats.seeds));
+
+    const auto parsed = obs::snapshotFromFuzzerStats(text);
+    ASSERT_EQ(parsed.perConfigExecs.size(),
+              options.diffConfigs.size());
+    std::uint64_t per_config_total = 0;
+    for (const auto &[name, execs] : parsed.perConfigExecs) {
+        EXPECT_GE(execs, stats.execs) << name;
+        per_config_total += execs;
+    }
+    EXPECT_EQ(per_config_total, parsed.compdiffExecs);
+    EXPECT_EQ(parsed.compdiffExecs, stats.compdiffExecs);
+
+    // Discovery clocks are execution counts and must be plausible.
+    EXPECT_GT(stats.lastFindExec, 0u);
+    EXPECT_LE(stats.lastFindExec, stats.execs);
+    EXPECT_EQ(parsed.lastDiffExec, stats.lastDiffExec);
+
+    // The plot series ends at the final totals.
+    const auto &rows = fuzzer.plotData().rows();
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows.back().execs, stats.execs);
+    EXPECT_EQ(rows.back().diffs, stats.diffs);
+    EXPECT_EQ(rows.back().compdiffExecs, stats.compdiffExecs);
 }
 
 TEST(Fuzzer, DeterministicCampaigns)

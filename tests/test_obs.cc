@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the observability layer: metric semantics, span
+ * recording and Chrome-trace export, stats-file formats, and the
+ * disabled-mode no-op guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using obs::EnabledGuard;
+using obs::Registry;
+using obs::TraceRecorder;
+
+/** Fresh global state for every test in this file. */
+class Obs : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Registry::global().reset();
+        TraceRecorder::global().clear();
+        obs::setEnabled(false);
+    }
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+TEST_F(Obs, CounterAccumulatesWhenEnabled)
+{
+    EnabledGuard on(true);
+    auto &counter = obs::counter("test.counter");
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+    // Same name -> same handle.
+    EXPECT_EQ(&obs::counter("test.counter"), &counter);
+    EXPECT_EQ(obs::counter("test.counter").value(), 42u);
+}
+
+TEST_F(Obs, DisabledBumpsAreNoOps)
+{
+    ASSERT_FALSE(obs::metricsEnabled());
+    obs::counter("test.counter").add(5);
+    obs::gauge("test.gauge").set(5);
+    obs::histogram("test.hist").observe(5);
+    EXPECT_EQ(obs::counter("test.counter").value(), 0u);
+    EXPECT_EQ(obs::gauge("test.gauge").value(), 0u);
+    EXPECT_EQ(obs::histogram("test.hist").count(), 0u);
+}
+
+TEST_F(Obs, GaugeSetAndHighWaterMark)
+{
+    EnabledGuard on(true);
+    auto &gauge = obs::gauge("test.gauge");
+    gauge.set(7);
+    EXPECT_EQ(gauge.value(), 7u);
+    gauge.max(3);
+    EXPECT_EQ(gauge.value(), 7u);
+    gauge.max(9);
+    EXPECT_EQ(gauge.value(), 9u);
+}
+
+TEST_F(Obs, HistogramBucketsAndSum)
+{
+    EnabledGuard on(true);
+    auto &hist =
+        Registry::global().histogram("test.hist2", {10, 100});
+    hist.observe(5);    // bucket 0 (<= 10)
+    hist.observe(10);   // bucket 0 (boundary is inclusive)
+    hist.observe(50);   // bucket 1 (<= 100)
+    hist.observe(1000); // overflow bucket
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.sum(), 1065u);
+    ASSERT_EQ(hist.buckets().size(), 3u);
+    EXPECT_EQ(hist.buckets()[0], 2u);
+    EXPECT_EQ(hist.buckets()[1], 1u);
+    EXPECT_EQ(hist.buckets()[2], 1u);
+}
+
+TEST_F(Obs, SnapshotAndReset)
+{
+    EnabledGuard on(true);
+    obs::counter("snap.c").add(3);
+    obs::gauge("snap.g").set(4);
+    Registry::global().histogram("snap.h", {8}).observe(6);
+
+    auto snapshot = Registry::global().snapshot();
+    const auto *c = snapshot.find("snap.c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->kind, "counter");
+    EXPECT_EQ(c->value, 3u);
+    const auto *h = snapshot.find("snap.h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    // Entries are name-sorted.
+    for (std::size_t i = 1; i < snapshot.entries.size(); i++) {
+        EXPECT_LT(snapshot.entries[i - 1].name,
+                  snapshot.entries[i].name);
+    }
+
+    Registry::global().reset();
+    EXPECT_EQ(obs::counter("snap.c").value(), 0u);
+    EXPECT_EQ(obs::gauge("snap.g").value(), 0u);
+    // Registrations (and handles) survive a reset.
+    auto after = Registry::global().snapshot();
+    EXPECT_EQ(after.entries.size(), snapshot.entries.size());
+}
+
+TEST_F(Obs, SnapshotJsonlIsWellFormed)
+{
+    EnabledGuard on(true);
+    obs::counter("jsonl.counter").add(1);
+    obs::counter("jsonl.weird\"name\\").add(2);
+    Registry::global().histogram("jsonl.hist", {1, 2}).observe(1);
+    const std::string jsonl =
+        Registry::global().snapshot().toJsonl();
+    std::string error;
+    EXPECT_TRUE(obs::jsonlWellFormed(jsonl, &error)) << error;
+    const std::string table =
+        Registry::global().snapshot().toTable();
+    EXPECT_NE(table.find("jsonl.counter"), std::string::npos);
+}
+
+TEST_F(Obs, SpanNestingIsRecorded)
+{
+    EnabledGuard on(true);
+    {
+        obs::Span outer("outer");
+        {
+            obs::Span inner("inner");
+        }
+        {
+            obs::Span inner2("inner2");
+        }
+    }
+    auto events = TraceRecorder::global().events();
+    ASSERT_EQ(events.size(), 3u);
+    // Spans complete innermost-first.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_EQ(events[1].name, "inner2");
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_EQ(events[2].name, "outer");
+    EXPECT_EQ(events[2].depth, 0u);
+    // The outer span encloses the inner ones in time.
+    EXPECT_LE(events[2].startUs, events[0].startUs);
+    EXPECT_EQ(TraceRecorder::global().dropped(), 0u);
+}
+
+TEST_F(Obs, DisabledSpansRecordNothing)
+{
+    {
+        obs::Span span("ghost");
+    }
+    EXPECT_TRUE(TraceRecorder::global().events().empty());
+}
+
+TEST_F(Obs, ChromeTraceJsonIsWellFormed)
+{
+    EnabledGuard on(true);
+    {
+        obs::Span span("a \"quoted\" span\\name");
+        obs::Span child("child");
+    }
+    const std::string json =
+        TraceRecorder::global().chromeTraceJson();
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed(json, &error)) << error;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    const std::string flame =
+        TraceRecorder::global().flameSummary();
+    EXPECT_NE(flame.find("child"), std::string::npos);
+}
+
+TEST_F(Obs, RingBufferPinsHeadAndKeepsTail)
+{
+    EnabledGuard on(true);
+    TraceRecorder::global().setCapacity(64); // pins 64/16 = 4
+    for (int i = 0; i < 200; i++) {
+        obs::Span span("span" + std::to_string(i));
+    }
+    auto events = TraceRecorder::global().events();
+    EXPECT_EQ(events.size(), 68u); // 4 pinned + 64 ring
+    EXPECT_GT(TraceRecorder::global().dropped(), 0u);
+    // The head of the run survives...
+    EXPECT_EQ(events[0].name, "span0");
+    // ...and so does the most recent event.
+    EXPECT_EQ(events.back().name, "span199");
+    TraceRecorder::global().setCapacity(65536);
+}
+
+TEST_F(Obs, JsonValidatorAcceptsAndRejects)
+{
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed("{}"));
+    EXPECT_TRUE(obs::jsonWellFormed(
+        R"({"a":[1,2.5,-3e2],"b":{"c":null,"d":"x\n"},"e":true})"));
+    EXPECT_TRUE(obs::jsonWellFormed("  [1, 2, 3]  "));
+    EXPECT_FALSE(obs::jsonWellFormed("", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("{", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("{\"a\":}", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("[1,]", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("\"unterminated", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("{} trailing", &error));
+    EXPECT_FALSE(obs::jsonWellFormed("nulL", &error));
+    EXPECT_TRUE(obs::jsonlWellFormed("{\"a\":1}\n[2]\n\n"));
+    EXPECT_FALSE(obs::jsonlWellFormed("{\"a\":1}\noops\n", &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST_F(Obs, FuzzerStatsRoundTrip)
+{
+    obs::FuzzerStatsSnapshot snapshot;
+    snapshot.execsDone = 1234;
+    snapshot.compdiffExecs = 12340;
+    snapshot.perConfigExecs = {{"gcc-O0", 6170}, {"clang-O3", 6170}};
+    snapshot.corpusSize = 17;
+    snapshot.crashes = 2;
+    snapshot.diffs = 3;
+    snapshot.edges = 99;
+    snapshot.lastFindExec = 1200;
+    snapshot.lastDiffExec = 800;
+
+    const std::string text = obs::renderFuzzerStats(snapshot);
+    const auto kv = obs::parseFuzzerStats(text);
+    EXPECT_EQ(kv.at("execs_done"), "1234");
+    EXPECT_EQ(kv.at("compdiff_execs"), "12340");
+    EXPECT_EQ(kv.at("saved_diffs"), "3");
+    EXPECT_EQ(kv.at("last_diff_execs"), "800");
+    EXPECT_EQ(kv.at("execs_impl_gcc_O0"), "6170");
+
+    const auto back = obs::snapshotFromFuzzerStats(text);
+    EXPECT_EQ(back.execsDone, snapshot.execsDone);
+    EXPECT_EQ(back.compdiffExecs, snapshot.compdiffExecs);
+    EXPECT_EQ(back.corpusSize, snapshot.corpusSize);
+    EXPECT_EQ(back.lastFindExec, snapshot.lastFindExec);
+    ASSERT_EQ(back.perConfigExecs.size(), 2u);
+    std::uint64_t total = 0;
+    for (const auto &[name, execs] : back.perConfigExecs)
+        total += execs;
+    EXPECT_EQ(total, back.compdiffExecs);
+}
+
+TEST_F(Obs, PlotWriterFormat)
+{
+    obs::PlotWriter plot;
+    plot.addRow({100, 5, 0, 1, 20, 1000});
+    plot.addRow({200, 6, 1, 1, 25, 2000});
+    const std::string text = plot.str();
+    EXPECT_EQ(text.find("# execs"), 0u);
+    EXPECT_NE(text.find("100, 5, 0, 1, 20, 1000"),
+              std::string::npos);
+    EXPECT_EQ(plot.rows().size(), 2u);
+}
+
+TEST_F(Obs, EnabledGuardRestoresState)
+{
+    obs::setEnabled(false);
+    {
+        EnabledGuard on(true);
+        EXPECT_TRUE(obs::metricsEnabled());
+        EXPECT_TRUE(obs::tracingEnabled());
+        {
+            EnabledGuard off(false);
+            EXPECT_FALSE(obs::metricsEnabled());
+        }
+        EXPECT_TRUE(obs::metricsEnabled());
+    }
+    EXPECT_FALSE(obs::metricsEnabled());
+    EXPECT_FALSE(obs::tracingEnabled());
+}
+
+TEST_F(Obs, QuietGuardScopesNoticeSilencing)
+{
+    ASSERT_FALSE(support::isQuiet());
+    {
+        support::QuietGuard quiet;
+        EXPECT_TRUE(support::isQuiet());
+        {
+            support::QuietGuard loud(false);
+            EXPECT_FALSE(support::isQuiet());
+        }
+        EXPECT_TRUE(support::isQuiet());
+    }
+    EXPECT_FALSE(support::isQuiet());
+}
+
+} // namespace
