@@ -6,6 +6,12 @@
  * (1 = plain fuzzing, 2 = the recommended budget subset, 10 = the
  * full set). The paper reports roughly 10x for the full set and 2x
  * for a two-implementation subset.
+ *
+ * A second axis measures the parallel ExecutionService: the same
+ * k = 10 oracle with 1/2/4/8 worker threads. On a multicore host the
+ * full-set overhead shrinks toward the 2x of the budget subset while
+ * producing bit-identical observations; on a single-core host the
+ * threads>1 rows only show the pool's dispatch overhead.
  */
 
 #include <benchmark/benchmark.h>
@@ -65,11 +71,12 @@ BM_PlainExecution(benchmark::State &state)
 }
 BENCHMARK(BM_PlainExecution);
 
-/** CompDiff with a k-implementation set. */
+/** CompDiff with a k-implementation set on `jobs` worker threads. */
 void
 BM_CompDiff(benchmark::State &state)
 {
     const auto k = static_cast<std::size_t>(state.range(0));
+    const auto jobs = static_cast<std::size_t>(state.range(1));
     auto configs = compiler::standardImplementations();
     std::vector<compiler::CompilerConfig> subset;
     if (k == 2) {
@@ -82,13 +89,23 @@ BM_CompDiff(benchmark::State &state)
     }
     core::DiffOptions options;
     options.limits = benchLimits();
+    options.jobs = jobs;
     core::DiffEngine engine(targetProgram(), subset, options);
     for (auto _ : state) {
         auto result = engine.runInput(workloadInput());
         benchmark::DoNotOptimize(result.divergent);
     }
 }
-BENCHMARK(BM_CompDiff)->Arg(2)->Arg(5)->Arg(10);
+BENCHMARK(BM_CompDiff)
+    ->ArgNames({"k", "jobs"})
+    // Serial sweep over k (the paper's overhead axis)...
+    ->Args({2, 1})
+    ->Args({5, 1})
+    ->Args({10, 1})
+    // ...then the thread axis at the full set.
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({10, 8});
 
 /** Compilation cost per implementation (one-time, forkserver-like). */
 void

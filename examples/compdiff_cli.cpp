@@ -8,6 +8,11 @@
  * Options (observability, see DESIGN.md "Observability"):
  *   --fuzz[=N]          run a CompDiff-AFL++ campaign (default
  *                       20000 execs) instead of a single input
+ *   --jobs=N            worker threads (0 = hardware); results are
+ *                       bit-identical for every value
+ *   --shards=N          split a --fuzz campaign into N deterministic
+ *                       shards (this *does* change the campaign;
+ *                       see DESIGN.md "Parallel execution")
  *   --stats-out=FILE    write an AFL++-style fuzzer_stats snapshot
  *   --plot-out=FILE     write an AFL++-style plot_data time series
  *   --trace-out=FILE    write Chrome-trace JSON (chrome://tracing)
@@ -33,7 +38,8 @@
 
 #include "compdiff/engine.hh"
 #include "compdiff/localize.hh"
-#include "fuzz/fuzzer.hh"
+#include "compiler/config.hh"
+#include "fuzz/sharded.hh"
 #include "minic/parser.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -78,6 +84,8 @@ struct CliOptions
 {
     bool fuzz = false;
     std::uint64_t fuzzExecs = 20'000;
+    std::size_t jobs = 1;
+    std::size_t shards = 1;
     std::string statsOut;
     std::string plotOut;
     std::string traceOut;
@@ -118,6 +126,12 @@ parseArgs(int argc, char **argv)
         } else if (matchFlag(arg, "--fuzz", &value)) {
             options.fuzz = true;
             options.fuzzExecs = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--jobs", &value)) {
+            options.jobs = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--shards", &value)) {
+            options.shards = static_cast<std::size_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
         } else if (matchFlag(arg, "--stats-out", &value)) {
             options.statsOut = value;
@@ -177,16 +191,19 @@ runFuzzMode(const compdiff::minic::Program &program,
     fuzz_options.maxExecs = options.fuzzExecs;
     fuzz_options.statsOutPath = options.statsOut;
     fuzz_options.plotOutPath = options.plotOut;
+    fuzz_options.jobs = options.jobs;
     std::vector<support::Bytes> seeds;
     if (!input.empty())
         seeds.push_back(input);
 
-    fuzz::Fuzzer fuzzer(program, seeds, fuzz_options);
-    auto stats = fuzzer.run();
+    fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
+        program, seeds, fuzz_options, options.shards,
+        options.jobs);
 
-    std::printf("%s", obs::renderFuzzerStats(fuzzer.statsSnapshot())
-                          .c_str());
-    for (const auto &diff : fuzzer.diffs()) {
+    std::printf("%s",
+                obs::renderFuzzerStats(sharded.statsSnapshot())
+                    .c_str());
+    for (const auto &diff : sharded.diffs) {
         std::printf("\ndivergence at exec %llu "
                     "(%zu-byte input):\n%s",
                     static_cast<unsigned long long>(diff.execIndex),
@@ -194,7 +211,7 @@ runFuzzMode(const compdiff::minic::Program &program,
                     diff.result.summary().c_str());
     }
     exportTelemetry(options);
-    return stats.diffs > 0 ? 1 : 0;
+    return sharded.total.diffs > 0 ? 1 : 0;
 }
 
 } // namespace
@@ -260,7 +277,11 @@ main(int argc, char **argv)
     if (options.fuzz)
         return runFuzzMode(*program, input, options);
 
-    core::DiffEngine engine(*program);
+    core::DiffOptions diff_options;
+    diff_options.jobs = options.jobs;
+    core::DiffEngine engine(
+        *program, compiler::standardImplementations(),
+        diff_options);
     auto diff = engine.runInput(input);
     std::printf("%s", diff.summary().c_str());
     if (!diff.divergent) {

@@ -2,9 +2,10 @@
 
 #include <sstream>
 
+#include "compdiff/exec_service.hh"
+#include "compiler/cache.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "support/hash.hh"
 
 namespace compdiff::core
 {
@@ -85,19 +86,23 @@ DiffEngine::DiffEngine(const minic::Program &program,
     : configs_(std::move(configs)), options_(std::move(options))
 {
     obs::Span span("compdiff.compileAll");
-    compiler::Compiler comp(program);
+    // One pretty-print fingerprints the program for the whole
+    // k-implementation batch; each compile is then a cache lookup.
+    const std::uint64_t program_hash =
+        compiler::programFingerprint(program);
     modules_.reserve(configs_.size());
     for (const auto &config : configs_) {
-        if (options_.traitsTweak) {
-            compiler::Traits traits = compiler::traitsFor(config);
+        compiler::Traits traits = compiler::traitsFor(config);
+        if (options_.traitsTweak)
             options_.traitsTweak(traits);
-            modules_.push_back(
-                comp.compileWithTraits(config, traits));
-        } else {
-            modules_.push_back(comp.compile(config));
-        }
+        modules_.push_back(compiler::CompileCache::global().compile(
+            program, program_hash, config, traits));
     }
+    service_ = std::make_unique<ExecutionService>(
+        modules_, configs_, options_.limits, options_.jobs);
 }
+
+DiffEngine::~DiffEngine() = default;
 
 DiffResult
 DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
@@ -113,31 +118,15 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
 
     while (attempts_left-- > 0) {
         result.attempts++;
+        // The k executions of this round run on the engine's
+        // ExecutionService (in parallel when options_.jobs > 1);
+        // observations land in configuration order either way.
+        service_->runRound(input, nonce_base, budget,
+                           options_.normalizer,
+                           result.observations);
         bool any_timeout = false;
         bool all_timeout = true;
-        for (std::size_t i = 0; i < configs_.size(); i++) {
-            obs::Span exec_span(obs::tracingEnabled()
-                                    ? "exec." + configs_[i].name()
-                                    : std::string());
-            vm::VmLimits limits = options_.limits;
-            limits.maxInstructions = budget;
-            vm::Vm machine(modules_[i], configs_[i], limits);
-            auto run = machine.run(
-                input, nullptr,
-                nonce_base * configs_.size() + i + 1);
-
-            Observation &obs = result.observations[i];
-            obs.config = configs_[i];
-            obs.timedOut = run.timedOut();
-            obs.instructions = run.instructions;
-            obs.normalizedOutput =
-                options_.normalizer.normalize(run.output);
-            obs.exitClass = run.exitClass();
-            support::HashCombiner combiner;
-            combiner.addString(obs.normalizedOutput);
-            combiner.addString(obs.exitClass);
-            obs.hash = combiner.digest();
-
+        for (const Observation &obs : result.observations) {
             any_timeout |= obs.timedOut;
             all_timeout &= obs.timedOut;
         }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,8 @@
 namespace compdiff::core
 {
 
+class ExecutionService;
+
 /** Engine knobs. */
 struct DiffOptions
 {
@@ -42,6 +45,14 @@ struct DiffOptions
     bool retryTimeouts = true;
     int timeoutRetries = 3;
     std::uint64_t timeoutBudgetFactor = 4;
+    /**
+     * Worker threads for the k-way execution fan-out: 1 = serial
+     * (the seed behavior), 0 = one per hardware thread. Results are
+     * bit-identical for every value — the ExecutionService fills the
+     * observation vector in configuration order and nonces depend
+     * only on (nonce_base, config index), never on scheduling.
+     */
+    std::size_t jobs = 1;
     /**
      * Ablation hook: mutate each configuration's derived traits
      * before compilation (e.g. disable one UB-exploiting pass across
@@ -101,8 +112,17 @@ struct DiffResult
  * Compiles a program under a set of implementations and runs the
  * output-comparison oracle on inputs.
  *
- * Compilation happens once, in the constructor; runInput() then only
- * executes (the forkserver-style reuse from Section 3.2).
+ * Compilation happens once, in the constructor — and is memoized in
+ * the process-wide compiler::CompileCache, so rebuilding an engine
+ * for the same (program, config, traits) skips recompilation
+ * entirely; runInput() then only executes (the forkserver-style
+ * reuse from Section 3.2), dispatching the k executions over the
+ * engine's ExecutionService (serially when options.jobs == 1).
+ *
+ * Concurrency: a DiffEngine may be driven by one thread at a time
+ * (its ExecutionService reuses per-implementation Vm state between
+ * rounds). Sharded campaigns construct one engine per shard; the
+ * compile cache makes those k-way compilations nearly free.
  */
 class DiffEngine
 {
@@ -118,6 +138,8 @@ class DiffEngine
         std::vector<compiler::CompilerConfig> configs =
             compiler::standardImplementations(),
         DiffOptions options = {});
+
+    ~DiffEngine();
 
     /**
      * Run every binary on one input and compare normalized outputs.
@@ -147,7 +169,8 @@ class DiffEngine
   private:
     std::vector<compiler::CompilerConfig> configs_;
     DiffOptions options_;
-    std::vector<bytecode::Module> modules_;
+    std::vector<std::shared_ptr<const bytecode::Module>> modules_;
+    std::unique_ptr<ExecutionService> service_;
 };
 
 } // namespace compdiff::core

@@ -1,0 +1,77 @@
+#include "compdiff/exec_service.hh"
+
+#include "obs/trace.hh"
+#include "support/hash.hh"
+
+namespace compdiff::core
+{
+
+using support::Bytes;
+
+ExecutionService::ExecutionService(
+    std::vector<std::shared_ptr<const bytecode::Module>> modules,
+    std::vector<compiler::CompilerConfig> configs,
+    vm::VmLimits limits, std::size_t jobs)
+    : modules_(std::move(modules)), configs_(std::move(configs)),
+      jobs_(jobs == 0 ? support::ThreadPool::hardwareWorkers()
+                      : jobs)
+{
+    vms_.reserve(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); i++)
+        vms_.emplace_back(*modules_[i], configs_[i], limits);
+    if (jobs_ > 1)
+        pool_ = std::make_unique<support::ThreadPool>(jobs_);
+}
+
+void
+ExecutionService::executeOne(std::size_t index, const Bytes &input,
+                             std::uint64_t nonce_base,
+                             std::uint64_t budget,
+                             const OutputNormalizer &normalizer,
+                             Observation &out)
+{
+    obs::Span exec_span(obs::tracingEnabled()
+                            ? "exec." + configs_[index].name()
+                            : std::string());
+    vms_[index].setMaxInstructions(budget);
+    auto run = vms_[index].run(
+        input, nullptr, nonce_base * configs_.size() + index + 1);
+
+    out.config = configs_[index];
+    out.timedOut = run.timedOut();
+    out.instructions = run.instructions;
+    out.normalizedOutput = normalizer.normalize(run.output);
+    out.exitClass = run.exitClass();
+    support::HashCombiner combiner;
+    combiner.addString(out.normalizedOutput);
+    combiner.addString(out.exitClass);
+    out.hash = combiner.digest();
+}
+
+void
+ExecutionService::runRound(const Bytes &input,
+                           std::uint64_t nonce_base,
+                           std::uint64_t budget,
+                           const OutputNormalizer &normalizer,
+                           std::vector<Observation> &out)
+{
+    out.resize(configs_.size());
+    if (!pool_) {
+        for (std::size_t i = 0; i < configs_.size(); i++)
+            executeOne(i, input, nonce_base, budget, normalizer,
+                       out[i]);
+        return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(configs_.size());
+    for (std::size_t i = 0; i < configs_.size(); i++) {
+        tasks.push_back([this, i, &input, nonce_base, budget,
+                         &normalizer, &out] {
+            executeOne(i, input, nonce_base, budget, normalizer,
+                       out[i]);
+        });
+    }
+    pool_->runAll(std::move(tasks));
+}
+
+} // namespace compdiff::core

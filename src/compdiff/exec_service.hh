@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Parallel k-way execution for the differential oracle.
+ *
+ * The paper's Section 5 overhead discussion reports ~10x run-time
+ * cost for the full ten-implementation set because every input is
+ * executed k times *serially*. Those k executions are independent by
+ * construction (each binary has its own address space and the oracle
+ * only compares their finished observations), so the fan-out is
+ * embarrassingly parallel.
+ *
+ * ExecutionService is the forkserver analog one level up: it keeps
+ * one resident Vm per implementation (module + runtime traits stay
+ * warm across inputs) and dispatches each round of k executions over
+ * a support::ThreadPool. Determinism is preserved structurally:
+ *   - observation i is written to slot i of the output vector, so
+ *     completion order is invisible;
+ *   - per-execution nonces are computed from (nonce_base, i), not
+ *     from scheduling;
+ *   - the RQ6 timeout-retry loop stays in DiffEngine, which sees
+ *     exactly the same observation vector a serial run produces.
+ * A service with jobs == 1 runs the round inline on the caller's
+ * thread with the same code path, which is how the bit-identity of
+ * `--jobs 1` and `--jobs N` is enforced by design rather than by
+ * testing alone (the test exists too).
+ *
+ * Concurrency contract: one ExecutionService belongs to one
+ * DiffEngine, and runRound() may be called by one thread at a time
+ * (the per-implementation Vms are reused across rounds). Sharded
+ * campaigns get one engine (and service) per shard.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compdiff/engine.hh"
+#include "support/thread_pool.hh"
+
+namespace compdiff::core
+{
+
+class ExecutionService
+{
+  public:
+    /**
+     * @param modules  One compiled module per implementation.
+     * @param configs  Matching configurations (same order).
+     * @param limits   Per-execution limits; the instruction budget
+     *                 is overridden per round (RQ6 retries).
+     * @param jobs     Worker threads; 1 = inline serial execution,
+     *                 0 = ThreadPool::hardwareWorkers().
+     */
+    ExecutionService(
+        std::vector<std::shared_ptr<const bytecode::Module>> modules,
+        std::vector<compiler::CompilerConfig> configs,
+        vm::VmLimits limits, std::size_t jobs);
+
+    /**
+     * Execute every implementation on `input` with the given
+     * instruction budget and fill `out` (resized to size()) in
+     * configuration order.
+     */
+    void runRound(const support::Bytes &input,
+                  std::uint64_t nonce_base, std::uint64_t budget,
+                  const OutputNormalizer &normalizer,
+                  std::vector<Observation> &out);
+
+    /** Number of implementations (k). */
+    std::size_t size() const { return configs_.size(); }
+
+    /** Resolved worker count (>= 1). */
+    std::size_t jobs() const { return jobs_; }
+
+  private:
+    void executeOne(std::size_t index, const support::Bytes &input,
+                    std::uint64_t nonce_base, std::uint64_t budget,
+                    const OutputNormalizer &normalizer,
+                    Observation &out);
+
+    std::vector<std::shared_ptr<const bytecode::Module>> modules_;
+    std::vector<compiler::CompilerConfig> configs_;
+    /** Resident per-implementation binaries (forkserver reuse). */
+    std::vector<vm::Vm> vms_;
+    std::size_t jobs_;
+    /** Present only when jobs_ > 1. */
+    std::unique_ptr<support::ThreadPool> pool_;
+};
+
+} // namespace compdiff::core

@@ -1,0 +1,185 @@
+#include "compiler/cache.hh"
+
+#include <map>
+#include <mutex>
+
+#include "compiler/compiler.hh"
+#include "minic/printer.hh"
+#include "obs/metrics.hh"
+#include "support/hash.hh"
+
+namespace compdiff::compiler
+{
+
+std::uint64_t
+programFingerprint(const minic::Program &program)
+{
+    return support::murmurHash64(minic::printProgram(program),
+                                 /*seed=*/0x0C0FFEEu);
+}
+
+std::uint64_t
+traitsFingerprint(const Traits &traits)
+{
+    // Hash every field explicitly (never the raw bytes: padding
+    // would make the fingerprint build-dependent). Any new Traits
+    // field must be added here; the unit test pins the count.
+    support::HashCombiner combiner(0x7241175u);
+    combiner.add(traits.argsRightToLeft)
+        .add(static_cast<std::uint64_t>(traits.localOrder))
+        .add(static_cast<std::uint64_t>(traits.globalOrder))
+        .add(traits.localPad)
+        .add(static_cast<std::uint64_t>(traits.shift32))
+        .add(static_cast<std::uint64_t>(traits.shift64))
+        .add(traits.lineIsStatementStart);
+    combiner.add(traits.constFold)
+        .add(traits.foldUbGuards)
+        .add(traits.alwaysTrueIncCmp)
+        .add(traits.widenMulToLong)
+        .add(traits.deadStoreElim)
+        .add(traits.nullDerefExploit);
+    combiner.add(traits.bugRemPow2)
+        .add(traits.bugDiv32Shift)
+        .add(traits.bugEmptyRange);
+    combiner.add(traits.stackFill)
+        .add(traits.heapFill)
+        .add(traits.undefWord)
+        .add(traits.freePoison)
+        .add(traits.freePoisonByte)
+        .add(traits.freelistLifo)
+        .add(traits.detectDoubleFreeTop)
+        .add(traits.detectInvalidFree)
+        .add(traits.powViaExp2)
+        .add(traits.memcpyBackward);
+    combiner.add(traits.rodataBase)
+        .add(traits.globalsBase)
+        .add(traits.heapBase)
+        .add(traits.stackBase);
+    return combiner.digest();
+}
+
+namespace
+{
+
+std::uint64_t
+cacheKey(std::uint64_t program_hash, const CompilerConfig &config,
+         const Traits &traits)
+{
+    support::HashCombiner combiner(0xCAC4Eu);
+    combiner.add(program_hash)
+        .add(static_cast<std::uint64_t>(config.vendor))
+        .add(static_cast<std::uint64_t>(config.opt))
+        .add(static_cast<std::uint64_t>(config.sanitizer))
+        .add(traitsFingerprint(traits));
+    return combiner.digest();
+}
+
+} // namespace
+
+struct CompileCache::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::uint64_t, std::shared_ptr<const bytecode::Module>>
+        entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+CompileCache::Impl *
+CompileCache::impl() const
+{
+    static std::mutex create_mu;
+    std::lock_guard<std::mutex> lock(create_mu);
+    if (!impl_)
+        impl_ = new Impl();
+    return impl_;
+}
+
+CompileCache &
+CompileCache::global()
+{
+    static CompileCache instance;
+    return instance;
+}
+
+std::shared_ptr<const bytecode::Module>
+CompileCache::compile(const minic::Program &program,
+                      std::uint64_t program_hash,
+                      const CompilerConfig &config,
+                      const Traits &traits)
+{
+    Impl &state = *impl();
+    const std::uint64_t key =
+        cacheKey(program_hash, config, traits);
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        auto it = state.entries.find(key);
+        if (it != state.entries.end()) {
+            state.hits++;
+            obs::counter("compile_cache.hits").add();
+            return it->second;
+        }
+        state.misses++;
+    }
+    obs::counter("compile_cache.misses").add();
+
+    // Compile outside the lock: concurrent shards may compile the
+    // same key redundantly, but never block each other on a compile.
+    auto module = std::make_shared<const bytecode::Module>(
+        Compiler(program).compileWithTraits(config, traits));
+
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto [it, inserted] = state.entries.emplace(key, module);
+    return inserted ? module : it->second;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.entries.size();
+}
+
+std::uint64_t
+CompileCache::hits() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.hits;
+}
+
+std::uint64_t
+CompileCache::misses() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.misses;
+}
+
+void
+CompileCache::clear()
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.entries.clear();
+    state.hits = 0;
+    state.misses = 0;
+}
+
+std::shared_ptr<const bytecode::Module>
+compileCached(const minic::Program &program,
+              const CompilerConfig &config)
+{
+    return compileCached(program, config, traitsFor(config));
+}
+
+std::shared_ptr<const bytecode::Module>
+compileCached(const minic::Program &program,
+              const CompilerConfig &config, const Traits &traits)
+{
+    return CompileCache::global().compile(
+        program, programFingerprint(program), config, traits);
+}
+
+} // namespace compdiff::compiler

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Content-addressed compile cache.
+ *
+ * Every campaign, bench, and triage pass in this repo recompiles the
+ * same (program, configuration) pairs: the fuzzer compiles B_fuzz
+ * plus the k differential binaries, the campaign driver then builds
+ * a second DiffEngine and a probe binary for witness minimization,
+ * and the sanitizer checks add three more. The compile step is pure
+ * (an analyzed Program plus Traits deterministically yields one
+ * Module), so we memoize it.
+ *
+ * The cache key is MurmurHash3 over the *content* of the inputs:
+ *   - the pretty-printed program source (minic::printProgram), and
+ *   - a CompilerConfig + Traits fingerprint covering every field
+ *     that can influence compilation (traitsTweak ablations hash
+ *     differently from the stock traits).
+ * Content addressing means two Program objects parsed from the same
+ * source share cache entries, and nothing dangles when a Program
+ * dies: entries hold Modules by shared_ptr, independent of any
+ * Program lifetime (interned types referenced by the Module must
+ * still outlive its use, as before).
+ *
+ * Thread safety: fully synchronized; shards compiling concurrently
+ * either find the entry or compile redundantly and race benignly to
+ * insert (first insert wins, both results are identical).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "bytecode/module.hh"
+#include "compiler/config.hh"
+#include "minic/ast.hh"
+
+namespace compdiff::compiler
+{
+
+/** MurmurHash3 content fingerprint of a whole analyzed program. */
+std::uint64_t programFingerprint(const minic::Program &program);
+
+/** Fingerprint of every compile-relevant field of a Traits value. */
+std::uint64_t traitsFingerprint(const Traits &traits);
+
+/** The process-wide module cache. */
+class CompileCache
+{
+  public:
+    static CompileCache &global();
+
+    /**
+     * Return the cached module for (program, config, traits) or
+     * compile and insert it. `program_hash` must be
+     * programFingerprint(program); callers pass it in so one
+     * pretty-print covers a whole k-implementation batch.
+     */
+    std::shared_ptr<const bytecode::Module>
+    compile(const minic::Program &program,
+            std::uint64_t program_hash, const CompilerConfig &config,
+            const Traits &traits);
+
+    /** Entries currently cached. */
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+    /** Drop every entry (tests; campaigns never need this). */
+    void clear();
+
+  private:
+    CompileCache() = default;
+    struct Impl;
+    Impl *impl() const;
+    mutable Impl *impl_ = nullptr;
+};
+
+/**
+ * Convenience: fingerprint + traitsFor + cache lookup in one call.
+ */
+std::shared_ptr<const bytecode::Module>
+compileCached(const minic::Program &program,
+              const CompilerConfig &config);
+
+/** Cached analog of Compiler::compileWithTraits. */
+std::shared_ptr<const bytecode::Module>
+compileCached(const minic::Program &program,
+              const CompilerConfig &config, const Traits &traits);
+
+} // namespace compdiff::compiler

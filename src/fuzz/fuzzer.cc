@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
-#include "compiler/compiler.hh"
+#include "compiler/cache.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "support/hash.hh"
@@ -19,11 +19,13 @@ Fuzzer::Fuzzer(const minic::Program &program,
       rng_(options_.rngSeed),
       mutator_(rng_.split(), options_.maxInputSize),
       fuzzModule_(
-          compiler::Compiler(program).compile(options_.fuzzConfig))
+          compiler::compileCached(program, options_.fuzzConfig)),
+      fuzzVm_(*fuzzModule_, options_.fuzzConfig, options_.limits)
 {
     if (options_.enableCompDiff) {
         core::DiffOptions diff_options = options_.diffOptions;
         diff_options.limits = options_.limits;
+        diff_options.jobs = options_.jobs;
         diffEngine_ = std::make_unique<core::DiffEngine>(
             program_, options_.diffConfigs, diff_options);
         perConfigExecs_.assign(diffEngine_->size(), 0);
@@ -53,11 +55,10 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
 {
     // --- the plain AFL++ part: run B_fuzz with coverage ---
     coverage_.reset();
-    vm::Vm machine(fuzzModule_, options_.fuzzConfig, options_.limits);
     vm::ExecutionResult result;
     {
         obs::Span span("fuzz.execute");
-        result = machine.run(input, &coverage_, ++nonceCounter_);
+        result = fuzzVm_.run(input, &coverage_, ++nonceCounter_);
     }
     stats_.execs++;
 

@@ -70,6 +70,16 @@ struct FuzzOptions
     std::uint64_t rngSeed = 0xFA2200D1;
     std::size_t maxInputSize = 256;
 
+    /**
+     * Worker threads for the k-way differential oracle inside this
+     * campaign (DiffOptions::jobs): 1 = serial, 0 = hardware.
+     * Campaign results are bit-identical for every value — threads
+     * change wall-clock only, never observations (see
+     * ExecutionService). Shard-level parallelism is separate: see
+     * fuzz::runShardedCampaign.
+     */
+    std::size_t jobs = 1;
+
     /** Configuration of the coverage/sanitizer binary B_fuzz. */
     compiler::CompilerConfig fuzzConfig{
         compiler::Vendor::Clang, compiler::OptLevel::O2,
@@ -166,6 +176,27 @@ class Fuzzer
     /** The `plot_data` time series collected during run(). */
     const obs::PlotWriter &plotData() const { return plot_; }
 
+    // --- shard-merge accessors (fuzz::runShardedCampaign) ---
+    /** Accumulated campaign coverage (merged across shards). */
+    const vm::VirginMap &virginMap() const { return virgin_; }
+    /** Divergence signature -> index into diffs(). */
+    const std::map<std::uint64_t, std::size_t> &
+    diffSignatures() const
+    {
+        return diffSignatures_;
+    }
+    /** Crash signature -> index into crashes(). */
+    const std::map<std::string, std::size_t> &
+    crashSignatures() const
+    {
+        return crashSignatures_;
+    }
+    /** Executions of each differential binary, config order. */
+    const std::vector<std::uint64_t> &perConfigExecs() const
+    {
+        return perConfigExecs_;
+    }
+
   private:
     std::size_t selectSeed();
     /** Takes the input by value: executing it may grow corpus_ and
@@ -177,7 +208,9 @@ class Fuzzer
     support::Rng rng_;
     Mutator mutator_;
 
-    bytecode::Module fuzzModule_;
+    std::shared_ptr<const bytecode::Module> fuzzModule_;
+    /** Resident B_fuzz binary (forkserver reuse; run() is const). */
+    vm::Vm fuzzVm_;
     std::unique_ptr<core::DiffEngine> diffEngine_;
 
     vm::CoverageMap coverage_;

@@ -1,0 +1,206 @@
+#include "fuzz/sharded.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "support/hash.hh"
+#include "support/thread_pool.hh"
+#include "vm/coverage.hh"
+
+namespace compdiff::fuzz
+{
+
+using support::Bytes;
+
+namespace
+{
+
+/** Shard s's RNG seed; shard 0 keeps the campaign seed exactly. */
+std::uint64_t
+shardSeed(std::uint64_t base, std::size_t shard)
+{
+    if (shard == 0)
+        return base;
+    return support::murmurMix64(
+        base ^ support::murmurMix64(0x5A44ULL + shard));
+}
+
+/** Invert a signature -> index map into index -> signature order. */
+template <typename Key>
+std::vector<Key>
+signaturesByIndex(const std::map<Key, std::size_t> &signatures,
+                  std::size_t count)
+{
+    std::vector<Key> by_index(count);
+    for (const auto &[signature, index] : signatures)
+        by_index[index] = signature;
+    return by_index;
+}
+
+} // namespace
+
+obs::FuzzerStatsSnapshot
+ShardedResult::statsSnapshot() const
+{
+    obs::FuzzerStatsSnapshot snapshot;
+    snapshot.execsDone = total.execs;
+    snapshot.compdiffExecs = total.compdiffExecs;
+    snapshot.perConfigExecs = perConfigExecs;
+    snapshot.corpusSize = total.seeds;
+    snapshot.crashes = total.crashes;
+    snapshot.diffs = total.diffs;
+    snapshot.edges = total.edges;
+    snapshot.lastFindExec = total.lastFindExec;
+    snapshot.lastDiffExec = total.lastDiffExec;
+    return snapshot;
+}
+
+ShardedResult
+runShardedCampaign(const minic::Program &program,
+                   const std::vector<Bytes> &seeds,
+                   FuzzOptions options, std::size_t shards,
+                   std::size_t jobs)
+{
+    obs::Span span("fuzz.shardedCampaign");
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::size_t count = std::max<std::size_t>(shards, 1);
+
+    // Campaign-level telemetry paths are written by this driver,
+    // never by the shards themselves.
+    const std::string stats_path = options.statsOutPath;
+    const std::string plot_path = options.plotOutPath;
+    options.statsOutPath.clear();
+    options.plotOutPath.clear();
+
+    std::vector<std::unique_ptr<Fuzzer>> fuzzers;
+    fuzzers.reserve(count);
+    const std::uint64_t base_execs = options.maxExecs / count;
+    const std::uint64_t extra = options.maxExecs % count;
+    for (std::size_t s = 0; s < count; s++) {
+        FuzzOptions shard_options = options;
+        shard_options.maxExecs =
+            base_execs + (s < extra ? 1 : 0);
+        shard_options.rngSeed = shardSeed(options.rngSeed, s);
+        // With several shards, the thread budget belongs to the
+        // shard level; nested oracle parallelism would only
+        // oversubscribe the pool.
+        if (count > 1)
+            shard_options.jobs = 1;
+        std::vector<Bytes> shard_seeds;
+        for (std::size_t i = s; i < seeds.size(); i += count)
+            shard_seeds.push_back(seeds[i]);
+        // Construction compiles the shard's binaries — serially,
+        // here, so all shards share the CompileCache warm-up.
+        fuzzers.push_back(std::make_unique<Fuzzer>(
+            program, std::move(shard_seeds), shard_options));
+    }
+
+    // Shards share no mutable state: run them on the pool (or
+    // inline), then fold. Results depend on `count` only.
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(count);
+        for (std::size_t s = 0; s < count; s++)
+            tasks.push_back([&fuzzers, s] { fuzzers[s]->run(); });
+        if (jobs > 1 && count > 1) {
+            support::ThreadPool pool(std::min(jobs, count));
+            pool.runAll(std::move(tasks));
+        } else {
+            for (auto &task : tasks)
+                task();
+        }
+    }
+
+    // --- fold (single-threaded, deterministic shard order) ---
+    ShardedResult result;
+    vm::VirginMap merged_virgin;
+    std::map<std::uint64_t, std::size_t> diff_signatures;
+    std::map<std::string, std::size_t> crash_signatures;
+    for (std::size_t s = 0; s < count; s++) {
+        const Fuzzer &fuzzer = *fuzzers[s];
+        const FuzzStats &stats = fuzzer.stats();
+        result.perShard.push_back(stats);
+
+        result.total.execs += stats.execs;
+        result.total.compdiffExecs += stats.compdiffExecs;
+        result.total.seeds += stats.seeds;
+        // Shard-local exec indices: the folded "last find" is the
+        // deepest any shard had to dig.
+        result.total.lastFindExec = std::max(
+            result.total.lastFindExec, stats.lastFindExec);
+        result.total.lastDiffExec = std::max(
+            result.total.lastDiffExec, stats.lastDiffExec);
+
+        merged_virgin.merge(fuzzer.virginMap());
+
+        const auto diff_sigs = signaturesByIndex(
+            fuzzer.diffSignatures(), fuzzer.diffs().size());
+        for (std::size_t i = 0; i < fuzzer.diffs().size(); i++) {
+            if (diff_signatures
+                    .emplace(diff_sigs[i], result.diffs.size())
+                    .second)
+                result.diffs.push_back(fuzzer.diffs()[i]);
+        }
+        const auto crash_sigs = signaturesByIndex(
+            fuzzer.crashSignatures(), fuzzer.crashes().size());
+        for (std::size_t i = 0; i < fuzzer.crashes().size(); i++) {
+            if (crash_signatures
+                    .emplace(crash_sigs[i], result.crashes.size())
+                    .second)
+                result.crashes.push_back(fuzzer.crashes()[i]);
+        }
+
+        const auto &per_config = fuzzer.perConfigExecs();
+        const auto shard_snapshot = fuzzer.statsSnapshot();
+        if (result.perConfigExecs.empty()) {
+            result.perConfigExecs = shard_snapshot.perConfigExecs;
+        } else {
+            for (std::size_t i = 0; i < per_config.size(); i++)
+                result.perConfigExecs[i].second += per_config[i];
+        }
+    }
+    result.total.crashes = result.crashes.size();
+    result.total.diffs = result.diffs.size();
+    result.total.edges = merged_virgin.edgesSeen();
+
+    if (obs::metricsEnabled()) {
+        obs::counter("fuzz.shards").add(count);
+        obs::gauge("fuzz.sharded_edges").set(result.total.edges);
+    }
+
+    if (!stats_path.empty() || !plot_path.empty()) {
+        auto snapshot = result.statsSnapshot();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        if (secs > 0)
+            snapshot.execsPerSec =
+                static_cast<double>(result.total.execs) / secs;
+        if (!stats_path.empty()) {
+            obs::writeTextFile(stats_path,
+                               obs::renderFuzzerStats(snapshot));
+        }
+        if (!plot_path.empty()) {
+            // A single shard keeps the plain filename (the sharded
+            // runner is then a drop-in for a plain Fuzzer run).
+            if (count == 1) {
+                obs::writeTextFile(plot_path,
+                                   fuzzers[0]->plotData().str());
+            } else {
+                for (std::size_t s = 0; s < count; s++) {
+                    obs::writeTextFile(plot_path + ".shard" +
+                                           std::to_string(s),
+                                       fuzzers[s]->plotData().str());
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace compdiff::fuzz

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Sharded fuzz campaigns (AFL++'s -M/-S instance model, in-process).
+ *
+ * A sharded campaign splits one fuzzing budget into S independent
+ * sub-campaigns ("shards"). Each shard owns everything it mutates —
+ * its Fuzzer, RNG stream, corpus, coverage map, and stats block — so
+ * shards run with zero shared mutable state and zero locks; the
+ * driver folds the per-shard results only after every shard has
+ * finished (merged coverage bitmap, signature-deduplicated diffs and
+ * crashes, summed stats).
+ *
+ * Determinism contract (the part worth reading twice):
+ *   - `shards` defines the campaign. Shard s derives its RNG seed,
+ *     its budget slice, and its round-robin share of the seed pool
+ *     purely from (options, s).
+ *   - `jobs` is only a thread count for *executing* those shards.
+ *     Results are bit-identical for jobs=1 and jobs=N because no
+ *     shard ever observes another shard's timing — exactly the same
+ *     argument that makes DiffOptions::jobs result-neutral.
+ * This mirrors AFL++, where the number of -S instances shapes the
+ * campaign but the machine's core count does not.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+
+namespace compdiff::fuzz
+{
+
+/** Folded outcome of a sharded campaign. */
+struct ShardedResult
+{
+    /** Summed/deduped totals (see field comments below). */
+    FuzzStats total;
+    /** Each shard's own stats block, shard order. */
+    std::vector<FuzzStats> perShard;
+    /** Unique divergences across shards (signature-deduplicated,
+     *  first-seen in shard order; execIndex is shard-local). */
+    std::vector<FoundDiff> diffs;
+    /** Unique crashes across shards (same dedup discipline). */
+    std::vector<FoundCrash> crashes;
+    /** Per-implementation executions folded in config order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+        perConfigExecs;
+
+    /** Merged AFL++-style `fuzzer_stats` snapshot. */
+    obs::FuzzerStatsSnapshot statsSnapshot() const;
+};
+
+/**
+ * Run one campaign as `shards` deterministic sub-campaigns on up to
+ * `jobs` worker threads.
+ *
+ * Budget: options.maxExecs is split evenly (low shards take the
+ * remainder). Seeds: round-robin by index. RNG: shard 0 keeps
+ * options.rngSeed (shards=1 therefore reproduces a plain Fuzzer run
+ * exactly); shard s>0 mixes s into the seed. The per-shard oracle
+ * runs serially when shards > 1 — the thread budget belongs to the
+ * shard level; options.jobs applies when shards == 1.
+ *
+ * Telemetry: options.statsOutPath receives the *merged* snapshot;
+ * options.plotOutPath receives one series per shard, suffixed
+ * ".shard<N>" (plain filename when shards == 1).
+ */
+ShardedResult
+runShardedCampaign(const minic::Program &program,
+                   const std::vector<support::Bytes> &seeds,
+                   FuzzOptions options, std::size_t shards,
+                   std::size_t jobs = 1);
+
+} // namespace compdiff::fuzz

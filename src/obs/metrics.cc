@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <tuple>
 
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -107,7 +108,7 @@ EnabledGuard::~EnabledGuard()
 }
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
 {
     for (std::size_t i = 1; i < bounds_.size(); i++) {
         if (bounds_[i] <= bounds_[i - 1])
@@ -123,17 +124,27 @@ Histogram::observe(std::uint64_t v)
     std::size_t i = 0;
     while (i < bounds_.size() && v > bounds_[i])
         i++;
-    buckets_[i]++;
-    count_++;
-    sum_ += v;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::buckets() const
+{
+    std::vector<std::uint64_t> cells(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); i++)
+        cells[i] = buckets_[i].load(std::memory_order_relaxed);
+    return cells;
 }
 
 void
 Histogram::reset()
 {
-    buckets_.assign(bounds_.size() + 1, 0);
-    count_ = 0;
-    sum_ = 0;
+    for (auto &cell : buckets_)
+        cell.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
 }
 
 const MetricsSnapshot::Entry *
@@ -190,6 +201,9 @@ MetricsSnapshot::toTable() const
  * Node-stable storage: std::map never moves its mapped values, so
  * the Counter&/Gauge&/Histogram& handles we give out stay valid for
  * the registry's lifetime, and iteration is name-sorted for free.
+ * All access to these maps happens under Registry::mu_; the mapped
+ * values themselves are internally atomic, so handles handed out
+ * earlier stay safe to bump while another thread registers.
  */
 struct Registry::Impl
 {
@@ -227,20 +241,22 @@ Registry::global()
 Counter &
 Registry::counter(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &counters = impl()->counters;
     auto it = counters.find(name);
     if (it == counters.end())
-        it = counters.emplace(std::string(name), Counter()).first;
+        it = counters.try_emplace(std::string(name)).first;
     return it->second;
 }
 
 Gauge &
 Registry::gauge(std::string_view name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &gauges = impl()->gauges;
     auto it = gauges.find(name);
     if (it == gauges.end())
-        it = gauges.emplace(std::string(name), Gauge()).first;
+        it = gauges.try_emplace(std::string(name)).first;
     return it->second;
 }
 
@@ -248,14 +264,16 @@ Histogram &
 Registry::histogram(std::string_view name,
                     std::vector<std::uint64_t> bounds)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &histograms = impl()->histograms;
     auto it = histograms.find(name);
     if (it == histograms.end()) {
         if (bounds.empty())
             bounds = defaultBounds();
         it = histograms
-                 .emplace(std::string(name),
-                          Histogram(std::move(bounds)))
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(std::string(name)),
+                          std::forward_as_tuple(std::move(bounds)))
                  .first;
     }
     return it->second;
@@ -265,6 +283,7 @@ MetricsSnapshot
 Registry::snapshot() const
 {
     MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
     const Impl *state = impl();
     for (const auto &[name, counter] : state->counters) {
         snap.entries.push_back(
@@ -289,6 +308,7 @@ Registry::snapshot() const
 void
 Registry::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Impl *state = impl();
     for (auto &[name, counter] : state->counters)
         counter.reset();
@@ -301,6 +321,7 @@ Registry::reset()
 std::size_t
 Registry::size() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Impl *state = impl();
     return state->counters.size() + state->gauges.size() +
            state->histograms.size();

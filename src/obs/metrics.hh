@@ -7,22 +7,28 @@
  *
  * Design constraints (in order):
  *   1. Hot-path bumps must be cheap: a handle bump is one relaxed
- *      atomic load (the global enabled switch) plus a plain uint64_t
- *      add. With metrics disabled the bump is a no-op, so
+ *      atomic load (the global enabled switch) plus one relaxed
+ *      atomic add. With metrics disabled the bump is a no-op, so
  *      `overhead_microbench` measures the same inner loop the seed
  *      build did.
  *   2. Zero dependencies beyond src/support.
  *   3. Deterministic: nothing here reads the wall clock; instruction
  *      counts are the pipeline's time axis.
  *
+ * Thread safety: the whole registry is safe under real concurrency
+ * (the parallel ExecutionService and sharded campaigns bump counters
+ * from worker threads). Registration is serialized by a registry
+ * mutex; handle bumps are relaxed atomics and never take a lock.
  * Handles returned by Registry::{counter,gauge,histogram} are stable
- * for the registry's lifetime and may be cached across calls. The
- * registry is not thread-safe for concurrent *registration*; bumping
- * distinct handles from different threads is benign (the campaign
- * driver is single-threaded today, matching the paper's setup).
+ * for the registry's lifetime and may be cached across calls.
+ * Relaxed ordering means a snapshot taken while workers are mid-
+ * flight is a consistent-per-metric (not cross-metric) view; all
+ * exporters run after the pool has been joined.
  */
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,14 +73,17 @@ class Counter
     void add(std::uint64_t n = 1)
     {
         if (metricsEnabled())
-            value_ += n;
+            value_.fetch_add(n, std::memory_order_relaxed);
     }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** A point-in-time value (corpus size, budget in force, ...). */
@@ -84,26 +93,37 @@ class Gauge
     void set(std::uint64_t v)
     {
         if (metricsEnabled())
-            value_ = v;
+            value_.store(v, std::memory_order_relaxed);
     }
 
     /** Keep the largest value seen (high-water mark). */
     void max(std::uint64_t v)
     {
-        if (metricsEnabled() && v > value_)
-            value_ = v;
+        if (!metricsEnabled())
+            return;
+        std::uint64_t cur =
+            value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
     }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /**
  * A fixed-bucket histogram. Bucket i counts observations with
  * value <= bounds[i]; one implicit overflow bucket counts the rest.
+ * Cells are relaxed atomics, so concurrent observe() calls never
+ * lose counts; count/sum/bucket reads are per-cell consistent.
  */
 class Histogram
 {
@@ -117,19 +137,22 @@ class Histogram
         return bounds_;
     }
     /** bounds().size() + 1 cells; last is the overflow bucket. */
-    const std::vector<std::uint64_t> &buckets() const
+    std::vector<std::uint64_t> buckets() const;
+    std::uint64_t count() const
     {
-        return buckets_;
+        return count_.load(std::memory_order_relaxed);
     }
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
     void reset();
 
   private:
     std::vector<std::uint64_t> bounds_;
-    std::vector<std::uint64_t> buckets_;
-    std::uint64_t count_ = 0;
-    std::uint64_t sum_ = 0;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
 };
 
 /** A copy of every registered metric's state at one point in time. */
@@ -158,7 +181,9 @@ struct MetricsSnapshot
 
 /**
  * The process-wide metric registry. Metrics are registered on first
- * use and persist (values included) until reset().
+ * use and persist (values included) until reset(). Registration,
+ * snapshot(), reset(), and size() are serialized by an internal
+ * mutex; bumping previously obtained handles is lock-free.
  */
 class Registry
 {
@@ -187,8 +212,10 @@ class Registry
   private:
     Registry() = default;
     struct Impl;
+    /** Must be called with mu_ held. */
     Impl *impl();
     const Impl *impl() const;
+    mutable std::mutex mu_;
     mutable Impl *impl_ = nullptr;
 };
 

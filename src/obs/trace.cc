@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "support/table.hh"
@@ -57,7 +58,11 @@ struct TraceRecorder::Impl
      * The head of the run (setup, per-config compiles) is pinned so
      * a long campaign cannot rotate it out; the tail lives in the
      * ring. Together: "how the run started and how it was going".
+     *
+     * Guards every field below: spans complete on worker threads
+     * when the ExecutionService dispatches executions in parallel.
      */
+    mutable std::mutex mu;
     std::vector<TraceEvent> pinned;
     std::size_t pinnedCapacity = 4096;
     std::vector<TraceEvent> ring;
@@ -80,6 +85,7 @@ TraceRecorder::global()
 void
 TraceRecorder::clear()
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->pinned.clear();
     impl_->ring.clear();
     impl_->head = 0;
@@ -90,26 +96,32 @@ TraceRecorder::clear()
 void
 TraceRecorder::setCapacity(std::size_t capacity)
 {
-    impl_->capacity = std::max<std::size_t>(capacity, 1);
-    impl_->pinnedCapacity = impl_->capacity / 16;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->capacity = std::max<std::size_t>(capacity, 1);
+        impl_->pinnedCapacity = impl_->capacity / 16;
+    }
     clear();
 }
 
 std::size_t
 TraceRecorder::capacity() const
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     return impl_->capacity;
 }
 
 std::uint64_t
 TraceRecorder::dropped() const
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     return impl_->droppedCount;
 }
 
 std::uint64_t
 TraceRecorder::nowUs() const
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - impl_->epoch)
@@ -119,6 +131,7 @@ TraceRecorder::nowUs() const
 void
 TraceRecorder::append(TraceEvent event)
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     Impl &state = *impl_;
     if (state.pinned.size() < state.pinnedCapacity) {
         state.pinned.push_back(std::move(event));
@@ -136,6 +149,7 @@ TraceRecorder::append(TraceEvent event)
 std::vector<TraceEvent>
 TraceRecorder::events() const
 {
+    std::lock_guard<std::mutex> lock(impl_->mu);
     const Impl &state = *impl_;
     std::vector<TraceEvent> out;
     out.reserve(state.pinned.size() + state.ring.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "compiler/compiler.hh"
+#include "fuzz/sharded.hh"
 #include "minic/parser.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -105,14 +106,17 @@ runCampaign(const TargetProgram &target,
     fuzz_options.diffOptions.normalizer =
         core::OutputNormalizer::withDefaultFilters();
 
-    fuzz::Fuzzer fuzzer(*program, target.seeds, fuzz_options);
-    result.stats = fuzzer.run();
+    fuzz_options.jobs = options.jobs;
+    fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
+        *program, target.seeds, fuzz_options, options.shards,
+        options.jobs);
+    result.stats = sharded.total;
 
     // Triage: map each unique divergence back to planted bugs via
     // the probes its witness fired.
     obs::Span triage_span("campaign.triage");
     std::map<int, const fuzz::FoundDiff *> witness_for;
-    for (const auto &diff : fuzzer.diffs()) {
+    for (const auto &diff : sharded.diffs) {
         if (diff.probes.empty()) {
             result.untriagedDiffs++;
             continue;

@@ -66,9 +66,24 @@ struct CampaignOptions
     };
 
     /**
+     * Deterministic work partition: the campaign runs as this many
+     * independent shards (fuzz::runShardedCampaign). Results depend
+     * on `shards` — changing it changes the campaign — but never on
+     * `jobs`. shards == 1 reproduces the plain single-fuzzer path.
+     */
+    std::size_t shards = 1;
+    /**
+     * Worker threads (0 = one per hardware thread). With shards > 1
+     * the threads run shards; with shards == 1 they run the k-way
+     * oracle. Either way, results are bit-identical for every value.
+     */
+    std::size_t jobs = 1;
+
+    /**
      * AFL++-style telemetry: when non-empty, each campaign writes
      * `<statsDir>/<target>/fuzzer_stats` and `.../plot_data`
-     * (directories are created as needed).
+     * (directories are created as needed; sharded campaigns write
+     * one `plot_data.shard<N>` series per shard).
      */
     std::string statsDir;
 };

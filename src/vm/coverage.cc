@@ -59,6 +59,16 @@ VirginMap::VirginMap()
     virgin_.fill(0);
 }
 
+void
+VirginMap::merge(const VirginMap &other)
+{
+    edges_ = 0;
+    for (std::size_t i = 0; i < kCoverageMapSize; i++) {
+        virgin_[i] |= other.virgin_[i];
+        edges_ += virgin_[i] != 0;
+    }
+}
+
 bool
 VirginMap::mergeAndCheckNew(const CoverageMap &map)
 {

@@ -73,6 +73,13 @@ class VirginMap
     /** Total number of edges ever seen. */
     std::size_t edgesSeen() const { return edges_; }
 
+    /**
+     * Fold another campaign's accumulated coverage into this map
+     * (sharded campaigns merge per-shard maps at export). Bucket
+     * bits are OR-ed; edgesSeen() is recounted exactly.
+     */
+    void merge(const VirginMap &other);
+
   private:
     std::array<std::uint8_t, kCoverageMapSize> virgin_;
     std::size_t edges_ = 0;

@@ -98,7 +98,7 @@ Vm::Vm(const Module &module, const CompilerConfig &config,
 
 ExecutionResult
 Vm::run(const Bytes &input, CoverageMap *coverage,
-        std::uint64_t nonce, std::vector<TraceEntry> *trace)
+        std::uint64_t nonce, std::vector<TraceEntry> *trace) const
 {
     ExecutionResult res;
 

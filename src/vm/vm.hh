@@ -10,6 +10,15 @@
  * one input and is designed for reuse: the module stays resident
  * while per-run state is rebuilt, which is the same cost profile the
  * paper gets from forkserver instrumentation (Section 3.2).
+ *
+ * Thread safety (audited for the parallel ExecutionService): every
+ * Vm member is written only during construction; run() is const and
+ * keeps all per-run state (address space, heap, frames, evaluation
+ * stack, input cursor) on its own stack. Distinct Vm instances may
+ * therefore run concurrently, and one instance may run concurrent
+ * *reads* — but setMaxInstructions() is an unsynchronized write, so
+ * budget changes require external serialization (the ExecutionService
+ * dedicates each Vm to one in-flight task at a time).
  */
 
 #include <cstdint>
@@ -76,7 +85,7 @@ class Vm
     ExecutionResult run(const support::Bytes &input,
                         CoverageMap *coverage = nullptr,
                         std::uint64_t nonce = 0,
-                        std::vector<TraceEntry> *trace = nullptr);
+                        std::vector<TraceEntry> *trace = nullptr) const;
 
     const compiler::CompilerConfig &config() const { return config_; }
     const VmLimits &limits() const { return limits_; }

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/stats.hh"
@@ -278,6 +282,47 @@ TEST_F(Obs, EnabledGuardRestoresState)
     }
     EXPECT_FALSE(obs::metricsEnabled());
     EXPECT_FALSE(obs::tracingEnabled());
+}
+
+TEST_F(Obs, RegistryIsThreadSafe)
+{
+    // Regression test for the parallel execution layer: handle
+    // registration (map mutation) and bumps (atomic adds) race from
+    // worker threads during a sharded campaign. Hammer both from
+    // several threads; every increment must survive and handles
+    // must stay stable.
+    EnabledGuard on(true);
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kIters; i++) {
+                // Shared name: contended atomic bumps.
+                obs::counter("mt.shared").add();
+                // Rotating names: concurrent registration.
+                obs::counter("mt.worker." +
+                             std::to_string((t + i) % 4))
+                    .add();
+                obs::gauge("mt.gauge").max(
+                    static_cast<std::uint64_t>(i));
+                obs::histogram("mt.hist").observe(
+                    static_cast<std::uint64_t>(i % 100));
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(obs::counter("mt.shared").value(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    std::uint64_t rotated = 0;
+    for (int n = 0; n < 4; n++)
+        rotated +=
+            obs::counter("mt.worker." + std::to_string(n)).value();
+    EXPECT_EQ(rotated, static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(obs::gauge("mt.gauge").value(), kIters - 1u);
+    auto snapshot = Registry::global().snapshot();
+    EXPECT_FALSE(snapshot.toJsonl().empty());
 }
 
 TEST_F(Obs, QuietGuardScopesNoticeSilencing)

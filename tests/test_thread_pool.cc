@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for support::ThreadPool: FIFO dispatch, the runAll batch
+ * primitive (output slots, caller participation, exception
+ * discipline), and graceful drain-on-destruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace
+{
+
+using compdiff::support::ThreadPool;
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    // With exactly one worker the queue is strictly FIFO, so the
+    // execution order must equal the submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::mutex mu;
+    for (int i = 0; i < 64; i++) {
+        pool.submit([&order, &mu, i] {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back(i);
+        });
+    }
+    pool.waitIdle();
+    std::vector<int> expected(64);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, RunAllFillsEverySlot)
+{
+    ThreadPool pool(4);
+    std::vector<int> out(100, -1);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 100; i++)
+        tasks.push_back([&out, i] { out[static_cast<std::size_t>(i)] = i * i; });
+    pool.runAll(std::move(tasks));
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, RunAllEmptyBatchIsANoOp)
+{
+    ThreadPool pool(2);
+    pool.runAll({});
+    EXPECT_EQ(pool.workerCount(), 2u);
+}
+
+TEST(ThreadPool, RunAllRethrowsLowestIndexException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; i++) {
+        tasks.push_back([&completed, i] {
+            if (i == 3 || i == 5)
+                throw std::runtime_error("task " +
+                                         std::to_string(i));
+            completed.fetch_add(1);
+        });
+    }
+    try {
+        pool.runAll(std::move(tasks));
+        FAIL() << "runAll should have rethrown";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "task 3");
+    }
+    // Every non-throwing task still ran (no early abort).
+    EXPECT_EQ(completed.load(), 6);
+    // The pool survives a throwing batch.
+    std::atomic<bool> ran{false};
+    pool.runAll({[&ran] { ran = true; }});
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; i++) {
+            pool.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                done.fetch_add(1);
+            });
+        }
+        // Destructor must finish the queue, not abandon it.
+    }
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueEmpty)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 24; i++) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            done.fetch_add(1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 24);
+    pool.waitIdle(); // idempotent on an idle pool
+    EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+    ThreadPool pool(0); // 0 = hardware default
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+} // namespace
