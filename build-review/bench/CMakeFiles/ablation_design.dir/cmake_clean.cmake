@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design.dir/ablation_design.cc.o"
+  "CMakeFiles/ablation_design.dir/ablation_design.cc.o.d"
+  "ablation_design"
+  "ablation_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

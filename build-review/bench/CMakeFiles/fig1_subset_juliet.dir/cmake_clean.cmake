@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_subset_juliet.dir/fig1_subset_juliet.cc.o"
+  "CMakeFiles/fig1_subset_juliet.dir/fig1_subset_juliet.cc.o.d"
+  "fig1_subset_juliet"
+  "fig1_subset_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_subset_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

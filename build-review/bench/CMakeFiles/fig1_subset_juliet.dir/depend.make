@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_subset_juliet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_subset_realworld.dir/fig2_subset_realworld.cc.o"
+  "CMakeFiles/fig2_subset_realworld.dir/fig2_subset_realworld.cc.o.d"
+  "fig2_subset_realworld"
+  "fig2_subset_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_subset_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

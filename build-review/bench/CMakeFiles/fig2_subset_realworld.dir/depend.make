@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_subset_realworld.
+# This may be replaced when dependencies are built.

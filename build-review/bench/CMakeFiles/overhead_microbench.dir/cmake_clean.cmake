@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_microbench.dir/overhead_microbench.cc.o"
+  "CMakeFiles/overhead_microbench.dir/overhead_microbench.cc.o.d"
+  "overhead_microbench"
+  "overhead_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for overhead_microbench.
+# This may be replaced when dependencies are built.

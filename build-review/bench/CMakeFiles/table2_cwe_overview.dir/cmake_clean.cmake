@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cwe_overview.dir/table2_cwe_overview.cc.o"
+  "CMakeFiles/table2_cwe_overview.dir/table2_cwe_overview.cc.o.d"
+  "table2_cwe_overview"
+  "table2_cwe_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cwe_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

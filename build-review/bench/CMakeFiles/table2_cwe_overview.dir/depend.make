@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_cwe_overview.
+# This may be replaced when dependencies are built.

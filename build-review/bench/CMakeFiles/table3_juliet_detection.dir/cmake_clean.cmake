@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_juliet_detection.dir/table3_juliet_detection.cc.o"
+  "CMakeFiles/table3_juliet_detection.dir/table3_juliet_detection.cc.o.d"
+  "table3_juliet_detection"
+  "table3_juliet_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_juliet_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_targets.dir/table4_targets.cc.o"
+  "CMakeFiles/table4_targets.dir/table4_targets.cc.o.d"
+  "table4_targets"
+  "table4_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fuzz_bugs.dir/table5_fuzz_bugs.cc.o"
+  "CMakeFiles/table5_fuzz_bugs.dir/table5_fuzz_bugs.cc.o.d"
+  "table5_fuzz_bugs"
+  "table5_fuzz_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fuzz_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sanitizer_overlap.dir/table6_sanitizer_overlap.cc.o"
+  "CMakeFiles/table6_sanitizer_overlap.dir/table6_sanitizer_overlap.cc.o.d"
+  "table6_sanitizer_overlap"
+  "table6_sanitizer_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sanitizer_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

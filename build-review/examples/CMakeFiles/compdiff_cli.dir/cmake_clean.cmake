@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_cli.dir/compdiff_cli.cpp.o"
+  "CMakeFiles/compdiff_cli.dir/compdiff_cli.cpp.o.d"
+  "compdiff_cli"
+  "compdiff_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_packetdump.dir/fuzz_packetdump.cpp.o"
+  "CMakeFiles/fuzz_packetdump.dir/fuzz_packetdump.cpp.o.d"
+  "fuzz_packetdump"
+  "fuzz_packetdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_packetdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juliet_triage.dir/juliet_triage.cpp.o"
+  "CMakeFiles/juliet_triage.dir/juliet_triage.cpp.o.d"
+  "juliet_triage"
+  "juliet_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juliet_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for juliet_triage.
+# This may be replaced when dependencies are built.

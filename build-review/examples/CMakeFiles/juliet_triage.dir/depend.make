@@ -1,0 +1,2 @@
+# Empty dependencies file for juliet_triage.
+# This may be replaced when dependencies are built.

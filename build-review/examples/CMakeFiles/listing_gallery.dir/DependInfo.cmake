@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/listing_gallery.cpp" "examples/CMakeFiles/listing_gallery.dir/listing_gallery.cpp.o" "gcc" "examples/CMakeFiles/listing_gallery.dir/listing_gallery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/juliet/CMakeFiles/compdiff_juliet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/targets/CMakeFiles/compdiff_targets.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fuzz/CMakeFiles/compdiff_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compdiff/CMakeFiles/compdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sanitizers/CMakeFiles/compdiff_sanitizers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/compdiff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/compdiff_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing_gallery.dir/listing_gallery.cpp.o"
+  "CMakeFiles/listing_gallery.dir/listing_gallery.cpp.o.d"
+  "listing_gallery"
+  "listing_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

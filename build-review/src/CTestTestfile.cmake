@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("obs")
+subdirs("minic")
+subdirs("bytecode")
+subdirs("compiler")
+subdirs("vm")
+subdirs("sanitizers")
+subdirs("analysis")
+subdirs("compdiff")
+subdirs("fuzz")
+subdirs("juliet")
+subdirs("targets")

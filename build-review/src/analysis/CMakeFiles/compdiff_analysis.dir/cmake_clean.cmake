@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_analysis.dir/engine.cc.o"
+  "CMakeFiles/compdiff_analysis.dir/engine.cc.o.d"
+  "libcompdiff_analysis.a"
+  "libcompdiff_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

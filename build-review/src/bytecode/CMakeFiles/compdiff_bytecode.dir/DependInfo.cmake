@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/insn.cc" "src/bytecode/CMakeFiles/compdiff_bytecode.dir/insn.cc.o" "gcc" "src/bytecode/CMakeFiles/compdiff_bytecode.dir/insn.cc.o.d"
+  "/root/repo/src/bytecode/module.cc" "src/bytecode/CMakeFiles/compdiff_bytecode.dir/module.cc.o" "gcc" "src/bytecode/CMakeFiles/compdiff_bytecode.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

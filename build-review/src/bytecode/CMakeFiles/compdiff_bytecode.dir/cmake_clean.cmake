@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_bytecode.dir/insn.cc.o"
+  "CMakeFiles/compdiff_bytecode.dir/insn.cc.o.d"
+  "CMakeFiles/compdiff_bytecode.dir/module.cc.o"
+  "CMakeFiles/compdiff_bytecode.dir/module.cc.o.d"
+  "libcompdiff_bytecode.a"
+  "libcompdiff_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compdiff/engine.cc" "src/compdiff/CMakeFiles/compdiff_core.dir/engine.cc.o" "gcc" "src/compdiff/CMakeFiles/compdiff_core.dir/engine.cc.o.d"
+  "/root/repo/src/compdiff/exec_service.cc" "src/compdiff/CMakeFiles/compdiff_core.dir/exec_service.cc.o" "gcc" "src/compdiff/CMakeFiles/compdiff_core.dir/exec_service.cc.o.d"
+  "/root/repo/src/compdiff/localize.cc" "src/compdiff/CMakeFiles/compdiff_core.dir/localize.cc.o" "gcc" "src/compdiff/CMakeFiles/compdiff_core.dir/localize.cc.o.d"
+  "/root/repo/src/compdiff/normalizer.cc" "src/compdiff/CMakeFiles/compdiff_core.dir/normalizer.cc.o" "gcc" "src/compdiff/CMakeFiles/compdiff_core.dir/normalizer.cc.o.d"
+  "/root/repo/src/compdiff/subset.cc" "src/compdiff/CMakeFiles/compdiff_core.dir/subset.cc.o" "gcc" "src/compdiff/CMakeFiles/compdiff_core.dir/subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vm/CMakeFiles/compdiff_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_core.dir/engine.cc.o"
+  "CMakeFiles/compdiff_core.dir/engine.cc.o.d"
+  "CMakeFiles/compdiff_core.dir/exec_service.cc.o"
+  "CMakeFiles/compdiff_core.dir/exec_service.cc.o.d"
+  "CMakeFiles/compdiff_core.dir/localize.cc.o"
+  "CMakeFiles/compdiff_core.dir/localize.cc.o.d"
+  "CMakeFiles/compdiff_core.dir/normalizer.cc.o"
+  "CMakeFiles/compdiff_core.dir/normalizer.cc.o.d"
+  "CMakeFiles/compdiff_core.dir/subset.cc.o"
+  "CMakeFiles/compdiff_core.dir/subset.cc.o.d"
+  "libcompdiff_core.a"
+  "libcompdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_compiler.dir/cache.cc.o"
+  "CMakeFiles/compdiff_compiler.dir/cache.cc.o.d"
+  "CMakeFiles/compdiff_compiler.dir/compiler.cc.o"
+  "CMakeFiles/compdiff_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/compdiff_compiler.dir/config.cc.o"
+  "CMakeFiles/compdiff_compiler.dir/config.cc.o.d"
+  "CMakeFiles/compdiff_compiler.dir/lowering.cc.o"
+  "CMakeFiles/compdiff_compiler.dir/lowering.cc.o.d"
+  "CMakeFiles/compdiff_compiler.dir/passes.cc.o"
+  "CMakeFiles/compdiff_compiler.dir/passes.cc.o.d"
+  "libcompdiff_compiler.a"
+  "libcompdiff_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

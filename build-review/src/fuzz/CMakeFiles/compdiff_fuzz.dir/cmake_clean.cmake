@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/compdiff_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/compdiff_fuzz.dir/mutator.cc.o"
+  "CMakeFiles/compdiff_fuzz.dir/mutator.cc.o.d"
+  "CMakeFiles/compdiff_fuzz.dir/sharded.cc.o"
+  "CMakeFiles/compdiff_fuzz.dir/sharded.cc.o.d"
+  "libcompdiff_fuzz.a"
+  "libcompdiff_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_juliet.dir/cases_common.cc.o"
+  "CMakeFiles/compdiff_juliet.dir/cases_common.cc.o.d"
+  "CMakeFiles/compdiff_juliet.dir/cases_memory.cc.o"
+  "CMakeFiles/compdiff_juliet.dir/cases_memory.cc.o.d"
+  "CMakeFiles/compdiff_juliet.dir/cases_other.cc.o"
+  "CMakeFiles/compdiff_juliet.dir/cases_other.cc.o.d"
+  "CMakeFiles/compdiff_juliet.dir/evaluate.cc.o"
+  "CMakeFiles/compdiff_juliet.dir/evaluate.cc.o.d"
+  "CMakeFiles/compdiff_juliet.dir/suite.cc.o"
+  "CMakeFiles/compdiff_juliet.dir/suite.cc.o.d"
+  "libcompdiff_juliet.a"
+  "libcompdiff_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

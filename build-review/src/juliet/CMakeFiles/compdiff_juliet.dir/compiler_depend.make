@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compdiff_juliet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/ast.cc" "src/minic/CMakeFiles/compdiff_minic.dir/ast.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/ast.cc.o.d"
+  "/root/repo/src/minic/lexer.cc" "src/minic/CMakeFiles/compdiff_minic.dir/lexer.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/lexer.cc.o.d"
+  "/root/repo/src/minic/parser.cc" "src/minic/CMakeFiles/compdiff_minic.dir/parser.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/parser.cc.o.d"
+  "/root/repo/src/minic/printer.cc" "src/minic/CMakeFiles/compdiff_minic.dir/printer.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/printer.cc.o.d"
+  "/root/repo/src/minic/sema.cc" "src/minic/CMakeFiles/compdiff_minic.dir/sema.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/sema.cc.o.d"
+  "/root/repo/src/minic/token.cc" "src/minic/CMakeFiles/compdiff_minic.dir/token.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/token.cc.o.d"
+  "/root/repo/src/minic/type.cc" "src/minic/CMakeFiles/compdiff_minic.dir/type.cc.o" "gcc" "src/minic/CMakeFiles/compdiff_minic.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

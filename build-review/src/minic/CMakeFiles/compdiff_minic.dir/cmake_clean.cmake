@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_minic.dir/ast.cc.o"
+  "CMakeFiles/compdiff_minic.dir/ast.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/lexer.cc.o"
+  "CMakeFiles/compdiff_minic.dir/lexer.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/parser.cc.o"
+  "CMakeFiles/compdiff_minic.dir/parser.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/printer.cc.o"
+  "CMakeFiles/compdiff_minic.dir/printer.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/sema.cc.o"
+  "CMakeFiles/compdiff_minic.dir/sema.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/token.cc.o"
+  "CMakeFiles/compdiff_minic.dir/token.cc.o.d"
+  "CMakeFiles/compdiff_minic.dir/type.cc.o"
+  "CMakeFiles/compdiff_minic.dir/type.cc.o.d"
+  "libcompdiff_minic.a"
+  "libcompdiff_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compdiff_minic.
+# This may be replaced when dependencies are built.

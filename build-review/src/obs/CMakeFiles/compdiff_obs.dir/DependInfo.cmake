@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/compdiff_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/compdiff_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/compdiff_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/compdiff_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/stats.cc" "src/obs/CMakeFiles/compdiff_obs.dir/stats.cc.o" "gcc" "src/obs/CMakeFiles/compdiff_obs.dir/stats.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/obs/CMakeFiles/compdiff_obs.dir/trace.cc.o" "gcc" "src/obs/CMakeFiles/compdiff_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_obs.dir/json.cc.o"
+  "CMakeFiles/compdiff_obs.dir/json.cc.o.d"
+  "CMakeFiles/compdiff_obs.dir/metrics.cc.o"
+  "CMakeFiles/compdiff_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/compdiff_obs.dir/stats.cc.o"
+  "CMakeFiles/compdiff_obs.dir/stats.cc.o.d"
+  "CMakeFiles/compdiff_obs.dir/trace.cc.o"
+  "CMakeFiles/compdiff_obs.dir/trace.cc.o.d"
+  "libcompdiff_obs.a"
+  "libcompdiff_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitizers/sanitizers.cc" "src/sanitizers/CMakeFiles/compdiff_sanitizers.dir/sanitizers.cc.o" "gcc" "src/sanitizers/CMakeFiles/compdiff_sanitizers.dir/sanitizers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vm/CMakeFiles/compdiff_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

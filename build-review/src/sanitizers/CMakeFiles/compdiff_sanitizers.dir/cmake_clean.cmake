@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_sanitizers.dir/sanitizers.cc.o"
+  "CMakeFiles/compdiff_sanitizers.dir/sanitizers.cc.o.d"
+  "libcompdiff_sanitizers.a"
+  "libcompdiff_sanitizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_sanitizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

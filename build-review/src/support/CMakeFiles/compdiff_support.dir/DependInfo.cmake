@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bytes.cc" "src/support/CMakeFiles/compdiff_support.dir/bytes.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/bytes.cc.o.d"
+  "/root/repo/src/support/diagnostics.cc" "src/support/CMakeFiles/compdiff_support.dir/diagnostics.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/diagnostics.cc.o.d"
+  "/root/repo/src/support/hash.cc" "src/support/CMakeFiles/compdiff_support.dir/hash.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/hash.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/compdiff_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/compdiff_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/rng.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/compdiff_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/strings.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/compdiff_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/table.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/compdiff_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/compdiff_support.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

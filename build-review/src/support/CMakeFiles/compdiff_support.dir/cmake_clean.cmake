@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_support.dir/bytes.cc.o"
+  "CMakeFiles/compdiff_support.dir/bytes.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/diagnostics.cc.o"
+  "CMakeFiles/compdiff_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/hash.cc.o"
+  "CMakeFiles/compdiff_support.dir/hash.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/logging.cc.o"
+  "CMakeFiles/compdiff_support.dir/logging.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/rng.cc.o"
+  "CMakeFiles/compdiff_support.dir/rng.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/strings.cc.o"
+  "CMakeFiles/compdiff_support.dir/strings.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/table.cc.o"
+  "CMakeFiles/compdiff_support.dir/table.cc.o.d"
+  "CMakeFiles/compdiff_support.dir/thread_pool.cc.o"
+  "CMakeFiles/compdiff_support.dir/thread_pool.cc.o.d"
+  "libcompdiff_support.a"
+  "libcompdiff_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/campaign.cc" "src/targets/CMakeFiles/compdiff_targets.dir/campaign.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/campaign.cc.o.d"
+  "/root/repo/src/targets/registry.cc" "src/targets/CMakeFiles/compdiff_targets.dir/registry.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/registry.cc.o.d"
+  "/root/repo/src/targets/t_binary.cc" "src/targets/CMakeFiles/compdiff_targets.dir/t_binary.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/t_binary.cc.o.d"
+  "/root/repo/src/targets/t_lang.cc" "src/targets/CMakeFiles/compdiff_targets.dir/t_lang.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/t_lang.cc.o.d"
+  "/root/repo/src/targets/t_media.cc" "src/targets/CMakeFiles/compdiff_targets.dir/t_media.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/t_media.cc.o.d"
+  "/root/repo/src/targets/t_network.cc" "src/targets/CMakeFiles/compdiff_targets.dir/t_network.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/t_network.cc.o.d"
+  "/root/repo/src/targets/t_tools.cc" "src/targets/CMakeFiles/compdiff_targets.dir/t_tools.cc.o" "gcc" "src/targets/CMakeFiles/compdiff_targets.dir/t_tools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/compdiff/CMakeFiles/compdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fuzz/CMakeFiles/compdiff_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sanitizers/CMakeFiles/compdiff_sanitizers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/compdiff_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_targets.dir/campaign.cc.o"
+  "CMakeFiles/compdiff_targets.dir/campaign.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/registry.cc.o"
+  "CMakeFiles/compdiff_targets.dir/registry.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/t_binary.cc.o"
+  "CMakeFiles/compdiff_targets.dir/t_binary.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/t_lang.cc.o"
+  "CMakeFiles/compdiff_targets.dir/t_lang.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/t_media.cc.o"
+  "CMakeFiles/compdiff_targets.dir/t_media.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/t_network.cc.o"
+  "CMakeFiles/compdiff_targets.dir/t_network.cc.o.d"
+  "CMakeFiles/compdiff_targets.dir/t_tools.cc.o"
+  "CMakeFiles/compdiff_targets.dir/t_tools.cc.o.d"
+  "libcompdiff_targets.a"
+  "libcompdiff_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/coverage.cc" "src/vm/CMakeFiles/compdiff_vm.dir/coverage.cc.o" "gcc" "src/vm/CMakeFiles/compdiff_vm.dir/coverage.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/vm/CMakeFiles/compdiff_vm.dir/memory.cc.o" "gcc" "src/vm/CMakeFiles/compdiff_vm.dir/memory.cc.o.d"
+  "/root/repo/src/vm/result.cc" "src/vm/CMakeFiles/compdiff_vm.dir/result.cc.o" "gcc" "src/vm/CMakeFiles/compdiff_vm.dir/result.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/compdiff_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/compdiff_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compdiff_vm.dir/coverage.cc.o"
+  "CMakeFiles/compdiff_vm.dir/coverage.cc.o.d"
+  "CMakeFiles/compdiff_vm.dir/memory.cc.o"
+  "CMakeFiles/compdiff_vm.dir/memory.cc.o.d"
+  "CMakeFiles/compdiff_vm.dir/result.cc.o"
+  "CMakeFiles/compdiff_vm.dir/result.cc.o.d"
+  "CMakeFiles/compdiff_vm.dir/vm.cc.o"
+  "CMakeFiles/compdiff_vm.dir/vm.cc.o.d"
+  "libcompdiff_vm.a"
+  "libcompdiff_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compdiff_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

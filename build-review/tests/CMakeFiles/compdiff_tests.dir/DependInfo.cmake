@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/compdiff_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_compdiff_core.cc" "tests/CMakeFiles/compdiff_tests.dir/test_compdiff_core.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_compdiff_core.cc.o.d"
+  "/root/repo/tests/test_compiler_units.cc" "tests/CMakeFiles/compdiff_tests.dir/test_compiler_units.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_compiler_units.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/compdiff_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_juliet.cc" "tests/CMakeFiles/compdiff_tests.dir/test_juliet.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_juliet.cc.o.d"
+  "/root/repo/tests/test_localize.cc" "tests/CMakeFiles/compdiff_tests.dir/test_localize.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_localize.cc.o.d"
+  "/root/repo/tests/test_minic.cc" "tests/CMakeFiles/compdiff_tests.dir/test_minic.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_minic.cc.o.d"
+  "/root/repo/tests/test_obs.cc" "tests/CMakeFiles/compdiff_tests.dir/test_obs.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_obs.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/compdiff_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_printer.cc" "tests/CMakeFiles/compdiff_tests.dir/test_printer.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_printer.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/compdiff_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_sanitizers.cc" "tests/CMakeFiles/compdiff_tests.dir/test_sanitizers.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_sanitizers.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/compdiff_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_targets.cc" "tests/CMakeFiles/compdiff_tests.dir/test_targets.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_targets.cc.o.d"
+  "/root/repo/tests/test_thread_pool.cc" "tests/CMakeFiles/compdiff_tests.dir/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_thread_pool.cc.o.d"
+  "/root/repo/tests/test_unstable.cc" "tests/CMakeFiles/compdiff_tests.dir/test_unstable.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_unstable.cc.o.d"
+  "/root/repo/tests/test_vm_basic.cc" "tests/CMakeFiles/compdiff_tests.dir/test_vm_basic.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_vm_basic.cc.o.d"
+  "/root/repo/tests/test_vm_memory.cc" "tests/CMakeFiles/compdiff_tests.dir/test_vm_memory.cc.o" "gcc" "tests/CMakeFiles/compdiff_tests.dir/test_vm_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/analysis/CMakeFiles/compdiff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/juliet/CMakeFiles/compdiff_juliet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/targets/CMakeFiles/compdiff_targets.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fuzz/CMakeFiles/compdiff_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compdiff/CMakeFiles/compdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sanitizers/CMakeFiles/compdiff_sanitizers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vm/CMakeFiles/compdiff_vm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compiler/CMakeFiles/compdiff_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/compdiff_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/compdiff_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/compdiff_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bytecode/CMakeFiles/compdiff_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
