@@ -42,8 +42,7 @@ detectedOnSuite(const std::vector<juliet::JulietCase> &cases,
         auto program = minic::parseAndCheck(test.badSource);
         core::DiffOptions options;
         options.traitsTweak = tweak;
-        core::DiffEngine engine(
-            *program, compiler::standardImplementations(), options);
+        core::DiffEngine engine(*program, options);
         detected += engine.runInput(test.input).divergent;
     }
     return detected;
@@ -125,10 +124,8 @@ main(int argc, char **argv)
         core::DiffOptions with;
         core::DiffOptions without;
         without.normalizer = core::OutputNormalizer();
-        core::DiffEngine normalized(
-            *program, compiler::standardImplementations(), with);
-        core::DiffEngine raw(
-            *program, compiler::standardImplementations(), without);
+        core::DiffEngine normalized(*program, with);
+        core::DiffEngine raw(*program, without);
 
         // Timestamp-only frames: benign inputs.
         std::size_t false_raw = 0;
@@ -166,10 +163,8 @@ main(int argc, char **argv)
         core::DiffOptions without = with;
         without.retryTimeouts = false;
 
-        core::DiffEngine retrying(
-            *program, compiler::standardImplementations(), with);
-        core::DiffEngine strict(
-            *program, compiler::standardImplementations(), without);
+        core::DiffEngine retrying(*program, with);
+        core::DiffEngine strict(*program, without);
         auto resolved = retrying.runInput({});
         auto unresolved = strict.runInput({});
         std::printf(

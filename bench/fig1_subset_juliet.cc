@@ -37,8 +37,8 @@ main(int argc, char **argv)
     options.runSanitizers = false;
     const auto result = juliet::evaluateSuite(cases, options);
 
-    const auto configs = compiler::standardImplementations();
-    core::SubsetAnalysis analysis(configs.size());
+    const auto impls = core::paper10Implementations();
+    core::SubsetAnalysis analysis(impls.size());
     for (const auto &hashes : result.badHashVectors)
         analysis.addCase(hashes);
 
@@ -82,9 +82,9 @@ main(int argc, char **argv)
     const auto &best = core::SubsetAnalysis::best(pairs);
     const auto &worst = core::SubsetAnalysis::worst(pairs);
     std::printf("best  size-2 subset: %s detects %zu\n",
-                best.name(configs).c_str(), best.detected);
+                best.name(impls).c_str(), best.detected);
     std::printf("worst size-2 subset: %s detects %zu\n",
-                worst.name(configs).c_str(), worst.detected);
+                worst.name(impls).c_str(), worst.detected);
 
     const auto &full = all.back()[0];
     std::printf("full set (10 implementations) detects %zu of %zu\n",

@@ -31,9 +31,9 @@ main(int argc, char **argv)
             static_cast<std::uint64_t>(std::atoll(argv[1]));
 
     const auto results = targets::runAllCampaigns(options);
-    const auto configs = compiler::standardImplementations();
+    const auto impls = core::paper10Implementations();
 
-    core::SubsetAnalysis analysis(configs.size());
+    core::SubsetAnalysis analysis(impls.size());
     for (const auto &result : results)
         for (const auto &finding : result.found)
             analysis.addCase(finding.hashVector);
@@ -77,9 +77,9 @@ main(int argc, char **argv)
     const auto &best = core::SubsetAnalysis::best(pairs);
     const auto &worst = core::SubsetAnalysis::worst(pairs);
     std::printf("best  size-2 subset: %s detects %zu\n",
-                best.name(configs).c_str(), best.detected);
+                best.name(impls).c_str(), best.detected);
     std::printf("worst size-2 subset: %s detects %zu\n",
-                worst.name(configs).c_str(), worst.detected);
+                worst.name(impls).c_str(), worst.detected);
     std::printf("paper: best pairs {gcc-O0, clang-Os} / "
                 "{gcc-Os, clang-O0}; worst {clang-O0, clang-O1}.\n");
     return 0;

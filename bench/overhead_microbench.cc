@@ -17,7 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include "compdiff/engine.hh"
-#include "compiler/compiler.hh"
+#include "compdiff/implementation.hh"
 #include "minic/parser.hh"
 #include "targets/targets.hh"
 #include "vm/vm.hh"
@@ -58,15 +58,15 @@ benchLimits()
 void
 BM_PlainExecution(benchmark::State &state)
 {
-    compiler::Compiler comp(targetProgram());
-    const compiler::CompilerConfig config{compiler::Vendor::Clang,
-                                          compiler::OptLevel::O2,
-                                          compiler::Sanitizer::None};
-    auto module = comp.compile(config);
-    vm::Vm machine(module, config, benchLimits());
+    const auto impl =
+        core::ImplementationRegistry::global().make("clang:-O2");
+    const auto limits = benchLimits();
+    auto artifact = impl->compile(targetProgram());
+    auto executor = impl->makeExecutor(artifact, limits);
     for (auto _ : state) {
-        auto result = machine.run(workloadInput());
-        benchmark::DoNotOptimize(result.output.size());
+        auto raw = executor->execute(workloadInput(), 0,
+                                     limits.maxInstructions);
+        benchmark::DoNotOptimize(raw.output.size());
     }
 }
 BENCHMARK(BM_PlainExecution);
@@ -77,15 +77,16 @@ BM_CompDiff(benchmark::State &state)
 {
     const auto k = static_cast<std::size_t>(state.range(0));
     const auto jobs = static_cast<std::size_t>(state.range(1));
-    auto configs = compiler::standardImplementations();
-    std::vector<compiler::CompilerConfig> subset;
+    core::ImplementationSet subset;
     if (k == 2) {
         // The paper's budget recommendation: different vendors with
         // unoptimizing / aggressively optimizing levels.
-        subset = {configs[0], configs[8]}; // gcc-O0, clang-O3
+        subset = core::ImplementationRegistry::global().parse(
+            "gcc:-O0,clang:-O3");
     } else {
-        subset.assign(configs.begin(),
-                      configs.begin() + static_cast<long>(k));
+        const auto impls = core::paper10Implementations();
+        subset.assign(impls.begin(),
+                      impls.begin() + static_cast<long>(k));
     }
     core::DiffOptions options;
     options.limits = benchLimits();
@@ -111,13 +112,13 @@ BENCHMARK(BM_CompDiff)
 void
 BM_CompileOneConfig(benchmark::State &state)
 {
-    compiler::Compiler comp(targetProgram());
-    const compiler::CompilerConfig config{compiler::Vendor::Gcc,
-                                          compiler::OptLevel::O2,
-                                          compiler::Sanitizer::None};
+    const auto impl =
+        core::ImplementationRegistry::global().make("gcc:-O2");
+    core::CompileContext ctx;
+    ctx.useCache = false; // measure the compile, not the cache hit
     for (auto _ : state) {
-        auto module = comp.compile(config);
-        benchmark::DoNotOptimize(module.codeSize());
+        auto artifact = impl->compile(targetProgram(), ctx);
+        benchmark::DoNotOptimize(artifact.get());
     }
 }
 BENCHMARK(BM_CompileOneConfig);

@@ -6,6 +6,11 @@
  *   ./build/examples/compdiff_cli [options] [prog.mc [input-file]]
  *
  * Options (observability, see DESIGN.md "Observability"):
+ *   --impls=SPECS       the oracle: comma-separated implementation
+ *                       specs ("gcc:-O2", "clang:-Os:ubsan", "ref")
+ *                       or the aliases "paper10" (default — the
+ *                       paper's ten) and "all" (paper10 + the
+ *                       reference interpreter); see DESIGN.md §7
  *   --fuzz[=N]          run a CompDiff-AFL++ campaign (default
  *                       20000 execs) instead of a single input
  *   --jobs=N            worker threads (0 = hardware); results are
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
 #include "compdiff/localize.hh"
 #include "compiler/config.hh"
 #include "fuzz/sharded.hh"
@@ -82,6 +88,7 @@ int main() {
 /** Parsed command line. */
 struct CliOptions
 {
+    std::string impls = "paper10";
     bool fuzz = false;
     std::uint64_t fuzzExecs = 20'000;
     std::size_t jobs = 1;
@@ -123,6 +130,8 @@ parseArgs(int argc, char **argv)
         std::string value;
         if (arg == "--fuzz") {
             options.fuzz = true;
+        } else if (matchFlag(arg, "--impls", &value)) {
+            options.impls = value;
         } else if (matchFlag(arg, "--fuzz", &value)) {
             options.fuzz = true;
             options.fuzzExecs = static_cast<std::uint64_t>(
@@ -188,6 +197,8 @@ runFuzzMode(const compdiff::minic::Program &program,
     using namespace compdiff;
 
     fuzz::FuzzOptions fuzz_options;
+    fuzz_options.diffImpls =
+        core::ImplementationRegistry::global().parse(options.impls);
     fuzz_options.maxExecs = options.fuzzExecs;
     fuzz_options.statsOutPath = options.statsOut;
     fuzz_options.plotOutPath = options.plotOut;
@@ -280,7 +291,8 @@ main(int argc, char **argv)
     core::DiffOptions diff_options;
     diff_options.jobs = options.jobs;
     core::DiffEngine engine(
-        *program, compiler::standardImplementations(),
+        *program,
+        core::ImplementationRegistry::global().parse(options.impls),
         diff_options);
     auto diff = engine.runInput(input);
     std::printf("%s", diff.summary().c_str());
@@ -302,13 +314,29 @@ main(int argc, char **argv)
             break;
         }
     }
-    auto loc = core::localizeDivergence(
-        *program, diff.observations[a].config,
-        diff.observations[b].config, input);
-    std::printf("\nroot-cause candidate (%s vs %s):\n  %s\n",
-                diff.observations[a].config.name().c_str(),
-                diff.observations[b].config.name().c_str(),
-                loc.str().c_str());
+    // Trace-alignment localization replays the traits-specific
+    // simulated pipelines, so it needs a CompilerConfig on both
+    // sides; cross-backend pairs (e.g. against "ref") report the
+    // divergence without a root-cause candidate.
+    const auto &impls = engine.implementations();
+    const compiler::CompilerConfig *config_a =
+        impls[a]->simulatedConfig();
+    const compiler::CompilerConfig *config_b =
+        impls[b]->simulatedConfig();
+    if (config_a && config_b) {
+        auto loc = core::localizeDivergence(*program, *config_a,
+                                            *config_b, input);
+        std::printf("\nroot-cause candidate (%s vs %s):\n  %s\n",
+                    diff.observations[a].impl.c_str(),
+                    diff.observations[b].impl.c_str(),
+                    loc.str().c_str());
+    } else {
+        std::printf("\n(no root-cause candidate: trace-alignment "
+                    "localization needs two simulated compiler "
+                    "implementations; %s vs %s crosses backends)\n",
+                    diff.observations[a].impl.c_str(),
+                    diff.observations[b].impl.c_str());
+    }
     exportTelemetry(options);
     return 1;
 }

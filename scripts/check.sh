@@ -43,6 +43,19 @@ smoke() {
         "$cli" --validate-json="$tmp/line.json" > /dev/null
     done < "$tmp/metrics.jsonl"
 
+    echo "== impls smoke: --impls=paper10 reproduces the default oracle"
+    # Explicitly spelling the alias must behave exactly like the
+    # default: the demo diverges (exit 1).
+    "$cli" --quiet --impls=paper10 > "$tmp/paper10.out" && rc=0 || rc=$?
+    test "$rc" -eq 1
+    grep -q 'DIVERGENT across 10 implementations' "$tmp/paper10.out"
+
+    echo "== impls smoke: --impls=gcc:-O0,ref cross-backend pair"
+    # The demo's unstable guard needs an optimizing configuration to
+    # misbehave; gcc-O0 and the reference interpreter agree (exit 0).
+    "$cli" --quiet --impls=gcc:-O0,ref > "$tmp/ref.out"
+    grep -q 'consistent across 2 implementations' "$tmp/ref.out"
+
     echo "== obs smoke: fuzz campaign with fuzzer_stats + plot_data"
     "$cli" --quiet --fuzz=400 \
         --stats-out="$tmp/fuzzer_stats" \

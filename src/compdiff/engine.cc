@@ -47,7 +47,7 @@ DiffResult::summary(std::size_t max_output_bytes) const
         const Observation *sample = nullptr;
         for (std::size_t i = 0; i < observations.size(); i++) {
             if (classOf[i] == cls) {
-                os << " " << observations[i].config.name();
+                os << " " << observations[i].impl;
                 sample = &observations[i];
             }
         }
@@ -69,7 +69,7 @@ DiffResult::summary(std::size_t max_output_bytes) const
         // deterministic stand-in for per-binary timing.
         os << "  telemetry (instructions per implementation):\n";
         for (const auto &obs_entry : observations) {
-            os << "    " << obs_entry.config.name() << ": "
+            os << "    " << obs_entry.impl << ": "
                << obs_entry.instructions
                << (obs_entry.timedOut ? " (timed out)" : "") << "\n";
         }
@@ -81,25 +81,36 @@ DiffResult::summary(std::size_t max_output_bytes) const
 }
 
 DiffEngine::DiffEngine(const minic::Program &program,
+                       DiffOptions options)
+    : DiffEngine(program, paper10Implementations(),
+                 std::move(options))
+{
+}
+
+DiffEngine::DiffEngine(const minic::Program &program,
                        std::vector<compiler::CompilerConfig> configs,
                        DiffOptions options)
-    : configs_(std::move(configs)), options_(std::move(options))
+    : DiffEngine(program, implementationsFor(configs),
+                 std::move(options))
+{
+}
+
+DiffEngine::DiffEngine(const minic::Program &program,
+                       ImplementationSet impls, DiffOptions options)
+    : impls_(std::move(impls)), options_(std::move(options))
 {
     obs::Span span("compdiff.compileAll");
     // One pretty-print fingerprints the program for the whole
-    // k-implementation batch; each compile is then a cache lookup.
-    const std::uint64_t program_hash =
-        compiler::programFingerprint(program);
-    modules_.reserve(configs_.size());
-    for (const auto &config : configs_) {
-        compiler::Traits traits = compiler::traitsFor(config);
-        if (options_.traitsTweak)
-            options_.traitsTweak(traits);
-        modules_.push_back(compiler::CompileCache::global().compile(
-            program, program_hash, config, traits));
-    }
+    // k-implementation batch; each simulated compile is then a
+    // cache lookup.
+    CompileContext ctx;
+    ctx.programHash = compiler::programFingerprint(program);
+    ctx.traitsTweak = options_.traitsTweak;
+    artifacts_.reserve(impls_.size());
+    for (const auto &impl : impls_)
+        artifacts_.push_back(impl->compile(program, ctx));
     service_ = std::make_unique<ExecutionService>(
-        modules_, configs_, options_.limits, options_.jobs);
+        impls_, artifacts_, options_.limits, options_.jobs);
 }
 
 DiffEngine::~DiffEngine() = default;
@@ -109,7 +120,7 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
 {
     obs::Span run_span("compdiff.runInput");
     DiffResult result;
-    result.observations.resize(configs_.size());
+    result.observations.resize(impls_.size());
 
     std::uint64_t budget = options_.limits.maxInstructions;
     int attempts_left = options_.retryTimeouts
@@ -144,7 +155,7 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
 
     // Assign behavior classes.
     obs::Span compare_span("compdiff.compare");
-    result.classOf.assign(configs_.size(), 0);
+    result.classOf.assign(impls_.size(), 0);
     std::vector<std::uint64_t> class_hash;
     for (std::size_t i = 0; i < result.observations.size(); i++) {
         const std::uint64_t h = result.observations[i].hash;
@@ -167,7 +178,7 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
         obs::counter("compdiff.runs").add();
         obs::counter("compdiff.impl_execs")
             .add(static_cast<std::uint64_t>(result.attempts) *
-                 configs_.size());
+                 impls_.size());
         if (result.divergent)
             obs::counter("compdiff.divergent").add();
         if (result.unresolvedTimeout)

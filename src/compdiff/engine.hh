@@ -24,9 +24,8 @@
 #include <string>
 #include <vector>
 
-#include "bytecode/module.hh"
+#include "compdiff/implementation.hh"
 #include "compdiff/normalizer.hh"
-#include "compiler/compiler.hh"
 #include "compiler/config.hh"
 #include "support/bytes.hh"
 #include "vm/vm.hh"
@@ -54,10 +53,10 @@ struct DiffOptions
      */
     std::size_t jobs = 1;
     /**
-     * Ablation hook: mutate each configuration's derived traits
-     * before compilation (e.g. disable one UB-exploiting pass across
-     * the whole implementation set). Compile-time knobs only; the VM
-     * derives runtime traits from the configuration itself.
+     * Ablation hook: mutate each simulated configuration's derived
+     * traits before compilation (e.g. disable one UB-exploiting pass
+     * across the whole implementation set). Compile-time knobs only;
+     * backends without Traits (the reference interpreter) ignore it.
      */
     std::function<void(compiler::Traits &)> traitsTweak;
 };
@@ -65,7 +64,8 @@ struct DiffOptions
 /** One implementation's observation for an input. */
 struct Observation
 {
-    compiler::CompilerConfig config;
+    /** Implementation::id() of the implementation that ran. */
+    std::string impl;
     std::string normalizedOutput;
     std::string exitClass;
     std::uint64_t hash = 0;
@@ -93,7 +93,7 @@ struct DiffResult
     std::vector<std::size_t> classOf;
     std::size_t classCount = 0;
 
-    /** Per-implementation output hashes, in configuration order. */
+    /** Per-implementation output hashes, in implementation order. */
     std::vector<std::uint64_t> hashVector() const;
 
     /** Would the subset (indices into observations) still diverge? */
@@ -112,32 +112,45 @@ struct DiffResult
  * Compiles a program under a set of implementations and runs the
  * output-comparison oracle on inputs.
  *
- * Compilation happens once, in the constructor — and is memoized in
- * the process-wide compiler::CompileCache, so rebuilding an engine
- * for the same (program, config, traits) skips recompilation
- * entirely; runInput() then only executes (the forkserver-style
- * reuse from Section 3.2), dispatching the k executions over the
- * engine's ExecutionService (serially when options.jobs == 1).
+ * Compilation happens once, in the constructor, into one Artifact
+ * per implementation (the simulated family memoizes modules in the
+ * process-wide compiler::CompileCache, so rebuilding an engine for
+ * the same (program, impl, traits) skips recompilation entirely);
+ * runInput() then only executes (the forkserver-style reuse from
+ * Section 3.2), dispatching the k executions over the engine's
+ * ExecutionService (serially when options.jobs == 1).
  *
  * Concurrency: a DiffEngine may be driven by one thread at a time
- * (its ExecutionService reuses per-implementation Vm state between
- * rounds). Sharded campaigns construct one engine per shard; the
- * compile cache makes those k-way compilations nearly free.
+ * (its ExecutionService reuses per-implementation Executor state
+ * between rounds). Sharded campaigns construct one engine per shard;
+ * the compile cache makes those k-way compilations nearly free.
  */
 class DiffEngine
 {
   public:
     /**
+     * Diff against the paper's ten-implementation oracle.
+     *
      * @param program  Analyzed program (must outlive the engine).
-     * @param configs  Implementations to enumerate; defaults to the
-     *                 paper's ten.
      * @param options  Engine knobs.
      */
-    explicit DiffEngine(
-        const minic::Program &program,
-        std::vector<compiler::CompilerConfig> configs =
-            compiler::standardImplementations(),
-        DiffOptions options = {});
+    explicit DiffEngine(const minic::Program &program,
+                        DiffOptions options = {});
+
+    /**
+     * Diff against an explicit implementation set (e.g. from
+     * ImplementationRegistry::parse).
+     */
+    DiffEngine(const minic::Program &program, ImplementationSet impls,
+               DiffOptions options = {});
+
+    /**
+     * Convenience: an all-simulated oracle from a config list
+     * (wraps each CompilerConfig in its simulated implementation).
+     */
+    DiffEngine(const minic::Program &program,
+               std::vector<compiler::CompilerConfig> configs,
+               DiffOptions options = {});
 
     ~DiffEngine();
 
@@ -156,20 +169,21 @@ class DiffEngine
     std::optional<DiffResult>
     findDivergence(const std::vector<support::Bytes> &inputs) const;
 
-    const std::vector<compiler::CompilerConfig> &configs() const
+    /** The oracle members, in observation order. */
+    const ImplementationSet &implementations() const
     {
-        return configs_;
+        return impls_;
     }
 
     /** Number of implementations (k in the paper). */
-    std::size_t size() const { return configs_.size(); }
+    std::size_t size() const { return impls_.size(); }
 
     const DiffOptions &options() const { return options_; }
 
   private:
-    std::vector<compiler::CompilerConfig> configs_;
+    ImplementationSet impls_;
     DiffOptions options_;
-    std::vector<std::shared_ptr<const bytecode::Module>> modules_;
+    std::vector<std::shared_ptr<const Artifact>> artifacts_;
     std::unique_ptr<ExecutionService> service_;
 };
 

@@ -9,16 +9,19 @@ namespace compdiff::core
 using support::Bytes;
 
 ExecutionService::ExecutionService(
-    std::vector<std::shared_ptr<const bytecode::Module>> modules,
-    std::vector<compiler::CompilerConfig> configs,
+    ImplementationSet impls,
+    std::vector<std::shared_ptr<const Artifact>> artifacts,
     vm::VmLimits limits, std::size_t jobs)
-    : modules_(std::move(modules)), configs_(std::move(configs)),
-      jobs_(jobs == 0 ? support::ThreadPool::hardwareWorkers()
+    : jobs_(jobs == 0 ? support::ThreadPool::hardwareWorkers()
                       : jobs)
 {
-    vms_.reserve(configs_.size());
-    for (std::size_t i = 0; i < configs_.size(); i++)
-        vms_.emplace_back(*modules_[i], configs_[i], limits);
+    ids_.reserve(impls.size());
+    executors_.reserve(impls.size());
+    for (std::size_t i = 0; i < impls.size(); i++) {
+        ids_.push_back(impls[i]->id());
+        executors_.push_back(
+            impls[i]->makeExecutor(artifacts[i], limits));
+    }
     if (jobs_ > 1)
         pool_ = std::make_unique<support::ThreadPool>(jobs_);
 }
@@ -31,17 +34,16 @@ ExecutionService::executeOne(std::size_t index, const Bytes &input,
                              Observation &out)
 {
     obs::Span exec_span(obs::tracingEnabled()
-                            ? "exec." + configs_[index].name()
+                            ? "exec." + ids_[index]
                             : std::string());
-    vms_[index].setMaxInstructions(budget);
-    auto run = vms_[index].run(
-        input, nullptr, nonce_base * configs_.size() + index + 1);
+    const RawObservation raw = executors_[index]->execute(
+        input, nonce_base * executors_.size() + index + 1, budget);
 
-    out.config = configs_[index];
-    out.timedOut = run.timedOut();
-    out.instructions = run.instructions;
-    out.normalizedOutput = normalizer.normalize(run.output);
-    out.exitClass = run.exitClass();
+    out.impl = ids_[index];
+    out.timedOut = raw.timedOut;
+    out.instructions = raw.instructions;
+    out.normalizedOutput = normalizer.normalize(raw.output);
+    out.exitClass = raw.exitClass;
     support::HashCombiner combiner;
     combiner.addString(out.normalizedOutput);
     combiner.addString(out.exitClass);
@@ -55,16 +57,16 @@ ExecutionService::runRound(const Bytes &input,
                            const OutputNormalizer &normalizer,
                            std::vector<Observation> &out)
 {
-    out.resize(configs_.size());
+    out.resize(executors_.size());
     if (!pool_) {
-        for (std::size_t i = 0; i < configs_.size(); i++)
+        for (std::size_t i = 0; i < executors_.size(); i++)
             executeOne(i, input, nonce_base, budget, normalizer,
                        out[i]);
         return;
     }
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(configs_.size());
-    for (std::size_t i = 0; i < configs_.size(); i++) {
+    tasks.reserve(executors_.size());
+    for (std::size_t i = 0; i < executors_.size(); i++) {
         tasks.push_back([this, i, &input, nonce_base, budget,
                          &normalizer, &out] {
             executeOne(i, input, nonce_base, budget, normalizer,

@@ -7,14 +7,16 @@
  * The paper's Section 5 overhead discussion reports ~10x run-time
  * cost for the full ten-implementation set because every input is
  * executed k times *serially*. Those k executions are independent by
- * construction (each binary has its own address space and the oracle
- * only compares their finished observations), so the fan-out is
- * embarrassingly parallel.
+ * construction (each implementation has its own address space and
+ * the oracle only compares their finished observations), so the
+ * fan-out is embarrassingly parallel.
  *
  * ExecutionService is the forkserver analog one level up: it keeps
- * one resident Vm per implementation (module + runtime traits stay
- * warm across inputs) and dispatches each round of k executions over
- * a support::ThreadPool. Determinism is preserved structurally:
+ * one resident Executor per implementation (a warm Vm for the
+ * simulated family, a warm tree-walker for the reference
+ * interpreter — whatever the backend builds) and dispatches each
+ * round of k executions over a support::ThreadPool. Determinism is
+ * preserved structurally:
  *   - observation i is written to slot i of the output vector, so
  *     completion order is invisible;
  *   - per-execution nonces are computed from (nonce_base, i), not
@@ -28,16 +30,18 @@
  *
  * Concurrency contract: one ExecutionService belongs to one
  * DiffEngine, and runRound() may be called by one thread at a time
- * (the per-implementation Vms are reused across rounds). Sharded
- * campaigns get one engine (and service) per shard.
+ * (the per-implementation Executors are reused across rounds).
+ * Sharded campaigns get one engine (and service) per shard.
  */
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
 #include "support/thread_pool.hh"
 
 namespace compdiff::core
@@ -47,22 +51,23 @@ class ExecutionService
 {
   public:
     /**
-     * @param modules  One compiled module per implementation.
-     * @param configs  Matching configurations (same order).
-     * @param limits   Per-execution limits; the instruction budget
-     *                 is overridden per round (RQ6 retries).
-     * @param jobs     Worker threads; 1 = inline serial execution,
-     *                 0 = ThreadPool::hardwareWorkers().
+     * @param impls     The oracle members, in observation order.
+     * @param artifacts One compiled artifact per implementation
+     *                  (same order).
+     * @param limits    Per-execution limits; the instruction budget
+     *                  is overridden per round (RQ6 retries).
+     * @param jobs      Worker threads; 1 = inline serial execution,
+     *                  0 = ThreadPool::hardwareWorkers().
      */
     ExecutionService(
-        std::vector<std::shared_ptr<const bytecode::Module>> modules,
-        std::vector<compiler::CompilerConfig> configs,
+        ImplementationSet impls,
+        std::vector<std::shared_ptr<const Artifact>> artifacts,
         vm::VmLimits limits, std::size_t jobs);
 
     /**
      * Execute every implementation on `input` with the given
      * instruction budget and fill `out` (resized to size()) in
-     * configuration order.
+     * implementation order.
      */
     void runRound(const support::Bytes &input,
                   std::uint64_t nonce_base, std::uint64_t budget,
@@ -70,7 +75,7 @@ class ExecutionService
                   std::vector<Observation> &out);
 
     /** Number of implementations (k). */
-    std::size_t size() const { return configs_.size(); }
+    std::size_t size() const { return executors_.size(); }
 
     /** Resolved worker count (>= 1). */
     std::size_t jobs() const { return jobs_; }
@@ -81,10 +86,10 @@ class ExecutionService
                     const OutputNormalizer &normalizer,
                     Observation &out);
 
-    std::vector<std::shared_ptr<const bytecode::Module>> modules_;
-    std::vector<compiler::CompilerConfig> configs_;
-    /** Resident per-implementation binaries (forkserver reuse). */
-    std::vector<vm::Vm> vms_;
+    /** Implementation ids, observation order (summaries/spans). */
+    std::vector<std::string> ids_;
+    /** Resident per-implementation workers (forkserver reuse). */
+    std::vector<std::unique_ptr<Executor>> executors_;
     std::size_t jobs_;
     /** Present only when jobs_ > 1. */
     std::unique_ptr<support::ThreadPool> pool_;

@@ -1,0 +1,445 @@
+#include "compdiff/implementation.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "compiler/cache.hh"
+#include "compiler/compiler.hh"
+#include "refinterp/refinterp.hh"
+#include "support/logging.hh"
+
+namespace compdiff::core
+{
+
+RawObservation
+Implementation::execute(std::shared_ptr<const Artifact> artifact,
+                        const support::Bytes &input,
+                        const vm::VmLimits &limits,
+                        std::uint64_t nonce) const
+{
+    return makeExecutor(std::move(artifact), limits)
+        ->execute(input, nonce, limits.maxInstructions);
+}
+
+namespace
+{
+
+// --- the simulated Vendor×OptLevel family --------------------------
+
+struct SimulatedArtifact : Artifact
+{
+    explicit SimulatedArtifact(
+        std::shared_ptr<const bytecode::Module> module)
+        : module(std::move(module))
+    {
+    }
+
+    std::shared_ptr<const bytecode::Module> module;
+};
+
+class SimulatedExecutor : public Executor
+{
+  public:
+    SimulatedExecutor(std::shared_ptr<const SimulatedArtifact> art,
+                      const compiler::CompilerConfig &config,
+                      const vm::VmLimits &limits)
+        : artifact_(std::move(art)),
+          vm_(*artifact_->module, config, limits)
+    {
+    }
+
+    RawObservation
+    execute(const support::Bytes &input, std::uint64_t nonce,
+            std::uint64_t budget) override
+    {
+        vm_.setMaxInstructions(budget);
+        const vm::ExecutionResult run =
+            vm_.run(input, /*coverage=*/nullptr, nonce);
+        RawObservation out;
+        out.output = run.output;
+        out.exitClass = run.exitClass();
+        out.timedOut = run.timedOut();
+        out.instructions = run.instructions;
+        return out;
+    }
+
+  private:
+    std::shared_ptr<const SimulatedArtifact> artifact_;
+    vm::Vm vm_;
+};
+
+class SimulatedCompilerImpl : public Implementation
+{
+  public:
+    explicit SimulatedCompilerImpl(compiler::CompilerConfig config)
+        : config_(config), id_(config.name())
+    {
+    }
+
+    const std::string &id() const override { return id_; }
+
+    std::string
+    describe() const override
+    {
+        return "simulated " + id_ +
+               " (traits-driven lowering on the bytecode VM)";
+    }
+
+    std::shared_ptr<const Artifact>
+    compile(const minic::Program &program,
+            const CompileContext &ctx) const override
+    {
+        compiler::Traits traits = compiler::traitsFor(config_);
+        if (ctx.traitsTweak)
+            ctx.traitsTweak(traits);
+        std::shared_ptr<const bytecode::Module> module;
+        if (ctx.useCache) {
+            const std::uint64_t hash =
+                ctx.programHash
+                    ? ctx.programHash
+                    : compiler::programFingerprint(program);
+            module = compiler::CompileCache::global().compile(
+                program, hash, id_, config_, traits);
+        } else {
+            module = std::make_shared<const bytecode::Module>(
+                compiler::Compiler(program).compileWithTraits(
+                    config_, traits));
+        }
+        return std::make_shared<SimulatedArtifact>(
+            std::move(module));
+    }
+
+    std::unique_ptr<Executor>
+    makeExecutor(std::shared_ptr<const Artifact> artifact,
+                 const vm::VmLimits &limits) const override
+    {
+        auto art =
+            std::dynamic_pointer_cast<const SimulatedArtifact>(
+                std::move(artifact));
+        if (!art)
+            support::panic("SimulatedCompilerImpl: foreign artifact");
+        return std::make_unique<SimulatedExecutor>(std::move(art),
+                                                   config_, limits);
+    }
+
+    const compiler::CompilerConfig *
+    simulatedConfig() const override
+    {
+        return &config_;
+    }
+
+  private:
+    compiler::CompilerConfig config_;
+    std::string id_;
+};
+
+// --- the reference-interpreter backend -----------------------------
+
+struct RefArtifact : Artifact
+{
+    explicit RefArtifact(const minic::Program &program)
+        : program(&program)
+    {
+    }
+
+    const minic::Program *program;
+};
+
+class RefExecutor : public Executor
+{
+  public:
+    RefExecutor(std::shared_ptr<const RefArtifact> art,
+                const vm::VmLimits &limits)
+        : artifact_(std::move(art)),
+          interp_(*artifact_->program, limits)
+    {
+    }
+
+    RawObservation
+    execute(const support::Bytes &input, std::uint64_t nonce,
+            std::uint64_t budget) override
+    {
+        interp_.setMaxInstructions(budget);
+        const vm::ExecutionResult run = interp_.run(input, nonce);
+        RawObservation out;
+        out.output = run.output;
+        out.exitClass = run.exitClass();
+        out.timedOut = run.timedOut();
+        out.instructions = run.instructions;
+        return out;
+    }
+
+  private:
+    std::shared_ptr<const RefArtifact> artifact_;
+    refinterp::RefInterpreter interp_;
+};
+
+class RefInterpImpl : public Implementation
+{
+  public:
+    const std::string &
+    id() const override
+    {
+        static const std::string id = "ref";
+        return id;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "AST tree-walking reference interpreter "
+               "(no lowering, no bytecode, no traits)";
+    }
+
+    std::shared_ptr<const Artifact>
+    compile(const minic::Program &program,
+            const CompileContext &) const override
+    {
+        // Nothing to compile: the AST is the executable. Frame and
+        // rodata layouts are precomputed per executor.
+        return std::make_shared<RefArtifact>(program);
+    }
+
+    std::unique_ptr<Executor>
+    makeExecutor(std::shared_ptr<const Artifact> artifact,
+                 const vm::VmLimits &limits) const override
+    {
+        auto art = std::dynamic_pointer_cast<const RefArtifact>(
+            std::move(artifact));
+        if (!art)
+            support::panic("RefInterpImpl: foreign artifact");
+        return std::make_unique<RefExecutor>(std::move(art), limits);
+    }
+};
+
+// --- spec parsing --------------------------------------------------
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t at = text.find(sep, start);
+        if (at == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, at - start));
+        start = at + 1;
+    }
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(
+                              static_cast<unsigned char>(text[begin])))
+        begin++;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        end--;
+    return text.substr(begin, end - begin);
+}
+
+compiler::OptLevel
+optFromArg(const std::string &family, const std::string &arg)
+{
+    if (arg == "-O0")
+        return compiler::OptLevel::O0;
+    if (arg == "-O1")
+        return compiler::OptLevel::O1;
+    if (arg == "-O2")
+        return compiler::OptLevel::O2;
+    if (arg == "-O3")
+        return compiler::OptLevel::O3;
+    if (arg == "-Os")
+        return compiler::OptLevel::Os;
+    support::fatal("implementation spec '" + family +
+                   "': unknown optimization level '" + arg +
+                   "' (expected -O0, -O1, -O2, -O3, or -Os)");
+}
+
+compiler::Sanitizer
+sanitizerFromArg(const std::string &family, const std::string &arg)
+{
+    if (arg == "asan")
+        return compiler::Sanitizer::ASan;
+    if (arg == "ubsan")
+        return compiler::Sanitizer::UBSan;
+    if (arg == "msan")
+        return compiler::Sanitizer::MSan;
+    support::fatal("implementation spec '" + family +
+                   "': unknown sanitizer '" + arg +
+                   "' (expected asan, ubsan, or msan)");
+}
+
+ImplementationRegistry::Factory
+simulatedFamily(compiler::Vendor vendor, const std::string &family)
+{
+    return [vendor,
+            family](const std::vector<std::string> &args)
+               -> std::shared_ptr<const Implementation> {
+        if (args.empty() || args.size() > 2) {
+            support::fatal(
+                "implementation spec '" + family +
+                "' takes an optimization level and an optional "
+                "sanitizer, e.g. '" +
+                family + ":-O2' or '" + family + ":-Os:ubsan'");
+        }
+        compiler::CompilerConfig config;
+        config.vendor = vendor;
+        config.opt = optFromArg(family, args[0]);
+        config.sanitizer =
+            args.size() == 2
+                ? sanitizerFromArg(family, args[1])
+                : compiler::Sanitizer::None;
+        return simulatedImplementation(config);
+    };
+}
+
+} // namespace
+
+// --- registry ------------------------------------------------------
+
+struct ImplementationRegistry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, Factory> families;
+};
+
+ImplementationRegistry::ImplementationRegistry()
+    : impl_(std::make_unique<Impl>())
+{
+    registerFamily("gcc",
+                   simulatedFamily(compiler::Vendor::Gcc, "gcc"));
+    registerFamily("clang",
+                   simulatedFamily(compiler::Vendor::Clang, "clang"));
+    registerFamily(
+        "ref",
+        [](const std::vector<std::string> &args)
+            -> std::shared_ptr<const Implementation> {
+            if (!args.empty())
+                support::fatal(
+                    "implementation spec 'ref' takes no arguments");
+            return std::make_shared<RefInterpImpl>();
+        });
+}
+
+ImplementationRegistry &
+ImplementationRegistry::global()
+{
+    static ImplementationRegistry instance;
+    return instance;
+}
+
+void
+ImplementationRegistry::registerFamily(const std::string &family,
+                                       Factory factory)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->families[family] = std::move(factory);
+}
+
+std::vector<std::string>
+ImplementationRegistry::families() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::vector<std::string> names;
+    names.reserve(impl_->families.size());
+    for (const auto &[name, factory] : impl_->families)
+        names.push_back(name);
+    return names;
+}
+
+std::shared_ptr<const Implementation>
+ImplementationRegistry::make(const std::string &spec) const
+{
+    const std::string text = trim(spec);
+    if (text.empty())
+        support::fatal("empty implementation spec");
+
+    std::vector<std::string> parts = splitOn(text, ':');
+    const std::string family = parts[0];
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        auto it = impl_->families.find(family);
+        if (it != impl_->families.end())
+            factory = it->second;
+    }
+    if (factory) {
+        return factory(std::vector<std::string>(parts.begin() + 1,
+                                                parts.end()));
+    }
+    // Legacy CompilerConfig::name() forms ("gcc-O2",
+    // "clang-O1+asan") keep working for scripts and saved repros.
+    if (parts.size() == 1 &&
+        text.find('-') != std::string::npos) {
+        return simulatedImplementation(
+            compiler::configFromName(text));
+    }
+    std::string known;
+    for (const std::string &name : families())
+        known += (known.empty() ? "" : ", ") + name;
+    support::fatal("unknown implementation family '" + family +
+                   "' in spec '" + spec + "' (known: " + known +
+                   ")");
+}
+
+ImplementationSet
+ImplementationRegistry::parse(const std::string &specs) const
+{
+    ImplementationSet set;
+    for (const std::string &raw : splitOn(specs, ',')) {
+        const std::string spec = trim(raw);
+        if (spec.empty())
+            support::fatal("empty implementation spec in '" + specs +
+                           "'");
+        if (spec == "paper10") {
+            ImplementationSet paper = paper10Implementations();
+            set.insert(set.end(), paper.begin(), paper.end());
+        } else if (spec == "all") {
+            ImplementationSet paper = paper10Implementations();
+            set.insert(set.end(), paper.begin(), paper.end());
+            set.push_back(make("ref"));
+        } else {
+            set.push_back(make(spec));
+        }
+    }
+    if (set.empty())
+        support::fatal("implementation spec list '" + specs +
+                       "' names no implementations");
+    return set;
+}
+
+// --- convenience constructors --------------------------------------
+
+std::shared_ptr<const Implementation>
+simulatedImplementation(const compiler::CompilerConfig &config)
+{
+    return std::make_shared<SimulatedCompilerImpl>(config);
+}
+
+ImplementationSet
+implementationsFor(
+    const std::vector<compiler::CompilerConfig> &configs)
+{
+    ImplementationSet set;
+    set.reserve(configs.size());
+    for (const compiler::CompilerConfig &config : configs)
+        set.push_back(simulatedImplementation(config));
+    return set;
+}
+
+ImplementationSet
+paper10Implementations()
+{
+    return implementationsFor(compiler::standardImplementations());
+}
+
+} // namespace compdiff::core

@@ -9,14 +9,13 @@ namespace compdiff::core
 {
 
 std::string
-SubsetResult::name(
-    const std::vector<compiler::CompilerConfig> &configs) const
+SubsetResult::name(const ImplementationSet &impls) const
 {
     std::string out = "{";
     for (std::size_t i = 0; i < members.size(); i++) {
         if (i)
             out += ", ";
-        out += configs[members[i]].name();
+        out += impls[members[i]]->id();
     }
     return out + "}";
 }

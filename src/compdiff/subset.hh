@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "compiler/config.hh"
+#include "compdiff/implementation.hh"
 #include "support/table.hh"
 
 namespace compdiff::core
@@ -28,9 +28,8 @@ struct SubsetResult
     std::vector<std::size_t> members; ///< implementation indices
     std::size_t detected = 0;
 
-    /** "{gcc-O0, clang-O3}" given the configuration list. */
-    std::string
-    name(const std::vector<compiler::CompilerConfig> &configs) const;
+    /** "{gcc-O0, clang-O3}" given the implementation set. */
+    std::string name(const ImplementationSet &impls) const;
 };
 
 /**

@@ -62,14 +62,12 @@ namespace
 {
 
 std::uint64_t
-cacheKey(std::uint64_t program_hash, const CompilerConfig &config,
+cacheKey(std::uint64_t program_hash, const std::string &impl_id,
          const Traits &traits)
 {
     support::HashCombiner combiner(0xCAC4Eu);
     combiner.add(program_hash)
-        .add(static_cast<std::uint64_t>(config.vendor))
-        .add(static_cast<std::uint64_t>(config.opt))
-        .add(static_cast<std::uint64_t>(config.sanitizer))
+        .add(support::murmurHash64(impl_id))
         .add(traitsFingerprint(traits));
     return combiner.digest();
 }
@@ -105,12 +103,13 @@ CompileCache::global()
 std::shared_ptr<const bytecode::Module>
 CompileCache::compile(const minic::Program &program,
                       std::uint64_t program_hash,
+                      const std::string &impl_id,
                       const CompilerConfig &config,
                       const Traits &traits)
 {
     Impl &state = *impl();
     const std::uint64_t key =
-        cacheKey(program_hash, config, traits);
+        cacheKey(program_hash, impl_id, traits);
     {
         std::lock_guard<std::mutex> lock(state.mu);
         auto it = state.entries.find(key);
@@ -179,7 +178,8 @@ compileCached(const minic::Program &program,
               const CompilerConfig &config, const Traits &traits)
 {
     return CompileCache::global().compile(
-        program, programFingerprint(program), config, traits);
+        program, programFingerprint(program), config.name(), config,
+        traits);
 }
 
 } // namespace compdiff::compiler

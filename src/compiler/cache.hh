@@ -13,10 +13,11 @@
  * Module), so we memoize it.
  *
  * The cache key is MurmurHash3 over the *content* of the inputs:
- *   - the pretty-printed program source (minic::printProgram), and
- *   - a CompilerConfig + Traits fingerprint covering every field
- *     that can influence compilation (traitsTweak ablations hash
- *     differently from the stock traits).
+ *   - the pretty-printed program source (minic::printProgram),
+ *   - the implementation id string ("gcc-O2", ...), and
+ *   - a Traits fingerprint covering every field that can influence
+ *     compilation (traitsTweak ablations hash differently from the
+ *     stock traits).
  * Content addressing means two Program objects parsed from the same
  * source share cache entries, and nothing dangles when a Program
  * dies: entries hold Modules by shared_ptr, independent of any
@@ -30,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "bytecode/module.hh"
 #include "compiler/config.hh"
@@ -51,15 +53,19 @@ class CompileCache
     static CompileCache &global();
 
     /**
-     * Return the cached module for (program, config, traits) or
+     * Return the cached module for (program, impl_id, traits) or
      * compile and insert it. `program_hash` must be
      * programFingerprint(program); callers pass it in so one
-     * pretty-print covers a whole k-implementation batch.
+     * pretty-print covers a whole k-implementation batch. `impl_id`
+     * is the owning Implementation's stable identifier (for the
+     * simulated family, CompilerConfig::name()); keying on the open
+     * id string instead of the Vendor/OptLevel enums lets any future
+     * backend share the cache without widening an enum.
      */
     std::shared_ptr<const bytecode::Module>
     compile(const minic::Program &program,
-            std::uint64_t program_hash, const CompilerConfig &config,
-            const Traits &traits);
+            std::uint64_t program_hash, const std::string &impl_id,
+            const CompilerConfig &config, const Traits &traits);
 
     /** Entries currently cached. */
     std::size_t size() const;

@@ -27,7 +27,7 @@ Fuzzer::Fuzzer(const minic::Program &program,
         diff_options.limits = options_.limits;
         diff_options.jobs = options_.jobs;
         diffEngine_ = std::make_unique<core::DiffEngine>(
-            program_, options_.diffConfigs, diff_options);
+            program_, options_.diffImpls, diff_options);
         perConfigExecs_.assign(diffEngine_->size(), 0);
     }
     if (initial_seeds.empty())
@@ -230,10 +230,10 @@ Fuzzer::statsSnapshot() const
     snapshot.execsDone = stats_.execs;
     snapshot.compdiffExecs = stats_.compdiffExecs;
     if (diffEngine_) {
-        const auto &configs = diffEngine_->configs();
+        const auto &impls = diffEngine_->implementations();
         for (std::size_t i = 0; i < perConfigExecs_.size(); i++) {
             snapshot.perConfigExecs.emplace_back(
-                configs[i].name(), perConfigExecs_[i]);
+                impls[i]->id(), perConfigExecs_[i]);
         }
     }
     snapshot.corpusSize = corpus_.size();

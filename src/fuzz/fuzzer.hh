@@ -87,8 +87,8 @@ struct FuzzOptions
 
     /** The CompDiff oracle (Algorithm 1 lines 9-12). */
     bool enableCompDiff = true;
-    std::vector<compiler::CompilerConfig> diffConfigs =
-        compiler::standardImplementations();
+    core::ImplementationSet diffImpls =
+        core::paper10Implementations();
     core::DiffOptions diffOptions;
 
     /**
@@ -191,7 +191,7 @@ class Fuzzer
     {
         return crashSignatures_;
     }
-    /** Executions of each differential binary, config order. */
+    /** Executions of each oracle member, implementation order. */
     const std::vector<std::uint64_t> &perConfigExecs() const
     {
         return perConfigExecs_;
@@ -225,7 +225,7 @@ class Fuzzer
     FuzzStats stats_;
     std::uint64_t nonceCounter_ = 0;
 
-    /** Executions of each differential binary, config order. */
+    /** Executions of each oracle member, implementation order. */
     std::vector<std::uint64_t> perConfigExecs_;
     obs::PlotWriter plot_;
 };

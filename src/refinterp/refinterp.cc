@@ -1,0 +1,1547 @@
+#include "refinterp/refinterp.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "vm/memory.hh"
+
+namespace compdiff::refinterp
+{
+
+using namespace minic;
+using support::Bytes;
+using vm::Access;
+using vm::ExecutionResult;
+using vm::FreeOutcome;
+using vm::Termination;
+using vm::TrapKind;
+
+namespace
+{
+
+std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+/** Value width in bytes used when storing a scalar type. */
+std::uint64_t
+scalarWidth(const Type *type)
+{
+    switch (type->kind()) {
+      case TypeKind::Char: return 1;
+      case TypeKind::Int:
+      case TypeKind::UInt: return 4;
+      default: return 8;
+    }
+}
+
+bool
+isSignedKind(const Type *type)
+{
+    switch (type->kind()) {
+      case TypeKind::Char:
+      case TypeKind::Int:
+      case TypeKind::Long:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+asDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+asBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+std::int64_t
+doubleToInt(double d)
+{
+    // x86 cvttsd2si behavior for out-of-range / NaN inputs — the
+    // same rule the VM applies, because double->int conversion of a
+    // representable value is defined and must agree across backends.
+    if (!(d >= -9.2233720368547758e18 && d <= 9.2233720368547758e18))
+        return INT64_MIN;
+    return static_cast<std::int64_t>(d);
+}
+
+} // namespace
+
+const compiler::Traits &
+refTraits()
+{
+    static const compiler::Traits traits = [] {
+        compiler::Traits t; // defaults are already neutral
+        t.detectDoubleFreeTop = true;
+        t.detectInvalidFree = true;
+        // Own address-space corner, overlapping no simulated config.
+        t.rodataBase = 0x00400000;
+        t.globalsBase = 0x01400000;
+        t.heapBase = 0x02800000;
+        t.stackBase = 0x07fd0000;
+        return t;
+    }();
+    return traits;
+}
+
+/**
+ * Precomputed, input-independent layout: the rodata image (interned
+ * string literals), the globals segment, and per-function frame slot
+ * offsets — all in declaration order with no padding.
+ */
+struct RefInterpreter::Layout
+{
+    std::vector<std::uint8_t> rodata;
+    std::map<const StrLitExpr *, std::uint64_t> strOffset;
+
+    std::vector<std::uint64_t> globalAddr; ///< globalId -> address
+    std::vector<std::uint8_t> globalsImage;
+
+    struct FrameLayout
+    {
+        std::vector<std::uint64_t> slotOffset; ///< by localId
+        std::uint64_t frameSize = 16;
+        std::vector<std::uint64_t> paramOffsets;
+        std::vector<std::uint64_t> paramSizes;
+    };
+    std::vector<FrameLayout> frames; ///< by function index
+
+    const FunctionDecl *mainFn = nullptr;
+
+    std::uint64_t
+    internString(const StrLitExpr &lit)
+    {
+        auto [it, inserted] =
+            strOffset.emplace(&lit, rodata.size());
+        if (inserted) {
+            rodata.insert(rodata.end(), lit.bytes.begin(),
+                          lit.bytes.end());
+            rodata.push_back(0);
+        }
+        return it->second;
+    }
+
+    void
+    internExpr(const Expr *expr)
+    {
+        if (!expr)
+            return;
+        switch (expr->kind()) {
+          case ExprKind::IntLit:
+          case ExprKind::FloatLit:
+          case ExprKind::SizeOf:
+            return;
+          case ExprKind::StrLit:
+            internString(static_cast<const StrLitExpr &>(*expr));
+            return;
+          case ExprKind::VarRef:
+            return;
+          case ExprKind::Unary:
+            internExpr(
+                static_cast<const UnaryExpr &>(*expr).operand.get());
+            return;
+          case ExprKind::Binary: {
+            const auto &bin = static_cast<const BinaryExpr &>(*expr);
+            internExpr(bin.lhs.get());
+            internExpr(bin.rhs.get());
+            return;
+          }
+          case ExprKind::Assign: {
+            const auto &assign =
+                static_cast<const AssignExpr &>(*expr);
+            internExpr(assign.target.get());
+            internExpr(assign.value.get());
+            return;
+          }
+          case ExprKind::Cond: {
+            const auto &cond = static_cast<const CondExpr &>(*expr);
+            internExpr(cond.cond.get());
+            internExpr(cond.thenExpr.get());
+            internExpr(cond.elseExpr.get());
+            return;
+          }
+          case ExprKind::Call: {
+            const auto &call = static_cast<const CallExpr &>(*expr);
+            for (const auto &arg : call.args)
+                internExpr(arg.get());
+            return;
+          }
+          case ExprKind::Index: {
+            const auto &index = static_cast<const IndexExpr &>(*expr);
+            internExpr(index.base.get());
+            internExpr(index.index.get());
+            return;
+          }
+          case ExprKind::Member:
+            internExpr(
+                static_cast<const MemberExpr &>(*expr).base.get());
+            return;
+          case ExprKind::Cast:
+            internExpr(
+                static_cast<const CastExpr &>(*expr).operand.get());
+            return;
+        }
+    }
+
+    void
+    internStmt(const Stmt *stmt)
+    {
+        if (!stmt)
+            return;
+        switch (stmt->kind()) {
+          case StmtKind::Block:
+            for (const auto &s :
+                 static_cast<const BlockStmt &>(*stmt).body)
+                internStmt(s.get());
+            return;
+          case StmtKind::VarDecl:
+            internExpr(
+                static_cast<const VarDeclStmt &>(*stmt).init.get());
+            return;
+          case StmtKind::If: {
+            const auto &if_stmt = static_cast<const IfStmt &>(*stmt);
+            internExpr(if_stmt.cond.get());
+            internStmt(if_stmt.thenStmt.get());
+            internStmt(if_stmt.elseStmt.get());
+            return;
+          }
+          case StmtKind::While: {
+            const auto &w = static_cast<const WhileStmt &>(*stmt);
+            internExpr(w.cond.get());
+            internStmt(w.body.get());
+            return;
+          }
+          case StmtKind::For: {
+            const auto &f = static_cast<const ForStmt &>(*stmt);
+            internStmt(f.init.get());
+            internExpr(f.cond.get());
+            internExpr(f.step.get());
+            internStmt(f.body.get());
+            return;
+          }
+          case StmtKind::Return:
+            internExpr(
+                static_cast<const ReturnStmt &>(*stmt).value.get());
+            return;
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            return;
+          case StmtKind::ExprStmt:
+            internExpr(
+                static_cast<const ExprStmt &>(*stmt).expr.get());
+            return;
+        }
+    }
+};
+
+RefInterpreter::RefInterpreter(const Program &program,
+                               vm::VmLimits limits)
+    : program_(program), limits_(limits)
+{
+    auto layout = std::make_unique<Layout>();
+    const compiler::Traits &traits = refTraits();
+
+    // Globals: declaration order, no gaps, natural alignment.
+    layout->globalAddr.resize(program.globals.size());
+    std::uint64_t offset = 0;
+    struct PendingInit
+    {
+        std::uint64_t at = 0;
+        std::uint64_t word = 0;
+        std::uint64_t size = 0;
+    };
+    std::vector<PendingInit> inits;
+    for (const auto &decl : program.globals) {
+        const std::uint64_t size =
+            std::max<std::uint64_t>(decl->type->size(), 1);
+        const std::uint64_t align =
+            std::max<std::uint64_t>(decl->type->align(), 1);
+        offset = alignUp(offset, align);
+        layout->globalAddr[static_cast<std::size_t>(
+            decl->globalId)] = traits.globalsBase + offset;
+        if (decl->init) {
+            PendingInit init;
+            init.at = offset;
+            switch (decl->init->kind()) {
+              case ExprKind::IntLit:
+                init.word = static_cast<std::uint64_t>(
+                    static_cast<const IntLitExpr &>(*decl->init)
+                        .value);
+                init.size = scalarWidth(decl->type);
+                inits.push_back(init);
+                break;
+              case ExprKind::FloatLit:
+                init.word = asBits(
+                    static_cast<const FloatLitExpr &>(*decl->init)
+                        .value);
+                init.size = 8;
+                inits.push_back(init);
+                break;
+              case ExprKind::StrLit:
+                init.word =
+                    traits.rodataBase +
+                    layout->internString(static_cast<const StrLitExpr &>(
+                        *decl->init));
+                init.size = 8;
+                inits.push_back(init);
+                break;
+              default:
+                break;
+            }
+        }
+        offset += size;
+    }
+    layout->globalsImage.assign(
+        std::max<std::uint64_t>(alignUp(offset, 16), 16), 0);
+    for (const auto &init : inits) {
+        std::memcpy(layout->globalsImage.data() + init.at,
+                    &init.word, init.size);
+    }
+
+    // Frames: declaration order, no padding, 16-byte-aligned size.
+    layout->frames.resize(program.functions.size());
+    for (const auto &func : program.functions) {
+        auto &frame =
+            layout->frames[static_cast<std::size_t>(func->index)];
+        frame.slotOffset.assign(func->locals.size(), 0);
+        std::uint64_t at = 0;
+        for (std::size_t id = 0; id < func->locals.size(); id++) {
+            const Type *type = func->locals[id].type;
+            at = alignUp(at,
+                         std::max<std::uint64_t>(type->align(), 1));
+            frame.slotOffset[id] = at;
+            at += type->size();
+        }
+        frame.frameSize =
+            std::max<std::uint64_t>(alignUp(at, 16), 16);
+        for (const auto &param : func->params) {
+            const auto id = static_cast<std::size_t>(param.localId);
+            frame.paramOffsets.push_back(frame.slotOffset[id]);
+            frame.paramSizes.push_back(
+                scalarWidth(func->locals[id].type));
+        }
+        // String literals inside the body land in rodata up front.
+        layout->internStmt(func->body.get());
+        if (func->name == "main")
+            layout->mainFn = func.get();
+    }
+
+    layout_ = std::move(layout);
+}
+
+RefInterpreter::~RefInterpreter() = default;
+
+namespace
+{
+
+/**
+ * One run's evaluator. Everything lives on the run() stack; the
+ * interpreter object itself stays read-only (thread-compatible the
+ * same way vm::Vm::run is).
+ */
+class Interp
+{
+  public:
+    Interp(const Program &program, const RefInterpreter::Layout &lo,
+           const vm::VmLimits &limits, const Bytes &input,
+           std::uint64_t nonce)
+        : program_(program), types_(*program.types), layout_(lo),
+          limits_(limits), input_(input), nonce_(nonce),
+          space_(refTraits(), /*asan=*/false, /*msan=*/false,
+                 limits.stackSize, limits.heapSize),
+          heap_(space_, refTraits(), /*asan=*/false)
+    {
+        space_.setRodata(layout_.rodata);
+        space_.setGlobalsSize(layout_.globalsImage.size());
+        std::memcpy(space_.globals().data.data(),
+                    layout_.globalsImage.data(),
+                    layout_.globalsImage.size());
+    }
+
+    ExecutionResult
+    run()
+    {
+        const compiler::Traits &traits = refTraits();
+        if (!layout_.mainFn)
+            support::fatal("program has no main()");
+        const FunctionDecl &main_fn = *layout_.mainFn;
+        const auto &frame = layout_.frames[
+            static_cast<std::size_t>(main_fn.index)];
+
+        const std::uint64_t stack_bottom =
+            traits.stackBase - limits_.stackSize;
+        const std::uint64_t sp = traits.stackBase;
+        if (frame.frameSize > sp - stack_bottom) {
+            finish(Termination::StackOverflow, 139, TrapKind::None);
+            return std::move(res_);
+        }
+        fp_ = sp - frame.frameSize;
+        curFunc_ = &main_fn;
+        callDepth_ = 1;
+
+        execStmt(*main_fn.body);
+        if (running_) {
+            std::uint64_t rv = 0;
+            bool has_value = false;
+            if (flow_ == Flow::Return) {
+                rv = returnValue_;
+                has_value = returnHasValue_;
+            } else if (!main_fn.returnType->isVoid()) {
+                // Falling off the end of a non-void function: the
+                // fixed answer is the neutral undefined word (0).
+                rv = refTraits().undefWord;
+                has_value = true;
+            }
+            finish(Termination::Exit,
+                   has_value ? static_cast<std::int32_t>(rv) : 0,
+                   TrapKind::None);
+        }
+        return std::move(res_);
+    }
+
+  private:
+    enum class Flow
+    {
+        Normal,
+        Break,
+        Continue,
+        Return,
+    };
+
+    // --- termination / accounting ----------------------------------
+    void
+    finish(Termination term, int code, TrapKind trap)
+    {
+        res_.termination = term;
+        res_.exitCode = code;
+        res_.trap = trap;
+        running_ = false;
+    }
+
+    /** One evaluation step; false once the budget is exhausted. */
+    bool
+    tick()
+    {
+        if (!running_)
+            return false;
+        if (res_.instructions++ >= limits_.maxInstructions) {
+            finish(Termination::BudgetExhausted, 124, TrapKind::None);
+            return false;
+        }
+        return true;
+    }
+
+    void
+    emitOut(const std::string &text)
+    {
+        if (res_.output.size() < limits_.maxOutput)
+            res_.output += text;
+    }
+
+    // --- memory ----------------------------------------------------
+    bool
+    loadRaw(std::uint64_t addr, std::uint64_t size,
+            std::uint64_t &value)
+    {
+        bool poisoned = false;
+        if (space_.read(addr, size, value, poisoned) == Access::Ok)
+            return true;
+        finish(Termination::Trap, 139, TrapKind::Segv);
+        return false;
+    }
+
+    bool
+    storeRaw(std::uint64_t addr, std::uint64_t size,
+             std::uint64_t value)
+    {
+        if (space_.write(addr, size, value, false) == Access::Ok)
+            return true;
+        finish(Termination::Trap, 139, TrapKind::Segv);
+        return false;
+    }
+
+    std::uint64_t
+    loadScalar(std::uint64_t addr, const Type *type)
+    {
+        std::uint64_t raw = 0;
+        switch (type->kind()) {
+          case TypeKind::Char:
+            if (!loadRaw(addr, 1, raw))
+                return 0;
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int8_t>(raw)));
+          case TypeKind::Int:
+            if (!loadRaw(addr, 4, raw))
+                return 0;
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(raw)));
+          case TypeKind::UInt:
+            if (!loadRaw(addr, 4, raw))
+                return 0;
+            return raw;
+          case TypeKind::Long:
+          case TypeKind::ULong:
+          case TypeKind::Pointer:
+          case TypeKind::Double:
+            if (!loadRaw(addr, 8, raw))
+                return 0;
+            return raw;
+          default:
+            support::panic("ref load of non-scalar type " +
+                           type->str());
+        }
+        return 0;
+    }
+
+    void
+    storeScalar(std::uint64_t addr, const Type *type,
+                std::uint64_t value)
+    {
+        storeRaw(addr, scalarWidth(type), value);
+    }
+
+    // --- conversions (mirroring lowering's canonical rules) --------
+    std::uint64_t
+    narrowVal(std::uint64_t v, const Type *to) const
+    {
+        switch (to->kind()) {
+          case TypeKind::Char:
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int8_t>(v)));
+          case TypeKind::Int:
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(v)));
+          case TypeKind::UInt:
+            return static_cast<std::uint32_t>(v);
+          default:
+            return v;
+        }
+    }
+
+    std::uint64_t
+    convertVal(std::uint64_t v, const Type *from,
+               const Type *to) const
+    {
+        if (!from || !to || from == to)
+            return v;
+        if (to->isDouble()) {
+            if (from->isDouble())
+                return v;
+            return isSignedKind(from)
+                       ? asBits(static_cast<double>(
+                             static_cast<std::int64_t>(v)))
+                       : asBits(static_cast<double>(v));
+        }
+        if (from->isDouble())
+            return narrowVal(static_cast<std::uint64_t>(
+                                 doubleToInt(asDouble(v))),
+                             to);
+        if (from->isArray() || to->isArray() || from->isStruct() ||
+            to->isStruct() || from->isVoid() || to->isVoid()) {
+            return v; // decayed addresses / ignored
+        }
+        return narrowVal(v, to);
+    }
+
+    const Type *
+    arithCommon(const Type *a, const Type *b) const
+    {
+        if (a->isDouble() || b->isDouble())
+            return types_.doubleType();
+        auto rank = [](const Type *t) {
+            switch (t->kind()) {
+              case TypeKind::ULong: return 4;
+              case TypeKind::Long: return 3;
+              case TypeKind::UInt: return 2;
+              default: return 1;
+            }
+        };
+        switch (std::max(rank(a), rank(b))) {
+          case 4: return types_.ulongType();
+          case 3: return types_.longType();
+          case 2: return types_.uintType();
+          default: return types_.intType();
+        }
+    }
+
+    const Type *
+    comparisonType(const Type *a, const Type *b) const
+    {
+        if (a->isPointer() || a->isArray() || b->isPointer() ||
+            b->isArray()) {
+            return nullptr; // raw unsigned 64-bit comparison
+        }
+        return arithCommon(a, b);
+    }
+
+    // --- integer ops with the VM's trap discipline -----------------
+    std::uint64_t
+    applyIntOp(BinaryOp op, const Type *type, std::uint64_t a,
+               std::uint64_t b, bool widened)
+    {
+        const bool is_signed = isSignedKind(type);
+        std::uint64_t r = 0;
+        switch (op) {
+          case BinaryOp::Add: r = a + b; break;
+          case BinaryOp::Sub: r = a - b; break;
+          case BinaryOp::Mul: r = a * b; break;
+          case BinaryOp::Div:
+          case BinaryOp::Rem: {
+            if (is_signed) {
+                const auto sa = static_cast<std::int64_t>(a);
+                const auto sb = static_cast<std::int64_t>(b);
+                if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
+                    finish(Termination::Trap, 136, TrapKind::Fpe);
+                    return 0;
+                }
+                r = static_cast<std::uint64_t>(
+                    op == BinaryOp::Div ? sa / sb : sa % sb);
+            } else {
+                if (b == 0) {
+                    finish(Termination::Trap, 136, TrapKind::Fpe);
+                    return 0;
+                }
+                r = op == BinaryOp::Div ? a / b : a % b;
+            }
+            break;
+          }
+          case BinaryOp::BitAnd: r = a & b; break;
+          case BinaryOp::BitOr: r = a | b; break;
+          case BinaryOp::BitXor: r = a ^ b; break;
+          default:
+            support::panic("applyIntOp: unexpected operator");
+        }
+        return widened ? r : narrowVal(r, type);
+    }
+
+    std::uint64_t
+    applyShift(BinaryOp op, const Type *type, std::uint64_t value,
+               std::uint64_t count) const
+    {
+        // MaskCount normalization: oversized counts wrap, exactly
+        // like the MaskCount ShiftPolicy plus the VM's & 63.
+        const std::uint64_t width = type->is32OrNarrower() ? 32 : 64;
+        if (count >= width)
+            count &= width - 1;
+        std::uint64_t r;
+        if (op == BinaryOp::Shl) {
+            r = value << (count & 63);
+        } else if (isSignedKind(type)) {
+            r = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(value) >> (count & 63));
+        } else {
+            r = value >> (count & 63);
+        }
+        return narrowVal(r, type);
+    }
+
+    // --- expressions -----------------------------------------------
+    bool
+    evalCondBool(const Expr &expr)
+    {
+        const std::uint64_t v = evalValue(expr);
+        if (!running_)
+            return false;
+        if (expr.type && expr.type->isDouble())
+            return asDouble(v) != 0.0;
+        return v != 0;
+    }
+
+    std::uint64_t
+    evalAddr(const Expr &expr)
+    {
+        if (!tick())
+            return 0;
+        switch (expr.kind()) {
+          case ExprKind::VarRef: {
+            const auto &ref = static_cast<const VarRefExpr &>(expr);
+            if (ref.isGlobal)
+                return layout_.globalAddr[
+                    static_cast<std::size_t>(ref.id)];
+            return fp_ + frame().slotOffset[
+                             static_cast<std::size_t>(ref.id)];
+          }
+          case ExprKind::Unary: {
+            const auto &un = static_cast<const UnaryExpr &>(expr);
+            if (un.op == UnaryOp::Deref)
+                return evalValue(*un.operand);
+            break;
+          }
+          case ExprKind::Index: {
+            const auto &index = static_cast<const IndexExpr &>(expr);
+            const std::uint64_t base =
+                index.base->type->isArray() ? evalAddr(*index.base)
+                                            : evalValue(*index.base);
+            if (!running_)
+                return 0;
+            const std::uint64_t idx = evalValue(*index.index);
+            const std::uint64_t elem =
+                std::max<std::uint64_t>(expr.type->size(), 1);
+            return base + idx * elem;
+          }
+          case ExprKind::Member: {
+            const auto &member =
+                static_cast<const MemberExpr &>(expr);
+            const std::uint64_t base =
+                member.isArrow ? evalValue(*member.base)
+                               : evalAddr(*member.base);
+            return base + member.fieldOffset;
+          }
+          default:
+            break;
+        }
+        support::panic("ref evalAddr on non-lvalue expression");
+        return 0;
+    }
+
+    std::uint64_t
+    evalValue(const Expr &expr)
+    {
+        if (!tick())
+            return 0;
+        switch (expr.kind()) {
+          case ExprKind::IntLit: {
+            const auto &lit = static_cast<const IntLitExpr &>(expr);
+            std::int64_t value = lit.value;
+            if (expr.type && expr.type->kind() == TypeKind::UInt)
+                value = static_cast<std::uint32_t>(value);
+            return static_cast<std::uint64_t>(value);
+          }
+          case ExprKind::FloatLit:
+            return asBits(
+                static_cast<const FloatLitExpr &>(expr).value);
+          case ExprKind::StrLit: {
+            const auto &lit = static_cast<const StrLitExpr &>(expr);
+            auto it = layout_.strOffset.find(&lit);
+            if (it == layout_.strOffset.end())
+                support::panic("ref: string literal not interned");
+            return refTraits().rodataBase + it->second;
+          }
+          case ExprKind::VarRef:
+          case ExprKind::Index:
+          case ExprKind::Member: {
+            // Array- or struct-typed lvalues decay to their address.
+            if (expr.type->isArray() || expr.type->isStruct())
+                return evalAddr(expr);
+            const std::uint64_t addr = evalAddr(expr);
+            if (!running_)
+                return 0;
+            return loadScalar(addr, expr.type);
+          }
+          case ExprKind::Unary:
+            return evalUnary(static_cast<const UnaryExpr &>(expr));
+          case ExprKind::Binary:
+            return evalBinary(static_cast<const BinaryExpr &>(expr));
+          case ExprKind::Assign:
+            return evalAssign(static_cast<const AssignExpr &>(expr));
+          case ExprKind::Cond: {
+            const auto &cond = static_cast<const CondExpr &>(expr);
+            const bool taken = evalCondBool(*cond.cond);
+            if (!running_)
+                return 0;
+            const Expr &arm =
+                taken ? *cond.thenExpr : *cond.elseExpr;
+            const std::uint64_t v = evalValue(arm);
+            if (!running_)
+                return 0;
+            return convertVal(v, arm.type, expr.type);
+          }
+          case ExprKind::Call:
+            return evalCall(static_cast<const CallExpr &>(expr));
+          case ExprKind::Cast: {
+            const auto &cast = static_cast<const CastExpr &>(expr);
+            const std::uint64_t v = evalValue(*cast.operand);
+            if (!running_)
+                return 0;
+            if (cast.target->isVoid())
+                return 0; // value dropped
+            return convertVal(v, cast.operand->type, cast.target);
+          }
+          case ExprKind::SizeOf:
+            return static_cast<const SizeOfExpr &>(expr)
+                .queried->size();
+        }
+        support::panic("ref: unhandled expression kind");
+        return 0;
+    }
+
+    std::uint64_t
+    evalUnary(const UnaryExpr &expr)
+    {
+        switch (expr.op) {
+          case UnaryOp::Neg: {
+            std::uint64_t v = evalValue(*expr.operand);
+            if (!running_)
+                return 0;
+            v = convertVal(v, expr.operand->type, expr.type);
+            if (expr.type->isDouble())
+                return asBits(-asDouble(v));
+            return narrowVal(0 - v, expr.type);
+          }
+          case UnaryOp::BitNot: {
+            std::uint64_t v = evalValue(*expr.operand);
+            if (!running_)
+                return 0;
+            v = convertVal(v, expr.operand->type, expr.type);
+            return narrowVal(~v, expr.type);
+          }
+          case UnaryOp::LogNot: {
+            const std::uint64_t v = evalValue(*expr.operand);
+            if (!running_)
+                return 0;
+            if (expr.operand->type->isDouble())
+                return asDouble(v) == 0.0;
+            return v == 0;
+          }
+          case UnaryOp::Deref: {
+            if (expr.type->isArray() || expr.type->isStruct())
+                return evalAddr(expr);
+            const std::uint64_t addr = evalValue(*expr.operand);
+            if (!running_)
+                return 0;
+            return loadScalar(addr, expr.type);
+          }
+          case UnaryOp::AddrOf:
+            return evalAddr(*expr.operand);
+        }
+        return 0;
+    }
+
+    std::uint64_t
+    evalBinary(const BinaryExpr &bin)
+    {
+        if (bin.op == BinaryOp::LogAnd ||
+            bin.op == BinaryOp::LogOr) {
+            const bool is_and = bin.op == BinaryOp::LogAnd;
+            const bool l = evalCondBool(*bin.lhs);
+            if (!running_)
+                return 0;
+            if (is_and && !l)
+                return 0;
+            if (!is_and && l)
+                return 1;
+            const bool r = evalCondBool(*bin.rhs);
+            return r ? 1 : 0;
+        }
+        if (isComparison(bin.op))
+            return evalComparison(bin);
+        if (bin.op == BinaryOp::Shl || bin.op == BinaryOp::Shr) {
+            std::uint64_t lv = evalValue(*bin.lhs);
+            if (!running_)
+                return 0;
+            lv = convertVal(lv, bin.lhs->type, bin.type);
+            const std::uint64_t count = evalValue(*bin.rhs);
+            if (!running_)
+                return 0;
+            return applyShift(bin.op, bin.type, lv, count);
+        }
+
+        const Type *lt = bin.lhs->type;
+        const Type *rt = bin.rhs->type;
+        if (lt->isPointer() || lt->isArray() || rt->isPointer() ||
+            rt->isArray()) {
+            return evalPointerArith(bin);
+        }
+
+        if (bin.type->isDouble()) {
+            std::uint64_t lv = evalValue(*bin.lhs);
+            if (!running_)
+                return 0;
+            lv = convertVal(lv, lt, bin.type);
+            std::uint64_t rv = evalValue(*bin.rhs);
+            if (!running_)
+                return 0;
+            rv = convertVal(rv, rt, bin.type);
+            const double a = asDouble(lv);
+            const double b = asDouble(rv);
+            switch (bin.op) {
+              case BinaryOp::Add: return asBits(a + b);
+              case BinaryOp::Sub: return asBits(a - b);
+              case BinaryOp::Mul: return asBits(a * b);
+              case BinaryOp::Div: return asBits(a / b);
+              default:
+                support::panic("ref: invalid double operator");
+            }
+        }
+
+        std::uint64_t lv = evalValue(*bin.lhs);
+        if (!running_)
+            return 0;
+        if (!bin.widenTo64)
+            lv = convertVal(lv, lt, bin.type);
+        std::uint64_t rv = evalValue(*bin.rhs);
+        if (!running_)
+            return 0;
+        if (!bin.widenTo64)
+            rv = convertVal(rv, rt, bin.type);
+        return applyIntOp(bin.op, bin.type, lv, rv, bin.widenTo64);
+    }
+
+    std::uint64_t
+    evalComparison(const BinaryExpr &bin)
+    {
+        const Type *common =
+            comparisonType(bin.lhs->type, bin.rhs->type);
+        std::uint64_t lv = evalValue(*bin.lhs);
+        if (!running_)
+            return 0;
+        if (common)
+            lv = convertVal(lv, bin.lhs->type, common);
+        std::uint64_t rv = evalValue(*bin.rhs);
+        if (!running_)
+            return 0;
+        if (common)
+            rv = convertVal(rv, bin.rhs->type, common);
+
+        if (common && common->isDouble()) {
+            const double a = asDouble(lv);
+            const double b = asDouble(rv);
+            switch (bin.op) {
+              case BinaryOp::Lt: return a < b;
+              case BinaryOp::Le: return a <= b;
+              case BinaryOp::Gt: return a > b;
+              case BinaryOp::Ge: return a >= b;
+              case BinaryOp::Eq: return a == b;
+              case BinaryOp::Ne: return a != b;
+              default: break;
+            }
+        }
+        const bool is_signed = common && isSignedKind(common);
+        const auto sa = static_cast<std::int64_t>(lv);
+        const auto sb = static_cast<std::int64_t>(rv);
+        switch (bin.op) {
+          case BinaryOp::Lt: return is_signed ? sa < sb : lv < rv;
+          case BinaryOp::Le: return is_signed ? sa <= sb : lv <= rv;
+          case BinaryOp::Gt: return is_signed ? sa > sb : lv > rv;
+          case BinaryOp::Ge: return is_signed ? sa >= sb : lv >= rv;
+          case BinaryOp::Eq: return lv == rv;
+          case BinaryOp::Ne: return lv != rv;
+          default:
+            support::panic("ref: not a comparison");
+        }
+        return 0;
+    }
+
+    std::uint64_t
+    evalPointerArith(const BinaryExpr &bin)
+    {
+        const Type *lt = bin.lhs->type;
+        const Type *rt = bin.rhs->type;
+        const bool l_ptr = lt->isPointer() || lt->isArray();
+        const bool r_ptr = rt->isPointer() || rt->isArray();
+
+        auto elem_size = [](const Type *ptr) -> std::uint64_t {
+            const Type *pointee =
+                ptr->isArray() ? ptr->element() : ptr->pointee();
+            return std::max<std::uint64_t>(pointee->size(), 1);
+        };
+
+        const std::uint64_t lv = evalValue(*bin.lhs);
+        if (!running_)
+            return 0;
+        const std::uint64_t rv = evalValue(*bin.rhs);
+        if (!running_)
+            return 0;
+
+        if (l_ptr && r_ptr) {
+            // Pointer difference, scaled by the element size.
+            const auto diff = static_cast<std::int64_t>(lv - rv);
+            const auto es =
+                static_cast<std::int64_t>(elem_size(lt));
+            return static_cast<std::uint64_t>(diff / es);
+        }
+        const std::uint64_t ptr = l_ptr ? lv : rv;
+        const std::uint64_t idx = l_ptr ? rv : lv;
+        const std::uint64_t scaled =
+            idx * elem_size(l_ptr ? lt : rt);
+        return bin.op == BinaryOp::Add ? ptr + scaled : ptr - scaled;
+    }
+
+    std::uint64_t
+    evalAssign(const AssignExpr &assign)
+    {
+        const Type *target_type = assign.target->type;
+
+        if (assign.compoundOp) {
+            // Address once; side effects in the target not repeated.
+            const std::uint64_t addr = evalAddr(*assign.target);
+            if (!running_)
+                return 0;
+            const std::uint64_t old =
+                loadScalar(addr, target_type);
+            if (!running_)
+                return 0;
+
+            std::uint64_t result = 0;
+            if (target_type->isPointer()) {
+                const std::uint64_t v = evalValue(*assign.value);
+                if (!running_)
+                    return 0;
+                const std::uint64_t es = std::max<std::uint64_t>(
+                    target_type->pointee()->size(), 1);
+                result = *assign.compoundOp == BinaryOp::Add
+                             ? old + v * es
+                             : old - v * es;
+            } else if (*assign.compoundOp == BinaryOp::Shl ||
+                       *assign.compoundOp == BinaryOp::Shr) {
+                const std::uint64_t count =
+                    evalValue(*assign.value);
+                if (!running_)
+                    return 0;
+                result = applyShift(*assign.compoundOp, target_type,
+                                    old, count);
+            } else if (target_type->isDouble() ||
+                       assign.value->type->isDouble()) {
+                const Type *op_type = types_.doubleType();
+                const double a = asDouble(
+                    convertVal(old, target_type, op_type));
+                const std::uint64_t v = evalValue(*assign.value);
+                if (!running_)
+                    return 0;
+                const double b = asDouble(
+                    convertVal(v, assign.value->type, op_type));
+                double r = 0;
+                switch (*assign.compoundOp) {
+                  case BinaryOp::Add: r = a + b; break;
+                  case BinaryOp::Sub: r = a - b; break;
+                  case BinaryOp::Mul: r = a * b; break;
+                  case BinaryOp::Div: r = a / b; break;
+                  default:
+                    support::panic(
+                        "ref: invalid double compound operator");
+                }
+                result =
+                    convertVal(asBits(r), op_type, target_type);
+            } else {
+                const Type *op_type =
+                    arithCommon(target_type, assign.value->type);
+                const std::uint64_t a =
+                    convertVal(old, target_type, op_type);
+                const std::uint64_t v = evalValue(*assign.value);
+                if (!running_)
+                    return 0;
+                const std::uint64_t b =
+                    convertVal(v, assign.value->type, op_type);
+                const std::uint64_t r = applyIntOp(
+                    *assign.compoundOp, op_type, a, b, false);
+                if (!running_)
+                    return 0;
+                result = convertVal(r, op_type, target_type);
+            }
+            storeScalar(addr, target_type, result);
+            return result;
+        }
+
+        // Plain assignment: the reference order is address first,
+        // value second (left-to-right, like the neutral call order).
+        const std::uint64_t addr = evalAddr(*assign.target);
+        if (!running_)
+            return 0;
+        std::uint64_t v = evalValue(*assign.value);
+        if (!running_)
+            return 0;
+        v = convertVal(v, assign.value->type, target_type);
+        storeScalar(addr, target_type, v);
+        return v;
+    }
+
+    // --- calls -----------------------------------------------------
+    const Type *
+    builtinParamType(const CallExpr &call, std::size_t i) const
+    {
+        if (call.builtin != Builtin::None) {
+            switch (call.builtin) {
+              case Builtin::PrintInt:
+              case Builtin::PrintChar:
+              case Builtin::Exit:
+              case Builtin::InputByte:
+              case Builtin::Probe:
+                return types_.intType();
+              case Builtin::PrintUInt:
+                return types_.uintType();
+              case Builtin::PrintLong:
+                return types_.longType();
+              case Builtin::PrintHex:
+                return types_.ulongType();
+              case Builtin::PrintF:
+              case Builtin::SqrtF:
+              case Builtin::FloorF:
+              case Builtin::PowF:
+                return types_.doubleType();
+              case Builtin::Malloc:
+                return types_.longType();
+              case Builtin::Memset:
+                return i == 1   ? types_.intType()
+                       : i == 2 ? types_.longType()
+                                : nullptr;
+              case Builtin::Memcpy:
+                return i == 2 ? types_.longType() : nullptr;
+              default:
+                return nullptr; // pointer-typed; no conversion
+            }
+        }
+        const auto &callee = *program_.functions[
+            static_cast<std::size_t>(call.funcIndex)];
+        if (i < callee.params.size()) {
+            const Type *t = callee.params[i].type;
+            return t->isArray() ? nullptr : t;
+        }
+        return nullptr;
+    }
+
+    std::uint64_t
+    evalCall(const CallExpr &call)
+    {
+        // cur_line() resolves statically; the reference reading is
+        // the call's own source line.
+        if (call.builtin == Builtin::CurLine)
+            return call.loc().line;
+
+        // Left-to-right argument evaluation (the neutral order).
+        std::vector<std::uint64_t> args;
+        args.reserve(call.args.size());
+        for (std::size_t i = 0; i < call.args.size(); i++) {
+            std::uint64_t v = evalValue(*call.args[i]);
+            if (!running_)
+                return 0;
+            if (const Type *want = builtinParamType(call, i)) {
+                if (want->isScalar())
+                    v = convertVal(v, call.args[i]->type, want);
+            }
+            args.push_back(v);
+        }
+
+        if (call.builtin != Builtin::None)
+            return evalBuiltin(call.builtin, args);
+
+        const auto &callee = *program_.functions[
+            static_cast<std::size_t>(call.funcIndex)];
+        return callFunction(callee, args);
+    }
+
+    std::uint64_t
+    callFunction(const FunctionDecl &callee,
+                 const std::vector<std::uint64_t> &args)
+    {
+        const compiler::Traits &traits = refTraits();
+        if (callDepth_ >= limits_.maxCallDepth) {
+            finish(Termination::StackOverflow, 139, TrapKind::None);
+            return 0;
+        }
+        const auto &frame = layout_.frames[
+            static_cast<std::size_t>(callee.index)];
+        const std::uint64_t stack_bottom =
+            traits.stackBase - limits_.stackSize;
+        const std::uint64_t sp = fp_;
+        if (frame.frameSize > sp - stack_bottom) {
+            finish(Termination::StackOverflow, 139, TrapKind::None);
+            return 0;
+        }
+        const std::uint64_t new_fp = sp - frame.frameSize;
+        // Extra arguments are dropped, missing ones leave the slot
+        // uninitialized (CWE-685 semantics, same as the VM).
+        const std::size_t stored =
+            std::min(args.size(), callee.params.size());
+        for (std::size_t i = 0; i < stored; i++) {
+            if (!storeRaw(new_fp + frame.paramOffsets[i],
+                          frame.paramSizes[i], args[i]))
+                return 0;
+        }
+
+        const FunctionDecl *saved_func = curFunc_;
+        const std::uint64_t saved_fp = fp_;
+        curFunc_ = &callee;
+        fp_ = new_fp;
+        callDepth_++;
+        flow_ = Flow::Normal;
+
+        execStmt(*callee.body);
+
+        std::uint64_t rv = 0;
+        if (running_) {
+            if (flow_ == Flow::Return) {
+                rv = returnHasValue_ ? returnValue_ : 0;
+            } else if (!callee.returnType->isVoid()) {
+                rv = refTraits().undefWord;
+            }
+        }
+        callDepth_--;
+        curFunc_ = saved_func;
+        fp_ = saved_fp;
+        flow_ = Flow::Normal;
+        return rv;
+    }
+
+    std::uint64_t
+    evalBuiltin(Builtin builtin,
+                const std::vector<std::uint64_t> &args)
+    {
+        switch (builtin) {
+          case Builtin::PrintInt:
+            emitOut(std::to_string(
+                static_cast<std::int32_t>(args[0])));
+            return 0;
+          case Builtin::PrintUInt:
+            emitOut(std::to_string(
+                static_cast<std::uint32_t>(args[0])));
+            return 0;
+          case Builtin::PrintLong:
+            emitOut(std::to_string(
+                static_cast<std::int64_t>(args[0])));
+            return 0;
+          case Builtin::PrintChar:
+            if (res_.output.size() < limits_.maxOutput)
+                res_.output.push_back(
+                    static_cast<char>(args[0]));
+            return 0;
+          case Builtin::PrintHex:
+            emitOut(support::format("%" PRIx64, args[0]));
+            return 0;
+          case Builtin::PrintPtr:
+            emitOut(support::format("0x%" PRIx64, args[0]));
+            return 0;
+          case Builtin::PrintF:
+            emitOut(support::format("%.17g", asDouble(args[0])));
+            return 0;
+          case Builtin::PrintStr: {
+            const std::uint64_t addr = args[0];
+            for (std::size_t n = 0; n < 65536; n++) {
+                std::uint64_t byte = 0;
+                if (!loadRaw(addr + n, 1, byte))
+                    break;
+                if ((byte & 0xff) == 0)
+                    break;
+                if (res_.output.size() < limits_.maxOutput)
+                    res_.output.push_back(
+                        static_cast<char>(byte));
+            }
+            return 0;
+          }
+          case Builtin::Newline:
+            emitOut("\n");
+            return 0;
+          case Builtin::InputSize:
+            return input_.size();
+          case Builtin::InputByte: {
+            const auto idx = static_cast<std::int64_t>(args[0]);
+            if (idx >= 0 &&
+                idx < static_cast<std::int64_t>(input_.size()))
+                return input_[static_cast<std::size_t>(idx)];
+            return static_cast<std::uint64_t>(-1);
+          }
+          case Builtin::ReadByte:
+            if (inputCursor_ < input_.size())
+                return input_[inputCursor_++];
+            return static_cast<std::uint64_t>(-1);
+          case Builtin::Malloc: {
+            const auto n = static_cast<std::int64_t>(args[0]);
+            return n < 0 ? 0
+                         : heap_.allocate(
+                               static_cast<std::uint64_t>(n));
+          }
+          case Builtin::Free:
+            switch (heap_.release(args[0])) {
+              case FreeOutcome::Ok:
+              case FreeOutcome::NullNoop:
+              case FreeOutcome::DoubleFreeSilent:
+              case FreeOutcome::InvalidFreeIgnored:
+              case FreeOutcome::AsanDoubleFree:
+              case FreeOutcome::AsanInvalidFree:
+                break;
+              case FreeOutcome::DoubleFreeAbort:
+                emitOut("free(): double free detected\n");
+                finish(Termination::RuntimeAbort, 134,
+                       TrapKind::None);
+                break;
+              case FreeOutcome::InvalidFreeAbort:
+                emitOut("free(): invalid pointer\n");
+                finish(Termination::RuntimeAbort, 134,
+                       TrapKind::None);
+                break;
+            }
+            return 0;
+          case Builtin::Memset: {
+            const std::uint64_t dst = args[0];
+            const std::uint64_t byte = args[1] & 0xff;
+            const auto n = static_cast<std::int64_t>(args[2]);
+            res_.instructions +=
+                n > 0 ? static_cast<std::uint64_t>(n) : 0;
+            for (std::int64_t i = 0; i < n && running_; i++)
+                storeRaw(dst + static_cast<std::uint64_t>(i), 1,
+                         byte);
+            return 0;
+          }
+          case Builtin::Memcpy: {
+            const std::uint64_t dst = args[0];
+            const std::uint64_t src = args[1];
+            const auto n = static_cast<std::int64_t>(args[2]);
+            res_.instructions +=
+                n > 0 ? static_cast<std::uint64_t>(n) : 0;
+            // The reference copies forward (overlap is UB anyway).
+            for (std::int64_t i = 0; i < n && running_; i++) {
+                std::uint64_t byte = 0;
+                if (!loadRaw(src + static_cast<std::uint64_t>(i), 1,
+                             byte))
+                    break;
+                storeRaw(dst + static_cast<std::uint64_t>(i), 1,
+                         byte);
+            }
+            return 0;
+          }
+          case Builtin::Strlen: {
+            const std::uint64_t addr = args[0];
+            std::uint64_t len = 0;
+            for (; len < 65536 && running_; len++) {
+                std::uint64_t byte = 0;
+                if (!loadRaw(addr + len, 1, byte))
+                    break;
+                if ((byte & 0xff) == 0)
+                    break;
+            }
+            return len;
+          }
+          case Builtin::Strcpy: {
+            const std::uint64_t dst = args[0];
+            const std::uint64_t src = args[1];
+            for (std::uint64_t i = 0; i < 65536 && running_; i++) {
+                std::uint64_t byte = 0;
+                if (!loadRaw(src + i, 1, byte))
+                    break;
+                if (!storeRaw(dst + i, 1, byte))
+                    break;
+                if ((byte & 0xff) == 0)
+                    break;
+            }
+            return 0;
+          }
+          case Builtin::Strcmp: {
+            const std::uint64_t a = args[0];
+            const std::uint64_t b = args[1];
+            std::int64_t cmp = 0;
+            for (std::uint64_t i = 0; i < 65536 && running_; i++) {
+                std::uint64_t ba = 0;
+                std::uint64_t bb = 0;
+                if (!loadRaw(a + i, 1, ba) ||
+                    !loadRaw(b + i, 1, bb))
+                    break;
+                const auto ca = static_cast<std::uint8_t>(ba);
+                const auto cb = static_cast<std::uint8_t>(bb);
+                if (ca != cb) {
+                    cmp = ca < cb ? -1 : 1;
+                    break;
+                }
+                if (ca == 0)
+                    break;
+            }
+            return static_cast<std::uint64_t>(cmp);
+          }
+          case Builtin::Exit:
+            finish(Termination::Exit,
+                   static_cast<std::int32_t>(args[0]),
+                   TrapKind::None);
+            return 0;
+          case Builtin::Abort:
+            finish(Termination::RuntimeAbort, 134, TrapKind::None);
+            return 0;
+          case Builtin::PowF:
+            return asBits(
+                std::pow(asDouble(args[0]), asDouble(args[1])));
+          case Builtin::SqrtF:
+            return asBits(std::sqrt(asDouble(args[0])));
+          case Builtin::FloorF:
+            return asBits(std::floor(asDouble(args[0])));
+          case Builtin::TimeStamp:
+            return nonce_;
+          case Builtin::BadRand: {
+            // The "uninitialized" heap byte is the zero fill here.
+            const std::uint32_t raw =
+                0x01010101u * refTraits().heapFill;
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(raw & 0x7fffffff)));
+          }
+          case Builtin::Probe:
+            res_.probes.push_back(
+                static_cast<std::int32_t>(args[0]));
+            return 0;
+          case Builtin::CurLine:
+          case Builtin::None:
+            support::panic("ref: unexpected builtin call");
+        }
+        return 0;
+    }
+
+    // --- statements ------------------------------------------------
+    void
+    execStmt(const Stmt &stmt)
+    {
+        if (!tick())
+            return;
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            for (const auto &s :
+                 static_cast<const BlockStmt &>(stmt).body) {
+                execStmt(*s);
+                if (!running_ || flow_ != Flow::Normal)
+                    return;
+            }
+            return;
+          case StmtKind::VarDecl: {
+            const auto &decl =
+                static_cast<const VarDeclStmt &>(stmt);
+            if (!decl.init)
+                return; // storage stays as the stack fill left it
+            const std::uint64_t addr =
+                fp_ + frame().slotOffset[
+                          static_cast<std::size_t>(decl.localId)];
+            std::uint64_t v = evalValue(*decl.init);
+            if (!running_)
+                return;
+            v = convertVal(v, decl.init->type, decl.declType);
+            storeScalar(addr, decl.declType, v);
+            return;
+          }
+          case StmtKind::If: {
+            const auto &if_stmt = static_cast<const IfStmt &>(stmt);
+            const bool taken = evalCondBool(*if_stmt.cond);
+            if (!running_)
+                return;
+            if (taken)
+                execStmt(*if_stmt.thenStmt);
+            else if (if_stmt.elseStmt)
+                execStmt(*if_stmt.elseStmt);
+            return;
+          }
+          case StmtKind::While: {
+            const auto &w = static_cast<const WhileStmt &>(stmt);
+            while (running_) {
+                if (!evalCondBool(*w.cond) || !running_)
+                    return;
+                execStmt(*w.body);
+                if (flow_ == Flow::Break) {
+                    flow_ = Flow::Normal;
+                    return;
+                }
+                if (flow_ == Flow::Continue)
+                    flow_ = Flow::Normal;
+                if (flow_ == Flow::Return)
+                    return;
+            }
+            return;
+          }
+          case StmtKind::For: {
+            const auto &f = static_cast<const ForStmt &>(stmt);
+            if (f.init) {
+                execStmt(*f.init);
+                if (!running_ || flow_ != Flow::Normal)
+                    return;
+            }
+            while (running_) {
+                if (f.cond) {
+                    if (!evalCondBool(*f.cond) || !running_)
+                        return;
+                }
+                execStmt(*f.body);
+                if (flow_ == Flow::Break) {
+                    flow_ = Flow::Normal;
+                    return;
+                }
+                if (flow_ == Flow::Continue)
+                    flow_ = Flow::Normal;
+                if (flow_ == Flow::Return || !running_)
+                    return;
+                if (f.step)
+                    evalValue(*f.step);
+            }
+            return;
+          }
+          case StmtKind::Return: {
+            const auto &ret = static_cast<const ReturnStmt &>(stmt);
+            if (curFunc_->returnType->isVoid()) {
+                returnHasValue_ = false;
+            } else if (ret.value) {
+                std::uint64_t v = evalValue(*ret.value);
+                if (!running_)
+                    return;
+                returnValue_ = convertVal(v, ret.value->type,
+                                          curFunc_->returnType);
+                returnHasValue_ = true;
+            } else {
+                returnValue_ = refTraits().undefWord;
+                returnHasValue_ = true;
+            }
+            flow_ = Flow::Return;
+            return;
+          }
+          case StmtKind::Break:
+            flow_ = Flow::Break;
+            return;
+          case StmtKind::Continue:
+            flow_ = Flow::Continue;
+            return;
+          case StmtKind::ExprStmt:
+            evalValue(*static_cast<const ExprStmt &>(stmt).expr);
+            return;
+        }
+        support::panic("ref: unhandled statement kind");
+    }
+
+    const RefInterpreter::Layout::FrameLayout &
+    frame() const
+    {
+        return layout_.frames[
+            static_cast<std::size_t>(curFunc_->index)];
+    }
+
+    const Program &program_;
+    const TypeContext &types_;
+    const RefInterpreter::Layout &layout_;
+    const vm::VmLimits &limits_;
+    const Bytes &input_;
+    const std::uint64_t nonce_;
+
+    vm::AddressSpace space_;
+    vm::Heap heap_;
+    ExecutionResult res_;
+    bool running_ = true;
+    std::size_t inputCursor_ = 0;
+
+    const FunctionDecl *curFunc_ = nullptr;
+    std::uint64_t fp_ = 0;
+    std::uint32_t callDepth_ = 0;
+    Flow flow_ = Flow::Normal;
+    std::uint64_t returnValue_ = 0;
+    bool returnHasValue_ = false;
+};
+
+} // namespace
+
+ExecutionResult
+RefInterpreter::run(const Bytes &input, std::uint64_t nonce) const
+{
+    Interp interp(program_, *layout_, limits_, input, nonce);
+    return interp.run();
+}
+
+} // namespace compdiff::refinterp

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * A direct AST tree-walking reference interpreter for MiniC.
+ *
+ * RefInterpreter is the oracle-diversity backend (DESIGN.md §7): it
+ * executes the *original* sema-annotated AST with none of the
+ * simulated-compiler machinery — no lowering, no bytecode, no
+ * optimization passes, no Traits-derived codegen choices. Where the
+ * C standard leaves an implementation a choice, the interpreter picks
+ * one fixed, neutral answer (declaration-order layout, left-to-right
+ * argument evaluation, zero-filled fresh memory, plain libm); where
+ * the standard pins the behavior down, it computes exactly the value
+ * the simulated pipeline produces — so a UB-free program runs
+ * byte-identically under both backends, and any disagreement is
+ * either undefined behavior in the program or a defect in one of the
+ * backends (the shared-fate blind spot the paper's oracle cannot see
+ * with a single execution engine).
+ *
+ * The interpreter reuses the VM's segmented AddressSpace/Heap model
+ * (with its own segment bases, distinct from every simulated
+ * configuration) and reports results in the same vm::ExecutionResult
+ * currency, so the differential engine can compare observations
+ * across backends without translation.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "compiler/config.hh"
+#include "minic/ast.hh"
+#include "support/bytes.hh"
+#include "vm/result.hh"
+#include "vm/vm.hh"
+
+namespace compdiff::refinterp
+{
+
+/**
+ * The fixed, neutral traits the interpreter runs under: declaration
+ * order, no padding, zero fills, forward memcpy, plain pow(), glibc-
+ * style free() checks, and segment bases distinct from every
+ * simulated configuration (so cross-backend address leaks diverge).
+ * Only the runtime half (memory layout, heap policy) is consulted;
+ * there is no codegen to configure.
+ */
+const compiler::Traits &refTraits();
+
+/**
+ * Executes a MiniC program by walking its AST.
+ *
+ * Mirrors vm::Vm's reuse contract: construction precomputes the
+ * layouts (globals, rodata, per-function frames) once; run() is const
+ * and keeps all per-run state on its own stack, so one interpreter
+ * serves many inputs (the forkserver analog). setMaxInstructions()
+ * is an unsynchronized write, exactly like Vm's — callers serialize
+ * budget changes against runs.
+ */
+class RefInterpreter
+{
+  public:
+    /**
+     * @param program Analyzed program (must outlive the interpreter).
+     * @param limits  Per-execution resource limits; maxInstructions
+     *                counts evaluation steps (the timeout analog).
+     */
+    explicit RefInterpreter(const minic::Program &program,
+                            vm::VmLimits limits = {});
+    ~RefInterpreter();
+
+    /**
+     * Run `main` on one input.
+     *
+     * @param input The fuzz input visible through input_* builtins.
+     * @param nonce Per-execution value returned by time_stamp().
+     */
+    vm::ExecutionResult run(const support::Bytes &input,
+                            std::uint64_t nonce = 0) const;
+
+    /** Raise the step budget (RQ6 timeout re-examination). */
+    void setMaxInstructions(std::uint64_t budget)
+    {
+        limits_.maxInstructions = budget;
+    }
+
+    const vm::VmLimits &limits() const { return limits_; }
+
+    struct Layout; ///< Opaque precomputed layout (see refinterp.cc).
+
+  private:
+    const minic::Program &program_;
+    vm::VmLimits limits_;
+    std::unique_ptr<const Layout> layout_;
+};
+
+} // namespace compdiff::refinterp

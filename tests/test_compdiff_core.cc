@@ -37,6 +37,54 @@ TEST(Normalizer, CustomPatterns)
               "<time> [Epan WARNING]");
 }
 
+TEST(Normalizer, EmptyOutput)
+{
+    auto normalizer = OutputNormalizer::withDefaultFilters();
+    EXPECT_EQ(normalizer.normalize(""), "");
+    // No filters at all must also be the identity on empty input.
+    EXPECT_EQ(OutputNormalizer().normalize(""), "");
+}
+
+TEST(Normalizer, TrailingNulBytesSurvive)
+{
+    auto normalizer = OutputNormalizer::withDefaultFilters();
+    // Program output is binary-safe: embedded and trailing NULs are
+    // compared bytes, not C-string terminators.
+    const std::string with_nuls("ab\0[ts:1]\0\0", 11);
+    const std::string expect("ab\0\0\0", 5);
+    EXPECT_EQ(normalizer.normalize(with_nuls), expect);
+    EXPECT_EQ(normalizer.normalize(std::string("\0", 1)),
+              std::string("\0", 1));
+}
+
+TEST(Normalizer, MixedCrLfLineEndings)
+{
+    auto normalizer = OutputNormalizer::withDefaultFilters();
+    // Filters strip the stamp on every line but never touch the
+    // line-ending bytes themselves — a CR/LF mix stays a CR/LF mix.
+    EXPECT_EQ(
+        normalizer.normalize("a [ts:1]\r\nb [ts:22]\nc [ts:3]\r"),
+        "a \r\nb \nc \r");
+    // A digit run must not match across a CRLF boundary.
+    EXPECT_EQ(normalizer.normalize("[ts:12\r\n34]"), "[ts:12\r\n34]");
+}
+
+TEST(Normalizer, PointerTokensAtLineBoundaries)
+{
+    OutputNormalizer normalizer;
+    normalizer.addPattern("0x[0-9a-f]+", "<ptr>");
+    // Token at line start, line end, and as the entire line.
+    EXPECT_EQ(normalizer.normalize("0xdeadbeef leaked\n"),
+              "<ptr> leaked\n");
+    EXPECT_EQ(normalizer.normalize("at 0x7ffe01\nnext"),
+              "at <ptr>\nnext");
+    EXPECT_EQ(normalizer.normalize("0xabc"), "<ptr>");
+    EXPECT_EQ(normalizer.normalize("0x1 0x2\n0x3"),
+              "<ptr> <ptr>\n<ptr>");
+    // Not a pointer: no hex digits after the prefix.
+    EXPECT_EQ(normalizer.normalize("0x"), "0x");
+}
+
 TEST(DiffEngine, DetectsListing1)
 {
     auto program = minic::parseAndCheck(R"(
@@ -146,7 +194,7 @@ TEST(DiffEngine, TimeoutRetryResolvesPartialTimeout)
     EXPECT_TRUE(result.divergent);
     EXPECT_FALSE(result.unresolvedTimeout);
     for (const auto &obs : result.observations)
-        EXPECT_EQ(obs.exitClass, "exit:0") << obs.config.name();
+        EXPECT_EQ(obs.exitClass, "exit:0") << obs.impl;
 
     // Without the retry discipline, the same input would surface as
     // a (spurious, truncated-output) partial timeout.
@@ -257,8 +305,8 @@ TEST(SubsetAnalysis, NamesSubsets)
     SubsetAnalysis analysis(3);
     analysis.addCase({1, 2, 3});
     auto results = analysis.enumerateSize(2);
-    const auto configs = compiler::standardImplementations();
-    EXPECT_EQ(results[0].name(configs), "{gcc-O0, gcc-O1}");
+    const auto impls = core::paper10Implementations();
+    EXPECT_EQ(results[0].name(impls), "{gcc-O0, gcc-O1}");
 }
 
 } // namespace

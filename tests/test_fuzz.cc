@@ -224,7 +224,7 @@ TEST(Fuzzer, StatsSnapshotTotalsAreConsistent)
 
     const auto parsed = obs::snapshotFromFuzzerStats(text);
     ASSERT_EQ(parsed.perConfigExecs.size(),
-              options.diffConfigs.size());
+              options.diffImpls.size());
     std::uint64_t per_config_total = 0;
     for (const auto &[name, execs] : parsed.perConfigExecs) {
         EXPECT_GE(execs, stats.execs) << name;

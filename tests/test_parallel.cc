@@ -42,7 +42,7 @@ expectIdentical(const DiffResult &a, const DiffResult &b)
     for (std::size_t i = 0; i < a.observations.size(); i++) {
         const auto &oa = a.observations[i];
         const auto &ob = b.observations[i];
-        EXPECT_EQ(oa.config.name(), ob.config.name());
+        EXPECT_EQ(oa.impl, ob.impl);
         EXPECT_EQ(oa.normalizedOutput, ob.normalizedOutput);
         EXPECT_EQ(oa.exitClass, ob.exitClass);
         EXPECT_EQ(oa.hash, ob.hash);

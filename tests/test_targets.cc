@@ -11,6 +11,7 @@
 #include <set>
 
 #include "compdiff/engine.hh"
+#include "compiler/compiler.hh"
 #include "minic/parser.hh"
 #include "targets/campaign.hh"
 #include "targets/targets.hh"
