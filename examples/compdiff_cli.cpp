@@ -13,6 +13,16 @@
  *                       reference interpreter); see DESIGN.md §7
  *   --fuzz[=N]          run a CompDiff-AFL++ campaign (default
  *                       20000 execs) instead of a single input
+ *   --target=NAME       fuzz a built-in campaign target (pktdump,
+ *                       elfread, ...) instead of a program file;
+ *                       uses the target's official seeds
+ *   --reduce[=BUDGET]   after a --fuzz campaign, minimize every
+ *                       unique divergence (ddmin the input, shrink
+ *                       the program) under a per-divergence oracle
+ *                       budget (default 4096 candidates)
+ *   --reports-out=DIR   bundle each reduced divergence under
+ *                       DIR/sig-<hex>/ (program.mc, input.bin,
+ *                       witness.bin, report.md)
  *   --jobs=N            worker threads (0 = hardware); results are
  *                       bit-identical for every value
  *   --shards=N          split a --fuzz campaign into N deterministic
@@ -51,8 +61,10 @@
 #include "obs/metrics.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "reduce/report.hh"
 #include "support/bytes.hh"
 #include "support/logging.hh"
+#include "targets/targets.hh"
 
 namespace
 {
@@ -91,6 +103,10 @@ struct CliOptions
     std::string impls = "paper10";
     bool fuzz = false;
     std::uint64_t fuzzExecs = 20'000;
+    std::string target;
+    bool reduce = false;
+    std::uint64_t reduceBudget = 4096;
+    std::string reportsOut;
     std::size_t jobs = 1;
     std::size_t shards = 1;
     std::string statsOut;
@@ -136,6 +152,16 @@ parseArgs(int argc, char **argv)
             options.fuzz = true;
             options.fuzzExecs = static_cast<std::uint64_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
+        } else if (arg == "--reduce") {
+            options.reduce = true;
+        } else if (matchFlag(arg, "--reduce", &value)) {
+            options.reduce = true;
+            options.reduceBudget = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--reports-out", &value)) {
+            options.reportsOut = value;
+        } else if (matchFlag(arg, "--target", &value)) {
+            options.target = value;
         } else if (matchFlag(arg, "--jobs", &value)) {
             options.jobs = static_cast<std::size_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
@@ -191,7 +217,7 @@ exportTelemetry(const CliOptions &options)
 
 int
 runFuzzMode(const compdiff::minic::Program &program,
-            const compdiff::support::Bytes &input,
+            const std::vector<compdiff::support::Bytes> &seeds,
             const CliOptions &options)
 {
     using namespace compdiff;
@@ -203,9 +229,9 @@ runFuzzMode(const compdiff::minic::Program &program,
     fuzz_options.statsOutPath = options.statsOut;
     fuzz_options.plotOutPath = options.plotOut;
     fuzz_options.jobs = options.jobs;
-    std::vector<support::Bytes> seeds;
-    if (!input.empty())
-        seeds.push_back(input);
+    fuzz_options.reduceFound = options.reduce;
+    fuzz_options.reduceCandidateBudget = options.reduceBudget;
+    fuzz_options.reportsDir = options.reportsOut;
 
     fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
         program, seeds, fuzz_options, options.shards,
@@ -220,6 +246,31 @@ runFuzzMode(const compdiff::minic::Program &program,
                     static_cast<unsigned long long>(diff.execIndex),
                     diff.input.size(),
                     diff.result.summary().c_str());
+    }
+    for (const auto &report : sharded.reports) {
+        std::printf("\nreduced %s: input %zu -> %zu bytes, "
+                    "program %zu -> %zu statements%s\n",
+                    reduce::signatureDirName(report.signature)
+                        .c_str(),
+                    report.witnessInput.size(), report.input.size(),
+                    report.programStats.stmtsBefore,
+                    report.programStats.stmtsAfter,
+                    report.reproduced
+                        ? ""
+                        : " (witness did not reproduce; kept as-is)");
+        if (report.localization.attempted) {
+            std::printf("  localization (%s vs %s): %s\n",
+                        report.localization.implA.c_str(),
+                        report.localization.implB.c_str(),
+                        report.localization.localization.str()
+                            .c_str());
+            if (report.localization.bridged)
+                std::printf("  note: %s\n",
+                            report.localization.note.c_str());
+        } else if (!report.localization.note.empty()) {
+            std::printf("  localization: %s\n",
+                        report.localization.note.c_str());
+        }
     }
     exportTelemetry(options);
     return sharded.total.diffs > 0 ? 1 : 0;
@@ -259,7 +310,20 @@ main(int argc, char **argv)
 
     std::string source;
     support::Bytes input;
-    if (!options.positional.empty()) {
+    std::vector<support::Bytes> seeds;
+    if (!options.target.empty()) {
+        const targets::TargetProgram *target =
+            targets::findTarget(options.target);
+        if (!target) {
+            std::fprintf(stderr, "unknown target %s\n",
+                         options.target.c_str());
+            return 2;
+        }
+        source = target->source;
+        seeds = target->seeds;
+        if (!seeds.empty())
+            input = seeds.front();
+    } else if (!options.positional.empty()) {
         source = readFile(options.positional[0]);
         if (source.empty()) {
             std::fprintf(stderr, "cannot read %s\n",
@@ -272,10 +336,12 @@ main(int argc, char **argv)
         source = kDemoProgram;
         input = {10, 50}; // offset INT_MAX-10, len 50: overflows
     }
-    if (options.positional.size() > 1) {
+    if (options.target.empty() && options.positional.size() > 1) {
         const std::string raw = readFile(options.positional[1]);
         input.assign(raw.begin(), raw.end());
     }
+    if (seeds.empty() && !input.empty())
+        seeds.push_back(input);
 
     std::unique_ptr<minic::Program> program;
     try {
@@ -286,7 +352,7 @@ main(int argc, char **argv)
     }
 
     if (options.fuzz)
-        return runFuzzMode(*program, input, options);
+        return runFuzzMode(*program, seeds, options);
 
     core::DiffOptions diff_options;
     diff_options.jobs = options.jobs;
@@ -304,38 +370,21 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Pick one representative from two different behavior classes
-    // and align their traces.
-    std::size_t a = 0;
-    std::size_t b = 0;
-    for (std::size_t i = 1; i < diff.observations.size(); i++) {
-        if (diff.classOf[i] != diff.classOf[a]) {
-            b = i;
-            break;
-        }
-    }
-    // Trace-alignment localization replays the traits-specific
-    // simulated pipelines, so it needs a CompilerConfig on both
-    // sides; cross-backend pairs (e.g. against "ref") report the
-    // divergence without a root-cause candidate.
-    const auto &impls = engine.implementations();
-    const compiler::CompilerConfig *config_a =
-        impls[a]->simulatedConfig();
-    const compiler::CompilerConfig *config_b =
-        impls[b]->simulatedConfig();
-    if (config_a && config_b) {
-        auto loc = core::localizeDivergence(*program, *config_a,
-                                            *config_b, input);
+    // Localize between two behavior-class representatives. With
+    // cross-backend pairs (e.g. against "ref"), localizeAcross
+    // bridges to a same-class simulated member when one exists and
+    // reports exactly which pair it aligned.
+    auto pair = core::localizeAcross(
+        *program, engine.implementations(), diff, input);
+    if (pair.attempted) {
         std::printf("\nroot-cause candidate (%s vs %s):\n  %s\n",
-                    diff.observations[a].impl.c_str(),
-                    diff.observations[b].impl.c_str(),
-                    loc.str().c_str());
+                    pair.implA.c_str(), pair.implB.c_str(),
+                    pair.localization.str().c_str());
+        if (pair.bridged)
+            std::printf("  note: %s\n", pair.note.c_str());
     } else {
-        std::printf("\n(no root-cause candidate: trace-alignment "
-                    "localization needs two simulated compiler "
-                    "implementations; %s vs %s crosses backends)\n",
-                    diff.observations[a].impl.c_str(),
-                    diff.observations[b].impl.c_str());
+        std::printf("\n(no root-cause candidate: %s)\n",
+                    pair.note.c_str());
     }
     exportTelemetry(options);
     return 1;

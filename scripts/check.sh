@@ -56,6 +56,26 @@ smoke() {
     "$cli" --quiet --impls=gcc:-O0,ref > "$tmp/ref.out"
     grep -q 'consistent across 2 implementations' "$tmp/ref.out"
 
+    echo "== reduce smoke: campaign + minimized bug bundles"
+    # Deterministic campaign target; --reduce minimizes every unique
+    # divergence under a hard candidate budget (keeps CI wall time
+    # bounded) and --reports-out bundles each one. Exit 1 = found
+    # divergences, by design.
+    "$cli" --quiet --target=pktdump --fuzz=2000 --reduce=200 \
+        --reports-out="$tmp/reports" > "$tmp/reduce.out" || test $? -eq 1
+    report="$(find "$tmp/reports" -name report.md | head -n 1)"
+    test -n "$report"
+    bundle="$(dirname "$report")"
+    test -s "$bundle/program.mc"
+    test -s "$bundle/input.bin"
+    grep -q '^# Divergence report sig-' "$report"
+    grep -q '^## Reproduce' "$report"
+    # The minimized witness must still diverge when replayed.
+    "$cli" --quiet "$bundle/program.mc" "$bundle/input.bin" \
+        > "$tmp/replay.out" && rc=0 || rc=$?
+    test "$rc" -eq 1
+    grep -q 'DIVERGENT' "$tmp/replay.out"
+
     echo "== obs smoke: fuzz campaign with fuzzer_stats + plot_data"
     "$cli" --quiet --fuzz=400 \
         --stats-out="$tmp/fuzzer_stats" \

@@ -86,4 +86,106 @@ localizeDivergence(const minic::Program &program,
     return loc;
 }
 
+namespace
+{
+
+/** Index of a simulated member of class `cls`, or npos. */
+std::size_t
+simulatedMemberOf(const ImplementationSet &impls,
+                  const DiffResult &diff, std::size_t cls)
+{
+    for (std::size_t i = 0; i < diff.classOf.size(); i++) {
+        if (diff.classOf[i] == cls &&
+            impls[i]->simulatedConfig() != nullptr) {
+            return i;
+        }
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+} // namespace
+
+PairLocalization
+localizeAcross(const minic::Program &program,
+               const ImplementationSet &impls,
+               const DiffResult &diff, const support::Bytes &input,
+               vm::VmLimits limits)
+{
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    PairLocalization pair;
+    if (!diff.divergent || diff.classCount < 2 ||
+        impls.size() != diff.classOf.size()) {
+        pair.note = "no divergence to localize";
+        return pair;
+    }
+
+    // The natural representatives: the first member of class 0 and
+    // the first member of any other class (the pair the summary
+    // prints).
+    const std::size_t rep_a = 0;
+    std::size_t rep_b = npos;
+    for (std::size_t i = 1; i < diff.classOf.size(); i++) {
+        if (diff.classOf[i] != diff.classOf[rep_a]) {
+            rep_b = i;
+            break;
+        }
+    }
+    pair.requestedA = impls[rep_a]->id();
+    pair.requestedB = impls[rep_b]->id();
+
+    // Trace alignment needs the simulated pipeline on both sides;
+    // bridge each class to a same-class simulated member when the
+    // natural representative is an independent backend.
+    const std::size_t use_a =
+        impls[rep_a]->simulatedConfig()
+            ? rep_a
+            : simulatedMemberOf(impls, diff, diff.classOf[rep_a]);
+    const std::size_t use_b =
+        impls[rep_b]->simulatedConfig()
+            ? rep_b
+            : simulatedMemberOf(impls, diff, diff.classOf[rep_b]);
+    if (use_a == npos || use_b == npos) {
+        const std::size_t blocked = use_a == npos ? rep_a : rep_b;
+        pair.note =
+            "trace-alignment localization unavailable: behavior "
+            "class " +
+            std::to_string(diff.classOf[blocked]) +
+            " (representative " + impls[blocked]->id() +
+            ") contains no simulated compiler implementation to "
+            "replay with tracing";
+        return pair;
+    }
+
+    pair.attempted = true;
+    pair.implA = impls[use_a]->id();
+    pair.implB = impls[use_b]->id();
+    pair.bridged = use_a != rep_a || use_b != rep_b;
+    if (pair.bridged) {
+        std::string bridges;
+        if (use_a != rep_a) {
+            bridges += pair.requestedA + " -> " + pair.implA;
+        }
+        if (use_b != rep_b) {
+            if (!bridges.empty())
+                bridges += ", ";
+            bridges += pair.requestedB + " -> " + pair.implB;
+        }
+        pair.note =
+            "trace alignment replays the simulated pipeline, so "
+            "the cross-backend representative was bridged to a "
+            "same-behavior-class simulated member (" +
+            bridges +
+            "); the substituted implementation produced the same "
+            "normalized behavior on this input, so the aligned "
+            "divergence is the same divergence";
+    } else {
+        pair.note = "direct trace alignment of " + pair.implA +
+                    " vs " + pair.implB;
+    }
+    pair.localization = localizeDivergence(
+        program, *impls[use_a]->simulatedConfig(),
+        *impls[use_b]->simulatedConfig(), input, limits);
+    return pair;
+}
+
 } // namespace compdiff::core

@@ -22,6 +22,8 @@
 
 #include <string>
 
+#include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
 #include "compiler/config.hh"
 #include "minic/ast.hh"
 #include "support/bytes.hh"
@@ -68,5 +70,54 @@ localizeDivergence(const minic::Program &program,
                    const compiler::CompilerConfig &b,
                    const support::Bytes &input,
                    vm::VmLimits limits = {});
+
+/**
+ * Localization across an arbitrary implementation set.
+ *
+ * Trace alignment replays the traits-specific *simulated* pipelines,
+ * so it needs a CompilerConfig on both sides. With open backends in
+ * the oracle (the reference interpreter, any future backend) the
+ * natural two-class representatives may cross backends; instead of
+ * silently giving up, this wrapper *bridges*: it substitutes, for
+ * each behavior class, a same-class simulated member — legitimate
+ * because every member of a class produced the same (normalized)
+ * behavior on this input — and records exactly which pair it
+ * aligned and why. When a divergent class contains no simulated
+ * member at all, no alignment is possible and the note says which
+ * class blocked it. Reports (reduce::writeReport) and the CLI print
+ * the note verbatim so a filed bug never hides the substitution.
+ */
+struct PairLocalization
+{
+    /** Trace alignment ran (localization below is meaningful). */
+    bool attempted = false;
+    /** Representatives were substituted with same-class simulated
+     *  members (cross-backend bridge). */
+    bool bridged = false;
+    /** The natural representatives of the first two classes. */
+    std::string requestedA;
+    std::string requestedB;
+    /** The pair actually aligned (empty when !attempted). */
+    std::string implA;
+    std::string implB;
+    /** Human-readable account of what was aligned/bridged and why. */
+    std::string note;
+    /** Valid when attempted. */
+    Localization localization;
+};
+
+/**
+ * Pick two representatives of different behavior classes from a
+ * divergent DiffResult and localize between them, bridging
+ * cross-backend pairs as described above.
+ *
+ * @param impls The implementation set that produced `diff`, in
+ *              observation order.
+ */
+PairLocalization
+localizeAcross(const minic::Program &program,
+               const ImplementationSet &impls,
+               const DiffResult &diff, const support::Bytes &input,
+               vm::VmLimits limits = {});
 
 } // namespace compdiff::core

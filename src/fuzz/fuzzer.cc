@@ -134,7 +134,8 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
             if (!diffSignatures_.count(signature)) {
                 diffSignatures_[signature] = diffs_.size();
                 diffs_.push_back({input, std::move(diff),
-                                  stats_.execs, result.probes});
+                                  stats_.execs, result.probes,
+                                  signature});
                 stats_.lastFindExec = stats_.execs;
                 stats_.lastDiffExec = stats_.execs;
                 obs::counter("fuzz.unique_diffs").add();

@@ -51,6 +51,13 @@ struct FoundDiff
     std::uint64_t execIndex = 0;
     /** Ground-truth probes fired by the B_fuzz run (for triage). */
     std::vector<int> probes;
+    /**
+     * The triage signature this diff was deduplicated under: the
+     * sorted probe set when the input fired probes, else the
+     * behavior-class partition + exit classes. Shard folding and the
+     * campaign's untriaged surfacing key on this value.
+     */
+    std::uint64_t signature = 0;
 };
 
 /** A saved crash (or sanitizer report) from B_fuzz. */
@@ -103,6 +110,20 @@ struct FuzzOptions
     vm::VmLimits limits;
     /** Mutations attempted per selected seed. */
     std::uint32_t energyBase = 16;
+
+    // --- post-campaign reduction (src/reduce) ---
+    /**
+     * Reduce every unique divergence after the campaign: ddmin the
+     * witness input, shrink the program, and (when reportsDir is
+     * set) bundle reports/<sig>/ directories. Applied by
+     * runShardedCampaign, deterministic for every `jobs` value.
+     */
+    bool reduceFound = false;
+    /** Report bundle directory ("" = reduce without bundling). */
+    std::string reportsDir;
+    /** Oracle-candidate budget per reduced divergence (bounds the
+     *  CI smoke's wall time). */
+    std::uint64_t reduceCandidateBudget = 4096;
 
     // --- telemetry export (AFL++'s fuzzer_stats / plot_data) ---
     /** Where to write the final `fuzzer_stats` snapshot ("" = off). */

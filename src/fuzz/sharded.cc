@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "reduce/pipeline.hh"
 #include "support/hash.hh"
 #include "support/thread_pool.hh"
 #include "vm/coverage.hh"
@@ -137,13 +138,11 @@ runShardedCampaign(const minic::Program &program,
 
         merged_virgin.merge(fuzzer.virginMap());
 
-        const auto diff_sigs = signaturesByIndex(
-            fuzzer.diffSignatures(), fuzzer.diffs().size());
-        for (std::size_t i = 0; i < fuzzer.diffs().size(); i++) {
+        for (const auto &diff : fuzzer.diffs()) {
             if (diff_signatures
-                    .emplace(diff_sigs[i], result.diffs.size())
+                    .emplace(diff.signature, result.diffs.size())
                     .second)
-                result.diffs.push_back(fuzzer.diffs()[i]);
+                result.diffs.push_back(diff);
         }
         const auto crash_sigs = signaturesByIndex(
             fuzzer.crashSignatures(), fuzzer.crashes().size());
@@ -166,6 +165,26 @@ runShardedCampaign(const minic::Program &program,
     result.total.crashes = result.crashes.size();
     result.total.diffs = result.diffs.size();
     result.total.edges = merged_virgin.edgesSeen();
+
+    // Post-campaign reduction: one witness per unique signature, in
+    // fold order. The reduce pipeline is deterministic for every
+    // `jobs` value (indexed slots, per-witness oracles with fixed
+    // nonces), so this preserves the campaign's jobs-neutrality.
+    if (options.reduceFound && !result.diffs.empty()) {
+        std::vector<reduce::Witness> witnesses;
+        witnesses.reserve(result.diffs.size());
+        for (const auto &diff : result.diffs)
+            witnesses.push_back({diff.input, diff.result});
+        reduce::ReduceOptions reduce_options;
+        reduce_options.diffOptions = options.diffOptions;
+        reduce_options.diffOptions.limits = options.limits;
+        reduce_options.candidateBudget =
+            options.reduceCandidateBudget;
+        reduce_options.jobs = jobs;
+        reduce_options.reportsDir = options.reportsDir;
+        result.reports = reduce::reduceAndReport(
+            program, options.diffImpls, witnesses, reduce_options);
+    }
 
     if (obs::metricsEnabled()) {
         obs::counter("fuzz.shards").add(count);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.hh"
+#include "reduce/report.hh"
 
 namespace compdiff::fuzz
 {
@@ -47,6 +48,12 @@ struct ShardedResult
     /** Per-implementation executions folded in config order. */
     std::vector<std::pair<std::string, std::uint64_t>>
         perConfigExecs;
+    /**
+     * Post-campaign reduction outcomes, one per entry of `diffs`
+     * (same order); empty unless FuzzOptions::reduceFound. Bundles
+     * are written under FuzzOptions::reportsDir when set.
+     */
+    std::vector<reduce::DivergenceReport> reports;
 
     /** Merged AFL++-style `fuzzer_stats` snapshot. */
     obs::FuzzerStatsSnapshot statsSnapshot() const;

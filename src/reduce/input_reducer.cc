@@ -1,0 +1,113 @@
+#include "reduce/input_reducer.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace compdiff::reduce
+{
+
+using support::Bytes;
+
+namespace
+{
+
+/** One full ddmin sweep: chunk removal at decreasing granularity.
+ *  Returns true when at least one candidate was accepted. */
+bool
+ddminSweep(Oracle &oracle, const minic::Program &program,
+           Bytes &current, std::size_t &bytes_removed)
+{
+    bool any = false;
+    bool changed = true;
+    while (changed && !current.empty() &&
+           !oracle.budgetExhausted()) {
+        changed = false;
+        for (std::size_t chunk =
+                 std::max<std::size_t>(current.size() / 2, 1);
+             chunk >= 1; chunk /= 2) {
+            for (std::size_t pos = 0;
+                 pos + chunk <= current.size() &&
+                 !oracle.budgetExhausted();) {
+                Bytes candidate = current;
+                candidate.erase(
+                    candidate.begin() +
+                        static_cast<std::ptrdiff_t>(pos),
+                    candidate.begin() +
+                        static_cast<std::ptrdiff_t>(pos + chunk));
+                if (oracle.preserves(program, candidate)) {
+                    bytes_removed += chunk;
+                    current = std::move(candidate);
+                    changed = true;
+                    any = true;
+                    // The next chunk slid into `pos`; retry there.
+                } else {
+                    pos += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    return any;
+}
+
+/** AFL-tmin-style normalization: canonicalize every byte that
+ *  tolerates it to zero, so two reductions of the same bug converge
+ *  on the same bytes even when the fuzzer found them via different
+ *  mutations. Returns true when at least one byte was zeroed. */
+bool
+normalizeSweep(Oracle &oracle, const minic::Program &program,
+               Bytes &current, std::size_t &bytes_normalized)
+{
+    bool any = false;
+    for (std::size_t pos = 0;
+         pos < current.size() && !oracle.budgetExhausted(); pos++) {
+        if (current[pos] == 0)
+            continue;
+        Bytes candidate = current;
+        candidate[pos] = 0;
+        if (oracle.preserves(program, candidate)) {
+            current = std::move(candidate);
+            bytes_normalized++;
+            any = true;
+        }
+    }
+    return any;
+}
+
+} // namespace
+
+InputReduction
+reduceInput(Oracle &oracle, const minic::Program &program,
+            const Bytes &witness)
+{
+    obs::Span span("reduce.input");
+    InputReduction out;
+    out.reduced = witness;
+    const std::uint64_t tried_before = oracle.stats().tried;
+    const std::uint64_t accepted_before = oracle.stats().accepted;
+
+    // Fixpoint over both phases: zeroing a byte can unlock a removal
+    // (and vice versa), and idempotence — reducing a reduced witness
+    // accepts nothing — requires stopping only when neither phase
+    // makes progress on the final bytes.
+    bool progressed = true;
+    while (progressed && !oracle.budgetExhausted()) {
+        progressed = ddminSweep(oracle, program, out.reduced,
+                                out.bytesRemoved);
+        progressed |= normalizeSweep(oracle, program, out.reduced,
+                                     out.bytesNormalized);
+    }
+
+    out.candidatesTried = oracle.stats().tried - tried_before;
+    out.candidatesAccepted =
+        oracle.stats().accepted - accepted_before;
+    obs::counter("reduce.input.bytes_removed").add(out.bytesRemoved);
+    obs::counter("reduce.input.bytes_normalized")
+        .add(out.bytesNormalized);
+    return out;
+}
+
+} // namespace compdiff::reduce

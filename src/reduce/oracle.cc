@@ -1,0 +1,79 @@
+#include "reduce/oracle.hh"
+
+#include "obs/metrics.hh"
+#include "support/hash.hh"
+
+namespace compdiff::reduce
+{
+
+std::uint64_t
+divergenceSignature(const core::DiffResult &result)
+{
+    support::HashCombiner combiner;
+    combiner.add(result.divergent ? 1 : 0);
+    combiner.add(result.classCount);
+    for (std::size_t cls : result.classOf)
+        combiner.add(cls);
+    for (const auto &obs : result.observations)
+        combiner.addString(obs.exitClass);
+    return combiner.digest();
+}
+
+SignatureOracle::SignatureOracle(const minic::Program &program,
+                                 core::ImplementationSet impls,
+                                 const support::Bytes &witness,
+                                 core::DiffOptions options,
+                                 std::uint64_t candidate_budget)
+    : impls_(std::move(impls)), options_(std::move(options)),
+      budget_(candidate_budget)
+{
+    // Parallelism belongs to the reduction pipeline's per-signature
+    // fan-out; a serial oracle keeps one reduction = one thread.
+    options_.jobs = 1;
+    witnessProgram_ = &program;
+    witnessEngine_ = std::make_unique<core::DiffEngine>(
+        program, impls_, options_);
+    witnessResult_ = witnessEngine_->runInput(witness);
+    reproduced_ = witnessResult_.divergent;
+    target_ = divergenceSignature(witnessResult_);
+}
+
+SignatureOracle::~SignatureOracle() = default;
+
+const core::DiffEngine &
+SignatureOracle::engineFor(const minic::Program &program)
+{
+    // The witness program outlives the oracle, so its engine is
+    // kept. Any other program is a reduction candidate borrowed for
+    // ONE call: its engine must not be cached — candidates die after
+    // the call, and a later candidate can reuse the same heap
+    // address, which would silently revive an engine whose artifacts
+    // reference the freed AST. Rebuilding is nearly free anyway: the
+    // simulated family memoizes modules in the process-wide
+    // CompileCache, so only genuinely new candidate sources compile.
+    if (&program == witnessProgram_)
+        return *witnessEngine_;
+    candidateEngine_ = std::make_unique<core::DiffEngine>(
+        program, impls_, options_);
+    return *candidateEngine_;
+}
+
+bool
+SignatureOracle::preserves(const minic::Program &program,
+                           const support::Bytes &input)
+{
+    if (budgetExhausted())
+        return false;
+    stats_.tried++;
+    obs::counter("reduce.candidates_tried").add();
+    const auto result = engineFor(program).runInput(input);
+    if (!result.divergent ||
+        divergenceSignature(result) != target_) {
+        return false;
+    }
+    stats_.accepted++;
+    obs::counter("reduce.candidates_accepted").add();
+    return true;
+}
+
+} // namespace compdiff::reduce

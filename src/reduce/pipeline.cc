@@ -1,0 +1,145 @@
+#include "reduce/pipeline.hh"
+
+#include "compdiff/localize.hh"
+#include "compiler/config.hh"
+#include "minic/parser.hh"
+#include "minic/printer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "reduce/input_reducer.hh"
+#include "reduce/oracle.hh"
+#include "reduce/program_reducer.hh"
+#include "sanitizers/sanitizers.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+
+namespace compdiff::reduce
+{
+
+namespace
+{
+
+/** Reduce one witness end to end (runs on a pool worker). */
+DivergenceReport
+reduceOne(const minic::Program &program,
+          const core::ImplementationSet &impls,
+          const Witness &witness, const ReduceOptions &options)
+{
+    obs::Span span("reduce.witness");
+    DivergenceReport report;
+    report.witnessInput = witness.input;
+
+    SignatureOracle oracle(program, impls, witness.input,
+                           options.diffOptions,
+                           options.candidateBudget);
+    report.reproduced = oracle.reproduced();
+
+    if (!oracle.reproduced()) {
+        // Campaign-nonce-dependent divergence: don't minimize toward
+        // a moving target; file the original witness as-is.
+        report.signature = divergenceSignature(witness.diff);
+        report.program = minic::printProgram(program);
+        report.input = witness.input;
+        report.diff = witness.diff;
+        report.inputStats.reduced = witness.input;
+        report.localization = core::localizeAcross(
+            program, impls, report.diff, report.input,
+            options.diffOptions.limits);
+        obs::counter("reduce.witnesses_unreproduced").add();
+        return report;
+    }
+
+    report.signature = oracle.targetSignature();
+    report.inputStats = reduceInput(oracle, program, witness.input);
+    report.input = report.inputStats.reduced;
+    report.programStats = reduceProgram(
+        oracle, minic::printProgram(program), report.input);
+    report.program = report.programStats.source;
+
+    // A shrunken program usually reads less input, so one more input
+    // pass against the minimized program drops bytes only the
+    // original program consumed.
+    auto minimized = minic::parseAndCheck(report.program);
+    const InputReduction second =
+        reduceInput(oracle, *minimized, report.input);
+    report.input = second.reduced;
+    report.inputStats.reduced = second.reduced;
+    report.inputStats.candidatesTried += second.candidatesTried;
+    report.inputStats.candidatesAccepted += second.candidatesAccepted;
+    report.inputStats.bytesRemoved += second.bytesRemoved;
+    report.inputStats.bytesNormalized += second.bytesNormalized;
+
+    // Re-derive the final artifacts from the minimized pair: the
+    // diff (for the report's class listing), the localization, and
+    // the sanitizer verdicts all describe what is filed, not what
+    // was found.
+    core::DiffOptions diff_options = options.diffOptions;
+    diff_options.jobs = 1;
+    core::DiffEngine engine(*minimized, impls, diff_options);
+    report.diff = engine.runInput(report.input, 0);
+    report.localization = core::localizeAcross(
+        *minimized, impls, report.diff, report.input,
+        options.diffOptions.limits);
+
+    if (options.checkSanitizers) {
+        sanitizers::SanitizerRunner runner(*minimized,
+                                           options.diffOptions.limits);
+        report.sanitizers.checked = true;
+        report.sanitizers.asanFires =
+            runner.check(compiler::Sanitizer::ASan, report.input)
+                .fired;
+        report.sanitizers.ubsanFires =
+            runner.check(compiler::Sanitizer::UBSan, report.input)
+                .fired;
+        report.sanitizers.msanFires =
+            runner.check(compiler::Sanitizer::MSan, report.input)
+                .fired;
+    }
+    return report;
+}
+
+} // namespace
+
+std::vector<DivergenceReport>
+reduceAndReport(const minic::Program &program,
+                const core::ImplementationSet &impls,
+                const std::vector<Witness> &witnesses,
+                const ReduceOptions &options)
+{
+    obs::Span span("reduce.pipeline");
+    std::vector<DivergenceReport> reports(witnesses.size());
+    if (witnesses.empty())
+        return reports;
+
+    // One oracle per witness, fixed result slots: jobs affects only
+    // scheduling, never what any slot contains.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(witnesses.size());
+    for (std::size_t i = 0; i < witnesses.size(); i++) {
+        tasks.push_back([&, i] {
+            reports[i] =
+                reduceOne(program, impls, witnesses[i], options);
+        });
+    }
+    if (options.jobs == 1 || witnesses.size() == 1) {
+        for (auto &task : tasks)
+            task();
+    } else {
+        support::ThreadPool pool(options.jobs);
+        pool.runAll(std::move(tasks));
+    }
+
+    obs::counter("reduce.witnesses")
+        .add(static_cast<std::uint64_t>(witnesses.size()));
+    if (!options.reportsDir.empty()) {
+        for (const auto &report : reports) {
+            const std::string dir =
+                writeReport(options.reportsDir, report);
+            support::inform("reduce: wrote " + dir + "/report.md");
+            obs::counter("reduce.reports_written").add();
+        }
+    }
+    return reports;
+}
+
+} // namespace compdiff::reduce

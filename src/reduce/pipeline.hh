@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * The post-campaign reduction pipeline: witnesses in, report
+ * bundles out.
+ *
+ * For each distinct-signature witness a campaign surfaced, the
+ * pipeline builds one SignatureOracle, runs input reduction (ddmin
+ * over the witness bytes) followed by program reduction (AST
+ * shrinking against the already-minimized input), re-localizes the
+ * minimized divergence with localizeAcross, checks the three
+ * sanitizers on the minimized pair, and bundles everything via
+ * writeReport.
+ *
+ * Determinism: witnesses are reduced in input order into indexed
+ * result slots on a support::ThreadPool, each reduction owns its own
+ * oracle with a fixed nonce, and report writing happens serially
+ * afterwards — so the produced reports are bit-identical for every
+ * `jobs` value, same as the execution fan-out's contract. The
+ * process-wide compiler::CompileCache makes the per-candidate
+ * engine rebuilds cheap.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
+#include "minic/ast.hh"
+#include "reduce/report.hh"
+#include "support/bytes.hh"
+
+namespace compdiff::reduce
+{
+
+/** One campaign divergence to reduce. */
+struct Witness
+{
+    /** The divergence-triggering input. */
+    support::Bytes input;
+    /** The campaign's diff result for it (used as-is when the
+     *  divergence does not reproduce under the reduction nonce). */
+    core::DiffResult diff;
+};
+
+/** Pipeline knobs. */
+struct ReduceOptions
+{
+    /** Diff knobs for the oracle re-runs (limits, normalizer,
+     *  traitsTweak). `jobs` inside is ignored — oracles always run
+     *  their engine serially. */
+    core::DiffOptions diffOptions;
+    /** Max oracle evaluations per witness (input + program reduction
+     *  combined); bounds CI wall time. */
+    std::uint64_t candidateBudget = 4096;
+    /** Concurrent reductions (over witnesses): 1 = serial, 0 = one
+     *  per hardware thread. Never changes results. */
+    std::size_t jobs = 1;
+    /** Run ASan/UBSan/MSan on each minimized pair. */
+    bool checkSanitizers = true;
+    /** When non-empty, write report bundles under this directory. */
+    std::string reportsDir;
+};
+
+/**
+ * Reduce every witness and (optionally) write report bundles.
+ *
+ * @param program   The witness program (shared by all witnesses of
+ *                  one campaign target).
+ * @param impls     The oracle that observed the divergences.
+ * @param witnesses Distinct-signature divergences to reduce.
+ * @return One report per witness, in witness order.
+ */
+std::vector<DivergenceReport>
+reduceAndReport(const minic::Program &program,
+                const core::ImplementationSet &impls,
+                const std::vector<Witness> &witnesses,
+                const ReduceOptions &options);
+
+} // namespace compdiff::reduce

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Bug-report bundling: one directory per divergence, shaped like a
+ * Table 5 filing.
+ *
+ * The paper's 78 reports were filed as (minimized program, minimized
+ * input, the pair of implementations that disagree, where they part
+ * ways, and whether a sanitizer also sees it). writeReport() emits
+ * exactly that shape under `<outDir>/<sig-...>/`:
+ *
+ *   program.mc   the minimized MiniC program (reparseable)
+ *   input.bin    the minimized triggering input (raw bytes)
+ *   witness.bin  the original un-reduced witness input
+ *   report.md    the human-readable filing: divergence summary,
+ *                implementation pair, localization (including the
+ *                cross-backend bridging note when trace alignment
+ *                substituted a representative), sanitizer verdicts,
+ *                and the reduction statistics.
+ *
+ * The directory name is derived from the divergence signature, so
+ * re-running a campaign overwrites the same report rather than
+ * accumulating duplicates.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "compdiff/engine.hh"
+#include "compdiff/localize.hh"
+#include "reduce/input_reducer.hh"
+#include "reduce/program_reducer.hh"
+#include "support/bytes.hh"
+
+namespace compdiff::reduce
+{
+
+/** Sanitizer verdicts on the minimized witness (Table 6 columns). */
+struct SanVerdicts
+{
+    bool checked = false;
+    bool asanFires = false;
+    bool ubsanFires = false;
+    bool msanFires = false;
+};
+
+/** Everything the bundler writes about one divergence. */
+struct DivergenceReport
+{
+    /** reduce::divergenceSignature of the (reduced) witness. */
+    std::uint64_t signature = 0;
+    /** Did the witness reproduce deterministically? When false the
+     *  original pair is carried through un-reduced. */
+    bool reproduced = false;
+
+    /** Minimized program source (== original when not reproduced). */
+    std::string program;
+    /** Minimized triggering input. */
+    support::Bytes input;
+    /** The original un-reduced witness input. */
+    support::Bytes witnessInput;
+
+    /** Diff result on the minimized (program, input) pair. */
+    core::DiffResult diff;
+    /** Localization between two class representatives, including
+     *  the cross-backend bridging account. */
+    core::PairLocalization localization;
+    SanVerdicts sanitizers;
+
+    InputReduction inputStats;
+    ProgramReduction programStats;
+};
+
+/** Directory basename for a signature ("sig-0123456789abcdef"). */
+std::string signatureDirName(std::uint64_t signature);
+
+/** Render the report.md body. */
+std::string renderReportMarkdown(const DivergenceReport &report);
+
+/**
+ * Write the bundle under `<out_dir>/<signatureDirName(sig)>/`,
+ * creating directories as needed.
+ *
+ * @return The bundle directory path.
+ */
+std::string writeReport(const std::string &out_dir,
+                        const DivergenceReport &report);
+
+} // namespace compdiff::reduce

@@ -107,18 +107,35 @@ runCampaign(const TargetProgram &target,
         core::OutputNormalizer::withDefaultFilters();
 
     fuzz_options.jobs = options.jobs;
+    fuzz_options.reduceFound = options.reduceFound;
+    fuzz_options.reduceCandidateBudget =
+        options.reduceCandidateBudget;
+    if (!options.reportsDir.empty()) {
+        fuzz_options.reportsDir =
+            options.reportsDir + "/" + target.name;
+    }
     fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
         *program, target.seeds, fuzz_options, options.shards,
         options.jobs);
     result.stats = sharded.total;
+    result.reports = std::move(sharded.reports);
 
     // Triage: map each unique divergence back to planted bugs via
     // the probes its witness fired.
     obs::Span triage_span("campaign.triage");
     std::map<int, const fuzz::FoundDiff *> witness_for;
+    const auto keep_untriaged = [&](const fuzz::FoundDiff &diff) {
+        for (const auto &seen : result.untriaged)
+            if (seen.signature == diff.signature)
+                return;
+        result.untriaged.push_back({diff.signature, diff.input,
+                                    diff.result.hashVector()});
+    };
     for (const auto &diff : sharded.diffs) {
         if (diff.probes.empty()) {
-            result.untriagedDiffs++;
+            // No probe fired: keep the full evidence, not just a
+            // count — the reducer/bundler can still consume it.
+            keep_untriaged(diff);
             continue;
         }
         for (int probe : diff.probes) {
@@ -143,7 +160,7 @@ runCampaign(const TargetProgram &target,
     for (const auto &[probe, diff] : witness_for) {
         const PlantedBug *bug = target.findBug(probe);
         if (!bug) {
-            result.untriagedDiffs++;
+            keep_untriaged(*diff);
             continue;
         }
         BugFinding finding;
@@ -171,7 +188,7 @@ runCampaign(const TargetProgram &target,
     }
     obs::counter("campaign.bugs_found").add(result.found.size());
     obs::counter("campaign.untriaged_diffs")
-        .add(result.untriagedDiffs);
+        .add(result.untriaged.size());
     return result;
 }
 

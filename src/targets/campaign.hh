@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.hh"
+#include "reduce/report.hh"
 #include "targets/targets.hh"
 
 namespace compdiff::targets
@@ -32,6 +33,22 @@ struct BugFinding
     bool msanFires = false;
 };
 
+/**
+ * A divergence no planted bug claims — either its witness fired no
+ * ground-truth probe, or the probe matched no bug record. These
+ * would be unplanted bugs in the target itself, so campaigns keep
+ * the full evidence (not just a count): the reducer and report
+ * bundler consume them like any other witness.
+ */
+struct UntriagedDiff
+{
+    /** The fuzzer's triage signature (FoundDiff::signature). */
+    std::uint64_t signature = 0;
+    support::Bytes witness;
+    /** Per-implementation output hashes on the witness. */
+    std::vector<std::uint64_t> hashVector;
+};
+
 /** Outcome of one campaign on one target. */
 struct CampaignResult
 {
@@ -40,9 +57,15 @@ struct CampaignResult
     std::vector<BugFinding> found;
     /** Divergences that fired no probe (must stay empty: they would
      *  be unplanted bugs in the target itself). */
-    std::size_t untriagedDiffs = 0;
+    std::vector<UntriagedDiff> untriaged;
+    /** Reduction outcomes when CampaignOptions::reduceFound, one
+     *  per unique divergence in shard-fold order. */
+    std::vector<reduce::DivergenceReport> reports;
 
     bool foundProbe(int probe_id) const;
+
+    /** Count view of `untriaged` (the pre-reduction API). */
+    std::size_t untriagedDiffs() const { return untriaged.size(); }
 };
 
 /** Campaign knobs. */
@@ -86,6 +109,16 @@ struct CampaignOptions
      * one `plot_data.shard<N>` series per shard).
      */
     std::string statsDir;
+
+    /**
+     * Post-campaign reduction (src/reduce): minimize every unique
+     * divergence and, when reportsDir is set, bundle one
+     * `<reportsDir>/<target>/sig-<hex>/` directory per divergence.
+     */
+    bool reduceFound = false;
+    std::string reportsDir;
+    /** Oracle-candidate budget per reduced divergence. */
+    std::uint64_t reduceCandidateBudget = 4096;
 };
 
 /** Run CompDiff-AFL++ on one target. */

@@ -102,6 +102,90 @@ TEST(Localize, SameConfigNeverDiverges)
     EXPECT_FALSE(loc.divergent);
 }
 
+// Listing 1's folded overflow guard: the reference interpreter and
+// unoptimized builds reject, UB-exploiting optimized builds accept.
+const char *kGuardSource = R"(
+    int main() {
+        int offset = 2147483547;
+        int len = 101;
+        if (offset + len < offset) {
+            print_str("rejected");
+        } else {
+            print_str("accepted");
+        }
+        newline();
+        return 0;
+    }
+)";
+
+TEST(LocalizeAcross, BridgesCrossBackendRepresentatives)
+{
+    // "ref" leads the set, so the natural class-0 representative has
+    // no CompilerConfig; localizeAcross must substitute the
+    // same-class simulated member (gcc-O0) and say so.
+    auto program = minic::parseAndCheck(kGuardSource);
+    auto impls = core::ImplementationRegistry::global().parse(
+        "ref,gcc:-O0,gcc:-O2");
+    core::DiffEngine engine(*program, impls, {});
+    auto diff = engine.runInput({}, 0);
+    ASSERT_TRUE(diff.divergent);
+    ASSERT_EQ(diff.classOf[0], diff.classOf[1]); // ref == gcc-O0
+
+    auto pair = core::localizeAcross(*program, impls, diff, {});
+    EXPECT_TRUE(pair.attempted);
+    EXPECT_TRUE(pair.bridged);
+    EXPECT_EQ(pair.requestedA, "ref");
+    EXPECT_EQ(pair.implA, "gcc-O0");
+    EXPECT_EQ(pair.implB, "gcc-O2");
+    // The note names exactly which pair was bridged and why.
+    EXPECT_NE(pair.note.find("ref -> gcc-O0"), std::string::npos)
+        << pair.note;
+    EXPECT_NE(pair.note.find("same"), std::string::npos);
+    EXPECT_TRUE(pair.localization.divergent);
+    EXPECT_TRUE(pair.localization.controlDivergence);
+}
+
+TEST(LocalizeAcross, ReportsWhichClassBlocksAlignment)
+{
+    // With only "ref" in its behavior class there is nothing to
+    // bridge to: no localization, and the note names the blocked
+    // class instead of failing silently.
+    auto program = minic::parseAndCheck(kGuardSource);
+    auto impls = core::ImplementationRegistry::global().parse(
+        "ref,clang:-O2");
+    core::DiffEngine engine(*program, impls, {});
+    auto diff = engine.runInput({}, 0);
+    ASSERT_TRUE(diff.divergent);
+
+    auto pair = core::localizeAcross(*program, impls, diff, {});
+    EXPECT_FALSE(pair.attempted);
+    EXPECT_FALSE(pair.bridged);
+    EXPECT_EQ(pair.requestedA, "ref");
+    EXPECT_EQ(pair.requestedB, "clang-O2");
+    EXPECT_NE(pair.note.find("ref"), std::string::npos);
+    EXPECT_NE(
+        pair.note.find("no simulated compiler implementation"),
+        std::string::npos)
+        << pair.note;
+}
+
+TEST(LocalizeAcross, AllSimulatedPairNeedsNoBridge)
+{
+    auto program = minic::parseAndCheck(kGuardSource);
+    auto impls = core::ImplementationRegistry::global().parse(
+        "gcc:-O0,gcc:-O2");
+    core::DiffEngine engine(*program, impls, {});
+    auto diff = engine.runInput({}, 0);
+    ASSERT_TRUE(diff.divergent);
+
+    auto pair = core::localizeAcross(*program, impls, diff, {});
+    EXPECT_TRUE(pair.attempted);
+    EXPECT_FALSE(pair.bridged);
+    EXPECT_EQ(pair.implA, "gcc-O0");
+    EXPECT_EQ(pair.implB, "gcc-O2");
+    EXPECT_NE(pair.note.find("direct"), std::string::npos);
+}
+
 TEST(DivergenceFeedback, GrowsCorpusOnNewPartitions)
 {
     // The uninit path is behind a rare two-byte gate; divergence

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the divergence-preserving reduction subsystem
+ * (src/reduce): the oracle contract, ddmin idempotence, signature
+ * preservation on every accepted candidate, jobs-neutrality of the
+ * pipeline, the seeded bugRemPow2 regression, report bundling, and
+ * the campaign's untriaged-divergence surfacing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
+#include "minic/parser.hh"
+#include "minic/printer.hh"
+#include "reduce/input_reducer.hh"
+#include "reduce/oracle.hh"
+#include "reduce/pipeline.hh"
+#include "reduce/program_reducer.hh"
+#include "reduce/report.hh"
+#include "targets/campaign.hh"
+
+namespace
+{
+
+using namespace compdiff;
+
+/**
+ * The paper's rem-power-of-2 miscompile, seeded via the ablation
+ * hook: the strength-reduced `x % 8` is wrong for negative x under
+ * the buggy trait, while the reference interpreter (which ignores
+ * Traits entirely) computes the C semantics. Decoy functions and
+ * statements give the program reducer something to earn.
+ */
+const char *kRemPow2Source = R"(
+    int decoy_sum(int n) {
+        int total = 0;
+        int i = 0;
+        while (i < n) {
+            total = total + i;
+            i = i + 1;
+        }
+        return total;
+    }
+    void decoy_banner() {
+        print_str("banner");
+        newline();
+    }
+    int main() {
+        int unused = decoy_sum(10);
+        if (input_byte(1) == 255) {
+            decoy_banner();
+        }
+        int x = 0 - input_byte(0);
+        print_int(x % 8);
+        newline();
+        return 0;
+    }
+)";
+
+core::DiffOptions
+remPow2Options()
+{
+    core::DiffOptions options;
+    options.traitsTweak = [](compiler::Traits &traits) {
+        traits.bugRemPow2 = true;
+    };
+    return options;
+}
+
+core::ImplementationSet
+gccVsRef()
+{
+    return core::ImplementationRegistry::global().parse(
+        "gcc:-O2,ref");
+}
+
+/** Delegating oracle that records every accepted candidate input. */
+class RecordingOracle : public reduce::Oracle
+{
+  public:
+    explicit RecordingOracle(reduce::Oracle &inner) : inner_(inner) {}
+
+    std::uint64_t targetSignature() const override
+    {
+        return inner_.targetSignature();
+    }
+    bool preserves(const minic::Program &program,
+                   const support::Bytes &input) override
+    {
+        const bool ok = inner_.preserves(program, input);
+        if (ok)
+            accepted.push_back(input);
+        return ok;
+    }
+    bool budgetExhausted() const override
+    {
+        return inner_.budgetExhausted();
+    }
+    const reduce::OracleStats &stats() const override
+    {
+        return inner_.stats();
+    }
+
+    std::vector<support::Bytes> accepted;
+
+  private:
+    reduce::Oracle &inner_;
+};
+
+TEST(ReduceOracle, ReproducesAndRejectsNonDivergent)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    reduce::SignatureOracle oracle(*program, gccVsRef(), {9, 0},
+                                   remPow2Options(), 100);
+    ASSERT_TRUE(oracle.reproduced());
+    EXPECT_TRUE(oracle.witnessResult().divergent);
+
+    // Input {0}: -0 % 8 == 0 everywhere — no divergence, rejected.
+    EXPECT_FALSE(oracle.preserves(*program, {0, 0}));
+    // The witness itself preserves its own signature.
+    EXPECT_TRUE(oracle.preserves(*program, {9, 0}));
+    EXPECT_EQ(oracle.stats().tried, 2u);
+    EXPECT_EQ(oracle.stats().accepted, 1u);
+}
+
+TEST(ReduceOracle, BudgetBoundsEvaluations)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    reduce::SignatureOracle oracle(*program, gccVsRef(), {9, 0},
+                                   remPow2Options(), 2);
+    EXPECT_TRUE(oracle.preserves(*program, {9, 0}));
+    EXPECT_TRUE(oracle.preserves(*program, {9, 0}));
+    EXPECT_TRUE(oracle.budgetExhausted());
+    // Budget exhausted: even the witness itself is now rejected.
+    EXPECT_FALSE(oracle.preserves(*program, {9, 0}));
+    EXPECT_EQ(oracle.stats().tried, 2u);
+}
+
+TEST(ReduceInput, DdminIsIdempotent)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    // A padded witness: only byte 0 matters (byte 1 must not be
+    // 255, and zero bytes normalize freely).
+    const support::Bytes witness = {9, 3, 77, 12, 255, 9};
+
+    reduce::SignatureOracle first(*program, gccVsRef(), witness,
+                                  remPow2Options(), 4096);
+    ASSERT_TRUE(first.reproduced());
+    auto reduction = reduce::reduceInput(first, *program, witness);
+    EXPECT_LT(reduction.reduced.size(), witness.size());
+    EXPECT_GE(reduction.candidatesAccepted, 1u);
+
+    // Reducing the reduced witness must accept nothing.
+    reduce::SignatureOracle second(*program, gccVsRef(),
+                                   reduction.reduced,
+                                   remPow2Options(), 4096);
+    ASSERT_TRUE(second.reproduced());
+    EXPECT_EQ(second.targetSignature(), first.targetSignature());
+    auto again =
+        reduce::reduceInput(second, *program, reduction.reduced);
+    EXPECT_EQ(again.candidatesAccepted, 0u);
+    EXPECT_EQ(again.reduced, reduction.reduced);
+}
+
+TEST(ReduceInput, EveryAcceptedCandidatePreservesSignature)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    const support::Bytes witness = {9, 3, 77, 12, 255, 9};
+    reduce::SignatureOracle oracle(*program, gccVsRef(), witness,
+                                   remPow2Options(), 4096);
+    ASSERT_TRUE(oracle.reproduced());
+    const std::uint64_t target = oracle.targetSignature();
+
+    RecordingOracle spy(oracle);
+    auto reduction = reduce::reduceInput(spy, *program, witness);
+    ASSERT_FALSE(spy.accepted.empty());
+    EXPECT_EQ(spy.accepted.back(), reduction.reduced);
+
+    // Independently re-verify every accepted candidate against a
+    // fresh engine: each must reproduce the exact target signature.
+    core::DiffOptions options = remPow2Options();
+    options.jobs = 1;
+    core::DiffEngine engine(*program, gccVsRef(), options);
+    for (const auto &candidate : spy.accepted) {
+        const auto diff = engine.runInput(candidate, 0);
+        EXPECT_TRUE(diff.divergent);
+        EXPECT_EQ(reduce::divergenceSignature(diff), target);
+    }
+}
+
+TEST(ReduceProgram, ShrinksRemPow2RegressionToThreeStatements)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    reduce::SignatureOracle oracle(*program, gccVsRef(), {9},
+                                   remPow2Options(), 4096);
+    ASSERT_TRUE(oracle.reproduced());
+
+    auto reduction =
+        reduce::reduceProgram(oracle, kRemPow2Source, {9});
+    auto minimized = minic::parseAndCheck(reduction.source);
+    EXPECT_LE(reduce::countStatements(*minimized), 3u)
+        << reduction.source;
+    EXPECT_EQ(reduce::countStatements(*minimized),
+              reduction.stmtsAfter);
+    EXPECT_LT(reduction.stmtsAfter, reduction.stmtsBefore);
+
+    // The minimized program still diverges with the same signature.
+    core::DiffOptions options = remPow2Options();
+    core::DiffEngine engine(*minimized, gccVsRef(), options);
+    EXPECT_EQ(reduce::divergenceSignature(engine.runInput({9}, 0)),
+              oracle.targetSignature());
+
+    // And program reduction is idempotent too: a second pass over
+    // the minimized source accepts nothing.
+    reduce::SignatureOracle second(*minimized, gccVsRef(), {9},
+                                   remPow2Options(), 4096);
+    ASSERT_TRUE(second.reproduced());
+    auto again =
+        reduce::reduceProgram(second, reduction.source, {9});
+    EXPECT_EQ(again.candidatesAccepted, 0u);
+    EXPECT_EQ(again.stmtsAfter, reduction.stmtsAfter);
+}
+
+TEST(ReducePipeline, JobsNeverChangeResults)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    core::DiffOptions diff_options = remPow2Options();
+    core::DiffEngine engine(*program, gccVsRef(), diff_options);
+
+    std::vector<reduce::Witness> witnesses;
+    for (const support::Bytes &input :
+         {support::Bytes{9, 3, 77}, support::Bytes{17, 1},
+          support::Bytes{201, 8, 8, 8}}) {
+        auto diff = engine.runInput(input, 0);
+        ASSERT_TRUE(diff.divergent);
+        witnesses.push_back({input, std::move(diff)});
+    }
+
+    reduce::ReduceOptions options;
+    options.diffOptions = diff_options;
+    options.candidateBudget = 1024;
+    options.checkSanitizers = false;
+    options.jobs = 1;
+    auto serial =
+        reduce::reduceAndReport(*program, gccVsRef(), witnesses,
+                                options);
+    options.jobs = 4;
+    auto parallel =
+        reduce::reduceAndReport(*program, gccVsRef(), witnesses,
+                                options);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); i++) {
+        EXPECT_TRUE(serial[i].reproduced);
+        EXPECT_EQ(serial[i].signature, parallel[i].signature);
+        EXPECT_EQ(serial[i].input, parallel[i].input);
+        EXPECT_EQ(serial[i].program, parallel[i].program);
+        EXPECT_EQ(serial[i].inputStats.candidatesTried,
+                  parallel[i].inputStats.candidatesTried);
+        EXPECT_EQ(serial[i].programStats.candidatesTried,
+                  parallel[i].programStats.candidatesTried);
+        EXPECT_EQ(renderReportMarkdown(serial[i]),
+                  renderReportMarkdown(parallel[i]));
+    }
+}
+
+TEST(ReduceReport, BundleCarriesTheFiling)
+{
+    auto program = minic::parseAndCheck(kRemPow2Source);
+    core::DiffOptions diff_options = remPow2Options();
+    core::DiffEngine engine(*program, gccVsRef(), diff_options);
+    auto diff = engine.runInput({9, 3, 77}, 0);
+    ASSERT_TRUE(diff.divergent);
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "compdiff_reduce_test")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    reduce::ReduceOptions options;
+    options.diffOptions = diff_options;
+    options.candidateBudget = 1024;
+    options.reportsDir = dir;
+    auto reports = reduce::reduceAndReport(
+        *program, gccVsRef(), {{{9, 3, 77}, diff}}, options);
+    ASSERT_EQ(reports.size(), 1u);
+    const auto &report = reports[0];
+    EXPECT_TRUE(report.reproduced);
+    // Minimized artifacts strictly shrink the witness.
+    EXPECT_LT(report.input.size(), report.witnessInput.size());
+    EXPECT_TRUE(report.sanitizers.checked);
+
+    const std::string bundle =
+        dir + "/" + reduce::signatureDirName(report.signature);
+    EXPECT_TRUE(std::filesystem::exists(bundle + "/program.mc"));
+    EXPECT_TRUE(std::filesystem::exists(bundle + "/input.bin"));
+    EXPECT_TRUE(std::filesystem::exists(bundle + "/witness.bin"));
+    ASSERT_TRUE(std::filesystem::exists(bundle + "/report.md"));
+
+    std::ifstream in(bundle + "/report.md");
+    std::string markdown((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(markdown.find("## Localization"), std::string::npos);
+    EXPECT_NE(markdown.find("## Sanitizer verdicts"),
+              std::string::npos);
+    EXPECT_NE(markdown.find("## Reproduce"), std::string::npos);
+    // gcc-O2 vs ref crosses backends in a two-class split where the
+    // ref class has no simulated member: the report must say why no
+    // root cause is named rather than hiding the gap.
+    EXPECT_NE(markdown.find("no simulated compiler implementation"),
+              std::string::npos)
+        << markdown;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ReduceCampaign, SurfacesUntriagedWitnesses)
+{
+    // A probe-free target with a guaranteed divergence: every diff
+    // the campaign finds is untriaged, and the campaign must keep
+    // the witness evidence, not just count it.
+    targets::TargetProgram target;
+    target.name = "untriaged_demo";
+    target.source = R"(
+        int main() {
+            if (input_byte(0) == 'U') {
+                int l;
+                print_int(l);
+                newline();
+            }
+            print_str("ok");
+            newline();
+            return 0;
+        }
+    )";
+    target.seeds = {support::toBytes("U")};
+
+    targets::CampaignOptions options;
+    options.maxExecs = 400;
+    options.checkSanitizers = false;
+    auto result = targets::runCampaign(target, options);
+
+    ASSERT_GE(result.untriagedDiffs(), 1u);
+    for (const auto &untriaged : result.untriaged) {
+        EXPECT_NE(untriaged.signature, 0u);
+        EXPECT_FALSE(untriaged.witness.empty());
+        EXPECT_FALSE(untriaged.hashVector.empty());
+    }
+}
+
+TEST(ReduceCampaign, ReduceFoundProducesReports)
+{
+    const targets::TargetProgram *target =
+        targets::findTarget("pktdump");
+    ASSERT_NE(target, nullptr);
+
+    targets::CampaignOptions options;
+    options.maxExecs = 2000;
+    options.checkSanitizers = false;
+    options.reduceFound = true;
+    options.reduceCandidateBudget = 200;
+    auto result = targets::runCampaign(*target, options);
+
+    ASSERT_GE(result.stats.diffs, 1u);
+    ASSERT_EQ(result.reports.size(), result.stats.diffs);
+    for (const auto &report : result.reports) {
+        // Minimized input never exceeds the witness.
+        EXPECT_LE(report.input.size(), report.witnessInput.size());
+        EXPECT_FALSE(report.program.empty());
+        // Every minimized program still parses.
+        EXPECT_NO_THROW(minic::parseAndCheck(report.program));
+    }
+}
+
+} // namespace
