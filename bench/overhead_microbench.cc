@@ -12,9 +12,22 @@
  * full-set overhead shrinks toward the 2x of the budget subset while
  * producing bit-identical observations; on a single-core host the
  * threads>1 rows only show the pool's dispatch overhead.
+ *
+ * Besides the human-readable console table, the binary always emits
+ * a machine-readable google-benchmark JSON report (default
+ * `BENCH_overhead.json`, override with --benchmark_out=FILE): one
+ * entry per (k, jobs) grid point plus one per pipeline phase
+ * (parse / compile / execute / oracle), each with `real_time` in
+ * nanoseconds and `items_per_second` = fuzz-loop inputs per second
+ * (the k-way rows also carry an `oracle_execs_per_sec` counter for
+ * raw executions). CI archives the file as a build artifact.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "compdiff/engine.hh"
 #include "compdiff/implementation.hh"
@@ -27,13 +40,17 @@ namespace
 
 using namespace compdiff;
 
+const targets::TargetProgram &
+pktdumpTarget()
+{
+    return *targets::findTarget("pktdump");
+}
+
 const minic::Program &
 targetProgram()
 {
-    static const auto program = [] {
-        const auto *target = targets::findTarget("pktdump");
-        return minic::parseAndCheck(target->source);
-    }();
+    static const auto program =
+        minic::parseAndCheck(pktdumpTarget().source);
     return *program;
 }
 
@@ -54,9 +71,42 @@ benchLimits()
     return limits;
 }
 
-/** Baseline: one plain execution per input (fuzzer without CompDiff). */
+/** Phase 1 of the pipeline: parse + semantic analysis. */
 void
-BM_PlainExecution(benchmark::State &state)
+BM_PhaseParse(benchmark::State &state)
+{
+    const std::string &source = pktdumpTarget().source;
+    for (auto _ : state) {
+        auto program = minic::parseAndCheck(source);
+        benchmark::DoNotOptimize(program.get());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhaseParse);
+
+/** Phase 2: compilation cost per implementation (one-time,
+ *  forkserver-like; caching disabled to measure the compile). */
+void
+BM_PhaseCompile(benchmark::State &state)
+{
+    const auto impl =
+        core::ImplementationRegistry::global().make("gcc:-O2");
+    core::CompileContext ctx;
+    ctx.useCache = false; // measure the compile, not the cache hit
+    for (auto _ : state) {
+        auto artifact = impl->compile(targetProgram(), ctx);
+        benchmark::DoNotOptimize(artifact.get());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhaseCompile);
+
+/** Phase 3 baseline: one plain execution per input (the fuzzer
+ *  without CompDiff). */
+void
+BM_PhaseExecute(benchmark::State &state)
 {
     const auto impl =
         core::ImplementationRegistry::global().make("clang:-O2");
@@ -68,10 +118,13 @@ BM_PlainExecution(benchmark::State &state)
                                      limits.maxInstructions);
         benchmark::DoNotOptimize(raw.output.size());
     }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_PlainExecution);
+BENCHMARK(BM_PhaseExecute);
 
-/** CompDiff with a k-implementation set on `jobs` worker threads. */
+/** Phase 4, the paper's overhead axis: CompDiff with a
+ *  k-implementation oracle on `jobs` worker threads. */
 void
 BM_CompDiff(benchmark::State &state)
 {
@@ -96,6 +149,13 @@ BM_CompDiff(benchmark::State &state)
         auto result = engine.runInput(workloadInput());
         benchmark::DoNotOptimize(result.divergent);
     }
+    // items_per_second = fuzz-loop inputs/sec; the counter reports
+    // the raw per-implementation execution rate (k per input).
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    state.counters["oracle_execs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * k),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CompDiff)
     ->ArgNames({"k", "jobs"})
@@ -108,21 +168,36 @@ BENCHMARK(BM_CompDiff)
     ->Args({10, 4})
     ->Args({10, 8});
 
-/** Compilation cost per implementation (one-time, forkserver-like). */
-void
-BM_CompileOneConfig(benchmark::State &state)
-{
-    const auto impl =
-        core::ImplementationRegistry::global().make("gcc:-O2");
-    core::CompileContext ctx;
-    ctx.useCache = false; // measure the compile, not the cache hit
-    for (auto _ : state) {
-        auto artifact = impl->compile(targetProgram(), ctx);
-        benchmark::DoNotOptimize(artifact.get());
-    }
-}
-BENCHMARK(BM_CompileOneConfig);
-
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom entry point: like BENCHMARK_MAIN(), but defaults the JSON
+ * file report to BENCH_overhead.json so every run leaves a
+ * machine-readable artifact without extra flags. Explicit
+ * --benchmark_out=/--benchmark_out_format= flags win.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out = true;
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_overhead.json";
+    static char format_flag[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(format_flag);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count,
+                                               args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -28,6 +28,19 @@
  *   --shards=N          split a --fuzz campaign into N deterministic
  *                       shards (this *does* change the campaign;
  *                       see DESIGN.md "Parallel execution")
+ *   --session=DIR       persist the --fuzz campaign as a crash-safe
+ *                       session under DIR (checkpoint journals,
+ *                       manifest, cumulative stats; DESIGN.md §10)
+ *   --resume            continue the session in --session=DIR from
+ *                       its last checkpoint (the configuration must
+ *                       match the persisted campaign exactly)
+ *   --checkpoint-every=N  checkpoint every N shard executions
+ *                       (default: a twentieth of the budget)
+ *   --halt-after=N      stop each shard at its first safe point at
+ *                       or beyond N executions (testing/interrupt
+ *                       hook; resume finishes the campaign)
+ *   --cache-entries=N   bound the compile cache to N modules (LRU;
+ *                       watch cache.hit/miss/evict in --metrics-out)
  *   --stats-out=FILE    write an AFL++-style fuzzer_stats snapshot
  *   --plot-out=FILE     write an AFL++-style plot_data time series
  *   --trace-out=FILE    write Chrome-trace JSON (chrome://tracing)
@@ -54,6 +67,7 @@
 #include "compdiff/engine.hh"
 #include "compdiff/implementation.hh"
 #include "compdiff/localize.hh"
+#include "compiler/cache.hh"
 #include "compiler/config.hh"
 #include "fuzz/sharded.hh"
 #include "minic/parser.hh"
@@ -62,6 +76,7 @@
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "reduce/report.hh"
+#include "session/session.hh"
 #include "support/bytes.hh"
 #include "support/logging.hh"
 #include "targets/targets.hh"
@@ -97,6 +112,37 @@ int main() {
 }
 )";
 
+const char *kUsage =
+    "usage: compdiff_cli [options] [prog.mc [input-file]]\n"
+    "\n"
+    "  --impls=SPECS         oracle implementation specs, or the\n"
+    "                        aliases \"paper10\" (default) / \"all\"\n"
+    "  --fuzz[=N]            run a fuzz campaign (default 20000\n"
+    "                        execs) instead of a single input\n"
+    "  --target=NAME         fuzz a built-in target (pktdump, ...)\n"
+    "  --reduce[=BUDGET]     minimize each unique divergence found\n"
+    "  --reports-out=DIR     bundle reduced divergences under DIR\n"
+    "  --jobs=N              worker threads (never changes results)\n"
+    "  --shards=N            deterministic campaign shards\n"
+    "  --session=DIR         persist the campaign as a crash-safe\n"
+    "                        session under DIR\n"
+    "  --resume              continue the session in --session=DIR\n"
+    "  --checkpoint-every=N  checkpoint every N shard executions\n"
+    "  --halt-after=N        stop each shard at the first safe\n"
+    "                        point at or beyond N executions\n"
+    "  --cache-entries=N     bound the compile cache to N modules\n"
+    "                        (LRU eviction; 0 = unbounded)\n"
+    "  --stats-out=FILE      AFL++-style fuzzer_stats snapshot\n"
+    "  --plot-out=FILE       AFL++-style plot_data time series\n"
+    "  --trace-out=FILE      Chrome-trace JSON\n"
+    "  --metrics-out=FILE    metrics registry as JSONL\n"
+    "  --flame               print the span flame summary\n"
+    "  --quiet               silence warn()/inform() notices\n"
+    "  --validate-json=F     check that F parses as JSON and exit\n"
+    "  --help                show this text\n"
+    "\n"
+    "With no program argument, analyzes a built-in demo program.\n";
+
 /** Parsed command line. */
 struct CliOptions
 {
@@ -109,6 +155,12 @@ struct CliOptions
     std::string reportsOut;
     std::size_t jobs = 1;
     std::size_t shards = 1;
+    std::string sessionDir;
+    bool resume = false;
+    std::uint64_t checkpointEvery = 0;
+    std::uint64_t haltAfter = 0;
+    bool cacheLimitSet = false;
+    std::size_t cacheEntries = 0;
     std::string statsOut;
     std::string plotOut;
     std::string traceOut;
@@ -168,6 +220,20 @@ parseArgs(int argc, char **argv)
         } else if (matchFlag(arg, "--shards", &value)) {
             options.shards = static_cast<std::size_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--session", &value)) {
+            options.sessionDir = value;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (matchFlag(arg, "--checkpoint-every", &value)) {
+            options.checkpointEvery = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--halt-after", &value)) {
+            options.haltAfter = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--cache-entries", &value)) {
+            options.cacheLimitSet = true;
+            options.cacheEntries = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
         } else if (matchFlag(arg, "--stats-out", &value)) {
             options.statsOut = value;
         } else if (matchFlag(arg, "--plot-out", &value)) {
@@ -182,8 +248,12 @@ parseArgs(int argc, char **argv)
             options.quiet = true;
         } else if (matchFlag(arg, "--validate-json", &value)) {
             options.validateJson = value;
+        } else if (arg == "--help") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
         } else if (arg.rfind("--", 0) == 0) {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            std::fprintf(stderr, "unknown option %s\n\n%s",
+                         arg.c_str(), kUsage);
             std::exit(2);
         } else {
             options.positional.push_back(arg);
@@ -229,17 +299,38 @@ runFuzzMode(const compdiff::minic::Program &program,
     fuzz_options.statsOutPath = options.statsOut;
     fuzz_options.plotOutPath = options.plotOut;
     fuzz_options.jobs = options.jobs;
-    fuzz_options.reduceFound = options.reduce;
-    fuzz_options.reduceCandidateBudget = options.reduceBudget;
-    fuzz_options.reportsDir = options.reportsOut;
 
-    fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
-        program, seeds, fuzz_options, options.shards,
-        options.jobs);
+    // The session owns the whole lifecycle; with --session=DIR it
+    // persists checkpoints there, otherwise it runs ephemerally.
+    session::SessionConfig session_config;
+    session_config.dir = options.sessionDir;
+    session_config.resume = options.resume;
+    session_config.checkpointEvery = options.checkpointEvery;
+    session_config.haltAfterExecs = options.haltAfter;
+    session_config.fuzz = fuzz_options;
+    session_config.shards = options.shards;
+    session_config.jobs = options.jobs;
+    session_config.triage.reduceFound = options.reduce;
+    session_config.triage.candidateBudget = options.reduceBudget;
+    session_config.triage.reportsDir = options.reportsOut;
+
+    session::CampaignSession session(program, seeds,
+                                     session_config);
+    const fuzz::ShardedResult &sharded = session.run();
 
     std::printf("%s",
-                obs::renderFuzzerStats(sharded.statsSnapshot())
+                obs::renderFuzzerStats(session.statsSnapshot())
                     .c_str());
+    if (session.halted()) {
+        std::printf("\nsession halted at a checkpoint after %llu "
+                    "execs; rerun with --session=%s --resume to "
+                    "finish the campaign\n",
+                    static_cast<unsigned long long>(
+                        sharded.total.execs),
+                    options.sessionDir.c_str());
+        exportTelemetry(options);
+        return 0;
+    }
     for (const auto &diff : sharded.diffs) {
         std::printf("\ndivergence at exec %llu "
                     "(%zu-byte input):\n%s",
@@ -247,7 +338,9 @@ runFuzzMode(const compdiff::minic::Program &program,
                     diff.input.size(),
                     diff.result.summary().c_str());
     }
-    for (const auto &report : sharded.reports) {
+    const std::vector<reduce::DivergenceReport> reports =
+        session.triage();
+    for (const auto &report : reports) {
         std::printf("\nreduced %s: input %zu -> %zu bytes, "
                     "program %zu -> %zu statements%s\n",
                     reduce::signatureDirName(report.signature)
@@ -307,6 +400,11 @@ main(int argc, char **argv)
     support::QuietGuard quiet(options.quiet);
     if (options.wantsTelemetry())
         obs::setEnabled(true);
+    if (options.cacheLimitSet) {
+        compiler::CompileCache::global().setLimits(
+            options.cacheEntries,
+            compiler::CompileCache::kDefaultMaxBytes);
+    }
 
     std::string source;
     support::Bytes input;
@@ -351,8 +449,15 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (options.fuzz)
-        return runFuzzMode(*program, seeds, options);
+    if (options.fuzz) {
+        try {
+            return runFuzzMode(*program, seeds, options);
+        } catch (const session::SessionError &error) {
+            std::fprintf(stderr, "session error: %s\n",
+                         error.what());
+            return 2;
+        }
+    }
 
     core::DiffOptions diff_options;
     diff_options.jobs = options.jobs;

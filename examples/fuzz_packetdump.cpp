@@ -7,10 +7,15 @@
  *
  * Build & run:  ./build/examples/fuzz_packetdump [execs]
  *                   [--stats-dir=DIR] [--trace-out=FILE]
+ *                   [--session=DIR] [--resume] [--halt-after=N]
+ *                   [--checkpoint-every=N]
  *
  * --stats-dir writes AFL++-style fuzzer_stats/plot_data under
  * DIR/pktdump/; --trace-out writes Chrome-trace JSON of the whole
- * campaign (both enable the observability layer).
+ * campaign (both enable the observability layer). --session runs
+ * the campaign as a crash-safe session under DIR/pktdump/ —
+ * interrupt it (or stop it early with --halt-after) and finish it
+ * later with --resume; see DESIGN.md §10.
  */
 
 #include <cstdio>
@@ -46,6 +51,18 @@ main(int argc, char **argv)
             options.statsDir = arg.substr(std::strlen("--stats-dir="));
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             trace_out = arg.substr(std::strlen("--trace-out="));
+        } else if (arg.rfind("--session=", 0) == 0) {
+            options.sessionDir = arg.substr(std::strlen("--session="));
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg.rfind("--halt-after=", 0) == 0) {
+            options.haltAfterExecs = static_cast<std::uint64_t>(
+                std::atoll(arg.c_str() +
+                           std::strlen("--halt-after=")));
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            options.checkpointEvery = static_cast<std::uint64_t>(
+                std::atoll(arg.c_str() +
+                           std::strlen("--checkpoint-every=")));
         } else {
             options.maxExecs = static_cast<std::uint64_t>(
                 std::atoll(arg.c_str()));
@@ -60,6 +77,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(options.maxExecs));
 
     auto result = targets::runCampaign(*target, options);
+
+    if (result.halted) {
+        std::printf("session halted at a checkpoint after %llu "
+                    "execs; rerun with --resume to finish\n",
+                    static_cast<unsigned long long>(
+                        result.stats.execs));
+        return 0;
+    }
 
     std::printf("executions      : %llu\n",
                 static_cast<unsigned long long>(result.stats.execs));

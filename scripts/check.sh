@@ -86,7 +86,55 @@ smoke() {
     grep -q '^execs_done' "$tmp/fuzzer_stats"
     grep -q '^compdiff_execs' "$tmp/fuzzer_stats"
     grep -q '^execs_impl_' "$tmp/fuzzer_stats"
+    grep -q '^run_time' "$tmp/fuzzer_stats"
     grep -q '^# execs' "$tmp/plot_data"
+
+    echo "== cli smoke: unknown flags are rejected with usage text"
+    "$cli" --no-such-flag > "$tmp/usage.out" 2>&1 && rc=0 || rc=$?
+    test "$rc" -eq 2
+    grep -q 'unknown option --no-such-flag' "$tmp/usage.out"
+    grep -q 'usage: compdiff_cli' "$tmp/usage.out"
+    "$cli" --help > "$tmp/help.out"
+    grep -q 'usage: compdiff_cli' "$tmp/help.out"
+
+    echo "== session smoke: interrupt-then-resume is bit-identical"
+    # One uninterrupted pktdump campaign, and the same campaign run
+    # as halt-at-half-budget then resume. The persisted results must
+    # match except for the wall-clock-dependent stats lines; the
+    # divergence journal must match byte-for-byte. The bounded
+    # compile cache's hit/miss/evict counters surface in the metrics.
+    "$cli" --quiet --target=pktdump --fuzz=1000 \
+        --session="$tmp/sess_full" > "$tmp/sess_full.out" \
+        || test $? -eq 1
+    "$cli" --quiet --target=pktdump --fuzz=1000 \
+        --session="$tmp/sess_cut" --halt-after=500 \
+        > "$tmp/sess_cut.out"
+    grep -q 'session halted' "$tmp/sess_cut.out"
+    test ! -f "$tmp/sess_cut/fuzzer_stats" # halted: checkpoints only
+    # The resume also reduces what it found, under an LRU-bounded
+    # compile cache: witness replays hit the resident original-
+    # program modules, reduction candidates miss and force evictions
+    # — all three counters must surface in the metrics export.
+    "$cli" --quiet --target=pktdump --fuzz=1000 \
+        --session="$tmp/sess_cut" --resume --reduce=100 \
+        --cache-entries=11 --metrics-out="$tmp/sess_metrics.jsonl" \
+        > "$tmp/sess_resume.out" || test $? -eq 1
+    volatile='^(run_time|execs_per_sec|session_restarts)'
+    diff <(grep -Ev "$volatile" "$tmp/sess_full/fuzzer_stats") \
+         <(grep -Ev "$volatile" "$tmp/sess_cut/fuzzer_stats")
+    cmp "$tmp/sess_full/divergences.journal" \
+        "$tmp/sess_cut/divergences.journal"
+    cmp "$tmp/sess_full/plot_data" "$tmp/sess_cut/plot_data"
+    grep -q '^session_restarts *: 1' "$tmp/sess_cut/fuzzer_stats"
+    grep -q 'cache.hit' "$tmp/sess_metrics.jsonl"
+    grep -q 'cache.miss' "$tmp/sess_metrics.jsonl"
+    grep -q 'cache.evict' "$tmp/sess_metrics.jsonl"
+    # Resuming with a different campaign must fail loudly.
+    "$cli" --quiet --target=pktdump --fuzz=2000 \
+        --session="$tmp/sess_cut" --resume \
+        > "$tmp/sess_bad.out" 2>&1 && rc=0 || rc=$?
+    test "$rc" -eq 2
+    grep -q 'exact campaign configuration' "$tmp/sess_bad.out"
     echo "== obs smoke: OK"
 }
 

@@ -1,5 +1,6 @@
 #include "compiler/cache.hh"
 
+#include <list>
 #include <map>
 #include <mutex>
 
@@ -72,15 +73,63 @@ cacheKey(std::uint64_t program_hash, const std::string &impl_id,
     return combiner.digest();
 }
 
+/**
+ * Estimated resident footprint of one cached module. An estimate is
+ * enough — the byte cap exists to stop unbounded growth across a
+ * long multi-target run, not to account bytes exactly.
+ */
+std::size_t
+moduleFootprint(const bytecode::Module &module)
+{
+    std::size_t bytes = sizeof(bytecode::Module);
+    bytes += module.codeSize() * 16; // packed instruction estimate
+    bytes += module.rodata.size();
+    bytes += module.globals.size() * sizeof(bytecode::GlobalLayout);
+    return bytes;
+}
+
 } // namespace
 
 struct CompileCache::Impl
 {
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::shared_ptr<const bytecode::Module> module;
+        std::size_t bytes = 0;
+    };
+
     mutable std::mutex mu;
-    std::map<std::uint64_t, std::shared_ptr<const bytecode::Module>>
-        entries;
+    /** Front = most recently used. */
+    std::list<Entry> lru;
+    std::map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t bytesUsed = 0;
+    std::size_t maxEntries = kDefaultMaxEntries;
+    std::size_t maxBytes = kDefaultMaxBytes;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    /** Evict LRU entries until both caps hold (lock held). Spares
+     *  the most recent entry so one oversized module still caches. */
+    void
+    enforceCaps()
+    {
+        std::uint64_t evicted = 0;
+        while (lru.size() > 1 &&
+               ((maxEntries && lru.size() > maxEntries) ||
+                (maxBytes && bytesUsed > maxBytes))) {
+            const Entry &victim = lru.back();
+            bytesUsed -= victim.bytes;
+            index.erase(victim.key);
+            lru.pop_back();
+            evicted++;
+        }
+        if (evicted) {
+            evictions += evicted;
+            obs::counter("cache.evict").add(evicted);
+        }
+    }
 };
 
 CompileCache::Impl *
@@ -112,15 +161,18 @@ CompileCache::compile(const minic::Program &program,
         cacheKey(program_hash, impl_id, traits);
     {
         std::lock_guard<std::mutex> lock(state.mu);
-        auto it = state.entries.find(key);
-        if (it != state.entries.end()) {
+        auto it = state.index.find(key);
+        if (it != state.index.end()) {
+            // Touch: move to the recent end.
+            state.lru.splice(state.lru.begin(), state.lru,
+                             it->second);
             state.hits++;
-            obs::counter("compile_cache.hits").add();
-            return it->second;
+            obs::counter("cache.hit").add();
+            return it->second->module;
         }
         state.misses++;
     }
-    obs::counter("compile_cache.misses").add();
+    obs::counter("cache.miss").add();
 
     // Compile outside the lock: concurrent shards may compile the
     // same key redundantly, but never block each other on a compile.
@@ -128,8 +180,28 @@ CompileCache::compile(const minic::Program &program,
         Compiler(program).compileWithTraits(config, traits));
 
     std::lock_guard<std::mutex> lock(state.mu);
-    auto [it, inserted] = state.entries.emplace(key, module);
-    return inserted ? module : it->second;
+    if (auto it = state.index.find(key); it != state.index.end()) {
+        // A concurrent compile won the race; keep its entry.
+        state.lru.splice(state.lru.begin(), state.lru, it->second);
+        return it->second->module;
+    }
+    const std::size_t bytes = moduleFootprint(*module);
+    state.lru.push_front({key, module, bytes});
+    state.index[key] = state.lru.begin();
+    state.bytesUsed += bytes;
+    state.enforceCaps();
+    return module;
+}
+
+void
+CompileCache::setLimits(std::size_t max_entries,
+                        std::size_t max_bytes)
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.maxEntries = max_entries;
+    state.maxBytes = max_bytes;
+    state.enforceCaps();
 }
 
 std::size_t
@@ -137,7 +209,31 @@ CompileCache::size() const
 {
     Impl &state = *impl();
     std::lock_guard<std::mutex> lock(state.mu);
-    return state.entries.size();
+    return state.lru.size();
+}
+
+std::size_t
+CompileCache::bytesUsed() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.bytesUsed;
+}
+
+std::size_t
+CompileCache::maxEntries() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.maxEntries;
+}
+
+std::size_t
+CompileCache::maxBytes() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.maxBytes;
 }
 
 std::uint64_t
@@ -156,14 +252,25 @@ CompileCache::misses() const
     return state.misses;
 }
 
+std::uint64_t
+CompileCache::evictions() const
+{
+    Impl &state = *impl();
+    std::lock_guard<std::mutex> lock(state.mu);
+    return state.evictions;
+}
+
 void
 CompileCache::clear()
 {
     Impl &state = *impl();
     std::lock_guard<std::mutex> lock(state.mu);
-    state.entries.clear();
+    state.lru.clear();
+    state.index.clear();
+    state.bytesUsed = 0;
     state.hits = 0;
     state.misses = 0;
+    state.evictions = 0;
 }
 
 std::shared_ptr<const bytecode::Module>

@@ -2,7 +2,7 @@
 
 /**
  * @file
- * Content-addressed compile cache.
+ * Content-addressed compile cache with LRU bounds.
  *
  * Every campaign, bench, and triage pass in this repo recompiles the
  * same (program, configuration) pairs: the fuzzer compiles B_fuzz
@@ -23,6 +23,16 @@
  * dies: entries hold Modules by shared_ptr, independent of any
  * Program lifetime (interned types referenced by the Module must
  * still outlive its use, as before).
+ *
+ * The cache is process-wide, and long multi-target campaign runs
+ * would otherwise grow it without bound (every target × k
+ * implementations × every reduction candidate program). It is
+ * therefore bounded: least-recently-used entries are evicted when
+ * either the entry count or the estimated byte footprint exceeds its
+ * cap (setLimits; 0 disables a cap). Eviction is safe at any time —
+ * modules are handed out by shared_ptr, so in-flight users keep
+ * theirs alive. Telemetry: the `cache.hit` / `cache.miss` /
+ * `cache.evict` counters (obs::metricsEnabled gated, as usual).
  *
  * Thread safety: fully synchronized; shards compiling concurrently
  * either find the entry or compile redundantly and race benignly to
@@ -50,6 +60,12 @@ std::uint64_t traitsFingerprint(const Traits &traits);
 class CompileCache
 {
   public:
+    /** Default entry cap (generous: a 10-implementation campaign
+     *  over every bundled target fits with room to spare). */
+    static constexpr std::size_t kDefaultMaxEntries = 256;
+    /** Default estimated-footprint cap. */
+    static constexpr std::size_t kDefaultMaxBytes = 128u << 20;
+
     static CompileCache &global();
 
     /**
@@ -67,10 +83,26 @@ class CompileCache
             std::uint64_t program_hash, const std::string &impl_id,
             const CompilerConfig &config, const Traits &traits);
 
+    /**
+     * Bound the cache to `max_entries` entries and `max_bytes`
+     * estimated bytes (0 = that cap disabled). Evicts immediately
+     * when the current contents exceed the new caps. The newest
+     * entry is never evicted, so a single oversized module still
+     * caches (the byte cap is a budget, not a hard admission test).
+     */
+    void setLimits(std::size_t max_entries, std::size_t max_bytes);
+
     /** Entries currently cached. */
     std::size_t size() const;
+    /** Estimated byte footprint of the cached modules. */
+    std::size_t bytesUsed() const;
+    std::size_t maxEntries() const;
+    std::size_t maxBytes() const;
+
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    /** Entries evicted by the LRU bound since the last clear(). */
+    std::uint64_t evictions() const;
 
     /** Drop every entry (tests; campaigns never need this). */
     void clear();

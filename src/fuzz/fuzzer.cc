@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "compiler/cache.hh"
 #include "obs/metrics.hh"
@@ -50,6 +51,15 @@ Fuzzer::selectSeed()
     return half + rng_.index(corpus_.size() - half);
 }
 
+std::string
+Fuzzer::crashSignatureOf(const vm::ExecutionResult &result)
+{
+    std::string signature = result.exitClass();
+    for (const auto &report : result.sanReports)
+        signature += "|" + report.str();
+    return signature;
+}
+
 void
 Fuzzer::executeOne(Bytes input, std::size_t depth)
 {
@@ -65,13 +75,12 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
     obs::Span triage_span("fuzz.triage");
     const bool is_crash = result.crashed() || result.sanitizerFired();
     if (is_crash) {
-        std::string signature = result.exitClass();
-        for (const auto &report : result.sanReports)
-            signature += "|" + report.str();
+        const std::string signature = crashSignatureOf(result);
         if (!crashSignatures_.count(signature)) {
             crashSignatures_[signature] = crashes_.size();
             crashes_.push_back({input, result.exitClass(),
-                                result.sanReports, result.probes});
+                                result.sanReports, result.probes,
+                                stats_.execs});
             stats_.lastFindExec = stats_.execs;
             obs::counter("fuzz.unique_crashes").add();
         }
@@ -153,7 +162,13 @@ Fuzzer::run()
         options_.plotEvery
             ? options_.plotEvery
             : std::max<std::uint64_t>(options_.maxExecs / 50, 1);
-    std::uint64_t next_plot = plot_every;
+    haltedByHook_ = false;
+
+    // A checkpoint taken at shutdown of a *finished* campaign is the
+    // final post-run snapshot: restoring it leaves nothing to do,
+    // and re-running the epilogue would duplicate the final plot row.
+    if (resumed_ && stats_.execs >= options_.maxExecs)
+        return stats_;
 
     const auto sample_plot = [&] {
         plot_.addRow({stats_.execs, corpus_.size(), crashes_.size(),
@@ -161,14 +176,27 @@ Fuzzer::run()
                       stats_.compdiffExecs});
     };
 
-    // Dry-run the initial seeds first (AFL++ does the same).
-    const std::size_t initial = corpus_.size();
-    for (std::size_t i = 0;
-         i < initial && stats_.execs < options_.maxExecs; i++) {
-        executeOne(corpus_[i].data, 0);
+    // Dry-run the initial seeds first (AFL++ does the same). A
+    // resumed campaign already did this before its first checkpoint:
+    // checkpoints happen only at the safe point below, which the
+    // dry-run precedes.
+    if (!resumed_) {
+        nextPlot_ = plot_every;
+        const std::size_t initial = corpus_.size();
+        for (std::size_t i = 0;
+             i < initial && stats_.execs < options_.maxExecs; i++) {
+            executeOne(corpus_[i].data, 0);
+        }
     }
 
     while (stats_.execs < options_.maxExecs) {
+        // Safe point: all campaign state is consistent here, so the
+        // session hook can checkpoint — or halt — between seeds.
+        if (hook_ && !hook_(*this)) {
+            haltedByHook_ = true;
+            break;
+        }
+
         const std::size_t seed_index = selectSeed();
         // Snapshot: corpus_ may grow while we mutate.
         const Bytes parent = corpus_[seed_index].data;
@@ -191,9 +219,9 @@ Fuzzer::run()
                 child = mutator_.mutate(parent, splice_pool);
             }
             executeOne(child, static_cast<std::size_t>(depth));
-            if (stats_.execs >= next_plot) {
+            if (stats_.execs >= nextPlot_) {
                 sample_plot();
-                next_plot += plot_every;
+                nextPlot_ += plot_every;
             }
         }
     }
@@ -202,6 +230,13 @@ Fuzzer::run()
     stats_.crashes = crashes_.size();
     stats_.diffs = diffs_.size();
     stats_.edges = virgin_.edgesSeen();
+
+    // A halted campaign is abandoned mid-flight: its state was
+    // checkpointed at the safe point, and the resumed process will
+    // take the final plot sample and write telemetry when the budget
+    // is actually exhausted.
+    if (haltedByHook_)
+        return stats_;
     sample_plot();
 
     if (!options_.statsOutPath.empty() ||
@@ -244,6 +279,100 @@ Fuzzer::statsSnapshot() const
     snapshot.lastFindExec = stats_.lastFindExec;
     snapshot.lastDiffExec = stats_.lastDiffExec;
     return snapshot;
+}
+
+FuzzerState
+Fuzzer::captureState() const
+{
+    FuzzerState state;
+    state.stats = stats_;
+    state.nonceCounter = nonceCounter_;
+    state.rng = rng_.state();
+    state.mutatorRng = mutator_.rngState();
+    state.nextPlot = nextPlot_;
+    state.corpus = corpus_;
+    state.diffs.reserve(diffs_.size());
+    for (const auto &diff : diffs_) {
+        state.diffs.push_back(
+            {diff.input, diff.execIndex, diff.signature,
+             diff.probes});
+    }
+    state.crashes.reserve(crashes_.size());
+    for (const auto &crash : crashes_)
+        state.crashes.push_back({crash.input, crash.execIndex});
+    state.partitionsSeen.assign(partitionsSeen_.begin(),
+                                partitionsSeen_.end());
+    state.perConfigExecs = perConfigExecs_;
+    state.plotRows = plot_.rows();
+    state.virginMap = virgin_.snapshotBytes();
+    return state;
+}
+
+void
+Fuzzer::restoreState(const FuzzerState &state)
+{
+    const std::size_t engine_size =
+        diffEngine_ ? diffEngine_->size() : 0;
+    if (state.perConfigExecs.size() != engine_size) {
+        throw std::runtime_error(
+            "fuzzer snapshot does not match campaign: snapshot has " +
+            std::to_string(state.perConfigExecs.size()) +
+            " differential implementations, campaign has " +
+            std::to_string(engine_size));
+    }
+    if (!virgin_.restoreBytes(state.virginMap)) {
+        throw std::runtime_error(
+            "fuzzer snapshot does not match campaign: virgin map is " +
+            std::to_string(state.virginMap.size()) +
+            " bytes, expected " +
+            std::to_string(vm::kCoverageMapSize));
+    }
+    if (!diffEngine_ && !state.diffs.empty()) {
+        throw std::runtime_error(
+            "fuzzer snapshot does not match campaign: snapshot "
+            "carries divergences but the differential oracle is "
+            "disabled");
+    }
+
+    stats_ = state.stats;
+    nonceCounter_ = state.nonceCounter;
+    rng_.setState(state.rng);
+    mutator_.setRngState(state.mutatorRng);
+    nextPlot_ = state.nextPlot;
+    corpus_ = state.corpus;
+    partitionsSeen_ =
+        std::set<std::uint64_t>(state.partitionsSeen.begin(),
+                                state.partitionsSeen.end());
+    perConfigExecs_ = state.perConfigExecs;
+    plot_.setRows(state.plotRows);
+
+    // Re-derive the heavyweight result objects: every execution is a
+    // pure function of (binary, input, nonce), so re-running the
+    // recorded input under its recorded exec index reproduces the
+    // original DiffResult / crash report bit for bit.
+    diffs_.clear();
+    diffSignatures_.clear();
+    for (const auto &record : state.diffs) {
+        auto diff = diffEngine_->runInput(record.input,
+                                          record.execIndex);
+        diffSignatures_[record.signature] = diffs_.size();
+        diffs_.push_back({record.input, std::move(diff),
+                          record.execIndex, record.probes,
+                          record.signature});
+    }
+    crashes_.clear();
+    crashSignatures_.clear();
+    vm::CoverageMap scratch_coverage;
+    for (const auto &record : state.crashes) {
+        scratch_coverage.reset();
+        const auto result = fuzzVm_.run(
+            record.input, &scratch_coverage, record.execIndex);
+        crashSignatures_[crashSignatureOf(result)] = crashes_.size();
+        crashes_.push_back({record.input, result.exitClass(),
+                            result.sanReports, result.probes,
+                            record.execIndex});
+    }
+    resumed_ = true;
 }
 
 } // namespace compdiff::fuzz

@@ -16,9 +16,19 @@
  * = false) and this is a plain greybox crash fuzzer; enable a
  * sanitizer on B_fuzz and it is a sanitizer fuzzing campaign —
  * the two comparison arms of the paper's evaluation.
+ *
+ * Checkpoint/resume: the whole campaign state — corpus, virgin map,
+ * both RNG streams, dedup signatures, found diffs/crashes, stats —
+ * is capturable as a FuzzerState at any safe point (the top of the
+ * outer fuzz loop) and restorable into a freshly constructed Fuzzer.
+ * The campaign is deterministic, so a restore followed by run()
+ * reproduces an uninterrupted campaign bit for bit. Persistence (the
+ * session directory, journaling, shard merge) lives one layer up in
+ * src/session; the Fuzzer itself only snapshots and restores.
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -67,6 +77,8 @@ struct FoundCrash
     std::string exitClass;
     std::vector<vm::SanReport> sanReports;
     std::vector<int> probes;
+    /** Execution index (== nonce) the crash was observed at. */
+    std::uint64_t execIndex = 0;
 };
 
 /** Campaign configuration. */
@@ -111,21 +123,13 @@ struct FuzzOptions
     /** Mutations attempted per selected seed. */
     std::uint32_t energyBase = 16;
 
-    // --- post-campaign reduction (src/reduce) ---
-    /**
-     * Reduce every unique divergence after the campaign: ddmin the
-     * witness input, shrink the program, and (when reportsDir is
-     * set) bundle reports/<sig>/ directories. Applied by
-     * runShardedCampaign, deterministic for every `jobs` value.
-     */
-    bool reduceFound = false;
-    /** Report bundle directory ("" = reduce without bundling). */
-    std::string reportsDir;
-    /** Oracle-candidate budget per reduced divergence (bounds the
-     *  CI smoke's wall time). */
-    std::uint64_t reduceCandidateBudget = 4096;
-
     // --- telemetry export (AFL++'s fuzzer_stats / plot_data) ---
+    //
+    // Post-campaign triage (reduction, report bundles) is *not*
+    // configured here: session::TriageOptions is the single carrier
+    // for those knobs, and session::CampaignSession feeds the
+    // campaign's divergence records to reduce::Pipeline.
+
     /** Where to write the final `fuzzer_stats` snapshot ("" = off). */
     std::string statsOutPath;
     /** Where to write the `plot_data` time series ("" = off). */
@@ -155,11 +159,69 @@ struct FuzzStats
 };
 
 /**
+ * The complete resumable snapshot of a mid-campaign Fuzzer, taken at
+ * a safe point (top of the outer fuzz loop, or after run() ended).
+ *
+ * Found diffs and crashes are stored as compact *records* — the
+ * input plus the exec index (== execution nonce) they were observed
+ * at — not as their heavyweight results: restoreState() re-derives
+ * DiffResult / crash reports by re-executing the recorded input
+ * under the recorded nonce, which is bit-exact because every
+ * execution in this system is a pure function of (binary, input,
+ * nonce). That keeps checkpoints small and makes "a resumed campaign
+ * equals an uninterrupted one" hold for the full result objects, not
+ * just for counters.
+ */
+struct FuzzerState
+{
+    FuzzStats stats;
+    std::uint64_t nonceCounter = 0;
+    support::Rng::State rng{};
+    support::Rng::State mutatorRng{};
+    /** Next plot-sample threshold of the interrupted run(). */
+    std::uint64_t nextPlot = 0;
+
+    std::vector<Seed> corpus;
+
+    struct DiffRecord
+    {
+        support::Bytes input;
+        std::uint64_t execIndex = 0;
+        std::uint64_t signature = 0;
+        std::vector<int> probes;
+    };
+    struct CrashRecord
+    {
+        support::Bytes input;
+        std::uint64_t execIndex = 0;
+    };
+    std::vector<DiffRecord> diffs;
+    std::vector<CrashRecord> crashes;
+
+    /** Sorted NEZHA partition digests (divergenceFeedback). */
+    std::vector<std::uint64_t> partitionsSeen;
+    /** Executions of each oracle member, implementation order. */
+    std::vector<std::uint64_t> perConfigExecs;
+    std::vector<obs::PlotWriter::Row> plotRows;
+    /** Raw VirginMap bytes (vm::kCoverageMapSize). */
+    support::Bytes virginMap;
+};
+
+/**
  * The CompDiff-AFL++ campaign driver.
  */
 class Fuzzer
 {
   public:
+    /**
+     * Called at every safe point of run() (top of the outer fuzz
+     * loop). Return false to halt the campaign there — the hook is
+     * how session::CampaignSession checkpoints on a cadence and how
+     * an interrupt (or a --halt-after test point) stops a campaign
+     * without losing journaled state.
+     */
+    using IterationHook = std::function<bool(const Fuzzer &)>;
+
     /**
      * @param program       Analyzed target program; must outlive the
      *                      fuzzer.
@@ -197,6 +259,33 @@ class Fuzzer
     /** The `plot_data` time series collected during run(). */
     const obs::PlotWriter &plotData() const { return plot_; }
 
+    // --- checkpoint/resume (session::CampaignSession) ---
+
+    /** Snapshot the full campaign state at a safe point. */
+    FuzzerState captureState() const;
+
+    /**
+     * Restore a snapshot into this (freshly constructed, same
+     * program/options) fuzzer: a subsequent run() continues the
+     * campaign exactly where the snapshot left it. Diff results and
+     * crash reports are re-derived by re-executing the recorded
+     * inputs under their recorded nonces.
+     *
+     * @throws std::runtime_error when the snapshot is inconsistent
+     *         with this fuzzer's configuration (oracle width or
+     *         coverage-map size mismatch).
+     */
+    void restoreState(const FuzzerState &state);
+
+    /** Install (or clear) the safe-point hook; see IterationHook. */
+    void setIterationHook(IterationHook hook)
+    {
+        hook_ = std::move(hook);
+    }
+
+    /** Did the last run() stop early because the hook said so? */
+    bool haltedByHook() const { return haltedByHook_; }
+
     // --- shard-merge accessors (fuzz::runShardedCampaign) ---
     /** Accumulated campaign coverage (merged across shards). */
     const vm::VirginMap &virginMap() const { return virgin_; }
@@ -218,11 +307,16 @@ class Fuzzer
         return perConfigExecs_;
     }
 
+    const FuzzOptions &options() const { return options_; }
+
   private:
     std::size_t selectSeed();
     /** Takes the input by value: executing it may grow corpus_ and
      *  would invalidate any reference into it. */
     void executeOne(support::Bytes input, std::size_t depth);
+    /** The crash-dedup key of a B_fuzz result. */
+    static std::string
+    crashSignatureOf(const vm::ExecutionResult &result);
 
     const minic::Program &program_;
     FuzzOptions options_;
@@ -245,6 +339,15 @@ class Fuzzer
     std::set<std::uint64_t> partitionsSeen_;
     FuzzStats stats_;
     std::uint64_t nonceCounter_ = 0;
+
+    /** Plot bookkeeping lives in members so checkpoints capture the
+     *  exact sampling phase of an interrupted run(). */
+    std::uint64_t nextPlot_ = 0;
+    /** True after restoreState(): run() skips the seed dry-run the
+     *  original campaign already performed. */
+    bool resumed_ = false;
+    bool haltedByHook_ = false;
+    IterationHook hook_;
 
     /** Executions of each oracle member, implementation order. */
     std::vector<std::uint64_t> perConfigExecs_;

@@ -42,6 +42,15 @@ class Mutator
     mutate(const support::Bytes &seed,
            const std::vector<support::Bytes> &corpus);
 
+    /** Snapshot the mutation RNG (checkpoint/resume). */
+    support::Rng::State rngState() const { return rng_.state(); }
+
+    /** Restore a snapshot taken with rngState(). */
+    void setRngState(const support::Rng::State &state)
+    {
+        rng_.setState(state);
+    }
+
     // Elementary operators (public for unit tests).
     void flipBit(support::Bytes &data);
     void setInteresting(support::Bytes &data);

@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 #include <utility>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "reduce/pipeline.hh"
 #include "support/hash.hh"
 #include "support/thread_pool.hh"
 #include "vm/coverage.hh"
@@ -60,69 +58,65 @@ ShardedResult::statsSnapshot() const
     return snapshot;
 }
 
-ShardedResult
-runShardedCampaign(const minic::Program &program,
-                   const std::vector<Bytes> &seeds,
-                   FuzzOptions options, std::size_t shards,
-                   std::size_t jobs)
+std::vector<ShardPlan>
+planShards(const FuzzOptions &options,
+           const std::vector<Bytes> &seeds, std::size_t shards)
 {
-    obs::Span span("fuzz.shardedCampaign");
-    const auto wall_start = std::chrono::steady_clock::now();
     const std::size_t count = std::max<std::size_t>(shards, 1);
-
-    // Campaign-level telemetry paths are written by this driver,
-    // never by the shards themselves.
-    const std::string stats_path = options.statsOutPath;
-    const std::string plot_path = options.plotOutPath;
-    options.statsOutPath.clear();
-    options.plotOutPath.clear();
-
-    std::vector<std::unique_ptr<Fuzzer>> fuzzers;
-    fuzzers.reserve(count);
+    std::vector<ShardPlan> plans;
+    plans.reserve(count);
     const std::uint64_t base_execs = options.maxExecs / count;
     const std::uint64_t extra = options.maxExecs % count;
     for (std::size_t s = 0; s < count; s++) {
-        FuzzOptions shard_options = options;
-        shard_options.maxExecs =
-            base_execs + (s < extra ? 1 : 0);
-        shard_options.rngSeed = shardSeed(options.rngSeed, s);
+        ShardPlan plan;
+        plan.options = options;
+        plan.options.maxExecs = base_execs + (s < extra ? 1 : 0);
+        plan.options.rngSeed = shardSeed(options.rngSeed, s);
         // With several shards, the thread budget belongs to the
         // shard level; nested oracle parallelism would only
         // oversubscribe the pool.
         if (count > 1)
-            shard_options.jobs = 1;
-        std::vector<Bytes> shard_seeds;
+            plan.options.jobs = 1;
+        // Campaign-level telemetry is written by the driver, never
+        // by the shards themselves.
+        plan.options.statsOutPath.clear();
+        plan.options.plotOutPath.clear();
         for (std::size_t i = s; i < seeds.size(); i += count)
-            shard_seeds.push_back(seeds[i]);
-        // Construction compiles the shard's binaries — serially,
-        // here, so all shards share the CompileCache warm-up.
-        fuzzers.push_back(std::make_unique<Fuzzer>(
-            program, std::move(shard_seeds), shard_options));
+            plan.seeds.push_back(seeds[i]);
+        plans.push_back(std::move(plan));
     }
+    return plans;
+}
 
+void
+runShardFuzzers(std::vector<std::unique_ptr<Fuzzer>> &fuzzers,
+                std::size_t jobs)
+{
     // Shards share no mutable state: run them on the pool (or
-    // inline), then fold. Results depend on `count` only.
-    {
-        std::vector<std::function<void()>> tasks;
-        tasks.reserve(count);
-        for (std::size_t s = 0; s < count; s++)
-            tasks.push_back([&fuzzers, s] { fuzzers[s]->run(); });
-        if (jobs > 1 && count > 1) {
-            support::ThreadPool pool(std::min(jobs, count));
-            pool.runAll(std::move(tasks));
-        } else {
-            for (auto &task : tasks)
-                task();
-        }
+    // inline). Results depend on the shard count only.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(fuzzers.size());
+    for (auto &fuzzer : fuzzers)
+        tasks.push_back([&fuzzer] { fuzzer->run(); });
+    if (jobs > 1 && fuzzers.size() > 1) {
+        support::ThreadPool pool(std::min(jobs, fuzzers.size()));
+        pool.runAll(std::move(tasks));
+    } else {
+        for (auto &task : tasks)
+            task();
     }
+}
 
-    // --- fold (single-threaded, deterministic shard order) ---
+ShardedResult
+foldShards(const std::vector<std::unique_ptr<Fuzzer>> &fuzzers)
+{
+    // Single-threaded fold in deterministic shard order.
     ShardedResult result;
     vm::VirginMap merged_virgin;
     std::map<std::uint64_t, std::size_t> diff_signatures;
     std::map<std::string, std::size_t> crash_signatures;
-    for (std::size_t s = 0; s < count; s++) {
-        const Fuzzer &fuzzer = *fuzzers[s];
+    for (const auto &fuzzer_ptr : fuzzers) {
+        const Fuzzer &fuzzer = *fuzzer_ptr;
         const FuzzStats &stats = fuzzer.stats();
         result.perShard.push_back(stats);
 
@@ -166,30 +160,53 @@ runShardedCampaign(const minic::Program &program,
     result.total.diffs = result.diffs.size();
     result.total.edges = merged_virgin.edgesSeen();
 
-    // Post-campaign reduction: one witness per unique signature, in
-    // fold order. The reduce pipeline is deterministic for every
-    // `jobs` value (indexed slots, per-witness oracles with fixed
-    // nonces), so this preserves the campaign's jobs-neutrality.
-    if (options.reduceFound && !result.diffs.empty()) {
-        std::vector<reduce::Witness> witnesses;
-        witnesses.reserve(result.diffs.size());
-        for (const auto &diff : result.diffs)
-            witnesses.push_back({diff.input, diff.result});
-        reduce::ReduceOptions reduce_options;
-        reduce_options.diffOptions = options.diffOptions;
-        reduce_options.diffOptions.limits = options.limits;
-        reduce_options.candidateBudget =
-            options.reduceCandidateBudget;
-        reduce_options.jobs = jobs;
-        reduce_options.reportsDir = options.reportsDir;
-        result.reports = reduce::reduceAndReport(
-            program, options.diffImpls, witnesses, reduce_options);
-    }
-
     if (obs::metricsEnabled()) {
-        obs::counter("fuzz.shards").add(count);
+        obs::counter("fuzz.shards").add(fuzzers.size());
         obs::gauge("fuzz.sharded_edges").set(result.total.edges);
     }
+    return result;
+}
+
+void
+writeShardPlots(const std::vector<std::unique_ptr<Fuzzer>> &fuzzers,
+                const std::string &plotPath)
+{
+    if (plotPath.empty())
+        return;
+    if (fuzzers.size() == 1) {
+        obs::writeTextFile(plotPath, fuzzers[0]->plotData().str());
+        return;
+    }
+    for (std::size_t s = 0; s < fuzzers.size(); s++) {
+        obs::writeTextFile(plotPath + ".shard" + std::to_string(s),
+                           fuzzers[s]->plotData().str());
+    }
+}
+
+ShardedResult
+runShardedCampaign(const minic::Program &program,
+                   const std::vector<Bytes> &seeds,
+                   FuzzOptions options, std::size_t shards,
+                   std::size_t jobs)
+{
+    obs::Span span("fuzz.shardedCampaign");
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    const std::string stats_path = options.statsOutPath;
+    const std::string plot_path = options.plotOutPath;
+
+    const auto plans = planShards(options, seeds, shards);
+    std::vector<std::unique_ptr<Fuzzer>> fuzzers;
+    fuzzers.reserve(plans.size());
+    for (const auto &plan : plans) {
+        // Construction compiles the shard's binaries — serially,
+        // here, so all shards share the CompileCache warm-up.
+        fuzzers.push_back(std::make_unique<Fuzzer>(
+            program, plan.seeds, plan.options));
+    }
+
+    runShardFuzzers(fuzzers, jobs);
+    ShardedResult result = foldShards(fuzzers);
 
     if (!stats_path.empty() || !plot_path.empty()) {
         auto snapshot = result.statsSnapshot();
@@ -204,20 +221,7 @@ runShardedCampaign(const minic::Program &program,
             obs::writeTextFile(stats_path,
                                obs::renderFuzzerStats(snapshot));
         }
-        if (!plot_path.empty()) {
-            // A single shard keeps the plain filename (the sharded
-            // runner is then a drop-in for a plain Fuzzer run).
-            if (count == 1) {
-                obs::writeTextFile(plot_path,
-                                   fuzzers[0]->plotData().str());
-            } else {
-                for (std::size_t s = 0; s < count; s++) {
-                    obs::writeTextFile(plot_path + ".shard" +
-                                           std::to_string(s),
-                                       fuzzers[s]->plotData().str());
-                }
-            }
-        }
+        writeShardPlots(fuzzers, plot_path);
     }
     return result;
 }

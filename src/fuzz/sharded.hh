@@ -22,16 +22,29 @@
  *     argument that makes DiffOptions::jobs result-neutral.
  * This mirrors AFL++, where the number of -S instances shapes the
  * campaign but the machine's core count does not.
+ *
+ * The run is decomposed into plan / run / fold stages so that
+ * session::CampaignSession can own the per-shard Fuzzers between the
+ * stages — restoring checkpoints into them before the run and
+ * journaling their state during it — while one-shot callers keep the
+ * single runShardedCampaign() entry point.
  */
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "fuzz/fuzzer.hh"
-#include "reduce/report.hh"
 
 namespace compdiff::fuzz
 {
+
+/** Everything that defines one shard: its options and seed share. */
+struct ShardPlan
+{
+    FuzzOptions options;
+    std::vector<support::Bytes> seeds;
+};
 
 /** Folded outcome of a sharded campaign. */
 struct ShardedResult
@@ -48,31 +61,62 @@ struct ShardedResult
     /** Per-implementation executions folded in config order. */
     std::vector<std::pair<std::string, std::uint64_t>>
         perConfigExecs;
-    /**
-     * Post-campaign reduction outcomes, one per entry of `diffs`
-     * (same order); empty unless FuzzOptions::reduceFound. Bundles
-     * are written under FuzzOptions::reportsDir when set.
-     */
-    std::vector<reduce::DivergenceReport> reports;
 
     /** Merged AFL++-style `fuzzer_stats` snapshot. */
     obs::FuzzerStatsSnapshot statsSnapshot() const;
 };
 
 /**
- * Run one campaign as `shards` deterministic sub-campaigns on up to
- * `jobs` worker threads.
+ * Derive the per-shard plans from one campaign description.
  *
  * Budget: options.maxExecs is split evenly (low shards take the
  * remainder). Seeds: round-robin by index. RNG: shard 0 keeps
  * options.rngSeed (shards=1 therefore reproduces a plain Fuzzer run
- * exactly); shard s>0 mixes s into the seed. The per-shard oracle
- * runs serially when shards > 1 — the thread budget belongs to the
- * shard level; options.jobs applies when shards == 1.
+ * exactly); shard s>0 mixes s into the seed. With several shards the
+ * per-shard oracle runs serially (jobs forced to 1) — the thread
+ * budget belongs to the shard level. Campaign-level telemetry paths
+ * are cleared from the shard options: whoever drives the shards
+ * writes the merged files.
+ */
+std::vector<ShardPlan>
+planShards(const FuzzOptions &options,
+           const std::vector<support::Bytes> &seeds,
+           std::size_t shards);
+
+/**
+ * Run the shard fuzzers to completion (or until their iteration
+ * hooks halt them) on up to `jobs` worker threads. Shards share no
+ * mutable state, so the thread count cannot change any result.
+ */
+void runShardFuzzers(std::vector<std::unique_ptr<Fuzzer>> &fuzzers,
+                     std::size_t jobs);
+
+/**
+ * Fold finished shards in deterministic shard order: merged virgin
+ * map, signature-deduplicated diffs/crashes (first shard wins),
+ * summed stats and per-config execution counts.
+ */
+ShardedResult
+foldShards(const std::vector<std::unique_ptr<Fuzzer>> &fuzzers);
+
+/**
+ * Write each shard's `plot_data` series. A single shard keeps the
+ * plain filename (the sharded runner is then a drop-in for a plain
+ * Fuzzer run); several shards get a ".shard<N>" suffix each.
+ */
+void
+writeShardPlots(const std::vector<std::unique_ptr<Fuzzer>> &fuzzers,
+                const std::string &plotPath);
+
+/**
+ * Run one campaign as `shards` deterministic sub-campaigns on up to
+ * `jobs` worker threads: planShards + construct + runShardFuzzers +
+ * foldShards, plus campaign-level telemetry (options.statsOutPath
+ * receives the merged snapshot; options.plotOutPath one series per
+ * shard, see writeShardPlots).
  *
- * Telemetry: options.statsOutPath receives the *merged* snapshot;
- * options.plotOutPath receives one series per shard, suffixed
- * ".shard<N>" (plain filename when shards == 1).
+ * Post-campaign triage is not performed here: wrap the campaign in a
+ * session::CampaignSession to reduce and report what it found.
  */
 ShardedResult
 runShardedCampaign(const minic::Program &program,

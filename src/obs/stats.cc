@@ -74,7 +74,11 @@ renderFuzzerStats(const FuzzerStatsSnapshot &snapshot)
         std::snprintf(buf, sizeof(buf), "%.2f",
                       snapshot.execsPerSec);
         line(os, "execs_per_sec", std::string(buf));
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      snapshot.runTimeSecs);
+        line(os, "run_time", std::string(buf));
     }
+    line(os, "session_restarts", snapshot.restarts);
     for (const auto &[name, execs] : snapshot.perConfigExecs)
         line(os, "execs_impl_" + keyify(name), execs);
     return os.str();
@@ -119,6 +123,10 @@ snapshotFromFuzzerStats(const std::string &text)
     if (auto it = kv.find("execs_per_sec"); it != kv.end())
         snapshot.execsPerSec = std::strtod(it->second.c_str(),
                                            nullptr);
+    if (auto it = kv.find("run_time"); it != kv.end())
+        snapshot.runTimeSecs = std::strtod(it->second.c_str(),
+                                           nullptr);
+    snapshot.restarts = toU64(kv, "session_restarts");
     for (const auto &[key, value] : kv) {
         if (key.rfind("execs_impl_", 0) == 0) {
             snapshot.perConfigExecs.emplace_back(

@@ -51,6 +51,16 @@ struct FuzzerStatsSnapshot
     /** Wall-clock throughput; 0 when unavailable. Derived display
      *  value only — never fed back into the campaign. */
     double execsPerSec = 0;
+    /**
+     * Cumulative campaign wall-clock seconds. Persistent sessions
+     * (src/session) accumulate this across restarts, AFL++-style:
+     * a killed-and-resumed campaign reports the total time fuzzed,
+     * not the last process's share. 0 when unavailable; display
+     * value only.
+     */
+    double runTimeSecs = 0;
+    /** Times the campaign was resumed from a session checkpoint. */
+    std::uint64_t restarts = 0;
 };
 
 /** Render in AFL++'s `key : value` format. */
@@ -83,6 +93,9 @@ class PlotWriter
 
     void addRow(const Row &row);
     const std::vector<Row> &rows() const { return rows_; }
+
+    /** Replace the series (session resume restores saved rows). */
+    void setRows(std::vector<Row> rows) { rows_ = std::move(rows); }
 
     /** CSV rendering, AFL++-style `# ...` header line included. */
     std::string str() const;

@@ -142,4 +142,28 @@ reduceAndReport(const minic::Program &program,
     return reports;
 }
 
+std::vector<DivergenceReport>
+reduceRecords(const minic::Program &program,
+              const core::ImplementationSet &impls,
+              const std::vector<session::DivergenceRecord> &records,
+              const ReduceOptions &options)
+{
+    std::vector<Witness> witnesses;
+    witnesses.reserve(records.size());
+    if (!records.empty()) {
+        // One serial engine re-derives every record's campaign-time
+        // diff (pure function of input and exec index); the per-
+        // witness oracles below then own their reductions.
+        core::DiffOptions diff_options = options.diffOptions;
+        diff_options.jobs = 1;
+        core::DiffEngine engine(program, impls, diff_options);
+        for (const auto &record : records) {
+            witnesses.push_back(
+                {record.input,
+                 engine.runInput(record.input, record.execIndex)});
+        }
+    }
+    return reduceAndReport(program, impls, witnesses, options);
+}
+
 } // namespace compdiff::reduce

@@ -30,6 +30,7 @@
 #include "compdiff/implementation.hh"
 #include "minic/ast.hh"
 #include "reduce/report.hh"
+#include "session/records.hh"
 #include "support/bytes.hh"
 
 namespace compdiff::reduce
@@ -78,5 +79,19 @@ reduceAndReport(const minic::Program &program,
                 const core::ImplementationSet &impls,
                 const std::vector<Witness> &witnesses,
                 const ReduceOptions &options);
+
+/**
+ * Reduce a session's divergence records (the portable form
+ * session::CampaignSession persists and folds). The campaign-time
+ * DiffResult each witness needs is re-derived by re-running the
+ * record's input under its recorded execution index — deterministic,
+ * so the fallback diff for unreproduced witnesses matches what the
+ * campaign observed.
+ */
+std::vector<DivergenceReport>
+reduceRecords(const minic::Program &program,
+              const core::ImplementationSet &impls,
+              const std::vector<session::DivergenceRecord> &records,
+              const ReduceOptions &options);
 
 } // namespace compdiff::reduce

@@ -1,0 +1,234 @@
+#include "session/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.hh"
+
+namespace compdiff::session
+{
+
+using support::Bytes;
+
+namespace
+{
+
+constexpr char kFileMagic[8] = {'C', 'D', 'I', 'F',
+                               'S', 'E', 'S', 'J'};
+constexpr std::uint32_t kRecordMagic = 0x43445352; // "CDSR"
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>(value >> shift));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>(value >> shift));
+}
+
+std::uint32_t
+getU32(const std::string &data, std::size_t pos)
+{
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(data[pos++]))
+                 << shift;
+    return value;
+}
+
+std::uint64_t
+getU64(const std::string &data, std::size_t pos)
+{
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(data[pos++]))
+                 << shift;
+    return value;
+}
+
+std::string
+renderHeader()
+{
+    std::string header(kFileMagic, sizeof(kFileMagic));
+    putU32(header, kJournalVersion);
+    return header;
+}
+
+constexpr std::size_t kHeaderSize = sizeof(kFileMagic) + 4;
+/** Record framing: magic + length + checksum. */
+constexpr std::size_t kFrameSize = 4 + 8 + 8;
+
+std::string
+renderRecord(const Bytes &payload)
+{
+    std::string record;
+    record.reserve(kFrameSize + payload.size());
+    putU32(record, kRecordMagic);
+    putU64(record, payload.size());
+    putU64(record, support::murmurHash64(payload));
+    record.append(payload.begin(), payload.end());
+    return record;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SessionError("cannot open journal " + path);
+    std::ostringstream data;
+    data << in.rdbuf();
+    if (in.bad())
+        throw SessionError("cannot read journal " + path);
+    return data.str();
+}
+
+} // namespace
+
+void
+createJournal(const std::string &path)
+{
+    atomicWriteFile(path, renderHeader());
+}
+
+void
+appendRecord(const std::string &path, const Bytes &payload)
+{
+    std::ofstream out(path,
+                      std::ios::binary | std::ios::app);
+    if (!out)
+        throw SessionError("cannot append to journal " + path);
+    out << renderRecord(payload);
+    out.flush();
+    if (!out)
+        throw SessionError("short write to journal " + path);
+}
+
+std::vector<Bytes>
+readRecords(const std::string &path)
+{
+    const std::string data = readWholeFile(path);
+    if (data.size() < kHeaderSize ||
+        std::memcmp(data.data(), kFileMagic,
+                    sizeof(kFileMagic)) != 0) {
+        throw SessionError(
+            path + " is not a session journal (bad file header); "
+                   "refusing to resume from it");
+    }
+    const std::uint32_t version =
+        getU32(data, sizeof(kFileMagic));
+    if (version != kJournalVersion) {
+        throw SessionError(
+            path + " has journal format version " +
+            std::to_string(version) + ", this build reads version " +
+            std::to_string(kJournalVersion));
+    }
+
+    std::vector<Bytes> records;
+    std::size_t pos = kHeaderSize;
+    while (pos < data.size()) {
+        // Anything invalid from here on is a torn tail: keep what
+        // was fully written before it.
+        if (data.size() - pos < kFrameSize)
+            break;
+        if (getU32(data, pos) != kRecordMagic)
+            break;
+        const std::uint64_t length = getU64(data, pos + 4);
+        if (length > data.size() - pos - kFrameSize)
+            break;
+        const std::uint64_t checksum = getU64(data, pos + 12);
+        Bytes payload(
+            data.begin() +
+                static_cast<std::ptrdiff_t>(pos + kFrameSize),
+            data.begin() + static_cast<std::ptrdiff_t>(
+                               pos + kFrameSize + length));
+        if (support::murmurHash64(payload) != checksum)
+            break;
+        records.push_back(std::move(payload));
+        pos += kFrameSize + length;
+    }
+    return records;
+}
+
+std::optional<Bytes>
+readLastRecord(const std::string &path)
+{
+    auto records = readRecords(path);
+    if (records.empty())
+        return std::nullopt;
+    return std::move(records.back());
+}
+
+void
+compactJournal(const std::string &path)
+{
+    const auto last = readLastRecord(path);
+    std::string compacted = renderHeader();
+    if (last)
+        compacted += renderRecord(*last);
+    atomicWriteFile(path, compacted);
+}
+
+void
+writeJournal(const std::string &path,
+             const std::vector<Bytes> &records)
+{
+    std::string data = renderHeader();
+    for (const auto &record : records)
+        data += renderRecord(record);
+    atomicWriteFile(path, data);
+}
+
+void
+atomicWriteFile(const std::string &path,
+                const std::string &content)
+{
+    const std::filesystem::path target(path);
+    std::error_code ec;
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(),
+                                            ec);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SessionError("cannot write " + tmp);
+        out << content;
+        out.flush();
+        if (!out)
+            throw SessionError("short write to " + tmp);
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw SessionError("cannot rename " + tmp + " to " + path +
+                           ": " + ec.message());
+    }
+}
+
+std::optional<std::string>
+readTextFile(const std::string &path)
+{
+    if (!std::filesystem::exists(path))
+        return std::nullopt;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SessionError("cannot open " + path);
+    std::ostringstream data;
+    data << in.rdbuf();
+    if (in.bad())
+        throw SessionError("cannot read " + path);
+    return data.str();
+}
+
+} // namespace compdiff::session

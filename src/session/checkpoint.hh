@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Crash-safe on-disk journaling for campaign sessions.
+ *
+ * A journal is an append-only file of checksummed records:
+ *
+ *   header:  8-byte magic "CDIFSESJ", u32 format version
+ *   record:  u32 record magic, u64 payload length,
+ *            u64 MurmurHash3 checksum of the payload, payload bytes
+ *
+ * Appends are flushed before the writer moves on, so a process
+ * killed mid-append loses at most the record being written: readers
+ * accept the longest prefix of fully-valid records and silently drop
+ * a truncated or checksum-failing tail (the defining property of a
+ * write-ahead log). A file whose *header* is wrong is a different
+ * situation — that is not a crash artifact but a wrong or corrupted
+ * file, and readers reject it with a SessionError diagnostic.
+ *
+ * Whole-file artifacts (manifest, stats) are written atomically:
+ * write to `<path>.tmp`, flush, rename over `<path>` — a crash
+ * leaves either the old file or the new one, never a hybrid.
+ * Journal compaction (rewriting history as header + last record)
+ * uses the same write-then-rename discipline.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "session/serial.hh"
+#include "support/bytes.hh"
+
+namespace compdiff::session
+{
+
+/** Journal format version (bumped on any layout change). */
+constexpr std::uint32_t kJournalVersion = 1;
+
+/** Create (or truncate to) an empty journal: header only. */
+void createJournal(const std::string &path);
+
+/** Append one checksummed record and flush. */
+void appendRecord(const std::string &path,
+                  const support::Bytes &payload);
+
+/**
+ * Read every fully-valid record, in append order. A truncated or
+ * checksum-failing tail is dropped (crash artifact); everything
+ * before it is returned.
+ *
+ * @throws SessionError when the file is missing, unreadable, or its
+ *         header is not a journal header (wrong magic/version).
+ */
+std::vector<support::Bytes> readRecords(const std::string &path);
+
+/**
+ * The last fully-valid record, or nullopt for an empty journal.
+ * Same error contract as readRecords.
+ */
+std::optional<support::Bytes>
+readLastRecord(const std::string &path);
+
+/**
+ * Rewrite the journal as header + its last valid record (atomic
+ * write-then-rename). Bounds journal growth across restarts: every
+ * resume compacts before appending new checkpoints.
+ */
+void compactJournal(const std::string &path);
+
+/** Write a whole journal (header + records) atomically. */
+void writeJournal(const std::string &path,
+                  const std::vector<support::Bytes> &records);
+
+/** Atomic whole-file write (write `<path>.tmp`, flush, rename).
+ *  @throws SessionError on I/O failure. */
+void atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+/** Whole-file read; nullopt when the file does not exist.
+ *  @throws SessionError when it exists but cannot be read. */
+std::optional<std::string> readTextFile(const std::string &path);
+
+} // namespace compdiff::session

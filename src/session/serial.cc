@@ -1,0 +1,365 @@
+#include "session/serial.hh"
+
+#include <cstring>
+
+namespace compdiff::session
+{
+
+using support::Bytes;
+
+void
+Encoder::u32(std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out_.push_back(
+            static_cast<std::uint8_t>(value >> shift));
+}
+
+void
+Encoder::u64(std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out_.push_back(
+            static_cast<std::uint8_t>(value >> shift));
+}
+
+void
+Encoder::f64(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+Encoder::bytes(const Bytes &value)
+{
+    u64(value.size());
+    out_.insert(out_.end(), value.begin(), value.end());
+}
+
+void
+Encoder::str(const std::string &value)
+{
+    u64(value.size());
+    out_.insert(out_.end(), value.begin(), value.end());
+}
+
+void
+Decoder::need(std::size_t count) const
+{
+    if (payload_.size() - pos_ < count) {
+        throw SessionError(
+            "checkpoint record truncated: need " +
+            std::to_string(count) + " bytes at offset " +
+            std::to_string(pos_) + ", have " +
+            std::to_string(payload_.size() - pos_));
+    }
+}
+
+std::uint8_t
+Decoder::u8()
+{
+    need(1);
+    return payload_[pos_++];
+}
+
+std::uint32_t
+Decoder::u32()
+{
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        value |= static_cast<std::uint32_t>(payload_[pos_++])
+                 << shift;
+    return value;
+}
+
+std::uint64_t
+Decoder::u64()
+{
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        value |= static_cast<std::uint64_t>(payload_[pos_++])
+                 << shift;
+    return value;
+}
+
+double
+Decoder::f64()
+{
+    const std::uint64_t bits = u64();
+    double value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::size_t
+Decoder::length(std::size_t elem_size)
+{
+    const std::uint64_t count = u64();
+    const std::size_t remaining = payload_.size() - pos_;
+    if (elem_size == 0)
+        elem_size = 1;
+    if (count > remaining / elem_size) {
+        throw SessionError(
+            "checkpoint record corrupt: length " +
+            std::to_string(count) + " (x" +
+            std::to_string(elem_size) + " bytes) exceeds the " +
+            std::to_string(remaining) + " bytes remaining");
+    }
+    return static_cast<std::size_t>(count);
+}
+
+Bytes
+Decoder::bytes()
+{
+    const std::size_t count = length(1);
+    Bytes value(payload_.begin() +
+                    static_cast<std::ptrdiff_t>(pos_),
+                payload_.begin() +
+                    static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return value;
+}
+
+std::string
+Decoder::str()
+{
+    const std::size_t count = length(1);
+    std::string value(payload_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_),
+                      payload_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return value;
+}
+
+void
+Decoder::expectEnd() const
+{
+    if (!atEnd()) {
+        throw SessionError(
+            "checkpoint record corrupt: " +
+            std::to_string(payload_.size() - pos_) +
+            " trailing bytes after the last field");
+    }
+}
+
+namespace
+{
+
+void
+encodeRngState(Encoder &enc, const support::Rng::State &state)
+{
+    for (const std::uint64_t lane : state)
+        enc.u64(lane);
+}
+
+support::Rng::State
+decodeRngState(Decoder &dec)
+{
+    support::Rng::State state{};
+    for (auto &lane : state)
+        lane = dec.u64();
+    return state;
+}
+
+void
+encodeStats(Encoder &enc, const fuzz::FuzzStats &stats)
+{
+    enc.u64(stats.execs);
+    enc.u64(stats.compdiffExecs);
+    enc.u64(stats.seeds);
+    enc.u64(stats.crashes);
+    enc.u64(stats.diffs);
+    enc.u64(stats.edges);
+    enc.u64(stats.lastFindExec);
+    enc.u64(stats.lastDiffExec);
+}
+
+fuzz::FuzzStats
+decodeStats(Decoder &dec)
+{
+    fuzz::FuzzStats stats;
+    stats.execs = dec.u64();
+    stats.compdiffExecs = dec.u64();
+    stats.seeds = dec.u64();
+    stats.crashes = dec.u64();
+    stats.diffs = dec.u64();
+    stats.edges = dec.u64();
+    stats.lastFindExec = dec.u64();
+    stats.lastDiffExec = dec.u64();
+    return stats;
+}
+
+} // namespace
+
+Bytes
+encodeFuzzerState(const fuzz::FuzzerState &state)
+{
+    Encoder enc;
+    encodeStats(enc, state.stats);
+    enc.u64(state.nonceCounter);
+    encodeRngState(enc, state.rng);
+    encodeRngState(enc, state.mutatorRng);
+    enc.u64(state.nextPlot);
+
+    enc.u64(state.corpus.size());
+    for (const auto &seed : state.corpus) {
+        enc.bytes(seed.data);
+        enc.u64(seed.coverageBits);
+        enc.u64(seed.foundAtExec);
+        enc.i64(seed.depth);
+    }
+
+    enc.u64(state.diffs.size());
+    for (const auto &diff : state.diffs) {
+        enc.bytes(diff.input);
+        enc.u64(diff.execIndex);
+        enc.u64(diff.signature);
+        enc.u64(diff.probes.size());
+        for (const int probe : diff.probes)
+            enc.i64(probe);
+    }
+
+    enc.u64(state.crashes.size());
+    for (const auto &crash : state.crashes) {
+        enc.bytes(crash.input);
+        enc.u64(crash.execIndex);
+    }
+
+    enc.u64(state.partitionsSeen.size());
+    for (const std::uint64_t partition : state.partitionsSeen)
+        enc.u64(partition);
+
+    enc.u64(state.perConfigExecs.size());
+    for (const std::uint64_t execs : state.perConfigExecs)
+        enc.u64(execs);
+
+    enc.u64(state.plotRows.size());
+    for (const auto &row : state.plotRows) {
+        enc.u64(row.execs);
+        enc.u64(row.corpusSize);
+        enc.u64(row.crashes);
+        enc.u64(row.diffs);
+        enc.u64(row.edges);
+        enc.u64(row.compdiffExecs);
+    }
+
+    enc.bytes(state.virginMap);
+    return enc.take();
+}
+
+fuzz::FuzzerState
+decodeFuzzerState(const Bytes &payload)
+{
+    Decoder dec(payload);
+    fuzz::FuzzerState state;
+    state.stats = decodeStats(dec);
+    state.nonceCounter = dec.u64();
+    state.rng = decodeRngState(dec);
+    state.mutatorRng = decodeRngState(dec);
+    state.nextPlot = dec.u64();
+
+    std::size_t count = dec.length(8);
+    state.corpus.reserve(count);
+    for (std::size_t i = 0; i < count; i++) {
+        fuzz::Seed seed;
+        seed.data = dec.bytes();
+        seed.coverageBits = dec.u64();
+        seed.foundAtExec = dec.u64();
+        seed.depth = static_cast<int>(dec.i64());
+        state.corpus.push_back(std::move(seed));
+    }
+
+    count = dec.length(8);
+    state.diffs.reserve(count);
+    for (std::size_t i = 0; i < count; i++) {
+        fuzz::FuzzerState::DiffRecord diff;
+        diff.input = dec.bytes();
+        diff.execIndex = dec.u64();
+        diff.signature = dec.u64();
+        const std::size_t probes = dec.length(8);
+        diff.probes.reserve(probes);
+        for (std::size_t p = 0; p < probes; p++)
+            diff.probes.push_back(static_cast<int>(dec.i64()));
+        state.diffs.push_back(std::move(diff));
+    }
+
+    count = dec.length(8);
+    state.crashes.reserve(count);
+    for (std::size_t i = 0; i < count; i++) {
+        fuzz::FuzzerState::CrashRecord crash;
+        crash.input = dec.bytes();
+        crash.execIndex = dec.u64();
+        state.crashes.push_back(std::move(crash));
+    }
+
+    count = dec.length(8);
+    state.partitionsSeen.reserve(count);
+    for (std::size_t i = 0; i < count; i++)
+        state.partitionsSeen.push_back(dec.u64());
+
+    count = dec.length(8);
+    state.perConfigExecs.reserve(count);
+    for (std::size_t i = 0; i < count; i++)
+        state.perConfigExecs.push_back(dec.u64());
+
+    count = dec.length(48);
+    state.plotRows.reserve(count);
+    for (std::size_t i = 0; i < count; i++) {
+        obs::PlotWriter::Row row;
+        row.execs = dec.u64();
+        row.corpusSize = dec.u64();
+        row.crashes = dec.u64();
+        row.diffs = dec.u64();
+        row.edges = dec.u64();
+        row.compdiffExecs = dec.u64();
+        state.plotRows.push_back(row);
+    }
+
+    state.virginMap = dec.bytes();
+    dec.expectEnd();
+    return state;
+}
+
+Bytes
+encodeDivergenceRecord(const DivergenceRecord &record)
+{
+    Encoder enc;
+    enc.u64(record.signature);
+    enc.bytes(record.input);
+    enc.u64(record.execIndex);
+    enc.u64(record.probes.size());
+    for (const int probe : record.probes)
+        enc.i64(probe);
+    enc.u64(record.hashVector.size());
+    for (const std::uint64_t hash : record.hashVector)
+        enc.u64(hash);
+    return enc.take();
+}
+
+DivergenceRecord
+decodeDivergenceRecord(const Bytes &payload)
+{
+    Decoder dec(payload);
+    DivergenceRecord record;
+    record.signature = dec.u64();
+    record.input = dec.bytes();
+    record.execIndex = dec.u64();
+    std::size_t count = dec.length(8);
+    record.probes.reserve(count);
+    for (std::size_t i = 0; i < count; i++)
+        record.probes.push_back(static_cast<int>(dec.i64()));
+    count = dec.length(8);
+    record.hashVector.reserve(count);
+    for (std::size_t i = 0; i < count; i++)
+        record.hashVector.push_back(dec.u64());
+    dec.expectEnd();
+    return record;
+}
+
+} // namespace compdiff::session

@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * Binary serialization for session checkpoints.
+ *
+ * A deliberately small, versionless wire format: little-endian
+ * fixed-width integers, length-prefixed byte strings, and nothing
+ * else. Versioning, checksumming, and atomicity live one level up
+ * (the journal format in checkpoint.hh); this layer only turns
+ * fuzz::FuzzerState and session::DivergenceRecord into bytes and
+ * back.
+ *
+ * Decoding is defensive: every read is bounds-checked and every
+ * length is validated against the remaining payload, so a corrupted
+ * (but checksum-colliding) record produces a SessionError with a
+ * diagnostic instead of undefined behavior.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz/fuzzer.hh"
+#include "session/records.hh"
+#include "support/bytes.hh"
+
+namespace compdiff::session
+{
+
+/** Any malformed session artifact: journal, manifest, or record. */
+class SessionError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Append-only little-endian encoder. */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t value) { out_.push_back(value); }
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void i64(std::int64_t value)
+    {
+        u64(static_cast<std::uint64_t>(value));
+    }
+    void f64(double value);
+    /** Length-prefixed byte string. */
+    void bytes(const support::Bytes &value);
+    /** Length-prefixed character string. */
+    void str(const std::string &value);
+
+    const support::Bytes &data() const { return out_; }
+    support::Bytes take() { return std::move(out_); }
+
+  private:
+    support::Bytes out_;
+};
+
+/** Bounds-checked decoder over one payload. */
+class Decoder
+{
+  public:
+    explicit Decoder(const support::Bytes &payload)
+        : payload_(payload)
+    {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    support::Bytes bytes();
+    std::string str();
+
+    /** Read a length prefix for `elem_size`-byte elements, rejecting
+     *  lengths the remaining payload cannot possibly hold. */
+    std::size_t length(std::size_t elem_size = 1);
+
+    bool atEnd() const { return pos_ == payload_.size(); }
+    /** @throws SessionError unless the payload was fully consumed. */
+    void expectEnd() const;
+
+  private:
+    void need(std::size_t count) const;
+
+    const support::Bytes &payload_;
+    std::size_t pos_ = 0;
+};
+
+/** Encode a full fuzzer checkpoint (one journal record's payload). */
+support::Bytes encodeFuzzerState(const fuzz::FuzzerState &state);
+
+/** @throws SessionError on any malformed payload. */
+fuzz::FuzzerState decodeFuzzerState(const support::Bytes &payload);
+
+support::Bytes
+encodeDivergenceRecord(const DivergenceRecord &record);
+
+/** @throws SessionError on any malformed payload. */
+DivergenceRecord
+decodeDivergenceRecord(const support::Bytes &payload);
+
+} // namespace compdiff::session

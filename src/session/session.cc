@@ -1,0 +1,403 @@
+#include "session/session.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "compiler/cache.hh"
+#include "obs/trace.hh"
+#include "reduce/pipeline.hh"
+#include "session/checkpoint.hh"
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace compdiff::session
+{
+
+using support::Bytes;
+
+namespace
+{
+
+constexpr std::uint32_t kSessionFormatVersion = 1;
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace
+
+CampaignSession::CampaignSession(const minic::Program &program,
+                                 std::vector<Bytes> seeds,
+                                 SessionConfig config)
+    : program_(program), seeds_(std::move(seeds)),
+      config_(std::move(config))
+{}
+
+CampaignSession::~CampaignSession() = default;
+
+std::string
+CampaignSession::shardJournalPath(std::size_t shard) const
+{
+    return config_.dir + "/shard-" + std::to_string(shard) +
+           ".journal";
+}
+
+std::uint64_t
+CampaignSession::checkpointCadence(
+    const fuzz::FuzzOptions &shard_options) const
+{
+    if (config_.checkpointEvery)
+        return config_.checkpointEvery;
+    return std::max<std::uint64_t>(shard_options.maxExecs / 20, 1);
+}
+
+std::uint64_t
+CampaignSession::campaignFingerprint() const
+{
+    // Everything that defines the campaign's results. `jobs` and the
+    // telemetry paths are deliberately absent (result-neutral), as
+    // are the two non-hashable knobs: the output normalizer and the
+    // traitsTweak ablation hook — resuming with a different one of
+    // those is on the caller.
+    const fuzz::FuzzOptions &o = config_.fuzz;
+    support::HashCombiner h;
+    h.add(compiler::programFingerprint(program_));
+    h.add(o.maxExecs);
+    h.add(o.rngSeed);
+    h.add(o.maxInputSize);
+    h.add(o.energyBase);
+    h.add(o.plotEvery);
+    h.addString(o.fuzzConfig.name());
+    h.add(o.enableCompDiff ? 1 : 0);
+    h.add(o.divergenceFeedback ? 1 : 0);
+    for (const auto &impl : o.diffImpls)
+        h.addString(impl->id());
+    h.add(o.limits.maxInstructions);
+    h.add(o.limits.stackSize);
+    h.add(o.limits.heapSize);
+    h.add(o.limits.maxOutput);
+    h.add(o.limits.maxCallDepth);
+    h.add(o.diffOptions.retryTimeouts ? 1 : 0);
+    h.add(static_cast<std::uint64_t>(o.diffOptions.timeoutRetries));
+    h.add(o.diffOptions.timeoutBudgetFactor);
+    h.add(std::max<std::size_t>(config_.shards, 1));
+    h.add(seeds_.size());
+    for (const auto &seed : seeds_)
+        h.add(support::murmurHash64(seed));
+    return h.digest();
+}
+
+std::string
+CampaignSession::renderManifest() const
+{
+    std::ostringstream os;
+    os << "format_version : " << kSessionFormatVersion << "\n";
+    os << "fingerprint : " << hex64(campaignFingerprint()) << "\n";
+    os << "shards : " << std::max<std::size_t>(config_.shards, 1)
+       << "\n";
+    os << "max_execs : " << config_.fuzz.maxExecs << "\n";
+    os << "rng_seed : " << config_.fuzz.rngSeed << "\n";
+    std::string impls;
+    for (const auto &impl : config_.fuzz.diffImpls) {
+        if (!impls.empty())
+            impls += ",";
+        impls += impl->id();
+    }
+    os << "impls : " << impls << "\n";
+    return os.str();
+}
+
+void
+CampaignSession::validateManifest(const std::string &text) const
+{
+    const auto kv = obs::parseFuzzerStats(text);
+    const auto field =
+        [&](const std::string &key) -> const std::string & {
+        const auto it = kv.find(key);
+        if (it == kv.end()) {
+            throw SessionError("session manifest in " + config_.dir +
+                               " is missing the '" + key +
+                               "' field; the directory does not "
+                               "hold a valid session");
+        }
+        return it->second;
+    };
+    const std::string &version = field("format_version");
+    if (version != std::to_string(kSessionFormatVersion)) {
+        throw SessionError(
+            "session in " + config_.dir + " has format version " +
+            version + "; this build reads version " +
+            std::to_string(kSessionFormatVersion));
+    }
+    const auto expect = [&](const std::string &key,
+                            const std::string &want) {
+        const std::string &got = field(key);
+        if (got != want) {
+            throw SessionError(
+                "cannot resume session in " + config_.dir + ": its " +
+                key + " is " + got + " but this campaign's is " +
+                want + " — a session must be resumed with the exact "
+                       "campaign configuration it was started with");
+        }
+    };
+    expect("shards",
+           std::to_string(std::max<std::size_t>(config_.shards, 1)));
+    expect("max_execs", std::to_string(config_.fuzz.maxExecs));
+    expect("rng_seed", std::to_string(config_.fuzz.rngSeed));
+    expect("fingerprint", hex64(campaignFingerprint()));
+}
+
+void
+CampaignSession::openDir(
+    std::vector<std::unique_ptr<fuzz::FuzzerState>> &restored)
+{
+    if (!persistent()) {
+        if (config_.resume) {
+            throw SessionError(
+                "cannot resume without a session directory");
+        }
+        return;
+    }
+    const std::string manifest_path = config_.dir + "/MANIFEST";
+    if (config_.resume) {
+        const auto text = readTextFile(manifest_path);
+        if (!text) {
+            throw SessionError(
+                "no session manifest at " + manifest_path +
+                "; nothing to resume (start without resume to "
+                "create a new session)");
+        }
+        validateManifest(*text);
+        if (const auto stats_text =
+                readTextFile(config_.dir + "/session_stats")) {
+            const auto kv = obs::parseFuzzerStats(*stats_text);
+            if (const auto it = kv.find("run_secs");
+                it != kv.end()) {
+                savedRunSecs_ =
+                    std::strtod(it->second.c_str(), nullptr);
+            }
+            if (const auto it = kv.find("restarts"); it != kv.end()) {
+                restarts_ = std::strtoull(it->second.c_str(),
+                                          nullptr, 10);
+            }
+        }
+        restarts_++;
+        for (std::size_t s = 0; s < plans_.size(); s++) {
+            const std::string path = shardJournalPath(s);
+            if (!std::filesystem::exists(path)) {
+                support::warn("session: " + path +
+                              " is missing; shard " +
+                              std::to_string(s) +
+                              " restarts from scratch");
+                createJournal(path);
+                continue;
+            }
+            const auto payload = readLastRecord(path);
+            if (!payload) {
+                support::warn(
+                    "session: " + path +
+                    " holds no complete checkpoint; shard " +
+                    std::to_string(s) + " restarts from scratch");
+                compactJournal(path);
+                continue;
+            }
+            restored[s] = std::make_unique<fuzz::FuzzerState>(
+                decodeFuzzerState(*payload));
+            // Bound journal growth: history before the checkpoint
+            // we restored from is dead weight.
+            compactJournal(path);
+        }
+    } else {
+        if (readTextFile(manifest_path)) {
+            throw SessionError(
+                config_.dir +
+                " already contains a campaign session; resume it, "
+                "or choose a fresh directory");
+        }
+        std::error_code ec;
+        std::filesystem::create_directories(config_.dir, ec);
+        atomicWriteFile(manifest_path, renderManifest());
+        for (std::size_t s = 0; s < plans_.size(); s++)
+            createJournal(shardJournalPath(s));
+    }
+    // Persist the restart count up front: a hard kill mid-run must
+    // not forget that this incarnation happened. (Wall-clock since
+    // this point is lost on a hard kill — display-only data.)
+    writeSessionStats(savedRunSecs_);
+}
+
+void
+CampaignSession::installHooks()
+{
+    const std::uint64_t halt = config_.haltAfterExecs;
+    if (!persistent() && halt == 0)
+        return;
+    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+        const std::uint64_t every =
+            checkpointCadence(plans_[s].options);
+        nextCheckpoint_[s] = fuzzers_[s]->stats().execs + every;
+        fuzzers_[s]->setIterationHook(
+            [this, s, halt, every](const fuzz::Fuzzer &fuzzer) {
+                const std::uint64_t execs = fuzzer.stats().execs;
+                if (persistent() && execs >= nextCheckpoint_[s]) {
+                    appendRecord(
+                        shardJournalPath(s),
+                        encodeFuzzerState(fuzzer.captureState()));
+                    nextCheckpoint_[s] = execs + every;
+                }
+                return !(halt && execs >= halt);
+            });
+    }
+}
+
+const fuzz::ShardedResult &
+CampaignSession::run()
+{
+    obs::Span span("session.run");
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    plans_ = fuzz::planShards(config_.fuzz, seeds_, config_.shards);
+    std::vector<std::unique_ptr<fuzz::FuzzerState>> restored(
+        plans_.size());
+    openDir(restored);
+
+    fuzzers_.clear();
+    for (const auto &plan : plans_) {
+        // Serial construction: all shards share the CompileCache
+        // warm-up.
+        fuzzers_.push_back(std::make_unique<fuzz::Fuzzer>(
+            program_, plan.seeds, plan.options));
+    }
+    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+        if (restored[s])
+            fuzzers_[s]->restoreState(*restored[s]);
+    }
+
+    nextCheckpoint_.assign(fuzzers_.size(), 0);
+    installHooks();
+
+    fuzz::runShardFuzzers(fuzzers_, config_.jobs);
+
+    halted_ = false;
+    for (const auto &fuzzer : fuzzers_)
+        halted_ = halted_ || fuzzer->haltedByHook();
+    completed_ = !halted_;
+    result_ = fuzz::foldShards(fuzzers_);
+    ran_ = true;
+
+    runSecs_ = savedRunSecs_ +
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+
+    if (persistent()) {
+        // Shutdown checkpoint for every shard — graceful exits (both
+        // completion and a haltAfterExecs stop) never lose work.
+        for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+            appendRecord(
+                shardJournalPath(s),
+                encodeFuzzerState(fuzzers_[s]->captureState()));
+        }
+        writeSessionStats(runSecs_);
+    }
+    writeFinalArtifacts();
+    return result_;
+}
+
+obs::FuzzerStatsSnapshot
+CampaignSession::statsSnapshot() const
+{
+    auto snapshot = result_.statsSnapshot();
+    snapshot.runTimeSecs = runSecs_;
+    snapshot.restarts = restarts_;
+    if (runSecs_ > 0) {
+        snapshot.execsPerSec =
+            static_cast<double>(result_.total.execs) / runSecs_;
+    }
+    return snapshot;
+}
+
+std::vector<DivergenceRecord>
+CampaignSession::divergenceRecords() const
+{
+    std::vector<DivergenceRecord> records;
+    records.reserve(result_.diffs.size());
+    for (const auto &diff : result_.diffs) {
+        records.push_back({diff.signature, diff.input,
+                           diff.execIndex, diff.probes,
+                           diff.result.hashVector()});
+    }
+    return records;
+}
+
+std::vector<reduce::DivergenceReport>
+CampaignSession::triage() const
+{
+    if (!config_.triage.reduceFound || result_.diffs.empty())
+        return {};
+    obs::Span span("session.triage");
+    reduce::ReduceOptions options;
+    options.diffOptions = config_.fuzz.diffOptions;
+    options.diffOptions.limits = config_.fuzz.limits;
+    options.candidateBudget = config_.triage.candidateBudget;
+    options.jobs = config_.jobs;
+    options.reportsDir = config_.triage.reportsDir;
+    return reduce::reduceRecords(program_, config_.fuzz.diffImpls,
+                                 divergenceRecords(), options);
+}
+
+void
+CampaignSession::writeSessionStats(double run_secs) const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", run_secs);
+    std::ostringstream os;
+    os << "run_secs : " << buf << "\n";
+    os << "restarts : " << restarts_ << "\n";
+    atomicWriteFile(config_.dir + "/session_stats", os.str());
+}
+
+void
+CampaignSession::writeFinalArtifacts()
+{
+    // Final telemetry describes a *finished* campaign; a halted one
+    // leaves only its checkpoints, and the resume that completes the
+    // budget writes these files.
+    if (!completed_)
+        return;
+    const std::string stats_text =
+        obs::renderFuzzerStats(statsSnapshot());
+    if (persistent()) {
+        atomicWriteFile(config_.dir + "/fuzzer_stats", stats_text);
+        fuzz::writeShardPlots(fuzzers_, config_.dir + "/plot_data");
+        std::vector<Bytes> payloads;
+        for (const auto &record : divergenceRecords())
+            payloads.push_back(encodeDivergenceRecord(record));
+        writeJournal(config_.dir + "/divergences.journal", payloads);
+    }
+    if (!config_.fuzz.statsOutPath.empty())
+        obs::writeTextFile(config_.fuzz.statsOutPath, stats_text);
+    if (!config_.fuzz.plotOutPath.empty())
+        fuzz::writeShardPlots(fuzzers_, config_.fuzz.plotOutPath);
+}
+
+std::vector<DivergenceRecord>
+CampaignSession::loadDivergenceRecords(const std::string &dir)
+{
+    std::vector<DivergenceRecord> records;
+    for (const auto &payload :
+         readRecords(dir + "/divergences.journal"))
+        records.push_back(decodeDivergenceRecord(payload));
+    return records;
+}
+
+} // namespace compdiff::session

@@ -1,0 +1,215 @@
+#pragma once
+
+/**
+ * @file
+ * Campaign sessions: the single owner of a fuzzing campaign's
+ * lifecycle — configure → run → checkpoint → resume → triage →
+ * report.
+ *
+ * Before this layer existed, every driver (targets::runCampaign, the
+ * CLI, the bench programs) hand-wired the same flow: plan shards,
+ * construct fuzzers, run them, fold results, maybe reduce, maybe
+ * write telemetry — and none of it survived a killed process.
+ * CampaignSession centralizes the flow and adds crash-safe
+ * persistence on top of the determinism contract the lower layers
+ * already guarantee:
+ *
+ *   - The campaign is a pure function of (program, seeds, options,
+ *     shards). `jobs` is thread count only.
+ *   - Every shard checkpoints its complete fuzz::FuzzerState to an
+ *     append-only checksummed journal (`shard-<N>.journal`) every
+ *     `checkpointEvery` executions and at shutdown, only ever at
+ *     safe points of the fuzz loop.
+ *   - Resume restores each shard from its last valid checkpoint and
+ *     continues. A campaign killed at ANY point and resumed produces
+ *     bit-identical corpus, diff set, and signature set to an
+ *     uninterrupted run with the same budget — a kill between
+ *     checkpoints merely re-does the work since the last one.
+ *
+ * Session directory layout:
+ *
+ *   MANIFEST             campaign identity: format version, option
+ *                        fingerprint, shards, budget, seed (atomic
+ *                        write-then-rename; resume validates it)
+ *   shard-<N>.journal    per-shard checkpoint journal (compacted to
+ *                        header + last checkpoint on every resume)
+ *   session_stats        cumulative wall-clock seconds and restart
+ *                        count (AFL++-style: survives restarts)
+ *   fuzzer_stats         merged final snapshot (completed runs)
+ *   plot_data[.shardN]   per-shard plot series (completed runs)
+ *   divergences.journal  folded unique DivergenceRecords (completed
+ *                        runs) — what triage and reduction consume
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/sharded.hh"
+#include "minic/ast.hh"
+#include "reduce/report.hh"
+#include "session/records.hh"
+#include "session/serial.hh"
+
+namespace compdiff::session
+{
+
+/** Everything that defines a session. */
+struct SessionConfig
+{
+    /**
+     * Session directory. Empty runs the campaign ephemerally — same
+     * lifecycle, no persistence (and resume/checkpointEvery are
+     * ignored).
+     */
+    std::string dir;
+    /**
+     * Reopen an existing session and continue it. The manifest must
+     * match this config's campaign identity (fingerprint, shards,
+     * budget, seed); a mismatch is a SessionError, not a silent
+     * restart.
+     */
+    bool resume = false;
+    /**
+     * Per-shard executions between cadence checkpoints; 0 picks
+     * maxExecs/20 (at least one). Checkpoints also happen at
+     * shutdown regardless of cadence.
+     */
+    std::uint64_t checkpointEvery = 0;
+    /**
+     * Testing/interrupt hook: stop every shard at its first safe
+     * point at or beyond this many shard-local executions (0 = run
+     * to completion). The halted state is checkpointed, so a
+     * subsequent resume finishes the campaign.
+     */
+    std::uint64_t haltAfterExecs = 0;
+
+    /** The campaign itself (see the determinism contract above). */
+    fuzz::FuzzOptions fuzz;
+    std::size_t shards = 1;
+    /** Worker threads; never changes results. */
+    std::size_t jobs = 1;
+
+    /** Post-campaign triage (the single carrier of these knobs). */
+    TriageOptions triage;
+};
+
+/**
+ * One campaign's lifecycle owner. Construct, run(), then read
+ * results / triage(). The program and the session config must
+ * outlive the session.
+ */
+class CampaignSession
+{
+  public:
+    /**
+     * @param program Analyzed target program (must outlive the
+     *                session).
+     * @param seeds   Initial corpus, distributed round-robin across
+     *                shards.
+     * @param config  Session configuration.
+     */
+    CampaignSession(const minic::Program &program,
+                    std::vector<support::Bytes> seeds,
+                    SessionConfig config);
+    ~CampaignSession();
+
+    CampaignSession(const CampaignSession &) = delete;
+    CampaignSession &operator=(const CampaignSession &) = delete;
+
+    /**
+     * Open (or resume) the session and drive the campaign to
+     * completion or to the haltAfterExecs point. Returns the folded
+     * result (partial when halted()).
+     *
+     * @throws SessionError on an invalid session directory: missing
+     *         or mismatching manifest, corrupt journal header, or a
+     *         config that contradicts the persisted campaign.
+     */
+    const fuzz::ShardedResult &run();
+
+    /** Folded campaign outcome (valid after run()). */
+    const fuzz::ShardedResult &result() const { return result_; }
+
+    /** Did run() stop at the haltAfterExecs safe point? */
+    bool halted() const { return halted_; }
+
+    /** Did the campaign reach its full budget? */
+    bool completed() const { return completed_; }
+
+    /** Times this session has been resumed (0 on the first run). */
+    std::uint64_t restarts() const { return restarts_; }
+
+    /** Cumulative campaign wall-clock seconds across restarts. */
+    double runTimeSecs() const { return runSecs_; }
+
+    /**
+     * Merged AFL++-style snapshot with the cumulative session
+     * fields (run_time, session_restarts, execs_per_sec over the
+     * cumulative time) filled in.
+     */
+    obs::FuzzerStatsSnapshot statsSnapshot() const;
+
+    /**
+     * The campaign's unique divergences as portable records (valid
+     * after run()): fold order, signature-deduplicated.
+     */
+    std::vector<DivergenceRecord> divergenceRecords() const;
+
+    /**
+     * Post-campaign triage: run the reduction pipeline over every
+     * divergence record and (when triage.reportsDir is set) write
+     * one report bundle per divergence. Returns an empty vector
+     * unless config.triage.reduceFound.
+     */
+    std::vector<reduce::DivergenceReport> triage() const;
+
+    const SessionConfig &config() const { return config_; }
+
+    /**
+     * Load the divergence records a completed session persisted
+     * (`<dir>/divergences.journal`) without re-running anything.
+     *
+     * @throws SessionError when the journal is missing or corrupt.
+     */
+    static std::vector<DivergenceRecord>
+    loadDivergenceRecords(const std::string &dir);
+
+  private:
+    bool persistent() const { return !config_.dir.empty(); }
+    std::string shardJournalPath(std::size_t shard) const;
+    std::uint64_t checkpointCadence(
+        const fuzz::FuzzOptions &shard_options) const;
+    std::uint64_t campaignFingerprint() const;
+    std::string renderManifest() const;
+    /** Validate an existing MANIFEST against this config. */
+    void validateManifest(const std::string &text) const;
+    /** Create or reopen the session directory. */
+    void openDir(
+        std::vector<std::unique_ptr<fuzz::FuzzerState>> &restored);
+    void installHooks();
+    void writeSessionStats(double run_secs) const;
+    void writeFinalArtifacts();
+
+    const minic::Program &program_;
+    std::vector<support::Bytes> seeds_;
+    SessionConfig config_;
+
+    std::vector<fuzz::ShardPlan> plans_;
+    std::vector<std::unique_ptr<fuzz::Fuzzer>> fuzzers_;
+    /** Next cadence-checkpoint threshold, per shard (each slot is
+     *  touched only by its shard's thread). */
+    std::vector<std::uint64_t> nextCheckpoint_;
+
+    fuzz::ShardedResult result_;
+    bool ran_ = false;
+    bool halted_ = false;
+    bool completed_ = false;
+    std::uint64_t restarts_ = 0;
+    /** Wall-clock seconds from previous incarnations. */
+    double savedRunSecs_ = 0;
+    double runSecs_ = 0;
+};
+
+} // namespace compdiff::session

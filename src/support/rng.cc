@@ -98,4 +98,17 @@ Rng::split()
     return Rng(next() ^ 0xA5A5A5A55A5A5A5AULL);
 }
 
+Rng::State
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (std::size_t i = 0; i < state.size(); i++)
+        s_[i] = state[i];
+}
+
 } // namespace compdiff::support

@@ -11,6 +11,7 @@
  * workhorse generator.
  */
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,14 @@ std::uint64_t splitMix64(std::uint64_t &state);
 class Rng
 {
   public:
+    /**
+     * The full generator state (the four Xoshiro256** lanes).
+     * Checkpoint/resume (src/session) serializes this: restoring a
+     * saved state continues the exact stream the snapshot
+     * interrupted.
+     */
+    using State = std::array<std::uint64_t, 4>;
+
     /** Construct from a 64-bit seed, expanded through SplitMix64. */
     explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL);
 
@@ -55,6 +64,12 @@ class Rng
 
     /** Fork an independent child generator (stream split). */
     Rng split();
+
+    /** Snapshot the generator state (for checkpointing). */
+    State state() const;
+
+    /** Restore a snapshot taken with state(). */
+    void setState(const State &state);
 
   private:
     std::uint64_t s_[4];

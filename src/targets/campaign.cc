@@ -3,11 +3,11 @@
 #include <algorithm>
 
 #include "compiler/compiler.hh"
-#include "fuzz/sharded.hh"
 #include "minic/parser.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sanitizers/sanitizers.hh"
+#include "session/session.hh"
 #include "support/logging.hh"
 
 namespace compdiff::targets
@@ -107,40 +107,60 @@ runCampaign(const TargetProgram &target,
         core::OutputNormalizer::withDefaultFilters();
 
     fuzz_options.jobs = options.jobs;
-    fuzz_options.reduceFound = options.reduceFound;
-    fuzz_options.reduceCandidateBudget =
-        options.reduceCandidateBudget;
-    if (!options.reportsDir.empty()) {
-        fuzz_options.reportsDir =
-            options.reportsDir + "/" + target.name;
+
+    // The session owns the lifecycle: configure → run → checkpoint →
+    // resume → triage → report. Ephemeral unless sessionDir is set.
+    session::SessionConfig session_config;
+    if (!options.sessionDir.empty())
+        session_config.dir = options.sessionDir + "/" + target.name;
+    session_config.resume = options.resume;
+    session_config.checkpointEvery = options.checkpointEvery;
+    session_config.haltAfterExecs = options.haltAfterExecs;
+    session_config.fuzz = fuzz_options;
+    session_config.shards = options.shards;
+    session_config.jobs = options.jobs;
+    session_config.triage = options.triage;
+    if (!session_config.triage.reportsDir.empty()) {
+        session_config.triage.reportsDir += "/" + target.name;
     }
-    fuzz::ShardedResult sharded = fuzz::runShardedCampaign(
-        *program, target.seeds, fuzz_options, options.shards,
-        options.jobs);
+    session::CampaignSession session(*program, target.seeds,
+                                     session_config);
+    const fuzz::ShardedResult &sharded = session.run();
     result.stats = sharded.total;
-    result.reports = std::move(sharded.reports);
+    result.halted = session.halted();
+    if (result.halted) {
+        // A halted campaign has only partial evidence; the resume
+        // that completes the budget performs the triage below.
+        return result;
+    }
+    result.reports = session.triage();
 
     // Triage: map each unique divergence back to planted bugs via
-    // the probes its witness fired.
+    // the probes its witness fired. The session's portable records
+    // carry exactly the evidence this needs.
+    const std::vector<session::DivergenceRecord> records =
+        session.divergenceRecords();
     obs::Span triage_span("campaign.triage");
-    std::map<int, const fuzz::FoundDiff *> witness_for;
-    const auto keep_untriaged = [&](const fuzz::FoundDiff &diff) {
-        for (const auto &seen : result.untriaged)
-            if (seen.signature == diff.signature)
-                return;
-        result.untriaged.push_back({diff.signature, diff.input,
-                                    diff.result.hashVector()});
-    };
-    for (const auto &diff : sharded.diffs) {
-        if (diff.probes.empty()) {
+    std::map<int, const session::DivergenceRecord *> witness_for;
+    const auto keep_untriaged =
+        [&](const session::DivergenceRecord &record) {
+            for (const auto &seen : result.untriaged)
+                if (seen.signature == record.signature)
+                    return;
+            result.untriaged.push_back({record.signature,
+                                        record.input,
+                                        record.hashVector});
+        };
+    for (const auto &record : records) {
+        if (record.probes.empty()) {
             // No probe fired: keep the full evidence, not just a
             // count — the reducer/bundler can still consume it.
-            keep_untriaged(diff);
+            keep_untriaged(record);
             continue;
         }
-        for (int probe : diff.probes) {
+        for (int probe : record.probes) {
             if (!witness_for.count(probe))
-                witness_for[probe] = &diff;
+                witness_for[probe] = &record;
         }
     }
 
@@ -157,17 +177,17 @@ runCampaign(const TargetProgram &target,
     vm::Vm probe_vm(probe_module, probe_config, options.limits);
 
     sanitizers::SanitizerRunner runner(*program, options.limits);
-    for (const auto &[probe, diff] : witness_for) {
+    for (const auto &[probe, record] : witness_for) {
         const PlantedBug *bug = target.findBug(probe);
         if (!bug) {
-            keep_untriaged(*diff);
+            keep_untriaged(*record);
             continue;
         }
         BugFinding finding;
         finding.probeId = probe;
         finding.bug = bug;
         finding.witness =
-            minimizeWitness(engine, probe_vm, diff->input, probe);
+            minimizeWitness(engine, probe_vm, record->input, probe);
         finding.hashVector =
             engine.runInput(finding.witness).hashVector();
         if (options.checkSanitizers) {

@@ -15,6 +15,7 @@
 
 #include "fuzz/fuzzer.hh"
 #include "reduce/report.hh"
+#include "session/records.hh"
 #include "targets/targets.hh"
 
 namespace compdiff::targets
@@ -58,9 +59,13 @@ struct CampaignResult
     /** Divergences that fired no probe (must stay empty: they would
      *  be unplanted bugs in the target itself). */
     std::vector<UntriagedDiff> untriaged;
-    /** Reduction outcomes when CampaignOptions::reduceFound, one
-     *  per unique divergence in shard-fold order. */
+    /** Reduction outcomes when CampaignOptions::triage.reduceFound,
+     *  one per unique divergence in shard-fold order. */
     std::vector<reduce::DivergenceReport> reports;
+    /** True when the campaign stopped at a session halt point
+     *  (stats are the partial fold; triage was skipped — resume the
+     *  session to finish). */
+    bool halted = false;
 
     bool foundProbe(int probe_id) const;
 
@@ -111,14 +116,25 @@ struct CampaignOptions
     std::string statsDir;
 
     /**
-     * Post-campaign reduction (src/reduce): minimize every unique
-     * divergence and, when reportsDir is set, bundle one
-     * `<reportsDir>/<target>/sig-<hex>/` directory per divergence.
+     * Crash-safe persistence: when non-empty, each campaign runs as
+     * a session::CampaignSession under `<sessionDir>/<target>/` —
+     * checkpointed every `checkpointEvery` shard executions and at
+     * shutdown, resumable with `resume`. Empty runs ephemerally
+     * (same lifecycle, nothing persisted).
      */
-    bool reduceFound = false;
-    std::string reportsDir;
-    /** Oracle-candidate budget per reduced divergence. */
-    std::uint64_t reduceCandidateBudget = 4096;
+    std::string sessionDir;
+    bool resume = false;
+    std::uint64_t checkpointEvery = 0;
+    /** Stop every shard at this many shard-local executions (0 =
+     *  run to completion); see SessionConfig::haltAfterExecs. */
+    std::uint64_t haltAfterExecs = 0;
+
+    /**
+     * Post-campaign triage — the single carrier of the reduction /
+     * report knobs (a per-target subdirectory is appended to
+     * triage.reportsDir).
+     */
+    session::TriageOptions triage;
 };
 
 /** Run CompDiff-AFL++ on one target. */

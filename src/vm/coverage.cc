@@ -69,6 +69,25 @@ VirginMap::merge(const VirginMap &other)
     }
 }
 
+support::Bytes
+VirginMap::snapshotBytes() const
+{
+    return support::Bytes(virgin_.begin(), virgin_.end());
+}
+
+bool
+VirginMap::restoreBytes(const support::Bytes &bytes)
+{
+    if (bytes.size() != kCoverageMapSize)
+        return false;
+    edges_ = 0;
+    for (std::size_t i = 0; i < kCoverageMapSize; i++) {
+        virgin_[i] = bytes[i];
+        edges_ += virgin_[i] != 0;
+    }
+    return true;
+}
+
 bool
 VirginMap::mergeAndCheckNew(const CoverageMap &map)
 {

@@ -80,6 +80,17 @@ class VirginMap
      */
     void merge(const VirginMap &other);
 
+    /** Raw bucket-bit map (kCoverageMapSize bytes) for checkpoints. */
+    support::Bytes snapshotBytes() const;
+
+    /**
+     * Restore a map saved with snapshotBytes(); edgesSeen() is
+     * recounted from the restored bytes.
+     *
+     * @return false (map unchanged) when `bytes` has the wrong size.
+     */
+    bool restoreBytes(const support::Bytes &bytes);
+
   private:
     std::array<std::uint8_t, kCoverageMapSize> virgin_;
     std::size_t edges_ = 0;

@@ -362,8 +362,8 @@ TEST(ReduceCampaign, ReduceFoundProducesReports)
     targets::CampaignOptions options;
     options.maxExecs = 2000;
     options.checkSanitizers = false;
-    options.reduceFound = true;
-    options.reduceCandidateBudget = 200;
+    options.triage.reduceFound = true;
+    options.triage.candidateBudget = 200;
     auto result = targets::runCampaign(*target, options);
 
     ASSERT_GE(result.stats.diffs, 1u);
