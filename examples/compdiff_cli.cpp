@@ -130,6 +130,8 @@ const char *kUsage =
     "  --checkpoint-every=N  checkpoint every N shard executions\n"
     "  --halt-after=N        stop each shard at the first safe\n"
     "                        point at or beyond N executions\n"
+    "  --heartbeat-every=S   shard heartbeat cadence in seconds\n"
+    "                        (display/health only; default 1)\n"
     "  --cache-entries=N     bound the compile cache to N modules\n"
     "                        (LRU eviction; 0 = unbounded)\n"
     "  --stats-out=FILE      AFL++-style fuzzer_stats snapshot\n"
@@ -159,6 +161,7 @@ struct CliOptions
     bool resume = false;
     std::uint64_t checkpointEvery = 0;
     std::uint64_t haltAfter = 0;
+    double heartbeatSecs = 1.0;
     bool cacheLimitSet = false;
     std::size_t cacheEntries = 0;
     std::string statsOut;
@@ -230,6 +233,9 @@ parseArgs(int argc, char **argv)
         } else if (matchFlag(arg, "--halt-after", &value)) {
             options.haltAfter = static_cast<std::uint64_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--heartbeat-every", &value)) {
+            options.heartbeatSecs =
+                std::strtod(value.c_str(), nullptr);
         } else if (matchFlag(arg, "--cache-entries", &value)) {
             options.cacheLimitSet = true;
             options.cacheEntries = static_cast<std::size_t>(
@@ -307,6 +313,7 @@ runFuzzMode(const compdiff::minic::Program &program,
     session_config.resume = options.resume;
     session_config.checkpointEvery = options.checkpointEvery;
     session_config.haltAfterExecs = options.haltAfter;
+    session_config.heartbeatSecs = options.heartbeatSecs;
     session_config.fuzz = fuzz_options;
     session_config.shards = options.shards;
     session_config.jobs = options.jobs;

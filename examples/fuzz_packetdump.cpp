@@ -8,14 +8,16 @@
  * Build & run:  ./build/examples/fuzz_packetdump [execs]
  *                   [--stats-dir=DIR] [--trace-out=FILE]
  *                   [--session=DIR] [--resume] [--halt-after=N]
- *                   [--checkpoint-every=N]
+ *                   [--checkpoint-every=N] [--shards=N] [--jobs=N]
  *
  * --stats-dir writes AFL++-style fuzzer_stats/plot_data under
  * DIR/pktdump/; --trace-out writes Chrome-trace JSON of the whole
  * campaign (both enable the observability layer). --session runs
  * the campaign as a crash-safe session under DIR/pktdump/ —
  * interrupt it (or stop it early with --halt-after) and finish it
- * later with --resume; see DESIGN.md §10.
+ * later with --resume; see DESIGN.md §10. --shards splits the
+ * campaign into deterministic shards (part of the result identity);
+ * --jobs only adds worker threads and never changes results.
  */
 
 #include <cstdio>
@@ -63,6 +65,12 @@ main(int argc, char **argv)
             options.checkpointEvery = static_cast<std::uint64_t>(
                 std::atoll(arg.c_str() +
                            std::strlen("--checkpoint-every=")));
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            options.shards = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + std::strlen("--shards=")));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + std::strlen("--jobs=")));
         } else {
             options.maxExecs = static_cast<std::uint64_t>(
                 std::atoll(arg.c_str()));

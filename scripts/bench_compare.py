@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON report against a checked-in baseline.
+
+    scripts/bench_compare.py [--baseline FILE] [--tolerance PCT]
+                             [--strict] current.json
+
+Matches benchmarks by name and reports throughput regressions:
+items_per_second (fuzz-loop inputs/sec) where available, else
+1/real_time. The comparison is *warn-only* by default — microbench
+numbers vary across hosts and CI machines, so a regression prints a
+warning and the script still exits 0; --strict turns warnings into a
+nonzero exit for local A/B runs on one quiet machine.
+
+The baseline lives at bench/BENCH_overhead_baseline.json and is
+refreshed deliberately (re-run bench/overhead_microbench and commit
+the new file), never automatically.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "BENCH_overhead_baseline.json"
+
+
+def load_benchmarks(path):
+    """Benchmark name -> throughput (higher is better)."""
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name")
+        if not name or bench.get("run_type") == "aggregate":
+            continue
+        if "items_per_second" in bench:
+            out[name] = float(bench["items_per_second"])
+        elif bench.get("real_time"):
+            out[name] = 1.0 / float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff google-benchmark throughput vs a baseline")
+    parser.add_argument("current", help="fresh benchmark JSON report")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline report (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=20.0,
+                        help="warn when throughput drops more than "
+                             "PCT%% (default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of "
+                             "warn-only")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    width = max((len(n) for n in current), default=0)
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name:<{width}}  (new, no baseline)")
+            continue
+        if base <= 0:
+            continue
+        delta = 100.0 * (cur - base) / base
+        marker = ""
+        if delta < -args.tolerance:
+            marker = "  <-- regression"
+            regressions.append((name, delta))
+        print(f"  {name:<{width}}  {base:14.1f} -> {cur:14.1f} "
+              f"items/s  {delta:+7.1f}%{marker}")
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"  {name:<{width}}  (dropped from current run)")
+
+    if regressions:
+        print(f"\nbench_compare: WARNING: {len(regressions)} "
+              f"benchmark(s) slower than baseline by more than "
+              f"{args.tolerance:.0f}%:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        if args.strict:
+            return 1
+        print("bench_compare: warn-only mode, not failing the build "
+              "(use --strict to enforce)")
+    else:
+        print(f"\nbench_compare: no regressions beyond "
+              f"{args.tolerance:.0f}% across {len(current)} "
+              f"benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,6 +135,63 @@ smoke() {
         > "$tmp/sess_bad.out" 2>&1 && rc=0 || rc=$?
     test "$rc" -eq 2
     grep -q 'exact campaign configuration' "$tmp/sess_bad.out"
+
+    echo "== monitor smoke: aggregate a finished sharded session tree"
+    monitor="$(dirname "$cli")/compdiff_monitor"
+    "$cli" --quiet --target=pktdump --fuzz=1500 --shards=3 \
+        --session="$tmp/mon/pkt" --checkpoint-every=200 \
+        > "$tmp/mon.out" || test $? -eq 1
+    "$monitor" "$tmp/mon" > "$tmp/mon_table.out"
+    grep -q 'pkt' "$tmp/mon_table.out"
+    grep -q 'complete' "$tmp/mon_table.out"
+    grep -q 'total execs : 1500' "$tmp/mon_table.out"
+    # The JSON document parses; the prom exposition has the right
+    # line shapes and totals for every shard.
+    "$monitor" --format=json "$tmp/mon" > "$tmp/mon.json"
+    "$cli" --validate-json="$tmp/mon.json"
+    "$monitor" --format=prom "$tmp/mon" > "$tmp/mon.prom"
+    grep -q '^# TYPE compdiff_campaign_execs gauge' "$tmp/mon.prom"
+    grep -Eq '^compdiff_campaign_execs\{session="pkt"\} 1500$' \
+        "$tmp/mon.prom"
+    for shard in 0 1 2; do
+        grep -Eq "^compdiff_shard_health\{session=\"pkt\",shard=\"$shard\",state=\"complete\"\} 1$" \
+            "$tmp/mon.prom"
+        grep -Eq "^compdiff_shard_execs\{session=\"pkt\",shard=\"$shard\"\} 500$" \
+            "$tmp/mon.prom"
+    done
+    # Byte-stable: repeat scans of a finished tree agree exactly.
+    "$monitor" --stable "$tmp/mon" > "$tmp/mon_stable1.out"
+    "$monitor" --stable "$tmp/mon" > "$tmp/mon_stable2.out"
+    cmp "$tmp/mon_stable1.out" "$tmp/mon_stable2.out"
+    # No sessions found is a distinct, scriptable failure (exit 1).
+    mkdir -p "$tmp/mon_empty"
+    "$monitor" "$tmp/mon_empty" > /dev/null 2>&1 && rc=0 || rc=$?
+    test "$rc" -eq 1
+
+    echo "== monitor smoke: a killed worker reads as dead, work kept"
+    "$cli" --quiet --target=pktdump --fuzz=2000000 \
+        --checkpoint-every=500 --session="$tmp/kill/w" \
+        > "$tmp/kill.out" 2>&1 &
+    kill_pid=$!
+    # Wait (bounded) for the first checkpoint to land, then kill -9:
+    # the heartbeat still claims "running" but the pid is gone.
+    for _ in $(seq 1 150); do
+        [ -f "$tmp/kill/w/shard-0.journal" ] &&
+            [ "$(wc -c < "$tmp/kill/w/shard-0.journal")" -gt 1024 ] &&
+            break
+        sleep 0.2
+    done
+    kill -9 "$kill_pid" 2>/dev/null || true
+    wait "$kill_pid" 2>/dev/null || true
+    "$monitor" "$tmp/kill" > "$tmp/kill_table.out"
+    grep -q 'dead' "$tmp/kill_table.out"
+    "$monitor" --format=prom "$tmp/kill" > "$tmp/kill.prom"
+    grep -Eq '^compdiff_shard_health\{session="w",shard="0",state="dead"\} 1$' \
+        "$tmp/kill.prom"
+    # The kill cost the process, not the work: the last checkpoint
+    # still reports the saved execs.
+    grep -Eq '^compdiff_shard_execs\{session="w",shard="0"\} [1-9]' \
+        "$tmp/kill.prom"
     echo "== obs smoke: OK"
 }
 

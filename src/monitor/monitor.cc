@@ -1,0 +1,649 @@
+#include "monitor/monitor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/events.hh"
+#include "obs/json.hh"
+#include "session/checkpoint.hh"
+#include "session/serial.hh"
+#include "support/table.hh"
+
+namespace compdiff::monitor
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fmtSecs1(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+double
+resolveNow(const MonitorOptions &options)
+{
+    if (options.nowUnix != 0)
+        return options.nowUnix;
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+kvU64(const std::map<std::string, std::string> &kv,
+      const std::string &key)
+{
+    const auto it = kv.find(key);
+    if (it == kv.end())
+        return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+/**
+ * Minimal field extraction from our own flat metrics.jsonl lines
+ * (obs::MetricsSnapshot::toJsonl — one object per line, no nesting
+ * before the arrays). There is deliberately no JSON DOM parser in
+ * this codebase; the emitter's fixed layout makes a keyed substring
+ * scan exact.
+ */
+bool
+extractJsonField(const std::string &line, const std::string &key,
+                 std::string *out)
+{
+    const std::string marker = "\"" + key + "\":";
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return false;
+    std::size_t pos = at + marker.size();
+    if (pos >= line.size())
+        return false;
+    if (line[pos] == '"') {
+        const std::size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos)
+            return false;
+        *out = line.substr(pos + 1, end - pos - 1);
+        return true;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}') {
+        end++;
+    }
+    *out = line.substr(pos, end - pos);
+    return true;
+}
+
+/** Prometheus label-value escaping (backslash, quote, newline). */
+std::string
+promEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+struct HealthCounts
+{
+    std::size_t running = 0;
+    std::size_t stalled = 0;
+    std::size_t dead = 0;
+    std::size_t halted = 0;
+    std::size_t complete = 0;
+
+    void add(session::ShardHealth health)
+    {
+        switch (health) {
+          case session::ShardHealth::Running:
+            running++;
+            break;
+          case session::ShardHealth::Stalled:
+            stalled++;
+            break;
+          case session::ShardHealth::Dead:
+            dead++;
+            break;
+          case session::ShardHealth::Halted:
+            halted++;
+            break;
+          case session::ShardHealth::Complete:
+            complete++;
+            break;
+        }
+    }
+};
+
+std::vector<HistogramView>
+readHistogramDigests(const std::string &path)
+{
+    std::vector<HistogramView> digests;
+    const auto text = [&]() -> std::string {
+        try {
+            if (const auto content = session::readTextFile(path))
+                return *content;
+        } catch (const session::SessionError &) {
+            // Unreadable telemetry is a skip, not a failure.
+        }
+        return "";
+    }();
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string kind;
+        if (!extractJsonField(line, "kind", &kind) ||
+            kind != "histogram") {
+            continue;
+        }
+        HistogramView digest;
+        std::string field;
+        if (!extractJsonField(line, "name", &digest.name))
+            continue;
+        if (extractJsonField(line, "count", &field))
+            digest.count = std::strtoull(field.c_str(), nullptr, 10);
+        if (digest.count == 0)
+            continue; // empty histograms add noise, not signal
+        if (extractJsonField(line, "p50", &field))
+            digest.p50 = std::strtod(field.c_str(), nullptr);
+        if (extractJsonField(line, "p90", &field))
+            digest.p90 = std::strtod(field.c_str(), nullptr);
+        if (extractJsonField(line, "p99", &field))
+            digest.p99 = std::strtod(field.c_str(), nullptr);
+        digests.push_back(std::move(digest));
+    }
+    return digests;
+}
+
+} // namespace
+
+std::vector<std::string>
+findSessionDirs(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> dirs;
+    std::error_code ec;
+    const auto is_session = [](const fs::path &dir) {
+        std::error_code probe;
+        return fs::is_regular_file(dir / "MANIFEST", probe);
+    };
+    if (is_session(root))
+        dirs.push_back(root);
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            std::error_code probe;
+            if (entry.is_directory(probe) &&
+                is_session(entry.path())) {
+                dirs.push_back(entry.path().string());
+            }
+        }
+    }
+    std::sort(dirs.begin(), dirs.end());
+    dirs.erase(std::unique(dirs.begin(), dirs.end()), dirs.end());
+    return dirs;
+}
+
+SessionView
+inspectSession(const std::string &dir, const MonitorOptions &options)
+{
+    const double now = resolveNow(options);
+    SessionView view;
+    view.dir = dir;
+    view.label = dir;
+
+    std::string manifest_text;
+    try {
+        const auto manifest =
+            session::readTextFile(dir + "/MANIFEST");
+        if (!manifest)
+            return view;
+        manifest_text = *manifest;
+    } catch (const session::SessionError &) {
+        return view;
+    }
+    const auto manifest_kv = obs::parseFuzzerStats(manifest_text);
+    view.valid = manifest_kv.count("format_version") > 0;
+    if (!view.valid)
+        return view;
+    view.shards =
+        std::max<std::size_t>(kvU64(manifest_kv, "shards"), 1);
+    view.maxExecs = kvU64(manifest_kv, "max_execs");
+    if (const auto it = manifest_kv.find("impls");
+        it != manifest_kv.end()) {
+        view.impls = it->second;
+    }
+    if (const auto it = manifest_kv.find("fingerprint");
+        it != manifest_kv.end()) {
+        view.fingerprint = it->second;
+    }
+
+    try {
+        if (const auto stats_text =
+                session::readTextFile(dir + "/session_stats")) {
+            const auto kv = obs::parseFuzzerStats(*stats_text);
+            view.restarts = kvU64(kv, "restarts");
+            if (const auto it = kv.find("run_secs"); it != kv.end())
+                view.runSecs =
+                    std::strtod(it->second.c_str(), nullptr);
+        }
+    } catch (const session::SessionError &) {
+    }
+
+    try {
+        if (const auto final_text =
+                session::readTextFile(dir + "/fuzzer_stats")) {
+            view.finished = true;
+            view.finalStats =
+                obs::snapshotFromFuzzerStats(*final_text);
+        }
+    } catch (const session::SessionError &) {
+    }
+
+    std::set<std::string> diff_signatures;
+    for (std::size_t s = 0; s < view.shards; s++) {
+        ShardView shard;
+        shard.shard = s;
+
+        try {
+            if (const auto beat_text = session::readTextFile(
+                    session::heartbeatPath(dir, s))) {
+                shard.hasHeartbeat = true;
+                shard.heartbeat =
+                    session::parseHeartbeat(*beat_text);
+                shard.ageSecs = now - shard.heartbeat.unixTime;
+                shard.health = session::classifyHeartbeat(
+                    shard.heartbeat, now, options.health);
+            }
+        } catch (const session::SessionError &) {
+        }
+        if (!shard.hasHeartbeat) {
+            // No liveness channel (killed before the first safe
+            // point, or a pre-heartbeat session): a finished session
+            // is trivially complete, anything else counts as dead.
+            shard.health = view.finished
+                               ? session::ShardHealth::Complete
+                               : session::ShardHealth::Dead;
+        }
+        shard.budget = shard.hasHeartbeat ? shard.heartbeat.budget
+                                          : view.maxExecs;
+
+        // The checkpoint journal answers "what work is saved" even
+        // for a dead shard — a SIGKILLed worker still reports the
+        // stats of its last checkpoint here.
+        try {
+            if (const auto payload = session::readLastRecord(
+                    dir + "/shard-" + std::to_string(s) +
+                    ".journal")) {
+                shard.hasCheckpoint = true;
+                shard.checkpoint =
+                    session::decodeFuzzerState(*payload).stats;
+            }
+        } catch (const session::SessionError &) {
+        }
+
+        const obs::EventLog events = obs::readEventLog(
+            dir + "/shard-" + std::to_string(s) + ".events.jsonl");
+        shard.eventCount = events.events.size();
+        if (!events.events.empty()) {
+            shard.lastEventKind = events.events.back().kind;
+            shard.lastEventExec = events.events.back().exec;
+        }
+        for (const auto &event : events.events) {
+            if (event.kind != "divergence")
+                continue;
+            if (const auto *sig = event.find("signature"))
+                diff_signatures.insert(sig->value);
+        }
+
+        view.shardViews.push_back(std::move(shard));
+    }
+
+    if (view.finished) {
+        view.execs = view.finalStats.execsDone;
+        view.corpus = view.finalStats.corpusSize;
+        view.crashes = view.finalStats.crashes;
+        view.diffs = view.finalStats.diffs;
+        view.uniqueDiffs = view.finalStats.diffs;
+        view.edges = view.finalStats.edges;
+    } else {
+        for (const auto &shard : view.shardViews) {
+            if (!shard.hasCheckpoint)
+                continue;
+            view.execs += shard.checkpoint.execs;
+            view.corpus += shard.checkpoint.seeds;
+            view.crashes += shard.checkpoint.crashes;
+            view.diffs += shard.checkpoint.diffs;
+            view.edges += shard.checkpoint.edges;
+        }
+        view.uniqueDiffs = diff_signatures.size();
+    }
+
+    view.histograms = readHistogramDigests(dir + "/metrics.jsonl");
+    return view;
+}
+
+std::vector<SessionView>
+scanTree(const std::string &root, const MonitorOptions &options)
+{
+    // Resolve the reader clock once so every session in one scan is
+    // classified against the same instant.
+    MonitorOptions scan_options = options;
+    scan_options.nowUnix = resolveNow(options);
+
+    std::vector<SessionView> sessions;
+    for (const auto &dir : findSessionDirs(root)) {
+        SessionView view = inspectSession(dir, scan_options);
+        if (!view.valid)
+            continue;
+        if (dir == root) {
+            view.label =
+                std::filesystem::path(dir).filename().string();
+            if (view.label.empty())
+                view.label = dir;
+        } else if (dir.size() > root.size() &&
+                   dir.compare(0, root.size(), root) == 0) {
+            std::size_t cut = root.size();
+            while (cut < dir.size() && dir[cut] == '/')
+                cut++;
+            view.label = dir.substr(cut);
+        }
+        sessions.push_back(std::move(view));
+    }
+    return sessions;
+}
+
+std::string
+renderTable(const std::vector<SessionView> &sessions,
+            const MonitorOptions &options)
+{
+    support::TextTable table;
+    table.setHeader({"session", "shard", "health", "execs",
+                     "budget", "corpus", "diffs", "crashes",
+                     "edges", "last event", "age"});
+    table.setAlign({support::Align::Left, support::Align::Right,
+                    support::Align::Left, support::Align::Right,
+                    support::Align::Right, support::Align::Right,
+                    support::Align::Right, support::Align::Right,
+                    support::Align::Right, support::Align::Left,
+                    support::Align::Right});
+    HealthCounts counts;
+    std::uint64_t total_execs = 0, total_diffs = 0,
+                  total_crashes = 0;
+    std::size_t finished = 0;
+    double run_secs = 0;
+    for (const auto &session : sessions) {
+        total_execs += session.execs;
+        total_diffs += session.uniqueDiffs;
+        total_crashes += session.crashes;
+        run_secs = std::max(run_secs, session.runSecs);
+        if (session.finished)
+            finished++;
+        for (const auto &shard : session.shardViews) {
+            counts.add(shard.health);
+            const std::string last =
+                shard.lastEventKind.empty()
+                    ? "-"
+                    : shard.lastEventKind + "@" +
+                          std::to_string(shard.lastEventExec);
+            table.addRow(
+                {session.label, std::to_string(shard.shard),
+                 session::shardHealthName(shard.health),
+                 shard.hasCheckpoint
+                     ? std::to_string(shard.checkpoint.execs)
+                     : "-",
+                 std::to_string(shard.budget),
+                 shard.hasCheckpoint
+                     ? std::to_string(shard.checkpoint.seeds)
+                     : "-",
+                 shard.hasCheckpoint
+                     ? std::to_string(shard.checkpoint.diffs)
+                     : "-",
+                 shard.hasCheckpoint
+                     ? std::to_string(shard.checkpoint.crashes)
+                     : "-",
+                 shard.hasCheckpoint
+                     ? std::to_string(shard.checkpoint.edges)
+                     : "-",
+                 last,
+                 options.stable || !shard.hasHeartbeat
+                     ? "-"
+                     : fmtSecs1(shard.ageSecs) + "s"});
+        }
+    }
+
+    std::ostringstream os;
+    os << table.str();
+    os << "\n";
+    os << "sessions : " << sessions.size() << " (" << finished
+       << " finished)\n";
+    os << "shards : " << counts.running << " running, "
+       << counts.stalled << " stalled, " << counts.dead << " dead, "
+       << counts.halted << " halted, " << counts.complete
+       << " complete\n";
+    os << "total execs : " << total_execs << "\n";
+    os << "unique diffs : " << total_diffs << "\n";
+    os << "crashes : " << total_crashes << "\n";
+    if (!options.stable)
+        os << "run time : " << fmtSecs1(run_secs) << "s\n";
+
+    bool digest_header = false;
+    for (const auto &session : sessions) {
+        for (const auto &digest : session.histograms) {
+            if (!digest_header) {
+                os << "\nhistogram percentiles (p50/p90/p99):\n";
+                digest_header = true;
+            }
+            os << "  " << session.label << " " << digest.name
+               << " : " << fmtDouble(digest.p50) << " / "
+               << fmtDouble(digest.p90) << " / "
+               << fmtDouble(digest.p99) << "  (n="
+               << digest.count << ")\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+renderJson(const std::vector<SessionView> &sessions,
+           const MonitorOptions &options)
+{
+    std::ostringstream os;
+    os << "{\"sessions\":[";
+    for (std::size_t i = 0; i < sessions.size(); i++) {
+        const SessionView &session = sessions[i];
+        if (i)
+            os << ",";
+        os << "{\"session\":\"" << obs::jsonEscape(session.label)
+           << "\"";
+        if (!options.stable)
+            os << ",\"dir\":\"" << obs::jsonEscape(session.dir)
+               << "\"";
+        os << ",\"finished\":"
+           << (session.finished ? "true" : "false")
+           << ",\"shards\":" << session.shards
+           << ",\"max_execs\":" << session.maxExecs
+           << ",\"restarts\":" << session.restarts
+           << ",\"execs\":" << session.execs
+           << ",\"corpus\":" << session.corpus
+           << ",\"unique_diffs\":" << session.uniqueDiffs
+           << ",\"crashes\":" << session.crashes
+           << ",\"edges\":" << session.edges;
+        if (!options.stable)
+            os << ",\"run_secs\":" << fmtDouble(session.runSecs);
+        os << ",\"shard_status\":[";
+        for (std::size_t s = 0; s < session.shardViews.size();
+             s++) {
+            const ShardView &shard = session.shardViews[s];
+            if (s)
+                os << ",";
+            os << "{\"shard\":" << shard.shard << ",\"health\":\""
+               << session::shardHealthName(shard.health) << "\""
+               << ",\"budget\":" << shard.budget;
+            if (shard.hasCheckpoint) {
+                os << ",\"execs\":" << shard.checkpoint.execs
+                   << ",\"corpus\":" << shard.checkpoint.seeds
+                   << ",\"diffs\":" << shard.checkpoint.diffs
+                   << ",\"crashes\":" << shard.checkpoint.crashes
+                   << ",\"edges\":" << shard.checkpoint.edges;
+            }
+            os << ",\"events\":" << shard.eventCount;
+            if (!shard.lastEventKind.empty()) {
+                os << ",\"last_event\":\""
+                   << obs::jsonEscape(shard.lastEventKind)
+                   << "\",\"last_event_exec\":"
+                   << shard.lastEventExec;
+            }
+            if (!options.stable && shard.hasHeartbeat) {
+                os << ",\"pid\":" << shard.heartbeat.pid
+                   << ",\"age_secs\":" << fmtDouble(shard.ageSecs);
+            }
+            os << "}";
+        }
+        os << "],\"histograms\":[";
+        for (std::size_t h = 0; h < session.histograms.size();
+             h++) {
+            const HistogramView &digest = session.histograms[h];
+            if (h)
+                os << ",";
+            os << "{\"name\":\"" << obs::jsonEscape(digest.name)
+               << "\",\"count\":" << digest.count
+               << ",\"p50\":" << fmtDouble(digest.p50)
+               << ",\"p90\":" << fmtDouble(digest.p90)
+               << ",\"p99\":" << fmtDouble(digest.p99) << "}";
+        }
+        os << "]}";
+    }
+    os << "],\"totals\":{";
+    HealthCounts counts;
+    std::uint64_t execs = 0, diffs = 0, crashes = 0;
+    for (const auto &session : sessions) {
+        execs += session.execs;
+        diffs += session.uniqueDiffs;
+        crashes += session.crashes;
+        for (const auto &shard : session.shardViews)
+            counts.add(shard.health);
+    }
+    os << "\"sessions\":" << sessions.size()
+       << ",\"execs\":" << execs << ",\"unique_diffs\":" << diffs
+       << ",\"crashes\":" << crashes
+       << ",\"running\":" << counts.running
+       << ",\"stalled\":" << counts.stalled
+       << ",\"dead\":" << counts.dead
+       << ",\"halted\":" << counts.halted
+       << ",\"complete\":" << counts.complete << "}}";
+    return os.str();
+}
+
+std::string
+renderProm(const std::vector<SessionView> &sessions,
+           const MonitorOptions &options)
+{
+    std::ostringstream os;
+    os << "# TYPE compdiff_session_finished gauge\n"
+       << "# TYPE compdiff_campaign_execs gauge\n"
+       << "# TYPE compdiff_shard_execs gauge\n"
+       << "# TYPE compdiff_shard_health gauge\n"
+       << "# TYPE compdiff_histogram_quantile gauge\n";
+    for (const auto &session : sessions) {
+        const std::string label =
+            "session=\"" + promEscape(session.label) + "\"";
+        os << "compdiff_session_info{" << label
+           << ",fingerprint=\"" << promEscape(session.fingerprint)
+           << "\",impls=\"" << promEscape(session.impls)
+           << "\"} 1\n";
+        os << "compdiff_session_finished{" << label << "} "
+           << (session.finished ? 1 : 0) << "\n";
+        os << "compdiff_session_restarts{" << label << "} "
+           << session.restarts << "\n";
+        if (!options.stable) {
+            os << "compdiff_session_run_seconds{" << label << "} "
+               << fmtDouble(session.runSecs) << "\n";
+        }
+        os << "compdiff_campaign_budget{" << label << "} "
+           << session.maxExecs << "\n";
+        os << "compdiff_campaign_execs{" << label << "} "
+           << session.execs << "\n";
+        os << "compdiff_campaign_corpus{" << label << "} "
+           << session.corpus << "\n";
+        os << "compdiff_campaign_unique_diffs{" << label << "} "
+           << session.uniqueDiffs << "\n";
+        os << "compdiff_campaign_crashes{" << label << "} "
+           << session.crashes << "\n";
+        os << "compdiff_campaign_edges{" << label << "} "
+           << session.edges << "\n";
+        for (const auto &shard : session.shardViews) {
+            const std::string shard_label =
+                label + ",shard=\"" + std::to_string(shard.shard) +
+                "\"";
+            os << "compdiff_shard_health{" << shard_label
+               << ",state=\""
+               << session::shardHealthName(shard.health)
+               << "\"} 1\n";
+            if (shard.hasCheckpoint) {
+                os << "compdiff_shard_execs{" << shard_label
+                   << "} " << shard.checkpoint.execs << "\n";
+                os << "compdiff_shard_corpus{" << shard_label
+                   << "} " << shard.checkpoint.seeds << "\n";
+                os << "compdiff_shard_diffs{" << shard_label
+                   << "} " << shard.checkpoint.diffs << "\n";
+                os << "compdiff_shard_crashes{" << shard_label
+                   << "} " << shard.checkpoint.crashes << "\n";
+                os << "compdiff_shard_edges{" << shard_label
+                   << "} " << shard.checkpoint.edges << "\n";
+            }
+            os << "compdiff_shard_events{" << shard_label << "} "
+               << shard.eventCount << "\n";
+            if (!options.stable && shard.hasHeartbeat) {
+                os << "compdiff_shard_heartbeat_age_seconds{"
+                   << shard_label << "} "
+                   << fmtDouble(shard.ageSecs) << "\n";
+            }
+        }
+        for (const auto &digest : session.histograms) {
+            const std::string metric_label =
+                label + ",metric=\"" + promEscape(digest.name) +
+                "\"";
+            os << "compdiff_histogram_count{" << metric_label
+               << "} " << digest.count << "\n";
+            const std::pair<const char *, double> quantiles[] = {
+                {"0.5", digest.p50},
+                {"0.9", digest.p90},
+                {"0.99", digest.p99}};
+            for (const auto &[q, v] : quantiles) {
+                os << "compdiff_histogram_quantile{"
+                   << metric_label << ",quantile=\"" << q
+                   << "\"} " << fmtDouble(v) << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace compdiff::monitor

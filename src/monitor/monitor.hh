@@ -1,0 +1,156 @@
+#pragma once
+
+/**
+ * @file
+ * Campaign monitor: the afl-whatsup analog over session directories.
+ *
+ * A session directory tree (one CampaignSession per leaf — e.g.
+ * `--session=DIR` runs, or targets-mode trees with one session per
+ * target) is scanned for MANIFEST files; every session found is
+ * merged into one campaign snapshot from the artifacts the session
+ * layer maintains:
+ *
+ *   - heartbeat-<N>     liveness + phase (reader-side stall/dead
+ *                       classification — session/heartbeat.hh)
+ *   - shard-<N>.journal last checkpointed FuzzStats, so a dead
+ *                       shard still reports the work it saved
+ *   - shard-<N>.events.jsonl
+ *                       discovery/divergence/crash stream; unique
+ *                       divergence signatures dedup across shards
+ *   - fuzzer_stats      merged final snapshot (finished sessions)
+ *   - metrics.jsonl     histogram percentile digests
+ *
+ * Everything here is read-only and crash-tolerant: a live campaign
+ * is scanned while it writes (atomic renames and write-ahead tails
+ * make every read either old or new, never garbage), and a killed
+ * campaign reports its last checkpoint. Renders as an aligned text
+ * table, one JSON document, or Prometheus text exposition.
+ *
+ * Output is byte-stable: scanning a *finished* session yields
+ * identical bytes on every invocation (and regardless of the
+ * --jobs the campaign ran with); `stable` additionally omits the
+ * wall-clock-derived fields (ages, rates, run time, pids) so tests
+ * can byte-compare snapshots across runs and machines.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+#include "obs/stats.hh"
+#include "session/heartbeat.hh"
+
+namespace compdiff::monitor
+{
+
+/** Scan/render knobs (compdiff_monitor flags map 1:1 onto these). */
+struct MonitorOptions
+{
+    session::HealthPolicy health;
+    /** Omit wall-clock-derived output (ages, rates, run time, pids)
+     *  for byte-comparable snapshots. */
+    bool stable = false;
+    /** Reader clock as seconds since the Unix epoch; 0 = read the
+     *  system clock at scan time. */
+    double nowUnix = 0;
+};
+
+/** One shard's merged view. */
+struct ShardView
+{
+    std::size_t shard = 0;
+
+    bool hasHeartbeat = false;
+    session::Heartbeat heartbeat;
+    session::ShardHealth health = session::ShardHealth::Dead;
+    /** now - heartbeat stamp (0 without a heartbeat). */
+    double ageSecs = 0;
+
+    /** Last checkpointed stats (survives a killed worker). */
+    bool hasCheckpoint = false;
+    fuzz::FuzzStats checkpoint;
+    /** Shard-local execution budget (from the session manifest). */
+    std::uint64_t budget = 0;
+
+    std::size_t eventCount = 0;
+    std::string lastEventKind;
+    std::uint64_t lastEventExec = 0;
+};
+
+/** One histogram's percentile digest (from metrics.jsonl). */
+struct HistogramView
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+};
+
+/** One session directory's merged view. */
+struct SessionView
+{
+    std::string dir;
+    /** Display name (dir relative to the scan root). */
+    std::string label;
+    bool valid = false; ///< MANIFEST present and parsable
+
+    // Manifest identity.
+    std::size_t shards = 1;
+    std::uint64_t maxExecs = 0;
+    std::string impls;
+    std::string fingerprint;
+
+    // session_stats (cumulative across restarts; display only).
+    std::uint64_t restarts = 0;
+    double runSecs = 0;
+
+    /** True when the final fuzzer_stats snapshot exists. */
+    bool finished = false;
+    obs::FuzzerStatsSnapshot finalStats;
+
+    std::vector<ShardView> shardViews;
+
+    // Campaign aggregates: the final snapshot when finished, else
+    // sums over the shards' last checkpoints. For a live campaign
+    // `edges` is a per-shard sum (shard maps overlap), while
+    // `uniqueDiffs` is exact either way — divergence signatures
+    // dedup across the shards' event streams.
+    std::uint64_t execs = 0;
+    std::uint64_t corpus = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t diffs = 0; ///< per-shard sum (pre-dedup)
+    std::uint64_t uniqueDiffs = 0;
+    std::uint64_t edges = 0;
+
+    std::vector<HistogramView> histograms;
+};
+
+/**
+ * Directories under (or at) `root` holding a MANIFEST, sorted.
+ * Unreadable subtrees are skipped, not fatal.
+ */
+std::vector<std::string> findSessionDirs(const std::string &root);
+
+/** Merge one session directory (label defaults to the dir). */
+SessionView inspectSession(const std::string &dir,
+                           const MonitorOptions &options);
+
+/** Scan a whole tree: find + inspect + root-relative labels. */
+std::vector<SessionView> scanTree(const std::string &root,
+                                  const MonitorOptions &options);
+
+/** Aligned text table + campaign summary block. */
+std::string renderTable(const std::vector<SessionView> &sessions,
+                        const MonitorOptions &options);
+
+/** One JSON document (obs::jsonWellFormed-clean). */
+std::string renderJson(const std::vector<SessionView> &sessions,
+                       const MonitorOptions &options);
+
+/** Prometheus text-exposition format. */
+std::string renderProm(const std::vector<SessionView> &sessions,
+                       const MonitorOptions &options);
+
+} // namespace compdiff::monitor

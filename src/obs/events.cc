@@ -1,0 +1,307 @@
+#include "obs/events.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace compdiff::obs
+{
+
+namespace
+{
+
+/** The checksum suffix every line ends with. */
+constexpr std::string_view kCrcMarker = ",\"crc\":\"";
+
+bool
+fail(std::string *error, std::string why)
+{
+    if (error)
+        *error = std::move(why);
+    return false;
+}
+
+/** Parse `"key"` at `pos`; advances past the closing quote. */
+bool
+parseKey(std::string_view text, std::size_t &pos, std::string *key)
+{
+    if (pos >= text.size() || text[pos] != '"')
+        return false;
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string_view::npos)
+        return false;
+    // Keys are emitted unescaped (identifiers only), so a plain
+    // substring read is exact.
+    *key = std::string(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    return true;
+}
+
+/** Parse a string or unsigned-number value at `pos`. */
+bool
+parseValue(std::string_view text, std::size_t &pos,
+           std::string *value, bool *quoted)
+{
+    if (pos >= text.size())
+        return false;
+    if (text[pos] == '"') {
+        std::size_t end = pos + 1;
+        while (end < text.size() && text[end] != '"') {
+            if (text[end] == '\\')
+                end++; // skip the escaped character
+            end++;
+        }
+        if (end >= text.size())
+            return false;
+        *quoted = true;
+        const std::string_view raw =
+            text.substr(pos + 1, end - pos - 1);
+        pos = end + 1;
+        return jsonUnescape(raw, value);
+    }
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == '-')) {
+        pos++;
+    }
+    if (pos == start)
+        return false;
+    *quoted = false;
+    *value = std::string(text.substr(start, pos - start));
+    return true;
+}
+
+} // namespace
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+CampaignEvent &
+CampaignEvent::num(std::string key, std::uint64_t value)
+{
+    details.push_back({std::move(key), std::to_string(value), false});
+    return *this;
+}
+
+CampaignEvent &
+CampaignEvent::text(std::string key, std::string value)
+{
+    details.push_back({std::move(key), std::move(value), true});
+    return *this;
+}
+
+CampaignEvent &
+CampaignEvent::hex(std::string key, std::uint64_t value)
+{
+    details.push_back({std::move(key), hex16(value), true});
+    return *this;
+}
+
+const CampaignEvent::Detail *
+CampaignEvent::find(std::string_view key) const
+{
+    for (const auto &detail : details)
+        if (detail.key == key)
+            return &detail;
+    return nullptr;
+}
+
+std::uint64_t
+CampaignEvent::numOr(std::string_view key,
+                     std::uint64_t fallback) const
+{
+    const Detail *detail = find(key);
+    if (!detail)
+        return fallback;
+    return std::strtoull(detail->value.c_str(), nullptr, 10);
+}
+
+std::string
+renderEventLine(const CampaignEvent &event)
+{
+    std::ostringstream os;
+    os << "{\"v\":" << kEventFormatVersion << ",\"kind\":\""
+       << jsonEscape(event.kind) << "\",\"exec\":" << event.exec;
+    for (const auto &detail : event.details) {
+        os << ",\"" << detail.key << "\":";
+        if (detail.quoted)
+            os << '"' << jsonEscape(detail.value) << '"';
+        else
+            os << detail.value;
+    }
+    const std::string body = os.str();
+    return body + std::string(kCrcMarker) +
+           hex16(support::murmurHash64(body)) + "\"}";
+}
+
+bool
+parseEventLine(std::string_view line, CampaignEvent *out,
+               std::string *error)
+{
+    // Verify and strip the checksum suffix first: the rest of the
+    // parse only runs over bytes the writer vouched for.
+    const std::size_t crc_at = line.rfind(kCrcMarker);
+    if (crc_at == std::string_view::npos)
+        return fail(error, "no crc suffix");
+    const std::string_view body = line.substr(0, crc_at);
+    const std::string_view tail =
+        line.substr(crc_at + kCrcMarker.size());
+    if (tail.size() != 18 || tail.substr(16) != "\"}")
+        return fail(error, "malformed crc suffix");
+    if (std::string(tail.substr(0, 16)) !=
+        hex16(support::murmurHash64(body))) {
+        return fail(error, "checksum mismatch");
+    }
+
+    const std::string expect_prefix =
+        "{\"v\":" + std::to_string(kEventFormatVersion) +
+        ",\"kind\":";
+    if (body.substr(0, expect_prefix.size()) != expect_prefix)
+        return fail(error, "bad header (version or layout)");
+
+    CampaignEvent event;
+    std::size_t pos = expect_prefix.size();
+    bool quoted = false;
+    if (!parseValue(body, pos, &event.kind, &quoted) || !quoted)
+        return fail(error, "bad kind");
+    const std::string_view exec_key = ",\"exec\":";
+    if (body.substr(pos, exec_key.size()) != exec_key)
+        return fail(error, "missing exec");
+    pos += exec_key.size();
+    std::string exec_text;
+    if (!parseValue(body, pos, &exec_text, &quoted) || quoted)
+        return fail(error, "bad exec");
+    event.exec = std::strtoull(exec_text.c_str(), nullptr, 10);
+
+    while (pos < body.size()) {
+        if (body[pos] != ',')
+            return fail(error, "expected ','");
+        pos++;
+        CampaignEvent::Detail detail;
+        if (!parseKey(body, pos, &detail.key))
+            return fail(error, "bad detail key");
+        if (pos >= body.size() || body[pos] != ':')
+            return fail(error, "expected ':'");
+        pos++;
+        if (!parseValue(body, pos, &detail.value, &detail.quoted))
+            return fail(error, "bad detail value");
+        event.details.push_back(std::move(detail));
+    }
+    *out = std::move(event);
+    return true;
+}
+
+EventLog
+readEventLog(const std::string &path)
+{
+    EventLog log;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return log; // missing file == empty log (telemetry)
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::size_t line_start = 0;
+    while (line_start < text.size()) {
+        std::size_t line_end = text.find('\n', line_start);
+        const bool torn = line_end == std::string::npos;
+        if (torn)
+            line_end = text.size();
+        const std::string_view line(text.data() + line_start,
+                                    line_end - line_start);
+        CampaignEvent event;
+        if (line.empty()) {
+            line_start = line_end + 1;
+            continue;
+        }
+        if (torn || !parseEventLine(line, &event)) {
+            // Write-ahead discipline: the first invalid line starts
+            // the (crash-artifact) tail; keep everything before it.
+            log.droppedTail = true;
+            break;
+        }
+        log.events.push_back(std::move(event));
+        line_start = line_end + 1;
+    }
+    return log;
+}
+
+bool
+appendEventLines(const std::string &path,
+                 const std::vector<CampaignEvent> &events)
+{
+    if (events.empty())
+        return true;
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(),
+                                            ec);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) {
+        support::warn("cannot append events to " + path);
+        return false;
+    }
+    for (const auto &event : events)
+        out << renderEventLine(event) << "\n";
+    out.flush();
+    if (!out) {
+        support::warn("short event append to " + path);
+        return false;
+    }
+    return true;
+}
+
+bool
+writeEventLog(const std::string &path,
+              const std::vector<CampaignEvent> &events)
+{
+    std::ostringstream os;
+    for (const auto &event : events)
+        os << renderEventLine(event) << "\n";
+    // Write-then-rename: a crash mid-rewrite leaves either the old
+    // log or the new one, never a hybrid.
+    const std::string tmp = path + ".tmp";
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(),
+                                            ec);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            support::warn("cannot write " + tmp);
+            return false;
+        }
+        out << os.str();
+        out.flush();
+        if (!out) {
+            support::warn("short write to " + tmp);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        support::warn("cannot rename " + tmp + " over " + path +
+                      ": " + ec.message());
+        return false;
+    }
+    return true;
+}
+
+} // namespace compdiff::obs

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * Structured campaign event journal.
+ *
+ * A campaign emits a stream of discrete happenings — corpus
+ * discoveries, divergences, crashes, checkpoints, reduce milestones.
+ * The event journal persists that stream as append-only,
+ * per-line-checksummed JSONL so external tooling (compdiff_monitor,
+ * ad-hoc jq pipelines) can follow a campaign without linking against
+ * the binary formats:
+ *
+ *   {"v":1,"kind":"divergence","exec":412,"signature":"00ab...","crc":"9f3c..."}
+ *
+ * The format borrows session/checkpoint's write-ahead discipline,
+ * restated for a line-oriented file: every line carries a
+ * murmurHash64 checksum of its own body (everything before the
+ * `,"crc"` suffix), appends are flushed before the writer moves on,
+ * and readers keep the longest prefix of fully-valid lines, silently
+ * dropping a torn or checksum-failing tail. Unlike the binary
+ * journals, a missing or unparsable file is *not* an error here —
+ * events are telemetry, and telemetry must never kill a campaign (or
+ * a monitor): every entry point returns a best-effort result after a
+ * warn() instead of throwing.
+ *
+ * Determinism: per-shard campaign events (discovery/divergence/
+ * crash) are keyed on the execution index, the pipeline's
+ * deterministic time axis — no wall-clock, no pid. The session layer
+ * rewrites a shard's event log from restored state on resume, so a
+ * campaign killed anywhere and resumed produces a byte-identical
+ * event file to an uninterrupted run (tested in test_session.cc).
+ * The session-scope ops log (`events.jsonl` at the session root)
+ * reuses the same line format but records process history —
+ * restarts, checkpoints, cache traffic — which is legitimately not
+ * replay-invariant.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compdiff::obs
+{
+
+/** Event-journal line format version. */
+constexpr std::uint32_t kEventFormatVersion = 1;
+
+/**
+ * One journal event: a kind, the execution index it happened at,
+ * and an *ordered* list of extra key/value details (order is part of
+ * the byte format — rendering is reproducible, never map-sorted).
+ */
+struct CampaignEvent
+{
+    std::string kind;
+    std::uint64_t exec = 0;
+
+    struct Detail
+    {
+        std::string key;
+        /** Unescaped value; rendered raw (numbers) or as an escaped
+         *  JSON string (quoted). */
+        std::string value;
+        bool quoted = false;
+    };
+    std::vector<Detail> details;
+
+    CampaignEvent() = default;
+    CampaignEvent(std::string kind_, std::uint64_t exec_)
+        : kind(std::move(kind_)), exec(exec_)
+    {}
+
+    /** Append an unsigned numeric detail (builder style). */
+    CampaignEvent &num(std::string key, std::uint64_t value);
+    /** Append a quoted string detail. */
+    CampaignEvent &text(std::string key, std::string value);
+    /** Append a 16-hex-digit detail (signatures, fingerprints). */
+    CampaignEvent &hex(std::string key, std::uint64_t value);
+
+    /** First detail with this key, or nullptr. */
+    const Detail *find(std::string_view key) const;
+    /** Numeric detail value, or `fallback` when absent. */
+    std::uint64_t numOr(std::string_view key,
+                        std::uint64_t fallback = 0) const;
+};
+
+/** Render one journal line (checksum included, no newline). */
+std::string renderEventLine(const CampaignEvent &event);
+
+/**
+ * Parse one journal line: syntax, version, and checksum are all
+ * verified. Returns false (with an optional diagnostic) on any
+ * mismatch — callers treat a bad line as the start of a torn tail.
+ */
+bool parseEventLine(std::string_view line, CampaignEvent *out,
+                    std::string *error = nullptr);
+
+/** What readEventLog recovered. */
+struct EventLog
+{
+    std::vector<CampaignEvent> events;
+    /** True when a torn/corrupt tail was dropped. */
+    bool droppedTail = false;
+};
+
+/**
+ * Read the longest valid prefix of an event journal. A missing file
+ * reads as an empty log; an invalid line ends the prefix (everything
+ * after it is dropped and droppedTail is set).
+ */
+EventLog readEventLog(const std::string &path);
+
+/** Append events (flushed); returns false after a warn() on I/O
+ *  failure instead of throwing. */
+bool appendEventLines(const std::string &path,
+                      const std::vector<CampaignEvent> &events);
+
+/**
+ * Replace the journal wholesale (write-then-rename, so a crash
+ * leaves either the old log or the new one). The session layer uses
+ * this on resume to rewind a shard's event stream to its restored
+ * checkpoint.
+ */
+bool writeEventLog(const std::string &path,
+                   const std::vector<CampaignEvent> &events);
+
+/** 16-hex-digit rendering of a 64-bit value (zero padded). */
+std::string hex16(std::uint64_t value);
+
+} // namespace compdiff::obs

@@ -1,6 +1,7 @@
 #include "obs/json.hh"
 
 #include <cctype>
+#include <cstdio>
 
 namespace compdiff::obs
 {
@@ -270,6 +271,105 @@ jsonlWellFormed(std::string_view text, std::string *error)
         }
         line_start = line_end + 1;
         line_no++;
+    }
+    return true;
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+jsonUnescape(std::string_view text, std::string *out)
+{
+    out->clear();
+    out->reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); i++) {
+        const char c = text[i];
+        if (c != '\\') {
+            out->push_back(c);
+            continue;
+        }
+        if (++i >= text.size())
+            return false;
+        switch (text[i]) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (i + 4 >= text.size())
+                return false;
+            unsigned code = 0;
+            for (int k = 1; k <= 4; k++) {
+                const char h = text[i + static_cast<std::size_t>(k)];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (code > 0xFF)
+                return false;
+            out->push_back(static_cast<char>(code));
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
     }
     return true;
 }

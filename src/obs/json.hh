@@ -29,4 +29,19 @@ bool jsonWellFormed(std::string_view text, std::string *error = nullptr);
 bool jsonlWellFormed(std::string_view text,
                      std::string *error = nullptr);
 
+/**
+ * Escape a string for embedding inside a JSON string literal
+ * (quotes not included). Shared by every JSON emitter in obs so the
+ * event journal's parser and the emitters stay symmetric.
+ */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Inverse of jsonEscape: decode the escape sequences jsonEscape (and
+ * standard JSON) produces. Returns false on a malformed escape; only
+ * \u00XX code points below 0x100 are accepted (jsonEscape emits no
+ * others).
+ */
+bool jsonUnescape(std::string_view text, std::string *out);
+
 } // namespace compdiff::obs

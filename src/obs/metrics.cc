@@ -8,6 +8,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -21,6 +22,14 @@ std::atomic<bool> metricsFlag{false};
 std::atomic<bool> tracingFlag{false};
 
 /** Power-of-4 scale covering one VM run's instruction counts. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
 std::vector<std::uint64_t>
 defaultBounds()
 {
@@ -28,38 +37,6 @@ defaultBounds()
     for (std::uint64_t b = 64; b <= (1ull << 24); b *= 4)
         bounds.push_back(b);
     return bounds;
-}
-
-std::string
-jsonEscape(std::string_view text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
 }
 
 } // namespace
@@ -147,6 +124,35 @@ Histogram::reset()
     sum_.store(0, std::memory_order_relaxed);
 }
 
+double
+MetricsSnapshot::Entry::quantile(double q) const
+{
+    if (count == 0 || buckets.empty() || q <= 0 || q >= 1)
+        return 0;
+    // The continuous rank of the q-quantile in `count` observations.
+    const double rank = q * static_cast<double>(count);
+    double cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); i++) {
+        const double cell = static_cast<double>(buckets[i]);
+        if (cell == 0 || cumulative + cell < rank) {
+            cumulative += cell;
+            continue;
+        }
+        if (i >= bounds.size()) {
+            // Overflow bucket: no upper bound to interpolate toward.
+            return bounds.empty()
+                       ? 0
+                       : static_cast<double>(bounds.back());
+        }
+        const double lo =
+            i == 0 ? 0 : static_cast<double>(bounds[i - 1]);
+        const double hi = static_cast<double>(bounds[i]);
+        const double frac = (rank - cumulative) / cell;
+        return lo + frac * (hi - lo);
+    }
+    return bounds.empty() ? 0 : static_cast<double>(bounds.back());
+}
+
 const MetricsSnapshot::Entry *
 MetricsSnapshot::find(std::string_view name) const
 {
@@ -171,7 +177,9 @@ MetricsSnapshot::toJsonl() const
             os << "],\"buckets\":[";
             for (std::size_t i = 0; i < entry.buckets.size(); i++)
                 os << (i ? "," : "") << entry.buckets[i];
-            os << "]";
+            os << "],\"p50\":" << fmtDouble(entry.quantile(0.50))
+               << ",\"p90\":" << fmtDouble(entry.quantile(0.90))
+               << ",\"p99\":" << fmtDouble(entry.quantile(0.99));
         } else {
             os << ",\"value\":" << entry.value;
         }
@@ -184,15 +192,24 @@ std::string
 MetricsSnapshot::toTable() const
 {
     support::TextTable table;
-    table.setHeader({"metric", "kind", "value", "count"});
+    table.setHeader(
+        {"metric", "kind", "value", "count", "p50", "p90", "p99"});
     table.setAlign({support::Align::Left, support::Align::Left,
-                    support::Align::Right, support::Align::Right});
+                    support::Align::Right, support::Align::Right,
+                    support::Align::Right, support::Align::Right,
+                    support::Align::Right});
     for (const auto &entry : entries) {
+        const bool hist = entry.kind == "histogram";
         table.addRow({entry.name, entry.kind,
                       std::to_string(entry.value),
-                      entry.kind == "histogram"
-                          ? std::to_string(entry.count)
-                          : std::string("-")});
+                      hist ? std::to_string(entry.count)
+                           : std::string("-"),
+                      hist ? fmtDouble(entry.quantile(0.50))
+                           : std::string("-"),
+                      hist ? fmtDouble(entry.quantile(0.90))
+                           : std::string("-"),
+                      hist ? fmtDouble(entry.quantile(0.99))
+                           : std::string("-")});
     }
     return table.str();
 }

@@ -166,11 +166,22 @@ struct MetricsSnapshot
         std::uint64_t count = 0; ///< histogram observation count
         std::vector<std::uint64_t> bounds;
         std::vector<std::uint64_t> buckets;
+
+        /**
+         * Estimated q-quantile (0 < q < 1) of a histogram entry,
+         * linearly interpolated within the covering bucket
+         * (Prometheus histogram_quantile semantics). Observations in
+         * the overflow bucket are credited to the highest bound —
+         * the estimate is clamped there. 0 when the entry is not a
+         * histogram or holds no observations.
+         */
+        double quantile(double q) const;
     };
 
     std::vector<Entry> entries; ///< sorted by name
 
-    /** One JSON object per line; "" when there are no entries. */
+    /** One JSON object per line; histograms carry p50/p90/p99
+     *  alongside their raw buckets; "" when there are no entries. */
     std::string toJsonl() const;
 
     /** Aligned ASCII rendering via support::TextTable. */

@@ -127,12 +127,27 @@ snapshotFromFuzzerStats(const std::string &text)
         snapshot.runTimeSecs = std::strtod(it->second.c_str(),
                                            nullptr);
     snapshot.restarts = toU64(kv, "session_restarts");
-    for (const auto &[key, value] : kv) {
-        if (key.rfind("execs_impl_", 0) == 0) {
-            snapshot.perConfigExecs.emplace_back(
-                key.substr(11),
-                std::strtoull(value.c_str(), nullptr, 10));
-        }
+    // Per-implementation counts must come back in *file* order, not
+    // key-sorted: the renderer writes them in configuration order
+    // and consumers (monitor, tests) rely on the round trip
+    // preserving it — so scan the text, not the map.
+    std::istringstream is(text);
+    std::string row;
+    while (std::getline(is, row)) {
+        const std::size_t colon = row.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string key = row.substr(0, colon);
+        while (!key.empty() && key.back() == ' ')
+            key.pop_back();
+        if (key.rfind("execs_impl_", 0) != 0)
+            continue;
+        std::string value = row.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+        snapshot.perConfigExecs.emplace_back(
+            key.substr(11),
+            std::strtoull(value.c_str(), nullptr, 10));
     }
     return snapshot;
 }

@@ -1,0 +1,159 @@
+#include "session/heartbeat.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include <signal.h>    // kill(pid, 0) liveness probe (POSIX)
+#include <sys/types.h> // pid_t
+
+#include "obs/stats.hh"
+#include "session/checkpoint.hh"
+#include "support/logging.hh"
+
+namespace compdiff::session
+{
+
+const char kPhaseRunning[] = "running";
+const char kPhaseHalted[] = "halted";
+const char kPhaseComplete[] = "complete";
+
+namespace
+{
+
+std::string
+fmtSecs(double secs)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", secs);
+    return buf;
+}
+
+std::uint64_t
+toU64(const std::map<std::string, std::string> &kv,
+      const std::string &key)
+{
+    const auto it = kv.find(key);
+    if (it == kv.end())
+        return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double
+toDouble(const std::map<std::string, std::string> &kv,
+         const std::string &key)
+{
+    const auto it = kv.find(key);
+    if (it == kv.end())
+        return 0;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace
+
+std::string
+heartbeatPath(const std::string &dir, std::size_t shard)
+{
+    return dir + "/heartbeat-" + std::to_string(shard);
+}
+
+std::string
+renderHeartbeat(const Heartbeat &heartbeat)
+{
+    std::ostringstream os;
+    os << "pid : " << heartbeat.pid << "\n";
+    os << "shard : " << heartbeat.shard << "\n";
+    os << "phase : " << heartbeat.phase << "\n";
+    os << "execs : " << heartbeat.execs << "\n";
+    os << "budget : " << heartbeat.budget << "\n";
+    os << "corpus : " << heartbeat.corpus << "\n";
+    os << "diffs : " << heartbeat.diffs << "\n";
+    os << "crashes : " << heartbeat.crashes << "\n";
+    os << "unix_time : " << fmtSecs(heartbeat.unixTime) << "\n";
+    os << "run_secs : " << fmtSecs(heartbeat.runSecs) << "\n";
+    return os.str();
+}
+
+Heartbeat
+parseHeartbeat(const std::string &text)
+{
+    const auto kv = obs::parseFuzzerStats(text);
+    Heartbeat heartbeat;
+    heartbeat.pid = toU64(kv, "pid");
+    heartbeat.shard = toU64(kv, "shard");
+    if (const auto it = kv.find("phase"); it != kv.end())
+        heartbeat.phase = it->second;
+    heartbeat.execs = toU64(kv, "execs");
+    heartbeat.budget = toU64(kv, "budget");
+    heartbeat.corpus = toU64(kv, "corpus");
+    heartbeat.diffs = toU64(kv, "diffs");
+    heartbeat.crashes = toU64(kv, "crashes");
+    heartbeat.unixTime = toDouble(kv, "unix_time");
+    heartbeat.runSecs = toDouble(kv, "run_secs");
+    return heartbeat;
+}
+
+bool
+writeHeartbeat(const std::string &path, const Heartbeat &heartbeat)
+{
+    try {
+        atomicWriteFile(path, renderHeartbeat(heartbeat));
+        return true;
+    } catch (const SessionError &e) {
+        // Heartbeats are telemetry: report, never kill the campaign.
+        support::warn(std::string("heartbeat: ") + e.what());
+        return false;
+    }
+}
+
+const char *
+shardHealthName(ShardHealth health)
+{
+    switch (health) {
+      case ShardHealth::Running:
+        return "running";
+      case ShardHealth::Stalled:
+        return "stalled";
+      case ShardHealth::Dead:
+        return "dead";
+      case ShardHealth::Halted:
+        return "halted";
+      case ShardHealth::Complete:
+        return "complete";
+    }
+    return "unknown";
+}
+
+bool
+pidAlive(std::uint64_t pid)
+{
+    if (pid == 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    // EPERM: the process exists but is not ours — still alive.
+    return errno == EPERM;
+}
+
+ShardHealth
+classifyHeartbeat(const Heartbeat &heartbeat, double now_unix,
+                  const HealthPolicy &policy)
+{
+    if (heartbeat.phase == kPhaseComplete)
+        return ShardHealth::Complete;
+    if (heartbeat.phase == kPhaseHalted)
+        return ShardHealth::Halted;
+    if (policy.checkPid && !pidAlive(heartbeat.pid))
+        return ShardHealth::Dead;
+    const double age = now_unix - heartbeat.unixTime;
+    // A negative age (clock skew, copied tree) reads as fresh.
+    if (age >= policy.deadAfterSecs)
+        return ShardHealth::Dead;
+    if (age >= policy.stallAfterSecs)
+        return ShardHealth::Stalled;
+    return ShardHealth::Running;
+}
+
+} // namespace compdiff::session

@@ -1,0 +1,114 @@
+#pragma once
+
+/**
+ * @file
+ * Shard heartbeat/health files.
+ *
+ * Every shard of a persistent campaign session periodically rewrites
+ * a tiny `heartbeat-<N>` file (atomic write-then-rename) carrying
+ * its pid, lifecycle phase, last safe-point execution index, and
+ * wall-clock stamps. Heartbeats are the *liveness* channel — the
+ * checkpoint journals answer "what work is saved", heartbeats answer
+ * "is anyone still working".
+ *
+ * Two deliberate asymmetries:
+ *
+ *   - Writers record facts only (pid, phase, stamps). Stall/dead
+ *     *classification* is evaluated by readers (compdiff_monitor)
+ *     against their own clock and policy — a writer cannot know it
+ *     is about to be SIGKILLed, and baking thresholds into the file
+ *     would freeze policy into the format.
+ *   - Every wall-clock field here is display/health-only. Campaign
+ *     results are a pure function of (program, seeds, options,
+ *     shards); nothing in a heartbeat ever feeds back into fuzzing
+ *     decisions (asserted by test_session.cc's wall-clock hygiene
+ *     test).
+ *
+ * The file body reuses the `key : value` fuzzer_stats syntax, so
+ * obs::parseFuzzerStats tooling reads it for free.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace compdiff::session
+{
+
+/** Shard lifecycle phases a heartbeat can report. */
+extern const char kPhaseRunning[];  ///< "running"
+extern const char kPhaseHalted[];   ///< "halted" (haltAfterExecs)
+extern const char kPhaseComplete[]; ///< "complete" (budget reached)
+
+/** One shard's liveness snapshot, as written at safe points. */
+struct Heartbeat
+{
+    std::uint64_t pid = 0;
+    std::uint64_t shard = 0;
+    std::string phase = kPhaseRunning;
+    /** Last safe-point execution index (deterministic axis). */
+    std::uint64_t execs = 0;
+    /** Shard-local execution budget. */
+    std::uint64_t budget = 0;
+    std::uint64_t corpus = 0;
+    std::uint64_t diffs = 0;
+    std::uint64_t crashes = 0;
+    /** Seconds since the Unix epoch at write time (display/health
+     *  only — never a campaign input). */
+    double unixTime = 0;
+    /** Cumulative campaign wall-clock seconds across restarts
+     *  (display only). */
+    double runSecs = 0;
+};
+
+/** `<dir>/heartbeat-<shard>`. */
+std::string heartbeatPath(const std::string &dir, std::size_t shard);
+
+/** Render in `key : value` form (parseFuzzerStats-compatible). */
+std::string renderHeartbeat(const Heartbeat &heartbeat);
+
+/** Parse renderHeartbeat output; missing keys keep their zero
+ *  defaults (heartbeats are telemetry — never throws). */
+Heartbeat parseHeartbeat(const std::string &text);
+
+/** Atomic write-then-rename; returns false after a warn() on I/O
+ *  failure instead of throwing. */
+bool writeHeartbeat(const std::string &path,
+                    const Heartbeat &heartbeat);
+
+/** Reader-side shard health verdict. */
+enum class ShardHealth
+{
+    Running,  ///< fresh heartbeat from a live process
+    Stalled,  ///< live process, but no heartbeat for stallAfterSecs
+    Dead,     ///< process gone, or silent past deadAfterSecs
+    Halted,   ///< shard stopped at a haltAfterExecs safe point
+    Complete, ///< shard finished its budget
+};
+
+const char *shardHealthName(ShardHealth health);
+
+/** Reader-side classification policy (compdiff_monitor flags). */
+struct HealthPolicy
+{
+    double stallAfterSecs = 30.0;
+    double deadAfterSecs = 300.0;
+    /** Probe the recorded pid with kill(pid, 0); disable when
+     *  reading another host's session tree. */
+    bool checkPid = true;
+};
+
+/** Is `pid` a live process on this host? (signal-0 probe; a pid we
+ *  may not signal still counts as alive.) */
+bool pidAlive(std::uint64_t pid);
+
+/**
+ * Classify one heartbeat as of `now_unix`. Terminal phases win
+ * outright; for a running shard the verdict degrades from Running
+ * through Stalled to Dead as the heartbeat ages, and a vanished pid
+ * is Dead immediately.
+ */
+ShardHealth classifyHeartbeat(const Heartbeat &heartbeat,
+                              double now_unix,
+                              const HealthPolicy &policy);
+
+} // namespace compdiff::session

@@ -7,10 +7,14 @@
 #include <filesystem>
 #include <sstream>
 
+#include <unistd.h> // getpid for heartbeats
+
 #include "compiler/cache.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "reduce/pipeline.hh"
 #include "session/checkpoint.hh"
+#include "session/heartbeat.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 
@@ -33,6 +37,75 @@ hex64(std::uint64_t value)
     return buf;
 }
 
+// --- shard event derivation -------------------------------------
+//
+// Campaign events are a pure projection of the fuzzer's corpus/
+// diffs/crashes vectors onto the exec-index axis: no wall clock, no
+// pid, nothing process-local. That is what makes the per-shard event
+// journal replayable — a resumed fuzzer re-derives the identical
+// vectors, so re-deriving events from them reproduces the identical
+// byte stream.
+
+obs::CampaignEvent
+discoveryEvent(const fuzz::Seed &seed)
+{
+    obs::CampaignEvent event("discovery", seed.foundAtExec);
+    event.num("size", seed.data.size())
+        .num("cov", seed.coverageBits)
+        .num("depth", static_cast<std::uint64_t>(seed.depth));
+    return event;
+}
+
+obs::CampaignEvent
+divergenceEvent(const fuzz::FoundDiff &diff)
+{
+    obs::CampaignEvent event("divergence", diff.execIndex);
+    event.hex("signature", diff.signature)
+        .num("size", diff.input.size())
+        .num("probes", diff.probes.size());
+    return event;
+}
+
+obs::CampaignEvent
+crashEvent(const fuzz::FoundCrash &crash)
+{
+    obs::CampaignEvent event("crash", crash.execIndex);
+    event.text("exit", crash.exitClass)
+        .num("size", crash.input.size());
+    return event;
+}
+
+/**
+ * Order a batch the way the fuzz loop discovers things within one
+ * execution: crash, then coverage discovery, then divergence (the
+ * push order inside Fuzzer::executeOne). With this tiebreak, sorting
+ * each incremental safe-point batch yields the same stream as
+ * sorting a full derivation — exec indices only grow between safe
+ * points, so batches never interleave.
+ */
+int
+eventKindRank(const std::string &kind)
+{
+    if (kind == "crash")
+        return 0;
+    if (kind == "discovery")
+        return 1;
+    return 2;
+}
+
+void
+sortEventBatch(std::vector<obs::CampaignEvent> &events)
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const obs::CampaignEvent &a,
+                        const obs::CampaignEvent &b) {
+                         if (a.exec != b.exec)
+                             return a.exec < b.exec;
+                         return eventKindRank(a.kind) <
+                                eventKindRank(b.kind);
+                     });
+}
+
 } // namespace
 
 CampaignSession::CampaignSession(const minic::Program &program,
@@ -49,6 +122,13 @@ CampaignSession::shardJournalPath(std::size_t shard) const
 {
     return config_.dir + "/shard-" + std::to_string(shard) +
            ".journal";
+}
+
+std::string
+CampaignSession::shardEventsPath(std::size_t shard) const
+{
+    return config_.dir + "/shard-" + std::to_string(shard) +
+           ".events.jsonl";
 }
 
 std::uint64_t
@@ -233,6 +313,120 @@ CampaignSession::openDir(
     // not forget that this incarnation happened. (Wall-clock since
     // this point is lost on a hard kill — display-only data.)
     writeSessionStats(savedRunSecs_);
+    // Ops log: process history, append-only across restarts — this
+    // stream records what *happened to the session* (restarts,
+    // checkpoints, cache traffic) and is deliberately not part of
+    // the replay-invariant surface.
+    obs::CampaignEvent opened("session_open", 0);
+    opened.num("restarts", restarts_)
+        .num("resumed", config_.resume ? 1 : 0)
+        .num("shards", plans_.size());
+    appendOpsEvent(std::move(opened));
+}
+
+void
+CampaignSession::initShardObservability()
+{
+    emitted_.assign(fuzzers_.size(), EmitCursor{});
+    lastBeat_.assign(fuzzers_.size(),
+                     std::chrono::steady_clock::time_point{});
+    if (!persistent())
+        return;
+    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+        // Rewind the event journal to the restored checkpoint: a
+        // kill after the last checkpoint left events on disk that
+        // the restored fuzzer has not (yet) re-discovered. The
+        // wholesale rewrite (write-then-rename) re-derives the
+        // stream from restored state, so the re-fuzzed stretch
+        // appends the identical bytes again — this is what makes
+        // kill-anywhere+resume produce a byte-identical event file.
+        obs::writeEventLog(shardEventsPath(s), {});
+        emitShardEvents(s, *fuzzers_[s]);
+        writeShardHeartbeat(s, *fuzzers_[s], kPhaseRunning,
+                            /*force=*/true);
+    }
+}
+
+void
+CampaignSession::emitShardEvents(std::size_t shard,
+                                 const fuzz::Fuzzer &fuzzer)
+{
+    EmitCursor &cursor = emitted_[shard];
+    const auto &corpus = fuzzer.corpus();
+    const auto &diffs = fuzzer.diffs();
+    const auto &crashes = fuzzer.crashes();
+    if (cursor.corpus == corpus.size() &&
+        cursor.diffs == diffs.size() &&
+        cursor.crashes == crashes.size()) {
+        return;
+    }
+    std::vector<obs::CampaignEvent> batch;
+    for (std::size_t i = cursor.corpus; i < corpus.size(); i++) {
+        // foundAtExec == 0 marks an initial seed, not a discovery.
+        if (corpus[i].foundAtExec)
+            batch.push_back(discoveryEvent(corpus[i]));
+    }
+    for (std::size_t i = cursor.diffs; i < diffs.size(); i++)
+        batch.push_back(divergenceEvent(diffs[i]));
+    for (std::size_t i = cursor.crashes; i < crashes.size(); i++)
+        batch.push_back(crashEvent(crashes[i]));
+    sortEventBatch(batch);
+    obs::appendEventLines(shardEventsPath(shard), batch);
+    cursor = {corpus.size(), diffs.size(), crashes.size()};
+}
+
+void
+CampaignSession::writeShardHeartbeat(std::size_t shard,
+                                     const fuzz::Fuzzer &fuzzer,
+                                     const char *phase, bool force)
+{
+    if (!persistent())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (!force &&
+        lastBeat_[shard] !=
+            std::chrono::steady_clock::time_point{} &&
+        std::chrono::duration<double>(now - lastBeat_[shard])
+                .count() < config_.heartbeatSecs) {
+        return;
+    }
+    lastBeat_[shard] = now;
+    Heartbeat heartbeat;
+    heartbeat.pid = static_cast<std::uint64_t>(::getpid());
+    heartbeat.shard = shard;
+    heartbeat.phase = phase;
+    heartbeat.execs = fuzzer.stats().execs;
+    heartbeat.budget = plans_[shard].options.maxExecs;
+    heartbeat.corpus = fuzzer.corpus().size();
+    heartbeat.diffs = fuzzer.stats().diffs;
+    heartbeat.crashes = fuzzer.stats().crashes;
+    // Wall-clock stamps: display/health data for readers, never a
+    // campaign input (see heartbeat.hh).
+    heartbeat.unixTime =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    heartbeat.runSecs = runSecsNow();
+    writeHeartbeat(heartbeatPath(config_.dir, shard), heartbeat);
+}
+
+void
+CampaignSession::appendOpsEvent(obs::CampaignEvent event) const
+{
+    if (!persistent())
+        return;
+    std::lock_guard<std::mutex> lock(opsMu_);
+    obs::appendEventLines(config_.dir + "/events.jsonl",
+                          {std::move(event)});
+}
+
+double
+CampaignSession::runSecsNow() const
+{
+    return savedRunSecs_ +
+           std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - wallStart_)
+               .count();
 }
 
 void
@@ -248,11 +442,24 @@ CampaignSession::installHooks()
         fuzzers_[s]->setIterationHook(
             [this, s, halt, every](const fuzz::Fuzzer &fuzzer) {
                 const std::uint64_t execs = fuzzer.stats().execs;
-                if (persistent() && execs >= nextCheckpoint_[s]) {
-                    appendRecord(
-                        shardJournalPath(s),
-                        encodeFuzzerState(fuzzer.captureState()));
-                    nextCheckpoint_[s] = execs + every;
+                if (persistent()) {
+                    // Events before the checkpoint: a kill between
+                    // the two merely re-appends the identical lines
+                    // after resume (the journal is rewound to the
+                    // restored checkpoint first).
+                    emitShardEvents(s, fuzzer);
+                    if (execs >= nextCheckpoint_[s]) {
+                        appendRecord(
+                            shardJournalPath(s),
+                            encodeFuzzerState(fuzzer.captureState()));
+                        nextCheckpoint_[s] = execs + every;
+                        obs::CampaignEvent noted("checkpoint",
+                                                 execs);
+                        noted.num("shard", s);
+                        appendOpsEvent(std::move(noted));
+                    }
+                    writeShardHeartbeat(s, fuzzer, kPhaseRunning,
+                                        /*force=*/false);
                 }
                 return !(halt && execs >= halt);
             });
@@ -263,7 +470,7 @@ const fuzz::ShardedResult &
 CampaignSession::run()
 {
     obs::Span span("session.run");
-    const auto wall_start = std::chrono::steady_clock::now();
+    wallStart_ = std::chrono::steady_clock::now();
 
     plans_ = fuzz::planShards(config_.fuzz, seeds_, config_.shards);
     std::vector<std::unique_ptr<fuzz::FuzzerState>> restored(
@@ -283,6 +490,7 @@ CampaignSession::run()
     }
 
     nextCheckpoint_.assign(fuzzers_.size(), 0);
+    initShardObservability();
     installHooks();
 
     fuzz::runShardFuzzers(fuzzers_, config_.jobs);
@@ -294,20 +502,44 @@ CampaignSession::run()
     result_ = fuzz::foldShards(fuzzers_);
     ran_ = true;
 
-    runSecs_ = savedRunSecs_ +
-               std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - wall_start)
-                   .count();
+    runSecs_ = runSecsNow();
 
     if (persistent()) {
         // Shutdown checkpoint for every shard — graceful exits (both
-        // completion and a haltAfterExecs stop) never lose work.
+        // completion and a haltAfterExecs stop) never lose work. The
+        // event flush comes first: run() can leave the loop without
+        // a trailing hook call, so discoveries since the last safe
+        // point are still unjournaled here.
         for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+            emitShardEvents(s, *fuzzers_[s]);
             appendRecord(
                 shardJournalPath(s),
                 encodeFuzzerState(fuzzers_[s]->captureState()));
+            writeShardHeartbeat(s, *fuzzers_[s],
+                                fuzzers_[s]->haltedByHook()
+                                    ? kPhaseHalted
+                                    : kPhaseComplete,
+                                /*force=*/true);
         }
         writeSessionStats(runSecs_);
+        obs::CampaignEvent finished(halted_ ? "halt" : "complete",
+                                    result_.total.execs);
+        finished.num("corpus", result_.total.seeds)
+            .num("diffs", result_.total.diffs)
+            .num("crashes", result_.total.crashes)
+            .num("edges", result_.total.edges);
+        appendOpsEvent(std::move(finished));
+        // Cache traffic is process-history telemetry: the counters
+        // depend on thread interleaving and on what else this
+        // process compiled, so they live in the ops log, never in
+        // the deterministic shard streams.
+        const compiler::CompileCache &cache =
+            compiler::CompileCache::global();
+        obs::CampaignEvent cached("cache", result_.total.execs);
+        cached.num("hits", cache.hits())
+            .num("misses", cache.misses())
+            .num("evictions", cache.evictions());
+        appendOpsEvent(std::move(cached));
     }
     writeFinalArtifacts();
     return result_;
@@ -351,8 +583,30 @@ CampaignSession::triage() const
     options.candidateBudget = config_.triage.candidateBudget;
     options.jobs = config_.jobs;
     options.reportsDir = config_.triage.reportsDir;
-    return reduce::reduceRecords(program_, config_.fuzz.diffImpls,
-                                 divergenceRecords(), options);
+    const std::vector<DivergenceRecord> records =
+        divergenceRecords();
+    {
+        obs::CampaignEvent started("reduce_start",
+                                   result_.total.execs);
+        started.num("records", records.size());
+        appendOpsEvent(std::move(started));
+    }
+    auto reports = reduce::reduceRecords(
+        program_, config_.fuzz.diffImpls, records, options);
+    for (const auto &report : reports) {
+        obs::CampaignEvent reduced("reduced", result_.total.execs);
+        reduced.hex("signature", report.signature)
+            .num("reproduced", report.reproduced ? 1 : 0)
+            .num("input_bytes", report.input.size())
+            .num("witness_bytes", report.witnessInput.size());
+        appendOpsEvent(std::move(reduced));
+    }
+    {
+        obs::CampaignEvent done("reduce_done", result_.total.execs);
+        done.num("reports", reports.size());
+        appendOpsEvent(std::move(done));
+    }
+    return reports;
 }
 
 void
@@ -383,6 +637,15 @@ CampaignSession::writeFinalArtifacts()
         for (const auto &record : divergenceRecords())
             payloads.push_back(encodeDivergenceRecord(record));
         writeJournal(config_.dir + "/divergences.journal", payloads);
+        // Metrics snapshot with histogram percentiles — what the
+        // monitor surfaces as latency/size digests. Only meaningful
+        // when the process had metrics on; an empty registry would
+        // just shadow a prior incarnation's dump.
+        if (obs::metricsEnabled()) {
+            obs::writeTextFile(
+                config_.dir + "/metrics.jsonl",
+                obs::Registry::global().snapshot().toJsonl());
+        }
     }
     if (!config_.fuzz.statsOutPath.empty())
         obs::writeTextFile(config_.fuzz.statsOutPath, stats_text);

@@ -33,21 +33,41 @@
  *                        write-then-rename; resume validates it)
  *   shard-<N>.journal    per-shard checkpoint journal (compacted to
  *                        header + last checkpoint on every resume)
+ *   shard-<N>.events.jsonl
+ *                        per-shard campaign event journal
+ *                        (discoveries/divergences/crashes on the
+ *                        exec-index axis; deterministic — rewound to
+ *                        the restored checkpoint on resume, so kill
+ *                        +resume replays an identical byte prefix)
+ *   events.jsonl         session-scope ops log (same line format):
+ *                        session_open/checkpoint/halt/complete/
+ *                        cache/reduce_* process history — append-
+ *                        only across restarts, deliberately NOT
+ *                        replay-invariant
+ *   heartbeat-<N>        per-shard liveness snapshot (atomic
+ *                        rewrite at safe points; display/health only
+ *                        — see session/heartbeat.hh)
  *   session_stats        cumulative wall-clock seconds and restart
  *                        count (AFL++-style: survives restarts)
  *   fuzzer_stats         merged final snapshot (completed runs)
  *   plot_data[.shardN]   per-shard plot series (completed runs)
  *   divergences.journal  folded unique DivergenceRecords (completed
  *                        runs) — what triage and reduction consume
+ *   metrics.jsonl        obs registry snapshot with histogram
+ *                        percentiles (completed runs, only when
+ *                        metrics are enabled)
  */
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "fuzz/sharded.hh"
 #include "minic/ast.hh"
+#include "obs/events.hh"
 #include "reduce/report.hh"
 #include "session/records.hh"
 #include "session/serial.hh"
@@ -84,6 +104,13 @@ struct SessionConfig
      * subsequent resume finishes the campaign.
      */
     std::uint64_t haltAfterExecs = 0;
+    /**
+     * Minimum wall-clock seconds between heartbeat rewrites per
+     * shard (<= 0 writes at every safe point). Display/health
+     * cadence only — heartbeats never influence campaign results,
+     * so this knob is absent from the campaign fingerprint.
+     */
+    double heartbeatSecs = 1.0;
 
     /** The campaign itself (see the determinism contract above). */
     fuzz::FuzzOptions fuzz;
@@ -179,6 +206,7 @@ class CampaignSession
   private:
     bool persistent() const { return !config_.dir.empty(); }
     std::string shardJournalPath(std::size_t shard) const;
+    std::string shardEventsPath(std::size_t shard) const;
     std::uint64_t checkpointCadence(
         const fuzz::FuzzOptions &shard_options) const;
     std::uint64_t campaignFingerprint() const;
@@ -191,6 +219,21 @@ class CampaignSession
     void installHooks();
     void writeSessionStats(double run_secs) const;
     void writeFinalArtifacts();
+    /** Rewind/initialize event logs + heartbeats after restore. */
+    void initShardObservability();
+    /** Append campaign events discovered since the last safe point
+     *  to shard `s`'s event journal. */
+    void emitShardEvents(std::size_t shard,
+                         const fuzz::Fuzzer &fuzzer);
+    /** Rewrite shard `s`'s heartbeat (throttled unless `force`). */
+    void writeShardHeartbeat(std::size_t shard,
+                             const fuzz::Fuzzer &fuzzer,
+                             const char *phase, bool force);
+    /** Append one event to the session-scope ops log (thread-safe;
+     *  shard threads log their checkpoints through this). */
+    void appendOpsEvent(obs::CampaignEvent event) const;
+    /** Display-only: cumulative wall-clock seconds right now. */
+    double runSecsNow() const;
 
     const minic::Program &program_;
     std::vector<support::Bytes> seeds_;
@@ -201,6 +244,22 @@ class CampaignSession
     /** Next cadence-checkpoint threshold, per shard (each slot is
      *  touched only by its shard's thread). */
     std::vector<std::uint64_t> nextCheckpoint_;
+    /** How much of each shard's corpus/diffs/crashes vectors has
+     *  already been written to its event journal (per-shard slots,
+     *  each touched only by its shard's thread). */
+    struct EmitCursor
+    {
+        std::size_t corpus = 0;
+        std::size_t diffs = 0;
+        std::size_t crashes = 0;
+    };
+    std::vector<EmitCursor> emitted_;
+    /** Last heartbeat write time, per shard (throttling only). */
+    std::vector<std::chrono::steady_clock::time_point> lastBeat_;
+    /** Serializes ops-log appends across shard threads. */
+    mutable std::mutex opsMu_;
+    /** This incarnation's start (display-only wall clock). */
+    std::chrono::steady_clock::time_point wallStart_;
 
     fuzz::ShardedResult result_;
     bool ran_ = false;

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Monitor tests: the compdiff_monitor aggregation contract.
+ *
+ * The monitor is a read-only consumer of session artifacts, so the
+ * properties under test are consumer-side: a finished session's
+ * aggregate view must equal the campaign result the session itself
+ * reported; rendering is byte-stable across repeat scans and across
+ * the --jobs the campaign ran with (jobs never changes results, so
+ * it must never change the monitor's view of them either); and
+ * heartbeat-based health classification must flag killed or wedged
+ * shards while still crediting the work their last checkpoint saved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "minic/parser.hh"
+#include "monitor/monitor.hh"
+#include "obs/json.hh"
+#include "session/checkpoint.hh"
+#include "session/heartbeat.hh"
+#include "session/session.hh"
+
+namespace
+{
+
+using namespace compdiff;
+using support::Bytes;
+
+/** The oracle-carrying target from test_session.cc. */
+const char *kUnstableTarget = R"(
+    int main() {
+        if (input_byte(0) == 'U') {
+            int l;
+            print_int(l);
+            probe(42);
+        } else {
+            print_str("fine");
+        }
+        return 0;
+    }
+)";
+
+const std::vector<Bytes> kSeeds = {{'A'}, {'B', 'C'}};
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("compdiff_" + std::string(info->test_suite_name()) + "_" +
+         info->name() + "_" + leaf);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** Run one complete campaign session under dir; returns its result
+ *  totals. */
+fuzz::FuzzStats
+runSession(const std::string &dir, std::size_t shards,
+           std::size_t jobs, std::uint64_t maxExecs = 1'200)
+{
+    auto program = minic::parseAndCheck(kUnstableTarget);
+    session::SessionConfig config;
+    config.dir = dir;
+    config.shards = shards;
+    config.jobs = jobs;
+    config.fuzz.maxExecs = maxExecs;
+    session::CampaignSession session(*program, kSeeds, config);
+    session.run();
+    EXPECT_TRUE(session.completed());
+    return session.result().total;
+}
+
+TEST(Monitor, FinishedSessionAggregatesMatchCampaignResult)
+{
+    const std::string dir = freshDir("dir");
+    const fuzz::FuzzStats total = runSession(dir, 2, 1);
+
+    monitor::MonitorOptions options;
+    const monitor::SessionView view =
+        monitor::inspectSession(dir, options);
+    ASSERT_TRUE(view.valid);
+    EXPECT_TRUE(view.finished);
+    EXPECT_EQ(view.shards, 2u);
+    EXPECT_EQ(view.execs, total.execs);
+    EXPECT_EQ(view.crashes, total.crashes);
+    EXPECT_EQ(view.diffs, total.diffs);
+    EXPECT_EQ(view.edges, total.edges);
+    EXPECT_GT(view.uniqueDiffs, 0u);
+    ASSERT_EQ(view.shardViews.size(), 2u);
+    for (const auto &shard : view.shardViews) {
+        EXPECT_TRUE(shard.hasHeartbeat);
+        EXPECT_EQ(shard.health, session::ShardHealth::Complete);
+        EXPECT_TRUE(shard.hasCheckpoint);
+        EXPECT_EQ(shard.checkpoint.execs, shard.budget);
+        EXPECT_GT(shard.eventCount, 0u);
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Monitor, OutputIsByteStableAcrossScansAndJobs)
+{
+    // The same campaign run with different worker-thread counts
+    // (and under differently named roots, so the labels match).
+    const std::string root_a = freshDir("a");
+    const std::string root_b = freshDir("b");
+    runSession(root_a + "/campaign", 3, 1);
+    runSession(root_b + "/campaign", 3, 4);
+
+    monitor::MonitorOptions options;
+    options.stable = true;
+    const auto scan_a = monitor::scanTree(root_a, options);
+    const auto scan_b = monitor::scanTree(root_b, options);
+    ASSERT_EQ(scan_a.size(), 1u);
+    ASSERT_EQ(scan_b.size(), 1u);
+
+    // jobs=1 vs jobs=4: identical bytes in every format.
+    EXPECT_EQ(monitor::renderTable(scan_a, options),
+              monitor::renderTable(scan_b, options));
+    EXPECT_EQ(monitor::renderJson(scan_a, options),
+              monitor::renderJson(scan_b, options));
+    EXPECT_EQ(monitor::renderProm(scan_a, options),
+              monitor::renderProm(scan_b, options));
+
+    // Repeat scans of one finished tree: identical bytes.
+    const auto rescan = monitor::scanTree(root_a, options);
+    EXPECT_EQ(monitor::renderTable(scan_a, options),
+              monitor::renderTable(rescan, options));
+    EXPECT_EQ(monitor::renderJson(scan_a, options),
+              monitor::renderJson(rescan, options));
+    EXPECT_EQ(monitor::renderProm(scan_a, options),
+              monitor::renderProm(rescan, options));
+
+    // The JSON document is actually JSON.
+    std::string error;
+    EXPECT_TRUE(obs::jsonWellFormed(
+        monitor::renderJson(scan_a, options), &error))
+        << error;
+
+    std::filesystem::remove_all(root_a);
+    std::filesystem::remove_all(root_b);
+}
+
+TEST(Monitor, KilledShardIsDeadButKeepsCheckpointStats)
+{
+    // Stop a campaign at a checkpoint, then forge what a kill -9
+    // leaves behind: a heartbeat still claiming "running", stamped in
+    // the past, from a pid that no longer exists.
+    const std::string dir = freshDir("dir");
+    auto program = minic::parseAndCheck(kUnstableTarget);
+    session::SessionConfig config;
+    config.dir = dir;
+    config.fuzz.maxExecs = 1'200;
+    config.haltAfterExecs = 400;
+    {
+        session::CampaignSession cut(*program, kSeeds, config);
+        cut.run();
+        ASSERT_TRUE(cut.halted());
+    }
+
+    session::Heartbeat forged;
+    forged.pid = 0x7fffffff; // vanishingly unlikely to be live
+    forged.shard = 0;
+    forged.phase = session::kPhaseRunning;
+    forged.execs = 400;
+    forged.budget = 1'200;
+    forged.unixTime = 1'000'000.0;
+    ASSERT_TRUE(session::writeHeartbeat(
+        session::heartbeatPath(dir, 0), forged));
+
+    monitor::MonitorOptions options;
+    options.nowUnix = forged.unixTime + 1'000; // past dead-after
+    const monitor::SessionView view =
+        monitor::inspectSession(dir, options);
+    ASSERT_TRUE(view.valid);
+    EXPECT_FALSE(view.finished);
+    ASSERT_EQ(view.shardViews.size(), 1u);
+    const monitor::ShardView &shard = view.shardViews[0];
+    EXPECT_EQ(shard.health, session::ShardHealth::Dead);
+    // The kill cost the process, not the work: the last checkpoint
+    // still reports the saved progress.
+    ASSERT_TRUE(shard.hasCheckpoint);
+    EXPECT_GT(shard.checkpoint.execs, 0u);
+    EXPECT_EQ(view.execs, shard.checkpoint.execs);
+    // The event stream agrees with the checkpoint: one divergence
+    // signature per diff the fuzzer had saved by the halt.
+    EXPECT_EQ(view.uniqueDiffs, shard.checkpoint.diffs);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Monitor, HeartbeatClassification)
+{
+    session::HealthPolicy policy; // stall 30s, dead 300s
+    session::Heartbeat beat;
+    beat.pid = static_cast<std::uint64_t>(::getpid()); // alive
+    beat.phase = session::kPhaseRunning;
+    beat.unixTime = 10'000.0;
+
+    using session::ShardHealth;
+    // Fresh + live pid: running.
+    EXPECT_EQ(session::classifyHeartbeat(beat, 10'001, policy),
+              ShardHealth::Running);
+    // Aging past stall-after degrades to stalled...
+    EXPECT_EQ(session::classifyHeartbeat(beat, 10'060, policy),
+              ShardHealth::Stalled);
+    // ...and past dead-after to dead, live pid or not.
+    EXPECT_EQ(session::classifyHeartbeat(beat, 10'500, policy),
+              ShardHealth::Dead);
+    // A vanished pid is dead immediately.
+    session::Heartbeat gone = beat;
+    gone.pid = 0x7fffffff;
+    EXPECT_EQ(session::classifyHeartbeat(gone, 10'001, policy),
+              ShardHealth::Dead);
+    // Unless pid probing is off (foreign-host session trees): then
+    // only age matters.
+    session::HealthPolicy no_pid = policy;
+    no_pid.checkPid = false;
+    EXPECT_EQ(session::classifyHeartbeat(gone, 10'001, no_pid),
+              ShardHealth::Running);
+    // Terminal phases win outright, however stale the file is.
+    session::Heartbeat done = gone;
+    done.phase = session::kPhaseComplete;
+    EXPECT_EQ(session::classifyHeartbeat(done, 99'999, policy),
+              ShardHealth::Complete);
+    session::Heartbeat halted = gone;
+    halted.phase = session::kPhaseHalted;
+    EXPECT_EQ(session::classifyHeartbeat(halted, 99'999, policy),
+              ShardHealth::Halted);
+}
+
+TEST(Monitor, HeartbeatRoundTrip)
+{
+    session::Heartbeat beat;
+    beat.pid = 4242;
+    beat.shard = 3;
+    beat.phase = session::kPhaseRunning;
+    beat.execs = 1'000;
+    beat.budget = 5'000;
+    beat.corpus = 17;
+    beat.diffs = 4;
+    beat.crashes = 1;
+    beat.unixTime = 1'700'000'000.125;
+    beat.runSecs = 12.5;
+    const std::string text = session::renderHeartbeat(beat);
+    const session::Heartbeat back = session::parseHeartbeat(text);
+    EXPECT_EQ(back.pid, beat.pid);
+    EXPECT_EQ(back.shard, beat.shard);
+    EXPECT_EQ(back.phase, beat.phase);
+    EXPECT_EQ(back.execs, beat.execs);
+    EXPECT_EQ(back.budget, beat.budget);
+    EXPECT_EQ(back.corpus, beat.corpus);
+    EXPECT_EQ(back.diffs, beat.diffs);
+    EXPECT_EQ(back.crashes, beat.crashes);
+    EXPECT_DOUBLE_EQ(back.unixTime, beat.unixTime);
+    EXPECT_DOUBLE_EQ(back.runSecs, beat.runSecs);
+    EXPECT_EQ(session::renderHeartbeat(back), text);
+}
+
+TEST(Monitor, FindSessionDirsWalksTheTree)
+{
+    const std::string root = freshDir("root");
+    runSession(root + "/targets/pkt", 1, 1, 400);
+    runSession(root + "/targets/img", 1, 1, 400);
+    // Decoys: plain directories without a MANIFEST are skipped.
+    std::filesystem::create_directories(root + "/notes/empty");
+
+    const auto dirs = monitor::findSessionDirs(root);
+    ASSERT_EQ(dirs.size(), 2u);
+    EXPECT_EQ(dirs[0], root + "/targets/img");
+    EXPECT_EQ(dirs[1], root + "/targets/pkt");
+
+    // A session dir given directly is found as itself.
+    const auto self = monitor::findSessionDirs(root + "/targets/pkt");
+    ASSERT_EQ(self.size(), 1u);
+
+    // A nonexistent root is empty, not fatal.
+    EXPECT_TRUE(
+        monitor::findSessionDirs(root + "/missing").empty());
+
+    std::filesystem::remove_all(root);
+}
+
+} // namespace

@@ -7,15 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/events.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
 
 namespace
 {
@@ -338,6 +342,194 @@ TEST_F(Obs, QuietGuardScopesNoticeSilencing)
         EXPECT_TRUE(support::isQuiet());
     }
     EXPECT_FALSE(support::isQuiet());
+}
+
+/**
+ * Property test: a randomized FuzzerStatsSnapshot survives a
+ * render→parse round trip with *every* field intact — including
+ * perConfigExecs in configuration (file) order, not key-sorted, and
+ * the wall-clock display fields. The strongest check is byte-level:
+ * re-rendering the parsed snapshot reproduces the original text.
+ */
+TEST_F(Obs, FuzzerStatsSnapshotRoundTripProperty)
+{
+    // Deliberately not alphabetical: a key-sorted parse would
+    // reorder these and fail the byte-identity check below.
+    const char *kNames[] = {"zeta_O3", "gcc_O0",  "icx_O2",
+                            "clang_O3", "bcc_O1", "alpha_Os"};
+    const std::size_t kPool = sizeof(kNames) / sizeof(kNames[0]);
+    support::Rng rng(0x5EEDFACE);
+    for (int iter = 0; iter < 64; iter++) {
+        SCOPED_TRACE("iter=" + std::to_string(iter));
+        obs::FuzzerStatsSnapshot snapshot;
+        snapshot.banner =
+            "compdiff-afl-" + std::to_string(rng.below(1000));
+        snapshot.execsDone = rng.below(1'000'000'000);
+        snapshot.corpusSize = rng.below(100'000);
+        snapshot.crashes = rng.below(10'000);
+        snapshot.diffs = rng.below(10'000);
+        snapshot.edges = rng.below(1'000'000);
+        snapshot.lastFindExec = rng.below(1'000'000'000);
+        snapshot.lastDiffExec = rng.below(1'000'000'000);
+        // %.2f-exact doubles so the byte comparison is meaningful.
+        snapshot.execsPerSec =
+            static_cast<double>(rng.below(100'000'000)) / 100.0;
+        snapshot.runTimeSecs =
+            static_cast<double>(rng.below(1'000'000'00)) / 100.0;
+        snapshot.restarts = rng.below(1000);
+        const std::size_t configs = rng.below(kPool + 1);
+        const std::size_t start = rng.below(kPool);
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < configs; i++) {
+            const std::uint64_t execs = rng.below(1'000'000);
+            snapshot.perConfigExecs.emplace_back(
+                kNames[(start + i) % kPool], execs);
+            total += execs;
+        }
+        snapshot.compdiffExecs = total;
+
+        const std::string text = obs::renderFuzzerStats(snapshot);
+        const obs::FuzzerStatsSnapshot back =
+            obs::snapshotFromFuzzerStats(text);
+        EXPECT_EQ(back.banner, snapshot.banner);
+        EXPECT_EQ(back.execsDone, snapshot.execsDone);
+        EXPECT_EQ(back.compdiffExecs, snapshot.compdiffExecs);
+        EXPECT_EQ(back.corpusSize, snapshot.corpusSize);
+        EXPECT_EQ(back.crashes, snapshot.crashes);
+        EXPECT_EQ(back.diffs, snapshot.diffs);
+        EXPECT_EQ(back.edges, snapshot.edges);
+        EXPECT_EQ(back.lastFindExec, snapshot.lastFindExec);
+        EXPECT_EQ(back.lastDiffExec, snapshot.lastDiffExec);
+        EXPECT_EQ(back.execsPerSec, snapshot.execsPerSec);
+        EXPECT_EQ(back.runTimeSecs, snapshot.runTimeSecs);
+        EXPECT_EQ(back.restarts, snapshot.restarts);
+        EXPECT_EQ(back.perConfigExecs, snapshot.perConfigExecs);
+        EXPECT_EQ(obs::renderFuzzerStats(back), text);
+    }
+}
+
+TEST_F(Obs, HistogramQuantileInterpolation)
+{
+    obs::MetricsSnapshot::Entry entry;
+    entry.kind = "histogram";
+    entry.bounds = {100, 200};
+    entry.buckets = {50, 50, 0};
+    entry.count = 100;
+    // rank 50 lands exactly at the first bucket's upper bound...
+    EXPECT_DOUBLE_EQ(entry.quantile(0.50), 100.0);
+    // ...rank 90 interpolates 80% into the second bucket's span.
+    EXPECT_DOUBLE_EQ(entry.quantile(0.90), 180.0);
+    // Degenerate inputs: empty entries and out-of-range q are 0.
+    EXPECT_EQ(entry.quantile(0.0), 0.0);
+    EXPECT_EQ(entry.quantile(1.0), 0.0);
+    obs::MetricsSnapshot::Entry empty;
+    empty.kind = "histogram";
+    empty.bounds = {10};
+    empty.buckets = {0, 0};
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    // Overflow-bucket observations clamp to the highest bound.
+    obs::MetricsSnapshot::Entry over;
+    over.kind = "histogram";
+    over.bounds = {10};
+    over.buckets = {0, 5};
+    over.count = 5;
+    EXPECT_DOUBLE_EQ(over.quantile(0.5), 10.0);
+}
+
+TEST_F(Obs, SnapshotJsonlCarriesPercentiles)
+{
+    EnabledGuard on(true);
+    auto &hist =
+        Registry::global().histogram("pct.hist", {10, 100});
+    for (int i = 0; i < 10; i++)
+        hist.observe(5);
+    const std::string jsonl =
+        Registry::global().snapshot().toJsonl();
+    EXPECT_NE(jsonl.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"p90\":"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"p99\":"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(obs::jsonlWellFormed(jsonl, &error)) << error;
+    const std::string table =
+        Registry::global().snapshot().toTable();
+    EXPECT_NE(table.find("p50"), std::string::npos);
+}
+
+TEST_F(Obs, EventLineRoundTrip)
+{
+    obs::CampaignEvent event("divergence", 412);
+    event.hex("signature", 0x00ab12cd34ef5678ULL)
+        .num("size", 33)
+        .text("note", "weird \"quoted\" value\n");
+    const std::string line = obs::renderEventLine(event);
+    EXPECT_EQ(line.find("{\"v\":1,\"kind\":\"divergence\""), 0u);
+
+    obs::CampaignEvent back;
+    std::string error;
+    ASSERT_TRUE(obs::parseEventLine(line, &back, &error)) << error;
+    EXPECT_EQ(back.kind, "divergence");
+    EXPECT_EQ(back.exec, 412u);
+    ASSERT_EQ(back.details.size(), 3u);
+    ASSERT_NE(back.find("signature"), nullptr);
+    EXPECT_EQ(back.find("signature")->value,
+              obs::hex16(0x00ab12cd34ef5678ULL));
+    EXPECT_EQ(back.numOr("size"), 33u);
+    EXPECT_EQ(back.find("note")->value, "weird \"quoted\" value\n");
+    // Round-tripping is byte-stable (details keep their order).
+    EXPECT_EQ(obs::renderEventLine(back), line);
+}
+
+TEST_F(Obs, EventLineChecksumCatchesTampering)
+{
+    const std::string line = obs::renderEventLine(
+        obs::CampaignEvent("discovery", 7).num("size", 16));
+    obs::CampaignEvent out;
+    ASSERT_TRUE(obs::parseEventLine(line, &out));
+    // Flip one digit in the body: the crc no longer matches.
+    std::string tampered = line;
+    const std::size_t pos = tampered.find("\"exec\":7");
+    ASSERT_NE(pos, std::string::npos);
+    tampered[pos + 7] = '9';
+    std::string error;
+    EXPECT_FALSE(obs::parseEventLine(tampered, &out, &error));
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST_F(Obs, EventLogKeepsValidPrefixAndDropsTornTail)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "compdiff_obs_events_torn.jsonl")
+            .string();
+    std::filesystem::remove(path);
+
+    // A missing file is an empty log, not an error.
+    EXPECT_TRUE(obs::readEventLog(path).events.empty());
+    EXPECT_FALSE(obs::readEventLog(path).droppedTail);
+
+    std::vector<obs::CampaignEvent> events;
+    for (std::uint64_t i = 1; i <= 5; i++)
+        events.push_back(
+            obs::CampaignEvent("discovery", i * 10).num("size", i));
+    ASSERT_TRUE(obs::appendEventLines(path, events));
+    EXPECT_EQ(obs::readEventLog(path).events.size(), 5u);
+
+    // Tear the last line mid-checksum, as a hard kill would.
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - 9);
+    const obs::EventLog torn = obs::readEventLog(path);
+    EXPECT_EQ(torn.events.size(), 4u);
+    EXPECT_TRUE(torn.droppedTail);
+    EXPECT_EQ(torn.events.back().exec, 40u);
+
+    // writeEventLog rewinds the journal wholesale.
+    ASSERT_TRUE(obs::writeEventLog(
+        path, {obs::CampaignEvent("crash", 3)}));
+    const obs::EventLog rewound = obs::readEventLog(path);
+    ASSERT_EQ(rewound.events.size(), 1u);
+    EXPECT_EQ(rewound.events[0].kind, "crash");
+    EXPECT_FALSE(rewound.droppedTail);
+    std::filesystem::remove(path);
 }
 
 } // namespace

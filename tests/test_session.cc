@@ -32,6 +32,7 @@
 #include "minic/parser.hh"
 #include "obs/stats.hh"
 #include "session/checkpoint.hh"
+#include "session/heartbeat.hh"
 #include "session/serial.hh"
 #include "session/session.hh"
 
@@ -184,6 +185,20 @@ checkHaltResumeIdentity(std::size_t shards, std::size_t jobs)
     EXPECT_EQ(finalCheckpoints(dir_full, shards),
               finalCheckpoints(dir_cut, shards));
 
+    // So are the deterministic shard event journals: resume rewinds
+    // and re-derives each shard's events from restored state, so a
+    // kill+resume run replays the exact byte stream an uninterrupted
+    // run would have written.
+    for (std::size_t s = 0; s < shards; s++) {
+        const std::string leaf =
+            "/shard-" + std::to_string(s) + ".events.jsonl";
+        const auto events_full =
+            session::readTextFile(dir_full + leaf);
+        const auto events_cut = session::readTextFile(dir_cut + leaf);
+        ASSERT_TRUE(events_full && events_cut) << leaf;
+        EXPECT_EQ(*events_full, *events_cut) << leaf;
+    }
+
     // And so is everything user-visible derived from them.
     EXPECT_EQ(full.result().total.execs,
               resumed.result().total.execs);
@@ -230,6 +245,69 @@ TEST(SessionResume, BitIdenticalThreadedSingleShard)
 TEST(SessionResume, BitIdenticalThreadedSharded)
 {
     checkHaltResumeIdentity(/*shards=*/3, /*jobs=*/4);
+}
+
+/**
+ * Wall-clock hygiene audit: every wall-clock-derived artifact
+ * (session_stats run_secs, heartbeat files) is display-only. A
+ * resume that finds those artifacts mangled — absurd run_secs,
+ * heartbeats deleted outright — must still converge to the
+ * bit-identical campaign outcome, proving wall-clock never feeds a
+ * campaign decision. Only exec-index (the deterministic time axis)
+ * may do that.
+ */
+TEST(SessionObservability, WallClockNeverFeedsCampaignDecisions)
+{
+    auto program = minic::parseAndCheck(kUnstableTarget);
+    const std::string dir_full = freshDir("full");
+    const std::string dir_cut = freshDir("cut");
+
+    session::SessionConfig config = baseConfig(dir_full, 2, 1);
+    session::CampaignSession full(*program, kSeeds, config);
+    full.run();
+    ASSERT_TRUE(full.completed());
+
+    session::SessionConfig cut_config = baseConfig(dir_cut, 2, 1);
+    cut_config.haltAfterExecs = 300;
+    {
+        session::CampaignSession cut(*program, kSeeds, cut_config);
+        cut.run();
+        ASSERT_TRUE(cut.halted());
+    }
+
+    // Mangle every wall-clock artifact the halted session left.
+    session::atomicWriteFile(dir_cut + "/session_stats",
+                             "run_secs : 99999999.0\n"
+                             "restarts : 0\n");
+    for (std::size_t s = 0; s < 2; s++) {
+        std::filesystem::remove(
+            session::heartbeatPath(dir_cut, s));
+    }
+
+    session::SessionConfig resume_config = baseConfig(dir_cut, 2, 1);
+    resume_config.resume = true;
+    session::CampaignSession resumed(*program, kSeeds,
+                                     resume_config);
+    resumed.run();
+    ASSERT_TRUE(resumed.completed());
+
+    EXPECT_EQ(finalCheckpoints(dir_full, 2),
+              finalCheckpoints(dir_cut, 2));
+    expectIdenticalRecords(
+        session::CampaignSession::loadDivergenceRecords(dir_full),
+        session::CampaignSession::loadDivergenceRecords(dir_cut));
+    for (std::size_t s = 0; s < 2; s++) {
+        const std::string leaf =
+            "/shard-" + std::to_string(s) + ".events.jsonl";
+        const auto events_full =
+            session::readTextFile(dir_full + leaf);
+        const auto events_cut = session::readTextFile(dir_cut + leaf);
+        ASSERT_TRUE(events_full && events_cut);
+        EXPECT_EQ(*events_full, *events_cut);
+    }
+
+    std::filesystem::remove_all(dir_full);
+    std::filesystem::remove_all(dir_cut);
 }
 
 TEST(SessionResume, TornJournalTailResumesFromPreviousCheckpoint)
