@@ -26,7 +26,13 @@ DEFAULT_BASELINE = REPO_ROOT / "bench" / "BENCH_overhead_baseline.json"
 
 
 def load_benchmarks(path):
-    """Benchmark name -> throughput (higher is better)."""
+    """Benchmark name -> throughput (higher is better).
+
+    Defensive on purpose: entries missing their throughput fields (or
+    carrying non-numeric / zero values) are skipped with a warning,
+    never a KeyError or ZeroDivisionError — a half-written report
+    should degrade the comparison, not crash the gate.
+    """
     try:
         with open(path) as fh:
             report = json.load(fh)
@@ -37,10 +43,20 @@ def load_benchmarks(path):
         name = bench.get("name")
         if not name or bench.get("run_type") == "aggregate":
             continue
-        if "items_per_second" in bench:
-            out[name] = float(bench["items_per_second"])
-        elif bench.get("real_time"):
-            out[name] = 1.0 / float(bench["real_time"])
+        throughput = None
+        try:
+            if bench.get("items_per_second") is not None:
+                throughput = float(bench["items_per_second"])
+            elif float(bench.get("real_time") or 0) > 0:
+                throughput = 1.0 / float(bench["real_time"])
+        except (TypeError, ValueError):
+            throughput = None
+        if throughput is None or throughput <= 0:
+            print(f"bench_compare: warning: {name} in {path} has no "
+                  f"usable throughput field; skipped",
+                  file=sys.stderr)
+            continue
+        out[name] = throughput
     return out
 
 
@@ -67,9 +83,11 @@ def main():
         cur = current[name]
         base = baseline.get(name)
         if base is None:
-            print(f"  {name:<{width}}  (new, no baseline)")
-            continue
-        if base <= 0:
+            # A benchmark the baseline has never seen cannot regress;
+            # skip it loudly so a renamed benchmark is noticed (and
+            # the baseline refreshed) instead of silently ungated.
+            print(f"  {name:<{width}}  (new, no baseline entry; "
+                  f"skipped)")
             continue
         delta = 100.0 * (cur - base) / base
         marker = ""

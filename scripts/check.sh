@@ -192,6 +192,92 @@ smoke() {
     # still reports the saved execs.
     grep -Eq '^compdiff_shard_execs\{session="w",shard="0"\} [1-9]' \
         "$tmp/kill.prom"
+    echo "== fleet smoke: multi-process campaign, kill -9, revival"
+    # A 3-worker fleet over the same campaign a single process runs
+    # as the reference; one worker is SIGKILLed mid-run via its shard
+    # lease. The revived fleet's deterministic artifacts must match
+    # the reference byte-for-byte (the --stable monitor snapshot
+    # compares the whole session tree in one shot; the two trees use
+    # the same leaf name so labels line up).
+    fleet="$(dirname "$cli")/compdiff_fleet"
+    "$cli" --quiet --target=pktdump --fuzz=4500 --shards=3 \
+        --checkpoint-every=200 --session="$tmp/fleet_ref/pkt" \
+        > /dev/null || test $? -eq 1
+    "$fleet" --target=pktdump --fuzz=4500 --shards=3 --workers=3 \
+        --checkpoint-every=200 --poll-every=0.02 --quiet \
+        --session="$tmp/fleet_run/pkt" > "$tmp/fleet.out" 2>&1 &
+    fleet_pid=$!
+    killed=0
+    for _ in $(seq 1 500); do
+        for s in 0 1 2; do
+            lease="$tmp/fleet_run/pkt/shard-$s.lease"
+            [ -f "$lease" ] || continue
+            worker_pid="$(awk '/^pid/{print $3}' "$lease")"
+            if [ -n "$worker_pid" ] &&
+                kill -9 "$worker_pid" 2>/dev/null; then
+                killed=1
+                break 2
+            fi
+        done
+        sleep 0.02
+    done
+    wait "$fleet_pid" && rc=0 || rc=$?
+    test "$rc" -eq 0 -o "$rc" -eq 1
+    test "$killed" -eq 1
+    grep -q 'fleet_revive' "$tmp/fleet_run/pkt/fleet.jsonl"
+    cmp "$tmp/fleet_run/pkt/divergences.journal" \
+        "$tmp/fleet_ref/pkt/divergences.journal"
+    diff <(grep -Ev "$volatile" "$tmp/fleet_run/pkt/fuzzer_stats") \
+         <(grep -Ev "$volatile" "$tmp/fleet_ref/pkt/fuzzer_stats")
+    "$monitor" --stable "$tmp/fleet_run" > "$tmp/fleet_mon_a.out"
+    "$monitor" --stable "$tmp/fleet_ref" > "$tmp/fleet_mon_b.out"
+    cmp "$tmp/fleet_mon_a.out" "$tmp/fleet_mon_b.out"
+    # Outside --stable mode the monitor surfaces the fleet history.
+    "$monitor" "$tmp/fleet_run" > "$tmp/fleet_mon_live.out"
+    grep -Eq 'fleet pkt : [0-9]+ spawns, [1-9][0-9]* revivals' \
+        "$tmp/fleet_mon_live.out"
+
+    echo "== bench_compare unit: missing entries skip, gate enforces"
+    if command -v python3 > /dev/null 2>&1; then
+        bench_py="$repo_root/scripts/bench_compare.py"
+        cat > "$tmp/bench_base.json" << 'EOF'
+{"benchmarks": [
+  {"name": "bm_shared", "items_per_second": 1000.0},
+  {"name": "bm_baseline_only", "items_per_second": 500.0}
+]}
+EOF
+        cat > "$tmp/bench_ok.json" << 'EOF'
+{"benchmarks": [
+  {"name": "bm_shared", "items_per_second": 990.0},
+  {"name": "bm_new", "items_per_second": 10.0},
+  {"name": "bm_unusable", "real_time": 0.0}
+]}
+EOF
+        # Entries missing from the baseline (or unusable) are skipped
+        # with a warning — never a KeyError — and do not fail --strict.
+        python3 "$bench_py" --baseline "$tmp/bench_base.json" \
+            --strict "$tmp/bench_ok.json" > "$tmp/bench_ok.out" 2>&1
+        grep -q 'no baseline entry; skipped' "$tmp/bench_ok.out"
+        grep -q 'bm_unusable.*no usable throughput' "$tmp/bench_ok.out"
+        grep -q 'dropped from current run' "$tmp/bench_ok.out"
+        cat > "$tmp/bench_bad.json" << 'EOF'
+{"benchmarks": [{"name": "bm_shared", "items_per_second": 100.0}]}
+EOF
+        # A 90% drop: warn-only exits 0, --strict fails, a tolerance
+        # wider than the drop passes again.
+        python3 "$bench_py" --baseline "$tmp/bench_base.json" \
+            "$tmp/bench_bad.json" > "$tmp/bench_warn.out"
+        grep -q 'WARNING' "$tmp/bench_warn.out"
+        python3 "$bench_py" --baseline "$tmp/bench_base.json" \
+            --strict "$tmp/bench_bad.json" > /dev/null 2>&1 \
+            && rc=0 || rc=$?
+        test "$rc" -eq 1
+        python3 "$bench_py" --baseline "$tmp/bench_base.json" \
+            --strict --tolerance 95 "$tmp/bench_bad.json" > /dev/null
+    else
+        echo "   (python3 not found; skipped)"
+    fi
+
     echo "== obs smoke: OK"
 }
 

@@ -1,0 +1,186 @@
+#include "fleet/fleet.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "session/lease.hh"
+
+namespace compdiff::fleet
+{
+
+namespace
+{
+
+/** SIGTERM target: the session stop flag a worker polls at safe
+ *  points. File-scope because signal handlers take no closure. */
+std::atomic<bool> g_stop{false};
+
+void onTerminate(int) { g_stop.store(true); }
+
+double nowUnix()
+{
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::vector<std::string> workerArgs(const WorkerSpec &spec)
+{
+    std::string shards;
+    for (const std::size_t shard : spec.shards)
+    {
+        if (!shards.empty())
+            shards += ',';
+        shards += std::to_string(shard);
+    }
+    return {"--worker-shards=" + shards,
+            "--worker-index=" + std::to_string(spec.worker),
+            "--worker-generation=" + std::to_string(spec.generation)};
+}
+
+std::vector<std::size_t> parseShardList(const std::string &text)
+{
+    std::vector<std::size_t> shards;
+    std::size_t start = 0;
+    while (start <= text.size())
+    {
+        std::size_t end = text.find(',', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(start, end - start);
+        if (!item.empty())
+            shards.push_back(static_cast<std::size_t>(
+                std::strtoull(item.c_str(), nullptr, 10)));
+        start = end + 1;
+    }
+    return shards;
+}
+
+bool parseWorkerArg(const std::string &arg, WorkerSpec *spec)
+{
+    const auto value = [&arg](const char *prefix,
+                              std::string *out) -> bool {
+        const std::string_view p(prefix);
+        if (arg.compare(0, p.size(), p) != 0)
+            return false;
+        *out = arg.substr(p.size());
+        return true;
+    };
+    std::string text;
+    if (value("--worker-shards=", &text))
+    {
+        spec->shards = parseShardList(text);
+        return true;
+    }
+    if (value("--worker-index=", &text))
+    {
+        spec->worker = static_cast<std::size_t>(
+            std::strtoull(text.c_str(), nullptr, 10));
+        return true;
+    }
+    if (value("--worker-generation=", &text))
+    {
+        spec->generation =
+            std::strtoull(text.c_str(), nullptr, 10);
+        return true;
+    }
+    return false;
+}
+
+int runWorker(const minic::Program &program,
+              const std::vector<support::Bytes> &seeds,
+              session::SessionConfig config, const WorkerSpec &spec)
+{
+    if (config.dir.empty())
+    {
+        std::fprintf(stderr,
+                     "fleet worker: a session directory is "
+                     "required\n");
+        return kWorkerExitConfig;
+    }
+    if (spec.shards.empty())
+    {
+        std::fprintf(stderr,
+                     "fleet worker: no shards assigned "
+                     "(--worker-shards)\n");
+        return kWorkerExitConfig;
+    }
+
+    const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+
+    // Own every assigned shard before fuzzing any of them: a partial
+    // assignment would desync the coordinator's chunk bookkeeping.
+    std::vector<std::size_t> held;
+    for (const std::size_t shard : spec.shards)
+    {
+        session::ShardLease lease;
+        lease.shard = shard;
+        lease.worker = spec.worker;
+        lease.pid = pid;
+        lease.generation = spec.generation;
+        lease.acquiredUnix = nowUnix();
+        session::ShardLease holder;
+        const auto outcome =
+            session::acquireShardLease(config.dir, lease, &holder);
+        if (outcome == session::LeaseOutcome::Acquired)
+        {
+            held.push_back(shard);
+            continue;
+        }
+        for (const std::size_t taken : held)
+            session::releaseShardLease(config.dir, taken, pid);
+        if (outcome == session::LeaseOutcome::Held)
+        {
+            std::fprintf(stderr,
+                         "fleet worker %zu: shard %zu is leased by "
+                         "live pid %llu; yielding\n",
+                         spec.worker, shard,
+                         static_cast<unsigned long long>(holder.pid));
+            return kWorkerExitLeaseHeld;
+        }
+        std::fprintf(stderr,
+                     "fleet worker %zu: cannot create lease for "
+                     "shard %zu: %s\n",
+                     spec.worker, shard, std::strerror(errno));
+        return kWorkerExitConfig;
+    }
+
+    g_stop.store(false);
+    std::signal(SIGTERM, onTerminate);
+
+    config.resume = false;
+    config.workerShards = spec.shards;
+    config.stopFlag = &g_stop;
+
+    const std::string dir = config.dir;
+    int code = kWorkerExitOk;
+    try
+    {
+        session::CampaignSession session(program, seeds,
+                                         std::move(config));
+        session.run();
+    }
+    catch (const session::SessionError &error)
+    {
+        std::fprintf(stderr, "fleet worker %zu: %s\n", spec.worker,
+                     error.what());
+        code = kWorkerExitConfig;
+    }
+
+    for (const std::size_t taken : held)
+        session::releaseShardLease(dir, taken, pid);
+    std::signal(SIGTERM, SIG_DFL);
+    return code;
+}
+
+} // namespace compdiff::fleet

@@ -283,6 +283,25 @@ class Fuzzer
         hook_ = std::move(hook);
     }
 
+    // --- cross-worker sync (fleet mode, session::SessionConfig) ---
+
+    /**
+     * Execute foreign corpus inputs at a safe point, exactly as if
+     * the mutator had generated them (full crash/coverage/diff
+     * triage, budget accounting, dedup). Inputs beyond the remaining
+     * maxExecs budget are dropped. Returns how many were executed.
+     * Calling this from anywhere but a safe point (the iteration
+     * hook, or before run()) voids the determinism contract.
+     */
+    std::size_t importSeeds(const std::vector<support::Bytes> &inputs);
+
+    /**
+     * Merge a VirginMap snapshot (snapshotBytes) from another shard
+     * into this campaign's map, so already-explored edges stop
+     * counting as novel here. Ignores size-mismatched bytes.
+     */
+    void mergeVirginBytes(const support::Bytes &bytes);
+
     /** Did the last run() stop early because the hook said so? */
     bool haltedByHook() const { return haltedByHook_; }
 

@@ -308,6 +308,14 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
         } catch (const session::SessionError &) {
         }
 
+        if (const auto lease = session::readShardLease(dir, s)) {
+            shard.hasLease = true;
+            shard.lease = *lease;
+            shard.leaseAlive = lease->pid != 0 &&
+                               options.health.checkPid &&
+                               session::pidAlive(lease->pid);
+        }
+
         const obs::EventLog events = obs::readEventLog(
             dir + "/shard-" + std::to_string(s) + ".events.jsonl");
         shard.eventCount = events.events.size();
@@ -343,6 +351,23 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
             view.edges += shard.checkpoint.edges;
         }
         view.uniqueDiffs = diff_signatures.size();
+    }
+
+    {
+        const obs::EventLog fleet_log =
+            obs::readEventLog(dir + "/fleet.jsonl");
+        view.fleet = !fleet_log.events.empty();
+        for (const auto &event : fleet_log.events) {
+            if (event.kind == "fleet_spawn" ||
+                event.kind == "fleet_revive") {
+                view.fleetSpawns++;
+                if (event.kind == "fleet_revive")
+                    view.fleetRevivals++;
+            } else if (event.kind == "fleet_dead" ||
+                       event.kind == "fleet_hung") {
+                view.fleetDeaths++;
+            }
+        }
     }
 
     view.histograms = readHistogramDigests(dir + "/metrics.jsonl");
@@ -450,8 +475,17 @@ renderTable(const std::vector<SessionView> &sessions,
     os << "total execs : " << total_execs << "\n";
     os << "unique diffs : " << total_diffs << "\n";
     os << "crashes : " << total_crashes << "\n";
-    if (!options.stable)
+    if (!options.stable) {
         os << "run time : " << fmtSecs1(run_secs) << "s\n";
+        for (const auto &session : sessions) {
+            if (!session.fleet)
+                continue;
+            os << "fleet " << session.label << " : "
+               << session.fleetSpawns << " spawns, "
+               << session.fleetRevivals << " revivals, "
+               << session.fleetDeaths << " worker deaths\n";
+        }
+    }
 
     bool digest_header = false;
     for (const auto &session : sessions) {
@@ -497,6 +531,12 @@ renderJson(const std::vector<SessionView> &sessions,
            << ",\"edges\":" << session.edges;
         if (!options.stable)
             os << ",\"run_secs\":" << fmtDouble(session.runSecs);
+        if (!options.stable && session.fleet) {
+            os << ",\"fleet\":{\"spawns\":" << session.fleetSpawns
+               << ",\"revivals\":" << session.fleetRevivals
+               << ",\"worker_deaths\":" << session.fleetDeaths
+               << "}";
+        }
         os << ",\"shard_status\":[";
         for (std::size_t s = 0; s < session.shardViews.size();
              s++) {
@@ -523,6 +563,13 @@ renderJson(const std::vector<SessionView> &sessions,
             if (!options.stable && shard.hasHeartbeat) {
                 os << ",\"pid\":" << shard.heartbeat.pid
                    << ",\"age_secs\":" << fmtDouble(shard.ageSecs);
+            }
+            if (!options.stable && shard.hasLease) {
+                os << ",\"lease\":{\"pid\":" << shard.lease.pid
+                   << ",\"worker\":" << shard.lease.worker
+                   << ",\"generation\":" << shard.lease.generation
+                   << ",\"alive\":"
+                   << (shard.leaseAlive ? "true" : "false") << "}";
             }
             os << "}";
         }
@@ -598,6 +645,14 @@ renderProm(const std::vector<SessionView> &sessions,
            << session.crashes << "\n";
         os << "compdiff_campaign_edges{" << label << "} "
            << session.edges << "\n";
+        if (!options.stable && session.fleet) {
+            os << "compdiff_fleet_spawns{" << label << "} "
+               << session.fleetSpawns << "\n";
+            os << "compdiff_fleet_revivals{" << label << "} "
+               << session.fleetRevivals << "\n";
+            os << "compdiff_fleet_worker_deaths{" << label << "} "
+               << session.fleetDeaths << "\n";
+        }
         for (const auto &shard : session.shardViews) {
             const std::string shard_label =
                 label + ",shard=\"" + std::to_string(shard.shard) +

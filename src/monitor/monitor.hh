@@ -40,6 +40,7 @@
 #include "fuzz/fuzzer.hh"
 #include "obs/stats.hh"
 #include "session/heartbeat.hh"
+#include "session/lease.hh"
 
 namespace compdiff::monitor
 {
@@ -76,6 +77,13 @@ struct ShardView
     std::size_t eventCount = 0;
     std::string lastEventKind;
     std::uint64_t lastEventExec = 0;
+
+    /** Fleet shard lease (src/fleet), when one is on disk. Liveness
+     *  metadata — reported only outside `stable` mode. */
+    bool hasLease = false;
+    session::ShardLease lease;
+    /** Lease holder probes alive (false without a lease). */
+    bool leaseAlive = false;
 };
 
 /** One histogram's percentile digest (from metrics.jsonl). */
@@ -105,6 +113,15 @@ struct SessionView
     // session_stats (cumulative across restarts; display only).
     std::uint64_t restarts = 0;
     double runSecs = 0;
+
+    // Fleet coordinator history (`fleet.jsonl`, when the session is
+    // fleet-run). Process history — reported only outside `stable`.
+    bool fleet = false;
+    std::uint64_t fleetSpawns = 0;
+    std::uint64_t fleetRevivals = 0;
+    /** Workers that died abnormally (signal) or were SIGKILLed as
+     *  hung by the coordinator. */
+    std::uint64_t fleetDeaths = 0;
 
     /** True when the final fuzzer_stats snapshot exists. */
     bool finished = false;

@@ -1,0 +1,153 @@
+#include "session/lease.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/stats.hh"
+#include "session/heartbeat.hh"
+
+namespace compdiff::session
+{
+
+std::string
+leasePath(const std::string &dir, std::size_t shard)
+{
+    return dir + "/shard-" + std::to_string(shard) + ".lease";
+}
+
+std::string
+renderLease(const ShardLease &lease)
+{
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%.3f", lease.acquiredUnix);
+    std::ostringstream os;
+    os << "shard : " << lease.shard << "\n";
+    os << "worker : " << lease.worker << "\n";
+    os << "pid : " << lease.pid << "\n";
+    os << "generation : " << lease.generation << "\n";
+    os << "acquired_unix : " << stamp << "\n";
+    return os.str();
+}
+
+ShardLease
+parseLease(const std::string &text)
+{
+    const auto kv = obs::parseFuzzerStats(text);
+    ShardLease lease;
+    const auto u64 = [&](const char *key) -> std::uint64_t {
+        const auto it = kv.find(key);
+        if (it == kv.end())
+            return 0;
+        return std::strtoull(it->second.c_str(), nullptr, 10);
+    };
+    lease.shard = u64("shard");
+    lease.worker = u64("worker");
+    lease.pid = u64("pid");
+    lease.generation = u64("generation");
+    if (const auto it = kv.find("acquired_unix"); it != kv.end())
+        lease.acquiredUnix = std::strtod(it->second.c_str(), nullptr);
+    return lease;
+}
+
+namespace
+{
+
+/** One O_CREAT|O_EXCL attempt; Held here only means "file exists". */
+LeaseOutcome
+tryCreate(const std::string &path, const ShardLease &lease)
+{
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return errno == EEXIST ? LeaseOutcome::Held
+                               : LeaseOutcome::IoError;
+    const std::string body = renderLease(lease);
+    const bool ok = ::write(fd, body.data(), body.size()) ==
+                    static_cast<ssize_t>(body.size());
+    ::close(fd);
+    if (!ok) {
+        ::unlink(path.c_str());
+        return LeaseOutcome::IoError;
+    }
+    return LeaseOutcome::Acquired;
+}
+
+} // namespace
+
+LeaseOutcome
+acquireShardLease(const std::string &dir, const ShardLease &lease,
+                  ShardLease *holder)
+{
+    const std::string path = leasePath(dir, lease.shard);
+    // Two create attempts: the first may find a stale token from a
+    // dead holder, which we break and retry; losing the *second*
+    // race means another live process just took the shard — Held.
+    for (int attempt = 0; attempt < 2; attempt++) {
+        const LeaseOutcome created = tryCreate(path, lease);
+        if (created != LeaseOutcome::Held)
+            return created;
+        ShardLease current;
+        {
+            std::ifstream in(path);
+            std::ostringstream body;
+            body << in.rdbuf();
+            current = parseLease(body.str());
+        }
+        // pid 0 means a torn/garbage lease file: treat as dead. Our
+        // own pid re-acquires in place (a revived worker walking its
+        // shard list again).
+        if (current.pid == lease.pid && current.pid != 0) {
+            ::unlink(path.c_str());
+            continue;
+        }
+        if (current.pid != 0 && pidAlive(current.pid)) {
+            if (holder)
+                *holder = current;
+            return LeaseOutcome::Held;
+        }
+        ::unlink(path.c_str());
+    }
+    return LeaseOutcome::Held;
+}
+
+std::optional<ShardLease>
+readShardLease(const std::string &dir, std::size_t shard)
+{
+    std::ifstream in(leasePath(dir, shard));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream body;
+    body << in.rdbuf();
+    return parseLease(body.str());
+}
+
+bool
+releaseShardLease(const std::string &dir, std::size_t shard,
+                  std::uint64_t pid)
+{
+    const auto current = readShardLease(dir, shard);
+    if (!current)
+        return true;
+    if (current->pid != pid)
+        return false;
+    return breakShardLease(dir, shard);
+}
+
+bool
+breakShardLease(const std::string &dir, std::size_t shard)
+{
+    std::error_code ec;
+    std::filesystem::remove(leasePath(dir, shard), ec);
+    return !ec;
+}
+
+} // namespace compdiff::session

@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * Shard lease files: exclusive, crash-tolerant shard ownership for
+ * multi-process fleets.
+ *
+ * A fleet coordinator assigns shards to worker *processes*; two
+ * workers fuzzing the same shard would race its checkpoint journal
+ * and its event log. The lease file is the mutual-exclusion token:
+ * `shard-<N>.lease` in the session directory, created with
+ * O_CREAT|O_EXCL so exactly one process can win the shard, and
+ * carrying the holder's pid so a reader (another worker, a late
+ * coordinator, compdiff_monitor) can distinguish "held by a live
+ * process — back off" from "held by a corpse — break it and take
+ * over".
+ *
+ * Leases are *liveness* metadata like heartbeats, never campaign
+ * input: they carry pids and wall-clock stamps and are excluded from
+ * every deterministic artifact. Losing a lease file costs nothing but
+ * a possible duplicate spawn attempt (which the journal discipline
+ * tolerates — the second process refuses the shard when the first
+ * re-acquires, and checkpoint appends are checksummed).
+ *
+ * The file body reuses the `key : value` fuzzer_stats syntax, so
+ * obs::parseFuzzerStats tooling reads it for free.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace compdiff::session
+{
+
+/** One shard's ownership token, as persisted in its lease file. */
+struct ShardLease
+{
+    std::uint64_t shard = 0;
+    /** Fleet-local worker index (display/debug only). */
+    std::uint64_t worker = 0;
+    /** Holder process id — the liveness probe target. */
+    std::uint64_t pid = 0;
+    /** Coordinator spawn generation (0 = first spawn; revivals
+     *  increment it). Display/debug only. */
+    std::uint64_t generation = 0;
+    /** Seconds since the Unix epoch at acquisition (display only). */
+    double acquiredUnix = 0;
+};
+
+/** `<dir>/shard-<shard>.lease`. */
+std::string leasePath(const std::string &dir, std::size_t shard);
+
+/** Render in `key : value` form (parseFuzzerStats-compatible). */
+std::string renderLease(const ShardLease &lease);
+
+/** Parse renderLease output; missing keys keep their zero defaults
+ *  (leases are liveness metadata — never throws). */
+ShardLease parseLease(const std::string &text);
+
+enum class LeaseOutcome
+{
+    Acquired, ///< we own the shard now
+    Held,     ///< a live process owns it — back off
+    IoError,  ///< could not create/read the lease file
+};
+
+/**
+ * Try to take ownership of `lease.shard` in `dir`.
+ *
+ * The happy path is an O_CREAT|O_EXCL create. When the file already
+ * exists, the holder decides the outcome: a live holder (pid probes
+ * alive and differs from ours) yields Held with `*holder` filled in;
+ * a dead or unreadable holder is broken (unlink) and the acquisition
+ * retried once; our own pid re-acquires in place (a revived worker
+ * re-running its shard list).
+ */
+LeaseOutcome acquireShardLease(const std::string &dir,
+                               const ShardLease &lease,
+                               ShardLease *holder = nullptr);
+
+/** Read a shard's lease, or nullopt when absent/unreadable. */
+std::optional<ShardLease> readShardLease(const std::string &dir,
+                                         std::size_t shard);
+
+/**
+ * Release a lease we hold: unlink only when the file still records
+ * `pid` (never steal a successor's lease). Returns true when the
+ * file is gone afterwards.
+ */
+bool releaseShardLease(const std::string &dir, std::size_t shard,
+                       std::uint64_t pid);
+
+/** Unconditionally remove a shard's lease (coordinator breaking a
+ *  dead holder's token). Returns true when the file is gone. */
+bool breakShardLease(const std::string &dir, std::size_t shard);
+
+} // namespace compdiff::session

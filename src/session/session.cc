@@ -117,6 +117,38 @@ CampaignSession::CampaignSession(const minic::Program &program,
 
 CampaignSession::~CampaignSession() = default;
 
+void
+CampaignSession::resolveOwnedShards()
+{
+    owned_.clear();
+    if (config_.workerShards.empty()) {
+        for (std::size_t s = 0; s < plans_.size(); s++)
+            owned_.push_back(s);
+        return;
+    }
+    if (!persistent()) {
+        throw SessionError(
+            "fleet worker mode requires a session directory");
+    }
+    bool first = true;
+    std::size_t prev = 0;
+    for (const std::size_t s : config_.workerShards) {
+        if (s >= plans_.size()) {
+            throw SessionError(
+                "worker shard " + std::to_string(s) +
+                " is out of range: the campaign has " +
+                std::to_string(plans_.size()) + " shards");
+        }
+        if (!first && s <= prev) {
+            throw SessionError("worker shard list must be strictly "
+                               "increasing");
+        }
+        first = false;
+        prev = s;
+        owned_.push_back(s);
+    }
+}
+
 std::string
 CampaignSession::shardJournalPath(std::size_t shard) const
 {
@@ -248,6 +280,47 @@ CampaignSession::openDir(
         return;
     }
     const std::string manifest_path = config_.dir + "/MANIFEST";
+    if (workerMode()) {
+        // Attach semantics: the fleet coordinator creates the
+        // directory (initializeDir) before any worker spawns, so a
+        // missing manifest is a protocol error, not a fresh start.
+        // Owned shards restore from their journals when checkpoints
+        // exist — a revived worker continues bit-exactly — and the
+        // session-level bookkeeping (restart counters, final
+        // artifacts) stays with the coordinator.
+        const auto text = readTextFile(manifest_path);
+        if (!text) {
+            throw SessionError(
+                "no session manifest at " + manifest_path +
+                "; the fleet coordinator must initialize the "
+                "session before workers attach");
+        }
+        validateManifest(*text);
+        std::size_t resumed_shards = 0;
+        for (std::size_t i = 0; i < owned_.size(); i++) {
+            const std::size_t s = owned_[i];
+            const std::string path = shardJournalPath(s);
+            if (!std::filesystem::exists(path)) {
+                createJournal(path);
+                continue;
+            }
+            const auto payload = readLastRecord(path);
+            if (!payload) {
+                compactJournal(path);
+                continue;
+            }
+            restored[i] = std::make_unique<fuzz::FuzzerState>(
+                decodeFuzzerState(*payload));
+            compactJournal(path);
+            resumed_shards++;
+        }
+        obs::CampaignEvent opened("worker_open", 0);
+        opened.num("pid", static_cast<std::uint64_t>(::getpid()))
+            .num("shards", owned_.size())
+            .num("resumed", resumed_shards);
+        appendOpsEvent(std::move(opened));
+        return;
+    }
     if (config_.resume) {
         const auto text = readTextFile(manifest_path);
         if (!text) {
@@ -325,14 +398,42 @@ CampaignSession::openDir(
 }
 
 void
+CampaignSession::initializeDir()
+{
+    if (!persistent()) {
+        throw SessionError(
+            "cannot initialize a session without a directory");
+    }
+    plans_ = fuzz::planShards(config_.fuzz, seeds_, config_.shards);
+    const std::string manifest_path = config_.dir + "/MANIFEST";
+    if (const auto text = readTextFile(manifest_path)) {
+        // Idempotent attach: a coordinator restart (or an elastic
+        // late joiner) finds its own campaign and proceeds; a
+        // different campaign is refused loudly.
+        validateManifest(*text);
+    } else {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.dir, ec);
+        atomicWriteFile(manifest_path, renderManifest());
+    }
+    for (std::size_t s = 0; s < plans_.size(); s++) {
+        if (!std::filesystem::exists(shardJournalPath(s)))
+            createJournal(shardJournalPath(s));
+    }
+}
+
+void
 CampaignSession::initShardObservability()
 {
     emitted_.assign(fuzzers_.size(), EmitCursor{});
     lastBeat_.assign(fuzzers_.size(),
                      std::chrono::steady_clock::time_point{});
+    lastSync_.assign(fuzzers_.size(),
+                     std::chrono::steady_clock::time_point{});
+    syncSeen_.assign(fuzzers_.size(), {});
     if (!persistent())
         return;
-    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+    for (std::size_t i = 0; i < fuzzers_.size(); i++) {
         // Rewind the event journal to the restored checkpoint: a
         // kill after the last checkpoint left events on disk that
         // the restored fuzzer has not (yet) re-discovered. The
@@ -340,18 +441,18 @@ CampaignSession::initShardObservability()
         // stream from restored state, so the re-fuzzed stretch
         // appends the identical bytes again — this is what makes
         // kill-anywhere+resume produce a byte-identical event file.
-        obs::writeEventLog(shardEventsPath(s), {});
-        emitShardEvents(s, *fuzzers_[s]);
-        writeShardHeartbeat(s, *fuzzers_[s], kPhaseRunning,
+        obs::writeEventLog(shardEventsPath(globalShard(i)), {});
+        emitShardEvents(i, *fuzzers_[i]);
+        writeShardHeartbeat(i, *fuzzers_[i], kPhaseRunning,
                             /*force=*/true);
     }
 }
 
 void
-CampaignSession::emitShardEvents(std::size_t shard,
+CampaignSession::emitShardEvents(std::size_t local,
                                  const fuzz::Fuzzer &fuzzer)
 {
-    EmitCursor &cursor = emitted_[shard];
+    EmitCursor &cursor = emitted_[local];
     const auto &corpus = fuzzer.corpus();
     const auto &diffs = fuzzer.diffs();
     const auto &crashes = fuzzer.crashes();
@@ -371,12 +472,12 @@ CampaignSession::emitShardEvents(std::size_t shard,
     for (std::size_t i = cursor.crashes; i < crashes.size(); i++)
         batch.push_back(crashEvent(crashes[i]));
     sortEventBatch(batch);
-    obs::appendEventLines(shardEventsPath(shard), batch);
+    obs::appendEventLines(shardEventsPath(globalShard(local)), batch);
     cursor = {corpus.size(), diffs.size(), crashes.size()};
 }
 
 void
-CampaignSession::writeShardHeartbeat(std::size_t shard,
+CampaignSession::writeShardHeartbeat(std::size_t local,
                                      const fuzz::Fuzzer &fuzzer,
                                      const char *phase, bool force)
 {
@@ -384,13 +485,14 @@ CampaignSession::writeShardHeartbeat(std::size_t shard,
         return;
     const auto now = std::chrono::steady_clock::now();
     if (!force &&
-        lastBeat_[shard] !=
+        lastBeat_[local] !=
             std::chrono::steady_clock::time_point{} &&
-        std::chrono::duration<double>(now - lastBeat_[shard])
+        std::chrono::duration<double>(now - lastBeat_[local])
                 .count() < config_.heartbeatSecs) {
         return;
     }
-    lastBeat_[shard] = now;
+    lastBeat_[local] = now;
+    const std::size_t shard = globalShard(local);
     Heartbeat heartbeat;
     heartbeat.pid = static_cast<std::uint64_t>(::getpid());
     heartbeat.shard = shard;
@@ -430,38 +532,90 @@ CampaignSession::runSecsNow() const
 }
 
 void
+CampaignSession::maybeSyncShard(std::size_t local)
+{
+    if (config_.syncPath.empty() || !persistent())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (lastSync_[local] !=
+            std::chrono::steady_clock::time_point{} &&
+        std::chrono::duration<double>(now - lastSync_[local])
+                .count() < config_.syncSecs) {
+        return;
+    }
+    lastSync_[local] = now;
+    std::vector<Bytes> records;
+    try {
+        records = readRecords(config_.syncPath);
+    } catch (const SessionError &) {
+        return; // not written yet (or mid-replace) — next round
+    }
+    if (records.empty())
+        return;
+    fuzz::Fuzzer &fuzzer = *fuzzers_[local];
+    // Never re-execute an input this shard already owns: its own
+    // corpus circulates back through the coordinator's sync journal.
+    auto &seen = syncSeen_[local];
+    for (const auto &entry : fuzzer.corpus())
+        seen.insert(support::murmurHash64(entry.data));
+    fuzzer.mergeVirginBytes(records[0]);
+    std::vector<Bytes> fresh;
+    for (std::size_t r = 1; r < records.size(); r++) {
+        if (seen.insert(support::murmurHash64(records[r])).second)
+            fresh.push_back(records[r]);
+    }
+    const std::size_t imported = fuzzer.importSeeds(fresh);
+    if (imported) {
+        obs::CampaignEvent event("sync_import",
+                                 fuzzer.stats().execs);
+        event.num("shard", globalShard(local))
+            .num("inputs", imported);
+        appendOpsEvent(std::move(event));
+    }
+}
+
+void
 CampaignSession::installHooks()
 {
     const std::uint64_t halt = config_.haltAfterExecs;
-    if (!persistent() && halt == 0)
+    if (!persistent() && halt == 0 && !config_.stopFlag)
         return;
-    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
+    for (std::size_t i = 0; i < fuzzers_.size(); i++) {
+        const std::size_t g = globalShard(i);
         const std::uint64_t every =
-            checkpointCadence(plans_[s].options);
-        nextCheckpoint_[s] = fuzzers_[s]->stats().execs + every;
-        fuzzers_[s]->setIterationHook(
-            [this, s, halt, every](const fuzz::Fuzzer &fuzzer) {
-                const std::uint64_t execs = fuzzer.stats().execs;
+            checkpointCadence(plans_[g].options);
+        nextCheckpoint_[i] = fuzzers_[i]->stats().execs + every;
+        fuzzers_[i]->setIterationHook(
+            [this, i, g, halt, every](const fuzz::Fuzzer &fuzzer) {
                 if (persistent()) {
+                    // Cross-worker import first — anything it finds
+                    // lands in the same event batch and checkpoint
+                    // as this safe point's own discoveries.
+                    maybeSyncShard(i);
                     // Events before the checkpoint: a kill between
                     // the two merely re-appends the identical lines
                     // after resume (the journal is rewound to the
                     // restored checkpoint first).
-                    emitShardEvents(s, fuzzer);
-                    if (execs >= nextCheckpoint_[s]) {
+                    emitShardEvents(i, fuzzer);
+                    const std::uint64_t done = fuzzer.stats().execs;
+                    if (done >= nextCheckpoint_[i]) {
                         appendRecord(
-                            shardJournalPath(s),
+                            shardJournalPath(g),
                             encodeFuzzerState(fuzzer.captureState()));
-                        nextCheckpoint_[s] = execs + every;
-                        obs::CampaignEvent noted("checkpoint",
-                                                 execs);
-                        noted.num("shard", s);
+                        nextCheckpoint_[i] = done + every;
+                        obs::CampaignEvent noted("checkpoint", done);
+                        noted.num("shard", g);
                         appendOpsEvent(std::move(noted));
                     }
-                    writeShardHeartbeat(s, fuzzer, kPhaseRunning,
+                    writeShardHeartbeat(i, fuzzer, kPhaseRunning,
                                         /*force=*/false);
                 }
-                return !(halt && execs >= halt);
+                if (config_.stopFlag &&
+                    config_.stopFlag->load(
+                        std::memory_order_relaxed)) {
+                    return false;
+                }
+                return !(halt && fuzzer.stats().execs >= halt);
             });
     }
 }
@@ -473,20 +627,21 @@ CampaignSession::run()
     wallStart_ = std::chrono::steady_clock::now();
 
     plans_ = fuzz::planShards(config_.fuzz, seeds_, config_.shards);
+    resolveOwnedShards();
     std::vector<std::unique_ptr<fuzz::FuzzerState>> restored(
-        plans_.size());
+        owned_.size());
     openDir(restored);
 
     fuzzers_.clear();
-    for (const auto &plan : plans_) {
+    for (const std::size_t s : owned_) {
         // Serial construction: all shards share the CompileCache
         // warm-up.
         fuzzers_.push_back(std::make_unique<fuzz::Fuzzer>(
-            program_, plan.seeds, plan.options));
+            program_, plans_[s].seeds, plans_[s].options));
     }
-    for (std::size_t s = 0; s < fuzzers_.size(); s++) {
-        if (restored[s])
-            fuzzers_[s]->restoreState(*restored[s]);
+    for (std::size_t i = 0; i < fuzzers_.size(); i++) {
+        if (restored[i])
+            fuzzers_[i]->restoreState(*restored[i]);
     }
 
     nextCheckpoint_.assign(fuzzers_.size(), 0);
@@ -510,18 +665,22 @@ CampaignSession::run()
         // event flush comes first: run() can leave the loop without
         // a trailing hook call, so discoveries since the last safe
         // point are still unjournaled here.
-        for (std::size_t s = 0; s < fuzzers_.size(); s++) {
-            emitShardEvents(s, *fuzzers_[s]);
+        for (std::size_t i = 0; i < fuzzers_.size(); i++) {
+            emitShardEvents(i, *fuzzers_[i]);
             appendRecord(
-                shardJournalPath(s),
-                encodeFuzzerState(fuzzers_[s]->captureState()));
-            writeShardHeartbeat(s, *fuzzers_[s],
-                                fuzzers_[s]->haltedByHook()
+                shardJournalPath(globalShard(i)),
+                encodeFuzzerState(fuzzers_[i]->captureState()));
+            writeShardHeartbeat(i, *fuzzers_[i],
+                                fuzzers_[i]->haltedByHook()
                                     ? kPhaseHalted
                                     : kPhaseComplete,
                                 /*force=*/true);
         }
-        writeSessionStats(runSecs_);
+        // In worker mode the coordinator owns the cumulative
+        // session_stats (workers come and go; their wall clocks
+        // overlap and must not clobber each other).
+        if (!workerMode())
+            writeSessionStats(runSecs_);
         obs::CampaignEvent finished(halted_ ? "halt" : "complete",
                                     result_.total.execs);
         finished.num("corpus", result_.total.seeds)
@@ -625,8 +784,10 @@ CampaignSession::writeFinalArtifacts()
 {
     // Final telemetry describes a *finished* campaign; a halted one
     // leaves only its checkpoints, and the resume that completes the
-    // budget writes these files.
-    if (!completed_)
+    // budget writes these files. A fleet worker never writes them at
+    // all — it finished only its own shard subset, and the
+    // coordinator's finalize pass folds the whole campaign.
+    if (!completed_ || workerMode())
         return;
     const std::string stats_text =
         obs::renderFuzzerStats(statsSnapshot());

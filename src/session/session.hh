@@ -58,10 +58,12 @@
  *                        metrics are enabled)
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -120,6 +122,41 @@ struct SessionConfig
 
     /** Post-campaign triage (the single carrier of these knobs). */
     TriageOptions triage;
+
+    // --- fleet-worker mode (src/fleet) ---
+
+    /**
+     * Run only these shards of the campaign (global shard indices,
+     * strictly increasing). Empty = run every shard (the default).
+     * Worker mode *attaches* to an existing session directory — the
+     * fleet coordinator creates it first (initializeDir()): the
+     * MANIFEST must be present and match, each owned shard restores
+     * from its journal when a checkpoint exists (a revived worker
+     * continues bit-exactly) and starts fresh otherwise, and the
+     * session-level bookkeeping (session_stats, final artifacts) is
+     * left to the coordinator's finalize pass. `resume` is ignored
+     * in worker mode.
+     */
+    std::vector<std::size_t> workerShards;
+    /**
+     * Cooperative stop: when non-null and set, every shard halts at
+     * its next safe point exactly like haltAfterExecs — checkpointed
+     * and resumable. Fleet workers wire SIGTERM to this so a
+     * coordinator deadline is a graceful, work-preserving shutdown.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+    /**
+     * Cross-worker corpus/coverage sync: when non-empty, each shard
+     * imports from this journal (record 0 = merged VirginMap bytes,
+     * records 1.. = corpus inputs; the coordinator rewrites it with
+     * writeJournal's write-then-rename) at safe points, at most once
+     * per syncSecs. Imported inputs are executed at the safe point
+     * and count against the shard's budget — sync is wall-clock
+     * driven and therefore deliberately NONDETERMINISTIC; leave the
+     * path empty (the default) to keep the bit-identity contract.
+     */
+    std::string syncPath;
+    double syncSecs = 5.0;
 };
 
 /**
@@ -195,6 +232,16 @@ class CampaignSession
     const SessionConfig &config() const { return config_; }
 
     /**
+     * Coordinator entry point: create the session directory with its
+     * MANIFEST and (empty) shard journals without fuzzing anything,
+     * so fleet workers can attach (workerShards mode). Idempotent: a
+     * directory already holding a *matching* manifest validates and
+     * returns (an elastic coordinator restart); a mismatching one is
+     * a SessionError. Missing journals are created either way.
+     */
+    void initializeDir();
+
+    /**
      * Load the divergence records a completed session persisted
      * (`<dir>/divergences.journal`) without re-running anything.
      *
@@ -205,6 +252,14 @@ class CampaignSession
 
   private:
     bool persistent() const { return !config_.dir.empty(); }
+    bool workerMode() const { return !config_.workerShards.empty(); }
+    /** Global shard id of local fuzzer slot `local`. */
+    std::size_t globalShard(std::size_t local) const
+    {
+        return owned_[local];
+    }
+    /** Resolve workerShards (or all shards) into owned_. */
+    void resolveOwnedShards();
     std::string shardJournalPath(std::size_t shard) const;
     std::string shardEventsPath(std::size_t shard) const;
     std::uint64_t checkpointCadence(
@@ -232,6 +287,9 @@ class CampaignSession
     /** Append one event to the session-scope ops log (thread-safe;
      *  shard threads log their checkpoints through this). */
     void appendOpsEvent(obs::CampaignEvent event) const;
+    /** Safe-point cross-worker import from config.syncPath (throttled
+     *  by syncSecs; see the SessionConfig field comment). */
+    void maybeSyncShard(std::size_t local);
     /** Display-only: cumulative wall-clock seconds right now. */
     double runSecsNow() const;
 
@@ -240,6 +298,11 @@ class CampaignSession
     SessionConfig config_;
 
     std::vector<fuzz::ShardPlan> plans_;
+    /** Global shard ids this session runs, local slot order (all
+     *  shards outside worker mode). Every on-disk per-shard path is
+     *  keyed by the *global* id; every in-memory vector below is
+     *  indexed by the *local* slot. */
+    std::vector<std::size_t> owned_;
     std::vector<std::unique_ptr<fuzz::Fuzzer>> fuzzers_;
     /** Next cadence-checkpoint threshold, per shard (each slot is
      *  touched only by its shard's thread). */
@@ -256,6 +319,11 @@ class CampaignSession
     std::vector<EmitCursor> emitted_;
     /** Last heartbeat write time, per shard (throttling only). */
     std::vector<std::chrono::steady_clock::time_point> lastBeat_;
+    /** Last sync-import time, per shard (throttling only). */
+    std::vector<std::chrono::steady_clock::time_point> lastSync_;
+    /** Input hashes already imported (or owned) per shard, so sync
+     *  rounds never re-execute the same foreign input. */
+    std::vector<std::set<std::uint64_t>> syncSeen_;
     /** Serializes ops-log appends across shard threads. */
     mutable std::mutex opsMu_;
     /** This incarnation's start (display-only wall clock). */
