@@ -13,18 +13,30 @@
  * producing bit-identical observations; on a single-core host the
  * threads>1 rows only show the pool's dispatch overhead.
  *
+ * A third axis measures the batch path: BM_BatchOracle drives
+ * DiffEngine::runBatch over a deterministic 64-input batch so the
+ * resident executors (decoded module, warm arena) run the whole
+ * batch implementation-major — the execution shape of a batching
+ * fuzz campaign — versus BM_CompDiff's one-round-per-input shape.
+ *
  * Besides the human-readable console table, the binary always emits
  * a machine-readable google-benchmark JSON report (default
  * `BENCH_overhead.json`, override with --benchmark_out=FILE): one
  * entry per (k, jobs) grid point plus one per pipeline phase
  * (parse / compile / execute / oracle), each with `real_time` in
- * nanoseconds and `items_per_second` = fuzz-loop inputs per second
- * (the k-way rows also carry an `oracle_execs_per_sec` counter for
- * raw executions). CI archives the file as a build artifact.
+ * nanoseconds and `items_per_second` = fuzz-loop inputs per second.
+ * Executing phases additionally report the deterministic work rate:
+ * `insns_per_sec` (guest instructions retired per second, summed
+ * from the per-observation instruction counters) and, for k-way
+ * rows, `oracle_execs_per_sec` (raw per-implementation executions).
+ * Inputs/sec answers "how fast is the fuzz loop"; insns/sec
+ * separates dispatch overhead from workload size when comparing
+ * engines. CI archives the file as a build artifact.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -113,13 +125,18 @@ BM_PhaseExecute(benchmark::State &state)
     const auto limits = benchLimits();
     auto artifact = impl->compile(targetProgram());
     auto executor = impl->makeExecutor(artifact, limits);
+    std::uint64_t instructions = 0;
     for (auto _ : state) {
         auto raw = executor->execute(workloadInput(), 0,
                                      limits.maxInstructions);
+        instructions += raw.instructions;
         benchmark::DoNotOptimize(raw.output.size());
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
+    state.counters["insns_per_sec"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PhaseExecute);
 
@@ -145,16 +162,23 @@ BM_CompDiff(benchmark::State &state)
     options.limits = benchLimits();
     options.jobs = jobs;
     core::DiffEngine engine(targetProgram(), subset, options);
+    std::uint64_t instructions = 0;
     for (auto _ : state) {
         auto result = engine.runInput(workloadInput());
+        for (const auto &obs : result.observations)
+            instructions += obs.instructions;
         benchmark::DoNotOptimize(result.divergent);
     }
-    // items_per_second = fuzz-loop inputs/sec; the counter reports
-    // the raw per-implementation execution rate (k per input).
+    // items_per_second = fuzz-loop inputs/sec; the counters report
+    // the raw per-implementation execution rate (k per input) and
+    // the guest-instruction rate across all implementations.
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
     state.counters["oracle_execs_per_sec"] = benchmark::Counter(
         static_cast<double>(state.iterations() * k),
+        benchmark::Counter::kIsRate);
+    state.counters["insns_per_sec"] = benchmark::Counter(
+        static_cast<double>(instructions),
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CompDiff)
@@ -167,6 +191,55 @@ BENCHMARK(BM_CompDiff)
     ->Args({10, 2})
     ->Args({10, 4})
     ->Args({10, 8});
+
+/** Phase 4b, the batching fuzz campaign's shape: the full k = 10
+ *  oracle over a deterministic 64-input batch via
+ *  DiffEngine::runBatch, implementation-major across the resident
+ *  executors. items_per_second counts batch inputs, directly
+ *  comparable to BM_CompDiff's inputs/sec. */
+void
+BM_BatchOracle(benchmark::State &state)
+{
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kBatch = 64;
+    core::DiffOptions options;
+    options.limits = benchLimits();
+    options.jobs = jobs;
+    core::DiffEngine engine(targetProgram(),
+                            core::paper10Implementations(), options);
+
+    // The batch a fuzzer would queue between plot samples: small
+    // deterministic variations of the workload input.
+    std::vector<support::Bytes> inputs(kBatch, workloadInput());
+    std::vector<std::uint64_t> nonce_bases(kBatch);
+    for (std::size_t b = 0; b < kBatch; b++) {
+        inputs[b][b % inputs[b].size()] ^=
+            static_cast<std::uint8_t>(b + 1);
+        nonce_bases[b] = b;
+    }
+
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto results = engine.runBatch(inputs, nonce_bases);
+        for (const auto &result : results)
+            for (const auto &obs : result.observations)
+                instructions += obs.instructions;
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBatch));
+    state.counters["oracle_execs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kBatch *
+                            engine.size()),
+        benchmark::Counter::kIsRate);
+    state.counters["insns_per_sec"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchOracle)
+    ->ArgNames({"jobs"})
+    ->Arg(1)
+    ->Arg(4);
 
 } // namespace
 

@@ -3,6 +3,7 @@
 
     scripts/bench_compare.py [--baseline FILE] [--tolerance PCT]
                              [--strict] current.json
+    scripts/bench_compare.py --rebaseline current.json
 
 Matches benchmarks by name and reports throughput regressions:
 items_per_second (fuzz-loop inputs/sec) where available, else
@@ -12,12 +13,17 @@ warning and the script still exits 0; --strict turns warnings into a
 nonzero exit for local A/B runs on one quiet machine.
 
 The baseline lives at bench/BENCH_overhead_baseline.json and is
-refreshed deliberately (re-run bench/overhead_microbench and commit
-the new file), never automatically.
+refreshed deliberately, never automatically: run the microbench on a
+quiet machine and pass the fresh report to --rebaseline, which
+rewrites the baseline file and stamps its "context" block with
+provenance (source commit and date) so a later reader can tell which
+engine produced the numbers.
 """
 
 import argparse
+import datetime
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -60,6 +66,38 @@ def load_benchmarks(path):
     return out
 
 
+def rebaseline(current_path, baseline_path):
+    """Adopt `current_path` as the new baseline, with provenance."""
+    try:
+        with open(current_path) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {current_path}: {err}")
+    if not report.get("benchmarks"):
+        sys.exit(f"bench_compare: {current_path} has no benchmark "
+                 f"entries; refusing to adopt an empty baseline")
+    try:
+        commit = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    context = report.setdefault("context", {})
+    context["baseline_commit"] = commit
+    context["baseline_date"] = (
+        datetime.date.today().isoformat())
+    with open(baseline_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    names = [b.get("name") for b in report["benchmarks"]
+             if b.get("run_type") != "aggregate"]
+    print(f"bench_compare: baseline {baseline_path} refreshed from "
+          f"{current_path} ({len(names)} benchmarks, commit "
+          f"{commit[:12]})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="diff google-benchmark throughput vs a baseline")
@@ -72,7 +110,14 @@ def main():
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on regressions instead of "
                              "warn-only")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="adopt CURRENT as the new baseline "
+                             "(writes --baseline with provenance) "
+                             "instead of comparing")
     args = parser.parse_args()
+
+    if args.rebaseline:
+        return rebaseline(args.current, args.baseline)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

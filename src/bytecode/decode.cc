@@ -1,0 +1,209 @@
+#include "bytecode/decode.hh"
+
+#include <cstddef>
+
+namespace compdiff::bytecode
+{
+
+// The base XOp block must mirror Op exactly so a non-fused
+// instruction decodes with a plain value-preserving cast. Anchor the
+// first, last, and a few interior opcodes; any insertion into Op
+// without a matching COMPDIFF_XOP_BASE_LIST edit trips one of these.
+static_assert(static_cast<int>(XOp::Nop) == static_cast<int>(Op::Nop));
+static_assert(static_cast<int>(XOp::Block) ==
+              static_cast<int>(Op::Block));
+static_assert(static_cast<int>(XOp::St8) == static_cast<int>(Op::St8));
+static_assert(static_cast<int>(XOp::CmpEqZ) ==
+              static_cast<int>(Op::CmpEqZ));
+static_assert(static_cast<int>(XOp::ShiftNorm64) ==
+              static_cast<int>(Op::ShiftNorm64));
+static_assert(static_cast<int>(XOp::Halt) ==
+              static_cast<int>(Op::Halt));
+static_assert(static_cast<int>(XOp::ChkNull) ==
+              static_cast<int>(Op::ChkNull));
+
+const char *xopName(XOp op)
+{
+    switch (op) {
+#define COMPDIFF_X(name)                                               \
+    case XOp::name:                                                    \
+        return #name;
+        COMPDIFF_XOP_BASE_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base)                                         \
+    case XOp::name:                                                    \
+        return #name;
+        COMPDIFF_XOP_PUSHI_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base, z)                                      \
+    case XOp::name:                                                    \
+        return #name;
+        COMPDIFF_XOP_CMPJMP_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base)                                         \
+    case XOp::name:                                                    \
+        return #name;
+        COMPDIFF_XOP_FRAMELD_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+    case XOp::TrapEnd:
+        return "TrapEnd";
+    case XOp::Count_:
+        break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** The fused opcode for the pair (a, b), or Count_ when not fusable. */
+XOp fuseOf(Op a, Op b)
+{
+    if (a == Op::PushI) {
+        switch (b) {
+#define COMPDIFF_X(name, base)                                         \
+    case Op::base:                                                     \
+        return XOp::name;
+            COMPDIFF_XOP_PUSHI_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+        default:
+            return XOp::Count_;
+        }
+    }
+    if (a == Op::FrameAddr) {
+        switch (b) {
+#define COMPDIFF_X(name, base)                                         \
+    case Op::base:                                                     \
+        return XOp::name;
+            COMPDIFF_XOP_FRAMELD_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+        default:
+            return XOp::Count_;
+        }
+    }
+#define COMPDIFF_X(name, cmp, z)                                       \
+    if (a == Op::cmp && b == ((z) ? Op::JmpZ : Op::JmpNZ))             \
+        return XOp::name;
+    COMPDIFF_XOP_CMPJMP_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+    return XOp::Count_;
+}
+
+bool isBranch(XOp op)
+{
+    switch (op) {
+    case XOp::Jmp:
+    case XOp::JmpZ:
+    case XOp::JmpNZ:
+#define COMPDIFF_X(name, cmp, z) case XOp::name:
+        COMPDIFF_XOP_CMPJMP_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+        return true;
+    default:
+        return false;
+    }
+}
+
+DecodedFunction decodeFunction(const Function &fn, bool fuse)
+{
+    const std::vector<Insn> &code = fn.code;
+    const std::size_t n = code.size();
+
+    // Pass A: which original pcs are branch targets? A fused pair
+    // must not hide an entry point: if pc t is a target, the decoded
+    // stream needs an instruction that *starts* at t.
+    std::vector<std::uint8_t> isTarget(n + 1, 0);
+    for (const Insn &insn : code) {
+        if (insn.op == Op::Jmp || insn.op == Op::JmpZ ||
+            insn.op == Op::JmpNZ) {
+            const std::int64_t t = insn.a;
+            if (t >= 0 && t <= static_cast<std::int64_t>(n))
+                isTarget[static_cast<std::size_t>(t)] = 1;
+        }
+    }
+
+    // Pass B: emit, greedily folding Block markers into their
+    // successor and fusing hot pairs. map[origPc] -> decoded index.
+    DecodedFunction out;
+    out.sourceInsns = n;
+    out.code.reserve(n + 1);
+    std::vector<std::int32_t> map(n + 1, -1);
+    std::size_t i = 0;
+    while (i < n) {
+        const Insn *cur = &code[i];
+        std::int32_t blk = -1;
+        std::uint32_t blkLine = 0;
+        if (fuse && cur->op == Op::Block && i + 1 < n &&
+            !isTarget[i + 1] && code[i + 1].op != Op::Block) {
+            blk = cur->a;
+            blkLine = cur->line;
+            map[i] = static_cast<std::int32_t>(out.code.size());
+            i++;
+            cur = &code[i];
+        }
+        XOp fused = XOp::Count_;
+        if (fuse && i + 1 < n && !isTarget[i + 1])
+            fused = fuseOf(cur->op, code[i + 1].op);
+        XInsn x;
+        x.blk = blk;
+        x.blkLine = blkLine;
+        if (fused != XOp::Count_) {
+            const Insn &nxt = code[i + 1];
+            x.op = fused;
+            x.line = nxt.line; // the second insn reports/branches
+            if (cur->op == Op::PushI)
+                x.imm = cur->imm;
+            else if (cur->op == Op::FrameAddr)
+                x.a = cur->a; // frame slot offset
+            else
+                x.a = nxt.a; // original branch target; remapped below
+            map[i] = map[i + 1] =
+                static_cast<std::int32_t>(out.code.size());
+            i += 2;
+        } else {
+            x.op = static_cast<XOp>(static_cast<std::uint8_t>(cur->op));
+            x.a = cur->a;
+            x.b = cur->b;
+            x.imm = cur->imm;
+            x.line = cur->line;
+            map[i] = static_cast<std::int32_t>(out.code.size());
+            i++;
+        }
+        out.code.push_back(x);
+    }
+    const std::int32_t sentinel =
+        static_cast<std::int32_t>(out.code.size());
+    XInsn end;
+    end.op = XOp::TrapEnd;
+    out.code.push_back(end);
+    map[n] = sentinel;
+
+    // Pass C: rewrite branch targets into decoded indices. Anything
+    // outside [0, n] — malformed modules only — lands on the
+    // sentinel, turning wild jumps into a deterministic trap.
+    for (XInsn &x : out.code) {
+        if (!isBranch(x.op))
+            continue;
+        const std::int64_t t = x.a;
+        x.a = (t >= 0 && t <= static_cast<std::int64_t>(n) &&
+               map[static_cast<std::size_t>(t)] >= 0)
+                  ? map[static_cast<std::size_t>(t)]
+                  : sentinel;
+    }
+    return out;
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedProgram> decodeModule(const Module &module,
+                                                   DecodeOptions options)
+{
+    auto decoded = std::make_shared<DecodedProgram>();
+    decoded->fused = options.fuse;
+    decoded->functions.reserve(module.functions.size());
+    for (const Function &fn : module.functions)
+        decoded->functions.push_back(decodeFunction(fn, options.fuse));
+    return decoded;
+}
+
+} // namespace compdiff::bytecode

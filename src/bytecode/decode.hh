@@ -1,0 +1,186 @@
+#pragma once
+
+/**
+ * @file
+ * Pre-decoded threaded-code representation of a Module.
+ *
+ * The Vm's hot loop does not interpret `Insn` streams directly: a
+ * one-time decode pass lowers each function into a flat array of
+ * 32-byte `XInsn` records that the interpreter can dispatch on with
+ * either a computed-goto jump table or a plain switch (see
+ * src/vm/interp.inc). Decoding buys three things:
+ *
+ *  1. **Superinstruction fusion.** The two hottest pairs the MiniC
+ *     lowering emits — `PushI` feeding an integer binary op, and an
+ *     integer compare feeding a conditional branch — collapse into
+ *     single fused opcodes, halving dispatch overhead on arithmetic-
+ *     and branch-dense code.
+ *  2. **Block folding.** A `Block` coverage marker is folded into its
+ *     successor instruction (`XInsn::blk` / `blkLine`), so straight-
+ *     line code pays one dispatch per *source* statement, not two.
+ *  3. **Deterministic control flow off the end.** Every decoded
+ *     function carries a trailing `TrapEnd` sentinel and all branch
+ *     targets are remapped (out-of-range targets land on the
+ *     sentinel), so a malformed module traps deterministically
+ *     instead of indexing past `code.end()`.
+ *
+ * Fusion never changes observable behavior: a pair is only fused when
+ * the second instruction is not a jump target (so every entry point
+ * of the original stream still exists in the decoded stream), and the
+ * interpreter replicates the original per-instruction budget checks
+ * inside fused handlers (see the determinism argument in DESIGN.md
+ * §13). Decoding is pure: the same Module always produces the same
+ * DecodedProgram.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bytecode/module.hh"
+
+namespace compdiff::bytecode
+{
+
+/**
+ * Base opcodes, one per `Op`, in the *same order* (so a non-fused
+ * instruction decodes with a plain cast; static_asserts in decode.cc
+ * pin the correspondence).
+ */
+#define COMPDIFF_XOP_BASE_LIST(X)                                      \
+    X(Nop) X(Block) X(PushI) X(PushF) X(PushUndef)                     \
+    X(Dup) X(Drop) X(Swap) X(Rot3)                                     \
+    X(FrameAddr) X(GlobalAddr) X(RodataAddr)                           \
+    X(Ld8S) X(Ld8U) X(Ld32S) X(Ld32U) X(Ld64) X(LdF)                   \
+    X(St8) X(St32) X(St64) X(StF)                                      \
+    X(AddI) X(SubI) X(MulI) X(DivS) X(RemS) X(DivU) X(RemU)            \
+    X(Shl) X(ShrS) X(ShrU) X(AndI) X(OrI) X(XorI) X(NegI) X(NotI)      \
+    X(Trunc32S) X(Trunc32U) X(Trunc8S) X(Trunc8U)                      \
+    X(CmpLtS) X(CmpLeS) X(CmpGtS) X(CmpGeS)                            \
+    X(CmpLtU) X(CmpLeU) X(CmpGtU) X(CmpGeU)                            \
+    X(CmpEq) X(CmpNe) X(CmpEqZ) X(BoolVal)                             \
+    X(AddF) X(SubF) X(MulF) X(DivF) X(NegF)                            \
+    X(CmpLtF) X(CmpLeF) X(CmpGtF) X(CmpGeF) X(CmpEqF) X(CmpNeF)        \
+    X(I2FS) X(I2FU) X(F2I)                                             \
+    X(ShiftNorm32) X(ShiftNorm64)                                      \
+    X(Jmp) X(JmpZ) X(JmpNZ) X(Call) X(CallB) X(Ret) X(Halt)            \
+    X(ChkOv32) X(ChkDivS) X(ChkShift32) X(ChkShift64) X(ChkNull)
+
+/**
+ * Fused `PushI` + integer binary op: `X(name, base)`. The interpreter
+ * computes `base(stackTop, imm)` — one pop, one push, one dispatch.
+ * Division/remainder are excluded (their trap paths would complicate
+ * the mid-pair budget argument for no measurable gain: constant
+ * divisors are rare in fuzzed arithmetic).
+ */
+#define COMPDIFF_XOP_PUSHI_FUSED_LIST(X)                               \
+    X(PushIAddI, AddI) X(PushISubI, SubI) X(PushIMulI, MulI)           \
+    X(PushIAndI, AndI) X(PushIOrI, OrI) X(PushIXorI, XorI)             \
+    X(PushIShl, Shl) X(PushIShrS, ShrS) X(PushIShrU, ShrU)             \
+    X(PushICmpLtS, CmpLtS) X(PushICmpLeS, CmpLeS)                      \
+    X(PushICmpGtS, CmpGtS) X(PushICmpGeS, CmpGeS)                      \
+    X(PushICmpLtU, CmpLtU) X(PushICmpLeU, CmpLeU)                      \
+    X(PushICmpGtU, CmpGtU) X(PushICmpGeU, CmpGeU)                      \
+    X(PushICmpEq, CmpEq) X(PushICmpNe, CmpNe)
+
+/**
+ * Fused integer compare + conditional branch:
+ * `X(name, cmpBase, takenWhenZero)`. Float compares are left unfused
+ * — MiniC loop conditions are overwhelmingly integral.
+ */
+#define COMPDIFF_XOP_CMPJMP_FUSED_LIST(X)                              \
+    X(CmpLtSJmpZ, CmpLtS, 1) X(CmpLtSJmpNZ, CmpLtS, 0)                 \
+    X(CmpLeSJmpZ, CmpLeS, 1) X(CmpLeSJmpNZ, CmpLeS, 0)                 \
+    X(CmpGtSJmpZ, CmpGtS, 1) X(CmpGtSJmpNZ, CmpGtS, 0)                 \
+    X(CmpGeSJmpZ, CmpGeS, 1) X(CmpGeSJmpNZ, CmpGeS, 0)                 \
+    X(CmpLtUJmpZ, CmpLtU, 1) X(CmpLtUJmpNZ, CmpLtU, 0)                 \
+    X(CmpLeUJmpZ, CmpLeU, 1) X(CmpLeUJmpNZ, CmpLeU, 0)                 \
+    X(CmpGtUJmpZ, CmpGtU, 1) X(CmpGtUJmpNZ, CmpGtU, 0)                 \
+    X(CmpGeUJmpZ, CmpGeU, 1) X(CmpGeUJmpNZ, CmpGeU, 0)                 \
+    X(CmpEqJmpZ, CmpEq, 1) X(CmpEqJmpNZ, CmpEq, 0)                     \
+    X(CmpNeJmpZ, CmpNe, 1) X(CmpNeJmpNZ, CmpNe, 0)
+
+/**
+ * Fused `FrameAddr` + load: `X(name, loadBase)` — a local-variable
+ * read in one dispatch. The address is fp-relative and never
+ * MSan-poisoned, so the pair's only observable effects are the load's
+ * own (ASan check, poison propagation of the loaded value).
+ */
+#define COMPDIFF_XOP_FRAMELD_FUSED_LIST(X)                             \
+    X(FrameAddrLd8S, Ld8S) X(FrameAddrLd8U, Ld8U)                      \
+    X(FrameAddrLd32S, Ld32S) X(FrameAddrLd32U, Ld32U)                  \
+    X(FrameAddrLd64, Ld64) X(FrameAddrLdF, LdF)
+
+/** Decoded opcode space: base ops, fused ops, and the sentinel. */
+enum class XOp : std::uint8_t
+{
+#define COMPDIFF_X(name) name,
+    COMPDIFF_XOP_BASE_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base) name,
+        COMPDIFF_XOP_PUSHI_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base, z) name,
+            COMPDIFF_XOP_CMPJMP_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+#define COMPDIFF_X(name, base) name,
+                COMPDIFF_XOP_FRAMELD_FUSED_LIST(COMPDIFF_X)
+#undef COMPDIFF_X
+    /** Trailing sentinel: deterministic trap on pc overrun. */
+    TrapEnd,
+    Count_, ///< number of decoded opcodes (jump-table size)
+};
+
+/** Human-readable decoded-opcode mnemonic (tests, disassembly). */
+const char *xopName(XOp op);
+
+/**
+ * One decoded instruction. 32 bytes, so two fit per cache line and
+ * the dispatch loop's next-instruction prefetch is cheap.
+ */
+struct XInsn
+{
+    XOp op = XOp::Nop;
+    std::int32_t a = 0;      ///< offset / id / decoded branch target
+    std::int32_t b = 0;      ///< argc and other secondary operands
+    /** Folded Block id (-1 = no Block folded into this insn). */
+    std::int32_t blk = -1;
+    std::uint32_t line = 0;  ///< source line, for sanitizer reports
+    std::uint32_t blkLine = 0; ///< source line of the folded Block
+    std::int64_t imm = 0;    ///< constant or double bits
+};
+static_assert(sizeof(XInsn) == 32, "XInsn must stay two-per-line");
+
+/** One decoded function body (parallel to Module::functions). */
+struct DecodedFunction
+{
+    /** Decoded stream; always ends with a TrapEnd sentinel. */
+    std::vector<XInsn> code;
+    /** Source instructions represented (fusion/folding folded in). */
+    std::size_t sourceInsns = 0;
+};
+
+/** The decoded image of one Module. */
+struct DecodedProgram
+{
+    std::vector<DecodedFunction> functions;
+    bool fused = false; ///< decoded with superinstruction fusion?
+};
+
+/** Decode knobs (the identity tests decode both ways). */
+struct DecodeOptions
+{
+    /** Enable superinstruction fusion and Block folding. */
+    bool fuse = true;
+};
+
+/**
+ * Lower a module into threaded-code form. Pure and deterministic;
+ * called once per compiled module (compiler::Compiler attaches the
+ * result to Module::decoded) or lazily by a Vm bound to a hand-built
+ * module.
+ */
+std::shared_ptr<const DecodedProgram>
+decodeModule(const Module &module, DecodeOptions options = {});
+
+} // namespace compdiff::bytecode

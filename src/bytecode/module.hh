@@ -9,6 +9,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 
 namespace compdiff::bytecode
 {
+
+struct DecodedProgram; // bytecode/decode.hh
 
 /** Frame-slot descriptor (one local variable or parameter). */
 struct FrameSlot
@@ -90,6 +93,15 @@ struct Module
     std::vector<std::uint8_t> rodata;
     std::uint64_t globalsSegmentSize = 0;
     int mainIndex = -1;
+
+    /**
+     * Threaded-code image of this module (bytecode/decode.hh), built
+     * once at compile time so every Vm bound to the module — across
+     * the whole k-way oracle, all jobs, all batch runs — shares one
+     * decoded copy. Null for hand-assembled modules; the Vm decodes
+     * those lazily on first bind.
+     */
+    std::shared_ptr<const DecodedProgram> decoded;
 
     /** Find a function by name; nullptr when absent. */
     const Function *findFunction(const std::string &name) const;

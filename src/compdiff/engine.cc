@@ -99,6 +99,16 @@ DiffEngine::DiffEngine(const minic::Program &program,
                        ImplementationSet impls, DiffOptions options)
     : impls_(std::move(impls)), options_(std::move(options))
 {
+    compileAll(program);
+    service_ = std::make_unique<ExecutionService>(
+        impls_, artifacts_, options_.limits, options_.jobs);
+}
+
+DiffEngine::~DiffEngine() = default;
+
+void
+DiffEngine::compileAll(const minic::Program &program)
+{
     obs::Span span("compdiff.compileAll");
     // One pretty-print fingerprints the program for the whole
     // k-implementation batch; each simulated compile is then a
@@ -106,14 +116,19 @@ DiffEngine::DiffEngine(const minic::Program &program,
     CompileContext ctx;
     ctx.programHash = compiler::programFingerprint(program);
     ctx.traitsTweak = options_.traitsTweak;
+    artifacts_.clear();
     artifacts_.reserve(impls_.size());
     for (const auto &impl : impls_)
         artifacts_.push_back(impl->compile(program, ctx));
-    service_ = std::make_unique<ExecutionService>(
-        impls_, artifacts_, options_.limits, options_.jobs);
 }
 
-DiffEngine::~DiffEngine() = default;
+void
+DiffEngine::retarget(const minic::Program &program)
+{
+    obs::Span span("compdiff.retarget");
+    compileAll(program);
+    service_->rebindArtifacts(artifacts_);
+}
 
 DiffResult
 DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
@@ -121,27 +136,62 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
     obs::Span run_span("compdiff.runInput");
     DiffResult result;
     result.observations.resize(impls_.size());
+    result.attempts = 1;
+    // The k executions of a round run on the engine's
+    // ExecutionService (in parallel when options_.jobs > 1);
+    // observations land in configuration order either way.
+    service_->runRound(input, nonce_base,
+                       options_.limits.maxInstructions,
+                       options_.normalizer, result.observations);
+    finishInput(result, input, nonce_base);
+    return result;
+}
 
+std::vector<DiffResult>
+DiffEngine::runBatch(const std::vector<Bytes> &inputs,
+                     const std::vector<std::uint64_t> &nonce_bases) const
+{
+    obs::Span run_span("compdiff.runBatch");
+    std::vector<DiffResult> results(inputs.size());
+    if (inputs.empty())
+        return results;
+
+    // First round for the whole batch, implementation-major: each
+    // resident executor (warm decoded module + arena) runs every
+    // input back to back.
+    std::vector<std::vector<Observation>> rounds;
+    service_->runBatch(inputs, nonce_bases,
+                       options_.limits.maxInstructions,
+                       options_.normalizer, rounds);
+    for (std::size_t b = 0; b < inputs.size(); b++) {
+        results[b].attempts = 1;
+        results[b].observations = std::move(rounds[b]);
+        // RQ6 retries (rare) and classification complete per input.
+        finishInput(results[b], inputs[b], nonce_bases[b]);
+    }
+    return results;
+}
+
+void
+DiffEngine::finishInput(DiffResult &result, const Bytes &input,
+                        std::uint64_t nonce_base) const
+{
+    // result.observations holds the first round; the loop below
+    // continues the budget schedule exactly where a serial
+    // runInput's round loop would be after its first iteration.
     std::uint64_t budget = options_.limits.maxInstructions;
-    int attempts_left = options_.retryTimeouts
-                            ? options_.timeoutRetries + 1
-                            : 1;
+    int attempts_left = (options_.retryTimeouts
+                             ? options_.timeoutRetries + 1
+                             : 1) -
+                        1;
 
-    while (attempts_left-- > 0) {
-        result.attempts++;
-        // The k executions of this round run on the engine's
-        // ExecutionService (in parallel when options_.jobs > 1);
-        // observations land in configuration order either way.
-        service_->runRound(input, nonce_base, budget,
-                           options_.normalizer,
-                           result.observations);
+    while (true) {
         bool any_timeout = false;
         bool all_timeout = true;
         for (const Observation &obs : result.observations) {
             any_timeout |= obs.timedOut;
             all_timeout &= obs.timedOut;
         }
-
         if (!any_timeout || all_timeout) {
             result.unresolvedTimeout = false;
             break;
@@ -151,6 +201,11 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
         result.unresolvedTimeout = true;
         budget *= options_.timeoutBudgetFactor;
         obs::counter("compdiff.timeout_retries").add();
+        if (attempts_left-- <= 0)
+            break;
+        result.attempts++;
+        service_->runRound(input, nonce_base, budget,
+                           options_.normalizer, result.observations);
     }
 
     // Assign behavior classes.
@@ -186,7 +241,6 @@ DiffEngine::runInput(const Bytes &input, std::uint64_t nonce_base) const
         obs::histogram("compdiff.classes_per_run")
             .observe(result.classCount);
     }
-    return result;
 }
 
 std::optional<DiffResult>

@@ -165,6 +165,30 @@ class DiffEngine
     DiffResult runInput(const support::Bytes &input,
                         std::uint64_t nonce_base = 0) const;
 
+    /**
+     * Run a batch of inputs against the resident binaries — one
+     * DiffResult per input, each bit-identical to
+     * runInput(inputs[b], nonce_bases[b]). The first execution round
+     * of the whole batch is dispatched implementation-major through
+     * the ExecutionService (each resident executor runs every input
+     * back to back); the rare RQ6 timeout-retry rounds then complete
+     * per input. `nonce_bases` must have one entry per input.
+     */
+    std::vector<DiffResult>
+    runBatch(const std::vector<support::Bytes> &inputs,
+             const std::vector<std::uint64_t> &nonce_bases) const;
+
+    /**
+     * Recompile the oracle for a new program and retarget the
+     * resident executors at the fresh artifacts in place (falling
+     * back to executor rebuilds for backends that cannot rebind).
+     * Equivalent to constructing a new engine with the same
+     * implementations and options, minus the per-program setup cost —
+     * the reduction oracle retargets one engine across thousands of
+     * candidate programs.
+     */
+    void retarget(const minic::Program &program);
+
     /** First divergence-triggering input among `inputs`, if any. */
     std::optional<DiffResult>
     findDivergence(const std::vector<support::Bytes> &inputs) const;
@@ -181,6 +205,17 @@ class DiffEngine
     const DiffOptions &options() const { return options_; }
 
   private:
+    /**
+     * Complete a result whose observations hold the first round
+     * (result.attempts == 1): run the RQ6 timeout-retry loop, assign
+     * behavior classes, and record metrics. Shared by runInput and
+     * runBatch so the two paths cannot drift.
+     */
+    void finishInput(DiffResult &result, const support::Bytes &input,
+                     std::uint64_t nonce_base) const;
+
+    void compileAll(const minic::Program &program);
+
     ImplementationSet impls_;
     DiffOptions options_;
     std::vector<std::shared_ptr<const Artifact>> artifacts_;

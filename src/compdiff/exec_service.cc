@@ -12,18 +12,31 @@ ExecutionService::ExecutionService(
     ImplementationSet impls,
     std::vector<std::shared_ptr<const Artifact>> artifacts,
     vm::VmLimits limits, std::size_t jobs)
-    : jobs_(jobs == 0 ? support::ThreadPool::hardwareWorkers()
+    : impls_(std::move(impls)), limits_(limits),
+      jobs_(jobs == 0 ? support::ThreadPool::hardwareWorkers()
                       : jobs)
 {
-    ids_.reserve(impls.size());
-    executors_.reserve(impls.size());
-    for (std::size_t i = 0; i < impls.size(); i++) {
-        ids_.push_back(impls[i]->id());
+    ids_.reserve(impls_.size());
+    executors_.reserve(impls_.size());
+    for (std::size_t i = 0; i < impls_.size(); i++) {
+        ids_.push_back(impls_[i]->id());
         executors_.push_back(
-            impls[i]->makeExecutor(artifacts[i], limits));
+            impls_[i]->makeExecutor(artifacts[i], limits_));
     }
     if (jobs_ > 1)
         pool_ = std::make_unique<support::ThreadPool>(jobs_);
+}
+
+void
+ExecutionService::rebindArtifacts(
+    const std::vector<std::shared_ptr<const Artifact>> &artifacts)
+{
+    for (std::size_t i = 0; i < executors_.size(); i++) {
+        if (!executors_[i]->rebind(artifacts[i])) {
+            executors_[i] =
+                impls_[i]->makeExecutor(artifacts[i], limits_);
+        }
+    }
 }
 
 void
@@ -71,6 +84,47 @@ ExecutionService::runRound(const Bytes &input,
                          &normalizer, &out] {
             executeOne(i, input, nonce_base, budget, normalizer,
                        out[i]);
+        });
+    }
+    pool_->runAll(std::move(tasks));
+}
+
+void
+ExecutionService::runBatch(const std::vector<Bytes> &inputs,
+                           const std::vector<std::uint64_t> &nonce_bases,
+                           std::uint64_t budget,
+                           const OutputNormalizer &normalizer,
+                           std::vector<std::vector<Observation>> &out)
+{
+    out.resize(inputs.size());
+    for (auto &row : out)
+        row.resize(executors_.size());
+
+    // Implementation-major: one executor runs the whole input batch
+    // before the next implementation starts. Every (i, b) cell is a
+    // pure function of (implementation, input, nonce_base, budget),
+    // so this order — and the jobs > 1 fan-out below — reproduces
+    // per-input rounds bit for bit.
+    if (!pool_) {
+        for (std::size_t i = 0; i < executors_.size(); i++) {
+            for (std::size_t b = 0; b < inputs.size(); b++) {
+                executeOne(i, inputs[b], nonce_bases[b], budget,
+                           normalizer, out[b][i]);
+            }
+        }
+        return;
+    }
+    // One task per implementation (an executor is single-threaded);
+    // each task walks the batch serially.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(executors_.size());
+    for (std::size_t i = 0; i < executors_.size(); i++) {
+        tasks.push_back([this, i, &inputs, &nonce_bases, budget,
+                         &normalizer, &out] {
+            for (std::size_t b = 0; b < inputs.size(); b++) {
+                executeOne(i, inputs[b], nonce_bases[b], budget,
+                           normalizer, out[b][i]);
+            }
         });
     }
     pool_->runAll(std::move(tasks));

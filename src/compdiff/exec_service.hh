@@ -74,6 +74,39 @@ class ExecutionService
                   const OutputNormalizer &normalizer,
                   std::vector<Observation> &out);
 
+    /**
+     * Execute every implementation on every input (one first round
+     * per input) and fill `out[b][i]` with input b's observation of
+     * implementation i — exactly what runRound(inputs[b],
+     * nonce_bases[b], ...) would have produced, since each
+     * observation depends only on (implementation, input,
+     * nonce_base, budget).
+     *
+     * The iteration order is the batch win: implementation-major, so
+     * each resident executor (and its decoded module, warm arena, and
+     * branch-predictor state) runs the whole input batch back to back
+     * instead of being interleaved k ways per input. With jobs > 1
+     * the batch becomes k tasks — one per implementation, each
+     * serial over the inputs — one pool dispatch instead of one per
+     * input.
+     */
+    void runBatch(const std::vector<support::Bytes> &inputs,
+                  const std::vector<std::uint64_t> &nonce_bases,
+                  std::uint64_t budget,
+                  const OutputNormalizer &normalizer,
+                  std::vector<std::vector<Observation>> &out);
+
+    /**
+     * Retarget every resident executor at a new per-implementation
+     * artifact vector (same implementation order as construction).
+     * Executors whose backend cannot rebind in place are rebuilt via
+     * makeExecutor. This is what keeps one service (and its warm
+     * Vm arenas) alive across the thousands of candidate programs a
+     * reduction or fuzzing campaign compiles.
+     */
+    void rebindArtifacts(
+        const std::vector<std::shared_ptr<const Artifact>> &artifacts);
+
     /** Number of implementations (k). */
     std::size_t size() const { return executors_.size(); }
 
@@ -86,10 +119,13 @@ class ExecutionService
                     const OutputNormalizer &normalizer,
                     Observation &out);
 
+    /** The oracle members (kept for rebind fallbacks). */
+    ImplementationSet impls_;
     /** Implementation ids, observation order (summaries/spans). */
     std::vector<std::string> ids_;
     /** Resident per-implementation workers (forkserver reuse). */
     std::vector<std::unique_ptr<Executor>> executors_;
+    vm::VmLimits limits_;
     std::size_t jobs_;
     /** Present only when jobs_ > 1. */
     std::unique_ptr<support::ThreadPool> pool_;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 #include <mutex>
+#include <optional>
 
 #include "compiler/cache.hh"
 #include "compiler/compiler.hh"
@@ -55,14 +56,28 @@ class SimulatedExecutor : public Executor
             std::uint64_t budget) override
     {
         vm_.setMaxInstructions(budget);
-        const vm::ExecutionResult run =
+        vm::ExecutionResult run =
             vm_.run(input, /*coverage=*/nullptr, nonce);
         RawObservation out;
-        out.output = run.output;
+        out.output = std::move(run.output);
         out.exitClass = run.exitClass();
         out.timedOut = run.timedOut();
         out.instructions = run.instructions;
         return out;
+    }
+
+    bool
+    rebind(std::shared_ptr<const Artifact> artifact) override
+    {
+        auto art = std::dynamic_pointer_cast<const SimulatedArtifact>(
+            std::move(artifact));
+        if (!art)
+            return false;
+        // Keep the old artifact alive until the Vm points at the new
+        // module; the arena (address space, heap, stacks) survives.
+        vm_.rebind(*art->module);
+        artifact_ = std::move(art);
+        return true;
     }
 
   private:
@@ -152,28 +167,43 @@ class RefExecutor : public Executor
   public:
     RefExecutor(std::shared_ptr<const RefArtifact> art,
                 const vm::VmLimits &limits)
-        : artifact_(std::move(art)),
-          interp_(*artifact_->program, limits)
+        : artifact_(std::move(art)), limits_(limits)
     {
+        interp_.emplace(*artifact_->program, limits_);
     }
 
     RawObservation
     execute(const support::Bytes &input, std::uint64_t nonce,
             std::uint64_t budget) override
     {
-        interp_.setMaxInstructions(budget);
-        const vm::ExecutionResult run = interp_.run(input, nonce);
+        interp_->setMaxInstructions(budget);
+        vm::ExecutionResult run = interp_->run(input, nonce);
         RawObservation out;
-        out.output = run.output;
+        out.output = std::move(run.output);
         out.exitClass = run.exitClass();
         out.timedOut = run.timedOut();
         out.instructions = run.instructions;
         return out;
     }
 
+    bool
+    rebind(std::shared_ptr<const Artifact> artifact) override
+    {
+        auto art = std::dynamic_pointer_cast<const RefArtifact>(
+            std::move(artifact));
+        if (!art)
+            return false;
+        // The tree-walker precomputes per-program layout at
+        // construction; rebuild it in place for the new AST.
+        artifact_ = std::move(art);
+        interp_.emplace(*artifact_->program, limits_);
+        return true;
+    }
+
   private:
     std::shared_ptr<const RefArtifact> artifact_;
-    refinterp::RefInterpreter interp_;
+    vm::VmLimits limits_;
+    std::optional<refinterp::RefInterpreter> interp_;
 };
 
 class RefInterpImpl : public Implementation

@@ -100,6 +100,20 @@ class Executor
     virtual RawObservation execute(const support::Bytes &input,
                                    std::uint64_t nonce,
                                    std::uint64_t budget) = 0;
+
+    /**
+     * Retarget this executor at a new artifact from the same
+     * implementation, keeping warm per-worker state (a Vm's arena, a
+     * tree-walker's layout caches). Returns false when the backend
+     * does not support in-place rebinding; the caller then falls back
+     * to Implementation::makeExecutor. The resident-executor campaign
+     * path: reduction and fuzzing retarget one executor set across
+     * thousands of candidate programs.
+     */
+    virtual bool rebind(std::shared_ptr<const Artifact> /*artifact*/)
+    {
+        return false;
+    }
 };
 
 /** Options threaded into Implementation::compile. */

@@ -1,5 +1,6 @@
 #include "compiler/compiler.hh"
 
+#include "bytecode/decode.hh"
 #include "compiler/lowering.hh"
 #include "compiler/passes.hh"
 #include "minic/parser.hh"
@@ -36,7 +37,12 @@ Compiler::compileWithTraits(const CompilerConfig &config,
     }
 
     Lowering lowering(program_, config, traits);
-    return lowering.lower(clones);
+    bytecode::Module module = lowering.lower(clones);
+    // Lower once more into threaded-code form so every Vm bound to
+    // this module (k-way oracle, batch runs, cache hits) shares one
+    // decoded image instead of re-decoding per executor.
+    module.decoded = bytecode::decodeModule(module);
+    return module;
 }
 
 bytecode::Module

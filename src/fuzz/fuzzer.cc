@@ -94,63 +94,114 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
     }
 
     // --- the CompDiff part (Algorithm 1, lines 9-12) ---
-    if (diffEngine_) {
-        auto diff = diffEngine_->runInput(input, nonceCounter_);
-        // Retries re-ran every implementation; count actual
-        // executions so per-config totals stay consistent (RQ6).
-        const std::uint64_t rounds =
-            diff.attempts > 0
-                ? static_cast<std::uint64_t>(diff.attempts)
-                : 1;
-        stats_.compdiffExecs += rounds * diffEngine_->size();
-        for (auto &execs : perConfigExecs_)
-            execs += rounds;
+    if (!diffEngine_)
+        return;
 
-        // Optional NEZHA-style feedback: a new behavior-class
-        // partition is as interesting as new coverage.
-        if (options_.divergenceFeedback) {
-            support::HashCombiner partition;
-            for (std::size_t cls : diff.classOf)
-                partition.add(cls);
-            if (partitionsSeen_.insert(partition.digest()).second &&
-                partitionsSeen_.size() > 1) {
-                corpus_.push_back({input, coverage_.countBits(),
-                                   stats_.execs,
-                                   static_cast<int>(depth) + 1});
-            }
-        }
+    if (oracleBatchActive_) {
+        // Defer the k-way oracle round: the queue drains through
+        // DiffEngine::runBatch at the next observation point (plot
+        // sample, safe point, end of run), implementation-major so
+        // each resident binary runs the batch back to back.
+        // nonceCounter_ == stats_.execs here, so the recorded exec
+        // index doubles as the oracle nonce base — the same value
+        // restoreState() replays the record under.
+        pendingDiffs_.push_back(
+            {std::move(input), nonceCounter_, result.probes});
+        return;
+    }
 
-        if (diff.divergent) {
-            // Unique by the set of ground-truth probes the input
-            // fired (the automatic stand-in for the paper's manual
-            // triage); inputs with no probes fall back to the
-            // behavior-class partition.
-            support::HashCombiner combiner;
-            std::vector<int> probes = result.probes;
-            std::sort(probes.begin(), probes.end());
-            probes.erase(std::unique(probes.begin(), probes.end()),
-                         probes.end());
-            if (probes.empty()) {
-                for (std::size_t i = 0; i < diff.classOf.size(); i++)
-                    combiner.add(diff.classOf[i]);
-                for (const auto &obs : diff.observations)
-                    combiner.addString(obs.exitClass);
-            } else {
-                for (int probe : probes)
-                    combiner.add(static_cast<std::uint64_t>(probe));
-            }
-            const std::uint64_t signature = combiner.digest();
-            if (!diffSignatures_.count(signature)) {
-                diffSignatures_[signature] = diffs_.size();
-                diffs_.push_back({input, std::move(diff),
-                                  stats_.execs, result.probes,
-                                  signature});
-                stats_.lastFindExec = stats_.execs;
-                stats_.lastDiffExec = stats_.execs;
-                obs::counter("fuzz.unique_diffs").add();
-            }
+    auto diff = diffEngine_->runInput(input, nonceCounter_);
+
+    // Optional NEZHA-style feedback: a new behavior-class partition
+    // is as interesting as new coverage. Feedback mutates the corpus
+    // per execution, which is why the batch path above is never
+    // taken when it is enabled.
+    if (options_.divergenceFeedback) {
+        support::HashCombiner partition;
+        for (std::size_t cls : diff.classOf)
+            partition.add(cls);
+        if (partitionsSeen_.insert(partition.digest()).second &&
+            partitionsSeen_.size() > 1) {
+            corpus_.push_back({input, coverage_.countBits(),
+                               stats_.execs,
+                               static_cast<int>(depth) + 1});
         }
     }
+
+    recordDiffOutcome(input, std::move(diff), result.probes,
+                      stats_.execs);
+}
+
+void
+Fuzzer::recordDiffOutcome(const Bytes &input, core::DiffResult diff,
+                          const std::vector<int> &probes,
+                          std::uint64_t exec_index)
+{
+    // Retries re-ran every implementation; count actual executions
+    // so per-config totals stay consistent (RQ6).
+    const std::uint64_t rounds =
+        diff.attempts > 0 ? static_cast<std::uint64_t>(diff.attempts)
+                          : 1;
+    stats_.compdiffExecs += rounds * diffEngine_->size();
+    for (auto &execs : perConfigExecs_)
+        execs += rounds;
+
+    if (!diff.divergent)
+        return;
+    // Unique by the set of ground-truth probes the input fired (the
+    // automatic stand-in for the paper's manual triage); inputs with
+    // no probes fall back to the behavior-class partition.
+    support::HashCombiner combiner;
+    std::vector<int> sorted = probes;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                 sorted.end());
+    if (sorted.empty()) {
+        for (std::size_t i = 0; i < diff.classOf.size(); i++)
+            combiner.add(diff.classOf[i]);
+        for (const auto &obs : diff.observations)
+            combiner.addString(obs.exitClass);
+    } else {
+        for (int probe : sorted)
+            combiner.add(static_cast<std::uint64_t>(probe));
+    }
+    const std::uint64_t signature = combiner.digest();
+    if (!diffSignatures_.count(signature)) {
+        diffSignatures_[signature] = diffs_.size();
+        diffs_.push_back(
+            {input, std::move(diff), exec_index, probes, signature});
+        // max(), not assignment: a batch flush can record a find
+        // after later executions already advanced the clock, and
+        // the serial path's monotone assignments are the same value.
+        stats_.lastFindExec =
+            std::max(stats_.lastFindExec, exec_index);
+        stats_.lastDiffExec =
+            std::max(stats_.lastDiffExec, exec_index);
+        obs::counter("fuzz.unique_diffs").add();
+    }
+}
+
+void
+Fuzzer::flushDiffBatch()
+{
+    if (pendingDiffs_.empty())
+        return;
+    obs::Span span("fuzz.flushDiffBatch");
+    std::vector<Bytes> inputs;
+    std::vector<std::uint64_t> nonce_bases;
+    inputs.reserve(pendingDiffs_.size());
+    nonce_bases.reserve(pendingDiffs_.size());
+    for (auto &pending : pendingDiffs_) {
+        inputs.push_back(std::move(pending.input));
+        nonce_bases.push_back(pending.execIndex);
+    }
+    auto results = diffEngine_->runBatch(inputs, nonce_bases);
+    for (std::size_t i = 0; i < results.size(); i++) {
+        recordDiffOutcome(inputs[i], std::move(results[i]),
+                          pendingDiffs_[i].probes,
+                          pendingDiffs_[i].execIndex);
+    }
+    pendingDiffs_.clear();
 }
 
 std::size_t
@@ -168,6 +219,11 @@ Fuzzer::importSeeds(const std::vector<Bytes> &inputs)
         executeOne(std::move(capped), 0);
         imported++;
     }
+    // Imports happen at safe points (fleet sync inside the iteration
+    // hook): complete their deferred oracle runs before returning so
+    // the caller — which may checkpoint next — sees fully triaged
+    // state, exactly as the serial path would leave it.
+    flushDiffBatch();
     return imported;
 }
 
@@ -196,6 +252,14 @@ Fuzzer::run()
     if (resumed_ && stats_.execs >= options_.maxExecs)
         return stats_;
 
+    // Batch the oracle whenever its results cannot influence fuzzing
+    // decisions (divergence feedback folds oracle results back into
+    // the corpus, so it stays serial). Every observation point below
+    // flushes first, which keeps plot rows, checkpoints, and final
+    // stats bit-identical to the serial oracle.
+    oracleBatchActive_ = diffEngine_ && options_.oracleBatch &&
+                         !options_.divergenceFeedback;
+
     const auto sample_plot = [&] {
         plot_.addRow({stats_.execs, corpus_.size(), crashes_.size(),
                       diffs_.size(), virgin_.edgesSeen(),
@@ -216,11 +280,15 @@ Fuzzer::run()
     }
 
     while (stats_.execs < options_.maxExecs) {
-        // Safe point: all campaign state is consistent here, so the
-        // session hook can checkpoint — or halt — between seeds.
-        if (hook_ && !hook_(*this)) {
-            haltedByHook_ = true;
-            break;
+        // Safe point: the batch flush makes all campaign state
+        // consistent here, so the session hook can checkpoint — or
+        // halt — between seeds.
+        if (hook_) {
+            flushDiffBatch();
+            if (!hook_(*this)) {
+                haltedByHook_ = true;
+                break;
+            }
         }
 
         const std::size_t seed_index = selectSeed();
@@ -246,12 +314,15 @@ Fuzzer::run()
             }
             executeOne(child, static_cast<std::size_t>(depth));
             if (stats_.execs >= nextPlot_) {
+                flushDiffBatch();
                 sample_plot();
                 nextPlot_ += plot_every;
             }
         }
     }
 
+    flushDiffBatch();
+    oracleBatchActive_ = false;
     stats_.seeds = corpus_.size();
     stats_.crashes = crashes_.size();
     stats_.diffs = diffs_.size();

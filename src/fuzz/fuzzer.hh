@@ -119,6 +119,20 @@ struct FuzzOptions
      */
     bool divergenceFeedback = false;
 
+    /**
+     * Batch the CompDiff oracle: queue generated inputs and run them
+     * through DiffEngine::runBatch at observation points (plot
+     * samples, safe points, end of run) instead of one k-way round
+     * per execution, so each resident binary (decoded module, warm
+     * arena) runs the whole batch back to back. Observable campaign
+     * state — stats, plot rows, found diffs, checkpoints — is
+     * bit-identical to the serial oracle; the knob exists to A/B the
+     * two execution paths. Ignored (stays serial) under
+     * divergenceFeedback, whose oracle results steer the corpus and
+     * therefore cannot be deferred.
+     */
+    bool oracleBatch = true;
+
     vm::VmLimits limits;
     /** Mutations attempted per selected seed. */
     std::uint32_t energyBase = 16;
@@ -333,6 +347,18 @@ class Fuzzer
     /** Takes the input by value: executing it may grow corpus_ and
      *  would invalidate any reference into it. */
     void executeOne(support::Bytes input, std::size_t depth);
+    /** Account one oracle outcome (RQ6 retry rounds) and
+     *  dedup/record a divergence. Shared by the serial oracle path
+     *  and batch flushes so the two cannot drift; `exec_index` is
+     *  the execution the input was generated at, which a flush
+     *  records even after later executions advanced the clock. */
+    void recordDiffOutcome(const support::Bytes &input,
+                           core::DiffResult diff,
+                           const std::vector<int> &probes,
+                           std::uint64_t exec_index);
+    /** Run every queued input through DiffEngine::runBatch and
+     *  record the outcomes. No-op when nothing is pending. */
+    void flushDiffBatch();
     /** The crash-dedup key of a B_fuzz result. */
     static std::string
     crashSignatureOf(const vm::ExecutionResult &result);
@@ -343,7 +369,8 @@ class Fuzzer
     Mutator mutator_;
 
     std::shared_ptr<const bytecode::Module> fuzzModule_;
-    /** Resident B_fuzz binary (forkserver reuse; run() is const). */
+    /** Resident B_fuzz binary (forkserver reuse across the
+     *  campaign; its per-run arena is reset, not reallocated). */
     vm::Vm fuzzVm_;
     std::unique_ptr<core::DiffEngine> diffEngine_;
 
@@ -371,6 +398,22 @@ class Fuzzer
     /** Executions of each oracle member, implementation order. */
     std::vector<std::uint64_t> perConfigExecs_;
     obs::PlotWriter plot_;
+
+    /** An execution whose oracle run is deferred to the next batch
+     *  flush (FuzzOptions::oracleBatch). */
+    struct PendingDiff
+    {
+        support::Bytes input;
+        /** Execution index == oracle nonce base (the same value
+         *  restoreState() replays the record under). */
+        std::uint64_t execIndex = 0;
+        /** Ground-truth probes from the B_fuzz run (triage key). */
+        std::vector<int> probes;
+    };
+    std::vector<PendingDiff> pendingDiffs_;
+    /** True while run() batches the oracle; executeOne() queues
+     *  instead of running the k-way round inline. */
+    bool oracleBatchActive_ = false;
 };
 
 } // namespace compdiff::fuzz

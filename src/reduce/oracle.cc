@@ -45,16 +45,23 @@ SignatureOracle::engineFor(const minic::Program &program)
 {
     // The witness program outlives the oracle, so its engine is
     // kept. Any other program is a reduction candidate borrowed for
-    // ONE call: its engine must not be cached — candidates die after
-    // the call, and a later candidate can reuse the same heap
-    // address, which would silently revive an engine whose artifacts
-    // reference the freed AST. Rebuilding is nearly free anyway: the
-    // simulated family memoizes modules in the process-wide
-    // CompileCache, so only genuinely new candidate sources compile.
+    // ONE call, so the candidate engine is retargeted on EVERY call —
+    // never keyed on &program. (A candidate dies after its call and a
+    // later candidate can reuse the same heap address, so an
+    // address-keyed cache would silently serve an engine whose
+    // artifacts reference the freed AST.) Retargeting recompiles
+    // through the process-wide CompileCache (only genuinely new
+    // candidate sources compile) and rebinds the resident executors
+    // in place, so the per-candidate cost is a cache lookup plus a
+    // module rebind — no executor, Vm, or arena reconstruction.
     if (&program == witnessProgram_)
         return *witnessEngine_;
-    candidateEngine_ = std::make_unique<core::DiffEngine>(
-        program, impls_, options_);
+    if (!candidateEngine_) {
+        candidateEngine_ = std::make_unique<core::DiffEngine>(
+            program, impls_, options_);
+    } else {
+        candidateEngine_->retarget(program);
+    }
     return *candidateEngine_;
 }
 

@@ -11,7 +11,8 @@ using compiler::Traits;
 AddressSpace::AddressSpace(const Traits &traits, bool asan, bool msan,
                            std::uint64_t stack_size,
                            std::uint64_t heap_size)
-    : asan_(asan), msan_(msan)
+    : asan_(asan), msan_(msan), stackFill_(traits.stackFill),
+      heapFill_(traits.heapFill)
 {
     rodata_.kind = SegmentKind::Rodata;
     rodata_.base = traits.rodataBase;
@@ -56,6 +57,46 @@ AddressSpace::setGlobalsSize(std::uint64_t size)
         globals_.valid.assign(globals_.data.size(), 0);
     if (msan_)
         globals_.poison.assign(globals_.data.size(), 0);
+    globals_.dirtyLo = ~std::uint64_t{0};
+    globals_.dirtyHi = 0;
+}
+
+void
+AddressSpace::initGlobals(const std::vector<std::uint8_t> &image)
+{
+    if (image.empty())
+        return;
+    std::memcpy(globals_.data.data(), image.data(), image.size());
+    globals_.markDirty(0, image.size());
+}
+
+void
+AddressSpace::resetSegment(Segment &seg, std::uint8_t fill)
+{
+    if (seg.dirtyLo >= seg.dirtyHi)
+        return;
+    const std::uint64_t lo = seg.dirtyLo;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(seg.dirtyHi, seg.data.size());
+    if (lo < hi) {
+        const auto span = static_cast<std::ptrdiff_t>(hi - lo);
+        const auto off = static_cast<std::ptrdiff_t>(lo);
+        std::fill_n(seg.data.begin() + off, span, fill);
+        if (!seg.valid.empty())
+            std::fill_n(seg.valid.begin() + off, span, 0);
+        if (!seg.poison.empty())
+            std::fill_n(seg.poison.begin() + off, span, 0);
+    }
+    seg.dirtyLo = ~std::uint64_t{0};
+    seg.dirtyHi = 0;
+}
+
+void
+AddressSpace::resetForRun()
+{
+    resetSegment(globals_, 0);
+    resetSegment(stack_, stackFill_);
+    resetSegment(heap_, heapFill_);
 }
 
 Segment *
@@ -115,6 +156,7 @@ AddressSpace::write(std::uint64_t addr, std::uint64_t size,
 
     std::memcpy(seg->data.data() + off, &value,
                 static_cast<std::size_t>(size));
+    seg->markDirty(off, size);
     if (msan_ && !seg->poison.empty()) {
         for (std::uint64_t i = 0; i < size; i++)
             seg->poison[off + i] = poisoned ? 1 : 0;
@@ -145,6 +187,7 @@ AddressSpace::setValid(std::uint64_t addr, std::uint64_t size,
     std::fill_n(seg->valid.begin() +
                     static_cast<std::ptrdiff_t>(off),
                 size, valid ? 1 : 0);
+    seg->markDirty(off, size);
 }
 
 void
@@ -160,6 +203,7 @@ AddressSpace::setPoison(std::uint64_t addr, std::uint64_t size,
     std::fill_n(seg->poison.begin() +
                     static_cast<std::ptrdiff_t>(off),
                 size, poisoned ? 1 : 0);
+    seg->markDirty(off, size);
 }
 
 // ===================================================================
@@ -248,6 +292,7 @@ Heap::release(std::uint64_t addr)
         std::fill_n(seg.data.begin() +
                         static_cast<std::ptrdiff_t>(addr - seg.base),
                     chunk.size, traits_.freePoisonByte);
+        seg.markDirty(addr - seg.base, chunk.size);
     }
     if (asan_) {
         space_.setValid(addr, chunk.size, false);
@@ -274,6 +319,15 @@ Heap::chunkSize(std::uint64_t addr) const
 {
     auto it = chunks_.find(addr);
     return it == chunks_.end() ? 0 : it->second.size;
+}
+
+void
+Heap::reset()
+{
+    brk_ = 0;
+    chunks_.clear();
+    freelist_.clear();
+    quarantine_.clear();
 }
 
 } // namespace compdiff::vm

@@ -47,6 +47,27 @@ struct Segment
     /** MSan poison shadow (1 = uninitialized); empty when disabled. */
     std::vector<std::uint8_t> poison;
 
+    /**
+     * Dirty byte range [dirtyLo, dirtyHi) touched since the last
+     * AddressSpace::resetForRun(). Every mutation point (write, shadow
+     * updates, free-poisoning) records itself here, so a reset refills
+     * only what one run actually touched instead of re-allocating the
+     * whole segment — the arena that kills per-run malloc/memset churn.
+     */
+    std::uint64_t dirtyLo = ~std::uint64_t{0};
+    std::uint64_t dirtyHi = 0;
+
+    void
+    markDirty(std::uint64_t off, std::uint64_t size)
+    {
+        if (size == 0)
+            return;
+        if (off < dirtyLo)
+            dirtyLo = off;
+        if (off + size > dirtyHi)
+            dirtyHi = off + size;
+    }
+
     bool
     contains(std::uint64_t addr, std::uint64_t size) const
     {
@@ -98,6 +119,21 @@ class AddressSpace
     /** Map the globals segment (zero-filled; caller writes inits). */
     void setGlobalsSize(std::uint64_t size);
 
+    /**
+     * Copy the module's globals image into the (reset) globals
+     * segment. `image.size()` must be <= the mapped segment size.
+     */
+    void initGlobals(const std::vector<std::uint8_t> &image);
+
+    /**
+     * Restore every writable segment to its freshly-constructed state
+     * by refilling only the dirty ranges: data gets the segment's fill
+     * pattern back, shadows are zeroed. With this, one AddressSpace
+     * services many runs (see vm::Vm's arena) with per-run cost
+     * proportional to bytes touched, not bytes mapped.
+     */
+    void resetForRun();
+
     Segment &rodata() { return rodata_; }
     Segment &globals() { return globals_; }
     Segment &stack() { return stack_; }
@@ -132,12 +168,16 @@ class AddressSpace
                    bool poisoned);
 
   private:
+    static void resetSegment(Segment &seg, std::uint8_t fill);
+
     Segment rodata_;
     Segment globals_;
     Segment stack_;
     Segment heap_;
     bool asan_;
     bool msan_;
+    std::uint8_t stackFill_;
+    std::uint8_t heapFill_;
 };
 
 /**
@@ -167,6 +207,13 @@ class Heap
 
     /** Size of the chunk starting at addr (0 when unknown). */
     std::uint64_t chunkSize(std::uint64_t addr) const;
+
+    /**
+     * Forget all allocator bookkeeping (chunks, freelist, quarantine,
+     * brk). Pairs with AddressSpace::resetForRun() to recycle one
+     * Heap across runs.
+     */
+    void reset();
 
   private:
     struct Chunk

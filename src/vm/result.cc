@@ -27,7 +27,11 @@ ExecutionResult::exitClass() const
       case Termination::Exit:
         return "exit:" + std::to_string(exitCode);
       case Termination::Trap:
-        return trap == TrapKind::Fpe ? "crash:fpe" : "crash:segv";
+        if (trap == TrapKind::Fpe)
+            return "crash:fpe";
+        if (trap == TrapKind::OperandStack)
+            return "crash:stack";
+        return "crash:segv";
       case Termination::RuntimeAbort:
         return "crash:abort";
       case Termination::SanitizerAbort:

@@ -35,6 +35,13 @@ enum class TrapKind
     None,
     Segv, ///< unmapped or read-only memory access
     Fpe,  ///< integer division fault
+    /**
+     * Operand-stack underflow/overflow on a malformed module. Lowered
+     * code is always stack-balanced, so this fires only for
+     * hand-assembled bytecode; the interpreter traps deterministically
+     * instead of indexing an empty std::vector (UB).
+     */
+    OperandStack,
 };
 
 /** One sanitizer report (analogous to a sanitizer stderr record). */

@@ -1,10 +1,13 @@
 #include "vm/vm.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
-#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "bytecode/decode.hh"
 #include "minic/ast.hh"
 #include "obs/metrics.hh"
 #include "support/logging.hh"
@@ -14,9 +17,7 @@ namespace compdiff::vm
 {
 
 using bytecode::Function;
-using bytecode::Insn;
 using bytecode::Module;
-using bytecode::Op;
 using compiler::CompilerConfig;
 using compiler::Sanitizer;
 using compiler::ShiftPolicy;
@@ -66,14 +67,91 @@ doubleToInt(double d)
     return static_cast<std::int64_t>(d);
 }
 
+/**
+ * Evaluation-stack depth cap. Lowered code is stack-balanced with
+ * depth bounded by expression nesting, so real programs never come
+ * close; the cap turns a hand-assembled push loop into a
+ * deterministic trap well before memory pressure (the instruction
+ * budget bounds growth to ~2M slots anyway).
+ */
+constexpr std::size_t kMaxOperandSlots = std::size_t{1} << 20;
+
 } // namespace
+
+DispatchMode
+defaultDispatchMode()
+{
+    static const DispatchMode mode = [] {
+#if COMPDIFF_VM_HAS_THREADED
+#ifdef COMPDIFF_DISPATCH_SWITCH
+        DispatchMode m = DispatchMode::Switch;
+#else
+        DispatchMode m = DispatchMode::Threaded;
+#endif
+#else
+        DispatchMode m = DispatchMode::Switch;
+#endif
+        if (const char *env = std::getenv("COMPDIFF_DISPATCH")) {
+            if (std::strcmp(env, "switch") == 0)
+                m = DispatchMode::Switch;
+#if COMPDIFF_VM_HAS_THREADED
+            else if (std::strcmp(env, "threaded") == 0)
+                m = DispatchMode::Threaded;
+#endif
+        }
+        return m;
+    }();
+    return mode;
+}
+
+const char *
+dispatchModeName(DispatchMode mode)
+{
+    return mode == DispatchMode::Threaded ? "threaded" : "switch";
+}
+
+/**
+ * The per-run arena. All of it survives across runs: the address
+ * space and heap are reset (dirty ranges refilled, bookkeeping
+ * cleared), the vectors keep their capacity.
+ */
+struct Vm::RunState
+{
+    std::optional<AddressSpace> space;
+    std::optional<Heap> heap;
+    /** Does `space` still hold a previous module's rodata? */
+    bool rodataStale = true;
+    /** Mapped globals-segment size (~0 = not mapped yet). */
+    std::uint64_t globalsMapped = ~std::uint64_t{0};
+    std::vector<Frame> frames;
+    std::vector<Slot> stack;
+    /** Argument scratch for Call/CallB. */
+    std::vector<Slot> args;
+};
 
 Vm::Vm(const Module &module, const CompilerConfig &config,
        VmLimits limits)
-    : module_(module), config_(config),
-      traits_(compiler::traitsFor(config)), limits_(limits)
+    : module_(nullptr), config_(config),
+      traits_(compiler::traitsFor(config)), limits_(limits),
+      state_(std::make_unique<RunState>())
 {
-    globalAddr_.resize(module.globals.size());
+    bindModule(module);
+}
+
+Vm::~Vm() = default;
+Vm::Vm(Vm &&) noexcept = default;
+Vm &Vm::operator=(Vm &&) noexcept = default;
+
+void
+Vm::bindModule(const Module &module)
+{
+    module_ = &module;
+    // Compiler output carries its decoded image; hand-assembled
+    // modules are decoded here on bind.
+    decoded_ = module.decoded ? module.decoded
+                              : bytecode::decodeModule(module);
+
+    globalAddr_.assign(module.globals.size(), 0);
     globalsImage_.assign(
         std::max<std::uint64_t>(module.globalsSegmentSize, 16), 0);
     for (const auto &g : module.globals) {
@@ -94,933 +172,52 @@ Vm::Vm(const Module &module, const CompilerConfig &config,
         std::memcpy(globalsImage_.data() + g.segmentOffset, &word,
                     g.valueSize);
     }
+
+    // The arena (if built) holds the previous module's rodata and
+    // globals mapping; the next run re-maps both.
+    state_->rodataStale = true;
+    state_->globalsMapped = ~std::uint64_t{0};
+}
+
+void
+Vm::rebind(const Module &module)
+{
+    bindModule(module);
+}
+
+void
+Vm::setDecodedProgram(
+    std::shared_ptr<const bytecode::DecodedProgram> decoded)
+{
+    decoded_ = std::move(decoded);
 }
 
 ExecutionResult
-Vm::run(const Bytes &input, CoverageMap *coverage,
-        std::uint64_t nonce, std::vector<TraceEntry> *trace) const
+Vm::run(const Bytes &input, CoverageMap *coverage, std::uint64_t nonce,
+        std::vector<TraceEntry> *trace)
 {
-    ExecutionResult res;
-
-    // Account every exit path (including traps and budget stops);
-    // fires once when run() unwinds. With metrics disabled this is a
-    // single relaxed load per execution.
-    struct MetricsScope
-    {
-        const ExecutionResult &res;
-        const CompilerConfig &config;
-
-        ~MetricsScope()
-        {
-            if (!obs::metricsEnabled())
-                return;
-            obs::counter("vm.execs").add();
-            obs::counter("vm.instructions").add(res.instructions);
-            obs::counter("vm.instructions." + config.name())
-                .add(res.instructions);
-            obs::histogram("vm.instructions_per_run")
-                .observe(res.instructions);
-            obs::counter("vm.output_bytes").add(res.output.size());
-            if (res.timedOut())
-                obs::counter("vm.timeouts").add();
-        }
-    } metricsScope{res, config_};
-
-    const bool asan = config_.sanitizer == Sanitizer::ASan;
-    const bool msan = config_.sanitizer == Sanitizer::MSan;
-
-    AddressSpace space(traits_, asan, msan, limits_.stackSize,
-                       limits_.heapSize);
-    space.setRodata(module_.rodata);
-    space.setGlobalsSize(globalsImage_.size());
-    std::memcpy(space.globals().data.data(), globalsImage_.data(),
-                globalsImage_.size());
-    if (asan) {
-        for (const auto &g : module_.globals) {
-            space.setValid(traits_.globalsBase + g.segmentOffset,
-                           g.size, true);
-        }
-    }
-    Heap heap(space, traits_, asan);
-
-    if (module_.mainIndex < 0) {
-        support::fatal("module has no main()");
-    }
-
-    // --- interpreter state ---
-    std::vector<Frame> frames;
-    std::vector<Slot> stack;
-    stack.reserve(64);
-    const Function *fn =
-        &module_.functions[static_cast<std::size_t>(module_.mainIndex)];
-    std::size_t pc = 0;
-    std::uint64_t fp = 0;
-    std::size_t inputCursor = 0;
-
-    bool running = true;
-
-    auto finish = [&](Termination term, int code, TrapKind trap) {
-        res.termination = term;
-        res.exitCode = code;
-        res.trap = trap;
-        running = false;
-    };
-
-    auto sanReport = [&](SanReport::Tool tool, const char *kind,
-                         std::uint32_t line) {
-        res.sanReports.push_back({tool, kind, line});
-        finish(Termination::SanitizerAbort, 1, TrapKind::None);
-    };
-
-    auto emitOut = [&](const std::string &text) {
-        if (res.output.size() < limits_.maxOutput)
-            res.output += text;
-    };
-
-    auto enterFrame = [&](const Function &callee, std::uint64_t new_fp) {
-        if (asan) {
-            space.setValid(new_fp, callee.frameSize, false);
-            for (const auto &slot : callee.slots) {
-                space.setValid(new_fp +
-                                   static_cast<std::uint64_t>(
-                                       slot.offset),
-                               slot.size, true);
-            }
-        }
-        if (msan) {
-            // Parameters count as initialized even when the caller
-            // passed too few arguments (matching MSan's blind spot on
-            // argument-count mismatches; see DESIGN.md).
-            for (const auto &slot : callee.slots) {
-                space.setPoison(new_fp +
-                                    static_cast<std::uint64_t>(
-                                        slot.offset),
-                                slot.size, !slot.isParam);
-            }
-        }
-    };
-
-    // Set up main's frame.
-    {
-        const std::uint64_t stack_bottom =
-            traits_.stackBase - limits_.stackSize;
-        std::uint64_t sp = traits_.stackBase;
-        if (fn->frameSize > sp - stack_bottom) {
-            finish(Termination::StackOverflow, 139, TrapKind::None);
-            return res;
-        }
-        fp = sp - fn->frameSize;
-        frames.push_back({fn->index, 0, fp, sp});
-        enterFrame(*fn, fp);
-    }
-
-    auto classifyAsanFault = [&](std::uint64_t addr) -> const char * {
-        Segment *seg = space.find(addr, 1);
-        if (!seg)
-            return "unknown-address-fault";
-        switch (seg->kind) {
-          case SegmentKind::Heap:
-            return heap.chunkSize(addr) == 0 && !heap.isLiveChunk(addr)
-                       ? "heap-corruption"
-                       : "heap-error";
-          case SegmentKind::Stack:
-            return "stack-buffer-overflow";
-          case SegmentKind::Globals:
-            return "global-buffer-overflow";
-          case SegmentKind::Rodata:
-            return "rodata-access";
-        }
-        return "memory-error";
-    };
-
-    // A finer ASan classification for heap addresses: use-after-free
-    // when the address falls inside a freed chunk.
-    auto asanHeapKind = [&](std::uint64_t addr) -> const char * {
-        Segment &seg = space.heap();
-        if (addr >= seg.base && addr < seg.base + seg.data.size()) {
-            // Freed chunk bodies are invalid but tracked.
-            for (std::uint64_t probe = addr;
-                 probe + 16 > addr && probe >= seg.base &&
-                 addr - probe <= 4096;
-                 probe -= 16) {
-                const std::uint64_t size = heap.chunkSize(probe);
-                if (size) {
-                    if (addr < probe + size) {
-                        return heap.isLiveChunk(probe)
-                                   ? "heap-buffer-overflow"
-                                   : "heap-use-after-free";
-                    }
-                    break;
-                }
-                if (probe == seg.base)
-                    break;
-            }
-            return "heap-buffer-overflow";
-        }
-        return classifyAsanFault(addr);
-    };
-
-    auto asanKindFor = [&](std::uint64_t addr) -> const char * {
-        Segment *seg = space.find(addr, 1);
-        if (seg && seg->kind == SegmentKind::Heap)
-            return asanHeapKind(addr);
-        return classifyAsanFault(addr);
-    };
-
-    // --- checked memory helpers used by ops and builtins -----------
-    // Returns false when the access terminated the program.
-    auto loadMem = [&](std::uint64_t addr, std::uint64_t size,
-                       Slot &out, std::uint32_t line) -> bool {
-        bool poisoned = false;
-        std::uint64_t value = 0;
-        switch (space.read(addr, size, value, poisoned)) {
-          case Access::Ok:
-            out.v = value;
-            out.poison = poisoned ? 1 : 0;
-            return true;
-          case Access::Unmapped:
-          case Access::ReadOnlyWrite:
-            finish(Termination::Trap, 139, TrapKind::Segv);
-            return false;
-          case Access::AsanInvalid:
-            sanReport(SanReport::Tool::ASan, asanKindFor(addr), line);
-            return false;
-        }
-        return false;
-    };
-
-    auto storeMem = [&](std::uint64_t addr, std::uint64_t size,
-                        const Slot &value, std::uint32_t line) -> bool {
-        switch (space.write(addr, size, value.v, value.poison != 0)) {
-          case Access::Ok:
-            return true;
-          case Access::Unmapped:
-          case Access::ReadOnlyWrite:
-            finish(Termination::Trap, 139, TrapKind::Segv);
-            return false;
-          case Access::AsanInvalid:
-            sanReport(SanReport::Tool::ASan, asanKindFor(addr), line);
-            return false;
-        }
-        return false;
-    };
-
-    auto msanCheckValue = [&](const Slot &slot,
-                              std::uint32_t line) -> bool {
-        if (msan && slot.poison) {
-            sanReport(SanReport::Tool::MSan,
-                      "use-of-uninitialized-value", line);
-            return false;
-        }
-        return true;
-    };
-
-    auto pop = [&]() {
-        Slot s = stack.back();
-        stack.pop_back();
-        return s;
-    };
-    auto push = [&](std::uint64_t v, std::uint8_t poison = 0) {
-        stack.push_back({v, poison});
-    };
-
-    // ---------------------------------------------------------------
-    // Main interpreter loop
-    // ---------------------------------------------------------------
-    while (running) {
-        if (res.instructions++ >= limits_.maxInstructions) {
-            finish(Termination::BudgetExhausted, 124, TrapKind::None);
-            break;
-        }
-        const Insn &insn = fn->code[pc++];
-
-        switch (insn.op) {
-          case Op::Nop:
-            break;
-          case Op::Block:
-            if (coverage)
-                coverage->hitBlock(
-                    static_cast<std::uint16_t>(insn.a));
-            if (trace && trace->size() < 65536)
-                trace->push_back({fn->index, insn.line});
-            break;
-          case Op::PushI:
-          case Op::PushF:
-            push(static_cast<std::uint64_t>(insn.imm));
-            break;
-          case Op::PushUndef:
-            push(traits_.undefWord, msan ? 1 : 0);
-            break;
-          case Op::Dup:
-            stack.push_back(stack.back());
-            break;
-          case Op::Drop:
-            stack.pop_back();
-            break;
-          case Op::Swap:
-            std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
-            break;
-          case Op::Rot3: {
-            // (x y z) -> (z x y)
-            Slot z = stack[stack.size() - 1];
-            stack[stack.size() - 1] = stack[stack.size() - 2];
-            stack[stack.size() - 2] = stack[stack.size() - 3];
-            stack[stack.size() - 3] = z;
-            break;
-          }
-          case Op::FrameAddr:
-            push(fp + static_cast<std::uint64_t>(insn.a));
-            break;
-          case Op::GlobalAddr:
-            push(globalAddr_[static_cast<std::size_t>(insn.a)]);
-            break;
-          case Op::RodataAddr:
-            push(traits_.rodataBase +
-                 static_cast<std::uint64_t>(insn.a));
-            break;
-
-          case Op::Ld8S:
-          case Op::Ld8U:
-          case Op::Ld32S:
-          case Op::Ld32U:
-          case Op::Ld64:
-          case Op::LdF: {
-            Slot addr = pop();
-            if (!msanCheckValue(addr, insn.line))
-                break;
-            const std::uint64_t size =
-                (insn.op == Op::Ld8S || insn.op == Op::Ld8U) ? 1
-                : (insn.op == Op::Ld32S || insn.op == Op::Ld32U) ? 4
-                : 8;
-            Slot out;
-            if (!loadMem(addr.v, size, out, insn.line))
-                break;
-            if (insn.op == Op::Ld8S) {
-                out.v = static_cast<std::uint64_t>(
-                    static_cast<std::int64_t>(
-                        static_cast<std::int8_t>(out.v)));
-            } else if (insn.op == Op::Ld32S) {
-                out.v = static_cast<std::uint64_t>(
-                    static_cast<std::int64_t>(
-                        static_cast<std::int32_t>(out.v)));
-            }
-            stack.push_back(out);
-            break;
-          }
-
-          case Op::St8:
-          case Op::St32:
-          case Op::St64:
-          case Op::StF: {
-            Slot value = pop();
-            Slot addr = pop();
-            if (!msanCheckValue(addr, insn.line))
-                break;
-            const std::uint64_t size = insn.op == Op::St8 ? 1
-                                       : insn.op == Op::St32 ? 4
-                                                             : 8;
-            storeMem(addr.v, size, value, insn.line);
-            break;
-          }
-
-#define COMPDIFF_BINOP(expr)                                          \
-    {                                                                 \
-        Slot b = pop();                                               \
-        Slot a = pop();                                               \
-        push((expr), a.poison | b.poison);                            \
-        break;                                                        \
-    }
-          case Op::AddI: COMPDIFF_BINOP(a.v + b.v)
-          case Op::SubI: COMPDIFF_BINOP(a.v - b.v)
-          case Op::MulI: COMPDIFF_BINOP(a.v * b.v)
-          case Op::AndI: COMPDIFF_BINOP(a.v & b.v)
-          case Op::OrI: COMPDIFF_BINOP(a.v | b.v)
-          case Op::XorI: COMPDIFF_BINOP(a.v ^ b.v)
-          case Op::Shl: COMPDIFF_BINOP(a.v << (b.v & 63))
-          case Op::ShrU: COMPDIFF_BINOP(a.v >> (b.v & 63))
-          case Op::ShrS:
-            COMPDIFF_BINOP(static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(a.v) >>
-                (b.v & 63)))
-          case Op::CmpLtS:
-            COMPDIFF_BINOP(static_cast<std::int64_t>(a.v) <
-                           static_cast<std::int64_t>(b.v))
-          case Op::CmpLeS:
-            COMPDIFF_BINOP(static_cast<std::int64_t>(a.v) <=
-                           static_cast<std::int64_t>(b.v))
-          case Op::CmpGtS:
-            COMPDIFF_BINOP(static_cast<std::int64_t>(a.v) >
-                           static_cast<std::int64_t>(b.v))
-          case Op::CmpGeS:
-            COMPDIFF_BINOP(static_cast<std::int64_t>(a.v) >=
-                           static_cast<std::int64_t>(b.v))
-          case Op::CmpLtU: COMPDIFF_BINOP(a.v < b.v)
-          case Op::CmpLeU: COMPDIFF_BINOP(a.v <= b.v)
-          case Op::CmpGtU: COMPDIFF_BINOP(a.v > b.v)
-          case Op::CmpGeU: COMPDIFF_BINOP(a.v >= b.v)
-          case Op::CmpEq: COMPDIFF_BINOP(a.v == b.v)
-          case Op::CmpNe: COMPDIFF_BINOP(a.v != b.v)
-          case Op::AddF:
-            COMPDIFF_BINOP(asBits(asDouble(a.v) + asDouble(b.v)))
-          case Op::SubF:
-            COMPDIFF_BINOP(asBits(asDouble(a.v) - asDouble(b.v)))
-          case Op::MulF:
-            COMPDIFF_BINOP(asBits(asDouble(a.v) * asDouble(b.v)))
-          case Op::DivF:
-            COMPDIFF_BINOP(asBits(asDouble(a.v) / asDouble(b.v)))
-          case Op::CmpLtF:
-            COMPDIFF_BINOP(asDouble(a.v) < asDouble(b.v))
-          case Op::CmpLeF:
-            COMPDIFF_BINOP(asDouble(a.v) <= asDouble(b.v))
-          case Op::CmpGtF:
-            COMPDIFF_BINOP(asDouble(a.v) > asDouble(b.v))
-          case Op::CmpGeF:
-            COMPDIFF_BINOP(asDouble(a.v) >= asDouble(b.v))
-          case Op::CmpEqF:
-            COMPDIFF_BINOP(asDouble(a.v) == asDouble(b.v))
-          case Op::CmpNeF:
-            COMPDIFF_BINOP(asDouble(a.v) != asDouble(b.v))
-#undef COMPDIFF_BINOP
-
-          case Op::DivS:
-          case Op::RemS: {
-            Slot b = pop();
-            Slot a = pop();
-            if (!msanCheckValue(b, insn.line))
-                break;
-            const auto sb = static_cast<std::int64_t>(b.v);
-            const auto sa = static_cast<std::int64_t>(a.v);
-            if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
-                finish(Termination::Trap, 136, TrapKind::Fpe);
-                break;
-            }
-            push(static_cast<std::uint64_t>(insn.op == Op::DivS
-                                                ? sa / sb
-                                                : sa % sb),
-                 a.poison | b.poison);
-            break;
-          }
-          case Op::DivU:
-          case Op::RemU: {
-            Slot b = pop();
-            Slot a = pop();
-            if (!msanCheckValue(b, insn.line))
-                break;
-            if (b.v == 0) {
-                finish(Termination::Trap, 136, TrapKind::Fpe);
-                break;
-            }
-            push(insn.op == Op::DivU ? a.v / b.v : a.v % b.v,
-                 a.poison | b.poison);
-            break;
-          }
-
-          case Op::NegI: {
-            Slot a = pop();
-            push(0 - a.v, a.poison);
-            break;
-          }
-          case Op::NotI: {
-            Slot a = pop();
-            push(~a.v, a.poison);
-            break;
-          }
-          case Op::NegF: {
-            Slot a = pop();
-            push(asBits(-asDouble(a.v)), a.poison);
-            break;
-          }
-          case Op::Trunc32S: {
-            Slot a = pop();
-            push(static_cast<std::uint64_t>(static_cast<std::int64_t>(
-                     static_cast<std::int32_t>(a.v))),
-                 a.poison);
-            break;
-          }
-          case Op::Trunc32U: {
-            Slot a = pop();
-            push(static_cast<std::uint32_t>(a.v), a.poison);
-            break;
-          }
-          case Op::Trunc8S: {
-            Slot a = pop();
-            push(static_cast<std::uint64_t>(static_cast<std::int64_t>(
-                     static_cast<std::int8_t>(a.v))),
-                 a.poison);
-            break;
-          }
-          case Op::Trunc8U: {
-            Slot a = pop();
-            push(static_cast<std::uint8_t>(a.v), a.poison);
-            break;
-          }
-          case Op::CmpEqZ: {
-            Slot a = pop();
-            push(a.v == 0, a.poison);
-            break;
-          }
-          case Op::BoolVal: {
-            Slot a = pop();
-            push(a.v != 0, a.poison);
-            break;
-          }
-          case Op::I2FS: {
-            Slot a = pop();
-            push(asBits(static_cast<double>(
-                     static_cast<std::int64_t>(a.v))),
-                 a.poison);
-            break;
-          }
-          case Op::I2FU: {
-            Slot a = pop();
-            push(asBits(static_cast<double>(a.v)), a.poison);
-            break;
-          }
-          case Op::F2I: {
-            Slot a = pop();
-            push(static_cast<std::uint64_t>(doubleToInt(asDouble(a.v))),
-                 a.poison);
-            break;
-          }
-
-          case Op::ShiftNorm32:
-          case Op::ShiftNorm64: {
-            const std::uint64_t width =
-                insn.op == Op::ShiftNorm32 ? 32 : 64;
-            Slot count = stack.back();
-            if (count.v < width)
-                break;
-            const auto policy = static_cast<ShiftPolicy>(insn.a);
-            if (policy == ShiftPolicy::MaskCount) {
-                stack.back().v = count.v & (width - 1);
-            } else {
-                // Poison-style: the whole shift collapses to 0.
-                stack.pop_back();
-                stack.back() = {0, count.poison};
-                stack.push_back({0, 0});
-            }
-            break;
-          }
-
-          case Op::Jmp:
-            pc = static_cast<std::size_t>(insn.a);
-            break;
-          case Op::JmpZ:
-          case Op::JmpNZ: {
-            Slot cond = pop();
-            if (!msanCheckValue(cond, insn.line))
-                break;
-            const bool taken = insn.op == Op::JmpZ ? cond.v == 0
-                                                   : cond.v != 0;
-            if (taken)
-                pc = static_cast<std::size_t>(insn.a);
-            break;
-          }
-
-          case Op::Call: {
-            const auto &callee = module_.functions[
-                static_cast<std::size_t>(insn.a)];
-            const auto argc = static_cast<std::size_t>(insn.b);
-            // Collect arguments in source order.
-            std::vector<Slot> args(argc);
-            if (insn.imm) { // evaluated right-to-left
-                for (std::size_t i = 0; i < argc; i++)
-                    args[i] = pop();
-            } else {
-                for (std::size_t i = argc; i-- > 0;)
-                    args[i] = pop();
-            }
-            if (frames.size() >= limits_.maxCallDepth) {
-                finish(Termination::StackOverflow, 139,
-                       TrapKind::None);
-                break;
-            }
-            const std::uint64_t stack_bottom =
-                traits_.stackBase - limits_.stackSize;
-            const std::uint64_t sp = fp;
-            if (callee.frameSize > sp - stack_bottom) {
-                finish(Termination::StackOverflow, 139,
-                       TrapKind::None);
-                break;
-            }
-            frames.back().pc = pc;
-            const std::uint64_t new_fp = sp - callee.frameSize;
-            frames.push_back({callee.index, 0, new_fp, sp});
-            enterFrame(callee, new_fp);
-            // Store arguments into parameter slots; extra arguments
-            // are dropped, missing ones leave the slot uninitialized
-            // (CWE-685 semantics).
-            const std::size_t stored =
-                std::min<std::size_t>(argc, callee.numParams);
-            for (std::size_t i = 0; i < stored; i++) {
-                storeMem(new_fp + static_cast<std::uint64_t>(
-                                      callee.paramOffsets[i]),
-                         callee.paramSizes[i], args[i], insn.line);
-                if (!running)
-                    break;
-            }
-            if (!running)
-                break;
-            fn = &callee;
-            pc = 0;
-            fp = new_fp;
-            break;
-          }
-
-          case Op::Ret: {
-            Slot rv{0, 0};
-            const bool has_value = insn.a != 0;
-            if (has_value)
-                rv = pop();
-            if (asan) {
-                space.setValid(frames.back().fp, fn->frameSize,
-                               false);
-            }
-            frames.pop_back();
-            if (frames.empty()) {
-                finish(Termination::Exit,
-                       has_value ? static_cast<std::int32_t>(rv.v)
-                                 : 0,
-                       TrapKind::None);
-                break;
-            }
-            const Frame &caller = frames.back();
-            fn = &module_.functions[
-                static_cast<std::size_t>(caller.func)];
-            pc = caller.pc;
-            fp = caller.fp;
-            if (has_value)
-                stack.push_back(rv);
-            break;
-          }
-
-          case Op::Halt:
-            finish(Termination::Exit, 0, TrapKind::None);
-            break;
-
-          case Op::ChkOv32: {
-            const Slot &top = stack.back();
-            if (top.v != static_cast<std::uint64_t>(
-                             static_cast<std::int64_t>(
-                                 static_cast<std::int32_t>(top.v)))) {
-                sanReport(SanReport::Tool::UBSan,
-                          "signed-integer-overflow", insn.line);
-            }
-            break;
-          }
-          case Op::ChkDivS: {
-            const Slot &divisor = stack[stack.size() - 1];
-            const Slot &dividend = stack[stack.size() - 2];
-            if (divisor.v == 0) {
-                sanReport(SanReport::Tool::UBSan, "division-by-zero",
-                          insn.line);
-                break;
-            }
-            if (insn.b) { // signed
-                const bool is_32 = insn.a == 32;
-                const auto min = is_32
-                                     ? static_cast<std::uint64_t>(
-                                           static_cast<std::int64_t>(
-                                               INT32_MIN))
-                                     : static_cast<std::uint64_t>(
-                                           INT64_MIN);
-                if (dividend.v == min &&
-                    static_cast<std::int64_t>(divisor.v) == -1) {
-                    sanReport(SanReport::Tool::UBSan,
-                              "signed-integer-overflow", insn.line);
-                }
-            }
-            break;
-          }
-          case Op::ChkShift32:
-          case Op::ChkShift64: {
-            const std::uint64_t width =
-                insn.op == Op::ChkShift32 ? 32 : 64;
-            if (stack.back().v >= width) {
-                sanReport(SanReport::Tool::UBSan,
-                          "shift-out-of-bounds", insn.line);
-            }
-            break;
-          }
-          case Op::ChkNull: {
-            if (stack.back().v < 4096) {
-                sanReport(SanReport::Tool::UBSan,
-                          "null-pointer-dereference", insn.line);
-            }
-            break;
-          }
-
-          case Op::CallB: {
-            const auto builtin =
-                static_cast<minic::Builtin>(insn.a);
-            const auto argc = static_cast<std::size_t>(insn.b);
-            std::vector<Slot> args(argc);
-            if (insn.imm) {
-                for (std::size_t i = 0; i < argc; i++)
-                    args[i] = pop();
-            } else {
-                for (std::size_t i = argc; i-- > 0;)
-                    args[i] = pop();
-            }
-
-            switch (builtin) {
-              case minic::Builtin::PrintInt:
-                emitOut(std::to_string(
-                    static_cast<std::int32_t>(args[0].v)));
-                break;
-              case minic::Builtin::PrintUInt:
-                emitOut(std::to_string(
-                    static_cast<std::uint32_t>(args[0].v)));
-                break;
-              case minic::Builtin::PrintLong:
-                emitOut(std::to_string(
-                    static_cast<std::int64_t>(args[0].v)));
-                break;
-              case minic::Builtin::PrintChar:
-                if (res.output.size() < limits_.maxOutput) {
-                    res.output.push_back(
-                        static_cast<char>(args[0].v));
-                }
-                break;
-              case minic::Builtin::PrintHex:
-                emitOut(support::format(
-                    "%" PRIx64, args[0].v));
-                break;
-              case minic::Builtin::PrintPtr:
-                emitOut(support::format("0x%" PRIx64, args[0].v));
-                break;
-              case minic::Builtin::PrintF:
-                // Full round-trip precision: last-ulp differences
-                // between libm strategies must reach the output.
-                emitOut(support::format("%.17g",
-                                        asDouble(args[0].v)));
-                break;
-              case minic::Builtin::PrintStr: {
-                std::uint64_t addr = args[0].v;
-                for (std::size_t n = 0; n < 65536; n++) {
-                    Slot byte;
-                    if (!loadMem(addr + n, 1, byte, insn.line))
-                        break;
-                    if ((byte.v & 0xff) == 0)
-                        break;
-                    if (res.output.size() < limits_.maxOutput) {
-                        res.output.push_back(
-                            static_cast<char>(byte.v));
-                    }
-                }
-                break;
-              }
-              case minic::Builtin::Newline:
-                emitOut("\n");
-                break;
-              case minic::Builtin::InputSize:
-                push(static_cast<std::uint64_t>(input.size()));
-                break;
-              case minic::Builtin::InputByte: {
-                const auto idx =
-                    static_cast<std::int64_t>(args[0].v);
-                if (idx >= 0 &&
-                    idx < static_cast<std::int64_t>(input.size())) {
-                    push(input[static_cast<std::size_t>(idx)]);
-                } else {
-                    push(static_cast<std::uint64_t>(-1));
-                }
-                break;
-              }
-              case minic::Builtin::ReadByte:
-                if (inputCursor < input.size())
-                    push(input[inputCursor++]);
-                else
-                    push(static_cast<std::uint64_t>(-1));
-                break;
-              case minic::Builtin::Malloc: {
-                const auto n = static_cast<std::int64_t>(args[0].v);
-                push(n < 0 ? 0
-                           : heap.allocate(
-                                 static_cast<std::uint64_t>(n)));
-                break;
-              }
-              case minic::Builtin::Free: {
-                switch (heap.release(args[0].v)) {
-                  case FreeOutcome::Ok:
-                  case FreeOutcome::NullNoop:
-                  case FreeOutcome::DoubleFreeSilent:
-                  case FreeOutcome::InvalidFreeIgnored:
-                    break;
-                  case FreeOutcome::DoubleFreeAbort:
-                    emitOut("free(): double free detected\n");
-                    finish(Termination::RuntimeAbort, 134,
-                           TrapKind::None);
-                    break;
-                  case FreeOutcome::InvalidFreeAbort:
-                    emitOut("free(): invalid pointer\n");
-                    finish(Termination::RuntimeAbort, 134,
-                           TrapKind::None);
-                    break;
-                  case FreeOutcome::AsanDoubleFree:
-                    sanReport(SanReport::Tool::ASan,
-                              "double-free", insn.line);
-                    break;
-                  case FreeOutcome::AsanInvalidFree:
-                    sanReport(SanReport::Tool::ASan,
-                              "invalid-free", insn.line);
-                    break;
-                }
-                break;
-              }
-              case minic::Builtin::Memset: {
-                const std::uint64_t dst = args[0].v;
-                const Slot byte{args[1].v & 0xff, args[1].poison};
-                const auto n =
-                    static_cast<std::int64_t>(args[2].v);
-                res.instructions += n > 0
-                                        ? static_cast<std::uint64_t>(n)
-                                        : 0;
-                for (std::int64_t i = 0; i < n && running; i++)
-                    storeMem(dst + static_cast<std::uint64_t>(i), 1,
-                             byte, insn.line);
-                break;
-              }
-              case minic::Builtin::Memcpy: {
-                const std::uint64_t dst = args[0].v;
-                const std::uint64_t src = args[1].v;
-                const auto n = static_cast<std::int64_t>(args[2].v);
-                res.instructions += n > 0
-                                        ? static_cast<std::uint64_t>(n)
-                                        : 0;
-                // Overlapping memcpy is UB; the direction is the
-                // implementation's choice and decides the result.
-                if (traits_.memcpyBackward) {
-                    for (std::int64_t i = n; i-- > 0 && running;) {
-                        Slot byte;
-                        if (!loadMem(src +
-                                         static_cast<std::uint64_t>(i),
-                                     1, byte, insn.line))
-                            break;
-                        storeMem(dst + static_cast<std::uint64_t>(i),
-                                 1, byte, insn.line);
-                    }
-                } else {
-                    for (std::int64_t i = 0; i < n && running; i++) {
-                        Slot byte;
-                        if (!loadMem(src +
-                                         static_cast<std::uint64_t>(i),
-                                     1, byte, insn.line))
-                            break;
-                        storeMem(dst + static_cast<std::uint64_t>(i),
-                                 1, byte, insn.line);
-                    }
-                }
-                break;
-              }
-              case minic::Builtin::Strlen: {
-                const std::uint64_t addr = args[0].v;
-                std::uint64_t len = 0;
-                for (; len < 65536 && running; len++) {
-                    Slot byte;
-                    if (!loadMem(addr + len, 1, byte, insn.line))
-                        break;
-                    if ((byte.v & 0xff) == 0)
-                        break;
-                }
-                if (running)
-                    push(len);
-                break;
-              }
-              case minic::Builtin::Strcpy: {
-                const std::uint64_t dst = args[0].v;
-                const std::uint64_t src = args[1].v;
-                for (std::uint64_t i = 0; i < 65536 && running; i++) {
-                    Slot byte;
-                    if (!loadMem(src + i, 1, byte, insn.line))
-                        break;
-                    if (!storeMem(dst + i, 1, byte, insn.line))
-                        break;
-                    if ((byte.v & 0xff) == 0)
-                        break;
-                }
-                break;
-              }
-              case minic::Builtin::Strcmp: {
-                const std::uint64_t a = args[0].v;
-                const std::uint64_t b = args[1].v;
-                std::int64_t cmp = 0;
-                for (std::uint64_t i = 0; i < 65536 && running; i++) {
-                    Slot ba, bb;
-                    if (!loadMem(a + i, 1, ba, insn.line) ||
-                        !loadMem(b + i, 1, bb, insn.line))
-                        break;
-                    const auto ca = static_cast<std::uint8_t>(ba.v);
-                    const auto cb = static_cast<std::uint8_t>(bb.v);
-                    if (ca != cb) {
-                        cmp = ca < cb ? -1 : 1;
-                        break;
-                    }
-                    if (ca == 0)
-                        break;
-                }
-                if (running)
-                    push(static_cast<std::uint64_t>(cmp));
-                break;
-              }
-              case minic::Builtin::Exit:
-                finish(Termination::Exit,
-                       static_cast<std::int32_t>(args[0].v),
-                       TrapKind::None);
-                break;
-              case minic::Builtin::Abort:
-                finish(Termination::RuntimeAbort, 134,
-                       TrapKind::None);
-                break;
-              case minic::Builtin::PowF: {
-                const double base = asDouble(args[0].v);
-                const double exponent = asDouble(args[1].v);
-                double result;
-                if (traits_.powViaExp2 && base > 0) {
-                    // clang-style libcall strengthening: pow(a,b) =
-                    // exp2(b * log2(a)); differs in the last ulps.
-                    result = std::exp2(exponent * std::log2(base));
-                } else {
-                    result = std::pow(base, exponent);
-                }
-                push(asBits(result));
-                break;
-              }
-              case minic::Builtin::SqrtF:
-                push(asBits(std::sqrt(asDouble(args[0].v))));
-                break;
-              case minic::Builtin::FloorF:
-                push(asBits(std::floor(asDouble(args[0].v))));
-                break;
-              case minic::Builtin::TimeStamp:
-                push(nonce);
-                break;
-              case minic::Builtin::BadRand: {
-                // "Random" value derived from uninitialized heap
-                // memory — deterministic per configuration.
-                const std::uint32_t raw =
-                    0x01010101u * traits_.heapFill;
-                push(static_cast<std::uint64_t>(
-                         static_cast<std::int64_t>(
-                             static_cast<std::int32_t>(
-                                 raw & 0x7fffffff))),
-                     msan ? 1 : 0);
-                break;
-              }
-              case minic::Builtin::Probe:
-                res.probes.push_back(
-                    static_cast<std::int32_t>(args[0].v));
-                break;
-              case minic::Builtin::CurLine:
-              case minic::Builtin::None:
-                support::panic("unexpected builtin in CallB");
-            }
-            break;
-          }
-        }
-    }
-
-    return res;
+#if COMPDIFF_VM_HAS_THREADED
+    if (dispatch_ == DispatchMode::Threaded)
+        return runThreaded(input, coverage, nonce, trace);
+#endif
+    return runSwitch(input, coverage, nonce, trace);
 }
+
+// The interpreter body lives in interp.inc and is instantiated once
+// per dispatch mode; see the header comment there.
+
+#define VM_IMPL_NAME runSwitch
+#define VM_USE_THREADED 0
+#include "vm/interp.inc"
+#undef VM_IMPL_NAME
+#undef VM_USE_THREADED
+
+#if COMPDIFF_VM_HAS_THREADED
+#define VM_IMPL_NAME runThreaded
+#define VM_USE_THREADED 1
+#include "vm/interp.inc"
+#undef VM_IMPL_NAME
+#undef VM_USE_THREADED
+#endif
 
 } // namespace compdiff::vm

@@ -6,22 +6,35 @@
  *
  * A Vm instance binds a compiled Module to the runtime half of its
  * CompilerConfig's traits (memory layout, fill patterns, heap policy,
- * libm strategy) — together they are "the binary". Vm::run() executes
- * one input and is designed for reuse: the module stays resident
- * while per-run state is rebuilt, which is the same cost profile the
- * paper gets from forkserver instrumentation (Section 3.2).
+ * libm strategy) — together they are "the binary". The engine is
+ * organized for campaign-scale reuse (the cost profile the paper gets
+ * from forkserver instrumentation, Section 3.2):
  *
- * Thread safety (audited for the parallel ExecutionService): every
- * Vm member is written only during construction; run() is const and
- * keeps all per-run state (address space, heap, frames, evaluation
- * stack, input cursor) on its own stack. Distinct Vm instances may
- * therefore run concurrently, and one instance may run concurrent
- * *reads* — but setMaxInstructions() is an unsynchronized write, so
- * budget changes require external serialization (the ExecutionService
- * dedicates each Vm to one in-flight task at a time).
+ *  - the module's Insn stream is pre-decoded once into a threaded-code
+ *    image (bytecode/decode.hh) with fused superinstructions;
+ *  - per-run state (address space, heap, frames, evaluation stack) is
+ *    arena-allocated: built on first run, then *reset* — dirty memory
+ *    ranges refilled, allocator bookkeeping cleared — instead of
+ *    re-allocated for every input;
+ *  - rebind() retargets a Vm at a new module (same config), keeping
+ *    the arena, so a resident executor can serve a whole campaign.
+ *
+ * Dispatch comes in two flavors selected at runtime (DispatchMode):
+ * GNU computed-goto direct threading (default where the compiler
+ * supports it) and a portable switch loop. Both are generated from
+ * the same handler source (vm/interp.inc) and are byte-identical in
+ * observable behavior; the CMake option COMPDIFF_DISPATCH and the
+ * environment variable of the same name pick the default.
+ *
+ * Thread safety: run() mutates the per-run arena, so one Vm serves
+ * one in-flight run at a time. Distinct Vm instances may run
+ * concurrently — the parallel ExecutionService dedicates one executor
+ * (one Vm) per implementation slot, never sharing an instance across
+ * tasks.
  */
 
 #include <cstdint>
+#include <memory>
 
 #include "bytecode/module.hh"
 #include "compiler/config.hh"
@@ -29,6 +42,13 @@
 #include "vm/coverage.hh"
 #include "vm/memory.hh"
 #include "vm/result.hh"
+
+/** Does this build support computed-goto direct threading? */
+#if defined(__GNUC__) || defined(__clang__)
+#define COMPDIFF_VM_HAS_THREADED 1
+#else
+#define COMPDIFF_VM_HAS_THREADED 0
+#endif
 
 namespace compdiff::vm
 {
@@ -54,6 +74,23 @@ struct VmLimits
     std::uint32_t maxCallDepth = 200;
 };
 
+/** Interpreter dispatch strategy. */
+enum class DispatchMode
+{
+    Switch,  ///< portable while/switch loop
+    Threaded,///< GNU computed-goto direct threading
+};
+
+/**
+ * The build's default dispatch mode: Threaded where supported unless
+ * the build was configured with COMPDIFF_DISPATCH=switch; either way
+ * the COMPDIFF_DISPATCH environment variable ("switch"/"threaded",
+ * read once) overrides.
+ */
+DispatchMode defaultDispatchMode();
+
+const char *dispatchModeName(DispatchMode mode);
+
 /**
  * Executes a compiled module under its configuration's runtime
  * traits.
@@ -68,6 +105,9 @@ class Vm
      */
     Vm(const bytecode::Module &module,
        const compiler::CompilerConfig &config, VmLimits limits = {});
+    ~Vm();
+    Vm(Vm &&) noexcept;
+    Vm &operator=(Vm &&) noexcept;
 
     /**
      * Run `main` on one input.
@@ -85,7 +125,15 @@ class Vm
     ExecutionResult run(const support::Bytes &input,
                         CoverageMap *coverage = nullptr,
                         std::uint64_t nonce = 0,
-                        std::vector<TraceEntry> *trace = nullptr) const;
+                        std::vector<TraceEntry> *trace = nullptr);
+
+    /**
+     * Retarget this Vm at a new module (compiled under the same
+     * configuration), keeping the per-run arena warm. The resident-
+     * module campaign path: one executor per implementation survives
+     * across programs.
+     */
+    void rebind(const bytecode::Module &module);
 
     const compiler::CompilerConfig &config() const { return config_; }
     const VmLimits &limits() const { return limits_; }
@@ -96,16 +144,47 @@ class Vm
         limits_.maxInstructions = budget;
     }
 
+    DispatchMode dispatchMode() const { return dispatch_; }
+    void setDispatchMode(DispatchMode mode) { dispatch_ = mode; }
+
+    /**
+     * Test hook: substitute a decoded image for the bound module
+     * (e.g. one built with fusion disabled) to compare pipelines.
+     * The image must have been decoded from the bound module.
+     */
+    void setDecodedProgram(
+        std::shared_ptr<const bytecode::DecodedProgram> decoded);
+
   private:
-    const bytecode::Module &module_;
+    struct RunState;
+
+    void bindModule(const bytecode::Module &module);
+
+    ExecutionResult runSwitch(const support::Bytes &input,
+                              CoverageMap *coverage,
+                              std::uint64_t nonce,
+                              std::vector<TraceEntry> *trace);
+#if COMPDIFF_VM_HAS_THREADED
+    ExecutionResult runThreaded(const support::Bytes &input,
+                                CoverageMap *coverage,
+                                std::uint64_t nonce,
+                                std::vector<TraceEntry> *trace);
+#endif
+
+    const bytecode::Module *module_;
+    std::shared_ptr<const bytecode::DecodedProgram> decoded_;
     compiler::CompilerConfig config_;
     compiler::Traits traits_;
     VmLimits limits_;
+    DispatchMode dispatch_ = defaultDispatchMode();
 
     /** globalId -> absolute address. */
     std::vector<std::uint64_t> globalAddr_;
     /** Pristine globals image, copied at the start of each run. */
     std::vector<std::uint8_t> globalsImage_;
+
+    /** Arena-allocated per-run state, recycled across runs. */
+    std::unique_ptr<RunState> state_;
 };
 
 } // namespace compdiff::vm
