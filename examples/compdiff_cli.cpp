@@ -11,6 +11,15 @@
  *                       or the aliases "paper10" (default — the
  *                       paper's ten) and "all" (paper10 + the
  *                       reference interpreter); see DESIGN.md §7
+ *   --mode=sancheck     flip the oracle: instead of differential
+ *                       testing, certify each input's UB-ness with
+ *                       the reference interpreter and classify
+ *                       per-sanitizer false negatives / false
+ *                       positives (DESIGN.md §14). With no program
+ *                       argument the built-in `sanlab` target runs.
+ *   --san-impls=SPECS   sanitized implementations for
+ *                       --mode=sancheck (default: the sancheck
+ *                       subsystem's standard four)
  *   --fuzz[=N]          run a CompDiff-AFL++ campaign (default
  *                       20000 execs) instead of a single input
  *   --target=NAME       fuzz a built-in campaign target (pktdump,
@@ -76,6 +85,8 @@
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "reduce/report.hh"
+#include "sancheck/report.hh"
+#include "sancheck/sancheck.hh"
 #include "session/session.hh"
 #include "support/bytes.hh"
 #include "support/logging.hh"
@@ -117,6 +128,12 @@ const char *kUsage =
     "\n"
     "  --impls=SPECS         oracle implementation specs, or the\n"
     "                        aliases \"paper10\" (default) / \"all\"\n"
+    "  --mode=sancheck       sanitizer-checking oracle: certify UB\n"
+    "                        with the reference interpreter and\n"
+    "                        classify sanitizer FN/FP findings\n"
+    "  --san-impls=SPECS     sanitized implementations for\n"
+    "                        --mode=sancheck (default: the standard\n"
+    "                        four)\n"
     "  --fuzz[=N]            run a fuzz campaign (default 20000\n"
     "                        execs) instead of a single input\n"
     "  --target=NAME         fuzz a built-in target (pktdump, ...)\n"
@@ -149,6 +166,8 @@ const char *kUsage =
 struct CliOptions
 {
     std::string impls = "paper10";
+    bool sancheck = false;
+    std::string sanImpls;
     bool fuzz = false;
     std::uint64_t fuzzExecs = 20'000;
     std::string target;
@@ -203,6 +222,15 @@ parseArgs(int argc, char **argv)
             options.fuzz = true;
         } else if (matchFlag(arg, "--impls", &value)) {
             options.impls = value;
+        } else if (matchFlag(arg, "--mode", &value)) {
+            if (value != "sancheck" && value != "diff") {
+                std::fprintf(stderr, "unknown mode %s\n\n%s",
+                             value.c_str(), kUsage);
+                std::exit(2);
+            }
+            options.sancheck = value == "sancheck";
+        } else if (matchFlag(arg, "--san-impls", &value)) {
+            options.sanImpls = value;
         } else if (matchFlag(arg, "--fuzz", &value)) {
             options.fuzz = true;
             options.fuzzExecs = static_cast<std::uint64_t>(
@@ -299,8 +327,18 @@ runFuzzMode(const compdiff::minic::Program &program,
     using namespace compdiff;
 
     fuzz::FuzzOptions fuzz_options;
-    fuzz_options.diffImpls =
-        core::ImplementationRegistry::global().parse(options.impls);
+    if (options.sancheck) {
+        fuzz_options.sancheckMode = true;
+        if (!options.sanImpls.empty()) {
+            fuzz_options.sancheckImpls =
+                core::ImplementationRegistry::global().parse(
+                    options.sanImpls);
+        }
+    } else {
+        fuzz_options.diffImpls =
+            core::ImplementationRegistry::global().parse(
+                options.impls);
+    }
     fuzz_options.maxExecs = options.fuzzExecs;
     fuzz_options.statsOutPath = options.statsOut;
     fuzz_options.plotOutPath = options.plotOut;
@@ -337,6 +375,34 @@ runFuzzMode(const compdiff::minic::Program &program,
                     options.sessionDir.c_str());
         exportTelemetry(options);
         return 0;
+    }
+    if (options.sancheck) {
+        for (const auto &diff : sharded.diffs) {
+            std::printf("\nfinding at exec %llu "
+                        "(%zu-byte input):\n  %s\n",
+                        static_cast<unsigned long long>(
+                            diff.execIndex),
+                        diff.input.size(),
+                        diff.sanFinding.str().c_str());
+        }
+        const std::vector<sancheck::FindingReport> reports =
+            session.triageSancheck();
+        for (const auto &report : reports) {
+            std::printf(
+                "\nreduced %s: input %zu -> %zu bytes, "
+                "program %zu -> %zu statements%s\n",
+                reduce::signatureDirName(
+                    report.finding.signatureHash())
+                    .c_str(),
+                report.witnessInput.size(), report.input.size(),
+                report.programStats.stmtsBefore,
+                report.programStats.stmtsAfter,
+                report.reproduced
+                    ? ""
+                    : " (witness did not reproduce; kept as-is)");
+        }
+        exportTelemetry(options);
+        return sharded.total.diffs > 0 ? 1 : 0;
     }
     for (const auto &diff : sharded.diffs) {
         std::printf("\ndivergence at exec %llu "
@@ -435,6 +501,13 @@ main(int argc, char **argv)
                          options.positional[0].c_str());
             return 2;
         }
+    } else if (options.sancheck) {
+        std::printf("no program given; running the built-in sanlab "
+                    "target (see DESIGN.md section 14)\n\n");
+        source = sancheck::sanlabSource();
+        seeds = sancheck::sanlabSeeds();
+        if (!seeds.empty())
+            input = seeds.front();
     } else {
         std::printf("no program given; analyzing the built-in demo "
                     "(see --help in the source header)\n\n");
@@ -464,6 +537,33 @@ main(int argc, char **argv)
                          error.what());
             return 2;
         }
+    }
+
+    if (options.sancheck) {
+        sancheck::SanCheckOracle oracle(
+            *program,
+            options.sanImpls.empty()
+                ? sancheck::defaultImplementations()
+                : core::ImplementationRegistry::global().parse(
+                      options.sanImpls));
+        const sancheck::Outcome outcome = oracle.runInput(input);
+        std::printf("certified reference run: %s, "
+                    "%zu certificate(s)\n",
+                    outcome.certified.result.exitClass().c_str(),
+                    outcome.certified.certificates.size());
+        for (const auto &cert : outcome.certified.certificates)
+            std::printf("  %s\n", cert.str().c_str());
+        if (outcome.findings.empty()) {
+            std::printf("\nno sanitizer findings on this input. "
+                        "Try other inputs, or run a campaign with "
+                        "--mode=sancheck --fuzz.\n");
+            exportTelemetry(options);
+            return 0;
+        }
+        for (const auto &finding : outcome.findings)
+            std::printf("\nfinding: %s\n", finding.str().c_str());
+        exportTelemetry(options);
+        return 1;
     }
 
     core::DiffOptions diff_options;

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Sanitizer-checking front end (DESIGN.md section 14): certify each
+ * input's UB-ness with the reference interpreter, run the sanitized
+ * implementations, and classify per-sanitizer false negatives /
+ * false positives.
+ *
+ *   ./build/examples/compdiff_sancheck [options]
+ *
+ * Three modes:
+ *
+ *   (default)            sweep the seed set (the built-in sanlab
+ *                        target's unless --program/--input override
+ *                        it) and print the Table-6-style FN/FP
+ *                        overlap matrix — implementations down,
+ *                        UB classes across
+ *   --input=FILE         classify one input; prints the certified
+ *                        reference run and every finding, exits 1
+ *                        when a finding fires (the reproduce
+ *                        command sig-<hex>/report.md bundles name)
+ *   --fuzz[=N]           run a sancheck fuzz campaign instead of
+ *                        the fixed sweep, then print the matrix
+ *                        over the campaign's unique findings
+ *
+ * Options:
+ *   --program=FILE   MiniC program (default: built-in sanlab)
+ *   --impls=SPECS    sanitized implementation specs (simulated
+ *                    configs with a sanitizer; default: the
+ *                    standard four — clang O1 asan/ubsan/msan plus
+ *                    clang O2 ubsan)
+ *   --seeds=DIR      extra seed files for the sweep/campaign
+ *   --jobs=N         worker threads (never changes results)
+ *   --shards=N       deterministic campaign shards (--fuzz)
+ *   --session=DIR    persist the --fuzz campaign as a crash-safe
+ *                    session (checkpoints, events, MANIFEST)
+ *   --resume         continue the session in --session=DIR
+ *   --halt-after=N   stop each shard at its first safe point at or
+ *                    beyond N executions (resume finishes)
+ *   --reduce[=B]     reduce each unique finding (oracle budget B)
+ *   --reports-out=D  write sig-<hex>/ bundles under D
+ *   --quiet          silence warn()/inform() notices
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compdiff/implementation.hh"
+#include "minic/parser.hh"
+#include "reduce/report.hh"
+#include "sancheck/report.hh"
+#include "sancheck/sancheck.hh"
+#include "session/session.hh"
+#include "support/bytes.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+const char *kUsage =
+    "usage: compdiff_sancheck [options]\n"
+    "\n"
+    "  --program=FILE   MiniC program (default: built-in sanlab)\n"
+    "  --input=FILE     classify one input; exit 1 on a finding\n"
+    "  --impls=SPECS    sanitized implementation specs\n"
+    "  --seeds=DIR      extra seed files for the sweep/campaign\n"
+    "  --fuzz[=N]       run a sancheck fuzz campaign (default\n"
+    "                   20000 execs), then print the matrix\n"
+    "  --jobs=N         worker threads (never changes results)\n"
+    "  --shards=N       deterministic campaign shards\n"
+    "  --session=DIR    persist the campaign as a session\n"
+    "  --resume         continue the session in --session=DIR\n"
+    "  --halt-after=N   stop shards at the first safe point at or\n"
+    "                   beyond N executions\n"
+    "  --reduce[=B]     reduce each unique finding\n"
+    "  --reports-out=D  write sig-<hex>/ bundles under D\n"
+    "  --quiet          silence warn()/inform() notices\n"
+    "  --help           show this text\n";
+
+struct CliOptions
+{
+    std::string program;
+    std::string input;
+    std::string impls;
+    std::string seedsDir;
+    bool fuzz = false;
+    std::uint64_t fuzzExecs = 20'000;
+    std::size_t jobs = 1;
+    std::size_t shards = 1;
+    std::string sessionDir;
+    bool resume = false;
+    std::uint64_t haltAfter = 0;
+    bool reduce = false;
+    std::uint64_t reduceBudget = 4096;
+    std::string reportsOut;
+    bool quiet = false;
+};
+
+bool
+matchFlag(const std::string &arg, const char *name,
+          std::string *value)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) == 0) {
+        *value = arg.substr(prefix.size());
+        return true;
+    }
+    return false;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (matchFlag(arg, "--program", &value)) {
+            options.program = value;
+        } else if (matchFlag(arg, "--input", &value)) {
+            options.input = value;
+        } else if (matchFlag(arg, "--impls", &value)) {
+            options.impls = value;
+        } else if (matchFlag(arg, "--seeds", &value)) {
+            options.seedsDir = value;
+        } else if (arg == "--fuzz") {
+            options.fuzz = true;
+        } else if (matchFlag(arg, "--fuzz", &value)) {
+            options.fuzz = true;
+            options.fuzzExecs = std::strtoull(value.c_str(),
+                                              nullptr, 10);
+        } else if (matchFlag(arg, "--jobs", &value)) {
+            options.jobs = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--shards", &value)) {
+            options.shards = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        } else if (matchFlag(arg, "--session", &value)) {
+            options.sessionDir = value;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (matchFlag(arg, "--halt-after", &value)) {
+            options.haltAfter = std::strtoull(value.c_str(),
+                                              nullptr, 10);
+        } else if (arg == "--reduce") {
+            options.reduce = true;
+        } else if (matchFlag(arg, "--reduce", &value)) {
+            options.reduce = true;
+            options.reduceBudget = std::strtoull(value.c_str(),
+                                                 nullptr, 10);
+        } else if (matchFlag(arg, "--reports-out", &value)) {
+            options.reportsOut = value;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument %s\n\n%s",
+                         arg.c_str(), kUsage);
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * Table-6-style overlap matrix: one row per sanitized
+ * implementation, one column per UB class, each cell the unique
+ * FN/FP signature counts observed for that pair.
+ */
+std::string
+renderMatrix(const std::vector<std::string> &impl_ids,
+             const std::vector<compdiff::sancheck::SanFinding>
+                 &findings)
+{
+    using namespace compdiff;
+    static const refinterp::UbKind kKinds[] = {
+        refinterp::UbKind::SignedOverflow,
+        refinterp::UbKind::DivideByZero,
+        refinterp::UbKind::OversizedShift,
+        refinterp::UbKind::NullDeref,
+        refinterp::UbKind::OutOfBounds,
+        refinterp::UbKind::UninitRead,
+    };
+    // One unique signature is one cell entry: the campaign already
+    // dedups, the fixed sweep dedups here.
+    std::set<std::string> seen;
+    std::map<std::pair<std::string, refinterp::UbKind>,
+             std::pair<std::uint64_t, std::uint64_t>>
+        cells;
+    std::uint64_t total_fn = 0, total_fp = 0;
+    for (const auto &finding : findings) {
+        if (!seen.insert(finding.signature()).second)
+            continue;
+        auto &cell = cells[{finding.implId, finding.ubKind}];
+        if (finding.kind == sancheck::FindingKind::FalseNegative) {
+            cell.first++;
+            total_fn++;
+        } else {
+            cell.second++;
+            total_fp++;
+        }
+    }
+
+    support::TextTable table;
+    std::vector<std::string> header = {"impl"};
+    std::vector<support::Align> align = {support::Align::Left};
+    for (const auto kind : kKinds) {
+        header.push_back(refinterp::ubKindName(kind));
+        align.push_back(support::Align::Left);
+    }
+    table.setHeader(std::move(header));
+    table.setAlign(std::move(align));
+    for (const auto &impl : impl_ids) {
+        std::vector<std::string> row = {impl};
+        for (const auto kind : kKinds) {
+            const auto it = cells.find({impl, kind});
+            if (it == cells.end()) {
+                row.push_back(".");
+                continue;
+            }
+            std::string cell;
+            if (it->second.first) {
+                cell += "FN x" +
+                        std::to_string(it->second.first);
+            }
+            if (it->second.second) {
+                if (!cell.empty())
+                    cell += " ";
+                cell += "FP x" +
+                        std::to_string(it->second.second);
+            }
+            row.push_back(cell);
+        }
+        table.addRow(std::move(row));
+    }
+    std::ostringstream os;
+    os << "sanitizer FN/FP matrix (unique signatures):\n"
+       << table.str() << "\n"
+       << "findings : " << total_fn << " FN, " << total_fp
+       << " FP\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace compdiff;
+
+    const CliOptions options = parseArgs(argc, argv);
+    support::QuietGuard quiet(options.quiet);
+
+    core::ImplementationSet impls =
+        options.impls.empty()
+            ? sancheck::defaultImplementations()
+            : core::ImplementationRegistry::global().parse(
+                  options.impls);
+    try {
+        sancheck::validateImpls(impls);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+    }
+
+    std::string source;
+    std::vector<support::Bytes> seeds;
+    if (options.program.empty()) {
+        source = sancheck::sanlabSource();
+        seeds = sancheck::sanlabSeeds();
+    } else {
+        source = readFile(options.program);
+        if (source.empty()) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         options.program.c_str());
+            return 2;
+        }
+    }
+    if (!options.seedsDir.empty()) {
+        std::vector<std::string> paths;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(options.seedsDir)) {
+            if (entry.is_regular_file())
+                paths.push_back(entry.path().string());
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const auto &path : paths) {
+            const std::string raw = readFile(path);
+            seeds.emplace_back(raw.begin(), raw.end());
+        }
+    }
+
+    std::unique_ptr<minic::Program> program;
+    try {
+        program = minic::parseAndCheck(source);
+    } catch (const support::CompileError &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+    }
+
+    std::vector<std::string> impl_ids;
+    for (const auto &impl : impls)
+        impl_ids.push_back(impl->id());
+
+    // --input: classify exactly one pair — the reproduce command
+    // that sig-<hex>/report.md bundles name. Exit 1 on a finding.
+    if (!options.input.empty()) {
+        const std::string raw = readFile(options.input);
+        const support::Bytes input(raw.begin(), raw.end());
+        sancheck::SanCheckOracle oracle(*program, impls);
+        const sancheck::Outcome outcome = oracle.runInput(input);
+        std::printf("certified reference run: %s, "
+                    "%zu certificate(s)\n",
+                    outcome.certified.result.exitClass().c_str(),
+                    outcome.certified.certificates.size());
+        for (const auto &cert : outcome.certified.certificates)
+            std::printf("  %s\n", cert.str().c_str());
+        for (const auto &finding : outcome.findings)
+            std::printf("finding: %s\n", finding.str().c_str());
+        if (outcome.findings.empty())
+            std::printf("no sanitizer findings on this input\n");
+        return outcome.findings.empty() ? 0 : 1;
+    }
+
+    std::vector<sancheck::SanFinding> findings;
+    if (options.fuzz) {
+        fuzz::FuzzOptions fuzz_options;
+        fuzz_options.sancheckMode = true;
+        fuzz_options.sancheckImpls = impls;
+        fuzz_options.maxExecs = options.fuzzExecs;
+        fuzz_options.jobs = options.jobs;
+
+        session::SessionConfig session_config;
+        session_config.dir = options.sessionDir;
+        session_config.resume = options.resume;
+        session_config.haltAfterExecs = options.haltAfter;
+        session_config.fuzz = fuzz_options;
+        session_config.shards = options.shards;
+        session_config.jobs = options.jobs;
+        session_config.triage.reduceFound = options.reduce;
+        session_config.triage.candidateBudget =
+            options.reduceBudget;
+        session_config.triage.reportsDir = options.reportsOut;
+
+        try {
+            session::CampaignSession session(*program, seeds,
+                                             session_config);
+            const fuzz::ShardedResult &sharded = session.run();
+            if (session.halted()) {
+                std::printf(
+                    "session halted after %llu execs; rerun with "
+                    "--session=%s --resume to finish\n",
+                    static_cast<unsigned long long>(
+                        sharded.total.execs),
+                    options.sessionDir.c_str());
+                return 0;
+            }
+            for (const auto &diff : sharded.diffs) {
+                std::printf("finding at exec %llu: %s\n",
+                            static_cast<unsigned long long>(
+                                diff.execIndex),
+                            diff.sanFinding.str().c_str());
+                findings.push_back(diff.sanFinding);
+            }
+            const auto reports = session.triageSancheck();
+            for (const auto &report : reports) {
+                std::printf(
+                    "reduced %s: input %zu -> %zu bytes, "
+                    "program %zu -> %zu statements%s\n",
+                    reduce::signatureDirName(
+                        report.finding.signatureHash())
+                        .c_str(),
+                    report.witnessInput.size(),
+                    report.input.size(),
+                    report.programStats.stmtsBefore,
+                    report.programStats.stmtsAfter,
+                    report.reproduced ? ""
+                                      : " (witness did not "
+                                        "reproduce; kept as-is)");
+            }
+        } catch (const session::SessionError &error) {
+            std::fprintf(stderr, "session error: %s\n",
+                         error.what());
+            return 2;
+        }
+    } else {
+        // Fixed sweep: classify every seed against every
+        // implementation — nonce 0, seed order, fully
+        // deterministic.
+        sancheck::SanCheckOracle oracle(*program, impls);
+        std::vector<sancheck::FindingWitness> witnesses;
+        std::set<std::string> seen;
+        for (const auto &seed : seeds) {
+            const sancheck::Outcome outcome =
+                oracle.runInput(seed);
+            for (const auto &finding : outcome.findings) {
+                findings.push_back(finding);
+                if (seen.insert(finding.signature()).second)
+                    witnesses.push_back({seed, finding});
+            }
+        }
+        if (options.reduce && !witnesses.empty()) {
+            sancheck::FindingReduceOptions reduce_options;
+            reduce_options.candidateBudget = options.reduceBudget;
+            reduce_options.jobs = options.jobs;
+            reduce_options.reportsDir = options.reportsOut;
+            const auto reports = sancheck::reduceFindings(
+                *program, impls, witnesses, reduce_options);
+            for (const auto &report : reports) {
+                std::printf(
+                    "reduced %s: input %zu -> %zu bytes\n",
+                    reduce::signatureDirName(
+                        report.finding.signatureHash())
+                        .c_str(),
+                    report.witnessInput.size(),
+                    report.input.size());
+            }
+        }
+    }
+
+    std::printf("\n%s",
+                renderMatrix(impl_ids, findings).c_str());
+    return findings.empty() ? 0 : 1;
+}

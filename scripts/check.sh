@@ -192,6 +192,67 @@ smoke() {
     # still reports the saved execs.
     grep -Eq '^compdiff_shard_execs\{session="w",shard="0"\} [1-9]' \
         "$tmp/kill.prom"
+    echo "== sancheck smoke: seeded sanitizer defects, resume identity"
+    # The flipped oracle (DESIGN.md §14): the fixed sweep over the
+    # bundled sanlab target must surface exactly the four seeded
+    # sanitizer defects (exit 1 = findings, by design).
+    sancheck="$(dirname "$cli")/compdiff_sancheck"
+    "$sancheck" --quiet > "$tmp/san_sweep.out" && rc=0 || rc=$?
+    test "$rc" -eq 1
+    grep -q 'findings : 3 FN, 1 FP' "$tmp/san_sweep.out"
+    grep -q 'FN x1 FP x1' "$tmp/san_sweep.out" # the -O2 UBSan defect
+    # A short campaign rediscovers them, reduces each unique finding,
+    # and writes sig-<hex>/ bundles naming the certified UB site and
+    # the silent sanitizer.
+    "$sancheck" --quiet --fuzz=3000 --shards=2 \
+        --session="$tmp/san_full" --reduce=300 \
+        --reports-out="$tmp/san_reports" > "$tmp/san_full.out" \
+        && rc=0 || rc=$?
+    test "$rc" -eq 1
+    for sig in 'san:clang-O1+msan:uninit-read:FN' \
+               'san:clang-O2+ubsan:signed-overflow:FN' \
+               'san:clang-O2+ubsan:signed-overflow:FP' \
+               'san:clang-O1+asan:out-of-bounds:FN'; do
+        grep -q "$sig" "$tmp/san_full.out"
+    done
+    msan_report="$(grep -l 'san:clang-O1+msan:uninit-read:FN' \
+        "$tmp"/san_reports/sig-*/report.md | head -n 1)"
+    test -n "$msan_report"
+    grep -q 'certified UB site' "$msan_report"
+    grep -q 'silent' "$msan_report"
+    # The bundle's reproduce command still observes the finding
+    # (exit 1) on the minimized pair.
+    msan_bundle="$(dirname "$msan_report")"
+    "$sancheck" --quiet --program="$msan_bundle/program.mc" \
+        --input="$msan_bundle/input.bin" --impls=clang:-O1:msan \
+        > "$tmp/san_replay.out" && rc=0 || rc=$?
+    test "$rc" -eq 1
+    grep -q 'uninit-read:FN' "$tmp/san_replay.out"
+    # Halt at half budget, resume with a different job count: the
+    # deterministic artifacts must match the uninterrupted session
+    # byte-for-byte.
+    "$sancheck" --quiet --fuzz=3000 --shards=2 \
+        --session="$tmp/san_cut" --halt-after=750 \
+        > "$tmp/san_cut.out"
+    grep -q 'session halted' "$tmp/san_cut.out"
+    "$sancheck" --quiet --fuzz=3000 --shards=2 --jobs=2 \
+        --session="$tmp/san_cut" --resume > /dev/null \
+        || test $? -eq 1
+    for s in 0 1; do
+        cmp "$tmp/san_full/shard-$s.events.jsonl" \
+            "$tmp/san_cut/shard-$s.events.jsonl"
+    done
+    grep -q 'mode : sancheck' "$tmp/san_cut/MANIFEST"
+    # The monitor surfaces the sancheck columns for such sessions.
+    "$monitor" --stable "$tmp/san_full" > "$tmp/san_mon.out"
+    grep -q 'san_fn' "$tmp/san_mon.out"
+    grep -q 'san findings : 3 FN, 1 FP' "$tmp/san_mon.out"
+    "$monitor" --format=prom "$tmp/san_full" > "$tmp/san.prom"
+    grep -Eq '^compdiff_campaign_san_fn\{session="san_full"\} 3$' \
+        "$tmp/san.prom"
+    grep -Eq '^compdiff_campaign_san_fp\{session="san_full"\} 1$' \
+        "$tmp/san.prom"
+
     echo "== fleet smoke: multi-process campaign, kill -9, revival"
     # A 3-worker fleet over the same campaign a single process runs
     # as the reference; one worker is SIGKILLed mid-run via its shard

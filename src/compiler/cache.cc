@@ -41,7 +41,8 @@ traitsFingerprint(const Traits &traits)
         .add(traits.nullDerefExploit);
     combiner.add(traits.bugRemPow2)
         .add(traits.bugDiv32Shift)
-        .add(traits.bugEmptyRange);
+        .add(traits.bugEmptyRange)
+        .add(traits.bugChkOv32Unsigned);
     combiner.add(traits.stackFill)
         .add(traits.heapFill)
         .add(traits.undefWord)

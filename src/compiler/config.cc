@@ -184,6 +184,17 @@ traitsFor(const CompilerConfig &config)
         t.bugEmptyRange = false;
     }
 
+    // Seeded sanitizer defect (DESIGN.md §14): at -O2 the UBSan
+    // pipeline runs a redundant-overflow-check elision whose
+    // signedness predicate is inverted — signed 32-bit add/sub checks
+    // are elided (false negatives) while unsigned add/sub pick up a
+    // bogus signed-overflow check (false positives). Mul and unary
+    // negation keep their checks; clang only, mirroring the vendor-
+    // specific nature of the UBfuzz findings.
+    t.bugChkOv32Unsigned = !gcc &&
+                           config.sanitizer == Sanitizer::UBSan &&
+                           config.opt == OptLevel::O2;
+
     // --- Runtime / library policy ----------------------------------
     t.stackFill = config.opt == OptLevel::O0 ? 0x00
                                              : (gcc ? 0xBE : 0xAA);

@@ -126,6 +126,11 @@ struct Traits
     bool bugRemPow2 = false;    ///< x%8 -> x&7 without negative fixup
     bool bugDiv32Shift = false; ///< x/32 -> x>>5 without fixup
     bool bugEmptyRange = false; ///< (x<C && x>C-2) folded to 0
+    /// Seeded sanitizer-instrumentation defect: the -O2 redundant-
+    /// overflow-check elision runs with an inverted signedness
+    /// predicate, so signed add/sub overflow checks are elided (FN)
+    /// while unsigned add/sub gain a bogus check (FP). See DESIGN §14.
+    bool bugChkOv32Unsigned = false;
 
     // --- Runtime / library policy ----------------------------------
     std::uint8_t stackFill = 0x00; ///< content of fresh stack memory

@@ -711,7 +711,13 @@ FuncLowering::applyIntOp(BinaryOp op, const Type *type, bool widened)
     const bool overflowable = op == BinaryOp::Add ||
                               op == BinaryOp::Sub ||
                               op == BinaryOp::Mul;
-    if (ubsan() && overflowable && is_signed && is_32)
+    // Seeded sanitizer defect (bugChkOv32Unsigned): the redundant-
+    // check elision's signedness predicate is inverted for add/sub,
+    // dropping the signed checks and planting one on unsigned ops.
+    bool check = is_signed;
+    if (traits_.bugChkOv32Unsigned && op != BinaryOp::Mul)
+        check = !is_signed;
+    if (ubsan() && overflowable && check && is_32)
         emit(Op::ChkOv32);
     if (!widened)
         narrow(type);

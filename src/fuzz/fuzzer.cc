@@ -23,7 +23,16 @@ Fuzzer::Fuzzer(const minic::Program &program,
           compiler::compileCached(program, options_.fuzzConfig)),
       fuzzVm_(*fuzzModule_, options_.fuzzConfig, options_.limits)
 {
-    if (options_.enableCompDiff) {
+    if (options_.sancheckMode) {
+        if (options_.sancheckImpls.empty())
+            options_.sancheckImpls =
+                sancheck::defaultImplementations();
+        sanOracle_ = std::make_unique<sancheck::SanCheckOracle>(
+            program_, options_.sancheckImpls, options_.limits);
+        // One row per sancheck config: the certifying reference
+        // interpreter plus every sanitized implementation.
+        perConfigExecs_.assign(options_.sancheckImpls.size() + 1, 0);
+    } else if (options_.enableCompDiff) {
         core::DiffOptions diff_options = options_.diffOptions;
         diff_options.limits = options_.limits;
         diff_options.jobs = options_.jobs;
@@ -91,6 +100,15 @@ Fuzzer::executeOne(Bytes input, std::size_t depth)
                            static_cast<int>(depth) + 1});
         stats_.lastFindExec = stats_.execs;
         obs::counter("fuzz.corpus_adds").add();
+    }
+
+    // --- the sancheck part (flipped oracle, DESIGN.md §14) ---
+    if (sanOracle_) {
+        // nonceCounter_ == stats_.execs here: the exec index doubles
+        // as the oracle nonce, the same value restoreState() replays
+        // the record under.
+        runSancheck(input, result.probes, nonceCounter_);
+        return;
     }
 
     // --- the CompDiff part (Algorithm 1, lines 9-12) ---
@@ -168,8 +186,8 @@ Fuzzer::recordDiffOutcome(const Bytes &input, core::DiffResult diff,
     const std::uint64_t signature = combiner.digest();
     if (!diffSignatures_.count(signature)) {
         diffSignatures_[signature] = diffs_.size();
-        diffs_.push_back(
-            {input, std::move(diff), exec_index, probes, signature});
+        diffs_.push_back({input, std::move(diff), exec_index, probes,
+                          signature, {}});
         // max(), not assignment: a batch flush can record a find
         // after later executions already advanced the clock, and
         // the serial path's monotone assignments are the same value.
@@ -178,6 +196,39 @@ Fuzzer::recordDiffOutcome(const Bytes &input, core::DiffResult diff,
         stats_.lastDiffExec =
             std::max(stats_.lastDiffExec, exec_index);
         obs::counter("fuzz.unique_diffs").add();
+    }
+}
+
+void
+Fuzzer::runSancheck(const Bytes &input,
+                    const std::vector<int> &probes,
+                    std::uint64_t exec_index)
+{
+    obs::Span span("fuzz.sancheck");
+    sancheck::Outcome outcome =
+        sanOracle_->runInput(input, exec_index);
+    stats_.compdiffExecs +=
+        static_cast<std::uint64_t>(perConfigExecs_.size());
+    for (auto &execs : perConfigExecs_)
+        execs += 1;
+
+    for (sancheck::SanFinding &finding : outcome.findings) {
+        const std::uint64_t signature = finding.signatureHash();
+        if (diffSignatures_.count(signature))
+            continue;
+        diffSignatures_[signature] = diffs_.size();
+        FoundDiff diff;
+        diff.input = input;
+        diff.execIndex = exec_index;
+        diff.probes = probes;
+        diff.signature = signature;
+        diff.sanFinding = std::move(finding);
+        diffs_.push_back(std::move(diff));
+        stats_.lastFindExec =
+            std::max(stats_.lastFindExec, exec_index);
+        stats_.lastDiffExec =
+            std::max(stats_.lastDiffExec, exec_index);
+        obs::counter("fuzz.unique_san_findings").add();
     }
 }
 
@@ -362,7 +413,13 @@ Fuzzer::statsSnapshot() const
     obs::FuzzerStatsSnapshot snapshot;
     snapshot.execsDone = stats_.execs;
     snapshot.compdiffExecs = stats_.compdiffExecs;
-    if (diffEngine_) {
+    if (sanOracle_) {
+        const auto ids = sanOracle_->configIds();
+        for (std::size_t i = 0; i < perConfigExecs_.size(); i++) {
+            snapshot.perConfigExecs.emplace_back(
+                ids[i], perConfigExecs_[i]);
+        }
+    } else if (diffEngine_) {
         const auto &impls = diffEngine_->implementations();
         for (std::size_t i = 0; i < perConfigExecs_.size(); i++) {
             snapshot.perConfigExecs.emplace_back(
@@ -409,7 +466,8 @@ void
 Fuzzer::restoreState(const FuzzerState &state)
 {
     const std::size_t engine_size =
-        diffEngine_ ? diffEngine_->size() : 0;
+        sanOracle_ ? options_.sancheckImpls.size() + 1
+                   : (diffEngine_ ? diffEngine_->size() : 0);
     if (state.perConfigExecs.size() != engine_size) {
         throw std::runtime_error(
             "fuzzer snapshot does not match campaign: snapshot has " +
@@ -424,7 +482,7 @@ Fuzzer::restoreState(const FuzzerState &state)
             " bytes, expected " +
             std::to_string(vm::kCoverageMapSize));
     }
-    if (!diffEngine_ && !state.diffs.empty()) {
+    if (!diffEngine_ && !sanOracle_ && !state.diffs.empty()) {
         throw std::runtime_error(
             "fuzzer snapshot does not match campaign: snapshot "
             "carries divergences but the differential oracle is "
@@ -450,12 +508,42 @@ Fuzzer::restoreState(const FuzzerState &state)
     diffs_.clear();
     diffSignatures_.clear();
     for (const auto &record : state.diffs) {
+        if (sanOracle_) {
+            // Re-classify under the recorded nonce and pick the
+            // finding the signature names — bit-exact, because the
+            // classification is a pure function of (program, input,
+            // nonce).
+            sancheck::Outcome outcome =
+                sanOracle_->runInput(record.input, record.execIndex);
+            FoundDiff diff;
+            diff.input = record.input;
+            diff.execIndex = record.execIndex;
+            diff.probes = record.probes;
+            diff.signature = record.signature;
+            bool matched = false;
+            for (sancheck::SanFinding &finding : outcome.findings) {
+                if (finding.signatureHash() == record.signature) {
+                    diff.sanFinding = std::move(finding);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                throw std::runtime_error(
+                    "fuzzer snapshot does not match campaign: a "
+                    "recorded sancheck finding does not reproduce "
+                    "under its recorded nonce");
+            }
+            diffSignatures_[record.signature] = diffs_.size();
+            diffs_.push_back(std::move(diff));
+            continue;
+        }
         auto diff = diffEngine_->runInput(record.input,
                                           record.execIndex);
         diffSignatures_[record.signature] = diffs_.size();
         diffs_.push_back({record.input, std::move(diff),
                           record.execIndex, record.probes,
-                          record.signature});
+                          record.signature, {}});
     }
     crashes_.clear();
     crashSignatures_.clear();

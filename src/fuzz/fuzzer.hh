@@ -37,6 +37,7 @@
 #include "compiler/config.hh"
 #include "fuzz/mutator.hh"
 #include "obs/stats.hh"
+#include "sancheck/sancheck.hh"
 #include "support/bytes.hh"
 #include "vm/coverage.hh"
 #include "vm/vm.hh"
@@ -64,10 +65,17 @@ struct FoundDiff
     /**
      * The triage signature this diff was deduplicated under: the
      * sorted probe set when the input fired probes, else the
-     * behavior-class partition + exit classes. Shard folding and the
+     * behavior-class partition + exit classes. In sancheck mode it
+     * is the finding's signatureHash(). Shard folding and the
      * campaign's untriaged surfacing key on this value.
      */
     std::uint64_t signature = 0;
+    /**
+     * Sancheck mode only: the classified sanitizer defect this
+     * record carries (implId empty in differential mode; `result`
+     * is then default-constructed).
+     */
+    sancheck::SanFinding sanFinding;
 };
 
 /** A saved crash (or sanitizer report) from B_fuzz. */
@@ -109,6 +117,20 @@ struct FuzzOptions
     core::ImplementationSet diffImpls =
         core::paper10Implementations();
     core::DiffOptions diffOptions;
+
+    /**
+     * Sancheck mode (DESIGN.md §14): replace the k-way differential
+     * oracle with the sanitizer-checking oracle — every generated
+     * input is certified by the reference interpreter and run on the
+     * sanitized implementations, and classified FN/FP findings are
+     * recorded as FoundDiffs keyed by their finding signature. The
+     * differential oracle knobs (enableCompDiff, diffImpls,
+     * oracleBatch, divergenceFeedback) are ignored in this mode.
+     */
+    bool sancheckMode = false;
+    /** Sanitized implementations for sancheck mode; empty means
+     *  sancheck::defaultImplementations(). */
+    core::ImplementationSet sancheckImpls;
 
     /**
      * NEZHA-style divergence feedback (the paper's Section 5
@@ -359,6 +381,11 @@ class Fuzzer
     /** Run every queued input through DiffEngine::runBatch and
      *  record the outcomes. No-op when nothing is pending. */
     void flushDiffBatch();
+    /** Sancheck mode: certify + sanitize + classify one input and
+     *  dedup/record the findings under their signature hashes. */
+    void runSancheck(const support::Bytes &input,
+                     const std::vector<int> &probes,
+                     std::uint64_t exec_index);
     /** The crash-dedup key of a B_fuzz result. */
     static std::string
     crashSignatureOf(const vm::ExecutionResult &result);
@@ -373,6 +400,9 @@ class Fuzzer
      *  campaign; its per-run arena is reset, not reallocated). */
     vm::Vm fuzzVm_;
     std::unique_ptr<core::DiffEngine> diffEngine_;
+    /** The sancheck-mode oracle (mutually exclusive with
+     *  diffEngine_). */
+    std::unique_ptr<sancheck::SanCheckOracle> sanOracle_;
 
     vm::CoverageMap coverage_;
     vm::VirginMap virgin_;

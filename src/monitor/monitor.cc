@@ -243,6 +243,10 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
         it != manifest_kv.end()) {
         view.fingerprint = it->second;
     }
+    if (const auto it = manifest_kv.find("mode");
+        it != manifest_kv.end()) {
+        view.sancheck = it->second == "sancheck";
+    }
 
     try {
         if (const auto stats_text =
@@ -267,6 +271,8 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
     }
 
     std::set<std::string> diff_signatures;
+    std::set<std::string> san_fn_signatures;
+    std::set<std::string> san_fp_signatures;
     for (std::size_t s = 0; s < view.shards; s++) {
         ShardView shard;
         shard.shard = s;
@@ -324,10 +330,27 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
             shard.lastEventExec = events.events.back().exec;
         }
         for (const auto &event : events.events) {
-            if (event.kind != "divergence")
+            if (event.kind == "divergence") {
+                if (const auto *sig = event.find("signature"))
+                    diff_signatures.insert(sig->value);
                 continue;
-            if (const auto *sig = event.find("signature"))
+            }
+            if (event.kind != "san_finding")
+                continue;
+            // Sancheck campaigns journal sanitizer FN/FP findings
+            // where differential ones journal divergences; the same
+            // signature currency dedups them across shards.
+            const auto *cls = event.find("class");
+            const bool fn = cls == nullptr || cls->value != "FP";
+            if (fn)
+                shard.sanFn++;
+            else
+                shard.sanFp++;
+            if (const auto *sig = event.find("signature")) {
                 diff_signatures.insert(sig->value);
+                (fn ? san_fn_signatures : san_fp_signatures)
+                    .insert(sig->value);
+            }
         }
 
         view.shardViews.push_back(std::move(shard));
@@ -352,6 +375,11 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
         }
         view.uniqueDiffs = diff_signatures.size();
     }
+    // Unique FN/FP counts come from the event streams either way:
+    // they are replay-invariant, complete once the campaign ends,
+    // and the final fuzzer_stats snapshot has no per-class split.
+    view.sanFn = san_fn_signatures.size();
+    view.sanFp = san_fp_signatures.size();
 
     {
         const obs::EventLog fleet_log =
@@ -408,16 +436,29 @@ std::string
 renderTable(const std::vector<SessionView> &sessions,
             const MonitorOptions &options)
 {
+    // The san_fn/san_fp columns appear only when a sancheck session
+    // is in view: every pre-existing campaign renders byte-identical.
+    bool any_sancheck = false;
+    for (const auto &session : sessions)
+        any_sancheck = any_sancheck || session.sancheck;
+
     support::TextTable table;
-    table.setHeader({"session", "shard", "health", "execs",
-                     "budget", "corpus", "diffs", "crashes",
-                     "edges", "last event", "age"});
-    table.setAlign({support::Align::Left, support::Align::Right,
-                    support::Align::Left, support::Align::Right,
-                    support::Align::Right, support::Align::Right,
-                    support::Align::Right, support::Align::Right,
-                    support::Align::Right, support::Align::Left,
-                    support::Align::Right});
+    std::vector<std::string> header = {
+        "session", "shard", "health", "execs", "budget", "corpus",
+        "diffs", "crashes", "edges", "last event", "age"};
+    std::vector<support::Align> align = {
+        support::Align::Left,  support::Align::Right,
+        support::Align::Left,  support::Align::Right,
+        support::Align::Right, support::Align::Right,
+        support::Align::Right, support::Align::Right,
+        support::Align::Right, support::Align::Left,
+        support::Align::Right};
+    if (any_sancheck) {
+        header.insert(header.begin() + 7, {"san_fn", "san_fp"});
+        align.insert(align.begin() + 7, 2, support::Align::Right);
+    }
+    table.setHeader(std::move(header));
+    table.setAlign(std::move(align));
     HealthCounts counts;
     std::uint64_t total_execs = 0, total_diffs = 0,
                   total_crashes = 0;
@@ -437,29 +478,38 @@ renderTable(const std::vector<SessionView> &sessions,
                     ? "-"
                     : shard.lastEventKind + "@" +
                           std::to_string(shard.lastEventExec);
-            table.addRow(
-                {session.label, std::to_string(shard.shard),
-                 session::shardHealthName(shard.health),
-                 shard.hasCheckpoint
-                     ? std::to_string(shard.checkpoint.execs)
-                     : "-",
-                 std::to_string(shard.budget),
-                 shard.hasCheckpoint
-                     ? std::to_string(shard.checkpoint.seeds)
-                     : "-",
-                 shard.hasCheckpoint
-                     ? std::to_string(shard.checkpoint.diffs)
-                     : "-",
-                 shard.hasCheckpoint
-                     ? std::to_string(shard.checkpoint.crashes)
-                     : "-",
-                 shard.hasCheckpoint
-                     ? std::to_string(shard.checkpoint.edges)
-                     : "-",
-                 last,
-                 options.stable || !shard.hasHeartbeat
-                     ? "-"
-                     : fmtSecs1(shard.ageSecs) + "s"});
+            std::vector<std::string> row = {
+                session.label, std::to_string(shard.shard),
+                session::shardHealthName(shard.health),
+                shard.hasCheckpoint
+                    ? std::to_string(shard.checkpoint.execs)
+                    : "-",
+                std::to_string(shard.budget),
+                shard.hasCheckpoint
+                    ? std::to_string(shard.checkpoint.seeds)
+                    : "-",
+                shard.hasCheckpoint
+                    ? std::to_string(shard.checkpoint.diffs)
+                    : "-",
+                shard.hasCheckpoint
+                    ? std::to_string(shard.checkpoint.crashes)
+                    : "-",
+                shard.hasCheckpoint
+                    ? std::to_string(shard.checkpoint.edges)
+                    : "-",
+                last,
+                options.stable || !shard.hasHeartbeat
+                    ? "-"
+                    : fmtSecs1(shard.ageSecs) + "s"};
+            if (any_sancheck) {
+                row.insert(
+                    row.begin() + 7,
+                    {session.sancheck ? std::to_string(shard.sanFn)
+                                      : "-",
+                     session.sancheck ? std::to_string(shard.sanFp)
+                                      : "-"});
+            }
+            table.addRow(std::move(row));
         }
     }
 
@@ -475,6 +525,15 @@ renderTable(const std::vector<SessionView> &sessions,
     os << "total execs : " << total_execs << "\n";
     os << "unique diffs : " << total_diffs << "\n";
     os << "crashes : " << total_crashes << "\n";
+    if (any_sancheck) {
+        std::uint64_t total_fn = 0, total_fp = 0;
+        for (const auto &session : sessions) {
+            total_fn += session.sanFn;
+            total_fp += session.sanFp;
+        }
+        os << "san findings : " << total_fn << " FN, " << total_fp
+           << " FP\n";
+    }
     if (!options.stable) {
         os << "run time : " << fmtSecs1(run_secs) << "s\n";
         for (const auto &session : sessions) {
@@ -529,6 +588,10 @@ renderJson(const std::vector<SessionView> &sessions,
            << ",\"unique_diffs\":" << session.uniqueDiffs
            << ",\"crashes\":" << session.crashes
            << ",\"edges\":" << session.edges;
+        if (session.sancheck) {
+            os << ",\"mode\":\"sancheck\",\"san_fn\":"
+               << session.sanFn << ",\"san_fp\":" << session.sanFp;
+        }
         if (!options.stable)
             os << ",\"run_secs\":" << fmtDouble(session.runSecs);
         if (!options.stable && session.fleet) {
@@ -554,6 +617,10 @@ renderJson(const std::vector<SessionView> &sessions,
                    << ",\"edges\":" << shard.checkpoint.edges;
             }
             os << ",\"events\":" << shard.eventCount;
+            if (session.sancheck) {
+                os << ",\"san_fn\":" << shard.sanFn
+                   << ",\"san_fp\":" << shard.sanFp;
+            }
             if (!shard.lastEventKind.empty()) {
                 os << ",\"last_event\":\""
                    << obs::jsonEscape(shard.lastEventKind)
@@ -590,16 +657,24 @@ renderJson(const std::vector<SessionView> &sessions,
     os << "],\"totals\":{";
     HealthCounts counts;
     std::uint64_t execs = 0, diffs = 0, crashes = 0;
+    std::uint64_t san_fn = 0, san_fp = 0;
+    bool any_sancheck = false;
     for (const auto &session : sessions) {
         execs += session.execs;
         diffs += session.uniqueDiffs;
         crashes += session.crashes;
+        san_fn += session.sanFn;
+        san_fp += session.sanFp;
+        any_sancheck = any_sancheck || session.sancheck;
         for (const auto &shard : session.shardViews)
             counts.add(shard.health);
     }
     os << "\"sessions\":" << sessions.size()
        << ",\"execs\":" << execs << ",\"unique_diffs\":" << diffs
-       << ",\"crashes\":" << crashes
+       << ",\"crashes\":" << crashes;
+    if (any_sancheck)
+        os << ",\"san_fn\":" << san_fn << ",\"san_fp\":" << san_fp;
+    os
        << ",\"running\":" << counts.running
        << ",\"stalled\":" << counts.stalled
        << ",\"dead\":" << counts.dead
@@ -618,6 +693,15 @@ renderProm(const std::vector<SessionView> &sessions,
        << "# TYPE compdiff_shard_execs gauge\n"
        << "# TYPE compdiff_shard_health gauge\n"
        << "# TYPE compdiff_histogram_quantile gauge\n";
+    // San metrics exist only when a sancheck session is in view, so
+    // scrapes of pre-existing campaigns stay byte-identical.
+    bool any_sancheck = false;
+    for (const auto &session : sessions)
+        any_sancheck = any_sancheck || session.sancheck;
+    if (any_sancheck) {
+        os << "# TYPE compdiff_campaign_san_fn gauge\n"
+           << "# TYPE compdiff_campaign_san_fp gauge\n";
+    }
     for (const auto &session : sessions) {
         const std::string label =
             "session=\"" + promEscape(session.label) + "\"";
@@ -645,6 +729,12 @@ renderProm(const std::vector<SessionView> &sessions,
            << session.crashes << "\n";
         os << "compdiff_campaign_edges{" << label << "} "
            << session.edges << "\n";
+        if (session.sancheck) {
+            os << "compdiff_campaign_san_fn{" << label << "} "
+               << session.sanFn << "\n";
+            os << "compdiff_campaign_san_fp{" << label << "} "
+               << session.sanFp << "\n";
+        }
         if (!options.stable && session.fleet) {
             os << "compdiff_fleet_spawns{" << label << "} "
                << session.fleetSpawns << "\n";
@@ -675,6 +765,12 @@ renderProm(const std::vector<SessionView> &sessions,
             }
             os << "compdiff_shard_events{" << shard_label << "} "
                << shard.eventCount << "\n";
+            if (session.sancheck) {
+                os << "compdiff_shard_san_fn{" << shard_label
+                   << "} " << shard.sanFn << "\n";
+                os << "compdiff_shard_san_fp{" << shard_label
+                   << "} " << shard.sanFp << "\n";
+            }
             if (!options.stable && shard.hasHeartbeat) {
                 os << "compdiff_shard_heartbeat_age_seconds{"
                    << shard_label << "} "

@@ -78,6 +78,11 @@ struct ShardView
     std::string lastEventKind;
     std::uint64_t lastEventExec = 0;
 
+    /** Sanitizer-checking events this shard journaled (sancheck
+     *  sessions only; raw per-shard counts, pre-dedup). */
+    std::uint64_t sanFn = 0;
+    std::uint64_t sanFp = 0;
+
     /** Fleet shard lease (src/fleet), when one is on disk. Liveness
      *  metadata — reported only outside `stable` mode. */
     bool hasLease = false;
@@ -109,6 +114,10 @@ struct SessionView
     std::uint64_t maxExecs = 0;
     std::string impls;
     std::string fingerprint;
+    /** MANIFEST carries `mode : sancheck` (sanitizer-checking
+     *  campaign — findings are sanitizer FN/FP verdicts, not
+     *  divergences). */
+    bool sancheck = false;
 
     // session_stats (cumulative across restarts; display only).
     std::uint64_t restarts = 0;
@@ -140,6 +149,11 @@ struct SessionView
     std::uint64_t diffs = 0; ///< per-shard sum (pre-dedup)
     std::uint64_t uniqueDiffs = 0;
     std::uint64_t edges = 0;
+    /** Unique sanitizer false-negative / false-positive signatures
+     *  across the shards' event streams (sancheck sessions only —
+     *  0/0 elsewhere). */
+    std::uint64_t sanFn = 0;
+    std::uint64_t sanFp = 0;
 
     std::vector<HistogramView> histograms;
 };

@@ -1,5 +1,6 @@
 #include "refinterp/refinterp.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstring>
@@ -99,6 +100,27 @@ refTraits()
         return t;
     }();
     return traits;
+}
+
+const char *
+ubKindName(UbKind kind)
+{
+    switch (kind) {
+      case UbKind::SignedOverflow: return "signed-overflow";
+      case UbKind::DivideByZero: return "divide-by-zero";
+      case UbKind::OversizedShift: return "oversized-shift";
+      case UbKind::NullDeref: return "null-deref";
+      case UbKind::OutOfBounds: return "out-of-bounds";
+      case UbKind::UninitRead: return "uninit-read";
+    }
+    return "?";
+}
+
+std::string
+UbCertificate::str() const
+{
+    return std::string(ubKindName(kind)) + " @ " + function + ":" +
+           std::to_string(line) + ": " + detail;
 }
 
 /**
@@ -352,6 +374,354 @@ namespace
 {
 
 /**
+ * Out-of-band UB detection state for one certifying run.
+ *
+ * The certifier shadows the evaluator's address space with the
+ * object-granular view the C abstract machine has: which live object
+ * (global declaration, active frame slot, live heap chunk, rodata
+ * blob) an access belongs to, and which stack/heap bytes have ever
+ * been stored. Every hook only *records* — nothing here feeds back
+ * into evaluation, which is how certify() keeps its result
+ * bit-identical to run().
+ *
+ * Precision notes (DESIGN.md §14): stores of any kind mark their
+ * destination initialized, so memcpy cuts shadow propagation — a
+ * deliberate under-approximation that can miss copied-uninit reads
+ * but never certifies UB that is not there. The certificate list is
+ * capped; classification only consults the first entry.
+ */
+class Certifier
+{
+  public:
+    Certifier(const Program &program,
+              const RefInterpreter::Layout &layout,
+              const vm::VmLimits &limits)
+    {
+        const compiler::Traits &traits = refTraits();
+        rodataLo_ = traits.rodataBase;
+        rodataHi_ = traits.rodataBase + layout.rodata.size();
+        globalsLo_ = traits.globalsBase;
+        globalsHi_ = traits.globalsBase + layout.globalsImage.size();
+        heapLo_ = traits.heapBase;
+        heapHi_ = traits.heapBase + limits.heapSize;
+        stackLo_ = traits.stackBase - limits.stackSize;
+        stackHi_ = traits.stackBase;
+        for (const auto &decl : program.globals) {
+            const auto id = static_cast<std::size_t>(decl->globalId);
+            globals_.push_back(
+                {layout.globalAddr[id],
+                 std::max<std::uint64_t>(decl->type->size(), 1)});
+        }
+        std::sort(globals_.begin(), globals_.end(),
+                  [](const Region &a, const Region &b) {
+                      return a.base < b.base;
+                  });
+        // Globals and rodata are initialized by definition (C zero-
+        // fills statics); only stack and heap bytes carry a shadow.
+        stackShadow_.assign(
+            static_cast<std::size_t>(limits.stackSize), 0);
+        heapShadow_.assign(
+            static_cast<std::size_t>(limits.heapSize), 0);
+    }
+
+    std::vector<UbCertificate> &certificates()
+    {
+        return certs_;
+    }
+
+    // --- object lifetime -------------------------------------------
+    void
+    pushFrame(std::uint64_t fp, const FunctionDecl &func,
+              const RefInterpreter::Layout::FrameLayout &frame)
+    {
+        frames_.push_back({fp, &func, &frame});
+        markUninit(fp, frame.frameSize);
+    }
+
+    void
+    popFrame()
+    {
+        if (!frames_.empty())
+            frames_.pop_back();
+    }
+
+    void
+    noteMalloc(std::uint64_t addr, std::uint64_t size)
+    {
+        heapChunks_[addr] = size;
+        markUninit(addr, size);
+    }
+
+    void
+    noteFree(std::uint64_t addr)
+    {
+        heapChunks_.erase(addr);
+    }
+
+    // --- memory hooks ----------------------------------------------
+    /** Object-granular bounds check (NullDeref / OutOfBounds). */
+    void
+    checkAccess(std::uint64_t addr, std::uint64_t size,
+                const std::string &func, std::uint32_t line)
+    {
+        if (full())
+            return;
+        if (addr + size < addr) {
+            record(UbKind::OutOfBounds, func, line,
+                   accessDetail(addr, size));
+            return;
+        }
+        if (addr < 4096) {
+            record(UbKind::NullDeref, func, line,
+                   accessDetail(addr, size));
+            return;
+        }
+        if (addr >= rodataLo_ && addr + size <= rodataHi_)
+            return;
+        if (addr >= globalsLo_ && addr < globalsHi_) {
+            for (const Region &g : globals_) {
+                if (addr >= g.base && addr + size <= g.base + g.size)
+                    return;
+            }
+            record(UbKind::OutOfBounds, func, line,
+                   accessDetail(addr, size));
+            return;
+        }
+        if (addr >= heapLo_ && addr < heapHi_) {
+            auto it = heapChunks_.upper_bound(addr);
+            if (it != heapChunks_.begin()) {
+                --it;
+                if (addr + size <= it->first + it->second)
+                    return;
+            }
+            record(UbKind::OutOfBounds, func, line,
+                   accessDetail(addr, size));
+            return;
+        }
+        if (addr >= stackLo_ && addr < stackHi_) {
+            for (const ActiveFrame &f : frames_) {
+                if (addr < f.fp ||
+                    addr + size > f.fp + f.frame->frameSize)
+                    continue;
+                for (std::size_t id = 0;
+                     id < f.func->locals.size(); id++) {
+                    const std::uint64_t slot =
+                        f.fp + f.frame->slotOffset[id];
+                    const std::uint64_t slot_size =
+                        std::max<std::uint64_t>(
+                            f.func->locals[id].type->size(), 1);
+                    if (addr >= slot &&
+                        addr + size <= slot + slot_size)
+                        return;
+                }
+            }
+            record(UbKind::OutOfBounds, func, line,
+                   accessDetail(addr, size));
+            return;
+        }
+        record(UbKind::OutOfBounds, func, line,
+               accessDetail(addr, size));
+    }
+
+    /** Meaningful read of possibly-never-stored bytes (UninitRead). */
+    void
+    checkInit(std::uint64_t addr, std::uint64_t size,
+              const std::string &func, std::uint32_t line)
+    {
+        std::uint8_t *shadow = shadowFor(addr, size);
+        if (!shadow)
+            return;
+        bool uninit = false;
+        for (std::uint64_t i = 0; i < size; i++)
+            uninit |= shadow[i] == 0;
+        if (!uninit)
+            return;
+        record(UbKind::UninitRead, func, line,
+               accessDetail(addr, size));
+        // Certify each never-stored byte once, not once per read.
+        markInit(addr, size);
+    }
+
+    /** Every store initializes its destination bytes. */
+    void
+    markInit(std::uint64_t addr, std::uint64_t size)
+    {
+        if (std::uint8_t *shadow = shadowFor(addr, size))
+            std::memset(shadow, 1, static_cast<std::size_t>(size));
+    }
+
+    // --- operand hooks ---------------------------------------------
+    /** Certify signed overflow / division UB for one integer op. */
+    void
+    checkIntOp(BinaryOp op, const Type *type, std::uint64_t a,
+               std::uint64_t b, const std::string &func,
+               std::uint32_t line)
+    {
+        if (full())
+            return;
+        const bool is_signed = isSignedKind(type);
+        const bool narrow = type->is32OrNarrower();
+        const auto sa = static_cast<std::int64_t>(a);
+        const auto sb = static_cast<std::int64_t>(b);
+        switch (op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul: {
+            if (!is_signed)
+                return;
+            std::int64_t wide = 0;
+            bool over = false;
+            if (op == BinaryOp::Add)
+                over = __builtin_add_overflow(sa, sb, &wide);
+            else if (op == BinaryOp::Sub)
+                over = __builtin_sub_overflow(sa, sb, &wide);
+            else
+                over = __builtin_mul_overflow(sa, sb, &wide);
+            if (narrow)
+                over = over || wide < INT32_MIN || wide > INT32_MAX;
+            if (over)
+                record(UbKind::SignedOverflow, func, line,
+                       operandDetail(op, sa, sb));
+            return;
+          }
+          case BinaryOp::Div:
+          case BinaryOp::Rem: {
+            if (is_signed ? sb == 0 : b == 0) {
+                record(UbKind::DivideByZero, func, line,
+                       operandDetail(op, sa, sb));
+                return;
+            }
+            if (is_signed && sb == -1 &&
+                sa == (narrow ? INT32_MIN : INT64_MIN)) {
+                record(UbKind::SignedOverflow, func, line,
+                       operandDetail(op, sa, sb));
+            }
+            return;
+          }
+          default:
+            return;
+        }
+    }
+
+    /** Certify an out-of-range shift count (OversizedShift). */
+    void
+    checkShift(std::uint64_t count, std::uint64_t width,
+               const std::string &func, std::uint32_t line)
+    {
+        if (count < width || full())
+            return;
+        record(UbKind::OversizedShift, func, line,
+               support::format("shift count %" PRId64
+                               " on %" PRIu64 "-bit value",
+                               static_cast<std::int64_t>(count),
+                               width));
+    }
+
+    /** Certify negation overflow (-INT_MIN). */
+    void
+    checkNeg(std::uint64_t value, const Type *type,
+             const std::string &func, std::uint32_t line)
+    {
+        if (!isSignedKind(type) || full())
+            return;
+        const auto sv = static_cast<std::int64_t>(value);
+        if (sv == (type->is32OrNarrower() ? INT32_MIN : INT64_MIN))
+            record(UbKind::SignedOverflow, func, line,
+                   support::format("-(%" PRId64 ")", sv));
+    }
+
+  private:
+    struct Region
+    {
+        std::uint64_t base = 0;
+        std::uint64_t size = 0;
+    };
+
+    struct ActiveFrame
+    {
+        std::uint64_t fp = 0;
+        const FunctionDecl *func = nullptr;
+        const RefInterpreter::Layout::FrameLayout *frame = nullptr;
+    };
+
+    bool
+    full() const
+    {
+        return certs_.size() >= CertifiedRun::kMaxCertificates;
+    }
+
+    void
+    record(UbKind kind, const std::string &func, std::uint32_t line,
+           std::string detail)
+    {
+        if (full())
+            return;
+        UbCertificate cert;
+        cert.kind = kind;
+        cert.function = func;
+        cert.line = line;
+        cert.detail = std::move(detail);
+        certs_.push_back(std::move(cert));
+    }
+
+    /** Shadow bytes for [addr, addr+size), or nullptr when the range
+     *  is not fully inside the stack or heap segment. */
+    std::uint8_t *
+    shadowFor(std::uint64_t addr, std::uint64_t size)
+    {
+        if (addr + size < addr)
+            return nullptr;
+        if (addr >= stackLo_ && addr + size <= stackHi_)
+            return stackShadow_.data() + (addr - stackLo_);
+        if (addr >= heapLo_ && addr + size <= heapHi_)
+            return heapShadow_.data() + (addr - heapLo_);
+        return nullptr;
+    }
+
+    void
+    markUninit(std::uint64_t addr, std::uint64_t size)
+    {
+        if (std::uint8_t *shadow = shadowFor(addr, size))
+            std::memset(shadow, 0, static_cast<std::size_t>(size));
+    }
+
+    static std::string
+    accessDetail(std::uint64_t addr, std::uint64_t size)
+    {
+        return support::format("addr 0x%" PRIx64 " size %" PRIu64,
+                               addr, size);
+    }
+
+    static std::string
+    operandDetail(BinaryOp op, std::int64_t a, std::int64_t b)
+    {
+        const char *sym = "?";
+        switch (op) {
+          case BinaryOp::Add: sym = "+"; break;
+          case BinaryOp::Sub: sym = "-"; break;
+          case BinaryOp::Mul: sym = "*"; break;
+          case BinaryOp::Div: sym = "/"; break;
+          case BinaryOp::Rem: sym = "%"; break;
+          default: break;
+        }
+        return support::format("%" PRId64 " %s %" PRId64, a, sym, b);
+    }
+
+    std::vector<UbCertificate> certs_;
+
+    std::uint64_t rodataLo_ = 0, rodataHi_ = 0;
+    std::uint64_t globalsLo_ = 0, globalsHi_ = 0;
+    std::uint64_t heapLo_ = 0, heapHi_ = 0;
+    std::uint64_t stackLo_ = 0, stackHi_ = 0;
+
+    std::vector<Region> globals_;
+    std::map<std::uint64_t, std::uint64_t> heapChunks_;
+    std::vector<ActiveFrame> frames_;
+    std::vector<std::uint8_t> stackShadow_;
+    std::vector<std::uint8_t> heapShadow_;
+};
+
+/**
  * One run's evaluator. Everything lives on the run() stack; the
  * interpreter object itself stays read-only (thread-compatible the
  * same way vm::Vm::run is).
@@ -361,9 +731,9 @@ class Interp
   public:
     Interp(const Program &program, const RefInterpreter::Layout &lo,
            const vm::VmLimits &limits, const Bytes &input,
-           std::uint64_t nonce)
+           std::uint64_t nonce, Certifier *cert = nullptr)
         : program_(program), types_(*program.types), layout_(lo),
-          limits_(limits), input_(input), nonce_(nonce),
+          limits_(limits), input_(input), nonce_(nonce), cert_(cert),
           space_(refTraits(), /*asan=*/false, /*msan=*/false,
                  limits.stackSize, limits.heapSize),
           heap_(space_, refTraits(), /*asan=*/false)
@@ -395,6 +765,8 @@ class Interp
         fp_ = sp - frame.frameSize;
         curFunc_ = &main_fn;
         callDepth_ = 1;
+        if (cert_)
+            cert_->pushFrame(fp_, main_fn, frame);
 
         execStmt(*main_fn.body);
         if (running_) {
@@ -460,6 +832,8 @@ class Interp
     loadRaw(std::uint64_t addr, std::uint64_t size,
             std::uint64_t &value)
     {
+        if (cert_)
+            cert_->checkAccess(addr, size, funcName(), curLine_);
         bool poisoned = false;
         if (space_.read(addr, size, value, poisoned) == Access::Ok)
             return true;
@@ -471,6 +845,10 @@ class Interp
     storeRaw(std::uint64_t addr, std::uint64_t size,
              std::uint64_t value)
     {
+        if (cert_) {
+            cert_->checkAccess(addr, size, funcName(), curLine_);
+            cert_->markInit(addr, size);
+        }
         if (space_.write(addr, size, value, false) == Access::Ok)
             return true;
         finish(Termination::Trap, 139, TrapKind::Segv);
@@ -480,36 +858,37 @@ class Interp
     std::uint64_t
     loadScalar(std::uint64_t addr, const Type *type)
     {
-        std::uint64_t raw = 0;
         switch (type->kind()) {
           case TypeKind::Char:
-            if (!loadRaw(addr, 1, raw))
-                return 0;
-            return static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(
-                    static_cast<std::int8_t>(raw)));
           case TypeKind::Int:
-            if (!loadRaw(addr, 4, raw))
-                return 0;
-            return static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(
-                    static_cast<std::int32_t>(raw)));
           case TypeKind::UInt:
-            if (!loadRaw(addr, 4, raw))
-                return 0;
-            return raw;
           case TypeKind::Long:
           case TypeKind::ULong:
           case TypeKind::Pointer:
           case TypeKind::Double:
-            if (!loadRaw(addr, 8, raw))
-                return 0;
-            return raw;
+            break;
           default:
             support::panic("ref load of non-scalar type " +
                            type->str());
         }
-        return 0;
+        std::uint64_t raw = 0;
+        const std::uint64_t width = scalarWidth(type);
+        if (!loadRaw(addr, width, raw))
+            return 0;
+        if (cert_)
+            cert_->checkInit(addr, width, funcName(), curLine_);
+        switch (type->kind()) {
+          case TypeKind::Char:
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int8_t>(raw)));
+          case TypeKind::Int:
+            return static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(raw)));
+          default:
+            return raw;
+        }
     }
 
     void
@@ -600,6 +979,8 @@ class Interp
     applyIntOp(BinaryOp op, const Type *type, std::uint64_t a,
                std::uint64_t b, bool widened)
     {
+        if (cert_)
+            cert_->checkIntOp(op, type, a, b, funcName(), curLine_);
         const bool is_signed = isSignedKind(type);
         std::uint64_t r = 0;
         switch (op) {
@@ -637,11 +1018,13 @@ class Interp
 
     std::uint64_t
     applyShift(BinaryOp op, const Type *type, std::uint64_t value,
-               std::uint64_t count) const
+               std::uint64_t count)
     {
         // MaskCount normalization: oversized counts wrap, exactly
         // like the MaskCount ShiftPolicy plus the VM's & 63.
         const std::uint64_t width = type->is32OrNarrower() ? 32 : 64;
+        if (cert_)
+            cert_->checkShift(count, width, funcName(), curLine_);
         if (count >= width)
             count &= width - 1;
         std::uint64_t r;
@@ -673,6 +1056,8 @@ class Interp
     {
         if (!tick())
             return 0;
+        if (cert_ && expr.loc().line)
+            curLine_ = expr.loc().line;
         switch (expr.kind()) {
           case ExprKind::VarRef: {
             const auto &ref = static_cast<const VarRefExpr &>(expr);
@@ -720,6 +1105,8 @@ class Interp
     {
         if (!tick())
             return 0;
+        if (cert_ && expr.loc().line)
+            curLine_ = expr.loc().line;
         switch (expr.kind()) {
           case ExprKind::IntLit: {
             const auto &lit = static_cast<const IntLitExpr &>(expr);
@@ -797,6 +1184,10 @@ class Interp
             v = convertVal(v, expr.operand->type, expr.type);
             if (expr.type->isDouble())
                 return asBits(-asDouble(v));
+            if (cert_) {
+                curLine_ = expr.loc().line;
+                cert_->checkNeg(v, expr.type, funcName(), curLine_);
+            }
             return narrowVal(0 - v, expr.type);
           }
           case UnaryOp::BitNot: {
@@ -1132,6 +1523,8 @@ class Interp
             args.push_back(v);
         }
 
+        if (cert_ && call.loc().line)
+            curLine_ = call.loc().line;
         if (call.builtin != Builtin::None)
             return evalBuiltin(call.builtin, args);
 
@@ -1159,6 +1552,10 @@ class Interp
             return 0;
         }
         const std::uint64_t new_fp = sp - frame.frameSize;
+        // The callee frame becomes a live object (fresh bytes
+        // uninitialized) before the param stores land in it.
+        if (cert_)
+            cert_->pushFrame(new_fp, callee, frame);
         // Extra arguments are dropped, missing ones leave the slot
         // uninitialized (CWE-685 semantics, same as the VM).
         const std::size_t stored =
@@ -1190,6 +1587,8 @@ class Interp
         curFunc_ = saved_func;
         fp_ = saved_fp;
         flow_ = Flow::Normal;
+        if (cert_)
+            cert_->popFrame();
         return rv;
     }
 
@@ -1230,6 +1629,9 @@ class Interp
                 std::uint64_t byte = 0;
                 if (!loadRaw(addr + n, 1, byte))
                     break;
+                if (cert_)
+                    cert_->checkInit(addr + n, 1, funcName(),
+                                     curLine_);
                 if ((byte & 0xff) == 0)
                     break;
                 if (res_.output.size() < limits_.maxOutput)
@@ -1256,11 +1658,18 @@ class Interp
             return static_cast<std::uint64_t>(-1);
           case Builtin::Malloc: {
             const auto n = static_cast<std::int64_t>(args[0]);
-            return n < 0 ? 0
-                         : heap_.allocate(
-                               static_cast<std::uint64_t>(n));
+            if (n < 0)
+                return 0;
+            const std::uint64_t addr =
+                heap_.allocate(static_cast<std::uint64_t>(n));
+            if (cert_ && addr)
+                cert_->noteMalloc(addr,
+                                  static_cast<std::uint64_t>(n));
+            return addr;
           }
           case Builtin::Free:
+            if (cert_)
+                cert_->noteFree(args[0]);
             switch (heap_.release(args[0])) {
               case FreeOutcome::Ok:
               case FreeOutcome::NullNoop:
@@ -1316,6 +1725,9 @@ class Interp
                 std::uint64_t byte = 0;
                 if (!loadRaw(addr + len, 1, byte))
                     break;
+                if (cert_)
+                    cert_->checkInit(addr + len, 1, funcName(),
+                                     curLine_);
                 if ((byte & 0xff) == 0)
                     break;
             }
@@ -1328,6 +1740,9 @@ class Interp
                 std::uint64_t byte = 0;
                 if (!loadRaw(src + i, 1, byte))
                     break;
+                if (cert_)
+                    cert_->checkInit(src + i, 1, funcName(),
+                                     curLine_);
                 if (!storeRaw(dst + i, 1, byte))
                     break;
                 if ((byte & 0xff) == 0)
@@ -1345,6 +1760,10 @@ class Interp
                 if (!loadRaw(a + i, 1, ba) ||
                     !loadRaw(b + i, 1, bb))
                     break;
+                if (cert_) {
+                    cert_->checkInit(a + i, 1, funcName(), curLine_);
+                    cert_->checkInit(b + i, 1, funcName(), curLine_);
+                }
                 const auto ca = static_cast<std::uint8_t>(ba);
                 const auto cb = static_cast<std::uint8_t>(bb);
                 if (ca != cb) {
@@ -1398,6 +1817,8 @@ class Interp
     {
         if (!tick())
             return;
+        if (cert_ && stmt.loc().line)
+            curLine_ = stmt.loc().line;
         switch (stmt.kind()) {
           case StmtKind::Block:
             for (const auto &s :
@@ -1514,12 +1935,22 @@ class Interp
             static_cast<std::size_t>(curFunc_->index)];
     }
 
+    const std::string &
+    funcName() const
+    {
+        static const std::string kStartup = "<startup>";
+        return curFunc_ ? curFunc_->name : kStartup;
+    }
+
     const Program &program_;
     const TypeContext &types_;
     const RefInterpreter::Layout &layout_;
     const vm::VmLimits &limits_;
     const Bytes &input_;
     const std::uint64_t nonce_;
+    Certifier *cert_ = nullptr;
+    /** Source line of the node being evaluated (certifier only). */
+    std::uint32_t curLine_ = 0;
 
     vm::AddressSpace space_;
     vm::Heap heap_;
@@ -1544,4 +1975,16 @@ RefInterpreter::run(const Bytes &input, std::uint64_t nonce) const
     return interp.run();
 }
 
+CertifiedRun
+RefInterpreter::certify(const Bytes &input, std::uint64_t nonce) const
+{
+    Certifier cert(program_, *layout_, limits_);
+    Interp interp(program_, *layout_, limits_, input, nonce, &cert);
+    CertifiedRun out;
+    out.result = interp.run();
+    out.certificates = std::move(cert.certificates());
+    return out;
+}
+
 } // namespace compdiff::refinterp
+

@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "compiler/config.hh"
 #include "minic/ast.hh"
@@ -36,6 +38,60 @@
 
 namespace compdiff::refinterp
 {
+
+/**
+ * The UB classes the certifying interpreter detects — exactly the
+ * classes the simulated pipeline exploits (DESIGN.md §14). The enum
+ * order is the order kinds appear in signatures and reports; names
+ * from ubKindName() are part of the on-disk signature format.
+ */
+enum class UbKind
+{
+    SignedOverflow, ///< signed +,-,*,/ overflow (incl. INT_MIN/-1, -INT_MIN)
+    DivideByZero,   ///< integer division or remainder by zero
+    OversizedShift, ///< shift count negative or >= bit width
+    NullDeref,      ///< access through (near-)null pointer
+    OutOfBounds,    ///< access outside every live object
+    UninitRead,     ///< read of never-stored stack/heap bytes
+};
+
+/** Stable kind name ("signed-overflow", ...); signature currency. */
+const char *ubKindName(UbKind kind);
+
+/**
+ * One certified UB occurrence: what happened, where, and with which
+ * operand values. Certificates are evidence — the certifying run's
+ * observable result is bit-identical to a plain run(); detection is
+ * entirely out-of-band.
+ */
+struct UbCertificate
+{
+    UbKind kind = UbKind::SignedOverflow;
+    /** Enclosing function at the UB site. */
+    std::string function;
+    /** Source line of the offending statement/expression. */
+    std::uint32_t line = 0;
+    /** Operand rendering ("2147483647 + 1", "addr 0x2800040 size 4"). */
+    std::string detail;
+
+    /** One-line rendering ("signed-overflow @ main:7: 2147483647 + 1"). */
+    std::string str() const;
+};
+
+/** What RefInterpreter::certify() observed for one input. */
+struct CertifiedRun
+{
+    /** Byte-identical to what run() returns for the same input. */
+    vm::ExecutionResult result;
+    /**
+     * Certified UB occurrences in execution order (capped at
+     * kMaxCertificates; classification only consults the first).
+     * Empty together with a clean exit certifies UB-freedom.
+     */
+    std::vector<UbCertificate> certificates;
+
+    static constexpr std::size_t kMaxCertificates = 32;
+};
 
 /**
  * The fixed, neutral traits the interpreter runs under: declaration
@@ -77,6 +133,17 @@ class RefInterpreter
      */
     vm::ExecutionResult run(const support::Bytes &input,
                             std::uint64_t nonce = 0) const;
+
+    /**
+     * Run `main` in UB-certifying mode: the same execution as run()
+     * — the returned result is bit-identical — plus object-granular
+     * bounds tracking, byte-level initialization shadow, and operand
+     * checks that certify each UB occurrence the simulated pipeline
+     * could exploit. Deterministic: a pure function of (program,
+     * input, nonce), independent of threads or wall clock.
+     */
+    CertifiedRun certify(const support::Bytes &input,
+                         std::uint64_t nonce = 0) const;
 
     /** Raise the step budget (RQ6 timeout re-examination). */
     void setMaxInstructions(std::uint64_t budget)

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * `sanlab`: the bundled sanitizer-check laboratory program.
+ *
+ * Each station exercises one cell of the sancheck FN/FP matrix
+ * (DESIGN.md §14); the seeds steer a short campaign into every
+ * station, so the CI smoke deterministically reaches the seeded
+ * sanitizer defects. Stations are input-gated — the clean dispatch
+ * path is certified UB-free, which is what makes the FP station
+ * meaningful.
+ */
+
+#include "sancheck/sancheck.hh"
+
+namespace compdiff::sancheck
+{
+
+const char *
+sanlabSource()
+{
+    return R"SRC(
+// sanlab - sanitizer-check laboratory.
+//
+// cmd 1  uninit gauge     MSan print blind spot (known FN)
+// cmd 2  signed overflow  seeded -O2 UBSan check elision (FN)
+// cmd 3  unsigned sum     inverted-predicate bogus check (FP)
+// cmd 4  far heap hop     OOB past the redzone onto a live
+//                         neighbor (ASan FN)
+// cmd 5  near heap poke   OOB into the redzone (agreement)
+// cmd 6  wide shift       oversized count (agreement)
+
+void station_uninit() {
+    int flag = read_byte();
+    int value;
+    if (flag == 7) { value = 41; }
+    // On every other path `value` is never stored; printing it is
+    // exactly the use MSan does not consider meaningful.
+    print_str("gauge ");
+    print_int(value);
+    newline();
+}
+
+void station_overflow() {
+    int a = read_byte();
+    int b = read_byte();
+    if (a < 0 || b < 0) { return; }
+    int big = 2147483647 - a;
+    // Signed 32-bit overflow whenever b > a.
+    int sum = big + b;
+    print_str("sum ");
+    print_int(sum);
+    newline();
+}
+
+void station_unsigned() {
+    int n = read_byte();
+    if (n < 0) { return; }
+    uint base = (uint)2147400000;
+    // Well-defined modular arithmetic; the 64-bit sum crosses 2^31
+    // for n >= 84, which is what the bogus check mis-tests.
+    uint total = base + (uint)(n * 1000);
+    print_str("total ");
+    print_long((long)total);
+    newline();
+}
+
+void station_heap_far() {
+    char *p = malloc(16L);
+    char *q = malloc(16L);
+    if (p == 0 || q == 0) { return; }
+    q[0] = (char)77;
+    int off = read_byte();
+    if (off == 48) {
+        // 48 bytes past p: beyond the 16-byte redzone, onto the
+        // neighboring live chunk.
+        print_str("far ");
+        print_int(p[off]);
+        newline();
+    } else {
+        print_str("fence holds");
+        newline();
+    }
+    free(q);
+    free(p);
+}
+
+void station_heap_near() {
+    char *p = malloc(16L);
+    if (p == 0) { return; }
+    int off = read_byte();
+    if (off == 17) {
+        print_str("near ");
+        print_int(p[off]);
+        newline();
+    } else {
+        print_str("inside");
+        newline();
+    }
+    free(p);
+}
+
+void station_shift() {
+    int bits = read_byte();
+    if (bits < 0) { return; }
+    int v = 1 << bits;
+    print_str("shift ");
+    print_int(v);
+    newline();
+}
+
+int main() {
+    int cmd = read_byte();
+    while (cmd >= 0) {
+        if (cmd == 1) { station_uninit(); }
+        else if (cmd == 2) { station_overflow(); }
+        else if (cmd == 3) { station_unsigned(); }
+        else if (cmd == 4) { station_heap_far(); }
+        else if (cmd == 5) { station_heap_near(); }
+        else if (cmd == 6) { station_shift(); }
+        else { print_str("idle"); newline(); }
+        cmd = read_byte();
+    }
+    return 0;
+}
+)SRC";
+}
+
+std::vector<support::Bytes>
+sanlabSeeds()
+{
+    return {
+        {1, 0},       // uninit gauge, flag != 7: MSan FN
+        {1, 7},       // uninit gauge, initialized: clean
+        {2, 0, 5},    // signed overflow: -O2 UBSan FN
+        {2, 5, 0},    // no overflow: clean
+        {3, 200},     // unsigned sum crosses 2^31: -O2 UBSan FP
+        {3, 10},      // unsigned sum stays low: clean
+        {4, 48},      // far hop onto the neighbor: ASan FN
+        {4, 0},       // fence untouched: clean
+        {5, 17},      // redzone poke: certifier and ASan agree
+        {6, 40},      // oversized shift: certifier and UBSan agree
+        {0},          // idle dispatch
+    };
+}
+
+} // namespace compdiff::sancheck

@@ -16,6 +16,64 @@ sanitizerConfig(Sanitizer which)
     return {Vendor::Clang, OptLevel::O1, which};
 }
 
+bool
+reportUbKind(const vm::SanReport &report, refinterp::UbKind *kind)
+{
+    using refinterp::UbKind;
+
+    // UBSan and MSan name the violated rule directly.
+    if (report.kind == "signed-integer-overflow") {
+        *kind = UbKind::SignedOverflow;
+        return true;
+    }
+    if (report.kind == "division-by-zero") {
+        *kind = UbKind::DivideByZero;
+        return true;
+    }
+    if (report.kind == "shift-out-of-bounds") {
+        *kind = UbKind::OversizedShift;
+        return true;
+    }
+    if (report.kind == "null-pointer-dereference") {
+        *kind = UbKind::NullDeref;
+        return true;
+    }
+    if (report.kind == "use-of-uninitialized-value") {
+        *kind = UbKind::UninitRead;
+        return true;
+    }
+
+    // Allocator-state reports are heap-API misuse, not a certified
+    // UB access class.
+    if (report.kind == "double-free" || report.kind == "invalid-free")
+        return false;
+
+    // Every remaining ASan kind ("heap-buffer-overflow",
+    // "heap-use-after-free", "stack-buffer-overflow", ...) names an
+    // access outside a live object.
+    if (report.tool == vm::SanReport::Tool::ASan) {
+        *kind = UbKind::OutOfBounds;
+        return true;
+    }
+    return false;
+}
+
+const std::string &
+SanitizerVerdict::firstReportKind() const
+{
+    static const std::string empty;
+    return result.sanReports.empty() ? empty
+                                     : result.sanReports.front().kind;
+}
+
+bool
+SanitizerVerdict::firstUbKind(refinterp::UbKind *kind) const
+{
+    if (result.sanReports.empty())
+        return false;
+    return reportUbKind(result.sanReports.front(), kind);
+}
+
 SanitizerRunner::SanitizerRunner(const minic::Program &program,
                                  vm::VmLimits limits)
     : limits_(limits)

@@ -25,10 +25,12 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compiler/compiler.hh"
 #include "compiler/config.hh"
+#include "refinterp/refinterp.hh"
 #include "support/bytes.hh"
 #include "vm/vm.hh"
 
@@ -39,12 +41,31 @@ namespace compdiff::sanitizers
  *  (clang -O1 -fsanitize=..., the common fuzzing setup). */
 compiler::CompilerConfig sanitizerConfig(compiler::Sanitizer which);
 
+/**
+ * Maps one sanitizer report onto the certifying interpreter's UB
+ * taxonomy (refinterp::UbKind) by its kind string. Returns false for
+ * report kinds outside that taxonomy — the allocator-state reports
+ * ("double-free", "invalid-free") describe heap-API misuse, not a UB
+ * class the reference interpreter certifies.
+ */
+bool reportUbKind(const vm::SanReport &report, refinterp::UbKind *kind);
+
 /** Outcome of running one sanitizer binary on one input. */
 struct SanitizerVerdict
 {
     /** True when the sanitizer produced at least one report. */
     bool fired = false;
     vm::ExecutionResult result;
+
+    /** Kind string of the first report ("" when silent). */
+    const std::string &firstReportKind() const;
+
+    /**
+     * UB class of the first report. False when the sanitizer was
+     * silent or the first report has no UbKind mapping (see
+     * reportUbKind); *kind is untouched in that case.
+     */
+    bool firstUbKind(refinterp::UbKind *kind) const;
 };
 
 /**

@@ -67,6 +67,19 @@ divergenceEvent(const fuzz::FoundDiff &diff)
 }
 
 obs::CampaignEvent
+sanFindingEvent(const fuzz::FoundDiff &diff)
+{
+    const sancheck::SanFinding &finding = diff.sanFinding;
+    obs::CampaignEvent event("san_finding", diff.execIndex);
+    event.hex("signature", diff.signature)
+        .text("impl", finding.implId)
+        .text("ub", refinterp::ubKindName(finding.ubKind))
+        .text("class", sancheck::findingKindName(finding.kind))
+        .num("size", diff.input.size());
+    return event;
+}
+
+obs::CampaignEvent
 crashEvent(const fuzz::FoundCrash &crash)
 {
     obs::CampaignEvent event("crash", crash.execIndex);
@@ -113,7 +126,16 @@ CampaignSession::CampaignSession(const minic::Program &program,
                                  SessionConfig config)
     : program_(program), seeds_(std::move(seeds)),
       config_(std::move(config))
-{}
+{
+    // Resolve the default sanitizer set up front so the campaign
+    // fingerprint and the MANIFEST record the concrete
+    // implementation ids rather than "empty means defaults".
+    if (config_.fuzz.sancheckMode &&
+        config_.fuzz.sancheckImpls.empty()) {
+        config_.fuzz.sancheckImpls =
+            sancheck::defaultImplementations();
+    }
+}
 
 CampaignSession::~CampaignSession() = default;
 
@@ -193,6 +215,9 @@ CampaignSession::campaignFingerprint() const
     h.add(o.divergenceFeedback ? 1 : 0);
     for (const auto &impl : o.diffImpls)
         h.addString(impl->id());
+    h.add(o.sancheckMode ? 1 : 0);
+    for (const auto &impl : o.sancheckImpls)
+        h.addString(impl->id());
     h.add(o.limits.maxInstructions);
     h.add(o.limits.stackSize);
     h.add(o.limits.heapSize);
@@ -225,6 +250,18 @@ CampaignSession::renderManifest() const
         impls += impl->id();
     }
     os << "impls : " << impls << "\n";
+    // Only sancheck sessions carry the mode lines: every manifest a
+    // differential campaign ever wrote stays byte-identical.
+    if (config_.fuzz.sancheckMode) {
+        os << "mode : sancheck\n";
+        std::string san;
+        for (const auto &impl : config_.fuzz.sancheckImpls) {
+            if (!san.empty())
+                san += ",";
+            san += impl->id();
+        }
+        os << "sancheck_impls : " << san << "\n";
+    }
     return os.str();
 }
 
@@ -467,8 +504,11 @@ CampaignSession::emitShardEvents(std::size_t local,
         if (corpus[i].foundAtExec)
             batch.push_back(discoveryEvent(corpus[i]));
     }
-    for (std::size_t i = cursor.diffs; i < diffs.size(); i++)
-        batch.push_back(divergenceEvent(diffs[i]));
+    for (std::size_t i = cursor.diffs; i < diffs.size(); i++) {
+        batch.push_back(config_.fuzz.sancheckMode
+                            ? sanFindingEvent(diffs[i])
+                            : divergenceEvent(diffs[i]));
+    }
     for (std::size_t i = cursor.crashes; i < crashes.size(); i++)
         batch.push_back(crashEvent(crashes[i]));
     sortEventBatch(batch);
@@ -733,6 +773,10 @@ CampaignSession::divergenceRecords() const
 std::vector<reduce::DivergenceReport>
 CampaignSession::triage() const
 {
+    // Sancheck campaigns triage through triageSancheck(): their
+    // FoundDiffs carry sanitizer findings, not DiffResults.
+    if (config_.fuzz.sancheckMode)
+        return {};
     if (!config_.triage.reduceFound || result_.diffs.empty())
         return {};
     obs::Span span("session.triage");
@@ -755,6 +799,46 @@ CampaignSession::triage() const
     for (const auto &report : reports) {
         obs::CampaignEvent reduced("reduced", result_.total.execs);
         reduced.hex("signature", report.signature)
+            .num("reproduced", report.reproduced ? 1 : 0)
+            .num("input_bytes", report.input.size())
+            .num("witness_bytes", report.witnessInput.size());
+        appendOpsEvent(std::move(reduced));
+    }
+    {
+        obs::CampaignEvent done("reduce_done", result_.total.execs);
+        done.num("reports", reports.size());
+        appendOpsEvent(std::move(done));
+    }
+    return reports;
+}
+
+std::vector<sancheck::FindingReport>
+CampaignSession::triageSancheck() const
+{
+    if (!config_.fuzz.sancheckMode || !config_.triage.reduceFound ||
+        result_.diffs.empty())
+        return {};
+    obs::Span span("session.triage_sancheck");
+    sancheck::FindingReduceOptions options;
+    options.limits = config_.fuzz.limits;
+    options.candidateBudget = config_.triage.candidateBudget;
+    options.jobs = config_.jobs;
+    options.reportsDir = config_.triage.reportsDir;
+    std::vector<sancheck::FindingWitness> witnesses;
+    witnesses.reserve(result_.diffs.size());
+    for (const auto &diff : result_.diffs)
+        witnesses.push_back({diff.input, diff.sanFinding});
+    {
+        obs::CampaignEvent started("reduce_start",
+                                   result_.total.execs);
+        started.num("records", witnesses.size());
+        appendOpsEvent(std::move(started));
+    }
+    auto reports = sancheck::reduceFindings(
+        program_, config_.fuzz.sancheckImpls, witnesses, options);
+    for (const auto &report : reports) {
+        obs::CampaignEvent reduced("reduced", result_.total.execs);
+        reduced.hex("signature", report.finding.signatureHash())
             .num("reproduced", report.reproduced ? 1 : 0)
             .num("input_bytes", report.input.size())
             .num("witness_bytes", report.witnessInput.size());

@@ -71,6 +71,7 @@
 #include "minic/ast.hh"
 #include "obs/events.hh"
 #include "reduce/report.hh"
+#include "sancheck/report.hh"
 #include "session/records.hh"
 #include "session/serial.hh"
 
@@ -228,6 +229,15 @@ class CampaignSession
      * unless config.triage.reduceFound.
      */
     std::vector<reduce::DivergenceReport> triage() const;
+
+    /**
+     * Sancheck-mode analog of triage(): reduce every unique
+     * sanitizer finding into a `sig-<hex>/` bundle whose report
+     * names the certified UB site and the silent or mis-firing
+     * sanitizer. Returns an empty vector unless the campaign ran
+     * with fuzz.sancheckMode and config.triage.reduceFound.
+     */
+    std::vector<sancheck::FindingReport> triageSancheck() const;
 
     const SessionConfig &config() const { return config_; }
 

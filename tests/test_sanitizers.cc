@@ -357,6 +357,67 @@ TEST(SanitizerRunner, AnyFiresAggregates)
     EXPECT_FALSE(runner.allReports({}).empty());
 }
 
+TEST(SanitizerRunner, ReportUbKindMapsOntoTaxonomy)
+{
+    // Every report of the certified UB classes maps; the mapping is
+    // what sancheck's FN/FP classification keys on.
+    using refinterp::UbKind;
+    const std::pair<const char *, UbKind> kMapped[] = {
+        {"signed-integer-overflow", UbKind::SignedOverflow},
+        {"division-by-zero", UbKind::DivideByZero},
+        {"shift-out-of-bounds", UbKind::OversizedShift},
+        {"null-pointer-dereference", UbKind::NullDeref},
+        {"use-of-uninitialized-value", UbKind::UninitRead},
+        {"heap-buffer-overflow", UbKind::OutOfBounds},
+        {"stack-buffer-overflow", UbKind::OutOfBounds},
+        {"global-buffer-overflow", UbKind::OutOfBounds},
+        {"heap-use-after-free", UbKind::OutOfBounds},
+    };
+    for (const auto &[kind_str, expected] : kMapped) {
+        vm::SanReport report;
+        report.kind = kind_str;
+        refinterp::UbKind kind;
+        EXPECT_TRUE(sanitizers::reportUbKind(report, &kind))
+            << kind_str;
+        EXPECT_EQ(kind, expected) << kind_str;
+    }
+    // Allocator-state reports describe heap-API misuse, not a UB
+    // access class the reference interpreter certifies.
+    for (const char *kind_str : {"double-free", "invalid-free"}) {
+        vm::SanReport report;
+        report.kind = kind_str;
+        refinterp::UbKind kind;
+        EXPECT_FALSE(sanitizers::reportUbKind(report, &kind))
+            << kind_str;
+    }
+}
+
+TEST(SanitizerRunner, FirstUbKindFollowsFirstReport)
+{
+    auto program = minic::parseAndCheck(R"(
+        int main() {
+            int n = 40 + input_size();
+            return 1 << n;
+        }
+    )");
+    SanitizerRunner runner(*program);
+    const auto verdict = runner.check(Sanitizer::UBSan, {});
+    ASSERT_TRUE(verdict.fired);
+    EXPECT_EQ(verdict.firstReportKind(), "shift-out-of-bounds");
+    refinterp::UbKind kind;
+    ASSERT_TRUE(verdict.firstUbKind(&kind));
+    EXPECT_EQ(kind, refinterp::UbKind::OversizedShift);
+
+    // A silent verdict leaves *kind untouched.
+    auto clean = minic::parseAndCheck("int main() { return 0; }");
+    SanitizerRunner clean_runner(*clean);
+    const auto silent = clean_runner.check(Sanitizer::UBSan, {});
+    EXPECT_FALSE(silent.fired);
+    kind = refinterp::UbKind::NullDeref;
+    EXPECT_FALSE(silent.firstUbKind(&kind));
+    EXPECT_EQ(kind, refinterp::UbKind::NullDeref);
+}
+
 TEST(SanitizerRunner, SanitizerBuildsDisableUbExploits)
 {
     // The overflow guard must still be *checked* (not folded away)
