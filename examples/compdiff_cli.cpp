@@ -31,7 +31,10 @@
  *                       budget (default 4096 candidates)
  *   --reports-out=DIR   bundle each reduced divergence under
  *                       DIR/sig-<hex>/ (program.mc, input.bin,
- *                       witness.bin, report.md)
+ *                       witness.bin, report.md), keyed by the
+ *                       semantic key; witnesses whose minimized
+ *                       programs canonicalize identically merge
+ *                       into one bundle (variants/ subdirs)
  *   --jobs=N            worker threads (0 = hardware); results are
  *                       bit-identical for every value
  *   --shards=N          split a --fuzz campaign into N deterministic
@@ -48,6 +51,8 @@
  *   --halt-after=N      stop each shard at its first safe point at
  *                       or beyond N executions (testing/interrupt
  *                       hook; resume finishes the campaign)
+ *   --heartbeat-every=S shard heartbeat cadence in seconds
+ *                       (display/health only; default 1)
  *   --cache-entries=N   bound the compile cache to N modules (LRU;
  *                       watch cache.hit/miss/evict in --metrics-out)
  *   --stats-out=FILE    write an AFL++-style fuzzer_stats snapshot
@@ -139,6 +144,8 @@ const char *kUsage =
     "  --target=NAME         fuzz a built-in target (pktdump, ...)\n"
     "  --reduce[=BUDGET]     minimize each unique divergence found\n"
     "  --reports-out=DIR     bundle reduced divergences under DIR\n"
+    "                        (semantically equal witnesses merge\n"
+    "                        into one bundle)\n"
     "  --jobs=N              worker threads (never changes results)\n"
     "  --shards=N            deterministic campaign shards\n"
     "  --session=DIR         persist the campaign as a crash-safe\n"
@@ -416,7 +423,7 @@ runFuzzMode(const compdiff::minic::Program &program,
     for (const auto &report : reports) {
         std::printf("\nreduced %s: input %zu -> %zu bytes, "
                     "program %zu -> %zu statements%s\n",
-                    reduce::signatureDirName(report.signature)
+                    reduce::signatureDirName(report.semanticKey)
                         .c_str(),
                     report.witnessInput.size(), report.input.size(),
                     report.programStats.stmtsBefore,
@@ -424,6 +431,15 @@ runFuzzMode(const compdiff::minic::Program &program,
                     report.reproduced
                         ? ""
                         : " (witness did not reproduce; kept as-is)");
+        std::printf("  semantic key: %016llx (canonical form "
+                    "%016llx, behavior signature %016llx)\n",
+                    static_cast<unsigned long long>(
+                        report.semanticKey),
+                    static_cast<unsigned long long>(
+                        report.canonicalFingerprint),
+                    static_cast<unsigned long long>(
+                        report.signature));
+        std::printf("  slice: %s\n", report.slice.str().c_str());
         if (report.localization.attempted) {
             std::printf("  localization (%s vs %s): %s\n",
                         report.localization.implA.c_str(),

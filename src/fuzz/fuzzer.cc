@@ -7,6 +7,8 @@
 #include "compiler/cache.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "reduce/oracle.hh"
+#include "semdiff/canon.hh"
 #include "support/hash.hh"
 
 namespace compdiff::fuzz
@@ -21,7 +23,8 @@ Fuzzer::Fuzzer(const minic::Program &program,
       mutator_(rng_.split(), options_.maxInputSize),
       fuzzModule_(
           compiler::compileCached(program, options_.fuzzConfig)),
-      fuzzVm_(*fuzzModule_, options_.fuzzConfig, options_.limits)
+      fuzzVm_(*fuzzModule_, options_.fuzzConfig, options_.limits),
+      canonFingerprint_(semdiff::canonicalize(program).fingerprint)
 {
     if (options_.sancheckMode) {
         if (options_.sancheckImpls.empty())
@@ -185,9 +188,14 @@ Fuzzer::recordDiffOutcome(const Bytes &input, core::DiffResult diff,
     }
     const std::uint64_t signature = combiner.digest();
     if (!diffSignatures_.count(signature)) {
+        // Tier-2 key: probe-FREE behavior signature, so two
+        // probe-distinguished witnesses of the same underlying bug
+        // already share a semantic key at fuzz time.
+        const std::uint64_t semantic_key = semdiff::semanticKeyOf(
+            canonFingerprint_, reduce::divergenceSignature(diff));
         diffSignatures_[signature] = diffs_.size();
         diffs_.push_back({input, std::move(diff), exec_index, probes,
-                          signature, {}});
+                          signature, semantic_key, {}});
         // max(), not assignment: a batch flush can record a find
         // after later executions already advanced the clock, and
         // the serial path's monotone assignments are the same value.
@@ -540,10 +548,12 @@ Fuzzer::restoreState(const FuzzerState &state)
         }
         auto diff = diffEngine_->runInput(record.input,
                                           record.execIndex);
+        const std::uint64_t semantic_key = semdiff::semanticKeyOf(
+            canonFingerprint_, reduce::divergenceSignature(diff));
         diffSignatures_[record.signature] = diffs_.size();
         diffs_.push_back({record.input, std::move(diff),
                           record.execIndex, record.probes,
-                          record.signature, {}});
+                          record.signature, semantic_key, {}});
     }
     crashes_.clear();
     crashSignatures_.clear();

@@ -71,6 +71,14 @@ struct FoundDiff
      */
     std::uint64_t signature = 0;
     /**
+     * Second-tier key: semdiff::semanticKeyOf(canonical fingerprint
+     * of the campaign program, probe-free divergence signature).
+     * Two probe-distinguished witnesses of the same bug share this
+     * value, so uniq-sem counts predict the post-reduction merged
+     * bundle count. 0 in sancheck mode (no behavior partition).
+     */
+    std::uint64_t semanticKey = 0;
+    /**
      * Sancheck mode only: the classified sanitizer defect this
      * record carries (implId empty in differential mode; `result`
      * is then default-constructed).
@@ -428,6 +436,11 @@ class Fuzzer
     /** Executions of each oracle member, implementation order. */
     std::vector<std::uint64_t> perConfigExecs_;
     obs::PlotWriter plot_;
+
+    /** Canonical-form fingerprint of the campaign program (computed
+     *  once at construction; the semanticKey half every FoundDiff
+     *  shares). */
+    std::uint64_t canonFingerprint_ = 0;
 
     /** An execution whose oracle run is deferred to the next batch
      *  flush (FuzzOptions::oracleBatch). */

@@ -271,6 +271,7 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
     }
 
     std::set<std::string> diff_signatures;
+    std::set<std::string> semantic_keys;
     std::set<std::string> san_fn_signatures;
     std::set<std::string> san_fp_signatures;
     for (std::size_t s = 0; s < view.shards; s++) {
@@ -329,10 +330,19 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
             shard.lastEventKind = events.events.back().kind;
             shard.lastEventExec = events.events.back().exec;
         }
+        std::set<std::string> shard_sems;
         for (const auto &event : events.events) {
             if (event.kind == "divergence") {
                 if (const auto *sig = event.find("signature"))
                     diff_signatures.insert(sig->value);
+                // Second-tier key: present only in sessions
+                // journaled since semantic dedup. Its absence keeps
+                // old sessions' renders byte-identical.
+                if (const auto *sem = event.find("sem")) {
+                    view.hasSemanticKeys = true;
+                    semantic_keys.insert(sem->value);
+                    shard_sems.insert(sem->value);
+                }
                 continue;
             }
             if (event.kind != "san_finding")
@@ -353,6 +363,7 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
             }
         }
 
+        shard.uniqSem = shard_sems.size();
         view.shardViews.push_back(std::move(shard));
     }
 
@@ -380,6 +391,9 @@ inspectSession(const std::string &dir, const MonitorOptions &options)
     // and the final fuzzer_stats snapshot has no per-class split.
     view.sanFn = san_fn_signatures.size();
     view.sanFp = san_fp_signatures.size();
+    // Likewise the semantic-key count: event files persist after
+    // the campaign finishes, so finished sessions report it too.
+    view.uniqSem = semantic_keys.size();
 
     {
         const obs::EventLog fleet_log =
@@ -437,10 +451,15 @@ renderTable(const std::vector<SessionView> &sessions,
             const MonitorOptions &options)
 {
     // The san_fn/san_fp columns appear only when a sancheck session
-    // is in view: every pre-existing campaign renders byte-identical.
+    // is in view, and the uniq_sem column only when some divergence
+    // event carries a semantic key: every pre-existing campaign
+    // renders byte-identical.
     bool any_sancheck = false;
-    for (const auto &session : sessions)
+    bool any_sem = false;
+    for (const auto &session : sessions) {
         any_sancheck = any_sancheck || session.sancheck;
+        any_sem = any_sem || session.hasSemanticKeys;
+    }
 
     support::TextTable table;
     std::vector<std::string> header = {
@@ -456,6 +475,10 @@ renderTable(const std::vector<SessionView> &sessions,
     if (any_sancheck) {
         header.insert(header.begin() + 7, {"san_fn", "san_fp"});
         align.insert(align.begin() + 7, 2, support::Align::Right);
+    }
+    if (any_sem) {
+        header.insert(header.begin() + 7, "uniq_sem");
+        align.insert(align.begin() + 7, support::Align::Right);
     }
     table.setHeader(std::move(header));
     table.setAlign(std::move(align));
@@ -509,6 +532,12 @@ renderTable(const std::vector<SessionView> &sessions,
                      session.sancheck ? std::to_string(shard.sanFp)
                                       : "-"});
             }
+            if (any_sem) {
+                row.insert(row.begin() + 7,
+                           session.hasSemanticKeys
+                               ? std::to_string(shard.uniqSem)
+                               : "-");
+            }
             table.addRow(std::move(row));
         }
     }
@@ -524,6 +553,12 @@ renderTable(const std::vector<SessionView> &sessions,
        << " complete\n";
     os << "total execs : " << total_execs << "\n";
     os << "unique diffs : " << total_diffs << "\n";
+    if (any_sem) {
+        std::uint64_t total_sem = 0;
+        for (const auto &session : sessions)
+            total_sem += session.uniqSem;
+        os << "unique sem : " << total_sem << "\n";
+    }
     os << "crashes : " << total_crashes << "\n";
     if (any_sancheck) {
         std::uint64_t total_fn = 0, total_fp = 0;
@@ -588,6 +623,8 @@ renderJson(const std::vector<SessionView> &sessions,
            << ",\"unique_diffs\":" << session.uniqueDiffs
            << ",\"crashes\":" << session.crashes
            << ",\"edges\":" << session.edges;
+        if (session.hasSemanticKeys)
+            os << ",\"uniq_sem\":" << session.uniqSem;
         if (session.sancheck) {
             os << ",\"mode\":\"sancheck\",\"san_fn\":"
                << session.sanFn << ",\"san_fp\":" << session.sanFp;
@@ -617,6 +654,8 @@ renderJson(const std::vector<SessionView> &sessions,
                    << ",\"edges\":" << shard.checkpoint.edges;
             }
             os << ",\"events\":" << shard.eventCount;
+            if (session.hasSemanticKeys)
+                os << ",\"uniq_sem\":" << shard.uniqSem;
             if (session.sancheck) {
                 os << ",\"san_fn\":" << shard.sanFn
                    << ",\"san_fp\":" << shard.sanFp;
@@ -657,21 +696,26 @@ renderJson(const std::vector<SessionView> &sessions,
     os << "],\"totals\":{";
     HealthCounts counts;
     std::uint64_t execs = 0, diffs = 0, crashes = 0;
-    std::uint64_t san_fn = 0, san_fp = 0;
+    std::uint64_t san_fn = 0, san_fp = 0, uniq_sem = 0;
     bool any_sancheck = false;
+    bool any_sem = false;
     for (const auto &session : sessions) {
         execs += session.execs;
         diffs += session.uniqueDiffs;
         crashes += session.crashes;
         san_fn += session.sanFn;
         san_fp += session.sanFp;
+        uniq_sem += session.uniqSem;
         any_sancheck = any_sancheck || session.sancheck;
+        any_sem = any_sem || session.hasSemanticKeys;
         for (const auto &shard : session.shardViews)
             counts.add(shard.health);
     }
     os << "\"sessions\":" << sessions.size()
        << ",\"execs\":" << execs << ",\"unique_diffs\":" << diffs
        << ",\"crashes\":" << crashes;
+    if (any_sem)
+        os << ",\"uniq_sem\":" << uniq_sem;
     if (any_sancheck)
         os << ",\"san_fn\":" << san_fn << ",\"san_fp\":" << san_fp;
     os
@@ -693,11 +737,17 @@ renderProm(const std::vector<SessionView> &sessions,
        << "# TYPE compdiff_shard_execs gauge\n"
        << "# TYPE compdiff_shard_health gauge\n"
        << "# TYPE compdiff_histogram_quantile gauge\n";
-    // San metrics exist only when a sancheck session is in view, so
-    // scrapes of pre-existing campaigns stay byte-identical.
+    // San and semantic-dedup metrics exist only when a session in
+    // view carries them, so scrapes of pre-existing campaigns stay
+    // byte-identical.
     bool any_sancheck = false;
-    for (const auto &session : sessions)
+    bool any_sem = false;
+    for (const auto &session : sessions) {
         any_sancheck = any_sancheck || session.sancheck;
+        any_sem = any_sem || session.hasSemanticKeys;
+    }
+    if (any_sem)
+        os << "# TYPE compdiff_campaign_uniq_sem gauge\n";
     if (any_sancheck) {
         os << "# TYPE compdiff_campaign_san_fn gauge\n"
            << "# TYPE compdiff_campaign_san_fp gauge\n";
@@ -725,6 +775,10 @@ renderProm(const std::vector<SessionView> &sessions,
            << session.corpus << "\n";
         os << "compdiff_campaign_unique_diffs{" << label << "} "
            << session.uniqueDiffs << "\n";
+        if (session.hasSemanticKeys) {
+            os << "compdiff_campaign_uniq_sem{" << label << "} "
+               << session.uniqSem << "\n";
+        }
         os << "compdiff_campaign_crashes{" << label << "} "
            << session.crashes << "\n";
         os << "compdiff_campaign_edges{" << label << "} "

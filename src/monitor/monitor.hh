@@ -83,6 +83,11 @@ struct ShardView
     std::uint64_t sanFn = 0;
     std::uint64_t sanFp = 0;
 
+    /** Distinct semantic keys in this shard's divergence events
+     *  (shard-local; the session-level uniqSem dedups across
+     *  shards). 0 for pre-semantic-dedup journals. */
+    std::uint64_t uniqSem = 0;
+
     /** Fleet shard lease (src/fleet), when one is on disk. Liveness
      *  metadata — reported only outside `stable` mode. */
     bool hasLease = false;
@@ -148,6 +153,15 @@ struct SessionView
     std::uint64_t crashes = 0;
     std::uint64_t diffs = 0; ///< per-shard sum (pre-dedup)
     std::uint64_t uniqueDiffs = 0;
+    /** Unique *semantic* keys across the shards' divergence events
+     *  (second-tier dedup: canonical form x behavior signature).
+     *  Predicts the post-reduction merged bundle count. Only
+     *  meaningful when hasSemanticKeys — sessions journaled before
+     *  semantic dedup have no `sem` event field, and the monitor
+     *  stays byte-stable for them by omitting the column. */
+    std::uint64_t uniqSem = 0;
+    /** Any divergence event carried a `sem` field. */
+    bool hasSemanticKeys = false;
     std::uint64_t edges = 0;
     /** Unique sanitizer false-negative / false-positive signatures
      *  across the shards' event streams (sancheck sessions only —

@@ -10,8 +10,13 @@
 #include "reduce/oracle.hh"
 #include "reduce/program_reducer.hh"
 #include "sanitizers/sanitizers.hh"
+#include "semdiff/canon.hh"
+#include "semdiff/slice.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <map>
 
 namespace compdiff::reduce
 {
@@ -45,6 +50,13 @@ reduceOne(const minic::Program &program,
         report.localization = core::localizeAcross(
             program, impls, report.diff, report.input,
             options.diffOptions.limits);
+        report.slice = semdiff::sliceDivergence(
+            program, impls, report.localization,
+            options.diffOptions);
+        report.canonicalFingerprint =
+            semdiff::canonicalizeSource(report.program).fingerprint;
+        report.semanticKey = semdiff::semanticKeyOf(
+            report.canonicalFingerprint, report.signature);
         obs::counter("reduce.witnesses_unreproduced").add();
         return report;
     }
@@ -80,6 +92,20 @@ reduceOne(const minic::Program &program,
     report.localization = core::localizeAcross(
         *minimized, impls, report.diff, report.input,
         options.diffOptions.limits);
+    report.slice = semdiff::sliceDivergence(
+        *minimized, impls, report.localization,
+        options.diffOptions);
+
+    // Second-tier key: the canonical form of the minimized program
+    // crossed with the behavior signature of the minimized diff.
+    // Both are pure functions of filed content, so the key (and any
+    // merge decision built on it) is identical for any --jobs/
+    // --shards split and across resume.
+    report.canonicalFingerprint =
+        semdiff::canonicalizeSource(report.program).fingerprint;
+    report.semanticKey = semdiff::semanticKeyOf(
+        report.canonicalFingerprint,
+        divergenceSignature(report.diff));
 
     if (options.checkSanitizers) {
         sanitizers::SanitizerRunner runner(*minimized,
@@ -132,9 +158,36 @@ reduceAndReport(const minic::Program &program,
     obs::counter("reduce.witnesses")
         .add(static_cast<std::uint64_t>(witnesses.size()));
     if (!options.reportsDir.empty()) {
-        for (const auto &report : reports) {
+        // Second-tier dedup: reports whose minimized programs
+        // canonicalize to the same semantic key file as ONE bundle
+        // carrying every witness. std::map orders groups by key and
+        // the variant sort below orders members by content, so the
+        // bundle tree never depends on discovery or slot order.
+        std::map<std::uint64_t,
+                 std::vector<const DivergenceReport *>>
+            groups;
+        for (const auto &report : reports)
+            groups[report.semanticKey].push_back(&report);
+        for (auto &[key, variants] : groups) {
+            std::sort(variants.begin(), variants.end(),
+                      [](const DivergenceReport *a,
+                         const DivergenceReport *b) {
+                          if (a->program != b->program)
+                              return a->program < b->program;
+                          if (a->input != b->input)
+                              return a->input < b->input;
+                          if (a->witnessInput != b->witnessInput)
+                              return a->witnessInput <
+                                     b->witnessInput;
+                          return a->signature < b->signature;
+                      });
             const std::string dir =
-                writeReport(options.reportsDir, report);
+                writeMergedReport(options.reportsDir, variants);
+            if (variants.size() > 1)
+                support::inform(
+                    "reduce: merged " +
+                    std::to_string(variants.size()) +
+                    " semantically equal witnesses into " + dir);
             support::inform("reduce: wrote " + dir + "/report.md");
             obs::counter("reduce.reports_written").add();
         }

@@ -9,15 +9,23 @@
  * pipeline builds one SignatureOracle, runs input reduction (ddmin
  * over the witness bytes) followed by program reduction (AST
  * shrinking against the already-minimized input), re-localizes the
- * minimized divergence with localizeAcross, checks the three
- * sanitizers on the minimized pair, and bundles everything via
- * writeReport.
+ * minimized divergence with localizeAcross, slices the aligned pair
+ * down to the first divergent instruction (semdiff), checks the
+ * three sanitizers on the minimized pair, and bundles everything
+ * via writeMergedReport.
+ *
+ * Bundling is two-tier: the campaign deduplicated witnesses by fuzz
+ * signature (tier 1); the write phase here groups the reduced
+ * reports by semantic key (canonical form of the minimized program
+ * x behavior signature — tier 2) and files each group as ONE
+ * merged bundle carrying every witness (`variants/` subdirs).
  *
  * Determinism: witnesses are reduced in input order into indexed
  * result slots on a support::ThreadPool, each reduction owns its own
  * oracle with a fixed nonce, and report writing happens serially
- * afterwards — so the produced reports are bit-identical for every
- * `jobs` value, same as the execution fan-out's contract. The
+ * afterwards with groups ordered by key and variants sorted by
+ * minimized content — so the produced bundles are bit-identical for
+ * every `jobs` value, same as the execution fan-out's contract. The
  * process-wide compiler::CompileCache makes the per-candidate
  * engine rebuilds cheap.
  */

@@ -1,5 +1,6 @@
 #include "reduce/report.hh"
 
+#include <filesystem>
 #include <iomanip>
 #include <sstream>
 
@@ -41,12 +42,33 @@ signatureDirName(std::uint64_t signature)
     return "sig-" + hex64(signature);
 }
 
+namespace
+{
+
+std::string
+renderMarkdownBody(const DivergenceReport &report,
+                   const std::vector<const DivergenceReport *>
+                       &variants);
+
+} // namespace
+
 std::string
 renderReportMarkdown(const DivergenceReport &report)
 {
+    return renderMarkdownBody(report, {});
+}
+
+namespace
+{
+
+std::string
+renderMarkdownBody(const DivergenceReport &report,
+                   const std::vector<const DivergenceReport *>
+                       &variants)
+{
     std::ostringstream os;
-    os << "# Divergence report " << signatureDirName(report.signature)
-       << "\n\n";
+    os << "# Divergence report "
+       << signatureDirName(report.semanticKey) << "\n\n";
 
     os << "## Summary\n\n";
     if (!report.reproduced) {
@@ -55,6 +77,10 @@ renderReportMarkdown(const DivergenceReport &report)
               "carries the original un-reduced witness. The "
               "divergence below is the campaign observation.\n\n";
     }
+    os << "- semantic key: `" << hex64(report.semanticKey)
+       << "` (canonical form `"
+       << hex64(report.canonicalFingerprint)
+       << "` x behavior signature)\n";
     os << "- divergence signature: `" << hex64(report.signature)
        << "`\n";
     os << "- behavior classes: " << report.diff.classCount << " across "
@@ -92,6 +118,9 @@ renderReportMarkdown(const DivergenceReport &report)
     } else {
         os << "not available: " << report.localization.note << "\n\n";
     }
+
+    os << "## Instruction slice\n\n";
+    os << report.slice.str() << "\n\n";
 
     os << "## Sanitizer verdicts\n\n";
     if (report.sanitizers.checked) {
@@ -152,6 +181,24 @@ renderReportMarkdown(const DivergenceReport &report)
         os << "\n";
     os << "```\n\n";
 
+    if (variants.size() > 1) {
+        os << "## Merged variants\n\n";
+        os << "This bundle carries " << variants.size()
+           << " witness programs whose minimized forms canonicalize "
+              "to the same semantic key. Each variant keeps its own "
+              "artifacts under `variants/v<k>/`; `v0` is duplicated "
+              "at the bundle root.\n\n";
+        os << "| variant | divergence signature | program bytes | "
+              "input bytes |\n";
+        os << "|---|---|---|---|\n";
+        for (std::size_t k = 0; k < variants.size(); k++) {
+            os << "| v" << k << " | `" << hex64(variants[k]->signature)
+               << "` | " << variants[k]->program.size() << " | "
+               << variants[k]->input.size() << " |\n";
+        }
+        os << "\n";
+    }
+
     os << "## Reproduce\n\n```\ncompdiff_cli";
     if (!report.diff.observations.empty()) {
         os << " --impls=";
@@ -168,12 +215,10 @@ renderReportMarkdown(const DivergenceReport &report)
     return os.str();
 }
 
-std::string
-writeReport(const std::string &out_dir,
-            const DivergenceReport &report)
+void
+writeVariantArtifacts(const std::string &dir,
+                      const DivergenceReport &report)
 {
-    const std::string dir =
-        out_dir + "/" + signatureDirName(report.signature);
     obs::writeTextFile(dir + "/program.mc", report.program);
     obs::writeTextFile(
         dir + "/input.bin",
@@ -181,8 +226,41 @@ writeReport(const std::string &out_dir,
     obs::writeTextFile(dir + "/witness.bin",
                        std::string(report.witnessInput.begin(),
                                    report.witnessInput.end()));
+}
+
+} // namespace
+
+std::string
+writeReport(const std::string &out_dir,
+            const DivergenceReport &report)
+{
+    return writeMergedReport(out_dir, {&report});
+}
+
+std::string
+writeMergedReport(const std::string &out_dir,
+                  const std::vector<const DivergenceReport *>
+                      &variants)
+{
+    const DivergenceReport &primary = *variants.front();
+    const std::string dir =
+        out_dir + "/" + signatureDirName(primary.semanticKey);
+
+    // A previous (possibly interrupted) run may have filed a
+    // different variant set here; clear it so the bundle tree is a
+    // pure function of the current merge decision.
+    std::error_code ec;
+    std::filesystem::remove_all(dir + "/variants", ec);
+
+    writeVariantArtifacts(dir, primary);
+    if (variants.size() > 1) {
+        for (std::size_t k = 0; k < variants.size(); k++)
+            writeVariantArtifacts(dir + "/variants/v" +
+                                      std::to_string(k),
+                                  *variants[k]);
+    }
     obs::writeTextFile(dir + "/report.md",
-                       renderReportMarkdown(report));
+                       renderMarkdownBody(primary, variants));
     return dir;
 }
 

@@ -16,21 +16,33 @@
  *   report.md    the human-readable filing: divergence summary,
  *                implementation pair, localization (including the
  *                cross-backend bridging note when trace alignment
- *                substituted a representative), sanitizer verdicts,
- *                and the reduction statistics.
+ *                substituted a representative), the static
+ *                instruction slice, sanitizer verdicts, and the
+ *                reduction statistics.
+ *   variants/    when semantically equal witnesses merged into this
+ *                bundle: one `v<k>/` subdirectory per witness with
+ *                its own program.mc/input.bin/witness.bin (v0 is
+ *                the primary, duplicated at the bundle root).
  *
- * The directory name is derived from the divergence signature, so
- * re-running a campaign overwrites the same report rather than
- * accumulating duplicates.
+ * The directory name is derived from the *semantic key* (canonical
+ * form of the minimized program x behavior-class signature — see
+ * semdiff/canon.hh), so re-running a campaign overwrites the same
+ * report rather than accumulating duplicates, and witnesses that
+ * reach the same bug through differently-shaped programs land in
+ * one bundle. Merge decisions depend only on minimized content,
+ * never on discovery order, so bundles are bit-identical for any
+ * --jobs/--shards and across kill-anywhere resume.
  */
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "compdiff/engine.hh"
 #include "compdiff/localize.hh"
 #include "reduce/input_reducer.hh"
 #include "reduce/program_reducer.hh"
+#include "semdiff/slice.hh"
 #include "support/bytes.hh"
 
 namespace compdiff::reduce
@@ -66,7 +78,16 @@ struct DivergenceReport
     /** Localization between two class representatives, including
      *  the cross-backend bridging account. */
     core::PairLocalization localization;
+    /** Static instruction slice of the aligned pair (semdiff). */
+    semdiff::InstructionSlice slice;
     SanVerdicts sanitizers;
+
+    /** Canonical-form fingerprint of the minimized program. */
+    std::uint64_t canonicalFingerprint = 0;
+    /** Second-tier dedup key: semdiff::semanticKeyOf(canonical
+     *  fingerprint, divergence signature of the minimized diff).
+     *  Bundles are filed and merged under this key. */
+    std::uint64_t semanticKey = 0;
 
     InputReduction inputStats;
     ProgramReduction programStats;
@@ -79,12 +100,27 @@ std::string signatureDirName(std::uint64_t signature);
 std::string renderReportMarkdown(const DivergenceReport &report);
 
 /**
- * Write the bundle under `<out_dir>/<signatureDirName(sig)>/`,
+ * Write the bundle under `<out_dir>/<signatureDirName(semanticKey)>/`,
  * creating directories as needed.
  *
  * @return The bundle directory path.
  */
 std::string writeReport(const std::string &out_dir,
                         const DivergenceReport &report);
+
+/**
+ * Write one *merged* bundle for reports sharing a semantic key.
+ * `variants` must be non-empty and pre-sorted deterministically
+ * (reduceAndReport sorts by minimized program text, then input);
+ * variants[0] is the primary whose artifacts sit at the bundle
+ * root, and every variant (primary included) gets a
+ * `variants/v<k>/` subdirectory when there is more than one. Any
+ * stale `variants/` content from a previous run is removed first.
+ *
+ * @return The bundle directory path.
+ */
+std::string
+writeMergedReport(const std::string &out_dir,
+                  const std::vector<const DivergenceReport *> &variants);
 
 } // namespace compdiff::reduce

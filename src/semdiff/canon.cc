@@ -1,0 +1,657 @@
+#include "semdiff/canon.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/parser.hh"
+#include "minic/printer.hh"
+#include "support/diagnostics.hh"
+#include "support/hash.hh"
+
+namespace compdiff::semdiff
+{
+
+namespace
+{
+
+using namespace minic;
+
+// ---------------------------------------------------------------
+// Generic traversal helpers
+// ---------------------------------------------------------------
+
+/** Apply `fn` to every expression in the subtree, children first. */
+void
+forEachExpr(ExprPtr &expr, const std::function<void(ExprPtr &)> &fn)
+{
+    if (!expr)
+        return;
+    switch (expr->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StrLit:
+    case ExprKind::VarRef:
+    case ExprKind::SizeOf:
+        break;
+    case ExprKind::Unary:
+        forEachExpr(static_cast<UnaryExpr &>(*expr).operand, fn);
+        break;
+    case ExprKind::Binary: {
+        auto &bin = static_cast<BinaryExpr &>(*expr);
+        forEachExpr(bin.lhs, fn);
+        forEachExpr(bin.rhs, fn);
+        break;
+    }
+    case ExprKind::Assign: {
+        auto &assign = static_cast<AssignExpr &>(*expr);
+        forEachExpr(assign.target, fn);
+        forEachExpr(assign.value, fn);
+        break;
+    }
+    case ExprKind::Cond: {
+        auto &cond = static_cast<CondExpr &>(*expr);
+        forEachExpr(cond.cond, fn);
+        forEachExpr(cond.thenExpr, fn);
+        forEachExpr(cond.elseExpr, fn);
+        break;
+    }
+    case ExprKind::Call:
+        for (auto &arg : static_cast<CallExpr &>(*expr).args)
+            forEachExpr(arg, fn);
+        break;
+    case ExprKind::Index: {
+        auto &index = static_cast<IndexExpr &>(*expr);
+        forEachExpr(index.base, fn);
+        forEachExpr(index.index, fn);
+        break;
+    }
+    case ExprKind::Member:
+        forEachExpr(static_cast<MemberExpr &>(*expr).base, fn);
+        break;
+    case ExprKind::Cast:
+        forEachExpr(static_cast<CastExpr &>(*expr).operand, fn);
+        break;
+    }
+    fn(expr);
+}
+
+/** Apply `fn` to every statement (children first) and every
+ *  expression hanging off each statement. */
+void
+forEachStmt(StmtPtr &stmt, const std::function<void(StmtPtr &)> &sfn,
+            const std::function<void(ExprPtr &)> &efn)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind()) {
+    case StmtKind::Block:
+        for (auto &child : static_cast<BlockStmt &>(*stmt).body)
+            forEachStmt(child, sfn, efn);
+        break;
+    case StmtKind::VarDecl:
+        forEachExpr(static_cast<VarDeclStmt &>(*stmt).init, efn);
+        break;
+    case StmtKind::If: {
+        auto &ifs = static_cast<IfStmt &>(*stmt);
+        forEachExpr(ifs.cond, efn);
+        forEachStmt(ifs.thenStmt, sfn, efn);
+        forEachStmt(ifs.elseStmt, sfn, efn);
+        break;
+    }
+    case StmtKind::While: {
+        auto &loop = static_cast<WhileStmt &>(*stmt);
+        forEachExpr(loop.cond, efn);
+        forEachStmt(loop.body, sfn, efn);
+        break;
+    }
+    case StmtKind::For: {
+        auto &loop = static_cast<ForStmt &>(*stmt);
+        forEachStmt(loop.init, sfn, efn);
+        forEachExpr(loop.cond, efn);
+        forEachExpr(loop.step, efn);
+        forEachStmt(loop.body, sfn, efn);
+        break;
+    }
+    case StmtKind::Return:
+        forEachExpr(static_cast<ReturnStmt &>(*stmt).value, efn);
+        break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+        break;
+    case StmtKind::ExprStmt:
+        forEachExpr(static_cast<ExprStmt &>(*stmt).expr, efn);
+        break;
+    }
+    sfn(stmt);
+}
+
+void
+forEachInFunction(FunctionDecl &func,
+                  const std::function<void(StmtPtr &)> &sfn,
+                  const std::function<void(ExprPtr &)> &efn)
+{
+    for (auto &stmt : func.body->body)
+        forEachStmt(stmt, sfn, efn);
+}
+
+// ---------------------------------------------------------------
+// Pass 1: dead-code strip
+// ---------------------------------------------------------------
+
+bool
+isTerminator(const Stmt &stmt)
+{
+    return stmt.kind() == StmtKind::Return ||
+           stmt.kind() == StmtKind::Break ||
+           stmt.kind() == StmtKind::Continue;
+}
+
+bool
+containsVarDecl(const Stmt &stmt)
+{
+    if (stmt.kind() == StmtKind::VarDecl)
+        return true;
+    bool found = false;
+    // forEachStmt needs a mutable StmtPtr; a read-only scan is
+    // cheaper done by hand.
+    switch (stmt.kind()) {
+    case StmtKind::Block:
+        for (const auto &child :
+             static_cast<const BlockStmt &>(stmt).body)
+            found = found || containsVarDecl(*child);
+        break;
+    case StmtKind::If: {
+        const auto &ifs = static_cast<const IfStmt &>(stmt);
+        found = containsVarDecl(*ifs.thenStmt) ||
+                (ifs.elseStmt && containsVarDecl(*ifs.elseStmt));
+        break;
+    }
+    case StmtKind::While:
+        found = containsVarDecl(
+            *static_cast<const WhileStmt &>(stmt).body);
+        break;
+    case StmtKind::For: {
+        const auto &loop = static_cast<const ForStmt &>(stmt);
+        found = (loop.init && containsVarDecl(*loop.init)) ||
+                containsVarDecl(*loop.body);
+        break;
+    }
+    default:
+        break;
+    }
+    return found;
+}
+
+/**
+ * Drop statements after the first terminator in every block —
+ * except declarations. Frame layout is a configuration trait
+ * (LayoutOrder sorts locals by size or reverse declaration), so
+ * removing even an unreachable VarDecl could shift live slots and
+ * change what an out-of-bounds access observes. Unreachable
+ * non-declaration statements are behavior-free and go.
+ */
+void stripUnreachableTails(StmtPtr &stmt);
+
+/** The block-body form: a function body's top-level statement list
+ *  is a bare vector, not a BlockStmt node, so the truncation logic
+ *  lives here and the Block case below delegates to it. */
+void
+stripUnreachableTailsInList(std::vector<StmtPtr> &body)
+{
+    for (std::size_t i = 0; i < body.size(); i++) {
+        stripUnreachableTails(body[i]);
+        if (!isTerminator(*body[i]))
+            continue;
+        std::vector<StmtPtr> kept;
+        for (std::size_t k = 0; k <= i; k++)
+            kept.push_back(std::move(body[k]));
+        for (std::size_t k = i + 1; k < body.size(); k++)
+            if (containsVarDecl(*body[k]))
+                kept.push_back(std::move(body[k]));
+        body = std::move(kept);
+        return;
+    }
+}
+
+void
+stripUnreachableTails(StmtPtr &stmt)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind()) {
+    case StmtKind::Block:
+        stripUnreachableTailsInList(
+            static_cast<BlockStmt &>(*stmt).body);
+        break;
+    case StmtKind::If: {
+        auto &ifs = static_cast<IfStmt &>(*stmt);
+        stripUnreachableTails(ifs.thenStmt);
+        stripUnreachableTails(ifs.elseStmt);
+        break;
+    }
+    case StmtKind::While:
+        stripUnreachableTails(static_cast<WhileStmt &>(*stmt).body);
+        break;
+    case StmtKind::For:
+        stripUnreachableTails(static_cast<ForStmt &>(*stmt).body);
+        break;
+    default:
+        break;
+    }
+}
+
+/** Callee names (user functions only) in call-site order. */
+std::vector<std::string>
+calleesOf(FunctionDecl &func)
+{
+    std::vector<std::string> callees;
+    forEachInFunction(func, [](StmtPtr &) {}, [&](ExprPtr &expr) {
+        if (expr->kind() != ExprKind::Call)
+            return;
+        auto &call = static_cast<CallExpr &>(*expr);
+        if (call.builtin == Builtin::None)
+            callees.push_back(call.callee);
+    });
+    return callees;
+}
+
+/**
+ * Passes 1b + 2: drop functions unreachable from main and emit the
+ * survivors in post-order of a DFS from main (callees first, main
+ * last). Without a main every function is kept in source order —
+ * such a program cannot run, so its canonical form only needs to be
+ * deterministic, not clever.
+ */
+void
+pruneAndOrderFunctions(Program &program)
+{
+    FunctionDecl *main = program.findFunction("main");
+    if (!main)
+        return;
+
+    std::map<std::string, FunctionDecl *> by_name;
+    for (auto &func : program.functions)
+        by_name[func->name] = func.get();
+
+    std::vector<std::string> order;
+    std::set<std::string> visiting, done;
+    std::function<void(FunctionDecl &)> visit =
+        [&](FunctionDecl &func) {
+            if (done.count(func.name) || visiting.count(func.name))
+                return;
+            visiting.insert(func.name);
+            for (const auto &callee : calleesOf(func)) {
+                auto it = by_name.find(callee);
+                if (it != by_name.end())
+                    visit(*it->second);
+            }
+            visiting.erase(func.name);
+            done.insert(func.name);
+            order.push_back(func.name);
+        };
+    visit(*main);
+
+    std::vector<std::unique_ptr<FunctionDecl>> reordered;
+    for (const auto &name : order) {
+        for (auto &func : program.functions) {
+            if (func && func->name == name) {
+                reordered.push_back(std::move(func));
+                break;
+            }
+        }
+    }
+    program.functions = std::move(reordered);
+}
+
+// ---------------------------------------------------------------
+// Pass 3: alpha-rename
+// ---------------------------------------------------------------
+
+void
+renameProgram(Program &program)
+{
+    // Functions, in the (already canonical) emission order.
+    std::map<std::string, std::string> func_names;
+    std::size_t next_func = 0;
+    for (auto &func : program.functions) {
+        if (func->name == "main")
+            func_names[func->name] = "main";
+        else
+            func_names[func->name] =
+                "cf" + std::to_string(next_func++);
+    }
+
+    // Globals, in declaration order, keyed by sema's globalId so a
+    // shadowed lookup can never mis-bind.
+    std::map<int, std::string> global_names;
+    std::size_t next_global = 0;
+    for (auto &global : program.globals) {
+        global_names[global->globalId] =
+            "cg" + std::to_string(next_global++);
+        global->name = global_names[global->globalId];
+    }
+
+    for (auto &func : program.functions) {
+        func->name = func_names[func->name];
+
+        // Locals: params first, then declarations in syntactic
+        // order, keyed by localId (shadowing-proof and invariant
+        // under the later expression/statement sorts, which never
+        // move a VarDecl).
+        std::map<int, std::string> local_names;
+        std::size_t next_local = 0;
+        for (auto &param : func->params) {
+            local_names[param.localId] =
+                "cv" + std::to_string(next_local++);
+            param.name = local_names[param.localId];
+        }
+        // The child-first statement walk still visits VarDecls in
+        // textual order (a declaration has no VarDecl descendants),
+        // so numbering follows the source.
+        forEachInFunction(
+            *func,
+            [&](StmtPtr &stmt) {
+                if (stmt->kind() != StmtKind::VarDecl)
+                    return;
+                auto &decl = static_cast<VarDeclStmt &>(*stmt);
+                if (!local_names.count(decl.localId))
+                    local_names[decl.localId] =
+                        "cv" + std::to_string(next_local++);
+                decl.name = local_names[decl.localId];
+            },
+            [](ExprPtr &) {});
+        forEachInFunction(
+            *func, [](StmtPtr &) {},
+            [&](ExprPtr &expr) {
+                if (expr->kind() != ExprKind::VarRef)
+                    return;
+                auto &ref = static_cast<VarRefExpr &>(*expr);
+                if (ref.isGlobal) {
+                    auto it = global_names.find(ref.id);
+                    if (it != global_names.end())
+                        ref.name = it->second;
+                } else {
+                    auto it = local_names.find(ref.id);
+                    if (it != local_names.end())
+                        ref.name = it->second;
+                }
+            });
+        forEachInFunction(
+            *func, [](StmtPtr &) {},
+            [&](ExprPtr &expr) {
+                if (expr->kind() != ExprKind::Call)
+                    return;
+                auto &call = static_cast<CallExpr &>(*expr);
+                if (call.builtin != Builtin::None)
+                    return;
+                auto it = func_names.find(call.callee);
+                if (it != func_names.end())
+                    call.callee = it->second;
+            });
+    }
+}
+
+// ---------------------------------------------------------------
+// Pass 4: commutative-operand sort
+// ---------------------------------------------------------------
+
+/**
+ * Side-effect-free AND trap-free: evaluating the expression cannot
+ * write state, consume input, or abort, so evaluation order against
+ * any sibling expression is unobservable. Div/Rem (zero divisor),
+ * casts (float->int range), loads (Index/Member/Deref can fault) and
+ * all calls are excluded.
+ */
+bool
+isReorderSafe(const Expr &expr)
+{
+    switch (expr.kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StrLit:
+    case ExprKind::SizeOf:
+        return true;
+    case ExprKind::VarRef:
+        return true;
+    case ExprKind::Unary: {
+        const auto &un = static_cast<const UnaryExpr &>(expr);
+        if (un.op == UnaryOp::Deref || un.op == UnaryOp::AddrOf)
+            return un.op == UnaryOp::AddrOf &&
+                   isReorderSafe(*un.operand);
+        return isReorderSafe(*un.operand);
+    }
+    case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        if (bin.op == BinaryOp::Div || bin.op == BinaryOp::Rem)
+            return false;
+        return isReorderSafe(*bin.lhs) && isReorderSafe(*bin.rhs);
+    }
+    default:
+        return false;
+    }
+}
+
+bool
+isCommutative(BinaryOp op)
+{
+    switch (op) {
+    case BinaryOp::Add:
+    case BinaryOp::Mul:
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+isLiteral(const Expr &expr)
+{
+    return expr.kind() == ExprKind::IntLit ||
+           expr.kind() == ExprKind::FloatLit ||
+           expr.kind() == ExprKind::StrLit;
+}
+
+void
+sortCommutativeOperands(Program &program)
+{
+    for (auto &func : program.functions) {
+        forEachInFunction(
+            *func, [](StmtPtr &) {},
+            [](ExprPtr &expr) {
+                if (expr->kind() != ExprKind::Binary)
+                    return;
+                auto &bin = static_cast<BinaryExpr &>(*expr);
+                if (!isCommutative(bin.op))
+                    return;
+                // Literals stay where they were written: the
+                // UB-exploiting and seeded-miscompile passes match
+                // constants on specific operand sides, and a merge
+                // key must never change what the compilers do.
+                if (isLiteral(*bin.lhs) || isLiteral(*bin.rhs))
+                    return;
+                if (!bin.lhs->type || !bin.rhs->type ||
+                    !bin.lhs->type->isInteger() ||
+                    !bin.rhs->type->isInteger())
+                    return;
+                if (!isReorderSafe(*bin.lhs) ||
+                    !isReorderSafe(*bin.rhs))
+                    return;
+                if (printExpr(*bin.rhs) < printExpr(*bin.lhs))
+                    std::swap(bin.lhs, bin.rhs);
+            });
+    }
+}
+
+// ---------------------------------------------------------------
+// Pass 5: independent-statement sort
+// ---------------------------------------------------------------
+
+/** `v = <reorder-safe expr>;` targeting a plain scalar variable. */
+const AssignExpr *
+asSortableAssign(const Stmt &stmt)
+{
+    if (stmt.kind() != StmtKind::ExprStmt)
+        return nullptr;
+    const auto &expr = *static_cast<const ExprStmt &>(stmt).expr;
+    if (expr.kind() != ExprKind::Assign)
+        return nullptr;
+    const auto &assign = static_cast<const AssignExpr &>(expr);
+    if (assign.compoundOp)
+        return nullptr;
+    if (assign.target->kind() != ExprKind::VarRef)
+        return nullptr;
+    if (!isReorderSafe(*assign.value))
+        return nullptr;
+    return &assign;
+}
+
+/** All variables (isGlobal, id) read anywhere in the expression. */
+void
+collectReads(const Expr &expr, std::set<std::pair<bool, int>> *out)
+{
+    // const_cast-free re-walk: clone is too heavy here, so walk the
+    // const tree manually with a small recursion.
+    switch (expr.kind()) {
+    case ExprKind::VarRef: {
+        const auto &ref = static_cast<const VarRefExpr &>(expr);
+        out->insert({ref.isGlobal, ref.id});
+        break;
+    }
+    case ExprKind::Unary:
+        collectReads(*static_cast<const UnaryExpr &>(expr).operand,
+                     out);
+        break;
+    case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        collectReads(*bin.lhs, out);
+        collectReads(*bin.rhs, out);
+        break;
+    }
+    default:
+        // Reorder-safe expressions only reach literals, VarRef,
+        // unary, and binary nodes (see isReorderSafe).
+        break;
+    }
+}
+
+bool
+independentAssigns(const AssignExpr &a, const AssignExpr &b)
+{
+    const auto &ta = static_cast<const VarRefExpr &>(*a.target);
+    const auto &tb = static_cast<const VarRefExpr &>(*b.target);
+    const std::pair<bool, int> key_a{ta.isGlobal, ta.id};
+    const std::pair<bool, int> key_b{tb.isGlobal, tb.id};
+    if (key_a == key_b)
+        return false;
+    std::set<std::pair<bool, int>> reads_a, reads_b;
+    collectReads(*a.value, &reads_a);
+    collectReads(*b.value, &reads_b);
+    return !reads_a.count(key_b) && !reads_b.count(key_a);
+}
+
+void
+sortIndependentStatements(Program &program)
+{
+    auto sort_block = [](StmtPtr &stmt) {
+        if (stmt->kind() != StmtKind::Block)
+            return;
+        auto &body = static_cast<BlockStmt &>(*stmt).body;
+        // Bubble to a fixpoint: adjacent sortable, independent,
+        // out-of-(printed)-order pairs swap. Terminates because each
+        // swap strictly reduces the number of swappable inversions.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i + 1 < body.size(); i++) {
+                const AssignExpr *first = asSortableAssign(*body[i]);
+                const AssignExpr *second =
+                    asSortableAssign(*body[i + 1]);
+                if (!first || !second ||
+                    !independentAssigns(*first, *second))
+                    continue;
+                if (printStmt(*body[i + 1]) < printStmt(*body[i])) {
+                    std::swap(body[i], body[i + 1]);
+                    changed = true;
+                }
+            }
+        }
+    };
+    for (auto &func : program.functions) {
+        // The function body itself is a block the statement walk
+        // does not wrap in a StmtPtr; sort it directly.
+        StmtPtr root(func->body.release());
+        forEachStmt(root, sort_block, [](ExprPtr &) {});
+        func->body.reset(static_cast<BlockStmt *>(root.release()));
+    }
+}
+
+} // namespace
+
+std::uint64_t
+SemanticKey::combined() const
+{
+    return semanticKeyOf(canonHash, behavior);
+}
+
+std::uint64_t
+semanticKeyOf(std::uint64_t canon_hash,
+              std::uint64_t behavior_signature)
+{
+    support::HashCombiner key;
+    key.addString("semdiff.key.v1");
+    key.add(canon_hash);
+    key.add(behavior_signature);
+    return key.digest();
+}
+
+CanonicalForm
+canonicalizeSource(const std::string &source)
+{
+    const auto fallback = [&] {
+        return CanonicalForm{source, support::murmurHash64(source)};
+    };
+
+    std::unique_ptr<minic::Program> program;
+    try {
+        program = minic::parseAndCheck(source);
+    } catch (const support::CompileError &) {
+        return fallback();
+    }
+
+    for (auto &func : program->functions)
+        stripUnreachableTailsInList(func->body->body);
+    // A stripped tail can orphan a callee: prune sees the new call
+    // graph, so strip runs first.
+    pruneAndOrderFunctions(*program);
+    renameProgram(*program);
+    sortCommutativeOperands(*program);
+    sortIndependentStatements(*program);
+
+    const std::string canonical = minic::printProgram(*program);
+    try {
+        // The canonical text must itself survive the frontend —
+        // anything else is a canonicalizer bug, and exact-text
+        // identity is the safe degradation.
+        minic::parseAndCheck(canonical);
+    } catch (const support::CompileError &) {
+        return fallback();
+    }
+    return {canonical, support::murmurHash64(canonical)};
+}
+
+CanonicalForm
+canonicalize(const minic::Program &program)
+{
+    return canonicalizeSource(minic::printProgram(program));
+}
+
+} // namespace compdiff::semdiff

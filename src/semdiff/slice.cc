@@ -1,0 +1,290 @@
+#include "semdiff/slice.hh"
+
+#include <sstream>
+
+#include "bytecode/module.hh"
+#include "compiler/compiler.hh"
+#include "compiler/config.hh"
+
+namespace compdiff::semdiff
+{
+
+namespace
+{
+
+using bytecode::Insn;
+using bytecode::Op;
+
+/**
+ * Comparison key: the instruction with its layout-carrying operands
+ * blanked (see file comment in slice.hh). `line` participates — two
+ * pipelines disagreeing about which source line an instruction
+ * belongs to is itself a decision worth naming.
+ */
+Insn
+normalizedKey(const Insn &insn)
+{
+    Insn key = insn;
+    switch (insn.op) {
+    case Op::FrameAddr:
+    case Op::GlobalAddr:
+    case Op::RodataAddr:
+        key.a = 0; // stack/globals/rodata layout traits
+        break;
+    case Op::Jmp:
+    case Op::JmpZ:
+    case Op::JmpNZ:
+        key.a = 0; // pc targets shift when earlier regions resize
+        break;
+    case Op::Block:
+        key.a = 0; // hashed coverage ids
+        break;
+    default:
+        break;
+    }
+    return key;
+}
+
+bool
+sameKey(const Insn &a, const Insn &b)
+{
+    const Insn ka = normalizedKey(a), kb = normalizedKey(b);
+    return ka.op == kb.op && ka.a == kb.a && ka.b == kb.b &&
+           ka.imm == kb.imm && ka.line == kb.line;
+}
+
+const char *
+layoutOrderName(compiler::LayoutOrder order)
+{
+    switch (order) {
+    case compiler::LayoutOrder::Declaration:
+        return "declaration";
+    case compiler::LayoutOrder::SizeDescending:
+        return "size-descending";
+    case compiler::LayoutOrder::SizeAscending:
+        return "size-ascending";
+    case compiler::LayoutOrder::ReverseDeclaration:
+        return "reverse-declaration";
+    }
+    return "?";
+}
+
+const char *
+shiftPolicyName(compiler::ShiftPolicy policy)
+{
+    return policy == compiler::ShiftPolicy::MaskCount
+               ? "mask-count"
+               : "zero-result";
+}
+
+/** "name: a vs b" for every Traits knob where the configs differ. */
+std::vector<std::string>
+traitsDeltaOf(const compiler::Traits &a, const compiler::Traits &b)
+{
+    std::vector<std::string> delta;
+    auto flag = [&](const char *name, bool va, bool vb) {
+        if (va != vb)
+            delta.push_back(std::string(name) + ": " +
+                            (va ? "on" : "off") + " vs " +
+                            (vb ? "on" : "off"));
+    };
+    auto num = [&](const char *name, std::uint64_t va,
+                   std::uint64_t vb) {
+        if (va != vb)
+            delta.push_back(std::string(name) + ": " +
+                            std::to_string(va) + " vs " +
+                            std::to_string(vb));
+    };
+
+    flag("argsRightToLeft", a.argsRightToLeft, b.argsRightToLeft);
+    if (a.localOrder != b.localOrder)
+        delta.push_back(std::string("localOrder: ") +
+                        layoutOrderName(a.localOrder) + " vs " +
+                        layoutOrderName(b.localOrder));
+    if (a.globalOrder != b.globalOrder)
+        delta.push_back(std::string("globalOrder: ") +
+                        layoutOrderName(a.globalOrder) + " vs " +
+                        layoutOrderName(b.globalOrder));
+    num("localPad", a.localPad, b.localPad);
+    if (a.shift32 != b.shift32)
+        delta.push_back(std::string("shift32: ") +
+                        shiftPolicyName(a.shift32) + " vs " +
+                        shiftPolicyName(b.shift32));
+    if (a.shift64 != b.shift64)
+        delta.push_back(std::string("shift64: ") +
+                        shiftPolicyName(a.shift64) + " vs " +
+                        shiftPolicyName(b.shift64));
+    flag("lineIsStatementStart", a.lineIsStatementStart,
+         b.lineIsStatementStart);
+
+    flag("constFold", a.constFold, b.constFold);
+    flag("foldUbGuards", a.foldUbGuards, b.foldUbGuards);
+    flag("alwaysTrueIncCmp", a.alwaysTrueIncCmp,
+         b.alwaysTrueIncCmp);
+    flag("widenMulToLong", a.widenMulToLong, b.widenMulToLong);
+    flag("deadStoreElim", a.deadStoreElim, b.deadStoreElim);
+    flag("nullDerefExploit", a.nullDerefExploit,
+         b.nullDerefExploit);
+
+    flag("bugRemPow2", a.bugRemPow2, b.bugRemPow2);
+    flag("bugDiv32Shift", a.bugDiv32Shift, b.bugDiv32Shift);
+    flag("bugEmptyRange", a.bugEmptyRange, b.bugEmptyRange);
+    flag("bugChkOv32Unsigned", a.bugChkOv32Unsigned,
+         b.bugChkOv32Unsigned);
+
+    num("stackFill", a.stackFill, b.stackFill);
+    num("heapFill", a.heapFill, b.heapFill);
+    num("undefWord", a.undefWord, b.undefWord);
+    flag("freePoison", a.freePoison, b.freePoison);
+    num("freePoisonByte", a.freePoisonByte, b.freePoisonByte);
+    flag("freelistLifo", a.freelistLifo, b.freelistLifo);
+    flag("detectDoubleFreeTop", a.detectDoubleFreeTop,
+         b.detectDoubleFreeTop);
+    flag("detectInvalidFree", a.detectInvalidFree,
+         b.detectInvalidFree);
+    flag("powViaExp2", a.powViaExp2, b.powViaExp2);
+    flag("memcpyBackward", a.memcpyBackward, b.memcpyBackward);
+
+    num("rodataBase", a.rodataBase, b.rodataBase);
+    num("globalsBase", a.globalsBase, b.globalsBase);
+    num("heapBase", a.heapBase, b.heapBase);
+    num("stackBase", a.stackBase, b.stackBase);
+    return delta;
+}
+
+const compiler::CompilerConfig *
+configOf(const core::ImplementationSet &impls,
+         const std::string &id)
+{
+    for (const auto &impl : impls)
+        if (impl->id() == id)
+            return impl->simulatedConfig();
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+InstructionSlice::str() const
+{
+    std::ostringstream os;
+    if (!attempted) {
+        os << "instruction slice not attempted: "
+           << (note.empty() ? "no simulated pair to compare" : note);
+        return os.str();
+    }
+    if (!found) {
+        os << "instruction streams of " << implA << " and " << implB
+           << " agree under layout normalization; the divergence is "
+              "a runtime-trait decision";
+        if (!traitsDelta.empty()) {
+            os << " (differing traits:";
+            for (std::size_t i = 0; i < traitsDelta.size(); i++)
+                os << (i ? "; " : " ") << traitsDelta[i];
+            os << ")";
+        }
+        return os.str();
+    }
+    os << "first divergent instruction: " << function << "[" << index
+       << "]";
+    const std::uint32_t line = lineA ? lineA : lineB;
+    if (line)
+        os << " (line " << line << ")";
+    os << " — " << implA << ": " << insnA << " vs " << implB << ": "
+       << insnB;
+    if (!traitsDelta.empty()) {
+        os << "; differing traits:";
+        for (std::size_t i = 0; i < traitsDelta.size(); i++)
+            os << (i ? "; " : " ") << traitsDelta[i];
+    }
+    return os.str();
+}
+
+InstructionSlice
+sliceDivergence(const minic::Program &program,
+                const core::ImplementationSet &impls,
+                const core::PairLocalization &pair,
+                const core::DiffOptions &options)
+{
+    InstructionSlice slice;
+    if (!pair.attempted) {
+        slice.note = pair.note.empty()
+                         ? "localization did not align a pair"
+                         : pair.note;
+        return slice;
+    }
+
+    const compiler::CompilerConfig *config_a =
+        configOf(impls, pair.implA);
+    const compiler::CompilerConfig *config_b =
+        configOf(impls, pair.implB);
+    if (!config_a || !config_b) {
+        slice.note = "aligned pair is not fully simulated (" +
+                     pair.implA + " vs " + pair.implB +
+                     "); pair-level localization only";
+        return slice;
+    }
+
+    slice.attempted = true;
+    slice.implA = config_a->name();
+    slice.implB = config_b->name();
+
+    // The exact pipelines the oracle ran: derived traits plus the
+    // campaign's ablation tweak.
+    compiler::Traits traits_a = compiler::traitsFor(*config_a);
+    compiler::Traits traits_b = compiler::traitsFor(*config_b);
+    if (options.traitsTweak) {
+        options.traitsTweak(traits_a);
+        options.traitsTweak(traits_b);
+    }
+    slice.traitsDelta = traitsDeltaOf(traits_a, traits_b);
+
+    const compiler::Compiler compiler(program);
+    const bytecode::Module module_a =
+        compiler.compileWithTraits(*config_a, traits_a);
+    const bytecode::Module module_b =
+        compiler.compileWithTraits(*config_b, traits_b);
+
+    const std::size_t functions =
+        std::min(module_a.functions.size(),
+                 module_b.functions.size());
+    for (std::size_t f = 0; f < functions; f++) {
+        const auto &code_a = module_a.functions[f].code;
+        const auto &code_b = module_b.functions[f].code;
+        const std::size_t common =
+            std::min(code_a.size(), code_b.size());
+        for (std::size_t i = 0; i < common; i++) {
+            if (sameKey(code_a[i], code_b[i]))
+                continue;
+            slice.found = true;
+            slice.function = module_a.functions[f].name;
+            slice.index = i;
+            slice.lineA = code_a[i].line;
+            slice.lineB = code_b[i].line;
+            slice.insnA = code_a[i].str();
+            slice.insnB = code_b[i].str();
+            return slice;
+        }
+        if (code_a.size() != code_b.size()) {
+            slice.found = true;
+            slice.function = module_a.functions[f].name;
+            slice.index = common;
+            if (common < code_a.size()) {
+                slice.insnA = code_a[common].str();
+                slice.lineA = code_a[common].line;
+                slice.insnB = "<end>";
+            } else {
+                slice.insnA = "<end>";
+                slice.insnB = code_b[common].str();
+                slice.lineB = code_b[common].line;
+            }
+            return slice;
+        }
+    }
+    // Streams agree everywhere the normalization can see: the
+    // divergence is carried by runtime traits (fills, bases, heap
+    // policy) rather than by codegen.
+    return slice;
+}
+
+} // namespace compdiff::semdiff

@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * Static divergence slicing: from "which config pair" to "which
+ * instruction, which Traits decision, why".
+ *
+ * `core::localizeAcross` aligns two *executions* and names the first
+ * source line where their control flow or data disagree. This module
+ * adds the ParDiff-style static half: compile the two divergent
+ * implementations' pipelines over the same minimized program and walk
+ * their instruction streams side by side to the first *semantically*
+ * differing instruction — the exact point where the two compilers
+ * made a different decision — at zero additional executions.
+ *
+ * The comparison is trait-aware. A simulated pair legitimately
+ * differs in behavior-neutral encodings the slice must not trip
+ * over, so instructions are compared under a normalization that
+ * blanks the operand classes that carry *layout*, not *meaning*:
+ * frame/global/rodata offsets (stack and globals layout are
+ * configuration traits), pc-relative jump targets (they shift when
+ * any earlier region resizes), and hashed coverage block ids.
+ * Opcodes, immediates (`PushI 7` from the strength-reduced `x & 7`
+ * is the whole story of bugRemPow2), call targets, shift-policy
+ * selectors, and source lines all count. The first instruction pair
+ * that differs under this key — or the shorter stream's end — is the
+ * slice point, reported with both disassembled instructions, the
+ * enclosing function, the source line, and the list of Traits knobs
+ * that differ between the two configurations (the "why").
+ *
+ * Streams come from the same deterministic compile the oracle uses
+ * (`Compiler::compileWithTraits` with the campaign's traits tweak
+ * applied), so the decoded `XInsn` image the VM executes is a pure
+ * function of what is compared here: the first differing `Insn` is
+ * the first differing decode site.
+ *
+ * Degradation: the pair to slice comes from the localization
+ * (`PairLocalization::implA/implB`). When localization could not
+ * align a simulated pair — e.g. a divergence against `ref`, whose
+ * class has no simulated member — the slice degrades to the
+ * pair-level report (`attempted == false`, note says why), exactly
+ * like localization itself.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compdiff/engine.hh"
+#include "compdiff/implementation.hh"
+#include "compdiff/localize.hh"
+#include "minic/ast.hh"
+
+namespace compdiff::semdiff
+{
+
+/** Outcome of one static slice. */
+struct InstructionSlice
+{
+    /** Both sides resolved to simulated pipelines and compiled. */
+    bool attempted = false;
+    /** A first differing instruction (or stream end) was located.
+     *  attempted && !found means the streams agree everywhere under
+     *  the normalization — a pure runtime-trait divergence. */
+    bool found = false;
+
+    /** The configs compared (CompilerConfig names). */
+    std::string implA;
+    std::string implB;
+
+    /** Function containing the first difference. */
+    std::string function;
+    /** Instruction index within that function's stream. */
+    std::size_t index = 0;
+    /** Source line of the differing instruction per side (0 when
+     *  that side's stream already ended). */
+    std::uint32_t lineA = 0;
+    std::uint32_t lineB = 0;
+    /** Disassembled instruction per side ("<end>" when ended). */
+    std::string insnA;
+    std::string insnB;
+
+    /** Traits knobs that differ between the two configs, rendered
+     *  as "name: valueA vs valueB" — the compiler decisions that can
+     *  explain the split. */
+    std::vector<std::string> traitsDelta;
+
+    /** Why the slice degraded (empty when attempted). */
+    std::string note;
+
+    /** Human-readable one-paragraph account. */
+    std::string str() const;
+};
+
+/**
+ * Slice the pair chosen by localization over `program`.
+ *
+ * @param program The (typically minimized) analyzed program.
+ * @param impls   The oracle that produced the divergence.
+ * @param pair    localizeAcross's verdict — supplies the pair.
+ * @param options The campaign's diff options (traitsTweak must be
+ *                applied so the slice sees the same pipelines the
+ *                oracle ran).
+ */
+InstructionSlice sliceDivergence(const minic::Program &program,
+                                 const core::ImplementationSet &impls,
+                                 const core::PairLocalization &pair,
+                                 const core::DiffOptions &options);
+
+} // namespace compdiff::semdiff

@@ -41,6 +41,9 @@ struct DivergenceRecord
     std::vector<int> probes;
     /** Per-implementation output hashes on the witness. */
     std::vector<std::uint64_t> hashVector;
+    /** Second-tier semantic key (fuzz::FoundDiff::semanticKey);
+     *  0 when the journal predates semantic dedup. */
+    std::uint64_t semanticKey = 0;
 };
 
 /**

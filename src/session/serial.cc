@@ -339,6 +339,7 @@ encodeDivergenceRecord(const DivergenceRecord &record)
     enc.u64(record.hashVector.size());
     for (const std::uint64_t hash : record.hashVector)
         enc.u64(hash);
+    enc.u64(record.semanticKey);
     return enc.take();
 }
 
@@ -358,6 +359,10 @@ decodeDivergenceRecord(const Bytes &payload)
     record.hashVector.reserve(count);
     for (std::size_t i = 0; i < count; i++)
         record.hashVector.push_back(dec.u64());
+    // Optional trailing field: journals written before semantic
+    // dedup end here, and their records decode with semanticKey 0.
+    if (!dec.atEnd())
+        record.semanticKey = dec.u64();
     dec.expectEnd();
     return record;
 }

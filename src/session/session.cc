@@ -61,6 +61,7 @@ divergenceEvent(const fuzz::FoundDiff &diff)
 {
     obs::CampaignEvent event("divergence", diff.execIndex);
     event.hex("signature", diff.signature)
+        .hex("sem", diff.semanticKey)
         .num("size", diff.input.size())
         .num("probes", diff.probes.size());
     return event;
@@ -765,7 +766,8 @@ CampaignSession::divergenceRecords() const
     for (const auto &diff : result_.diffs) {
         records.push_back({diff.signature, diff.input,
                            diff.execIndex, diff.probes,
-                           diff.result.hashVector()});
+                           diff.result.hashVector(),
+                           diff.semanticKey});
     }
     return records;
 }

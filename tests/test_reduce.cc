@@ -296,8 +296,10 @@ TEST(ReduceReport, BundleCarriesTheFiling)
     EXPECT_LT(report.input.size(), report.witnessInput.size());
     EXPECT_TRUE(report.sanitizers.checked);
 
+    // Bundles are filed under the *semantic* key (tier-2 dedup),
+    // not the raw divergence signature.
     const std::string bundle =
-        dir + "/" + reduce::signatureDirName(report.signature);
+        dir + "/" + reduce::signatureDirName(report.semanticKey);
     EXPECT_TRUE(std::filesystem::exists(bundle + "/program.mc"));
     EXPECT_TRUE(std::filesystem::exists(bundle + "/input.bin"));
     EXPECT_TRUE(std::filesystem::exists(bundle + "/witness.bin"));
